@@ -1,0 +1,41 @@
+//! Criterion benchmarks: simulator throughput.
+
+use bench::runners::transform_both;
+use criterion::{criterion_group, criterion_main, Criterion};
+use qalgo::suites::toffoli_suite;
+use qsim::branch::exact_distribution;
+use qsim::density::exact_distribution_noisy;
+use qsim::{Executor, NoiseModel};
+
+fn bench_simulation(c: &mut Criterion) {
+    let suite = toffoli_suite();
+    let carry = suite.iter().find(|b| b.name == "CARRY").unwrap().clone();
+    let (d1, d2) = transform_both(&carry);
+
+    let mut g = c.benchmark_group("simulate");
+    g.bench_function("executor_1024_shots_carry_dyn2", |b| {
+        let exec = Executor::new().shots(1024).seed(1);
+        b.iter(|| exec.run(d2.circuit()))
+    });
+    g.bench_function("branch_exact_carry_dyn1", |b| {
+        b.iter(|| exact_distribution(d1.circuit()))
+    });
+    g.bench_function("branch_exact_carry_dyn2", |b| {
+        b.iter(|| exact_distribution(d2.circuit()))
+    });
+    g.bench_function("density_noisy_carry_dyn2", |b| {
+        let noise = NoiseModel::device_like(1.0);
+        b.iter(|| exact_distribution_noisy(d2.circuit(), &noise))
+    });
+    g.bench_function("trajectory_noisy_256_shots_carry_dyn2", |b| {
+        let exec = Executor::new()
+            .shots(256)
+            .seed(2)
+            .noise(NoiseModel::device_like(1.0));
+        b.iter(|| exec.run(d2.circuit()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion benchmarks: end-to-end table/figure regeneration.
+
+use bench::runners::{fig7, mct_sweep, noise_sweep, table1, table2};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(table1));
+    g.bench_function("table2", |b| b.iter(table2));
+    g.bench_function("fig7_256_shots", |b| b.iter(|| fig7(256, 1)));
+    g.bench_function("noise_sweep_two_points", |b| {
+        b.iter(|| noise_sweep(&[0.0, 1.0]))
+    });
+    g.bench_function("mct_sweep_to_4", |b| b.iter(|| mct_sweep(4)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Idle-decay sweep: the depth-vs-qubits device trade-off of dynamic
+//! circuits under per-layer T1 decay.
+
+use bench::runners::idle_sweep;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let t = idle_sweep(&[0.0, 0.005, 0.02, 0.05], 4096, 0x1D7E);
+    println!("Idle-decay sweep — expected-outcome probability vs per-layer T1 decay");
+    println!("(trajectory executor, hardware-style scheduling, 4096 shots)\n");
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!("\ndynamic circuits run deeper, so idle decay hits them harder —");
+    println!("the price of the qubit saving on real hardware.");
+}

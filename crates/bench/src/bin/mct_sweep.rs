@@ -1,0 +1,19 @@
+//! Multi-control Toffoli sweep (the paper's future-work direction).
+
+use bench::runners::mct_sweep;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let max = std::env::args()
+        .skip_while(|a| a != "--max")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let t = mct_sweep(max);
+    println!("MCT sweep — DJ on n-input AND via the MCX ladder, per scheme\n");
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+}

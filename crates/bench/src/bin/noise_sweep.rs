@@ -1,0 +1,16 @@
+//! Noise ablation: expected-outcome probability vs. device noise strength.
+
+use bench::runners::noise_sweep;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let scales = [0.0, 0.25, 0.5, 1.0];
+    let t = noise_sweep(&scales);
+    println!("Noise sweep — exact expected-outcome probability under device-like noise");
+    println!("(scale 1.0 ~ 2021-era superconducting device; density-matrix backend)\n");
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table I (Toffoli-free circuits).
+
+use bench::runners::table1;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let t = table1();
+    println!("Table I — Toffoli-free quantum circuits (ours vs. paper)");
+    println!("gate convention: dynamic counts exclude measurements, include resets\n");
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!("\ntvd column: exact total-variation distance between the traditional");
+    println!("and dynamic outcome distributions (0 = functionally equivalent).");
+}

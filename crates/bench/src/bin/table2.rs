@@ -1,0 +1,15 @@
+//! Regenerates the paper's Table II (Toffoli-based DJ circuits).
+
+use bench::runners::table2;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let t = table2();
+    println!("Table II — Toffoli-based DJ circuits (ours vs. paper)");
+    println!("traditional = Clifford+T lowering; dynamic-1 = CV chain; dynamic-2 = CV + shared ancilla\n");
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+}

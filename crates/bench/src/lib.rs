@@ -1,0 +1,17 @@
+//! # bench — benchmark harness regenerating the paper's tables and figures
+//!
+//! Binaries:
+//!
+//! * `table1` — Table I (Toffoli-free circuits: qubits/gates/depth + exact
+//!   equivalence check)
+//! * `table2` — Table II (Toffoli-based DJ circuits, dynamic-1 vs dynamic-2)
+//! * `fig7` — Fig. 7 (probability of the expected outcome, exact and at
+//!   1024 shots)
+//! * `noise_sweep` — accuracy under a device-like noise model (ablation)
+//! * `mct_sweep` — multi-control Toffoli networks (the paper's future work)
+//!
+//! Run e.g. `cargo run -p bench --bin table1 -- --csv`.
+
+pub mod paper;
+pub mod report;
+pub mod runners;

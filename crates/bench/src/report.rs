@@ -1,0 +1,165 @@
+//! Plain-text and CSV table rendering for the benchmark binaries.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use bench::report::Table;
+/// let mut t = Table::new(vec!["name", "value"]);
+/// t.row(vec!["alpha".into(), "1".into()]);
+/// let text = t.render();
+/// assert!(text.contains("alpha"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<&str>) -> Self {
+        Self {
+            header: header.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns (first column left, rest right).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}", w = width[i]);
+                } else {
+                    let _ = write!(out, "{cell:>w$}", w = width[i]);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting; cells in this workspace are plain).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a probability with 4 decimals.
+#[must_use]
+pub fn fmt_prob(p: f64) -> String {
+    format!("{p:.4}")
+}
+
+/// Formats a ratio with 2 decimals and an `x` suffix.
+#[must_use]
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["benchmark", "gates"]);
+        t.row(vec!["AND".into(), "21".into()]);
+        t.row(vec!["CARRY".into(), "53".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("benchmark"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned to the same column.
+        assert_eq!(
+            lines[2].find("21").map(|p| p + 2),
+            lines[3].find("53").map(|p| p + 2)
+        );
+    }
+
+    #[test]
+    fn csv_joins_cells() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_prob(0.25), "0.2500");
+        assert_eq!(fmt_ratio(2.5), "2.50x");
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

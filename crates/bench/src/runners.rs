@@ -1,0 +1,432 @@
+//! Shared experiment runners behind the benchmark binaries.
+//!
+//! Each function regenerates one table or figure of the paper and returns a
+//! [`Table`] ready to print; the binaries are thin wrappers so that the
+//! integration tests and criterion benches can reuse the same code paths.
+
+use crate::paper;
+use crate::report::{fmt_prob, Table};
+use dqc::{
+    transform, transform_with_scheme, verify, DynamicScheme, QubitRoles, ResourceSummary,
+    TransformOptions,
+};
+use qalgo::suites::{toffoli_free_suite, toffoli_suite, Benchmark};
+use qalgo::{dj_circuit, TruthTable};
+use qcir::decompose::{decompose_ccx, decompose_mcx, ToffoliStyle};
+use qcir::{Circuit, Qubit};
+use qsim::density::exact_distribution_noisy;
+use qsim::{Executor, NoiseModel};
+
+/// `ours (paper)` cell.
+fn vs(ours: usize, paper: usize) -> String {
+    format!("{ours} ({paper})")
+}
+
+/// Regenerates **Table I** (Toffoli-free circuits): qubit count, gate count
+/// and depth for the traditional circuits and their dynamic realizations,
+/// side by side with the published values, plus the exact total-variation
+/// distance establishing the paper's functional-equivalence claim.
+#[must_use]
+pub fn table1() -> Table {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "qubits t>d",
+        "gates tradi",
+        "gates dyna",
+        "depth tradi",
+        "depth dyna",
+        "tvd",
+    ]);
+    for b in toffoli_free_suite() {
+        let d = transform(&b.circuit, &b.roles, &TransformOptions::default())
+            .expect("toffoli-free benchmarks always transform");
+        let tradi = ResourceSummary::of_circuit(&b.circuit);
+        let dyna = ResourceSummary::of_dynamic(&d);
+        let report = verify::compare(&b.circuit, &b.roles, &d);
+        let p = paper::table1_row(&b.name).expect("paper row exists");
+        t.row(vec![
+            b.name.clone(),
+            format!("{}>{}", tradi.qubits, dyna.qubits),
+            vs(tradi.gates, p.gates.0),
+            vs(dyna.gates_excluding_measures(), p.gates.1),
+            vs(tradi.depth, p.depth.0),
+            vs(dyna.depth, p.depth.1),
+            format!("{:.1e}", report.tvd),
+        ]);
+    }
+    t
+}
+
+/// Regenerates **Table II** (Toffoli-based DJ circuits): traditional
+/// (Clifford+T-lowered) vs dynamic-1 vs dynamic-2 resources, with the
+/// published values in parentheses.
+#[must_use]
+pub fn table2() -> Table {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "qubits t>d",
+        "gates tradi",
+        "gates dyn1",
+        "gates dyn2",
+        "depth tradi",
+        "depth dyn1",
+        "depth dyn2",
+        "cv-level g1/g2",
+        "iters d1/d2",
+    ]);
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        let lowered = decompose_ccx(&b.circuit, ToffoliStyle::CliffordT);
+        let tradi = ResourceSummary::of_circuit(&lowered);
+        // The paper's dynamic columns are at the Clifford+T level (CV
+        // lowered per its Fig. 6, with adjacent cancellations applied);
+        // the CV-level counts are reported alongside.
+        let s1cv = ResourceSummary::of_dynamic(&d1);
+        let s2cv = ResourceSummary::of_dynamic(&d2);
+        let lower = |c: &Circuit| {
+            qcir::passes::cancel_adjacent_inverses(&qcir::decompose::decompose_cv(c))
+        };
+        let s1 = ResourceSummary::of_circuit(&lower(d1.circuit()));
+        let s2 = ResourceSummary::of_circuit(&lower(d2.circuit()));
+        let p = paper::table2_row(&b.name).expect("paper row exists");
+        t.row(vec![
+            b.name.clone(),
+            format!("{}>{}", tradi.qubits, s1.qubits),
+            vs(tradi.gates, p.gates.0),
+            vs(s1.gates_excluding_measures(), p.gates.1),
+            vs(s2.gates_excluding_measures(), p.gates.2),
+            vs(tradi.depth, p.depth.0),
+            vs(s1.depth, p.depth.1),
+            vs(s2.depth, p.depth.2),
+            format!(
+                "{}/{}",
+                s1cv.gates_excluding_measures(),
+                s2cv.gates_excluding_measures()
+            ),
+            format!(
+                "{}/{}",
+                s1cv.iterations.unwrap_or(0),
+                s2cv.iterations.unwrap_or(0)
+            ),
+        ]);
+    }
+    t
+}
+
+/// Regenerates **Fig. 7**: probability of the expected outcome (the most
+/// probable traditional outcome) under the traditional circuit, dynamic-1
+/// and dynamic-2 — exactly (branch enumeration) and sampled with the
+/// paper's 1024 shots — plus the total-variation distances of the two
+/// schemes.
+#[must_use]
+pub fn fig7(shots: u64, seed: u64) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "expected",
+        "p tradi",
+        "p dyn1",
+        "p dyn2",
+        &format!("p tradi@{shots}"),
+        &format!("p dyn1@{shots}"),
+        &format!("p dyn2@{shots}"),
+        "tvd dyn1",
+        "tvd dyn2",
+    ]);
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        let r1 = verify::compare(&b.circuit, &b.roles, &d1);
+        let r2 = verify::compare(&b.circuit, &b.roles, &d2);
+        debug_assert_eq!(r1.expected_outcome, r2.expected_outcome);
+
+        // Shot-based estimates, as the paper measured them.
+        let exec = Executor::new().shots(shots).seed(seed);
+        let n_data = b.roles.data().len();
+        let mut tradi_measured = Circuit::new(b.circuit.num_qubits(), n_data);
+        tradi_measured.extend(&b.circuit);
+        for (i, &dq) in b.roles.data().iter().enumerate() {
+            tradi_measured.measure(dq, qcir::Clbit::new(i));
+        }
+        let sampled_t = exec.run(&tradi_measured).probability(&r1.expected_outcome);
+        let sampled_1 = exec.run(d1.circuit()).probability(&r1.expected_outcome);
+        let sampled_2 = exec.run(d2.circuit()).probability(&r2.expected_outcome);
+
+        t.row(vec![
+            b.name.clone(),
+            r1.expected_outcome.clone(),
+            fmt_prob(r1.p_traditional),
+            fmt_prob(r1.p_dynamic),
+            fmt_prob(r2.p_dynamic),
+            fmt_prob(sampled_t),
+            fmt_prob(sampled_1),
+            fmt_prob(sampled_2),
+            fmt_prob(r1.tvd),
+            fmt_prob(r2.tvd),
+        ]);
+    }
+    t
+}
+
+/// Noise ablation (ours): expected-outcome probability of the Fig. 7
+/// benchmarks under a device-like noise model of increasing strength,
+/// evaluated exactly on the density-matrix backend. Shows how the dynamic
+/// circuits' extra depth interacts with decoherence.
+#[must_use]
+pub fn noise_sweep(scales: &[f64]) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "noise",
+        "p tradi",
+        "p dyn1",
+        "p dyn2",
+    ]);
+    for b in toffoli_suite() {
+        // Density-matrix evolution is exponential in qubits; all benchmarks
+        // here are at most 4 + 1 ancilla wires.
+        let (d1, d2) = transform_both(&b);
+        let ideal = verify::compare(&b.circuit, &b.roles, &d1);
+        let expected = ideal.expected_outcome.clone();
+        let n_data = b.roles.data().len();
+        let mut tradi_measured = Circuit::new(b.circuit.num_qubits(), n_data);
+        tradi_measured.extend(&b.circuit);
+        for (i, &dq) in b.roles.data().iter().enumerate() {
+            tradi_measured.measure(dq, qcir::Clbit::new(i));
+        }
+        for &scale in scales {
+            let noise = NoiseModel::device_like(scale);
+            let pt = exact_distribution_noisy(&tradi_measured, &noise).get(&expected);
+            let p1 = exact_distribution_noisy(d1.circuit(), &noise).get(&expected);
+            let p2 = exact_distribution_noisy(d2.circuit(), &noise).get(&expected);
+            t.row(vec![
+                b.name.clone(),
+                format!("{scale:.2}"),
+                fmt_prob(pt),
+                fmt_prob(p1),
+                fmt_prob(p2),
+            ]);
+        }
+    }
+    t
+}
+
+/// Idle-decay sweep (ours): expected-outcome probability under per-layer
+/// amplitude damping, sampled on the trajectory executor with
+/// hardware-style scheduling. Exposes the real device trade-off: dynamic
+/// circuits save qubits but run ~2-3x deeper, so their answer qubit idles
+/// longer between interactions.
+#[must_use]
+pub fn idle_sweep(gammas: &[f64], shots: u64, seed: u64) -> Table {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "gamma/layer",
+        "p tradi",
+        "p dyn1",
+        "p dyn2",
+        "depth t/d1/d2",
+    ]);
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        let ideal = verify::compare(&b.circuit, &b.roles, &d2);
+        let expected = ideal.expected_outcome.clone();
+        let n_data = b.roles.data().len();
+        let mut tradi_measured = Circuit::new(b.circuit.num_qubits(), n_data);
+        tradi_measured.extend(&b.circuit);
+        for (i, &dq) in b.roles.data().iter().enumerate() {
+            tradi_measured.measure(dq, qcir::Clbit::new(i));
+        }
+        let depths = format!(
+            "{}/{}/{}",
+            qcir::depth(&tradi_measured),
+            qcir::depth(d1.circuit()),
+            qcir::depth(d2.circuit())
+        );
+        for &gamma in gammas {
+            let exec = Executor::new()
+                .shots(shots)
+                .seed(seed)
+                .noise(NoiseModel::ideal().with_idle_damping(gamma));
+            let pt = exec.run(&tradi_measured).probability(&expected);
+            let p1 = exec.run(d1.circuit()).probability(&expected);
+            let p2 = exec.run(d2.circuit()).probability(&expected);
+            t.row(vec![
+                b.name.clone(),
+                format!("{gamma:.3}"),
+                fmt_prob(pt),
+                fmt_prob(p1),
+                fmt_prob(p2),
+                depths.clone(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Multi-control Toffoli sweep (the paper's stated future work): DJ on the
+/// n-input AND, lowered through the MCX ladder, transformed with each
+/// scheme. Reports resources, iteration counts and exact accuracy.
+#[must_use]
+pub fn mct_sweep(max_controls: usize) -> Table {
+    let mut t = Table::new(vec![
+        "n",
+        "scheme",
+        "qubits t>d",
+        "gates",
+        "depth",
+        "iters",
+        "tvd",
+    ]);
+    for n in 3..=max_controls {
+        let dj = dj_circuit(&TruthTable::and(n));
+        // Lower MCX to the CCX ladder; the ladder's scratch qubits are
+        // *measured* data qubits in the dynamic realization.
+        let lowered = decompose_mcx(&dj);
+        let extra = lowered.num_qubits() - dj.num_qubits();
+        let mut data: Vec<Qubit> = (0..n).map(Qubit::new).collect();
+        data.extend((0..extra).map(|i| Qubit::new(dj.num_qubits() + i)));
+        let roles = QubitRoles::new(data, Vec::new(), vec![Qubit::new(n)]);
+
+        let tradi = ResourceSummary::of_circuit(&decompose_ccx(
+            &lowered,
+            ToffoliStyle::CliffordT,
+        ));
+        for scheme in [
+            DynamicScheme::Direct,
+            DynamicScheme::Dynamic1,
+            DynamicScheme::Dynamic2,
+        ] {
+            // For dynamic-2 on a ladder the CV-phase ancillas feed *data*
+            // qubits (the ladder scratch), so they must be measured
+            // themselves: lower manually and put them in the data set.
+            let result = if scheme == DynamicScheme::Dynamic2 {
+                let phase_ancillas = qcir::decompose::cv_ancilla_wires(&lowered);
+                let lowered2 = decompose_ccx(&lowered, ToffoliStyle::CvAncilla);
+                let mut data2: Vec<Qubit> = roles.data().to_vec();
+                data2.extend(phase_ancillas);
+                let roles2 = QubitRoles::new(data2, Vec::new(), roles.answer().to_vec());
+                transform(&lowered2, &roles2, &TransformOptions::default()).map(|d| {
+                    let report = verify_marginal(&lowered2, &roles2, &d, n);
+                    (d, report)
+                })
+            } else {
+                transform_with_scheme(&lowered, &roles, scheme, &TransformOptions::default())
+                    .map(|d| {
+                        let report = verify::compare(&lowered, &roles, &d);
+                        (d, report)
+                    })
+            };
+            let row = match result {
+                Ok((d, report)) => {
+                    let s = ResourceSummary::of_dynamic(&d);
+                    vec![
+                        n.to_string(),
+                        scheme.to_string(),
+                        format!("{}>{}", tradi.qubits, s.qubits),
+                        s.gates.to_string(),
+                        s.depth.to_string(),
+                        s.iterations.unwrap_or(0).to_string(),
+                        fmt_prob(report.tvd),
+                    ]
+                }
+                Err(e) => vec![
+                    n.to_string(),
+                    scheme.to_string(),
+                    format!("{}>-", tradi.qubits),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("n/a ({e})"),
+                ],
+            };
+            t.row(row);
+        }
+    }
+    t
+}
+
+/// Compares traditional vs dynamic on the marginal distribution of the
+/// first `keep` data bits (the algorithm's real inputs), tracing out the
+/// scratch-qubit measurement records the ladder lowering added.
+fn verify_marginal(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    dynamic: &dqc::DynamicCircuit,
+    keep: usize,
+) -> verify::EquivalenceReport {
+    let positions: Vec<usize> = (0..keep).collect();
+    let traditional = verify::traditional_distribution(circuit, roles).marginal(&positions);
+    let dyn_dist = verify::dynamic_distribution(dynamic).marginal(&positions);
+    let tvd = traditional.tvd(&dyn_dist);
+    let expected = traditional.argmax().unwrap_or_default().to_string();
+    let p_traditional = traditional.get(&expected);
+    let p_dynamic = dyn_dist.get(&expected);
+    verify::EquivalenceReport {
+        traditional,
+        dynamic: dyn_dist,
+        tvd,
+        expected_outcome: expected,
+        p_traditional,
+        p_dynamic,
+    }
+}
+
+/// Transforms a benchmark with both of the paper's schemes.
+#[must_use]
+pub fn transform_both(b: &Benchmark) -> (dqc::DynamicCircuit, dqc::DynamicCircuit) {
+    let opts = TransformOptions::default();
+    let d1 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts)
+        .expect("dynamic-1 transforms every Table II benchmark");
+    let d2 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts)
+        .expect("dynamic-2 transforms every Table II benchmark");
+    (d1, d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_28_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 28);
+        let text = t.render();
+        assert!(text.contains("BV_111"));
+        assert!(text.contains("DJ_XNOR"));
+    }
+
+    #[test]
+    fn table2_has_nine_rows() {
+        let t = table2();
+        assert_eq!(t.len(), 9);
+        assert!(t.render().contains("CARRY"));
+    }
+
+    #[test]
+    fn fig7_reports_probabilities() {
+        let t = fig7(256, 7);
+        assert_eq!(t.len(), 9);
+        let text = t.render();
+        assert!(text.contains("expected"));
+    }
+
+    #[test]
+    fn noise_sweep_scales_rows() {
+        let t = noise_sweep(&[0.0, 1.0]);
+        assert_eq!(t.len(), 18);
+    }
+
+    #[test]
+    fn mct_sweep_covers_requested_range() {
+        let t = mct_sweep(3);
+        assert_eq!(t.len(), 3);
+        // With per-target ancillas every scheme is realizable: no "n/a".
+        assert!(!t.to_csv().contains("n/a"));
+    }
+
+    #[test]
+    fn idle_sweep_emits_one_row_per_gamma_per_benchmark() {
+        let t = idle_sweep(&[0.0, 0.1], 64, 1);
+        assert_eq!(t.len(), 18);
+        let csv = t.to_csv();
+        assert!(csv.contains("0.100"));
+        assert!(csv.contains("CARRY"));
+    }
+}

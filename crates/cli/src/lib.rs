@@ -1,0 +1,310 @@
+//! # dqct-cli — the transformer as a command-line tool
+//!
+//! Reads a traditional circuit in OpenQASM 3 (the subset `qcir::qasm`
+//! round-trips), applies the dynamic transformation, and writes the dynamic
+//! circuit back as OpenQASM 3. The argument parsing and driver live in this
+//! library so they are unit-testable; `main.rs` is a thin wrapper.
+//!
+//! ```text
+//! dqct --data 0,1 --answer 2 [--ancilla 3,4] [--scheme direct|dynamic1|dynamic2]
+//!      [--verify] [--stats] [--ascii] [--input FILE]
+//! ```
+
+use dqc::{
+    transform_with_scheme, verify, DynamicScheme, QubitRoles, ResourceSummary,
+    TransformOptions,
+};
+use qcir::qasm::{from_qasm, to_qasm};
+use qcir::Qubit;
+use std::fmt::Write as _;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Data qubit indices.
+    pub data: Vec<usize>,
+    /// Ancilla qubit indices.
+    pub ancilla: Vec<usize>,
+    /// Answer qubit indices.
+    pub answer: Vec<usize>,
+    /// Toffoli realization scheme.
+    pub scheme: DynamicScheme,
+    /// Verify equivalence exactly and report the TVD.
+    pub verify: bool,
+    /// Print resource statistics.
+    pub stats: bool,
+    /// Print ASCII diagrams instead of (in addition to) QASM.
+    pub ascii: bool,
+    /// Run the static exactness analysis and report the verdict.
+    pub analyze: bool,
+    /// Input file (`None` = stdin).
+    pub input: Option<String>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            data: Vec::new(),
+            ancilla: Vec::new(),
+            answer: Vec::new(),
+            scheme: DynamicScheme::Dynamic2,
+            verify: false,
+            stats: false,
+            ascii: false,
+            analyze: false,
+            input: None,
+        }
+    }
+}
+
+/// Parses the CLI argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags, missing values or
+/// malformed index lists.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data" => opts.data = parse_list(it.next(), "--data")?,
+            "--ancilla" => opts.ancilla = parse_list(it.next(), "--ancilla")?,
+            "--answer" => opts.answer = parse_list(it.next(), "--answer")?,
+            "--scheme" => {
+                let v = it.next().ok_or("--scheme needs a value")?;
+                opts.scheme = match v.as_str() {
+                    "direct" => DynamicScheme::Direct,
+                    "dynamic1" | "dynamic-1" => DynamicScheme::Dynamic1,
+                    "dynamic2" | "dynamic-2" => DynamicScheme::Dynamic2,
+                    other => return Err(format!("unknown scheme '{other}'")),
+                };
+            }
+            "--verify" => opts.verify = true,
+            "--analyze" => opts.analyze = true,
+            "--stats" => opts.stats = true,
+            "--ascii" => opts.ascii = true,
+            "--input" => {
+                opts.input = Some(it.next().ok_or("--input needs a value")?.clone());
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    if opts.answer.is_empty() {
+        return Err(format!("--answer is required\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn parse_list(value: Option<&String>, flag: &str) -> Result<Vec<usize>, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("{flag}: '{s}' is not a qubit index"))
+        })
+        .collect()
+}
+
+/// The usage string.
+#[must_use]
+pub fn usage() -> String {
+    "usage: dqct --answer <i,j,...> [--data <i,...>] [--ancilla <i,...>]\n\
+     \x20           [--scheme direct|dynamic1|dynamic2] [--verify] [--analyze]\n\
+     \x20           [--stats]\n\
+     \x20           [--ascii] [--input FILE]\n\
+     Reads OpenQASM 3 from FILE or stdin; qubits not listed under --answer\n\
+     or --ancilla default to data."
+        .to_string()
+}
+
+/// Runs the transformation on QASM text, returning the full output text.
+///
+/// # Errors
+///
+/// Returns a message for parse errors, role mismatches or unrealizable
+/// circuits.
+pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
+    let circuit = from_qasm(qasm_text).map_err(|e| e.to_string())?;
+    // Default: every unlisted qubit is data.
+    let mut data: Vec<Qubit> = opts.data.iter().map(|&i| Qubit::new(i)).collect();
+    if data.is_empty() {
+        data = (0..circuit.num_qubits())
+            .filter(|i| !opts.answer.contains(i) && !opts.ancilla.contains(i))
+            .map(Qubit::new)
+            .collect();
+    }
+    let roles = QubitRoles::new(
+        data,
+        opts.ancilla.iter().map(|&i| Qubit::new(i)).collect(),
+        opts.answer.iter().map(|&i| Qubit::new(i)).collect(),
+    );
+    let dynamic =
+        transform_with_scheme(&circuit, &roles, opts.scheme, &TransformOptions::default())
+            .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    if opts.ascii {
+        let _ = writeln!(out, "// traditional:");
+        for line in qcir::ascii::draw(&circuit).lines() {
+            let _ = writeln!(out, "// {line}");
+        }
+        let _ = writeln!(out, "// dynamic ({}):", opts.scheme);
+        for line in qcir::ascii::draw(dynamic.circuit()).lines() {
+            let _ = writeln!(out, "// {line}");
+        }
+    }
+    if opts.stats {
+        let tradi = ResourceSummary::of_circuit(&circuit);
+        let dyna = ResourceSummary::of_dynamic(&dynamic);
+        let _ = writeln!(out, "// traditional: {tradi}");
+        let _ = writeln!(out, "// dynamic:     {dyna}");
+    }
+    if opts.analyze {
+        match dqc::analysis::analyze(&circuit, &roles) {
+            Ok(a) => match a.exactness {
+                dqc::Exactness::Exact => {
+                    let _ = writeln!(
+                        out,
+                        "// analysis: EXACT ({} classicalized control(s), none disturbed)",
+                        a.classicalized_gates
+                    );
+                }
+                dqc::Exactness::Approximate { conflicts } => {
+                    let _ = writeln!(
+                        out,
+                        "// analysis: APPROXIMATE ({} conflict(s)):",
+                        conflicts.len()
+                    );
+                    for c in conflicts {
+                        let _ = writeln!(out, "//   {c}");
+                    }
+                }
+            },
+            Err(e) => {
+                let _ = writeln!(out, "// analysis: n/a ({e})");
+            }
+        }
+    }
+    if opts.verify {
+        let report = verify::compare(&circuit, &roles, &dynamic);
+        let _ = writeln!(
+            out,
+            "// verify: tvd = {:.6}, expected outcome '{}' p_tradi = {:.4} p_dyn = {:.4}",
+            report.tvd, report.expected_outcome, report.p_traditional, report.p_dynamic
+        );
+    }
+    out.push_str(&to_qasm(dynamic.circuit()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    const BV_QASM: &str = "\
+OPENQASM 3.0;
+include \"stdgates.inc\";
+qubit[3] q;
+x q[2];
+h q[2];
+h q[0];
+cx q[0], q[2];
+h q[0];
+h q[1];
+cx q[1], q[2];
+h q[1];
+";
+
+    #[test]
+    fn parse_full_flag_set() {
+        let o = parse_args(&args(
+            "--data 0,1 --answer 2 --scheme dynamic1 --verify --stats --ascii --input f.qasm",
+        ))
+        .unwrap();
+        assert_eq!(o.data, vec![0, 1]);
+        assert_eq!(o.answer, vec![2]);
+        assert_eq!(o.scheme, DynamicScheme::Dynamic1);
+        assert!(o.verify && o.stats && o.ascii);
+        assert_eq!(o.input.as_deref(), Some("f.qasm"));
+    }
+
+    #[test]
+    fn answer_flag_is_required() {
+        let err = parse_args(&args("--data 0,1")).unwrap_err();
+        assert!(err.contains("--answer is required"));
+    }
+
+    #[test]
+    fn unknown_flags_and_schemes_are_rejected() {
+        assert!(parse_args(&args("--answer 2 --frobnicate")).is_err());
+        assert!(parse_args(&args("--answer 2 --scheme warp")).is_err());
+        assert!(parse_args(&args("--answer x")).is_err());
+    }
+
+    #[test]
+    fn analyze_flag_reports_verdicts() {
+        let opts = parse_args(&args("--answer 2 --analyze")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        assert!(out.contains("// analysis: EXACT"), "{out}");
+
+        let toffoli = "qubit[3] q;\nh q[0];\nh q[1];\ncx q[0], q[1];\nh q[0];\ncx q[1], q[2];\n";
+        let out = run(toffoli, &opts).unwrap();
+        assert!(out.contains("// analysis: APPROXIMATE"), "{out}");
+    }
+
+    #[test]
+    fn run_transforms_bv_and_emits_qasm() {
+        let opts = parse_args(&args("--answer 2 --verify --stats")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        assert!(out.contains("qubit[2] q;"), "{out}");
+        assert!(out.contains("reset q[0];"));
+        assert!(out.contains("// verify: tvd = 0.000000"));
+        assert!(out.contains("// dynamic:"));
+    }
+
+    #[test]
+    fn run_defaults_unlisted_qubits_to_data() {
+        let opts = parse_args(&args("--answer 2")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        // 2 data iterations -> 2 classical bits.
+        assert!(out.contains("bit[2] c;"), "{out}");
+    }
+
+    #[test]
+    fn run_reports_qasm_errors() {
+        let opts = parse_args(&args("--answer 2")).unwrap();
+        let err = run("qubit[1] q;\nwarble q[0];\n", &opts).unwrap_err();
+        assert!(err.contains("unsupported gate"));
+    }
+
+    #[test]
+    fn run_reports_transform_errors() {
+        let opts = parse_args(&args("--answer 2")).unwrap();
+        let cyclic = "qubit[3] q;\ncx q[0], q[1];\ncx q[1], q[0];\n";
+        let err = run(cyclic, &opts).unwrap_err();
+        assert!(err.contains("cyclic"));
+    }
+
+    #[test]
+    fn ascii_mode_prefixes_comments() {
+        let opts = parse_args(&args("--answer 2 --ascii")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        assert!(out.contains("// traditional:"));
+        assert!(out.lines().filter(|l| l.starts_with("// ")).count() > 4);
+    }
+
+    #[test]
+    fn output_round_trips_through_the_parser() {
+        let opts = parse_args(&args("--answer 2")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        assert!(from_qasm(&out).is_ok());
+    }
+}

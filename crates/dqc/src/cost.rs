@@ -1,0 +1,221 @@
+//! Resource accounting for traditional-vs-dynamic comparisons.
+//!
+//! The quantities of the paper's Tables I and II: qubit count, gate count
+//! and depth, plus the dynamic-circuit-specific costs (iterations, resets,
+//! measurements, classically controlled operations).
+
+use crate::transform::DynamicCircuit;
+use qcir::{Circuit, CircuitStats};
+use std::fmt;
+
+/// A one-line resource summary of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use dqc::ResourceSummary;
+/// use qcir::{Circuit, Qubit};
+///
+/// let mut c = Circuit::new(2, 0);
+/// c.h(Qubit::new(0)).cx(Qubit::new(0), Qubit::new(1));
+/// let r = ResourceSummary::of_circuit(&c);
+/// assert_eq!(r.qubits, 2);
+/// assert_eq!(r.gates, 2);
+/// assert_eq!(r.depth, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSummary {
+    /// Qubit wires.
+    pub qubits: usize,
+    /// Classical bits.
+    pub clbits: usize,
+    /// Non-barrier instructions (measure/reset included).
+    pub gates: usize,
+    /// Unconditioned unitary gates.
+    pub unitary_gates: usize,
+    /// Measurements.
+    pub measures: usize,
+    /// Active resets.
+    pub resets: usize,
+    /// Classically controlled gates.
+    pub conditioned: usize,
+    /// Depth with measure/reset/conditioned ops occupying layers.
+    pub depth: usize,
+    /// Iterations, for dynamic circuits.
+    pub iterations: Option<usize>,
+}
+
+impl ResourceSummary {
+    /// Summarizes an arbitrary circuit.
+    #[must_use]
+    pub fn of_circuit(circuit: &Circuit) -> Self {
+        let s = CircuitStats::of(circuit);
+        Self {
+            qubits: s.num_qubits,
+            clbits: s.num_clbits,
+            gates: s.gate_count,
+            unitary_gates: s.unitary_count,
+            measures: s.measure_count,
+            resets: s.reset_count,
+            conditioned: s.conditioned_count,
+            depth: s.depth,
+            iterations: None,
+        }
+    }
+
+    /// Summarizes a dynamic circuit, recording its iteration count.
+    #[must_use]
+    pub fn of_dynamic(dynamic: &DynamicCircuit) -> Self {
+        let mut s = Self::of_circuit(dynamic.circuit());
+        s.iterations = Some(dynamic.num_iterations());
+        s
+    }
+
+    /// Gate count excluding measurements — the counting convention that
+    /// best matches the paper's published tables (their dynamic gate counts
+    /// include resets but not measurements).
+    #[must_use]
+    pub fn gates_excluding_measures(&self) -> usize {
+        self.gates - self.measures
+    }
+}
+
+impl fmt::Display for ResourceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "qubits={} gates={} depth={}",
+            self.qubits, self.gates, self.depth
+        )?;
+        if let Some(it) = self.iterations {
+            write!(f, " iterations={it}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A traditional-vs-dynamic cost comparison for one benchmark (one row of
+/// the paper's tables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostComparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Traditional realization.
+    pub traditional: ResourceSummary,
+    /// Dynamic realizations, labelled (e.g. "dynamic-1").
+    pub dynamic: Vec<(String, ResourceSummary)>,
+}
+
+impl CostComparison {
+    /// Creates a comparison with no dynamic entries yet.
+    #[must_use]
+    pub fn new(name: impl Into<String>, traditional: ResourceSummary) -> Self {
+        Self {
+            name: name.into(),
+            traditional,
+            dynamic: Vec::new(),
+        }
+    }
+
+    /// Adds a labelled dynamic realization.
+    pub fn push_dynamic(&mut self, label: impl Into<String>, summary: ResourceSummary) {
+        self.dynamic.push((label.into(), summary));
+    }
+
+    /// Qubit saving of the first dynamic realization (`tradi - dyn`).
+    #[must_use]
+    pub fn qubit_saving(&self) -> Option<usize> {
+        self.dynamic
+            .first()
+            .map(|(_, d)| self.traditional.qubits.saturating_sub(d.qubits))
+    }
+
+    /// Depth overhead ratio of a labelled dynamic realization.
+    #[must_use]
+    pub fn depth_overhead(&self, label: &str) -> Option<f64> {
+        self.dynamic
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, d)| d.depth as f64 / self.traditional.depth.max(1) as f64)
+    }
+}
+
+impl fmt::Display for CostComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: tradi[{}]", self.name, self.traditional)?;
+        for (label, d) in &self.dynamic {
+            write!(f, " {label}[{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roles::QubitRoles;
+    use crate::transform::{transform, TransformOptions};
+    use qcir::Qubit;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3, 0);
+        c.x(q(2)).h(q(2));
+        c.h(q(0)).cx(q(0), q(2)).h(q(0));
+        c.h(q(1)).cx(q(1), q(2)).h(q(1));
+        c
+    }
+
+    #[test]
+    fn summaries_capture_dynamic_costs() {
+        let circ = sample_circuit();
+        let roles = QubitRoles::data_plus_answer(3);
+        let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+        let tradi = ResourceSummary::of_circuit(&circ);
+        let dyna = ResourceSummary::of_dynamic(&d);
+        assert_eq!(tradi.qubits, 3);
+        assert_eq!(dyna.qubits, 2);
+        assert_eq!(dyna.iterations, Some(2));
+        assert_eq!(dyna.measures, 2);
+        assert_eq!(dyna.resets, 1);
+        assert!(dyna.gates > tradi.gates);
+        assert!(dyna.depth > tradi.depth);
+    }
+
+    #[test]
+    fn gates_excluding_measures_subtracts() {
+        let circ = sample_circuit();
+        let roles = QubitRoles::data_plus_answer(3);
+        let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+        let dyna = ResourceSummary::of_dynamic(&d);
+        assert_eq!(dyna.gates_excluding_measures(), dyna.gates - 2);
+    }
+
+    #[test]
+    fn comparison_computes_savings_and_overheads() {
+        let circ = sample_circuit();
+        let roles = QubitRoles::data_plus_answer(3);
+        let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+        let mut cmp = CostComparison::new("bv_11", ResourceSummary::of_circuit(&circ));
+        cmp.push_dynamic("dynamic", ResourceSummary::of_dynamic(&d));
+        assert_eq!(cmp.qubit_saving(), Some(1));
+        let overhead = cmp.depth_overhead("dynamic").unwrap();
+        assert!(overhead > 1.0);
+        assert!(cmp.depth_overhead("nope").is_none());
+        let text = cmp.to_string();
+        assert!(text.contains("bv_11"));
+        assert!(text.contains("dynamic["));
+    }
+
+    #[test]
+    fn display_mentions_iterations_for_dynamic() {
+        let circ = sample_circuit();
+        let roles = QubitRoles::data_plus_answer(3);
+        let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+        let text = ResourceSummary::of_dynamic(&d).to_string();
+        assert!(text.contains("iterations=2"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Errors raised by the dynamic-circuit transformation.
+
+use qcir::Qubit;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from role assignment, reordering or the transformation itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DqcError {
+    /// The role partition does not cover the circuit's qubits exactly once.
+    InvalidRoles {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// The data/ancilla interaction graph is cyclic, so no iteration order
+    /// satisfies the paper's Case 2 (controls before targets).
+    CyclicDependency {
+        /// Work qubits involved in the unresolved cycle.
+        qubits: Vec<Qubit>,
+    },
+    /// The input circuit contains an operation the transformation cannot
+    /// realize dynamically (e.g. a swap between two data qubits, a gate
+    /// targeting an already-measured data qubit, or a non-unitary input op).
+    Unrealizable {
+        /// Rendering of the offending instruction.
+        what: String,
+        /// Why it cannot be realized.
+        reason: String,
+    },
+    /// Internal scheduling failure: gates remained untransformed after all
+    /// iterations (indicates an unsupported dependency pattern).
+    Incomplete {
+        /// Number of instructions left untransformed.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DqcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DqcError::InvalidRoles { reason } => write!(f, "invalid qubit roles: {reason}"),
+            DqcError::CyclicDependency { qubits } => {
+                write!(f, "cyclic data-qubit dependency among ")?;
+                for (i, q) in qubits.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{q}")?;
+                }
+                Ok(())
+            }
+            DqcError::Unrealizable { what, reason } => {
+                write!(f, "cannot realize dynamically: {what} ({reason})")
+            }
+            DqcError::Incomplete { remaining } => {
+                write!(f, "transformation left {remaining} instruction(s) unscheduled")
+            }
+        }
+    }
+}
+
+impl Error for DqcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DqcError::InvalidRoles {
+            reason: "qubit q1 unassigned".into(),
+        };
+        assert!(e.to_string().contains("q1"));
+
+        let e = DqcError::CyclicDependency {
+            qubits: vec![Qubit::new(0), Qubit::new(2)],
+        };
+        assert_eq!(e.to_string(), "cyclic data-qubit dependency among q0, q2");
+
+        let e = DqcError::Unrealizable {
+            what: "swap q0 q1".into(),
+            reason: "swap between data qubits".into(),
+        };
+        assert!(e.to_string().contains("swap"));
+
+        let e = DqcError::Incomplete { remaining: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DqcError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! # dqc — dynamic quantum circuit transformation for Toffoli networks
+//!
+//! A Rust implementation of Kole, Deb, Datta and Drechsler, *"Extending the
+//! Design Space of Dynamic Quantum Circuits for Toffoli based Network"*
+//! (DATE 2023): a general algorithm that transforms an `n`-qubit traditional
+//! quantum circuit into a **dynamic quantum circuit** using one physical
+//! data qubit plus the answer qubits, by replaying each data qubit in its
+//! own iteration (reset → gates → mid-circuit measurement) and replacing
+//! interactions between data qubits with classically controlled gates.
+//!
+//! Toffoli gates get two dynamic realizations, differing in accuracy and
+//! cost:
+//!
+//! * [`DynamicScheme::Dynamic1`] — Barenco CV-chain decomposition (paper
+//!   Eqn 2): fewer operations, but the classically controlled `CX` between
+//!   the Toffoli's controls is conditioned on a measurement taken in the
+//!   wrong basis, which costs accuracy;
+//! * [`DynamicScheme::Dynamic2`] — ancilla-unrolled CV decomposition (paper
+//!   Eqn 4, with Lemma 1's ancilla sharing): one extra iteration and two
+//!   extra classically controlled `X` per Toffoli buy back the accuracy.
+//!
+//! # Examples
+//!
+//! Transform the Deutsch-Jozsa AND circuit and check the accuracy claim:
+//!
+//! ```
+//! use dqc::{transform_with_scheme, verify, DynamicScheme, QubitRoles, TransformOptions};
+//! use qcir::{Circuit, Qubit};
+//!
+//! let q = Qubit::new;
+//! let mut dj_and = Circuit::new(3, 0);
+//! dj_and.x(q(2)).h(q(2));
+//! dj_and.h(q(0)).h(q(1));
+//! dj_and.ccx(q(0), q(1), q(2));
+//! dj_and.h(q(0)).h(q(1));
+//!
+//! let roles = QubitRoles::data_plus_answer(3);
+//! let opts = TransformOptions::default();
+//! let d1 = transform_with_scheme(&dj_and, &roles, DynamicScheme::Dynamic1, &opts)?;
+//! let d2 = transform_with_scheme(&dj_and, &roles, DynamicScheme::Dynamic2, &opts)?;
+//!
+//! let r1 = verify::compare(&dj_and, &roles, &d1);
+//! let r2 = verify::compare(&dj_and, &roles, &d2);
+//! assert!(r2.tvd < r1.tvd); // dynamic-2 is more accurate
+//! assert!(r2.equivalent(1e-10)); // in fact exact for a single Toffoli
+//! # Ok::<(), dqc::DqcError>(())
+//! ```
+
+pub mod analysis;
+mod cost;
+mod error;
+mod pipeline;
+mod reorder;
+mod roles;
+mod scheme;
+mod transform;
+pub mod verify;
+
+pub use analysis::{analyze, Conflict, DqcAnalysis, Exactness};
+pub use cost::{CostComparison, ResourceSummary};
+pub use error::DqcError;
+pub use pipeline::{Pipeline, PipelineResult};
+pub use reorder::reorder_work_qubits;
+pub use roles::{QubitRoles, Role};
+pub use scheme::{transform_with_scheme, DynamicScheme};
+pub use transform::{transform, DynamicCircuit, IterationInfo, TransformOptions};

@@ -1,0 +1,240 @@
+//! One-stop pipeline: transform, verify and account in a single call.
+//!
+//! [`Pipeline`] bundles the scheme choice, transformation options and
+//! verification into the call shape most users want: give it a traditional
+//! circuit and a role partition, get back the dynamic circuit together with
+//! its equivalence report and resource comparison.
+
+use crate::cost::ResourceSummary;
+use crate::error::DqcError;
+use crate::roles::QubitRoles;
+use crate::scheme::{transform_with_scheme, DynamicScheme};
+use crate::transform::{DynamicCircuit, TransformOptions};
+use crate::verify::{self, EquivalenceReport};
+use qcir::Circuit;
+use std::fmt;
+
+/// A configured transform-verify-account pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use dqc::{Pipeline, DynamicScheme, QubitRoles};
+/// use qcir::{Circuit, Qubit};
+///
+/// let q = Qubit::new;
+/// let mut circ = Circuit::new(3, 0);
+/// circ.x(q(2)).h(q(2));
+/// circ.h(q(0)).h(q(1));
+/// circ.ccx(q(0), q(1), q(2));
+/// circ.h(q(0)).h(q(1));
+///
+/// let result = Pipeline::new()
+///     .scheme(DynamicScheme::Dynamic2)
+///     .run(&circ, &QubitRoles::data_plus_answer(3))?;
+/// assert!(result.report.equivalent(1e-10));
+/// assert_eq!(result.dynamic.circuit().num_qubits(), 2);
+/// # Ok::<(), dqc::DqcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    scheme: DynamicScheme,
+    options: TransformOptions,
+    compare_answers: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// A pipeline using [`DynamicScheme::Dynamic2`] (the paper's accurate
+    /// scheme) and default options.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            scheme: DynamicScheme::Dynamic2,
+            options: TransformOptions::default(),
+            compare_answers: false,
+        }
+    }
+
+    /// Selects the Toffoli realization scheme.
+    #[must_use]
+    pub fn scheme(mut self, scheme: DynamicScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Overrides the transformation options.
+    #[must_use]
+    pub fn options(mut self, options: TransformOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Also measures the answer qubits when verifying (for algorithms whose
+    /// output lives on answer qubits).
+    #[must_use]
+    pub fn compare_answers(mut self, yes: bool) -> Self {
+        self.compare_answers = yes;
+        self
+    }
+
+    /// Runs the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every error of
+    /// [`transform_with_scheme`](crate::transform_with_scheme).
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        roles: &QubitRoles,
+    ) -> Result<PipelineResult, DqcError> {
+        let dynamic = transform_with_scheme(circuit, roles, self.scheme, &self.options)?;
+        let report = if self.compare_answers {
+            verify::compare_with_answers(circuit, roles, &dynamic)
+        } else {
+            verify::compare(circuit, roles, &dynamic)
+        };
+        let traditional = ResourceSummary::of_circuit(circuit);
+        let resources = ResourceSummary::of_dynamic(&dynamic);
+        Ok(PipelineResult {
+            scheme: self.scheme,
+            dynamic,
+            report,
+            traditional,
+            resources,
+        })
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The scheme that was used.
+    pub scheme: DynamicScheme,
+    /// The dynamic realization.
+    pub dynamic: DynamicCircuit,
+    /// Exact equivalence report against the traditional circuit.
+    pub report: EquivalenceReport,
+    /// Resource summary of the traditional circuit.
+    pub traditional: ResourceSummary,
+    /// Resource summary of the dynamic circuit.
+    pub resources: ResourceSummary,
+}
+
+impl PipelineResult {
+    /// Qubits saved by the dynamic realization.
+    #[must_use]
+    pub fn qubit_saving(&self) -> usize {
+        self.traditional.qubits.saturating_sub(self.resources.qubits)
+    }
+
+    /// Depth overhead factor of the dynamic realization.
+    #[must_use]
+    pub fn depth_overhead(&self) -> f64 {
+        self.resources.depth as f64 / self.traditional.depth.max(1) as f64
+    }
+}
+
+impl fmt::Display for PipelineResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} qubits, depth x{:.2}, {} iterations, tvd {:.4}",
+            self.scheme,
+            self.traditional.qubits,
+            self.resources.qubits,
+            self.depth_overhead(),
+            self.resources.iterations.unwrap_or(0),
+            self.report.tvd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Qubit;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn dj_and() -> Circuit {
+        let mut c = Circuit::new(3, 0);
+        c.x(q(2)).h(q(2));
+        c.h(q(0)).h(q(1));
+        c.ccx(q(0), q(1), q(2));
+        c.h(q(0)).h(q(1));
+        c
+    }
+
+    #[test]
+    fn default_pipeline_uses_dynamic2() {
+        let result = Pipeline::new()
+            .run(&dj_and(), &QubitRoles::data_plus_answer(3))
+            .unwrap();
+        assert_eq!(result.scheme, DynamicScheme::Dynamic2);
+        assert!(result.report.equivalent(1e-10));
+        assert_eq!(result.qubit_saving(), 1);
+        assert!(result.depth_overhead() > 1.0);
+    }
+
+    #[test]
+    fn scheme_override_changes_accuracy() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let d1 = Pipeline::new()
+            .scheme(DynamicScheme::Dynamic1)
+            .run(&dj_and(), &roles)
+            .unwrap();
+        assert!(d1.report.tvd > 0.2);
+    }
+
+    #[test]
+    fn options_are_forwarded() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let result = Pipeline::new()
+            .options(TransformOptions {
+                reset_first_iteration: true,
+                ..TransformOptions::default()
+            })
+            .run(&dj_and(), &roles)
+            .unwrap();
+        assert_eq!(result.resources.resets, 3); // 3 iterations, all reset
+    }
+
+    #[test]
+    fn answer_comparison_extends_keys() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let result = Pipeline::new()
+            .compare_answers(true)
+            .run(&dj_and(), &roles)
+            .unwrap();
+        assert_eq!(result.report.expected_outcome.len(), 3);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut cyclic = Circuit::new(3, 0);
+        cyclic.cx(q(0), q(1)).cx(q(1), q(0));
+        let err = Pipeline::new()
+            .run(&cyclic, &QubitRoles::data_plus_answer(3))
+            .unwrap_err();
+        assert!(matches!(err, DqcError::CyclicDependency { .. }));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let result = Pipeline::new()
+            .run(&dj_and(), &QubitRoles::data_plus_answer(3))
+            .unwrap();
+        let text = result.to_string();
+        assert!(text.contains("dynamic-2"));
+        assert!(text.contains("tvd"));
+    }
+}

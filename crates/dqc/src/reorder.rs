@@ -1,0 +1,239 @@
+//! Case-2 work-qubit ordering.
+//!
+//! When a gate couples two work qubits (its control on one, its target on
+//! another), the control qubit's iteration must come first so that its
+//! measured value is available to classically control the target-side
+//! replay (the paper's Case 2). This module builds that dependency relation
+//! and produces a stable topological order of the work qubits.
+
+use crate::error::DqcError;
+use crate::roles::{QubitRoles, Role};
+use qcir::{Circuit, Gate, OpKind, Qubit};
+
+/// Computes the iteration order of the work qubits (data and ancilla).
+///
+/// Ordering constraints: for every gate with a control on work qubit `u` and
+/// its target on work qubit `v != u`, `u` must appear before `v`. Among
+/// unconstrained qubits the original `data ++ ancilla` order is kept
+/// (stable Kahn's algorithm, smallest original position first).
+///
+/// # Errors
+///
+/// * [`DqcError::CyclicDependency`] when no valid order exists (e.g.
+///   `CX(a,b)` followed by `CX(b,a)` on data qubits).
+/// * [`DqcError::Unrealizable`] for work-qubit couplings without a
+///   control/target structure (a swap between work qubits).
+///
+/// # Examples
+///
+/// ```
+/// use dqc::{reorder_work_qubits, QubitRoles};
+/// use qcir::{Circuit, Qubit};
+///
+/// // CX with control q1 and target q0 forces q1's iteration first.
+/// let mut c = Circuit::new(3, 0);
+/// c.cx(Qubit::new(1), Qubit::new(0));
+/// let roles = QubitRoles::data_plus_answer(3);
+/// let order = reorder_work_qubits(&c, &roles).unwrap();
+/// assert_eq!(order, vec![Qubit::new(1), Qubit::new(0)]);
+/// ```
+pub fn reorder_work_qubits(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+) -> Result<Vec<Qubit>, DqcError> {
+    let work = roles.work_qubits();
+    let pos_of = |q: Qubit| work.iter().position(|&w| w == q);
+    let n = work.len();
+    // adjacency[u] contains v when u must precede v.
+    let mut succ = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+
+    for inst in circuit.iter() {
+        let OpKind::Gate(g) = inst.kind() else {
+            continue;
+        };
+        let qubits = inst.qubits();
+        let n_ctrl = g.num_controls();
+        let work_operands: Vec<Qubit> = qubits
+            .iter()
+            .copied()
+            .filter(|&q| !matches!(roles.role_of(q), Some(Role::Answer)))
+            .collect();
+        if work_operands.len() <= 1 {
+            continue;
+        }
+        // Multiple work operands: only controlled gates with exactly one
+        // target can be split (controls classicalized, target replayed).
+        if n_ctrl == 0 || matches!(g, Gate::Swap) {
+            return Err(DqcError::Unrealizable {
+                what: inst.to_string(),
+                reason: "couples work qubits without a control/target structure".into(),
+            });
+        }
+        let target = qubits[qubits.len() - 1];
+        if matches!(roles.role_of(target), Some(Role::Answer)) {
+            // All work operands are controls: no mutual ordering implied.
+            continue;
+        }
+        let Some(t) = pos_of(target) else {
+            continue;
+        };
+        for &c in &qubits[..n_ctrl] {
+            if matches!(roles.role_of(c), Some(Role::Answer)) {
+                continue;
+            }
+            if let Some(u) = pos_of(c) {
+                if u != t && !succ[u].contains(&t) {
+                    succ[u].push(t);
+                    indegree[t] += 1;
+                }
+            }
+        }
+    }
+
+    // Stable Kahn: always pick the ready qubit with the smallest original
+    // position, preserving the paper's data-register order when possible.
+    let mut order = Vec::with_capacity(n);
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    while let Some(&next) = ready.iter().min() {
+        ready.retain(|&i| i != next);
+        order.push(work[next]);
+        for &v in &succ[next] {
+            indegree[v] -= 1;
+            if indegree[v] == 0 {
+                ready.push(v);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck: Vec<Qubit> = (0..n)
+            .filter(|&i| indegree[i] > 0)
+            .map(|i| work[i])
+            .collect();
+        return Err(DqcError::CyclicDependency { qubits: stuck });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn independent_qubits_keep_register_order() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(q(0), q(2)).cx(q(1), q(2));
+        let roles = QubitRoles::data_plus_answer(3);
+        assert_eq!(
+            reorder_work_qubits(&c, &roles).unwrap(),
+            vec![q(0), q(1)]
+        );
+    }
+
+    #[test]
+    fn control_precedes_target() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(q(1), q(0));
+        let roles = QubitRoles::data_plus_answer(3);
+        assert_eq!(
+            reorder_work_qubits(&c, &roles).unwrap(),
+            vec![q(1), q(0)]
+        );
+    }
+
+    #[test]
+    fn chain_of_dependencies_orders_transitively() {
+        let mut c = Circuit::new(4, 0);
+        c.cx(q(2), q(1)).cx(q(1), q(0));
+        let roles = QubitRoles::data_plus_answer(4);
+        assert_eq!(
+            reorder_work_qubits(&c, &roles).unwrap(),
+            vec![q(2), q(1), q(0)]
+        );
+    }
+
+    #[test]
+    fn ancillas_come_after_their_writers() {
+        // CX(d0, a), CX(d1, a): ancilla last (the dynamic-2 pattern).
+        let mut c = Circuit::new(4, 0);
+        c.cx(q(0), q(3)).cx(q(1), q(3));
+        let roles = QubitRoles::new(vec![q(0), q(1)], vec![q(3)], vec![q(2)]);
+        assert_eq!(
+            reorder_work_qubits(&c, &roles).unwrap(),
+            vec![q(0), q(1), q(3)]
+        );
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(q(0), q(1)).cx(q(1), q(0));
+        let roles = QubitRoles::data_plus_answer(3);
+        let err = reorder_work_qubits(&c, &roles).unwrap_err();
+        assert!(matches!(err, DqcError::CyclicDependency { .. }));
+    }
+
+    #[test]
+    fn swap_between_work_qubits_is_unrealizable() {
+        let mut c = Circuit::new(3, 0);
+        c.swap(q(0), q(1));
+        let roles = QubitRoles::data_plus_answer(3);
+        assert!(matches!(
+            reorder_work_qubits(&c, &roles).unwrap_err(),
+            DqcError::Unrealizable { .. }
+        ));
+    }
+
+    #[test]
+    fn swap_touching_answer_is_allowed() {
+        let mut c = Circuit::new(3, 0);
+        c.swap(q(0), q(2));
+        let roles = QubitRoles::data_plus_answer(3);
+        // q0-answer swap has only one work operand; no ordering constraint.
+        assert!(reorder_work_qubits(&c, &roles).is_ok());
+    }
+
+    #[test]
+    fn toffoli_controls_precede_work_target() {
+        let mut c = Circuit::new(4, 0);
+        c.ccx(q(1), q(2), q(0));
+        let roles = QubitRoles::data_plus_answer(4);
+        let order = reorder_work_qubits(&c, &roles).unwrap();
+        let pos = |x: Qubit| order.iter().position(|&w| w == x).unwrap();
+        assert!(pos(q(1)) < pos(q(0)));
+        assert!(pos(q(2)) < pos(q(0)));
+    }
+
+    #[test]
+    fn toffoli_on_answer_target_imposes_no_order() {
+        let mut c = Circuit::new(3, 0);
+        c.ccx(q(0), q(1), q(2));
+        let roles = QubitRoles::data_plus_answer(3);
+        assert_eq!(
+            reorder_work_qubits(&c, &roles).unwrap(),
+            vec![q(0), q(1)]
+        );
+    }
+
+    #[test]
+    fn gates_on_answer_qubits_are_ignored() {
+        let mut c = Circuit::new(4, 0);
+        c.swap(q(2), q(3)); // both answers
+        let roles = QubitRoles::new(vec![q(0), q(1)], vec![], vec![q(2), q(3)]);
+        assert!(reorder_work_qubits(&c, &roles).is_ok());
+    }
+
+    #[test]
+    fn measurement_free_requirement_not_enforced_here() {
+        // Non-gate instructions are skipped by the reorder pass; the
+        // transform itself rejects them.
+        let mut c = Circuit::new(2, 1);
+        c.measure(q(0), qcir::Clbit::new(0));
+        let roles = QubitRoles::data_plus_answer(2);
+        assert!(reorder_work_qubits(&c, &roles).is_ok());
+    }
+}

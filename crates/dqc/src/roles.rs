@@ -1,0 +1,259 @@
+//! Qubit role assignment: data, ancilla and answer qubits.
+//!
+//! The paper's Algorithm 1 takes the qubit partition as an input: *data*
+//! qubits carry the algorithm's input register (each becomes one iteration
+//! of the dynamic circuit and one classical result bit), *ancilla* qubits
+//! are scratch work qubits (they also become iterations, but are never
+//! measured), and *answer* qubits survive as physical qubits of the dynamic
+//! circuit.
+
+use crate::error::DqcError;
+use qcir::{Circuit, Qubit};
+
+/// The role a qubit plays in the dynamic transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Input-register qubit: replayed on the single physical data qubit and
+    /// measured into the classical result register.
+    Data,
+    /// Clean scratch qubit: replayed on the physical data qubit, never
+    /// measured.
+    Ancilla,
+    /// Output qubit: kept as a physical qubit of the dynamic circuit.
+    Answer,
+}
+
+/// A complete role partition of a circuit's qubits.
+///
+/// # Examples
+///
+/// ```
+/// use dqc::{QubitRoles, Role};
+/// use qcir::Qubit;
+///
+/// let roles = QubitRoles::new(
+///     vec![Qubit::new(0), Qubit::new(1)], // data
+///     vec![],                              // ancilla
+///     vec![Qubit::new(2)],                 // answer
+/// );
+/// assert_eq!(roles.role_of(Qubit::new(0)), Some(Role::Data));
+/// assert_eq!(roles.num_qubits(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QubitRoles {
+    data: Vec<Qubit>,
+    ancilla: Vec<Qubit>,
+    answer: Vec<Qubit>,
+}
+
+impl QubitRoles {
+    /// Creates a role partition from explicit lists.
+    #[must_use]
+    pub fn new(data: Vec<Qubit>, ancilla: Vec<Qubit>, answer: Vec<Qubit>) -> Self {
+        Self {
+            data,
+            ancilla,
+            answer,
+        }
+    }
+
+    /// The common benchmark layout: qubits `0..n-1` are data, qubit `n-1`
+    /// is the answer (no ancillas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0`.
+    #[must_use]
+    pub fn data_plus_answer(num_qubits: usize) -> Self {
+        assert!(num_qubits > 0, "need at least one qubit");
+        Self::new(
+            (0..num_qubits - 1).map(Qubit::new).collect(),
+            Vec::new(),
+            vec![Qubit::new(num_qubits - 1)],
+        )
+    }
+
+    /// Data qubits, in register order (this order fixes the classical
+    /// result-bit layout of the dynamic circuit).
+    #[must_use]
+    pub fn data(&self) -> &[Qubit] {
+        &self.data
+    }
+
+    /// Ancilla qubits.
+    #[must_use]
+    pub fn ancilla(&self) -> &[Qubit] {
+        &self.ancilla
+    }
+
+    /// Answer qubits, in register order.
+    #[must_use]
+    pub fn answer(&self) -> &[Qubit] {
+        &self.answer
+    }
+
+    /// Total number of qubits across all roles.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.data.len() + self.ancilla.len() + self.answer.len()
+    }
+
+    /// The role of `qubit`, or `None` when unassigned.
+    #[must_use]
+    pub fn role_of(&self, qubit: Qubit) -> Option<Role> {
+        if self.data.contains(&qubit) {
+            Some(Role::Data)
+        } else if self.ancilla.contains(&qubit) {
+            Some(Role::Ancilla)
+        } else if self.answer.contains(&qubit) {
+            Some(Role::Answer)
+        } else {
+            None
+        }
+    }
+
+    /// The work qubits (data then ancilla) before Case-2 reordering.
+    #[must_use]
+    pub fn work_qubits(&self) -> Vec<Qubit> {
+        self.data.iter().chain(&self.ancilla).copied().collect()
+    }
+
+    /// Position of a data qubit in the data register (its classical bit).
+    #[must_use]
+    pub fn data_index(&self, qubit: Qubit) -> Option<usize> {
+        self.data.iter().position(|&q| q == qubit)
+    }
+
+    /// Position of an answer qubit in the answer register.
+    #[must_use]
+    pub fn answer_index(&self, qubit: Qubit) -> Option<usize> {
+        self.answer.iter().position(|&q| q == qubit)
+    }
+
+    /// Returns a copy with one more ancilla appended (used when a Toffoli
+    /// decomposition introduces a shared ancilla wire).
+    #[must_use]
+    pub fn with_extra_ancilla(&self, qubit: Qubit) -> Self {
+        let mut out = self.clone();
+        out.ancilla.push(qubit);
+        out
+    }
+
+    /// Validates the partition against a circuit: every circuit qubit has
+    /// exactly one role and no role references a missing wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DqcError::InvalidRoles`] describing the first defect found.
+    pub fn validate(&self, circuit: &Circuit) -> Result<(), DqcError> {
+        let n = circuit.num_qubits();
+        let mut seen = vec![0usize; n];
+        for q in self.data.iter().chain(&self.ancilla).chain(&self.answer) {
+            if q.index() >= n {
+                return Err(DqcError::InvalidRoles {
+                    reason: format!("{q} does not exist in a {n}-qubit circuit"),
+                });
+            }
+            seen[q.index()] += 1;
+            if seen[q.index()] > 1 {
+                return Err(DqcError::InvalidRoles {
+                    reason: format!("{q} assigned more than one role"),
+                });
+            }
+        }
+        if let Some(idx) = seen.iter().position(|&c| c == 0) {
+            return Err(DqcError::InvalidRoles {
+                reason: format!("q{idx} has no role"),
+            });
+        }
+        if self.answer.is_empty() {
+            return Err(DqcError::InvalidRoles {
+                reason: "at least one answer qubit is required".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn data_plus_answer_layout() {
+        let roles = QubitRoles::data_plus_answer(3);
+        assert_eq!(roles.data(), &[q(0), q(1)]);
+        assert_eq!(roles.answer(), &[q(2)]);
+        assert!(roles.ancilla().is_empty());
+        assert_eq!(roles.num_qubits(), 3);
+    }
+
+    #[test]
+    fn role_lookup() {
+        let roles = QubitRoles::new(vec![q(0)], vec![q(1)], vec![q(2)]);
+        assert_eq!(roles.role_of(q(0)), Some(Role::Data));
+        assert_eq!(roles.role_of(q(1)), Some(Role::Ancilla));
+        assert_eq!(roles.role_of(q(2)), Some(Role::Answer));
+        assert_eq!(roles.role_of(q(3)), None);
+    }
+
+    #[test]
+    fn indices_follow_register_order() {
+        let roles = QubitRoles::new(vec![q(2), q(0)], vec![], vec![q(1), q(3)]);
+        assert_eq!(roles.data_index(q(2)), Some(0));
+        assert_eq!(roles.data_index(q(0)), Some(1));
+        assert_eq!(roles.answer_index(q(3)), Some(1));
+        assert_eq!(roles.data_index(q(1)), None);
+    }
+
+    #[test]
+    fn work_qubits_are_data_then_ancilla() {
+        let roles = QubitRoles::new(vec![q(0), q(1)], vec![q(3)], vec![q(2)]);
+        assert_eq!(roles.work_qubits(), vec![q(0), q(1), q(3)]);
+    }
+
+    #[test]
+    fn with_extra_ancilla_appends() {
+        let roles = QubitRoles::data_plus_answer(3).with_extra_ancilla(q(3));
+        assert_eq!(roles.ancilla(), &[q(3)]);
+    }
+
+    #[test]
+    fn validation_accepts_exact_partition() {
+        let c = Circuit::new(3, 0);
+        assert!(QubitRoles::data_plus_answer(3).validate(&c).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_missing_qubit() {
+        let c = Circuit::new(3, 0);
+        let roles = QubitRoles::new(vec![q(0)], vec![], vec![q(2)]);
+        let err = roles.validate(&c).unwrap_err();
+        assert!(err.to_string().contains("q1 has no role"));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_role() {
+        let c = Circuit::new(2, 0);
+        let roles = QubitRoles::new(vec![q(0), q(0)], vec![], vec![q(1)]);
+        assert!(roles.validate(&c).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        let c = Circuit::new(2, 0);
+        let roles = QubitRoles::new(vec![q(0)], vec![], vec![q(5)]);
+        assert!(roles.validate(&c).is_err());
+    }
+
+    #[test]
+    fn validation_requires_an_answer() {
+        let c = Circuit::new(2, 0);
+        let roles = QubitRoles::new(vec![q(0), q(1)], vec![], vec![]);
+        assert!(roles.validate(&c).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Property-based tests of the dynamic transformation.
+//!
+//! Strategy: generate random *phase-oracle* circuits (the structure BV/DJ
+//! oracles share: data-qubit preparation, controlled X-power gates onto the
+//! answer, data-qubit closing gates). For this family the transformation
+//! must be exactly functionally equivalent, so each random instance checks
+//! the full pipeline end to end.
+
+use proptest::prelude::*;
+use dqc::{
+    transform, transform_with_scheme, verify, DynamicScheme, QubitRoles, TransformOptions,
+};
+use qcir::{Circuit, CircuitStats, Gate, Qubit};
+
+/// An oracle term: which data qubits control which X-power on the answer.
+#[derive(Debug, Clone)]
+enum Term {
+    /// `CX(data, answer)`.
+    Cx(usize),
+    /// `CV(data, answer)` / `CV†(data, answer)`.
+    Cv(usize, bool),
+    /// `CCX(data_a, data_b, answer)` (a Toffoli term).
+    Ccx(usize, usize),
+}
+
+fn arb_term(n_data: usize) -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..n_data).prop_map(Term::Cx),
+        (0..n_data, any::<bool>()).prop_map(|(d, dg)| Term::Cv(d, dg)),
+        (0..n_data, 0..n_data.max(2) - 1).prop_map(move |(a, b)| {
+            let b = if b >= a { b + 1 } else { b };
+            Term::Ccx(a, b.min(n_data - 1))
+        }),
+    ]
+}
+
+/// Builds a DJ-style circuit from oracle terms over `n_data` data qubits.
+fn build_oracle_circuit(n_data: usize, terms: &[Term], toffoli_free: bool) -> Circuit {
+    let ans = Qubit::new(n_data);
+    let mut c = Circuit::new(n_data + 1, 0);
+    c.x(ans).h(ans);
+    for d in 0..n_data {
+        c.h(Qubit::new(d));
+    }
+    for t in terms {
+        match *t {
+            Term::Cx(d) => {
+                c.cx(Qubit::new(d), ans);
+            }
+            Term::Cv(d, false) => {
+                c.cv(Qubit::new(d), ans);
+            }
+            Term::Cv(d, true) => {
+                c.cvdg(Qubit::new(d), ans);
+            }
+            Term::Ccx(a, b) => {
+                if toffoli_free || a == b {
+                    c.cx(Qubit::new(a), ans);
+                } else {
+                    c.ccx(Qubit::new(a), Qubit::new(b), ans);
+                }
+            }
+        }
+    }
+    for d in 0..n_data {
+        c.h(Qubit::new(d));
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Toffoli-free phase oracles transform exactly (the paper's Table I
+    /// equivalence claim, generalized to random instances).
+    #[test]
+    fn toffoli_free_oracles_are_exactly_equivalent(
+        n_data in 1usize..4,
+        terms in proptest::collection::vec(arb_term(3), 0..8),
+    ) {
+        let circ = build_oracle_circuit(n_data, &terms_clamped(&terms, n_data), true);
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+        let report = verify::compare(&circ, &roles, &d);
+        prop_assert!(report.equivalent(1e-9), "{report}");
+    }
+
+    /// The dynamic circuit always uses exactly 2 physical qubits... i.e.
+    /// 1 + number of answer qubits, with one classical bit per data qubit.
+    #[test]
+    fn dynamic_circuits_use_one_data_qubit(
+        n_data in 1usize..4,
+        terms in proptest::collection::vec(arb_term(3), 0..8),
+    ) {
+        let circ = build_oracle_circuit(n_data, &terms_clamped(&terms, n_data), false);
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        for scheme in [DynamicScheme::Dynamic1, DynamicScheme::Dynamic2] {
+            let d = transform_with_scheme(&circ, &roles, scheme, &TransformOptions::default())
+                .unwrap();
+            prop_assert_eq!(d.circuit().num_qubits(), 2);
+            prop_assert_eq!(d.circuit().num_clbits(), n_data);
+            prop_assert_eq!(d.result_bits().len(), n_data);
+        }
+    }
+
+    /// Iteration counts: dynamic-1 has one iteration per data qubit;
+    /// dynamic-2 adds exactly one shared ancilla iteration when Toffolis
+    /// are present (Lemma 1).
+    #[test]
+    fn iteration_counts_follow_lemma_one(
+        n_data in 2usize..4,
+        terms in proptest::collection::vec(arb_term(3), 1..8),
+    ) {
+        let terms = terms_clamped(&terms, n_data);
+        let circ = build_oracle_circuit(n_data, &terms, false);
+        let has_toffoli = circ.iter().any(|i| i.as_gate() == Some(&Gate::Ccx));
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        let opts = TransformOptions::default();
+        let d1 = transform_with_scheme(&circ, &roles, DynamicScheme::Dynamic1, &opts).unwrap();
+        let d2 = transform_with_scheme(&circ, &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        prop_assert_eq!(d1.num_iterations(), n_data);
+        prop_assert_eq!(
+            d2.num_iterations(),
+            n_data + usize::from(has_toffoli)
+        );
+    }
+
+    /// For the paper's benchmark family — at most one Toffoli term —
+    /// dynamic-2 is *exact* and therefore at least as accurate as
+    /// dynamic-1 (the Fig. 7 ordering). This is not a theorem for
+    /// arbitrary Toffoli networks: stacking several Toffolis on the same
+    /// control pair makes the coherent cross-phases matter and dynamic-2
+    /// can then deviate (see EXPERIMENTS.md), so the property is scoped to
+    /// the family the paper evaluates.
+    #[test]
+    fn dynamic2_exact_on_single_toffoli_family(
+        n_data in 2usize..4,
+        terms in proptest::collection::vec(arb_term(3), 1..6),
+    ) {
+        let terms = at_most_one_toffoli(&terms_clamped(&terms, n_data));
+        let circ = build_oracle_circuit(n_data, &terms, false);
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        let opts = TransformOptions::default();
+        let d1 = transform_with_scheme(&circ, &roles, DynamicScheme::Dynamic1, &opts).unwrap();
+        let d2 = transform_with_scheme(&circ, &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        let r1 = verify::compare(&circ, &roles, &d1);
+        let r2 = verify::compare(&circ, &roles, &d2);
+        prop_assert!(r2.equivalent(1e-9), "dynamic-2 not exact: {r2}");
+        prop_assert!(
+            r2.tvd <= r1.tvd + 1e-9,
+            "dynamic-2 tvd {} > dynamic-1 tvd {}",
+            r2.tvd,
+            r1.tvd
+        );
+    }
+
+    /// Resource shape: one measurement per data qubit on both schemes, and
+    /// dynamic-2 spends exactly one more reset when a Toffoli is present
+    /// (its shared ancilla iteration).
+    #[test]
+    fn resource_shape_matches_tables(
+        n_data in 2usize..4,
+        terms in proptest::collection::vec(arb_term(3), 1..8),
+    ) {
+        let terms = terms_clamped(&terms, n_data);
+        let circ = build_oracle_circuit(n_data, &terms, false);
+        let has_toffoli = circ.iter().any(|i| i.as_gate() == Some(&Gate::Ccx));
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        let opts = TransformOptions::default();
+        let d1 = transform_with_scheme(&circ, &roles, DynamicScheme::Dynamic1, &opts).unwrap();
+        let d2 = transform_with_scheme(&circ, &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        let s1 = CircuitStats::of(d1.circuit());
+        let s2 = CircuitStats::of(d2.circuit());
+        prop_assert_eq!(s1.measure_count, n_data);
+        prop_assert_eq!(s2.measure_count, n_data);
+        prop_assert_eq!(s1.reset_count, n_data - 1);
+        prop_assert_eq!(s2.reset_count, n_data - 1 + usize::from(has_toffoli));
+    }
+
+    /// Soundness of the static exactness analysis, on random circuits: an
+    /// `Exact` verdict must imply zero total-variation distance between
+    /// the traditional circuit and its (direct-scheme) dynamic realization.
+    #[test]
+    fn exact_analysis_verdicts_are_sound(
+        n_data in 1usize..4,
+        terms in proptest::collection::vec(arb_term(3), 0..8),
+    ) {
+        let circ = build_oracle_circuit(n_data, &terms_clamped(&terms, n_data), false);
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        let verdict = dqc::analysis::analyze(&circ, &roles).unwrap();
+        let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+        let report = verify::compare(&circ, &roles, &d);
+        if verdict.is_exact() {
+            prop_assert!(
+                report.tvd < 1e-9,
+                "analysis said Exact but tvd = {}",
+                report.tvd
+            );
+        }
+    }
+
+    /// The transformation is deterministic.
+    #[test]
+    fn transformation_is_deterministic(
+        n_data in 1usize..4,
+        terms in proptest::collection::vec(arb_term(3), 0..8),
+    ) {
+        let circ = build_oracle_circuit(n_data, &terms_clamped(&terms, n_data), false);
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        let opts = TransformOptions::default();
+        let a = transform_with_scheme(&circ, &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        let b = transform_with_scheme(&circ, &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        prop_assert_eq!(a.circuit().instructions(), b.circuit().instructions());
+    }
+}
+
+/// Restricts a term list to the paper's benchmark family, where dynamic-2
+/// is exactly equivalent: at most one Toffoli term, and no CV/CV† terms on
+/// the Toffoli's control qubits (an extra quarter-phase on a Toffoli
+/// control interacts non-separably with the Toffoli's own phase and breaks
+/// the product structure the dynamic realization produces). Demoted terms
+/// become plain `CX` terms, whose full phases stay separable.
+fn at_most_one_toffoli(terms: &[Term]) -> Vec<Term> {
+    let toffoli = terms.iter().find_map(|t| match *t {
+        Term::Ccx(a, b) => Some((a, b)),
+        _ => None,
+    });
+    let mut seen = false;
+    terms
+        .iter()
+        .map(|t| match *t {
+            Term::Ccx(a, b) => {
+                if seen {
+                    Term::Cx(a)
+                } else {
+                    seen = true;
+                    Term::Ccx(a, b)
+                }
+            }
+            Term::Cv(d, _) if toffoli.is_some_and(|(a, b)| d == a || d == b) => Term::Cx(d),
+            ref other => other.clone(),
+        })
+        .collect()
+}
+
+/// Clamps term qubit indices into range for the generated data count.
+fn terms_clamped(terms: &[Term], n_data: usize) -> Vec<Term> {
+    terms
+        .iter()
+        .map(|t| match *t {
+            Term::Cx(d) => Term::Cx(d % n_data),
+            Term::Cv(d, dg) => Term::Cv(d % n_data, dg),
+            Term::Ccx(a, b) => {
+                let a = a % n_data;
+                let mut b = b % n_data;
+                if a == b {
+                    b = (b + 1) % n_data;
+                }
+                Term::Ccx(a, b)
+            }
+        })
+        .collect()
+}

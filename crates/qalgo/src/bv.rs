@@ -1,0 +1,155 @@
+//! Bernstein-Vazirani circuits.
+//!
+//! BV finds a hidden string `s` from the oracle `f(x) = s·x (mod 2)` in one
+//! query. The circuit prepares the answer qubit in `|->`, Hadamards the
+//! active data qubits, applies `CX` from each data qubit with `s_i = 1`,
+//! and Hadamards back; the data register then reads `s` deterministically.
+//!
+//! Data qubits with `s_i = 0` receive no gates at all — the `H...H` pair is
+//! the identity — matching the gate counts of the paper's Table I.
+
+use qcir::{Circuit, Qubit};
+
+/// Builds the traditional BV circuit for `hidden` (`hidden[i]` is `s_i`).
+///
+/// Layout: data qubits `0..n`, answer qubit `n`. No measurements are
+/// appended (the paper's table metrics exclude them; simulation helpers add
+/// them as needed).
+///
+/// # Panics
+///
+/// Panics if `hidden` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use qalgo::bv_circuit;
+/// let c = bv_circuit(&[true, true, true]);
+/// assert_eq!(c.num_qubits(), 4);
+/// assert_eq!(c.len(), 11); // X,H prep + 3 x (H, CX, H)
+/// ```
+#[must_use]
+pub fn bv_circuit(hidden: &[bool]) -> Circuit {
+    assert!(!hidden.is_empty(), "hidden string must be non-empty");
+    let n = hidden.len();
+    let ans = Qubit::new(n);
+    let mut c = Circuit::with_name(format!("bv_{}", string_of(hidden)), n + 1, 0);
+    c.x(ans).h(ans);
+    for (i, &bit) in hidden.iter().enumerate() {
+        if bit {
+            let d = Qubit::new(i);
+            c.h(d).cx(d, ans).h(d);
+        }
+    }
+    c
+}
+
+/// Renders a hidden string the way the paper names its benchmarks:
+/// `s_{n-1} ... s_0` would be ambiguous, so we follow the benchmark names
+/// (`BV_110` has `s_0 = 1, s_1 = 1, s_2 = 0`), i.e. index 0 leftmost.
+#[must_use]
+pub fn string_of(hidden: &[bool]) -> String {
+    hidden.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Parses a benchmark-style hidden string (`"110"` → `[true, true, false]`).
+///
+/// # Panics
+///
+/// Panics on characters other than `0`/`1`.
+#[must_use]
+pub fn parse_hidden(s: &str) -> Vec<bool> {
+    s.chars()
+        .map(|c| match c {
+            '0' => false,
+            '1' => true,
+            other => panic!("invalid hidden-string character '{other}'"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc::{transform, verify, QubitRoles, TransformOptions};
+    use qsim::branch::exact_distribution_with_final_measure;
+
+    #[test]
+    fn gate_counts_match_table_one() {
+        // (hidden, paper gate count)
+        for (s, gates) in [
+            ("111", 11),
+            ("110", 8),
+            ("101", 8),
+            ("100", 5),
+            ("001", 5),
+            ("1111", 14),
+            ("1010", 8),
+            ("0001", 5),
+        ] {
+            let c = bv_circuit(&parse_hidden(s));
+            assert_eq!(c.len(), gates, "BV_{s}");
+        }
+    }
+
+    #[test]
+    fn qubit_counts_match_table_one() {
+        assert_eq!(bv_circuit(&parse_hidden("101")).num_qubits(), 4);
+        assert_eq!(bv_circuit(&parse_hidden("1011")).num_qubits(), 5);
+    }
+
+    #[test]
+    fn depth_matches_table_one() {
+        for (s, depth) in [("111", 6), ("110", 5), ("001", 4), ("1111", 7)] {
+            let c = bv_circuit(&parse_hidden(s));
+            assert_eq!(qcir::depth(&c), depth, "BV_{s}");
+        }
+    }
+
+    #[test]
+    fn bv_recovers_the_hidden_string_deterministically() {
+        for s in ["11", "101", "0110"] {
+            let hidden = parse_hidden(s);
+            let c = bv_circuit(&hidden);
+            let data: Vec<Qubit> = (0..hidden.len()).map(Qubit::new).collect();
+            let dist = exact_distribution_with_final_measure(&c, &data);
+            // Key layout: data reversed (MSB first) = s reversed.
+            let expect: String = s.chars().rev().collect();
+            assert!(
+                (dist.get(&expect) - 1.0).abs() < 1e-10,
+                "BV_{s}: {dist}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_bv_is_exactly_equivalent() {
+        for s in ["111", "010", "1001"] {
+            let hidden = parse_hidden(s);
+            let c = bv_circuit(&hidden);
+            let roles = QubitRoles::data_plus_answer(hidden.len() + 1);
+            let d = transform(&c, &roles, &TransformOptions::default()).unwrap();
+            assert_eq!(d.circuit().num_qubits(), 2);
+            let report = verify::compare(&c, &roles, &d);
+            assert!(report.equivalent(1e-10), "BV_{s}: {report}");
+        }
+    }
+
+    #[test]
+    fn string_helpers_round_trip() {
+        let bits = parse_hidden("0101");
+        assert_eq!(string_of(&bits), "0101");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hidden-string")]
+    fn parse_rejects_garbage() {
+        let _ = parse_hidden("10a");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_hidden_string_rejected() {
+        let _ = bv_circuit(&[]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Deutsch-Jozsa circuits.
+//!
+//! DJ decides in one query whether an oracle function is constant or
+//! balanced: prepare the answer in `|->`, Hadamard the data register, apply
+//! the phase-kickback oracle, Hadamard back. A constant function returns
+//! the all-zeros string with certainty; a balanced one never does.
+//!
+//! The paper additionally evaluates DJ on functions that are *neither*
+//! (AND, OR, ...), where the output is a distribution; its Fig. 7 tracks
+//! the probability of the most likely ("expected") outcome.
+
+use crate::oracle::TruthTable;
+use qcir::{Circuit, Qubit};
+
+/// Builds the traditional DJ circuit for `oracle`.
+///
+/// Layout: data qubits `0..n` (oracle input `i` on qubit `i`), answer qubit
+/// `n`. The oracle is synthesized at the X/CX/CCX/MCX level from the PPRM
+/// expansion; no measurements are appended.
+///
+/// # Examples
+///
+/// ```
+/// use qalgo::{dj_circuit, TruthTable};
+/// let c = dj_circuit(&TruthTable::and(2));
+/// assert_eq!(c.num_qubits(), 3);
+/// // X,H prep + 2 H + CCX + 2 H.
+/// assert_eq!(c.len(), 7);
+/// ```
+#[must_use]
+pub fn dj_circuit(oracle: &TruthTable) -> Circuit {
+    let n = oracle.num_inputs();
+    let ans = Qubit::new(n);
+    let mut c = Circuit::with_name("dj", n + 1, 0);
+    c.x(ans).h(ans);
+    for i in 0..n {
+        c.h(Qubit::new(i));
+    }
+    let inputs: Vec<Qubit> = (0..n).map(Qubit::new).collect();
+    c.extend(&oracle.synthesize(&inputs, ans));
+    for i in 0..n {
+        c.h(Qubit::new(i));
+    }
+    c
+}
+
+/// The conclusion DJ draws from a measured data-register outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DjVerdict {
+    /// All-zeros outcome: the function is (behaving as) constant.
+    Constant,
+    /// Any other outcome: the function is not constant.
+    NotConstant,
+}
+
+/// Interprets a measured data-register bitstring.
+#[must_use]
+pub fn dj_verdict(outcome: &str) -> DjVerdict {
+    if outcome.chars().all(|c| c == '0') {
+        DjVerdict::Constant
+    } else {
+        DjVerdict::NotConstant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc::{transform, verify, QubitRoles, TransformOptions};
+    use qsim::branch::exact_distribution_with_final_measure;
+
+    fn data_qubits(n: usize) -> Vec<Qubit> {
+        (0..n).map(Qubit::new).collect()
+    }
+
+    #[test]
+    fn constant_functions_give_all_zeros() {
+        for value in [false, true] {
+            let c = dj_circuit(&TruthTable::constant(2, value));
+            let dist = exact_distribution_with_final_measure(&c, &data_qubits(2));
+            assert!((dist.get("00") - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn balanced_functions_never_give_all_zeros() {
+        for tt in [
+            TruthTable::xor(2),
+            TruthTable::pass(2, 0),
+            TruthTable::pass(2, 1).complement(),
+            TruthTable::xor(3),
+        ] {
+            assert!(tt.is_balanced());
+            let n = tt.num_inputs();
+            let c = dj_circuit(&tt);
+            let dist = exact_distribution_with_final_measure(&c, &data_qubits(n));
+            let zeros = "0".repeat(n);
+            assert!(dist.get(&zeros) < 1e-10, "{tt}: {dist}");
+        }
+    }
+
+    #[test]
+    fn xor_gives_all_ones_deterministically() {
+        let c = dj_circuit(&TruthTable::xor(2));
+        let dist = exact_distribution_with_final_measure(&c, &data_qubits(2));
+        assert!((dist.get("11") - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn and_gives_uniform_distribution() {
+        // AND is neither constant nor balanced; DJ yields the uniform
+        // distribution over all four outcomes.
+        let c = dj_circuit(&TruthTable::and(2));
+        let dist = exact_distribution_with_final_measure(&c, &data_qubits(2));
+        for key in ["00", "01", "10", "11"] {
+            assert!((dist.get(key) - 0.25).abs() < 1e-10, "{dist}");
+        }
+    }
+
+    #[test]
+    fn majority_concentrates_on_odd_parity() {
+        // MAJ's Fourier support: outcomes 001, 010, 100, 111 at 1/4 each.
+        let c = dj_circuit(&TruthTable::majority3());
+        let dist = exact_distribution_with_final_measure(&c, &data_qubits(3));
+        for key in ["001", "010", "100", "111"] {
+            assert!((dist.get(key) - 0.25).abs() < 1e-10, "{dist}");
+        }
+        assert!(dist.get("000") < 1e-10);
+    }
+
+    #[test]
+    fn gate_counts_match_table_one_and_two() {
+        // Toffoli-free rows of Table I (after Clifford+T lowering these are
+        // already final since no Toffoli is present).
+        assert_eq!(dj_circuit(&TruthTable::constant(2, false)).len(), 6);
+        assert_eq!(dj_circuit(&TruthTable::constant(2, true)).len(), 7);
+        assert_eq!(dj_circuit(&TruthTable::pass(2, 0)).len(), 7);
+        assert_eq!(dj_circuit(&TruthTable::pass(2, 0).complement()).len(), 8);
+        assert_eq!(dj_circuit(&TruthTable::xor(2)).len(), 8);
+        assert_eq!(dj_circuit(&TruthTable::xor(2).complement()).len(), 9);
+        // Toffoli rows of Table II, at the CCX level: the paper's counts
+        // (21, 22, ...) are after 15-gate Clifford+T lowering, i.e.
+        // len + 14 per Toffoli.
+        assert_eq!(dj_circuit(&TruthTable::and(2)).len(), 7); // 7 + 14 = 21
+        assert_eq!(dj_circuit(&TruthTable::and(2).complement()).len(), 8); // 22
+        assert_eq!(dj_circuit(&TruthTable::or(2)).len(), 9); // 23
+        assert_eq!(dj_circuit(&TruthTable::majority3()).len(), 11); // 11 + 42 = 53
+    }
+
+    #[test]
+    fn dynamic_transformation_is_exact_for_toffoli_free_dj() {
+        for tt in [
+            TruthTable::constant(2, true),
+            TruthTable::pass(2, 1),
+            TruthTable::xor(2),
+            TruthTable::xor(3),
+        ] {
+            let c = dj_circuit(&tt);
+            let roles = QubitRoles::data_plus_answer(tt.num_inputs() + 1);
+            let d = transform(&c, &roles, &TransformOptions::default()).unwrap();
+            let report = verify::compare(&c, &roles, &d);
+            assert!(report.equivalent(1e-10), "{tt}: {report}");
+        }
+    }
+
+    #[test]
+    fn verdict_classifies_outcomes() {
+        assert_eq!(dj_verdict("000"), DjVerdict::Constant);
+        assert_eq!(dj_verdict("010"), DjVerdict::NotConstant);
+        assert_eq!(dj_verdict(""), DjVerdict::Constant);
+    }
+}

@@ -1,0 +1,180 @@
+//! Grover search, and where the dynamic design space ends.
+//!
+//! Grover's iterate re-uses every data qubit across rounds, with
+//! non-diagonal gates (the diffusion Hadamards) between the oracle phases.
+//! Algorithm 1 still produces a 2-qubit realization — every multi-qubit
+//! phase is classicalized — but the approximation destroys amplitude
+//! amplification, collapsing the output to near-uniform. The tests pin
+//! down this boundary of the design space explicitly.
+
+use qcir::{Circuit, Qubit};
+
+/// Builds a traditional Grover circuit over `n` qubits searching for the
+/// computational basis state `marked`, running `iterations` rounds.
+///
+/// The oracle and the diffusion use an `(n-1)`-controlled Z built from an
+/// `H`-conjugated multi-control X on the last qubit; no ancillas and no
+/// measurements are appended.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `marked >= 2^n`.
+///
+/// # Examples
+///
+/// ```
+/// use qalgo::grover_circuit;
+/// let c = grover_circuit(0b10, 2, 1);
+/// assert_eq!(c.num_qubits(), 2);
+/// ```
+#[must_use]
+pub fn grover_circuit(marked: usize, n: usize, iterations: usize) -> Circuit {
+    assert!(n >= 2, "grover needs at least two qubits");
+    assert!(marked < (1 << n), "marked state out of range");
+    let mut c = Circuit::with_name(format!("grover_{marked:b}"), n, 0);
+    for j in 0..n {
+        c.h(Qubit::new(j));
+    }
+    for _ in 0..iterations {
+        // Oracle: phase-flip |marked>.
+        flip_zeros(&mut c, marked, n);
+        controlled_z_all(&mut c, n);
+        flip_zeros(&mut c, marked, n);
+        // Diffusion: reflect about the mean.
+        for j in 0..n {
+            c.h(Qubit::new(j));
+        }
+        flip_zeros(&mut c, 0, n);
+        controlled_z_all(&mut c, n);
+        flip_zeros(&mut c, 0, n);
+        for j in 0..n {
+            c.h(Qubit::new(j));
+        }
+    }
+    c
+}
+
+/// The optimal iteration count `round(pi/4 * sqrt(2^n))` (minus the usual
+/// half-step correction) for a single marked item.
+#[must_use]
+pub fn optimal_iterations(n: usize) -> usize {
+    let amp = 1.0 / ((1u64 << n) as f64).sqrt();
+    let angle = amp.asin();
+    ((std::f64::consts::FRAC_PI_2 / (2.0 * angle) - 0.5).round() as usize).max(1)
+}
+
+/// X on every qubit whose bit of `pattern` is 0 (oracle sandwich).
+fn flip_zeros(c: &mut Circuit, pattern: usize, n: usize) {
+    for j in 0..n {
+        if pattern & (1 << j) == 0 {
+            c.x(Qubit::new(j));
+        }
+    }
+}
+
+/// A Z controlled on all other qubits, targeting the last qubit.
+fn controlled_z_all(c: &mut Circuit, n: usize) {
+    let target = Qubit::new(n - 1);
+    match n {
+        2 => {
+            c.cz(Qubit::new(0), target);
+        }
+        3 => {
+            c.ccz(Qubit::new(0), Qubit::new(1), target);
+        }
+        _ => {
+            let controls: Vec<Qubit> = (0..n - 1).map(Qubit::new).collect();
+            c.h(target);
+            c.mcx(&controls, target);
+            c.h(target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc::{transform, QubitRoles, TransformOptions};
+    use qsim::branch::exact_distribution_with_final_measure;
+
+    fn all_qubits(n: usize) -> Vec<Qubit> {
+        (0..n).map(Qubit::new).collect()
+    }
+
+    #[test]
+    fn two_qubit_grover_finds_marked_with_certainty() {
+        for marked in 0..4usize {
+            let c = grover_circuit(marked, 2, 1);
+            let dist = exact_distribution_with_final_measure(&c, &all_qubits(2));
+            let key = format!("{marked:02b}");
+            assert!((dist.get(&key) - 1.0).abs() < 1e-9, "{marked}: {dist}");
+        }
+    }
+
+    #[test]
+    fn three_qubit_grover_amplifies_marked() {
+        let c = grover_circuit(0b101, 3, optimal_iterations(3));
+        let dist = exact_distribution_with_final_measure(&c, &all_qubits(3));
+        assert!(dist.get("101") > 0.9, "{dist}");
+    }
+
+    #[test]
+    fn optimal_iterations_grow_with_register() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert_eq!(optimal_iterations(3), 2);
+        assert!(optimal_iterations(6) >= 5);
+    }
+
+    #[test]
+    fn single_data_qubit_grover_transforms_exactly() {
+        // Degenerate but instructive: with one data qubit nothing is
+        // classicalized, so the transformation is a pure wire relabeling
+        // and even Grover survives exactly.
+        let c = grover_circuit(0b10, 2, 1);
+        let roles = QubitRoles::data_plus_answer(2);
+        let d = transform(&c, &roles, &TransformOptions::default()).unwrap();
+        let mut dyn_measured = qcir::Circuit::new(2, 2);
+        dyn_measured.extend(d.circuit());
+        dyn_measured.measure(d.answer_qubits()[0], qcir::Clbit::new(1));
+        let dyn_dist = qsim::branch::exact_distribution(&dyn_measured);
+        assert!((dyn_dist.get("10") - 1.0).abs() < 1e-9, "{dyn_dist}");
+    }
+
+    #[test]
+    fn dynamic_grover_is_realizable_but_inaccurate() {
+        // Boundary of the design space: Algorithm 1 accepts 3-qubit Grover
+        // (the CCZ controls classicalize) but the classically controlled
+        // phases are conditioned on end-of-circuit measurements, so the
+        // amplitude amplification collapses.
+        let n = 3;
+        let marked = 0b101;
+        let c = grover_circuit(marked, n, optimal_iterations(n));
+        let roles = QubitRoles::data_plus_answer(n);
+        let d = transform(&c, &roles, &TransformOptions::default()).unwrap();
+        assert_eq!(d.circuit().num_qubits(), 2);
+
+        // Traditional amplifies to > 0.9 (see the test above); dynamic
+        // does not come close.
+        let mut dyn_measured = qcir::Circuit::new(2, 3);
+        dyn_measured.extend(d.circuit());
+        dyn_measured.measure(d.answer_qubits()[0], qcir::Clbit::new(2));
+        let dyn_dist = qsim::branch::exact_distribution(&dyn_measured);
+        let p_marked = dyn_dist.get("101");
+        assert!(
+            p_marked < 0.9,
+            "dynamic grover unexpectedly accurate: {dyn_dist}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn marked_state_must_fit() {
+        let _ = grover_circuit(4, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two qubits")]
+    fn single_qubit_rejected() {
+        let _ = grover_circuit(0, 1, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # qalgo — algorithm circuit generators and benchmark suites
+//!
+//! The workloads of the dynamic-quantum-circuit reproduction: Bernstein-
+//! Vazirani and Deutsch-Jozsa circuit generators (with oracle synthesis
+//! from truth tables via the positive-polarity Reed-Muller expansion), the
+//! paper's Table I / Table II benchmark suites, and two design-space
+//! extensions — quantum phase estimation (whose dynamic transformation
+//! recovers iterative QPE exactly) and Grover search (which marks the
+//! boundary where the transformation stops being accurate).
+//!
+//! # Examples
+//!
+//! ```
+//! use qalgo::{dj_circuit, TruthTable};
+//! use dqc::{transform_with_scheme, verify, DynamicScheme, QubitRoles, TransformOptions};
+//!
+//! let dj_or = dj_circuit(&TruthTable::or(2));
+//! let roles = QubitRoles::data_plus_answer(3);
+//! let d2 = transform_with_scheme(
+//!     &dj_or, &roles, DynamicScheme::Dynamic2, &TransformOptions::default(),
+//! )?;
+//! let report = verify::compare(&dj_or, &roles, &d2);
+//! assert!(report.equivalent(1e-10));
+//! # Ok::<(), dqc::DqcError>(())
+//! ```
+
+mod bv;
+mod dj;
+mod grover;
+mod oracle;
+mod qpe;
+mod simon;
+pub mod suites;
+mod teleport;
+
+pub use bv::{bv_circuit, parse_hidden, string_of};
+pub use dj::{dj_circuit, dj_verdict, DjVerdict};
+pub use grover::{grover_circuit, optimal_iterations};
+pub use oracle::TruthTable;
+pub use qpe::{estimate_from_bits, qpe_circuit};
+pub use simon::{run_simon, simon_circuit, simon_oracle, solve_gf2_nullspace};
+pub use teleport::teleport_circuit;
+pub use suites::{toffoli_free_suite, toffoli_suite, Benchmark};

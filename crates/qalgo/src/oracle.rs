@@ -1,0 +1,361 @@
+//! Boolean oracles: truth tables, Reed-Muller synthesis, oracle circuits.
+//!
+//! The paper's DJ benchmarks are named Boolean functions (AND, NAND, OR,
+//! NOR, IMPLY, INHIB, CARRY, ...) realized as X/CX/CCX/MCX networks. This
+//! module derives those networks *from the truth table* via the positive
+//! polarity Reed-Muller (PPRM) expansion: `f = XOR of monomials`, where each
+//! monomial becomes one (multi-)controlled X onto the oracle target.
+
+use qcir::{Circuit, Qubit};
+use std::fmt;
+
+/// A complete truth table of an `n`-input Boolean function.
+///
+/// Input assignments are indexed with input 0 as the least-significant bit.
+///
+/// # Examples
+///
+/// ```
+/// use qalgo::TruthTable;
+/// let and = TruthTable::and(2);
+/// assert!(!and.value(0b01));
+/// assert!(and.value(0b11));
+/// assert_eq!(and.num_inputs(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    num_inputs: usize,
+    bits: Vec<bool>,
+}
+
+impl TruthTable {
+    /// Builds a truth table from the output column (length `2^n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    #[must_use]
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        assert!(
+            bits.len().is_power_of_two(),
+            "truth table length must be a power of two"
+        );
+        Self {
+            num_inputs: bits.len().trailing_zeros() as usize,
+            bits,
+        }
+    }
+
+    /// Builds a truth table by evaluating `f` on every assignment.
+    #[must_use]
+    pub fn from_fn(num_inputs: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        Self {
+            num_inputs,
+            bits: (0..1usize << num_inputs).map(&mut f).collect(),
+        }
+    }
+
+    /// The constant-0 function.
+    #[must_use]
+    pub fn constant(num_inputs: usize, value: bool) -> Self {
+        Self::from_fn(num_inputs, |_| value)
+    }
+
+    /// n-input AND.
+    #[must_use]
+    pub fn and(num_inputs: usize) -> Self {
+        let all = (1usize << num_inputs) - 1;
+        Self::from_fn(num_inputs, |x| x == all)
+    }
+
+    /// n-input OR.
+    #[must_use]
+    pub fn or(num_inputs: usize) -> Self {
+        Self::from_fn(num_inputs, |x| x != 0)
+    }
+
+    /// n-input XOR (parity).
+    #[must_use]
+    pub fn xor(num_inputs: usize) -> Self {
+        Self::from_fn(num_inputs, |x| x.count_ones() % 2 == 1)
+    }
+
+    /// 3-input majority (the paper's CARRY benchmark function).
+    #[must_use]
+    pub fn majority3() -> Self {
+        Self::from_fn(3, |x| x.count_ones() >= 2)
+    }
+
+    /// Pass-through of input `which`.
+    #[must_use]
+    pub fn pass(num_inputs: usize, which: usize) -> Self {
+        Self::from_fn(num_inputs, move |x| (x >> which) & 1 == 1)
+    }
+
+    /// Pointwise complement of `self`.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        Self {
+            num_inputs: self.num_inputs,
+            bits: self.bits.iter().map(|b| !b).collect(),
+        }
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Output for the assignment `x` (input 0 = bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= 2^n`.
+    #[must_use]
+    pub fn value(&self, x: usize) -> bool {
+        self.bits[x]
+    }
+
+    /// Number of assignments mapped to 1.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// `true` when the function is constant.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.weight() == 0 || self.weight() == self.bits.len()
+    }
+
+    /// `true` when exactly half the assignments map to 1 (the
+    /// Deutsch-Jozsa promise).
+    #[must_use]
+    pub fn is_balanced(&self) -> bool {
+        2 * self.weight() == self.bits.len()
+    }
+
+    /// The positive-polarity Reed-Muller (PPRM) expansion: the set of
+    /// monomials whose XOR equals `f`. Each monomial is the sorted list of
+    /// participating input indices; the empty monomial is the constant 1.
+    ///
+    /// Computed by the GF(2) Möbius (butterfly) transform.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qalgo::TruthTable;
+    /// // OR(a, b) = a xor b xor ab.
+    /// let monomials = TruthTable::or(2).pprm();
+    /// assert_eq!(monomials, vec![vec![0], vec![1], vec![0, 1]]);
+    /// ```
+    #[must_use]
+    pub fn pprm(&self) -> Vec<Vec<usize>> {
+        let n = self.num_inputs;
+        let mut coeff: Vec<bool> = self.bits.clone();
+        for i in 0..n {
+            let bit = 1usize << i;
+            for x in 0..coeff.len() {
+                if x & bit != 0 {
+                    coeff[x] ^= coeff[x & !bit];
+                }
+            }
+        }
+        (0..coeff.len())
+            .filter(|&m| coeff[m])
+            .map(|m| (0..n).filter(|&i| m & (1 << i) != 0).collect())
+            .collect()
+    }
+
+    /// Synthesizes the phase-free oracle `|x>|t> -> |x>|t xor f(x)>` as an
+    /// X/CX/CCX/MCX network from the PPRM expansion.
+    ///
+    /// `inputs[i]` carries input `i`; `target` receives the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()` or wires repeat.
+    #[must_use]
+    pub fn synthesize(&self, inputs: &[Qubit], target: Qubit) -> Circuit {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs,
+            "oracle needs {} input qubits",
+            self.num_inputs
+        );
+        let max_wire = inputs
+            .iter()
+            .chain(std::iter::once(&target))
+            .map(|q| q.index())
+            .max()
+            .unwrap_or(0);
+        let mut c = Circuit::with_name("oracle", max_wire + 1, 0);
+        for monomial in self.pprm() {
+            match monomial.len() {
+                0 => {
+                    c.x(target);
+                }
+                1 => {
+                    c.cx(inputs[monomial[0]], target);
+                }
+                2 => {
+                    c.ccx(inputs[monomial[0]], inputs[monomial[1]], target);
+                }
+                _ => {
+                    let controls: Vec<Qubit> =
+                        monomial.iter().map(|&i| inputs[i]).collect();
+                    c.mcx(&controls, target);
+                }
+            }
+        }
+        c
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f(")?;
+        for i in 0..self.num_inputs {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "x{i}")?;
+        }
+        write!(f, ") = [")?;
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::StateVector;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    /// Applies the synthesized oracle to the basis state `|x>|0>` and
+    /// checks the target flips exactly when `f(x)`.
+    fn check_oracle(tt: &TruthTable) {
+        let n = tt.num_inputs();
+        let inputs: Vec<Qubit> = (0..n).map(Qubit::new).collect();
+        let target = Qubit::new(n);
+        let circ = tt.synthesize(&inputs, target);
+        for x in 0..1usize << n {
+            let mut sv = StateVector::basis_state(circ.num_qubits(), x);
+            for inst in circ.iter() {
+                let qs: Vec<usize> = inst.qubits().iter().map(|qq| qq.index()).collect();
+                sv.apply_gate(inst.as_gate().unwrap(), &qs);
+            }
+            let expect = x | (usize::from(tt.value(x)) << n);
+            assert!(
+                (sv.amplitudes()[expect].abs() - 1.0).abs() < 1e-9,
+                "{tt}: wrong output for x = {x:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn named_tables_have_expected_values() {
+        assert_eq!(TruthTable::and(2).weight(), 1);
+        assert_eq!(TruthTable::or(2).weight(), 3);
+        assert_eq!(TruthTable::xor(3).weight(), 4);
+        assert_eq!(TruthTable::majority3().weight(), 4);
+        assert!(TruthTable::constant(2, true).is_constant());
+        assert!(TruthTable::xor(2).is_balanced());
+        assert!(!TruthTable::and(2).is_balanced());
+        assert!(!TruthTable::and(2).is_constant());
+    }
+
+    #[test]
+    fn pass_reads_single_input() {
+        let p = TruthTable::pass(3, 1);
+        assert!(p.value(0b010));
+        assert!(!p.value(0b101));
+        assert_eq!(p.pprm(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn complement_flips_every_entry() {
+        let nand = TruthTable::and(2).complement();
+        assert_eq!(nand.weight(), 3);
+        assert!(nand.value(0));
+        assert!(!nand.value(3));
+    }
+
+    #[test]
+    fn pprm_of_known_functions() {
+        assert_eq!(TruthTable::and(2).pprm(), vec![vec![0, 1]]);
+        assert_eq!(
+            TruthTable::xor(2).pprm(),
+            vec![vec![0], vec![1]]
+        );
+        assert_eq!(TruthTable::constant(2, true).pprm(), vec![Vec::<usize>::new()]);
+        assert!(TruthTable::constant(3, false).pprm().is_empty());
+        // MAJ = ab xor ac xor bc.
+        assert_eq!(
+            TruthTable::majority3().pprm(),
+            vec![vec![0, 1], vec![0, 2], vec![1, 2]]
+        );
+    }
+
+    #[test]
+    fn pprm_round_trips_through_evaluation() {
+        // Evaluate the XOR of monomials and compare against the table.
+        for tt in [
+            TruthTable::or(3),
+            TruthTable::and(3).complement(),
+            TruthTable::from_bits(vec![true, false, true, true, false, false, true, false]),
+        ] {
+            let monomials = tt.pprm();
+            for x in 0..1usize << tt.num_inputs() {
+                let mut acc = false;
+                for m in &monomials {
+                    acc ^= m.iter().all(|&i| x & (1 << i) != 0);
+                }
+                assert_eq!(acc, tt.value(x), "{tt} at {x:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_oracles_compute_their_functions() {
+        check_oracle(&TruthTable::and(2));
+        check_oracle(&TruthTable::or(2));
+        check_oracle(&TruthTable::xor(2));
+        check_oracle(&TruthTable::and(2).complement());
+        check_oracle(&TruthTable::majority3());
+        check_oracle(&TruthTable::constant(2, true));
+        check_oracle(&TruthTable::and(3)); // uses MCX
+    }
+
+    #[test]
+    fn synthesis_handles_arbitrary_tables() {
+        for bits_val in 0..16u8 {
+            let bits = (0..4).map(|i| bits_val & (1 << i) != 0).collect();
+            check_oracle(&TruthTable::from_bits(bits));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_bits_rejects_bad_length() {
+        let _ = TruthTable::from_bits(vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input qubits")]
+    fn synthesize_rejects_wrong_input_count() {
+        let _ = TruthTable::and(2).synthesize(&[q(0)], q(1));
+    }
+
+    #[test]
+    fn display_shows_output_column() {
+        assert_eq!(TruthTable::and(2).to_string(), "f(x0,x1) = [0001]");
+    }
+}

@@ -1,0 +1,161 @@
+//! Quantum phase estimation.
+//!
+//! QPE was the first algorithm demonstrated as a dynamic circuit (Córcoles
+//! et al., the paper's reference [3]): the inverse QFT that closes the
+//! counting register is exactly the structure Algorithm 1 classicalizes —
+//! each controlled phase is diagonal, so replacing its quantum control with
+//! a measured bit is *exact* (the semiclassical QFT of Griffiths and Niu).
+//! This module provides the traditional circuit so the generic transform
+//! can re-derive iterative QPE automatically.
+
+use qcir::{Circuit, Qubit};
+use std::f64::consts::PI;
+
+/// Builds a traditional QPE circuit estimating the phase of `P(2*pi*theta)`
+/// on its `|1>` eigenstate, with an `n_bits`-qubit counting register.
+///
+/// Layout: counting qubits `0..n_bits` (bit `j` of the estimate ends on
+/// qubit `j`), eigenstate (answer) qubit `n_bits`, prepared `|1>`. The
+/// inverse QFT is emitted without terminal swaps; no measurements are
+/// appended.
+///
+/// # Panics
+///
+/// Panics if `n_bits == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qalgo::qpe_circuit;
+/// let c = qpe_circuit(0.25, 3);
+/// assert_eq!(c.num_qubits(), 4);
+/// ```
+#[must_use]
+pub fn qpe_circuit(theta: f64, n_bits: usize) -> Circuit {
+    assert!(n_bits > 0, "need at least one counting bit");
+    let ans = Qubit::new(n_bits);
+    let mut c = Circuit::with_name("qpe", n_bits + 1, 0);
+    c.x(ans);
+    for j in 0..n_bits {
+        c.h(Qubit::new(j));
+    }
+    // Counting qubit j accumulates e^{2 pi i theta 2^(n-1-j)} so that the
+    // inverse QFT leaves bit j of the estimate on qubit j.
+    for j in 0..n_bits {
+        let power = 1u64 << (n_bits - 1 - j);
+        c.cp(2.0 * PI * theta * power as f64, Qubit::new(j), ans);
+    }
+    inverse_qft_no_swap(&mut c, n_bits);
+    c
+}
+
+/// Appends the swap-free inverse QFT over qubits `0..n` (qubit 0 first):
+/// each qubit receives phase corrections controlled by all lower qubits,
+/// then a Hadamard — the gate order whose dynamic transformation is the
+/// semiclassical QFT.
+fn inverse_qft_no_swap(c: &mut Circuit, n: usize) {
+    for j in 0..n {
+        for k in 0..j {
+            let angle = -PI / (1u64 << (j - k)) as f64;
+            c.cp(angle, Qubit::new(k), Qubit::new(j));
+        }
+        c.h(Qubit::new(j));
+    }
+}
+
+/// Interprets a measured counting register (bit `j` of the key counting
+/// from the right) as the phase estimate `m / 2^n`.
+///
+/// # Panics
+///
+/// Panics on non-binary characters.
+#[must_use]
+pub fn estimate_from_bits(key: &str) -> f64 {
+    let n = key.len();
+    let m = u64::from_str_radix(key, 2).expect("binary outcome key");
+    m as f64 / (1u64 << n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc::{transform, verify, QubitRoles, TransformOptions};
+    use qsim::branch::exact_distribution_with_final_measure;
+
+    fn counting_qubits(n: usize) -> Vec<Qubit> {
+        (0..n).map(Qubit::new).collect()
+    }
+
+    #[test]
+    fn exact_phases_are_estimated_deterministically() {
+        for n in 1..=4usize {
+            for m in 0..(1usize << n) {
+                let theta = m as f64 / (1u64 << n) as f64;
+                let c = qpe_circuit(theta, n);
+                let dist = exact_distribution_with_final_measure(&c, &counting_qubits(n));
+                let expect = format!("{m:0n$b}");
+                assert!(
+                    (dist.get(&expect) - 1.0).abs() < 1e-9,
+                    "theta={theta}, n={n}: {dist}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inexact_phase_concentrates_near_truth() {
+        let theta = 0.3;
+        let n = 4;
+        let c = qpe_circuit(theta, n);
+        let dist = exact_distribution_with_final_measure(&c, &counting_qubits(n));
+        let best = dist.argmax().unwrap().to_string();
+        let est = estimate_from_bits(&best);
+        assert!((est - theta).abs() <= 1.0 / 16.0, "estimate {est}");
+    }
+
+    #[test]
+    fn dynamic_qpe_equals_semiclassical_qpe_exactly() {
+        // The headline extension result: the generic transform re-derives
+        // iterative (semiclassical) QPE with zero approximation error, for
+        // both exact and inexact phases.
+        for (theta, n) in [(0.25, 2), (0.625, 3), (0.3, 3)] {
+            let c = qpe_circuit(theta, n);
+            let roles = QubitRoles::data_plus_answer(n + 1);
+            let d = transform(&c, &roles, &TransformOptions::default()).unwrap();
+            assert_eq!(d.circuit().num_qubits(), 2);
+            let report = verify::compare(&c, &roles, &d);
+            assert!(
+                report.equivalent(1e-9),
+                "theta={theta}, n={n}: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_qpe_uses_conditioned_phase_gates() {
+        let c = qpe_circuit(0.3, 3);
+        let roles = QubitRoles::data_plus_answer(4);
+        let d = transform(&c, &roles, &TransformOptions::default()).unwrap();
+        let conditioned_p = d
+            .circuit()
+            .iter()
+            .filter(|i| i.is_conditioned() && i.kind().name() == "p")
+            .count();
+        // Inverse QFT over 3 qubits has 3 controlled phases, all of which
+        // become classically controlled.
+        assert_eq!(conditioned_p, 3);
+    }
+
+    #[test]
+    fn estimate_parses_binary_keys() {
+        assert_eq!(estimate_from_bits("10"), 0.5);
+        assert_eq!(estimate_from_bits("01"), 0.25);
+        assert_eq!(estimate_from_bits("0000"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counting bit")]
+    fn zero_bits_rejected() {
+        let _ = qpe_circuit(0.5, 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Simon's algorithm, end to end.
+//!
+//! Simon's problem: given a 2-to-1 function with `f(x) = f(x xor s)`,
+//! recover the secret period `s`. The quantum circuit is Toffoli-free —
+//! Hadamards on the data register plus a `CX` network into an output
+//! register — which makes it another exact instance for the dynamic
+//! transformation: `2n` qubits collapse to `n + 1` (one data qubit plus the
+//! `n` output qubits, which play the answer role).
+//!
+//! The classical half (accumulating orthogonal equations and solving over
+//! GF(2)) is included, so [`run_simon`] is a complete hybrid algorithm.
+
+use qcir::{Circuit, Clbit, Qubit};
+use qsim::Executor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the standard Simon oracle for secret `s` over `n = s.len()` bits:
+/// `|x>|y> -> |x>|y xor f(x)>` with `f(x) = min(x, x xor s)` — a canonical
+/// 2-to-1 function with period `s` (1-to-1 when `s = 0`).
+///
+/// Layout: data `0..n`, output `n..2n`. Construction: copy `x` into the
+/// output, then, conditioned on the highest set bit of `s` (the pivot),
+/// XOR `s` into the output — giving `f(x) = x` when the pivot bit is 0 and
+/// `x xor s` when 1, which identifies the two preimages.
+///
+/// # Panics
+///
+/// Panics if `s` is empty.
+#[must_use]
+pub fn simon_oracle(s: &[bool]) -> Circuit {
+    let n = s.len();
+    assert!(n > 0, "secret must be non-empty");
+    let mut c = Circuit::with_name("simon_oracle", 2 * n, 0);
+    for i in 0..n {
+        c.cx(Qubit::new(i), Qubit::new(n + i));
+    }
+    if let Some(pivot) = s.iter().rposition(|&b| b) {
+        for (i, &bit) in s.iter().enumerate() {
+            if bit {
+                c.cx(Qubit::new(pivot), Qubit::new(n + i));
+            }
+        }
+    }
+    c
+}
+
+/// Builds the full Simon circuit: Hadamard the data register, apply the
+/// oracle, Hadamard back. Measuring the data register yields a uniformly
+/// random `y` with `y . s = 0 (mod 2)`.
+#[must_use]
+pub fn simon_circuit(s: &[bool]) -> Circuit {
+    let n = s.len();
+    let mut c = Circuit::with_name("simon", 2 * n, 0);
+    for i in 0..n {
+        c.h(Qubit::new(i));
+    }
+    c.extend(&simon_oracle(s));
+    for i in 0..n {
+        c.h(Qubit::new(i));
+    }
+    c
+}
+
+/// Solves the homogeneous GF(2) system: given independent equations
+/// `y . s = 0`, returns the nonzero null-space vector when the equations
+/// have rank `n - 1`, or `None` when the system is under-determined (or
+/// only `s = 0` is consistent).
+///
+/// Rows are bit vectors over `n` variables, LSB = variable 0.
+#[must_use]
+pub fn solve_gf2_nullspace(rows: &[u64], n: usize) -> Option<Vec<bool>> {
+    // Gaussian elimination to row echelon form.
+    let mut basis: Vec<u64> = Vec::new();
+    for &row in rows {
+        let mut r = row & ((1u64 << n) - 1);
+        for &b in &basis {
+            let pivot = 63 - b.leading_zeros() as usize;
+            if r & (1 << pivot) != 0 {
+                r ^= b;
+            }
+        }
+        if r != 0 {
+            basis.push(r);
+            basis.sort_unstable_by(|a, b| b.cmp(a));
+        }
+    }
+    if basis.len() != n - 1 {
+        return None;
+    }
+    // The pivot positions of the basis; the single free variable is the
+    // missing position.
+    let pivots: Vec<usize> = basis
+        .iter()
+        .map(|&b| 63 - b.leading_zeros() as usize)
+        .collect();
+    let free = (0..n).find(|p| !pivots.contains(p))?;
+    // Back-substitute with s[free] = 1.
+    let mut s = 1u64 << free;
+    for &b in basis.iter().rev() {
+        let pivot = 63 - b.leading_zeros() as usize;
+        let parity = (b & s).count_ones() % 2;
+        if parity == 1 {
+            s |= 1 << pivot;
+        }
+    }
+    Some((0..n).map(|i| s & (1 << i) != 0).collect())
+}
+
+/// Runs the complete hybrid Simon algorithm against a simulator: sample
+/// data-register outcomes, accumulate independent orthogonality equations,
+/// solve for `s`. Returns `None` when `max_rounds` quantum queries did not
+/// produce a full-rank system (overwhelmingly unlikely for the sizes here).
+///
+/// # Panics
+///
+/// Panics if `s` is empty or all-zero (Simon's promise requires `s != 0`).
+#[must_use]
+pub fn run_simon(s: &[bool], max_rounds: usize, seed: u64) -> Option<Vec<bool>> {
+    let n = s.len();
+    assert!(s.iter().any(|&b| b), "simon requires a nonzero secret");
+    let mut circuit = Circuit::new(2 * n, n);
+    circuit.extend(&simon_circuit(s));
+    for i in 0..n {
+        circuit.measure(Qubit::new(i), Clbit::new(i));
+    }
+    let exec = Executor::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<u64> = Vec::new();
+    for _ in 0..max_rounds {
+        let bits = exec.run_shot(&circuit, &mut rng);
+        let mut y = 0u64;
+        for (i, &b) in bits.iter().enumerate().take(n) {
+            if b {
+                y |= 1 << i;
+            }
+        }
+        if y != 0 {
+            rows.push(y);
+        }
+        if let Some(candidate) = solve_gf2_nullspace(&rows, n) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqc::{transform, verify, QubitRoles, TransformOptions};
+    use qsim::branch::exact_distribution_with_final_measure;
+    use qsim::StateVector;
+
+    fn bits(s: &str) -> Vec<bool> {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn oracle_is_two_to_one_with_period_s() {
+        for s_str in ["10", "11", "110", "101"] {
+            let s = bits(s_str);
+            let n = s.len();
+            let circ = simon_oracle(&s);
+            let s_val: usize = s
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| 1 << i)
+                .sum();
+            let f = |x: usize| -> usize {
+                // Evaluate the oracle on |x>|0> and read the output register.
+                let mut sv = StateVector::basis_state(2 * n, x);
+                for inst in circ.iter() {
+                    let qs: Vec<usize> =
+                        inst.qubits().iter().map(|q| q.index()).collect();
+                    sv.apply_gate(inst.as_gate().unwrap(), &qs);
+                }
+                let idx = sv
+                    .probabilities()
+                    .iter()
+                    .position(|&p| p > 0.5)
+                    .unwrap();
+                idx >> n
+            };
+            for x in 0..1usize << n {
+                assert_eq!(f(x), f(x ^ s_val), "s={s_str}, x={x:b}");
+            }
+            // 2-to-1: image has half the size.
+            let image: std::collections::BTreeSet<usize> =
+                (0..1usize << n).map(f).collect();
+            assert_eq!(image.len(), 1 << (n - 1), "s={s_str}");
+        }
+    }
+
+    #[test]
+    fn measured_outcomes_are_orthogonal_to_s() {
+        let s = bits("101");
+        let circ = simon_circuit(&s);
+        let data: Vec<Qubit> = (0..3).map(Qubit::new).collect();
+        let dist = exact_distribution_with_final_measure(&circ, &data);
+        for (key, p) in dist.iter() {
+            if p < 1e-12 {
+                continue;
+            }
+            // key is MSB-first over the data bits.
+            let y: usize = usize::from_str_radix(key, 2).unwrap();
+            let s_val = 0b101usize;
+            assert_eq!((y & s_val).count_ones() % 2, 0, "outcome {key}");
+        }
+    }
+
+    #[test]
+    fn gf2_solver_recovers_nullspace() {
+        // n = 3, s = 101: orthogonal space spanned by {010, 101... } rows
+        // y with y.s = 0: {000, 010, 101, 111}.
+        let rows = [0b010u64, 0b111];
+        let s = solve_gf2_nullspace(&rows, 3).unwrap();
+        assert_eq!(s, bits("101"));
+    }
+
+    #[test]
+    fn gf2_solver_reports_underdetermined_systems() {
+        assert!(solve_gf2_nullspace(&[0b010], 3).is_none());
+        assert!(solve_gf2_nullspace(&[], 2).is_none());
+        // Redundant rows do not add rank (n = 3 needs two independent).
+        assert!(solve_gf2_nullspace(&[0b011, 0b011], 3).is_none());
+        // While a single row is already full rank for n = 2.
+        assert_eq!(
+            solve_gf2_nullspace(&[0b01], 2),
+            Some(vec![false, true])
+        );
+    }
+
+    #[test]
+    fn full_algorithm_recovers_the_secret() {
+        for s_str in ["11", "10", "101", "110", "1001"] {
+            let s = bits(s_str);
+            let found = run_simon(&s, 200, 42).expect("should converge");
+            assert_eq!(found, s, "secret {s_str}");
+        }
+    }
+
+    #[test]
+    fn dynamic_simon_is_exactly_equivalent() {
+        // Data qubits become iterations; the n output qubits are answers.
+        for s_str in ["11", "101"] {
+            let s = bits(s_str);
+            let n = s.len();
+            let circ = simon_circuit(&s);
+            let roles = QubitRoles::new(
+                (0..n).map(Qubit::new).collect(),
+                Vec::new(),
+                (n..2 * n).map(Qubit::new).collect(),
+            );
+            let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+            assert_eq!(d.circuit().num_qubits(), n + 1);
+            let report = verify::compare_with_answers(&circ, &roles, &d);
+            assert!(report.equivalent(1e-9), "s={s_str}: {report}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero secret")]
+    fn zero_secret_rejected() {
+        let _ = run_simon(&bits("00"), 10, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! The paper's benchmark suites (Tables I and II).
+//!
+//! Each benchmark bundles a name, the traditional circuit (Toffolis kept at
+//! the `CCX` level; the table harness lowers them to Clifford+T for the
+//! traditional columns) and the data/answer role partition used by the
+//! dynamic transformation.
+
+use crate::bv::{bv_circuit, parse_hidden};
+use crate::dj::dj_circuit;
+use crate::oracle::TruthTable;
+use dqc::QubitRoles;
+use qcir::Circuit;
+
+/// A named benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Table row name (e.g. `BV_110`, `AND`, `CARRY`).
+    pub name: String,
+    /// The traditional circuit (no measurements, Toffolis at `CCX` level).
+    pub circuit: Circuit,
+    /// Role partition for the dynamic transformation.
+    pub roles: QubitRoles,
+}
+
+impl Benchmark {
+    fn new(name: impl Into<String>, circuit: Circuit) -> Self {
+        let roles = QubitRoles::data_plus_answer(circuit.num_qubits());
+        Self {
+            name: name.into(),
+            circuit,
+            roles,
+        }
+    }
+}
+
+/// The hidden strings of Table I's BV rows, in the paper's order.
+pub const BV_HIDDEN_STRINGS: [&str; 20] = [
+    "111", "110", "101", "011", "100", "010", "001", "1111", "1110", "1101", "1011", "0111",
+    "1010", "1001", "0110", "0101", "1000", "0100", "0010", "0001",
+];
+
+/// The Toffoli-free suite of Table I: 20 BV instances and 8 DJ functions.
+#[must_use]
+pub fn toffoli_free_suite() -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for s in BV_HIDDEN_STRINGS {
+        out.push(Benchmark::new(
+            format!("BV_{s}"),
+            bv_circuit(&parse_hidden(s)),
+        ));
+    }
+    for (name, tt) in toffoli_free_dj_functions() {
+        out.push(Benchmark::new(name, dj_circuit(&tt)));
+    }
+    out
+}
+
+/// The eight Toffoli-free DJ functions of Table I.
+#[must_use]
+pub fn toffoli_free_dj_functions() -> Vec<(&'static str, TruthTable)> {
+    vec![
+        ("DJ_CONST_0", TruthTable::constant(2, false)),
+        ("DJ_CONST_1", TruthTable::constant(2, true)),
+        ("DJ_PASS_1", TruthTable::pass(2, 0)),
+        ("DJ_PASS_2", TruthTable::pass(2, 1)),
+        ("DJ_INVERT_1", TruthTable::pass(2, 0).complement()),
+        ("DJ_INVERT_2", TruthTable::pass(2, 1).complement()),
+        ("DJ_XOR", TruthTable::xor(2)),
+        ("DJ_XNOR", TruthTable::xor(2).complement()),
+    ]
+}
+
+/// The nine Toffoli-based DJ functions of Table II.
+#[must_use]
+pub fn toffoli_dj_functions() -> Vec<(&'static str, TruthTable)> {
+    let imply = |swap: bool| {
+        TruthTable::from_fn(2, move |x| {
+            let (a, b) = (x & 1 != 0, x & 2 != 0);
+            let (p, q) = if swap { (b, a) } else { (a, b) };
+            !p || q
+        })
+    };
+    let inhib = |swap: bool| {
+        TruthTable::from_fn(2, move |x| {
+            let (a, b) = (x & 1 != 0, x & 2 != 0);
+            let (p, q) = if swap { (b, a) } else { (a, b) };
+            p && !q
+        })
+    };
+    vec![
+        ("AND", TruthTable::and(2)),
+        ("NAND", TruthTable::and(2).complement()),
+        ("OR", TruthTable::or(2)),
+        ("NOR", TruthTable::or(2).complement()),
+        ("IMPLY_1", imply(false)),
+        ("IMPLY_2", imply(true)),
+        ("INHIB_1", inhib(false)),
+        ("INHIB_2", inhib(true)),
+        ("CARRY", TruthTable::majority3()),
+    ]
+}
+
+/// The Toffoli-based suite of Table II / Fig. 7.
+#[must_use]
+pub fn toffoli_suite() -> Vec<Benchmark> {
+    toffoli_dj_functions()
+        .into_iter()
+        .map(|(name, tt)| Benchmark::new(name, dj_circuit(&tt)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::decompose::{decompose_ccx, ToffoliStyle};
+    use qcir::Gate;
+
+    #[test]
+    fn table_one_suite_has_28_rows() {
+        let suite = toffoli_free_suite();
+        assert_eq!(suite.len(), 28);
+        assert_eq!(suite[0].name, "BV_111");
+        assert_eq!(suite[27].name, "DJ_XNOR");
+    }
+
+    #[test]
+    fn table_one_suite_is_toffoli_free() {
+        for b in toffoli_free_suite() {
+            assert!(
+                b.circuit.iter().all(|i| i.as_gate() != Some(&Gate::Ccx)),
+                "{} contains a Toffoli",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn table_two_suite_has_nine_rows_with_toffolis() {
+        let suite = toffoli_suite();
+        assert_eq!(suite.len(), 9);
+        for b in &suite {
+            let ccx = b
+                .circuit
+                .iter()
+                .filter(|i| i.as_gate() == Some(&Gate::Ccx))
+                .count();
+            let expect = if b.name == "CARRY" { 3 } else { 1 };
+            assert_eq!(ccx, expect, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn qubit_counts_match_the_tables() {
+        for b in toffoli_free_suite() {
+            let expect = if b.name.starts_with("BV") {
+                // "BV_" + hidden string + answer qubit.
+                b.name.len() - 3 + 1
+            } else {
+                3
+            };
+            assert_eq!(b.circuit.num_qubits(), expect, "{}", b.name);
+        }
+        for b in toffoli_suite() {
+            let expect = if b.name == "CARRY" { 4 } else { 3 };
+            assert_eq!(b.circuit.num_qubits(), expect, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn clifford_t_gate_counts_match_table_two() {
+        // The paper's traditional gate counts for Table II.
+        let expect = [
+            ("AND", 21),
+            ("NAND", 22),
+            ("OR", 23),
+            ("NOR", 24),
+            ("IMPLY_1", 23),
+            ("IMPLY_2", 23),
+            ("INHIB_1", 22),
+            ("INHIB_2", 22),
+            ("CARRY", 53),
+        ];
+        for (bench, (name, count)) in toffoli_suite().iter().zip(expect) {
+            assert_eq!(bench.name, name);
+            let lowered = decompose_ccx(&bench.circuit, ToffoliStyle::CliffordT);
+            assert_eq!(lowered.len(), count, "{name}");
+        }
+    }
+
+    #[test]
+    fn imply_and_inhib_truth_tables() {
+        let fns = toffoli_dj_functions();
+        let imply1 = &fns[4].1; // a -> b
+        assert!(imply1.value(0b00));
+        assert!(!imply1.value(0b01)); // a=1, b=0
+        assert!(imply1.value(0b10));
+        assert!(imply1.value(0b11));
+        let inhib1 = &fns[6].1; // a AND NOT b
+        assert!(!inhib1.value(0b00));
+        assert!(inhib1.value(0b01));
+        assert!(!inhib1.value(0b10));
+        assert!(!inhib1.value(0b11));
+    }
+
+    #[test]
+    fn roles_partition_every_benchmark() {
+        for b in toffoli_free_suite().iter().chain(&toffoli_suite()) {
+            assert!(b.roles.validate(&b.circuit).is_ok(), "{}", b.name);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the algorithm generators.
+
+use proptest::prelude::*;
+use dqc::{transform, verify, QubitRoles, TransformOptions};
+use qalgo::{bv_circuit, dj_circuit, qpe_circuit, TruthTable};
+use qcir::Qubit;
+use qsim::branch::exact_distribution_with_final_measure;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// BV always recovers the hidden string deterministically, and its
+    /// dynamic realization agrees exactly.
+    #[test]
+    fn bv_round_trip(hidden in proptest::collection::vec(any::<bool>(), 1..5)) {
+        let circ = bv_circuit(&hidden);
+        let data: Vec<Qubit> = (0..hidden.len()).map(Qubit::new).collect();
+        let dist = exact_distribution_with_final_measure(&circ, &data);
+        let key: String = hidden.iter().rev().map(|&b| if b { '1' } else { '0' }).collect();
+        prop_assert!((dist.get(&key) - 1.0).abs() < 1e-9);
+
+        let roles = QubitRoles::data_plus_answer(hidden.len() + 1);
+        let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+        let report = verify::compare(&circ, &roles, &d);
+        prop_assert!(report.equivalent(1e-9), "{}", report);
+    }
+
+    /// Synthesized oracles compute their truth table on every input.
+    #[test]
+    fn oracle_synthesis_is_correct(bits in proptest::collection::vec(any::<bool>(), 8)) {
+        let tt = TruthTable::from_bits(bits);
+        let n = tt.num_inputs();
+        let inputs: Vec<Qubit> = (0..n).map(Qubit::new).collect();
+        let circ = tt.synthesize(&inputs, Qubit::new(n));
+        for x in 0..1usize << n {
+            let mut sv = qsim::StateVector::basis_state(circ.num_qubits(), x);
+            for inst in circ.iter() {
+                let qs: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
+                sv.apply_gate(inst.as_gate().unwrap(), &qs);
+            }
+            let expect = x | (usize::from(tt.value(x)) << n);
+            prop_assert!((sv.amplitudes()[expect].abs() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// DJ on constant functions yields all-zeros with certainty; on
+    /// balanced functions, never.
+    #[test]
+    fn dj_promise_holds(bits in proptest::collection::vec(any::<bool>(), 8)) {
+        let tt = TruthTable::from_bits(bits);
+        let n = tt.num_inputs();
+        let circ = dj_circuit(&tt);
+        let data: Vec<Qubit> = (0..n).map(Qubit::new).collect();
+        let dist = exact_distribution_with_final_measure(&circ, &data);
+        let zeros = "0".repeat(n);
+        if tt.is_constant() {
+            prop_assert!((dist.get(&zeros) - 1.0).abs() < 1e-9);
+        } else if tt.is_balanced() {
+            prop_assert!(dist.get(&zeros) < 1e-9);
+        } else {
+            // Neither: zeros probability strictly between 0 and 1.
+            let p = dist.get(&zeros);
+            prop_assert!(p < 1.0 - 1e-9);
+        }
+    }
+
+    /// The PPRM expansion is the unique GF(2) polynomial of the function.
+    #[test]
+    fn pprm_evaluates_back(bits in proptest::collection::vec(any::<bool>(), 16)) {
+        let tt = TruthTable::from_bits(bits);
+        let monomials = tt.pprm();
+        for x in 0..1usize << tt.num_inputs() {
+            let mut acc = false;
+            for m in &monomials {
+                acc ^= m.iter().all(|&i| x & (1 << i) != 0);
+            }
+            prop_assert_eq!(acc, tt.value(x));
+        }
+    }
+
+    /// Dynamic QPE is exact for every (theta, n) — the semiclassical QFT.
+    #[test]
+    fn dynamic_qpe_always_exact(theta in 0.0f64..1.0, n in 1usize..4) {
+        let circ = qpe_circuit(theta, n);
+        let roles = QubitRoles::data_plus_answer(n + 1);
+        let d = transform(&circ, &roles, &TransformOptions::default()).unwrap();
+        let report = verify::compare(&circ, &roles, &d);
+        prop_assert!(report.equivalent(1e-8), "theta={theta}: {report}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Plain-text circuit diagrams.
+//!
+//! One column per instruction (no packing), one row per qubit wire plus one
+//! per classical bit. Good enough to eyeball the iteration structure of a
+//! dynamic circuit in a terminal or a test failure message.
+
+use crate::circuit::Circuit;
+use crate::instruction::OpKind;
+
+/// Renders `circuit` as a text diagram.
+///
+/// Conventions: `●` marks a control, boxed mnemonics mark targets, `M`
+/// marks measurement (with `↓` on the classical row), `|0>` marks reset,
+/// and `?cN` prefixes on the classical row mark the bits a condition reads.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{ascii, Circuit, Qubit};
+/// let mut c = Circuit::new(2, 0);
+/// c.h(Qubit::new(0)).cx(Qubit::new(0), Qubit::new(1));
+/// let art = ascii::draw(&c);
+/// assert!(art.contains("q0:"));
+/// assert!(art.contains("H"));
+/// ```
+#[must_use]
+pub fn draw(circuit: &Circuit) -> String {
+    let nq = circuit.num_qubits();
+    let nc = circuit.num_clbits();
+    let mut qrows: Vec<Vec<String>> = vec![Vec::new(); nq];
+    let mut crows: Vec<Vec<String>> = vec![Vec::new(); nc];
+
+    for inst in circuit.iter() {
+        let mut qcells: Vec<Option<String>> = vec![None; nq];
+        let mut ccells: Vec<Option<String>> = vec![None; nc];
+        match inst.kind() {
+            OpKind::Gate(g) => {
+                let n_ctrl = g.num_controls();
+                for (k, q) in inst.qubits().iter().enumerate() {
+                    let cell = if k < n_ctrl {
+                        "●".to_string()
+                    } else {
+                        gate_label(g)
+                    };
+                    qcells[q.index()] = Some(cell);
+                }
+            }
+            OpKind::Measure => {
+                qcells[inst.qubits()[0].index()] = Some("M".to_string());
+                ccells[inst.clbits()[0].index()] = Some("↓".to_string());
+            }
+            OpKind::Reset => {
+                qcells[inst.qubits()[0].index()] = Some("|0>".to_string());
+            }
+            OpKind::Barrier => {
+                for q in inst.qubits() {
+                    qcells[q.index()] = Some("░".to_string());
+                }
+            }
+        }
+        if let Some(cond) = inst.condition() {
+            for bit in cond.bits() {
+                ccells[bit.index()] = Some("?".to_string());
+            }
+        }
+        let width = qcells
+            .iter()
+            .chain(ccells.iter())
+            .filter_map(|c| c.as_ref().map(|s| s.chars().count()))
+            .max()
+            .unwrap_or(1)
+            + 2;
+        for (i, cell) in qcells.into_iter().enumerate() {
+            qrows[i].push(pad(cell.unwrap_or_default(), width, '─'));
+        }
+        for (i, cell) in ccells.into_iter().enumerate() {
+            crows[i].push(pad(cell.unwrap_or_default(), width, '═'));
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in qrows.iter().enumerate() {
+        out.push_str(&format!("q{i}: ─{}\n", row.join("")));
+    }
+    for (i, row) in crows.iter().enumerate() {
+        out.push_str(&format!("c{i}: ═{}\n", row.join("")));
+    }
+    out
+}
+
+fn gate_label(g: &crate::gate::Gate) -> String {
+    use crate::gate::Gate;
+    match g {
+        Gate::Cx | Gate::Ccx | Gate::Mcx(_) | Gate::X => "X".to_string(),
+        Gate::Cz | Gate::Ccz | Gate::Z => "Z".to_string(),
+        Gate::Cy | Gate::Y => "Y".to_string(),
+        Gate::Cv | Gate::V => "V".to_string(),
+        Gate::Cvdg | Gate::Vdg => "V†".to_string(),
+        Gate::Cp(t) | Gate::P(t) => format!("P({t:.2})"),
+        Gate::Swap => "x".to_string(),
+        g => g.name().to_uppercase(),
+    }
+}
+
+fn pad(s: String, width: usize, fill: char) -> String {
+    let len = s.chars().count();
+    let total = width.saturating_sub(len);
+    let left = total / 2;
+    let right = total - left;
+    let mut out = String::new();
+    for _ in 0..left {
+        out.push(fill);
+    }
+    out.push_str(&s);
+    for _ in 0..right {
+        out.push(fill);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn draws_controls_and_targets() {
+        let mut circ = Circuit::new(2, 0);
+        circ.cx(q(0), q(1));
+        let art = draw(&circ);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('●'));
+        assert!(lines[1].contains('X'));
+    }
+
+    #[test]
+    fn draws_measurement_onto_classical_row() {
+        let mut circ = Circuit::new(1, 1);
+        circ.measure(q(0), Clbit::new(0));
+        let art = draw(&circ);
+        assert!(art.lines().next().unwrap().contains('M'));
+        assert!(art.lines().nth(1).unwrap().contains('↓'));
+    }
+
+    #[test]
+    fn draws_reset_and_condition() {
+        let mut circ = Circuit::new(1, 1);
+        circ.reset(q(0)).x_if(q(0), Clbit::new(0));
+        let art = draw(&circ);
+        assert!(art.contains("|0>"));
+        assert!(art.lines().nth(1).unwrap().contains('?'));
+    }
+
+    #[test]
+    fn rows_have_equal_rendered_width() {
+        let mut circ = Circuit::new(2, 1);
+        circ.h(q(0)).cx(q(0), q(1)).measure(q(1), Clbit::new(0));
+        let art = draw(&circ);
+        let widths: Vec<usize> = art.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn toffoli_has_two_controls() {
+        let mut circ = Circuit::new(3, 0);
+        circ.ccx(q(0), q(1), q(2));
+        let art = draw(&circ);
+        let dots = art.matches('●').count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn empty_circuit_draws_wire_labels() {
+        let art = draw(&Circuit::new(2, 1));
+        assert!(art.contains("q0:"));
+        assert!(art.contains("q1:"));
+        assert!(art.contains("c0:"));
+    }
+}

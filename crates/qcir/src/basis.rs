@@ -1,0 +1,358 @@
+//! Basis translation: lowering to the Clifford+T + dynamic-ops basis.
+//!
+//! Real fault-tolerant targets (and the paper's own Fig. 2/Fig. 6
+//! realizations) execute the discrete basis `{H, S, S†, T, T†, X, Z, CX}`
+//! plus the dynamic primitives. This pass rewrites every supported gate to
+//! that basis, *exactly* (global phase excepted, which is unobservable):
+//! rotation and phase angles must be multiples of pi/4 (pi/2 for controlled
+//! phases); anything finer is reported as an error rather than approximated
+//! — gate approximation (Solovay-Kitaev et al.) is out of scope.
+//!
+//! Classically conditioned gates lower too: a condition distributes over a
+//! template's gates, so each emitted gate inherits it.
+
+use crate::circuit::Circuit;
+use crate::decompose::{ccx_clifford_t, cv_clifford_t, decompose_mcx};
+use crate::gate::Gate;
+use crate::instruction::{Instruction, OpKind};
+use crate::register::Qubit;
+use std::error::Error;
+use std::fmt;
+use std::f64::consts::PI;
+
+/// An angle that cannot be represented exactly in the target basis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisError {
+    gate: String,
+    angle: f64,
+}
+
+impl fmt::Display for BasisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "angle {} of gate {} is not an exact multiple of the basis resolution",
+            self.angle, self.gate
+        )
+    }
+}
+
+impl Error for BasisError {}
+
+/// Tolerance when snapping angles to multiples of pi/4.
+const ANGLE_TOL: f64 = 1e-9;
+
+/// Expresses `theta` as `k * pi/4 (mod 2 pi)` when possible.
+fn as_eighth_turns(theta: f64) -> Option<u8> {
+    let turns = theta / (PI / 4.0);
+    let k = turns.round();
+    if (turns - k).abs() > ANGLE_TOL {
+        return None;
+    }
+    Some((k.rem_euclid(8.0)) as u8 % 8)
+}
+
+/// The phase ladder `P(k * pi/4)` as basis gates (empty for k = 0).
+fn phase_ladder(k: u8) -> Vec<Gate> {
+    match k % 8 {
+        0 => vec![],
+        1 => vec![Gate::T],
+        2 => vec![Gate::S],
+        3 => vec![Gate::S, Gate::T],
+        4 => vec![Gate::Z],
+        5 => vec![Gate::Z, Gate::T],
+        6 => vec![Gate::Sdg],
+        7 => vec![Gate::Tdg],
+        _ => unreachable!("k reduced mod 8"),
+    }
+}
+
+/// Lowers `circuit` to `{H, S, S†, T, T†, X, Z, CX}` plus measure, reset,
+/// barriers and classical conditions.
+///
+/// Multi-control Toffolis are lowered through
+/// [`decompose_mcx`] first (which may
+/// append ancilla wires), then every remaining gate through exact
+/// templates. Identity gates are dropped.
+///
+/// # Errors
+///
+/// Returns [`BasisError`] when a parameterised gate's angle is not an exact
+/// multiple of pi/4 (pi/2 for [`Gate::Cp`], whose construction halves the
+/// angle).
+pub fn lower_to_clifford_t(circuit: &Circuit) -> Result<Circuit, BasisError> {
+    let circuit = decompose_mcx(circuit);
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+    );
+    for inst in circuit.iter() {
+        match inst.kind() {
+            OpKind::Measure | OpKind::Reset | OpKind::Barrier => {
+                out.push(inst.clone());
+            }
+            OpKind::Gate(g) => {
+                let qs = inst.qubits();
+                let emitted = lower_gate(g, qs)?;
+                for e in emitted {
+                    let e = match inst.condition() {
+                        Some(c) => e.with_condition(c.clone()),
+                        None => e,
+                    };
+                    out.push(e);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `true` when `gate` is already in the target basis.
+#[must_use]
+pub fn is_basis_gate(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::H | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::X | Gate::Z | Gate::Cx
+    )
+}
+
+fn lower_gate(g: &Gate, qs: &[Qubit]) -> Result<Vec<Instruction>, BasisError> {
+    let one = |gate: Gate| Instruction::gate(gate, vec![qs[0]]);
+    let on = |gate: Gate, q: Qubit| Instruction::gate(gate, vec![q]);
+    let cx = |c: Qubit, t: Qubit| Instruction::gate(Gate::Cx, vec![c, t]);
+    Ok(match g {
+        _ if is_basis_gate(g) => vec![Instruction::gate(g.clone(), qs.to_vec())],
+        Gate::I => vec![],
+        // Y = S X S† exactly.
+        Gate::Y => vec![one(Gate::Sdg), one(Gate::X), one(Gate::S)],
+        Gate::V => vec![one(Gate::H), one(Gate::S), one(Gate::H)],
+        Gate::Vdg => vec![one(Gate::H), one(Gate::Sdg), one(Gate::H)],
+        Gate::P(t) | Gate::Rz(t) => {
+            let k = as_eighth_turns(*t).ok_or_else(|| BasisError {
+                gate: g.to_string(),
+                angle: *t,
+            })?;
+            phase_ladder(k).into_iter().map(one).collect()
+        }
+        Gate::Rx(t) => {
+            let inner = lower_gate(&Gate::Rz(*t), qs)?;
+            let mut v = vec![one(Gate::H)];
+            v.extend(inner);
+            v.push(one(Gate::H));
+            v
+        }
+        Gate::Ry(t) => {
+            // Ry = S · Rx · S† (conjugation maps X-axis to Y-axis).
+            let inner = lower_gate(&Gate::Rx(*t), qs)?;
+            let mut v = vec![one(Gate::Sdg)];
+            v.extend(inner);
+            v.push(one(Gate::S));
+            v
+        }
+        Gate::Cy => {
+            // CY = (S on target) CX (S† on target).
+            vec![on(Gate::Sdg, qs[1]), cx(qs[0], qs[1]), on(Gate::S, qs[1])]
+        }
+        Gate::Cz => {
+            vec![on(Gate::H, qs[1]), cx(qs[0], qs[1]), on(Gate::H, qs[1])]
+        }
+        Gate::Cp(t) => {
+            // CP(t) = P(t/2) c · P(t/2) t · CX · P(-t/2) t · CX.
+            let half = t / 2.0;
+            let k = as_eighth_turns(half).ok_or_else(|| BasisError {
+                gate: g.to_string(),
+                angle: *t,
+            })?;
+            let neg = (8 - k) % 8;
+            let mut v: Vec<Instruction> =
+                phase_ladder(k).into_iter().map(|p| on(p, qs[0])).collect();
+            v.extend(phase_ladder(k).into_iter().map(|p| on(p, qs[1])));
+            v.push(cx(qs[0], qs[1]));
+            v.extend(phase_ladder(neg).into_iter().map(|p| on(p, qs[1])));
+            v.push(cx(qs[0], qs[1]));
+            v
+        }
+        Gate::Cv => template(&cv_clifford_t(false), qs),
+        Gate::Cvdg => template(&cv_clifford_t(true), qs),
+        Gate::Swap => vec![cx(qs[0], qs[1]), cx(qs[1], qs[0]), cx(qs[0], qs[1])],
+        Gate::Ccx => template(&ccx_clifford_t(), qs),
+        Gate::Ccz => {
+            let mut v = vec![on(Gate::H, qs[2])];
+            v.extend(template(&ccx_clifford_t(), qs));
+            v.push(on(Gate::H, qs[2]));
+            v
+        }
+        Gate::Mcx(_) => unreachable!("MCX lowered by decompose_mcx above"),
+        _ => unreachable!("all gate variants covered"),
+    })
+}
+
+/// Instantiates a template circuit onto concrete wires.
+fn template(tpl: &Circuit, qs: &[Qubit]) -> Vec<Instruction> {
+    tpl.iter()
+        .map(|inst| {
+            let mapped: Vec<Qubit> = inst.qubits().iter().map(|q| qs[q.index()]).collect();
+            Instruction::gate(inst.as_gate().expect("templates are unitary").clone(), mapped)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    /// Checks a single-gate circuit lowers to the same unitary up to phase,
+    /// using matrix products (mirrors `qsim::circuit_unitary`, which we
+    /// cannot depend on from here).
+    fn check_gate(g: Gate, n: usize) {
+        let mut circ = Circuit::new(n, 0);
+        let qs: Vec<Qubit> = (0..g.num_qubits()).map(Qubit::new).collect();
+        circ.gate(g.clone(), &qs);
+        let lowered = lower_to_clifford_t(&circ).unwrap();
+        let u_of = |c: &Circuit| {
+            let mut u = qmath::CMatrix::identity(1 << c.num_qubits());
+            for inst in c.iter() {
+                let pos: Vec<usize> = inst.qubits().iter().map(|x| x.index()).collect();
+                u = inst
+                    .as_gate()
+                    .unwrap()
+                    .matrix()
+                    .embed(&pos, c.num_qubits())
+                    .mul(&u);
+            }
+            u
+        };
+        assert!(
+            u_of(&lowered).approx_eq_up_to_phase(&u_of(&circ), 1e-9),
+            "lowering of {g} is wrong"
+        );
+        for inst in lowered.iter() {
+            assert!(
+                is_basis_gate(inst.as_gate().unwrap()),
+                "{g} left non-basis gate {}",
+                inst.as_gate().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn all_fixed_gates_lower_exactly() {
+        for g in [
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::V,
+            Gate::Vdg,
+        ] {
+            check_gate(g, 1);
+        }
+        for g in [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Cv, Gate::Cvdg, Gate::Swap] {
+            check_gate(g, 2);
+        }
+        for g in [Gate::Ccx, Gate::Ccz] {
+            check_gate(g, 3);
+        }
+    }
+
+    #[test]
+    fn exact_angles_lower() {
+        for k in 0..8 {
+            let theta = f64::from(k) * FRAC_PI_4;
+            check_gate(Gate::P(theta), 1);
+            check_gate(Gate::Rz(theta), 1);
+            check_gate(Gate::Rx(theta), 1);
+            check_gate(Gate::Ry(theta), 1);
+        }
+        for k in 0..4 {
+            check_gate(Gate::Cp(f64::from(k) * FRAC_PI_2), 2);
+        }
+        // Negative angles normalize mod 2 pi.
+        check_gate(Gate::P(-FRAC_PI_4), 1);
+        check_gate(Gate::Cp(-FRAC_PI_2), 2);
+    }
+
+    #[test]
+    fn inexact_angles_error() {
+        let mut c = Circuit::new(1, 0);
+        c.p(0.3, q(0));
+        let err = lower_to_clifford_t(&c).unwrap_err();
+        assert!(err.to_string().contains("0.3"));
+
+        let mut c2 = Circuit::new(2, 0);
+        c2.cp(FRAC_PI_4, q(0), q(1)); // halves to pi/8: unrepresentable
+        assert!(lower_to_clifford_t(&c2).is_err());
+    }
+
+    #[test]
+    fn mcx_lowers_through_the_ladder() {
+        let mut c = Circuit::new(5, 0);
+        c.mcx(&[q(0), q(1), q(2), q(3)], q(4));
+        let lowered = lower_to_clifford_t(&c).unwrap();
+        assert!(lowered.num_qubits() > 5); // ladder ancillas appended
+        assert!(lowered
+            .iter()
+            .all(|i| is_basis_gate(i.as_gate().unwrap())));
+    }
+
+    #[test]
+    fn conditions_distribute_over_templates() {
+        use crate::instruction::Condition;
+        let mut c = Circuit::new(2, 1);
+        c.gate_if(
+            Gate::Cv,
+            &[q(0), q(1)],
+            Condition::bit(crate::register::Clbit::new(0)),
+        );
+        let lowered = lower_to_clifford_t(&c).unwrap();
+        assert!(lowered.len() > 1);
+        assert!(lowered.iter().all(Instruction::is_conditioned));
+    }
+
+    #[test]
+    fn dynamic_ops_pass_through() {
+        let mut c = Circuit::new(1, 1);
+        c.h(q(0))
+            .measure(q(0), crate::register::Clbit::new(0))
+            .reset(q(0));
+        let lowered = lower_to_clifford_t(&c).unwrap();
+        assert_eq!(lowered.len(), 3);
+    }
+
+    #[test]
+    fn identity_gates_are_dropped() {
+        let mut c = Circuit::new(1, 0);
+        c.gate(Gate::I, &[q(0)]).x(q(0));
+        assert_eq!(lower_to_clifford_t(&c).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn phase_ladder_is_minimal_for_common_angles() {
+        assert!(phase_ladder(0).is_empty());
+        assert_eq!(phase_ladder(1), vec![Gate::T]);
+        assert_eq!(phase_ladder(2), vec![Gate::S]);
+        assert_eq!(phase_ladder(4), vec![Gate::Z]);
+        assert_eq!(phase_ladder(6), vec![Gate::Sdg]);
+        assert_eq!(phase_ladder(7), vec![Gate::Tdg]);
+    }
+
+    #[test]
+    fn eighth_turn_snapping() {
+        assert_eq!(as_eighth_turns(0.0), Some(0));
+        assert_eq!(as_eighth_turns(FRAC_PI_4), Some(1));
+        assert_eq!(as_eighth_turns(-FRAC_PI_4), Some(7));
+        assert_eq!(as_eighth_turns(2.0 * PI), Some(0));
+        assert_eq!(as_eighth_turns(0.3), None);
+    }
+}

@@ -1,0 +1,705 @@
+//! The quantum circuit container and builder API.
+
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::instruction::{Condition, Instruction, OpKind};
+use crate::register::{ClassicalRegister, Clbit, Qubit, QuantumRegister};
+use std::fmt;
+
+/// A quantum circuit: an ordered list of [`Instruction`]s over a set of
+/// qubit wires and classical bits, with optional named registers.
+///
+/// Supports everything a *dynamic* quantum circuit needs — mid-circuit
+/// measurement, active reset and classically controlled gates — in addition
+/// to ordinary unitary gates.
+///
+/// Builder methods panic on out-of-range wires (they are index errors, like
+/// slice indexing); the non-panicking [`Circuit::try_push`] is available for
+/// programmatic construction from untrusted input.
+///
+/// # Examples
+///
+/// Building the 3-qubit circuit of the paper's Fig. 1,
+/// `F(a, b) = a + b` (logical OR via XOR and AND):
+///
+/// ```
+/// use qcir::{Circuit, Qubit};
+///
+/// let mut c = Circuit::new(3, 0);
+/// let (a, b, t) = (Qubit::new(0), Qubit::new(1), Qubit::new(2));
+/// c.cx(a, t).cx(b, t).ccx(a, b, t);
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.num_qubits(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    name: String,
+    num_qubits: usize,
+    num_clbits: usize,
+    qregs: Vec<QuantumRegister>,
+    cregs: Vec<ClassicalRegister>,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with anonymous wires (no named registers).
+    #[must_use]
+    pub fn new(num_qubits: usize, num_clbits: usize) -> Self {
+        Self {
+            name: String::from("circuit"),
+            num_qubits,
+            num_clbits,
+            qregs: Vec::new(),
+            cregs: Vec::new(),
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Creates an empty circuit with a name (used in reports and QASM).
+    #[must_use]
+    pub fn with_name(name: impl Into<String>, num_qubits: usize, num_clbits: usize) -> Self {
+        let mut c = Self::new(num_qubits, num_clbits);
+        c.name = name.into();
+        c
+    }
+
+    /// The circuit's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of qubit wires.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    #[must_use]
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Number of instructions (including barriers).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` when the circuit holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends a new named quantum register, growing the wire count, and
+    /// returns it.
+    pub fn add_qreg(&mut self, name: impl Into<String>, size: usize) -> QuantumRegister {
+        let reg = QuantumRegister::new(name, self.num_qubits, size);
+        self.num_qubits += size;
+        self.qregs.push(reg.clone());
+        reg
+    }
+
+    /// Appends a new named classical register, growing the bit count, and
+    /// returns it.
+    pub fn add_creg(&mut self, name: impl Into<String>, size: usize) -> ClassicalRegister {
+        let reg = ClassicalRegister::new(name, self.num_clbits, size);
+        self.num_clbits += size;
+        self.cregs.push(reg.clone());
+        reg
+    }
+
+    /// The circuit's named quantum registers.
+    #[must_use]
+    pub fn qregs(&self) -> &[QuantumRegister] {
+        &self.qregs
+    }
+
+    /// The circuit's named classical registers.
+    #[must_use]
+    pub fn cregs(&self) -> &[ClassicalRegister] {
+        &self.cregs
+    }
+
+    /// The instructions in execution order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Iterates over the instructions in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Appends an instruction after validating its wires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] or
+    /// [`CircuitError::ClbitOutOfRange`] when an operand exceeds the wire
+    /// counts.
+    pub fn try_push(&mut self, instruction: Instruction) -> Result<(), CircuitError> {
+        for q in instruction.qubits() {
+            if q.index() >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q.index(),
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        for c in instruction
+            .clbits()
+            .iter()
+            .copied()
+            .chain(instruction.clbits_read())
+        {
+            if c.index() >= self.num_clbits {
+                return Err(CircuitError::ClbitOutOfRange {
+                    clbit: c.index(),
+                    num_clbits: self.num_clbits,
+                });
+            }
+        }
+        self.instructions.push(instruction);
+        Ok(())
+    }
+
+    /// Appends an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range; see [`Circuit::try_push`].
+    pub fn push(&mut self, instruction: Instruction) -> &mut Self {
+        self.try_push(instruction)
+            .unwrap_or_else(|e| panic!("invalid instruction: {e}"));
+        self
+    }
+
+    /// Appends `gate` on `qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range operands.
+    pub fn gate(&mut self, gate: Gate, qubits: &[Qubit]) -> &mut Self {
+        self.push(Instruction::gate(gate, qubits.to_vec()))
+    }
+
+    /// Appends `gate` on `qubits` under classical `condition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range operands.
+    pub fn gate_if(&mut self, gate: Gate, qubits: &[Qubit], condition: Condition) -> &mut Self {
+        self.push(Instruction::gate(gate, qubits.to_vec()).with_condition(condition))
+    }
+
+    // --- single-qubit gate sugar -----------------------------------------
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::H, &[q])
+    }
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::X, &[q])
+    }
+
+    /// Appends a Pauli-Y gate.
+    pub fn y(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::Y, &[q])
+    }
+
+    /// Appends a Pauli-Z gate.
+    pub fn z(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::Z, &[q])
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::S, &[q])
+    }
+
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::Sdg, &[q])
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::T, &[q])
+    }
+
+    /// Appends a T† gate.
+    pub fn tdg(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::Tdg, &[q])
+    }
+
+    /// Appends a V = sqrt(X) gate.
+    pub fn v(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::V, &[q])
+    }
+
+    /// Appends a V† gate.
+    pub fn vdg(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::Vdg, &[q])
+    }
+
+    /// Appends a phase gate `P(theta)`.
+    pub fn p(&mut self, theta: f64, q: Qubit) -> &mut Self {
+        self.gate(Gate::P(theta), &[q])
+    }
+
+    /// Appends an `Rx(theta)` rotation.
+    pub fn rx(&mut self, theta: f64, q: Qubit) -> &mut Self {
+        self.gate(Gate::Rx(theta), &[q])
+    }
+
+    /// Appends an `Ry(theta)` rotation.
+    pub fn ry(&mut self, theta: f64, q: Qubit) -> &mut Self {
+        self.gate(Gate::Ry(theta), &[q])
+    }
+
+    /// Appends an `Rz(theta)` rotation.
+    pub fn rz(&mut self, theta: f64, q: Qubit) -> &mut Self {
+        self.gate(Gate::Rz(theta), &[q])
+    }
+
+    // --- multi-qubit gate sugar -------------------------------------------
+
+    /// Appends a CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.gate(Gate::Cx, &[control, target])
+    }
+
+    /// Appends a controlled-Y.
+    pub fn cy(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.gate(Gate::Cy, &[control, target])
+    }
+
+    /// Appends a controlled-Z.
+    pub fn cz(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.gate(Gate::Cz, &[control, target])
+    }
+
+    /// Appends a controlled phase `CP(theta)`.
+    pub fn cp(&mut self, theta: f64, control: Qubit, target: Qubit) -> &mut Self {
+        self.gate(Gate::Cp(theta), &[control, target])
+    }
+
+    /// Appends a controlled-V (controlled sqrt-NOT).
+    pub fn cv(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.gate(Gate::Cv, &[control, target])
+    }
+
+    /// Appends a controlled-V†.
+    pub fn cvdg(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.gate(Gate::Cvdg, &[control, target])
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.gate(Gate::Swap, &[a, b])
+    }
+
+    /// Appends a Toffoli gate `CCX([c0, c1], target)`.
+    pub fn ccx(&mut self, c0: Qubit, c1: Qubit, target: Qubit) -> &mut Self {
+        self.gate(Gate::Ccx, &[c0, c1, target])
+    }
+
+    /// Appends a doubly controlled Z.
+    pub fn ccz(&mut self, c0: Qubit, c1: Qubit, target: Qubit) -> &mut Self {
+        self.gate(Gate::Ccz, &[c0, c1, target])
+    }
+
+    /// Appends a multiple-control Toffoli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `controls` is empty.
+    pub fn mcx(&mut self, controls: &[Qubit], target: Qubit) -> &mut Self {
+        assert!(!controls.is_empty(), "mcx needs at least one control");
+        let mut qs = controls.to_vec();
+        qs.push(target);
+        self.gate(Gate::Mcx(controls.len()), &qs)
+    }
+
+    // --- non-unitary operations -------------------------------------------
+
+    /// Appends a measurement of `qubit` into `clbit`.
+    pub fn measure(&mut self, qubit: Qubit, clbit: Clbit) -> &mut Self {
+        self.push(Instruction::measure(qubit, clbit))
+    }
+
+    /// Appends an active reset of `qubit` to `|0>`.
+    pub fn reset(&mut self, qubit: Qubit) -> &mut Self {
+        self.push(Instruction::reset(qubit))
+    }
+
+    /// Appends a barrier across all qubits.
+    pub fn barrier_all(&mut self) -> &mut Self {
+        let qs: Vec<Qubit> = (0..self.num_qubits).map(Qubit::new).collect();
+        self.push(Instruction::barrier(qs))
+    }
+
+    /// Appends a barrier across `qubits`.
+    pub fn barrier(&mut self, qubits: &[Qubit]) -> &mut Self {
+        self.push(Instruction::barrier(qubits.to_vec()))
+    }
+
+    /// Appends an X gate conditioned on classical `bit == 1` — the classically
+    /// controlled inversion used pervasively by dynamic circuits.
+    pub fn x_if(&mut self, q: Qubit, bit: Clbit) -> &mut Self {
+        self.gate_if(Gate::X, &[q], Condition::bit(bit))
+    }
+
+    /// Measures every qubit into the classical bit of equal index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has fewer classical bits than qubits.
+    pub fn measure_all(&mut self) -> &mut Self {
+        assert!(
+            self.num_clbits >= self.num_qubits,
+            "measure_all needs at least as many clbits ({}) as qubits ({})",
+            self.num_clbits,
+            self.num_qubits
+        );
+        for q in 0..self.num_qubits {
+            self.measure(Qubit::new(q), Clbit::new(q));
+        }
+        self
+    }
+
+    // --- whole-circuit operations ------------------------------------------
+
+    /// Appends every instruction of `other`, mapping `other`'s qubit `k` to
+    /// `qubit_map[k]` and clbit `k` to `clbit_map[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a map is shorter than `other`'s wire count or maps onto
+    /// out-of-range wires of `self`.
+    pub fn compose(
+        &mut self,
+        other: &Circuit,
+        qubit_map: &[Qubit],
+        clbit_map: &[Clbit],
+    ) -> &mut Self {
+        assert!(
+            qubit_map.len() >= other.num_qubits,
+            "qubit map covers {} of {} qubits",
+            qubit_map.len(),
+            other.num_qubits
+        );
+        assert!(
+            clbit_map.len() >= other.num_clbits,
+            "clbit map covers {} of {} clbits",
+            clbit_map.len(),
+            other.num_clbits
+        );
+        for inst in &other.instructions {
+            self.push(inst.remapped(qubit_map, clbit_map));
+        }
+        self
+    }
+
+    /// Appends every instruction of `other` onto the same-indexed wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more wires than `self`.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        let qmap: Vec<Qubit> = (0..other.num_qubits).map(Qubit::new).collect();
+        let cmap: Vec<Clbit> = (0..other.num_clbits).map(Clbit::new).collect();
+        self.compose(other, &qmap, &cmap)
+    }
+
+    /// Returns the inverse circuit (gates reversed and inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotUnitary`] when the circuit contains
+    /// measurement, reset or classically conditioned operations, which have
+    /// no inverse.
+    pub fn inverse(&self) -> Result<Circuit, CircuitError> {
+        let mut out = Circuit::with_name(
+            format!("{}_dg", self.name),
+            self.num_qubits,
+            self.num_clbits,
+        );
+        out.qregs = self.qregs.clone();
+        out.cregs = self.cregs.clone();
+        for inst in self.instructions.iter().rev() {
+            if inst.is_conditioned() || inst.kind().is_nonunitary() {
+                return Err(CircuitError::NotUnitary {
+                    what: inst.to_string(),
+                });
+            }
+            match inst.kind() {
+                OpKind::Gate(g) => {
+                    out.push(Instruction::gate(g.inverse(), inst.qubits().to_vec()));
+                }
+                OpKind::Barrier => {
+                    out.push(inst.clone());
+                }
+                _ => unreachable!("non-unitary handled above"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// `true` when the circuit contains only unconditioned unitary gates and
+    /// barriers (i.e. it has a well-defined unitary matrix).
+    #[must_use]
+    pub fn is_unitary_only(&self) -> bool {
+        self.instructions
+            .iter()
+            .all(|i| !i.kind().is_nonunitary() && !i.is_conditioned())
+    }
+
+    /// `true` when the circuit uses any dynamic-circuit primitive
+    /// (mid-circuit measurement followed by more operations, reset, or
+    /// classical conditions).
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        let last_quantum_op = self
+            .instructions
+            .iter()
+            .rposition(|i| !i.kind().is_nonunitary() && !i.is_barrier());
+        self.instructions.iter().enumerate().any(|(idx, i)| {
+            matches!(i.kind(), OpKind::Reset)
+                || i.is_conditioned()
+                || (matches!(i.kind(), OpKind::Measure)
+                    && last_quantum_op.is_some_and(|l| idx < l))
+        })
+    }
+
+    /// All qubits referenced by at least one instruction.
+    #[must_use]
+    pub fn active_qubits(&self) -> Vec<Qubit> {
+        let mut seen = vec![false; self.num_qubits];
+        for inst in &self.instructions {
+            for q in inst.qubits() {
+                seen[q.index()] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(Qubit::new(i)))
+            .collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} qubits, {} clbits):",
+            self.name, self.num_qubits, self.num_clbits
+        )?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut circ = Circuit::new(2, 1);
+        circ.h(q(0)).cx(q(0), q(1)).measure(q(1), c(0));
+        assert_eq!(circ.len(), 3);
+        assert!(!circ.is_empty());
+        assert_eq!(circ.num_qubits(), 2);
+        assert_eq!(circ.num_clbits(), 1);
+    }
+
+    #[test]
+    fn registers_grow_wire_counts() {
+        let mut circ = Circuit::new(0, 0);
+        let d = circ.add_qreg("d", 2);
+        let a = circ.add_qreg("a", 1);
+        let m = circ.add_creg("m", 2);
+        assert_eq!(circ.num_qubits(), 3);
+        assert_eq!(circ.num_clbits(), 2);
+        assert_eq!(d.qubit(1), q(1));
+        assert_eq!(a.qubit(0), q(2));
+        assert_eq!(m.bit(0), c(0));
+        assert_eq!(circ.qregs().len(), 2);
+        assert_eq!(circ.cregs().len(), 1);
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_range_qubit() {
+        let mut circ = Circuit::new(1, 0);
+        let err = circ
+            .try_push(Instruction::gate(Gate::X, vec![q(1)]))
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_range_condition_bit() {
+        let mut circ = Circuit::new(1, 1);
+        let inst =
+            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::bit(c(3)));
+        assert!(matches!(
+            circ.try_push(inst),
+            Err(CircuitError::ClbitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid instruction")]
+    fn push_panics_on_bad_wire() {
+        let mut circ = Circuit::new(1, 0);
+        circ.x(q(5));
+    }
+
+    #[test]
+    fn compose_remaps_wires() {
+        let mut inner = Circuit::new(2, 1);
+        inner.cx(q(0), q(1)).measure(q(1), c(0));
+        let mut outer = Circuit::new(3, 2);
+        outer.compose(&inner, &[q(2), q(0)], &[c(1)]);
+        assert_eq!(outer.instructions()[0].qubits(), &[q(2), q(0)]);
+        assert_eq!(outer.instructions()[1].clbits_written(), &[c(1)]);
+    }
+
+    #[test]
+    fn extend_preserves_wires() {
+        let mut a = Circuit::new(2, 0);
+        a.h(q(0));
+        let mut b = Circuit::new(2, 0);
+        b.cx(q(0), q(1));
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.instructions()[1].qubits(), &[q(0), q(1)]);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut circ = Circuit::new(1, 0);
+        circ.h(q(0)).t(q(0));
+        let inv = circ.inverse().unwrap();
+        assert_eq!(inv.instructions()[0].as_gate(), Some(&Gate::Tdg));
+        assert_eq!(inv.instructions()[1].as_gate(), Some(&Gate::H));
+        assert_eq!(inv.name(), "circuit_dg");
+    }
+
+    #[test]
+    fn inverse_fails_on_measurement() {
+        let mut circ = Circuit::new(1, 1);
+        circ.measure(q(0), c(0));
+        assert!(matches!(
+            circ.inverse(),
+            Err(CircuitError::NotUnitary { .. })
+        ));
+    }
+
+    #[test]
+    fn unitary_only_and_dynamic_classification() {
+        let mut u = Circuit::new(2, 0);
+        u.h(q(0)).cx(q(0), q(1));
+        assert!(u.is_unitary_only());
+        assert!(!u.is_dynamic());
+
+        // Terminal measurement alone is not "dynamic".
+        let mut m = Circuit::new(1, 1);
+        m.h(q(0)).measure(q(0), c(0));
+        assert!(!m.is_dynamic());
+
+        // Mid-circuit measurement is.
+        let mut mid = Circuit::new(1, 1);
+        mid.measure(q(0), c(0)).h(q(0));
+        assert!(mid.is_dynamic());
+
+        // Reset is.
+        let mut r = Circuit::new(1, 0);
+        r.reset(q(0));
+        assert!(r.is_dynamic());
+
+        // Classical condition is.
+        let mut cc = Circuit::new(1, 1);
+        cc.x_if(q(0), c(0));
+        assert!(cc.is_dynamic());
+        assert!(!cc.is_unitary_only());
+    }
+
+    #[test]
+    fn active_qubits_skips_idle_wires() {
+        let mut circ = Circuit::new(3, 0);
+        circ.h(q(2));
+        assert_eq!(circ.active_qubits(), vec![q(2)]);
+    }
+
+    #[test]
+    fn measure_all_measures_in_order() {
+        let mut circ = Circuit::new(2, 2);
+        circ.measure_all();
+        assert_eq!(circ.len(), 2);
+        assert_eq!(circ.instructions()[1].qubits(), &[q(1)]);
+        assert_eq!(circ.instructions()[1].clbits_written(), &[c(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "measure_all needs")]
+    fn measure_all_requires_clbits() {
+        let mut circ = Circuit::new(2, 1);
+        circ.measure_all();
+    }
+
+    #[test]
+    fn mcx_builds_wide_gates() {
+        let mut circ = Circuit::new(4, 0);
+        circ.mcx(&[q(0), q(1), q(2)], q(3));
+        assert_eq!(circ.instructions()[0].as_gate(), Some(&Gate::Mcx(3)));
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut circ = Circuit::with_name("demo", 1, 1);
+        circ.h(q(0)).measure(q(0), c(0));
+        let text = circ.to_string();
+        assert!(text.contains("demo (1 qubits, 1 clbits)"));
+        assert!(text.contains("h q0"));
+        assert!(text.contains("measure q0 -> c0"));
+    }
+
+    #[test]
+    fn into_iterator_yields_instructions() {
+        let mut circ = Circuit::new(1, 0);
+        circ.h(q(0)).x(q(0));
+        let names: Vec<_> = (&circ).into_iter().map(|i| i.kind().name().to_string()).collect();
+        assert_eq!(names, vec!["h", "x"]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Commutation analysis between instructions.
+//!
+//! The dynamic-circuit transformation replays gates out of their original
+//! order; doing so is only sound when the hoisted gate commutes with every
+//! deferred gate it passes. This module decides commutativity exactly, by
+//! comparing the two operator products on the union of the instructions'
+//! qubit supports.
+
+use crate::gate::Gate;
+use crate::instruction::{Instruction, OpKind};
+use crate::register::Qubit;
+/// Tolerance for the matrix commutation test.
+const COMMUTE_TOL: f64 = 1e-9;
+
+/// Returns `true` when the two gates, applied to the given operand lists,
+/// commute as operators: `B·A == A·B`.
+///
+/// Disjoint supports commute trivially; overlapping supports are decided by
+/// an exact matrix test on the (small) union of the supports.
+///
+/// # Panics
+///
+/// Panics if an operand list length does not match its gate's arity.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{commute::gates_commute, Gate, Qubit};
+/// let q = |i| Qubit::new(i);
+/// // Two CNOTs sharing only their control commute.
+/// assert!(gates_commute(&Gate::Cx, &[q(0), q(1)], &Gate::Cx, &[q(0), q(2)]));
+/// // CX and a Hadamard on the control do not.
+/// assert!(!gates_commute(&Gate::Cx, &[q(0), q(1)], &Gate::H, &[q(0)]));
+/// ```
+#[must_use]
+pub fn gates_commute(a: &Gate, a_qubits: &[Qubit], b: &Gate, b_qubits: &[Qubit]) -> bool {
+    assert_eq!(a_qubits.len(), a.num_qubits(), "operand count mismatch for {a}");
+    assert_eq!(b_qubits.len(), b.num_qubits(), "operand count mismatch for {b}");
+    if a_qubits.iter().all(|q| !b_qubits.contains(q)) {
+        return true;
+    }
+    // Union support, in deterministic order.
+    let mut support: Vec<Qubit> = a_qubits.to_vec();
+    for q in b_qubits {
+        if !support.contains(q) {
+            support.push(*q);
+        }
+    }
+    let n = support.len();
+    let pos = |qs: &[Qubit]| -> Vec<usize> {
+        qs.iter()
+            .map(|q| support.iter().position(|s| s == q).expect("in support"))
+            .collect()
+    };
+    let ma = a.matrix().embed(&pos(a_qubits), n);
+    let mb = b.matrix().embed(&pos(b_qubits), n);
+    ma.mul(&mb).approx_eq(&mb.mul(&ma), COMMUTE_TOL)
+}
+
+/// Returns `true` when two instructions can safely exchange order.
+///
+/// Gate/gate pairs defer to [`gates_commute`]. Any pair involving a
+/// measurement, reset, barrier or classically conditioned operation is
+/// treated conservatively: it commutes only when the instructions share no
+/// qubit wire and no classical bit.
+#[must_use]
+pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
+    let share_qubit = a.qubits().iter().any(|q| b.qubits().contains(q));
+    let a_cl: Vec<_> = a
+        .clbits_written()
+        .iter()
+        .copied()
+        .chain(a.clbits_read())
+        .collect();
+    let b_cl: Vec<_> = b
+        .clbits_written()
+        .iter()
+        .copied()
+        .chain(b.clbits_read())
+        .collect();
+    let share_clbit = a_cl.iter().any(|c| b_cl.contains(c));
+
+    match (a.kind(), b.kind()) {
+        (OpKind::Gate(ga), OpKind::Gate(gb))
+            if !a.is_conditioned() && !b.is_conditioned() =>
+        {
+            gates_commute(ga, a.qubits(), gb, b.qubits())
+        }
+        _ => !share_qubit && !share_clbit,
+    }
+}
+
+/// The CV-family on a common target: controlled powers of X all commute with
+/// each other. Exposed as a fast path for the transformation's scheduler and
+/// checked against the matrix test in this module's tests.
+#[must_use]
+pub fn is_x_power_controlled(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::Cx | Gate::Cv | Gate::Cvdg | Gate::Ccx | Gate::Mcx(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Condition;
+    use crate::register::Clbit;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn disjoint_supports_commute() {
+        assert!(gates_commute(&Gate::H, &[q(0)], &Gate::X, &[q(1)]));
+    }
+
+    #[test]
+    fn same_qubit_x_and_z_anticommute() {
+        assert!(!gates_commute(&Gate::X, &[q(0)], &Gate::Z, &[q(0)]));
+    }
+
+    #[test]
+    fn x_and_v_on_same_qubit_commute() {
+        // V is a function of X.
+        assert!(gates_commute(&Gate::X, &[q(0)], &Gate::V, &[q(0)]));
+    }
+
+    #[test]
+    fn cnots_sharing_control_commute() {
+        assert!(gates_commute(&Gate::Cx, &[q(0), q(1)], &Gate::Cx, &[q(0), q(2)]));
+    }
+
+    #[test]
+    fn cnots_sharing_target_commute() {
+        assert!(gates_commute(&Gate::Cx, &[q(0), q(2)], &Gate::Cx, &[q(1), q(2)]));
+    }
+
+    #[test]
+    fn cnot_chain_does_not_commute() {
+        // CX(0->1) and CX(1->2) share qubit 1 as target/control.
+        assert!(!gates_commute(&Gate::Cx, &[q(0), q(1)], &Gate::Cx, &[q(1), q(2)]));
+    }
+
+    #[test]
+    fn cx_and_t_on_target_do_not_commute() {
+        // The non-commutation the paper highlights in Section IV-B.
+        assert!(!gates_commute(&Gate::Cx, &[q(0), q(1)], &Gate::T, &[q(1)]));
+    }
+
+    #[test]
+    fn cx_and_t_on_control_commute() {
+        assert!(gates_commute(&Gate::Cx, &[q(0), q(1)], &Gate::T, &[q(0)]));
+    }
+
+    #[test]
+    fn cv_family_on_common_target_commutes() {
+        // CV(a,t), CV(b,t), CX(a,t), CCX(a,b,t) pairwise commute: the
+        // property Eqn (7) of the paper relies on to reorder the oracle.
+        let pairs: Vec<(Gate, Vec<Qubit>)> = vec![
+            (Gate::Cv, vec![q(0), q(3)]),
+            (Gate::Cvdg, vec![q(1), q(3)]),
+            (Gate::Cx, vec![q(0), q(3)]),
+            (Gate::Ccx, vec![q(0), q(1), q(3)]),
+            (Gate::Mcx(3), vec![q(0), q(1), q(2), q(3)]),
+        ];
+        for (ga, qa) in &pairs {
+            assert!(is_x_power_controlled(ga));
+            for (gb, qb) in &pairs {
+                assert!(
+                    gates_commute(ga, qa, gb, qb),
+                    "{ga} and {gb} should commute on a common target"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cv_and_hadamard_on_target_do_not_commute() {
+        assert!(!gates_commute(&Gate::Cv, &[q(0), q(1)], &Gate::H, &[q(1)]));
+    }
+
+    #[test]
+    fn swap_and_cx_overlap() {
+        assert!(!gates_commute(&Gate::Swap, &[q(0), q(1)], &Gate::Cx, &[q(0), q(2)]));
+    }
+
+    #[test]
+    fn instruction_gate_pairs_use_matrix_test() {
+        let a = Instruction::gate(Gate::Cx, vec![q(0), q(1)]);
+        let b = Instruction::gate(Gate::Cx, vec![q(0), q(2)]);
+        assert!(instructions_commute(&a, &b));
+        let c = Instruction::gate(Gate::H, vec![q(0)]);
+        assert!(!instructions_commute(&a, &c));
+    }
+
+    #[test]
+    fn measurement_blocks_same_qubit() {
+        let m = Instruction::measure(q(0), Clbit::new(0));
+        let g = Instruction::gate(Gate::H, vec![q(0)]);
+        assert!(!instructions_commute(&m, &g));
+        let far = Instruction::gate(Gate::H, vec![q(1)]);
+        assert!(instructions_commute(&m, &far));
+    }
+
+    #[test]
+    fn measurement_blocks_condition_on_same_bit() {
+        let m = Instruction::measure(q(0), Clbit::new(0));
+        let g = Instruction::gate(Gate::X, vec![q(1)])
+            .with_condition(Condition::bit(Clbit::new(0)));
+        assert!(!instructions_commute(&m, &g));
+    }
+
+    #[test]
+    fn conditioned_gates_are_conservative_even_when_matrices_commute() {
+        let a = Instruction::gate(Gate::X, vec![q(0)])
+            .with_condition(Condition::bit(Clbit::new(0)));
+        let b = Instruction::gate(Gate::V, vec![q(0)]);
+        // X and V commute as matrices, but the conditioned X is treated
+        // conservatively because its action depends on the classical state.
+        assert!(!instructions_commute(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "operand count mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = gates_commute(&Gate::Cx, &[q(0)], &Gate::H, &[q(0)]);
+    }
+}

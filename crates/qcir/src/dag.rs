@@ -1,0 +1,255 @@
+//! Dependency DAG over circuit instructions.
+//!
+//! Two instructions are ordered when they share a resource: a qubit wire, a
+//! classical bit one of them writes, or a classical bit one reads that the
+//! other writes. The DAG drives depth computation, commutation-aware
+//! analyses and the iteration scheduling of the DQC transformation.
+
+use crate::circuit::Circuit;
+use std::collections::HashMap;
+
+/// A dependency graph over the instructions of a [`Circuit`].
+///
+/// Node `k` is instruction `k` of the source circuit. Edges point from each
+/// instruction to the instructions that must run after it.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Circuit, Qubit, DagCircuit};
+///
+/// let mut c = Circuit::new(2, 0);
+/// c.h(Qubit::new(0)).cx(Qubit::new(0), Qubit::new(1)).h(Qubit::new(1));
+/// let dag = DagCircuit::from_circuit(&c);
+/// assert_eq!(dag.successors(0), &[1]);
+/// assert_eq!(dag.successors(1), &[2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DagCircuit {
+    successors: Vec<Vec<usize>>,
+    predecessors: Vec<Vec<usize>>,
+}
+
+impl DagCircuit {
+    /// Builds the dependency DAG of `circuit`.
+    #[must_use]
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        // Last instruction to touch each resource. Qubit wires use the key
+        // (0, index); classical wires use (1, index).
+        let mut last_touch: HashMap<(u8, usize), usize> = HashMap::new();
+
+        for (idx, inst) in circuit.iter().enumerate() {
+            let mut deps: Vec<usize> = Vec::new();
+            for q in inst.qubits() {
+                if let Some(&prev) = last_touch.get(&(0, q.index())) {
+                    deps.push(prev);
+                }
+            }
+            for c in inst
+                .clbits_written()
+                .iter()
+                .copied()
+                .chain(inst.clbits_read())
+            {
+                if let Some(&prev) = last_touch.get(&(1, c.index())) {
+                    deps.push(prev);
+                }
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            for d in deps {
+                if d != idx {
+                    successors[d].push(idx);
+                    predecessors[idx].push(d);
+                }
+            }
+            for q in inst.qubits() {
+                last_touch.insert((0, q.index()), idx);
+            }
+            for c in inst
+                .clbits_written()
+                .iter()
+                .copied()
+                .chain(inst.clbits_read())
+            {
+                last_touch.insert((1, c.index()), idx);
+            }
+        }
+        for s in &mut successors {
+            s.sort_unstable();
+            s.dedup();
+        }
+        for p in &mut predecessors {
+            p.sort_unstable();
+            p.dedup();
+        }
+        Self {
+            successors,
+            predecessors,
+        }
+    }
+
+    /// Number of nodes (instructions).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// `true` when the DAG has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.successors.is_empty()
+    }
+
+    /// Instructions that must run after instruction `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn successors(&self, node: usize) -> &[usize] {
+        &self.successors[node]
+    }
+
+    /// Instructions that must run before instruction `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn predecessors(&self, node: usize) -> &[usize] {
+        &self.predecessors[node]
+    }
+
+    /// Nodes with no predecessors (instructions that can run first).
+    #[must_use]
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.predecessors[i].is_empty())
+            .collect()
+    }
+
+    /// A topological ordering of the nodes.
+    ///
+    /// The construction order is already topological, so this is the
+    /// identity permutation; it exists so algorithms can state their
+    /// assumption explicitly.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<usize> {
+        (0..self.len()).collect()
+    }
+
+    /// Partitions the nodes into ASAP layers: a node's layer is one past the
+    /// maximum layer of its predecessors.
+    #[must_use]
+    pub fn layers(&self) -> Vec<Vec<usize>> {
+        let mut level = vec![0usize; self.len()];
+        let mut max_level = 0usize;
+        for node in 0..self.len() {
+            let l = self.predecessors[node]
+                .iter()
+                .map(|&p| level[p] + 1)
+                .max()
+                .unwrap_or(0);
+            level[node] = l;
+            max_level = max_level.max(l);
+        }
+        let mut out = vec![Vec::new(); if self.is_empty() { 0 } else { max_level + 1 }];
+        for (node, &l) in level.iter().enumerate() {
+            out[l].push(node);
+        }
+        out
+    }
+
+    /// Length of the longest dependency chain, in nodes.
+    #[must_use]
+    pub fn longest_path_len(&self) -> usize {
+        self.layers().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    #[test]
+    fn independent_gates_have_no_edges() {
+        let mut circ = Circuit::new(2, 0);
+        circ.h(q(0)).h(q(1));
+        let dag = DagCircuit::from_circuit(&circ);
+        assert!(dag.successors(0).is_empty());
+        assert!(dag.successors(1).is_empty());
+        assert_eq!(dag.roots(), vec![0, 1]);
+        assert_eq!(dag.layers(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn shared_qubit_orders_gates() {
+        let mut circ = Circuit::new(2, 0);
+        circ.h(q(0)).cx(q(0), q(1)).x(q(1));
+        let dag = DagCircuit::from_circuit(&circ);
+        assert_eq!(dag.successors(0), &[1]);
+        assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.longest_path_len(), 3);
+    }
+
+    #[test]
+    fn measurement_to_condition_creates_classical_edge() {
+        let mut circ = Circuit::new(2, 1);
+        circ.measure(q(0), c(0)).x_if(q(1), c(0));
+        let dag = DagCircuit::from_circuit(&circ);
+        // The conditioned X acts on a different qubit but reads c0.
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn condition_then_measure_also_ordered() {
+        // A gate reading a bit must stay before a later measurement
+        // overwriting that bit.
+        let mut circ = Circuit::new(2, 1);
+        circ.x_if(q(1), c(0)).measure(q(0), c(0));
+        let dag = DagCircuit::from_circuit(&circ);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn duplicate_resource_edges_are_deduped() {
+        let mut circ = Circuit::new(2, 0);
+        circ.cx(q(0), q(1)).cx(q(0), q(1));
+        let dag = DagCircuit::from_circuit(&circ);
+        assert_eq!(dag.successors(0), &[1]);
+        assert_eq!(dag.predecessors(1), &[0]);
+    }
+
+    #[test]
+    fn layers_partition_all_nodes() {
+        let mut circ = Circuit::new(3, 0);
+        circ.h(q(0)).h(q(1)).cx(q(0), q(1)).h(q(2));
+        let dag = DagCircuit::from_circuit(&circ);
+        let layers = dag.layers();
+        let total: usize = layers.iter().map(Vec::len).sum();
+        assert_eq!(total, circ.len());
+        assert_eq!(layers[0], vec![0, 1, 3]);
+        assert_eq!(layers[1], vec![2]);
+    }
+
+    #[test]
+    fn empty_circuit_yields_empty_dag() {
+        let dag = DagCircuit::from_circuit(&Circuit::new(3, 0));
+        assert!(dag.is_empty());
+        assert_eq!(dag.longest_path_len(), 0);
+        assert!(dag.layers().is_empty());
+    }
+}

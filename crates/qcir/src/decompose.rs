@@ -1,0 +1,386 @@
+//! Gate decompositions: Toffoli and multi-control Toffoli lowering.
+//!
+//! Three Toffoli realizations are provided, matching the paper:
+//!
+//! * [`ccx_clifford_t`] — the standard 15-gate Clifford+T network (Fig. 2),
+//!   used for the *traditional* benchmark circuits;
+//! * [`ccx_cv`] — the 5-gate CV/CV†/CX network of Barenco et al. (Eqn 1),
+//!   the basis of the **dynamic-1** scheme;
+//! * [`ccx_cv_ancilla`] — the ancilla-unrolled CV network (Eqn 3), the basis
+//!   of the **dynamic-2** scheme: `CCX = CV(c0,t)·CV(c1,t)·CV†(a,t)` with
+//!   `a = c0 xor c1` computed (and uncomputed) on a clean ancilla.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::Instruction;
+use crate::register::Qubit;
+
+/// How to lower a Toffoli ([`Gate::Ccx`]) to two-qubit primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToffoliStyle {
+    /// 15-gate H/T/T†/CX network (the paper's Fig. 2).
+    CliffordT,
+    /// 5-gate CV/CV†/CX network (the paper's Eqn 1); yields **dynamic-1**.
+    CvChain,
+    /// CV network unrolled over a clean shared ancilla (the paper's Eqn 3);
+    /// yields **dynamic-2** and enables the Lemma 1 iteration sharing.
+    CvAncilla,
+}
+
+/// The 15-gate Clifford+T Toffoli on qubits `[c0, c1, t] = [0, 1, 2]`.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::decompose::ccx_clifford_t;
+/// assert_eq!(ccx_clifford_t().len(), 15);
+/// ```
+#[must_use]
+pub fn ccx_clifford_t() -> Circuit {
+    let (c0, c1, t) = (Qubit::new(0), Qubit::new(1), Qubit::new(2));
+    let mut c = Circuit::with_name("ccx_clifford_t", 3, 0);
+    c.h(t)
+        .cx(c1, t)
+        .tdg(t)
+        .cx(c0, t)
+        .t(t)
+        .cx(c1, t)
+        .tdg(t)
+        .cx(c0, t)
+        .t(c1)
+        .t(t)
+        .h(t)
+        .cx(c0, c1)
+        .t(c0)
+        .tdg(c1)
+        .cx(c0, c1);
+    c
+}
+
+/// The 5-gate CV-network Toffoli on qubits `[c0, c1, t] = [0, 1, 2]`:
+/// `CV(c1,t) · CX(c0,c1) · CV†(c1,t) · CX(c0,c1) · CV(c0,t)`.
+///
+/// The target receives `V^{c1} · V†^{c0 xor c1} · V^{c0} = V^{2·c0·c1} =
+/// X^{c0·c1}`.
+#[must_use]
+pub fn ccx_cv() -> Circuit {
+    let (c0, c1, t) = (Qubit::new(0), Qubit::new(1), Qubit::new(2));
+    let mut c = Circuit::with_name("ccx_cv", 3, 0);
+    c.cv(c1, t)
+        .cx(c0, c1)
+        .cvdg(c1, t)
+        .cx(c0, c1)
+        .cv(c0, t);
+    c
+}
+
+/// The ancilla-unrolled CV Toffoli on qubits `[c0, c1, t, a] = [0, 1, 2, 3]`
+/// with `a` a clean (`|0>`) ancilla that is returned clean:
+/// `CV(c0,t) · CX(c0,a) · CV(c1,t) · CX(c1,a) · CV†(a,t) · CX(c1,a) · CX(c0,a)`.
+///
+/// The target receives `V^{c0+c1-(c0 xor c1)} = X^{c0·c1}`; no gate couples
+/// the two control qubits directly, which is what buys the dynamic-2 scheme
+/// its accuracy.
+#[must_use]
+pub fn ccx_cv_ancilla() -> Circuit {
+    let (c0, c1, t, a) = (Qubit::new(0), Qubit::new(1), Qubit::new(2), Qubit::new(3));
+    let mut c = Circuit::with_name("ccx_cv_ancilla", 4, 0);
+    c.cv(c0, t)
+        .cx(c0, a)
+        .cv(c1, t)
+        .cx(c1, a)
+        .cvdg(a, t)
+        .cx(c1, a)
+        .cx(c0, a);
+    c
+}
+
+/// The Clifford+T realization of CV or CV† on `[control, target] = [0, 1]`
+/// (the paper's Fig. 6), via `V = H·S·H` and `CS = T ctrl, T tgt,
+/// CX, T† tgt, CX`.
+#[must_use]
+pub fn cv_clifford_t(dagger: bool) -> Circuit {
+    let (c0, t) = (Qubit::new(0), Qubit::new(1));
+    let mut c = Circuit::with_name(if dagger { "cvdg_clifford_t" } else { "cv_clifford_t" }, 2, 0);
+    c.h(t);
+    if dagger {
+        c.tdg(c0).tdg(t).cx(c0, t).t(t).cx(c0, t);
+    } else {
+        c.t(c0).t(t).cx(c0, t).tdg(t).cx(c0, t);
+    }
+    c.h(t);
+    c
+}
+
+/// A multi-control Toffoli ladder: `MCX_n` on `n` controls lowered to
+/// `2(n-2)+1` Toffolis using `n-2` clean ancillas (returned clean).
+///
+/// Qubit layout of the returned circuit: controls `0..n`, target `n`,
+/// ancillas `n+1..2n-1`.
+///
+/// # Panics
+///
+/// Panics if `n_controls < 3` (smaller cases are already primitive gates).
+#[must_use]
+pub fn mcx_ladder(n_controls: usize) -> Circuit {
+    assert!(n_controls >= 3, "mcx_ladder needs at least 3 controls");
+    let n = n_controls;
+    let target = Qubit::new(n);
+    let anc = |i: usize| Qubit::new(n + 1 + i);
+    let ctrl = Qubit::new;
+    let mut c = Circuit::with_name("mcx_ladder", 2 * n - 1, 0);
+    // Compute chain: a0 = c0 & c1, a_i = a_{i-1} & c_{i+1}.
+    c.ccx(ctrl(0), ctrl(1), anc(0));
+    for i in 1..n - 2 {
+        c.ccx(anc(i - 1), ctrl(i + 1), anc(i));
+    }
+    c.ccx(anc(n - 3), ctrl(n - 1), target);
+    // Uncompute in reverse.
+    for i in (1..n - 2).rev() {
+        c.ccx(anc(i - 1), ctrl(i + 1), anc(i));
+    }
+    c.ccx(ctrl(0), ctrl(1), anc(0));
+    c
+}
+
+/// Rewrites every Toffoli in `circuit` according to `style`, leaving all
+/// other instructions untouched.
+///
+/// For [`ToffoliStyle::CvAncilla`] one clean ancilla wire is appended **per
+/// distinct Toffoli target** (in order of first appearance) and shared by
+/// every Toffoli with that target — each one uncomputes it back to `|0>`.
+/// Sharing the ancilla among same-target Toffolis is what lets the dynamic
+/// transformation realize them all with a single extra iteration (the
+/// paper's Lemma 1); Toffolis with *different* targets need separate
+/// ancillas or their control/target dependencies become cyclic.
+#[must_use]
+pub fn decompose_ccx(circuit: &Circuit, style: ToffoliStyle) -> Circuit {
+    // Ancilla wire per distinct Toffoli target, in first-appearance order.
+    let mut targets: Vec<Qubit> = Vec::new();
+    if style == ToffoliStyle::CvAncilla {
+        for inst in circuit.iter() {
+            if matches!(inst.as_gate(), Some(Gate::Ccx)) && !inst.is_conditioned() {
+                let t = inst.qubits()[2];
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+        }
+    }
+    let base = circuit.num_qubits();
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        base + targets.len(),
+        circuit.num_clbits(),
+    );
+    let ancilla_of = |t: Qubit| -> Qubit {
+        let idx = targets.iter().position(|&x| x == t).expect("target known");
+        Qubit::new(base + idx)
+    };
+    for inst in circuit.iter() {
+        match inst.as_gate() {
+            Some(Gate::Ccx) if !inst.is_conditioned() => {
+                let q = inst.qubits();
+                let (template, qmap): (Circuit, Vec<Qubit>) = match style {
+                    ToffoliStyle::CliffordT => (ccx_clifford_t(), q.to_vec()),
+                    ToffoliStyle::CvChain => (ccx_cv(), q.to_vec()),
+                    ToffoliStyle::CvAncilla => {
+                        let mut m = q.to_vec();
+                        m.push(ancilla_of(q[2]));
+                        (ccx_cv_ancilla(), m)
+                    }
+                };
+                out.compose(&template, &qmap, &[]);
+            }
+            _ => {
+                out.push(inst.clone());
+            }
+        }
+    }
+    out
+}
+
+/// The ancilla wires [`decompose_ccx`] would append for
+/// [`ToffoliStyle::CvAncilla`]: one per distinct Toffoli target, placed
+/// after the circuit's existing wires in first-appearance order.
+#[must_use]
+pub fn cv_ancilla_wires(circuit: &Circuit) -> Vec<Qubit> {
+    let mut targets: Vec<Qubit> = Vec::new();
+    for inst in circuit.iter() {
+        if matches!(inst.as_gate(), Some(Gate::Ccx)) && !inst.is_conditioned() {
+            let t = inst.qubits()[2];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+    }
+    (0..targets.len())
+        .map(|i| Qubit::new(circuit.num_qubits() + i))
+        .collect()
+}
+
+/// Rewrites every CV/CV† in `circuit` into Clifford+T (the paper's Fig. 6).
+#[must_use]
+pub fn decompose_cv(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+    );
+    for inst in circuit.iter() {
+        match inst.as_gate() {
+            Some(g @ (Gate::Cv | Gate::Cvdg)) if !inst.is_conditioned() => {
+                let template = cv_clifford_t(matches!(g, Gate::Cvdg));
+                out.compose(&template, inst.qubits(), &[]);
+            }
+            _ => {
+                out.push(inst.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Rewrites every `MCX_n` with `n >= 3` into Toffolis via [`mcx_ladder`],
+/// appending the required ancilla wires (shared across all MCX instances,
+/// sized for the widest one).
+#[must_use]
+pub fn decompose_mcx(circuit: &Circuit) -> Circuit {
+    let widest = circuit
+        .iter()
+        .filter_map(|i| match i.as_gate() {
+            Some(Gate::Mcx(n)) if *n >= 3 => Some(*n),
+            _ => None,
+        })
+        .max();
+    let extra = widest.map_or(0, |n| n - 2);
+    let base = circuit.num_qubits();
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        base + extra,
+        circuit.num_clbits(),
+    );
+    for inst in circuit.iter() {
+        match inst.as_gate() {
+            Some(Gate::Mcx(n)) if *n >= 3 && !inst.is_conditioned() => {
+                let mut qmap = inst.qubits().to_vec();
+                for i in 0..(n - 2) {
+                    qmap.push(Qubit::new(base + i));
+                }
+                out.compose(&mcx_ladder(*n), &qmap, &[]);
+            }
+            Some(Gate::Mcx(2)) if !inst.is_conditioned() => {
+                out.push(Instruction::gate(Gate::Ccx, inst.qubits().to_vec()));
+            }
+            Some(Gate::Mcx(1)) if !inst.is_conditioned() => {
+                out.push(Instruction::gate(Gate::Cx, inst.qubits().to_vec()));
+            }
+            _ => {
+                out.push(inst.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clifford_t_toffoli_has_fifteen_gates() {
+        let c = ccx_clifford_t();
+        assert_eq!(c.len(), 15);
+        assert!(c.is_unitary_only());
+    }
+
+    #[test]
+    fn cv_toffoli_has_five_gates() {
+        assert_eq!(ccx_cv().len(), 5);
+    }
+
+    #[test]
+    fn cv_ancilla_toffoli_has_seven_gates_on_four_qubits() {
+        let c = ccx_cv_ancilla();
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.num_qubits(), 4);
+    }
+
+    #[test]
+    fn cv_clifford_t_is_seven_gates() {
+        assert_eq!(cv_clifford_t(false).len(), 7);
+        assert_eq!(cv_clifford_t(true).len(), 7);
+    }
+
+    #[test]
+    fn decompose_ccx_replaces_only_toffolis() {
+        let mut c = Circuit::new(3, 0);
+        c.h(Qubit::new(0))
+            .ccx(Qubit::new(0), Qubit::new(1), Qubit::new(2));
+        let lowered = decompose_ccx(&c, ToffoliStyle::CliffordT);
+        assert_eq!(lowered.len(), 16);
+        assert_eq!(lowered.num_qubits(), 3);
+        assert!(lowered.iter().all(|i| i.as_gate() != Some(&Gate::Ccx)));
+    }
+
+    #[test]
+    fn decompose_ccx_ancilla_adds_one_shared_wire() {
+        let mut c = Circuit::new(4, 0);
+        c.ccx(Qubit::new(0), Qubit::new(1), Qubit::new(3))
+            .ccx(Qubit::new(1), Qubit::new(2), Qubit::new(3));
+        let lowered = decompose_ccx(&c, ToffoliStyle::CvAncilla);
+        assert_eq!(lowered.num_qubits(), 5);
+        assert_eq!(lowered.len(), 14);
+    }
+
+    #[test]
+    fn decompose_ccx_without_toffolis_is_identity() {
+        let mut c = Circuit::new(2, 0);
+        c.h(Qubit::new(0)).cx(Qubit::new(0), Qubit::new(1));
+        let lowered = decompose_ccx(&c, ToffoliStyle::CvAncilla);
+        assert_eq!(lowered.num_qubits(), 2);
+        assert_eq!(lowered.len(), 2);
+    }
+
+    #[test]
+    fn mcx_ladder_counts() {
+        let c = mcx_ladder(3);
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.len(), 3);
+        let c4 = mcx_ladder(4);
+        assert_eq!(c4.num_qubits(), 7);
+        assert_eq!(c4.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 controls")]
+    fn mcx_ladder_rejects_small_cases() {
+        let _ = mcx_ladder(2);
+    }
+
+    #[test]
+    fn decompose_mcx_lowers_to_ccx() {
+        let mut c = Circuit::new(5, 0);
+        c.mcx(
+            &[Qubit::new(0), Qubit::new(1), Qubit::new(2), Qubit::new(3)],
+            Qubit::new(4),
+        );
+        let lowered = decompose_mcx(&c);
+        assert_eq!(lowered.num_qubits(), 7);
+        assert!(lowered
+            .iter()
+            .all(|i| matches!(i.as_gate(), Some(Gate::Ccx))));
+        assert_eq!(lowered.len(), 5);
+    }
+
+    #[test]
+    fn decompose_mcx_normalizes_narrow_mcx() {
+        let mut c = Circuit::new(3, 0);
+        c.mcx(&[Qubit::new(0)], Qubit::new(1));
+        c.mcx(&[Qubit::new(0), Qubit::new(1)], Qubit::new(2));
+        let lowered = decompose_mcx(&c);
+        assert_eq!(lowered.instructions()[0].as_gate(), Some(&Gate::Cx));
+        assert_eq!(lowered.instructions()[1].as_gate(), Some(&Gate::Ccx));
+        assert_eq!(lowered.num_qubits(), 3);
+    }
+}

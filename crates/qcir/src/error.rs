@@ -1,0 +1,77 @@
+//! Error types for circuit construction and transformation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or transforming a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A qubit operand exceeded the circuit's wire count.
+    QubitOutOfRange {
+        /// The offending global qubit index.
+        qubit: usize,
+        /// The circuit's qubit count.
+        num_qubits: usize,
+    },
+    /// A classical-bit operand exceeded the circuit's bit count.
+    ClbitOutOfRange {
+        /// The offending global classical-bit index.
+        clbit: usize,
+        /// The circuit's classical-bit count.
+        num_clbits: usize,
+    },
+    /// An operation without an inverse (measure, reset, conditioned gate)
+    /// was found where a unitary was required.
+    NotUnitary {
+        /// Rendering of the offending instruction.
+        what: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
+                write!(f, "classical bit {clbit} out of range for {num_clbits}-bit circuit")
+            }
+            CircuitError::NotUnitary { what } => {
+                write!(f, "operation has no unitary representation: {what}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 7,
+            num_qubits: 3,
+        };
+        assert_eq!(e.to_string(), "qubit 7 out of range for 3-qubit circuit");
+        let e = CircuitError::ClbitOutOfRange {
+            clbit: 2,
+            num_clbits: 1,
+        };
+        assert!(e.to_string().contains("classical bit 2"));
+        let e = CircuitError::NotUnitary {
+            what: "measure q0 -> c0".into(),
+        };
+        assert!(e.to_string().contains("measure"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

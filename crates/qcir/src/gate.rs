@@ -1,0 +1,490 @@
+//! The gate set: unitary operations and their matrices.
+
+use qmath::{C64, CMatrix};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+use std::fmt;
+
+/// A unitary quantum gate.
+///
+/// The set covers everything the reproduced paper needs: the Clifford+T basis
+/// (`H`, `X`, `S`, `T`, `CX`, ...), the controlled-sqrt-NOT gates `CV`/`CV†`
+/// of Barenco's Toffoli decomposition, the Toffoli gate itself, its
+/// multi-controlled generalisation (the paper's future-work target), and the
+/// rotation/phase gates needed for (iterative) QPE.
+///
+/// # Matrix convention
+///
+/// [`Gate::matrix`] returns the unitary with **operand `k` of the gate mapped
+/// to bit `k` of the basis-state index** (least-significant bit first). For
+/// [`Gate::Cx`] the first operand is the control, so the matrix sends index
+/// `0b01` (control 1, target 0) to `0b11`.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Gate;
+/// // V * V = X: the controlled-sqrt-NOT identity the paper's Eqn (1) uses.
+/// let v2 = Gate::V.matrix().mul(&Gate::V.matrix());
+/// assert!(v2.approx_eq(&Gate::X.matrix(), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = sqrt(Z).
+    S,
+    /// Inverse phase gate S†.
+    Sdg,
+    /// T = fourth root of Z.
+    T,
+    /// Inverse T†.
+    Tdg,
+    /// V = sqrt(X) (also written sqrt-NOT or SX).
+    V,
+    /// Inverse V† = sqrt(X)†.
+    Vdg,
+    /// Phase rotation `P(theta) = diag(1, e^{i theta})`.
+    P(f64),
+    /// Rotation about the X axis by `theta`.
+    Rx(f64),
+    /// Rotation about the Y axis by `theta`.
+    Ry(f64),
+    /// Rotation about the Z axis by `theta`.
+    Rz(f64),
+    /// Controlled-NOT; operands `[control, target]`.
+    Cx,
+    /// Controlled-Y; operands `[control, target]`.
+    Cy,
+    /// Controlled-Z; operands `[control, target]`.
+    Cz,
+    /// Controlled phase rotation; operands `[control, target]`.
+    Cp(f64),
+    /// Controlled-V (controlled sqrt-NOT); operands `[control, target]`.
+    Cv,
+    /// Controlled-V†; operands `[control, target]`.
+    Cvdg,
+    /// Swap of two qubits.
+    Swap,
+    /// Toffoli (doubly controlled NOT); operands `[control0, control1, target]`.
+    Ccx,
+    /// Doubly controlled Z; operands `[control0, control1, target]`.
+    Ccz,
+    /// Multiple-control Toffoli with `n` controls (`n >= 1`); operands
+    /// `[control0, ..., control_{n-1}, target]`. `Mcx(1)` equals [`Gate::Cx`]
+    /// and `Mcx(2)` equals [`Gate::Ccx`].
+    Mcx(usize),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            Gate::I
+            | Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::V
+            | Gate::Vdg
+            | Gate::P(_)
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_) => 1,
+            Gate::Cx
+            | Gate::Cy
+            | Gate::Cz
+            | Gate::Cp(_)
+            | Gate::Cv
+            | Gate::Cvdg
+            | Gate::Swap => 2,
+            Gate::Ccx | Gate::Ccz => 3,
+            Gate::Mcx(n) => n + 1,
+        }
+    }
+
+    /// Lower-case mnemonic used in QASM export and diagnostics.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::V => "sx",
+            Gate::Vdg => "sxdg",
+            Gate::P(_) => "p",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Cx => "cx",
+            Gate::Cy => "cy",
+            Gate::Cz => "cz",
+            Gate::Cp(_) => "cp",
+            Gate::Cv => "csx",
+            Gate::Cvdg => "csxdg",
+            Gate::Swap => "swap",
+            Gate::Ccx => "ccx",
+            Gate::Ccz => "ccz",
+            Gate::Mcx(_) => "mcx",
+        }
+    }
+
+    /// Angle parameters, empty for non-parameterised gates.
+    #[must_use]
+    pub fn params(&self) -> Vec<f64> {
+        match self {
+            Gate::P(t) | Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Cp(t) => vec![*t],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The inverse gate (`U†`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::Gate;
+    /// assert_eq!(Gate::T.inverse(), Gate::Tdg);
+    /// assert_eq!(Gate::Cx.inverse(), Gate::Cx);
+    /// ```
+    #[must_use]
+    pub fn inverse(&self) -> Gate {
+        match self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::V => Gate::Vdg,
+            Gate::Vdg => Gate::V,
+            Gate::Cv => Gate::Cvdg,
+            Gate::Cvdg => Gate::Cv,
+            Gate::P(t) => Gate::P(-t),
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Cp(t) => Gate::Cp(-t),
+            other => other.clone(),
+        }
+    }
+
+    /// `true` when the gate equals its own inverse.
+    #[must_use]
+    pub fn is_self_inverse(&self) -> bool {
+        *self == self.inverse()
+    }
+
+    /// `true` when the gate's matrix is diagonal in the computational basis.
+    ///
+    /// Diagonal gates commute with each other and with computational-basis
+    /// measurement — the property the dynamic transformation exploits.
+    #[must_use]
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::P(_)
+                | Gate::Rz(_)
+                | Gate::Cz
+                | Gate::Cp(_)
+                | Gate::Ccz
+        )
+    }
+
+    /// Number of control operands for controlled gates, 0 otherwise.
+    #[must_use]
+    pub fn num_controls(&self) -> usize {
+        match self {
+            Gate::Cx | Gate::Cy | Gate::Cz | Gate::Cp(_) | Gate::Cv | Gate::Cvdg => 1,
+            Gate::Ccx | Gate::Ccz => 2,
+            Gate::Mcx(n) => *n,
+            _ => 0,
+        }
+    }
+
+    /// The unitary matrix, with operand `k` on index bit `k` (LSB first).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcir::Gate;
+    /// assert!(Gate::Ccx.matrix().is_unitary(1e-12));
+    /// ```
+    #[must_use]
+    pub fn matrix(&self) -> CMatrix {
+        match self {
+            Gate::I => CMatrix::identity(2),
+            Gate::H => CMatrix::hadamard(),
+            Gate::X => CMatrix::pauli_x(),
+            Gate::Y => CMatrix::pauli_y(),
+            Gate::Z => CMatrix::pauli_z(),
+            Gate::S => phase_matrix(FRAC_PI_2),
+            Gate::Sdg => phase_matrix(-FRAC_PI_2),
+            Gate::T => phase_matrix(FRAC_PI_4),
+            Gate::Tdg => phase_matrix(-FRAC_PI_4),
+            Gate::V => sqrt_x_matrix(false),
+            Gate::Vdg => sqrt_x_matrix(true),
+            Gate::P(t) => phase_matrix(*t),
+            Gate::Rx(t) => {
+                let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
+                CMatrix::from_flat(vec![
+                    C64::real(c),
+                    C64::new(0.0, -sn),
+                    C64::new(0.0, -sn),
+                    C64::real(c),
+                ])
+            }
+            Gate::Ry(t) => {
+                let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
+                CMatrix::from_real(&[c, -sn, sn, c])
+            }
+            Gate::Rz(t) => CMatrix::from_flat(vec![
+                C64::cis(-t / 2.0),
+                C64::zero(),
+                C64::zero(),
+                C64::cis(t / 2.0),
+            ]),
+            Gate::Cx => CMatrix::controlled(&CMatrix::pauli_x(), 1),
+            Gate::Cy => CMatrix::controlled(&CMatrix::pauli_y(), 1),
+            Gate::Cz => CMatrix::controlled(&CMatrix::pauli_z(), 1),
+            Gate::Cp(t) => CMatrix::controlled(&phase_matrix(*t), 1),
+            Gate::Cv => CMatrix::controlled(&sqrt_x_matrix(false), 1),
+            Gate::Cvdg => CMatrix::controlled(&sqrt_x_matrix(true), 1),
+            Gate::Swap => {
+                let mut m = CMatrix::zeros(4, 4);
+                m[(0, 0)] = C64::one();
+                m[(1, 2)] = C64::one();
+                m[(2, 1)] = C64::one();
+                m[(3, 3)] = C64::one();
+                m
+            }
+            Gate::Ccx => CMatrix::controlled(&CMatrix::pauli_x(), 2),
+            Gate::Ccz => CMatrix::controlled(&CMatrix::pauli_z(), 2),
+            Gate::Mcx(n) => CMatrix::controlled(&CMatrix::pauli_x(), *n),
+        }
+    }
+}
+
+/// `diag(1, e^{i theta})`.
+fn phase_matrix(theta: f64) -> CMatrix {
+    CMatrix::from_flat(vec![C64::one(), C64::zero(), C64::zero(), C64::cis(theta)])
+}
+
+/// `sqrt(X)` or its dagger: `1/2 [[1±i, 1∓i], [1∓i, 1±i]]`.
+fn sqrt_x_matrix(dagger: bool) -> CMatrix {
+    let p = if dagger { -0.5 } else { 0.5 };
+    let a = C64::new(0.5, p);
+    let b = C64::new(0.5, -p);
+    CMatrix::from_flat(vec![a, b, b, a])
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            write!(f, "{}(", self.name())?;
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p:.6}")?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn all_fixed_gates() -> Vec<Gate> {
+        vec![
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::V,
+            Gate::Vdg,
+            Gate::P(0.3),
+            Gate::Rx(0.3),
+            Gate::Ry(0.3),
+            Gate::Rz(0.3),
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Cp(0.3),
+            Gate::Cv,
+            Gate::Cvdg,
+            Gate::Swap,
+            Gate::Ccx,
+            Gate::Ccz,
+            Gate::Mcx(3),
+            Gate::Mcx(4),
+        ]
+    }
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        for g in all_fixed_gates() {
+            let m = g.matrix();
+            assert!(m.is_unitary(1e-12), "{g} is not unitary");
+            assert_eq!(m.rows(), 1 << g.num_qubits(), "{g} has wrong dimension");
+        }
+    }
+
+    #[test]
+    fn every_gate_inverse_matrix_is_dagger() {
+        for g in all_fixed_gates() {
+            let m = g.matrix();
+            let inv = g.inverse().matrix();
+            assert!(
+                m.mul(&inv).approx_eq(&CMatrix::identity(m.rows()), 1e-12),
+                "{g} inverse is wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn v_squared_is_x() {
+        let v = Gate::V.matrix();
+        assert!(v.mul(&v).approx_eq(&Gate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn cv_squared_is_cx() {
+        let cv = Gate::Cv.matrix();
+        assert!(cv.mul(&cv).approx_eq(&Gate::Cx.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn s_is_t_squared() {
+        let t = Gate::T.matrix();
+        assert!(t.mul(&t).approx_eq(&Gate::S.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn v_equals_h_s_h() {
+        // V = H S H — the identity behind the paper's Fig. 6 decomposition.
+        let hsh = Gate::H
+            .matrix()
+            .mul(&Gate::S.matrix())
+            .mul(&Gate::H.matrix());
+        assert!(hsh.approx_eq(&Gate::V.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        assert!(Gate::Rx(PI)
+            .matrix()
+            .approx_eq_up_to_phase(&Gate::X.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn rz_and_phase_agree_up_to_phase() {
+        assert!(Gate::Rz(0.7)
+            .matrix()
+            .approx_eq_up_to_phase(&Gate::P(0.7).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn cx_moves_control_one() {
+        let cx = Gate::Cx.matrix();
+        // |control=1, target=0> = index 1 -> index 3.
+        assert_eq!(cx[(3, 1)], C64::one());
+        assert_eq!(cx[(2, 2)], C64::one());
+    }
+
+    #[test]
+    fn mcx_low_orders_match_named_gates() {
+        assert!(Gate::Mcx(1).matrix().approx_eq(&Gate::Cx.matrix(), 0.0));
+        assert!(Gate::Mcx(2).matrix().approx_eq(&Gate::Ccx.matrix(), 0.0));
+    }
+
+    #[test]
+    fn arity_is_consistent() {
+        assert_eq!(Gate::H.num_qubits(), 1);
+        assert_eq!(Gate::Cv.num_qubits(), 2);
+        assert_eq!(Gate::Ccx.num_qubits(), 3);
+        assert_eq!(Gate::Mcx(5).num_qubits(), 6);
+    }
+
+    #[test]
+    fn controls_are_counted() {
+        assert_eq!(Gate::H.num_controls(), 0);
+        assert_eq!(Gate::Cv.num_controls(), 1);
+        assert_eq!(Gate::Ccx.num_controls(), 2);
+        assert_eq!(Gate::Mcx(4).num_controls(), 4);
+    }
+
+    #[test]
+    fn diagonal_classification_matches_matrices() {
+        for g in all_fixed_gates() {
+            let m = g.matrix();
+            let mut diag = true;
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    if i != j && !m[(i, j)].is_zero(1e-12) {
+                        diag = false;
+                    }
+                }
+            }
+            assert_eq!(g.is_diagonal(), diag, "misclassified diagonality: {g}");
+        }
+    }
+
+    #[test]
+    fn self_inverse_classification_matches_matrices() {
+        for g in all_fixed_gates() {
+            if g.is_self_inverse() {
+                let m = g.matrix();
+                assert!(
+                    m.mul(&m).approx_eq(&CMatrix::identity(m.rows()), 1e-12),
+                    "{g} claimed self-inverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_includes_parameters() {
+        assert_eq!(Gate::H.to_string(), "h");
+        assert_eq!(Gate::P(0.5).to_string(), "p(0.500000)");
+    }
+
+    #[test]
+    fn params_expose_angles() {
+        assert_eq!(Gate::Rx(1.5).params(), vec![1.5]);
+        assert!(Gate::Ccx.params().is_empty());
+    }
+}

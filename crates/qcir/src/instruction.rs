@@ -1,0 +1,463 @@
+//! Circuit instructions: gates, measurement, reset, barriers and the
+//! classical conditions that make a circuit *dynamic*.
+
+use crate::gate::Gate;
+use crate::register::{Clbit, Qubit};
+use std::fmt;
+
+/// A classical predicate attached to an instruction.
+///
+/// An instruction with a condition executes only when the predicate holds on
+/// the classical register state at that point of the shot. This is the
+/// "classically controlled gate operation" primitive of dynamic quantum
+/// circuits.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Clbit, Condition};
+/// let c = Condition::bit(Clbit::new(0));
+/// assert!(c.evaluate(&[true]));
+/// assert!(!c.evaluate(&[false]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// True when the given classical bit has the given value.
+    Bit {
+        /// The classical bit inspected.
+        bit: Clbit,
+        /// The value it must hold for the instruction to run.
+        value: bool,
+    },
+    /// True when the named bits, read LSB-first, encode `value`.
+    Register {
+        /// The classical bits inspected, least-significant first.
+        bits: Vec<Clbit>,
+        /// The unsigned value the bits must encode.
+        value: u64,
+    },
+}
+
+impl Condition {
+    /// Condition that is true when `bit == 1`.
+    #[must_use]
+    pub fn bit(bit: Clbit) -> Self {
+        Condition::Bit { bit, value: true }
+    }
+
+    /// Condition that is true when `bit == 0`.
+    #[must_use]
+    pub fn bit_zero(bit: Clbit) -> Self {
+        Condition::Bit { bit, value: false }
+    }
+
+    /// Condition on a whole register value (bits listed LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or `value` does not fit in `bits.len()` bits.
+    #[must_use]
+    pub fn register(bits: Vec<Clbit>, value: u64) -> Self {
+        assert!(!bits.is_empty(), "register condition needs at least one bit");
+        assert!(
+            bits.len() >= 64 || value < (1u64 << bits.len()),
+            "value {value} does not fit in {} bits",
+            bits.len()
+        );
+        Condition::Register { bits, value }
+    }
+
+    /// The classical bits this condition reads.
+    #[must_use]
+    pub fn bits(&self) -> Vec<Clbit> {
+        match self {
+            Condition::Bit { bit, .. } => vec![*bit],
+            Condition::Register { bits, .. } => bits.clone(),
+        }
+    }
+
+    /// Evaluates the condition against a classical bit store indexed by
+    /// global clbit index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced bit index is out of range of `classical`.
+    #[must_use]
+    pub fn evaluate(&self, classical: &[bool]) -> bool {
+        match self {
+            Condition::Bit { bit, value } => classical[bit.index()] == *value,
+            Condition::Register { bits, value } => {
+                let mut acc = 0u64;
+                for (k, b) in bits.iter().enumerate() {
+                    if classical[b.index()] {
+                        acc |= 1 << k;
+                    }
+                }
+                acc == *value
+            }
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Bit { bit, value } => write!(f, "if ({bit} == {})", u8::from(*value)),
+            Condition::Register { bits, value } => {
+                write!(f, "if ([")?;
+                for (i, b) in bits.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, "] == {value})")
+            }
+        }
+    }
+}
+
+/// The operation an [`Instruction`] performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// A unitary gate.
+    Gate(Gate),
+    /// Projective measurement of one qubit into one classical bit.
+    Measure,
+    /// Active reset of one qubit to `|0>` (measure + classically
+    /// controlled X, exposed as a single primitive as on IBM hardware).
+    Reset,
+    /// A scheduling barrier; occupies no depth and performs no operation.
+    Barrier,
+}
+
+impl OpKind {
+    /// Mnemonic used in diagnostics and QASM export.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            OpKind::Gate(g) => g.name(),
+            OpKind::Measure => "measure",
+            OpKind::Reset => "reset",
+            OpKind::Barrier => "barrier",
+        }
+    }
+
+    /// `true` for non-unitary operations (measure/reset).
+    #[must_use]
+    pub fn is_nonunitary(&self) -> bool {
+        matches!(self, OpKind::Measure | OpKind::Reset)
+    }
+}
+
+/// One operation applied to specific qubits (and classical bits), possibly
+/// under a classical [`Condition`].
+///
+/// Construct instructions through the [`Circuit`](crate::Circuit) builder
+/// methods in normal use; the explicit constructors here are the escape hatch
+/// for transformation passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    kind: OpKind,
+    qubits: Vec<Qubit>,
+    clbits: Vec<Clbit>,
+    condition: Option<Condition>,
+}
+
+impl Instruction {
+    /// Creates a gate instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate arity or operands
+    /// repeat.
+    #[must_use]
+    pub fn gate(gate: Gate, qubits: Vec<Qubit>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.num_qubits(),
+            "gate {gate} expects {} qubits, got {}",
+            gate.num_qubits(),
+            qubits.len()
+        );
+        assert_distinct(&qubits);
+        Self {
+            kind: OpKind::Gate(gate),
+            qubits,
+            clbits: Vec::new(),
+            condition: None,
+        }
+    }
+
+    /// Creates a measurement of `qubit` into `clbit`.
+    #[must_use]
+    pub fn measure(qubit: Qubit, clbit: Clbit) -> Self {
+        Self {
+            kind: OpKind::Measure,
+            qubits: vec![qubit],
+            clbits: vec![clbit],
+            condition: None,
+        }
+    }
+
+    /// Creates an active reset of `qubit`.
+    #[must_use]
+    pub fn reset(qubit: Qubit) -> Self {
+        Self {
+            kind: OpKind::Reset,
+            qubits: vec![qubit],
+            clbits: Vec::new(),
+            condition: None,
+        }
+    }
+
+    /// Creates a barrier across `qubits`.
+    #[must_use]
+    pub fn barrier(qubits: Vec<Qubit>) -> Self {
+        assert_distinct(&qubits);
+        Self {
+            kind: OpKind::Barrier,
+            qubits,
+            clbits: Vec::new(),
+            condition: None,
+        }
+    }
+
+    /// Attaches a classical condition, consuming and returning the
+    /// instruction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when attaching a condition to a barrier, which has no effect to
+    /// condition.
+    #[must_use]
+    pub fn with_condition(mut self, condition: Condition) -> Self {
+        assert!(
+            !matches!(self.kind, OpKind::Barrier),
+            "barriers cannot be conditioned"
+        );
+        self.condition = Some(condition);
+        self
+    }
+
+    /// The operation performed.
+    #[must_use]
+    pub fn kind(&self) -> &OpKind {
+        &self.kind
+    }
+
+    /// The gate, when the instruction is a gate.
+    #[must_use]
+    pub fn as_gate(&self) -> Option<&Gate> {
+        match &self.kind {
+            OpKind::Gate(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Qubit operands in gate-operand order.
+    #[must_use]
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.qubits
+    }
+
+    /// Classical-bit operands (the target of a measurement).
+    #[must_use]
+    pub fn clbits(&self) -> &[Clbit] {
+        &self.clbits
+    }
+
+    /// The classical condition, if any.
+    #[must_use]
+    pub fn condition(&self) -> Option<&Condition> {
+        self.condition.as_ref()
+    }
+
+    /// `true` when a classical condition is attached.
+    #[must_use]
+    pub fn is_conditioned(&self) -> bool {
+        self.condition.is_some()
+    }
+
+    /// All classical bits the instruction *reads* (its condition bits).
+    #[must_use]
+    pub fn clbits_read(&self) -> Vec<Clbit> {
+        self.condition
+            .as_ref()
+            .map(Condition::bits)
+            .unwrap_or_default()
+    }
+
+    /// All classical bits the instruction *writes* (measurement targets).
+    #[must_use]
+    pub fn clbits_written(&self) -> &[Clbit] {
+        match self.kind {
+            OpKind::Measure => &self.clbits,
+            _ => &[],
+        }
+    }
+
+    /// `true` when the instruction is a barrier.
+    #[must_use]
+    pub fn is_barrier(&self) -> bool {
+        matches!(self.kind, OpKind::Barrier)
+    }
+
+    /// Rewrites qubit and classical-bit operands through the given maps.
+    ///
+    /// Used when composing circuits. `qubit_map[old_index]` gives the new
+    /// qubit, and likewise for `clbit_map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand index is outside the corresponding map.
+    #[must_use]
+    pub fn remapped(&self, qubit_map: &[Qubit], clbit_map: &[Clbit]) -> Self {
+        let mut out = self.clone();
+        out.qubits = self.qubits.iter().map(|q| qubit_map[q.index()]).collect();
+        out.clbits = self.clbits.iter().map(|c| clbit_map[c.index()]).collect();
+        out.condition = self.condition.as_ref().map(|cond| match cond {
+            Condition::Bit { bit, value } => Condition::Bit {
+                bit: clbit_map[bit.index()],
+                value: *value,
+            },
+            Condition::Register { bits, value } => Condition::Register {
+                bits: bits.iter().map(|b| clbit_map[b.index()]).collect(),
+                value: *value,
+            },
+        });
+        out
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(c) = &self.condition {
+            write!(f, "{c} ")?;
+        }
+        write!(f, "{}", self.kind.name())?;
+        if let OpKind::Gate(g) = &self.kind {
+            let p = g.params();
+            if !p.is_empty() {
+                write!(f, "({:.6})", p[0])?;
+            }
+        }
+        for q in &self.qubits {
+            write!(f, " {q}")?;
+        }
+        for c in &self.clbits {
+            write!(f, " -> {c}")?;
+        }
+        Ok(())
+    }
+}
+
+fn assert_distinct(qubits: &[Qubit]) {
+    for (i, q) in qubits.iter().enumerate() {
+        assert!(
+            !qubits[..i].contains(q),
+            "duplicate qubit operand {q} in instruction"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_condition_evaluates() {
+        let c = Condition::bit(Clbit::new(1));
+        assert!(c.evaluate(&[false, true]));
+        assert!(!c.evaluate(&[false, false]));
+        let z = Condition::bit_zero(Clbit::new(0));
+        assert!(z.evaluate(&[false]));
+    }
+
+    #[test]
+    fn register_condition_evaluates_lsb_first() {
+        let c = Condition::register(vec![Clbit::new(0), Clbit::new(1)], 0b10);
+        assert!(c.evaluate(&[false, true]));
+        assert!(!c.evaluate(&[true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn register_condition_rejects_oversized_value() {
+        let _ = Condition::register(vec![Clbit::new(0)], 2);
+    }
+
+    #[test]
+    fn condition_reports_its_bits() {
+        let c = Condition::register(vec![Clbit::new(2), Clbit::new(0)], 1);
+        assert_eq!(c.bits(), vec![Clbit::new(2), Clbit::new(0)]);
+        assert_eq!(Condition::bit(Clbit::new(3)).bits(), vec![Clbit::new(3)]);
+    }
+
+    #[test]
+    fn gate_instruction_checks_arity() {
+        let i = Instruction::gate(Gate::Cx, vec![Qubit::new(0), Qubit::new(1)]);
+        assert_eq!(i.qubits().len(), 2);
+        assert_eq!(i.kind().name(), "cx");
+        assert!(i.as_gate().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 qubits")]
+    fn gate_instruction_rejects_wrong_arity() {
+        let _ = Instruction::gate(Gate::Cx, vec![Qubit::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn gate_instruction_rejects_duplicate_operands() {
+        let _ = Instruction::gate(Gate::Cx, vec![Qubit::new(0), Qubit::new(0)]);
+    }
+
+    #[test]
+    fn measure_reads_and_writes_expected_bits() {
+        let m = Instruction::measure(Qubit::new(0), Clbit::new(2));
+        assert_eq!(m.clbits_written(), &[Clbit::new(2)]);
+        assert!(m.clbits_read().is_empty());
+        assert!(m.kind().is_nonunitary());
+    }
+
+    #[test]
+    fn conditioned_gate_reads_condition_bits() {
+        let i = Instruction::gate(Gate::X, vec![Qubit::new(0)])
+            .with_condition(Condition::bit(Clbit::new(1)));
+        assert!(i.is_conditioned());
+        assert_eq!(i.clbits_read(), vec![Clbit::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "barriers cannot be conditioned")]
+    fn barrier_rejects_condition() {
+        let _ = Instruction::barrier(vec![Qubit::new(0)])
+            .with_condition(Condition::bit(Clbit::new(0)));
+    }
+
+    #[test]
+    fn remapping_rewrites_all_operands() {
+        let qmap = [Qubit::new(5), Qubit::new(3)];
+        let cmap = [Clbit::new(9)];
+        let i = Instruction::gate(Gate::Cx, vec![Qubit::new(0), Qubit::new(1)])
+            .with_condition(Condition::bit(Clbit::new(0)));
+        let r = i.remapped(&qmap, &cmap);
+        assert_eq!(r.qubits(), &[Qubit::new(5), Qubit::new(3)]);
+        assert_eq!(r.clbits_read(), vec![Clbit::new(9)]);
+
+        let m = Instruction::measure(Qubit::new(1), Clbit::new(0)).remapped(&qmap, &cmap);
+        assert_eq!(m.qubits(), &[Qubit::new(3)]);
+        assert_eq!(m.clbits_written(), &[Clbit::new(9)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Instruction::gate(Gate::Cx, vec![Qubit::new(0), Qubit::new(1)])
+            .with_condition(Condition::bit(Clbit::new(2)));
+        assert_eq!(i.to_string(), "if (c2 == 1) cx q0 q1");
+        let m = Instruction::measure(Qubit::new(0), Clbit::new(0));
+        assert_eq!(m.to_string(), "measure q0 -> c0");
+    }
+}

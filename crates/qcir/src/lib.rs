@@ -1,0 +1,53 @@
+//! # qcir — quantum circuit IR with dynamic-circuit support
+//!
+//! A quantum circuit intermediate representation sized for research on
+//! **dynamic quantum circuits** (DQC): besides the usual unitary gate set it
+//! models mid-circuit measurement, active reset and classically controlled
+//! operations as first-class instructions, and provides the analyses a
+//! circuit transformer needs — dependency DAGs, exact commutation checking,
+//! depth/gate-count metrics, Toffoli decompositions and peephole cleanup —
+//! plus OpenQASM 3 round-tripping and text diagrams.
+//!
+//! This crate is the circuit substrate for the reproduction of Kole et al.,
+//! *"Extending the Design Space of Dynamic Quantum Circuits for Toffoli
+//! based Network"* (DATE 2023); the transformation itself lives in the `dqc`
+//! crate.
+//!
+//! # Examples
+//!
+//! Build a small dynamic circuit — measure, reset, then classically control:
+//!
+//! ```
+//! use qcir::{Circuit, Qubit, Clbit, CircuitStats};
+//!
+//! let mut c = Circuit::new(2, 1);
+//! let (d, a) = (Qubit::new(0), Qubit::new(1));
+//! c.h(d).cx(d, a).measure(d, Clbit::new(0));
+//! c.reset(d);
+//! c.x_if(d, Clbit::new(0));
+//! assert!(c.is_dynamic());
+//! assert_eq!(CircuitStats::of(&c).reset_count, 1);
+//! ```
+
+pub mod ascii;
+pub mod basis;
+mod circuit;
+pub mod commute;
+mod dag;
+pub mod decompose;
+mod error;
+mod gate;
+mod instruction;
+mod metrics;
+pub mod passes;
+pub mod qasm;
+mod register;
+pub mod routing;
+
+pub use circuit::Circuit;
+pub use dag::DagCircuit;
+pub use error::CircuitError;
+pub use gate::Gate;
+pub use instruction::{Condition, Instruction, OpKind};
+pub use metrics::{depth, gate_count, CircuitStats};
+pub use register::{ClassicalRegister, Clbit, Qubit, QuantumRegister};

@@ -1,0 +1,264 @@
+//! Circuit complexity metrics: gate counts and depth.
+//!
+//! These are the quantities reported in the paper's Tables I and II. The
+//! conventions are documented on each item because the paper leaves its own
+//! implicit: *gate count* counts every non-barrier instruction, including
+//! measurement and reset (the paper's dynamic-circuit counts include them);
+//! *depth* is the longest dependency chain where measure, reset and
+//! classically conditioned gates occupy a layer like any other operation and
+//! a conditioned gate depends on the measurement that produced its bit.
+
+use crate::circuit::Circuit;
+use crate::instruction::OpKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A summary of a circuit's complexity.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Circuit, Qubit, Clbit, CircuitStats};
+///
+/// let mut c = Circuit::new(2, 1);
+/// c.h(Qubit::new(0)).cx(Qubit::new(0), Qubit::new(1));
+/// c.measure(Qubit::new(1), Clbit::new(0));
+/// let stats = CircuitStats::of(&c);
+/// assert_eq!(stats.gate_count, 3);
+/// assert_eq!(stats.depth, 3);
+/// assert_eq!(stats.unitary_count, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of qubit wires.
+    pub num_qubits: usize,
+    /// Number of classical bits.
+    pub num_clbits: usize,
+    /// Every non-barrier instruction, including measure and reset.
+    pub gate_count: usize,
+    /// Unconditioned unitary gates only.
+    pub unitary_count: usize,
+    /// Measurement operations.
+    pub measure_count: usize,
+    /// Active reset operations.
+    pub reset_count: usize,
+    /// Classically conditioned gate operations.
+    pub conditioned_count: usize,
+    /// Gates acting on two or more qubits.
+    pub multi_qubit_count: usize,
+    /// Circuit depth (see module docs for the convention).
+    pub depth: usize,
+    /// Instruction tally by mnemonic.
+    pub by_name: BTreeMap<String, usize>,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of `circuit`.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut stats = Self {
+            num_qubits: circuit.num_qubits(),
+            num_clbits: circuit.num_clbits(),
+            gate_count: 0,
+            unitary_count: 0,
+            measure_count: 0,
+            reset_count: 0,
+            conditioned_count: 0,
+            multi_qubit_count: 0,
+            depth: depth(circuit),
+            by_name: BTreeMap::new(),
+        };
+        for inst in circuit.iter() {
+            if inst.is_barrier() {
+                continue;
+            }
+            stats.gate_count += 1;
+            *stats.by_name.entry(inst.kind().name().to_string()).or_insert(0) += 1;
+            match inst.kind() {
+                OpKind::Measure => stats.measure_count += 1,
+                OpKind::Reset => stats.reset_count += 1,
+                OpKind::Gate(g) => {
+                    if inst.is_conditioned() {
+                        stats.conditioned_count += 1;
+                    } else {
+                        stats.unitary_count += 1;
+                    }
+                    if g.num_qubits() >= 2 {
+                        stats.multi_qubit_count += 1;
+                    }
+                }
+                OpKind::Barrier => unreachable!("barriers skipped above"),
+            }
+        }
+        stats
+    }
+
+    /// Count of a specific mnemonic (e.g. `"t"`, `"cx"`).
+    #[must_use]
+    pub fn count_of(&self, name: &str) -> usize {
+        self.by_name.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "qubits={} clbits={} gates={} depth={} (unitary={} measure={} reset={} conditioned={})",
+            self.num_qubits,
+            self.num_clbits,
+            self.gate_count,
+            self.depth,
+            self.unitary_count,
+            self.measure_count,
+            self.reset_count,
+            self.conditioned_count
+        )
+    }
+}
+
+/// Circuit depth.
+///
+/// Each wire (qubit or classical bit) carries a level counter; a non-barrier
+/// instruction lands on level `1 + max(levels of its wires)` and raises all
+/// of its wires to that level. A classically conditioned gate counts its
+/// condition bits among its wires, so it is sequenced after the measurement
+/// producing them — matching how IBM backends schedule dynamic circuits.
+/// Barriers only align wire levels without consuming a slot.
+#[must_use]
+pub fn depth(circuit: &Circuit) -> usize {
+    let mut qlevel = vec![0usize; circuit.num_qubits()];
+    let mut clevel = vec![0usize; circuit.num_clbits()];
+    let mut depth = 0usize;
+    for inst in circuit.iter() {
+        let wires_q: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
+        let wires_c: Vec<usize> = inst
+            .clbits_written()
+            .iter()
+            .copied()
+            .chain(inst.clbits_read())
+            .map(|c| c.index())
+            .collect();
+        let current = wires_q
+            .iter()
+            .map(|&w| qlevel[w])
+            .chain(wires_c.iter().map(|&w| clevel[w]))
+            .max()
+            .unwrap_or(0);
+        let new = if inst.is_barrier() { current } else { current + 1 };
+        for w in wires_q {
+            qlevel[w] = new;
+        }
+        for w in wires_c {
+            clevel[w] = new;
+        }
+        depth = depth.max(new);
+    }
+    depth
+}
+
+/// Number of non-barrier instructions (the paper's "gate count").
+#[must_use]
+pub fn gate_count(circuit: &Circuit) -> usize {
+    circuit.iter().filter(|i| !i.is_barrier()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::instruction::{Condition, Instruction};
+    use crate::register::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    #[test]
+    fn depth_of_serial_chain() {
+        let mut circ = Circuit::new(1, 0);
+        circ.h(q(0)).t(q(0)).h(q(0));
+        assert_eq!(depth(&circ), 3);
+    }
+
+    #[test]
+    fn depth_of_parallel_gates_is_one() {
+        let mut circ = Circuit::new(3, 0);
+        circ.h(q(0)).h(q(1)).h(q(2));
+        assert_eq!(depth(&circ), 1);
+    }
+
+    #[test]
+    fn two_qubit_gates_merge_wire_levels() {
+        let mut circ = Circuit::new(2, 0);
+        circ.h(q(0)).cx(q(0), q(1)).x(q(1));
+        assert_eq!(depth(&circ), 3);
+    }
+
+    #[test]
+    fn measurement_and_condition_are_sequenced() {
+        // measure q0 -> c0; X on q1 conditioned on c0. Although the gates
+        // touch different qubits the classical wire sequences them.
+        let mut circ = Circuit::new(2, 1);
+        circ.measure(q(0), c(0)).x_if(q(1), c(0));
+        assert_eq!(depth(&circ), 2);
+    }
+
+    #[test]
+    fn reset_counts_toward_depth() {
+        let mut circ = Circuit::new(1, 0);
+        circ.h(q(0)).reset(q(0)).h(q(0));
+        assert_eq!(depth(&circ), 3);
+    }
+
+    #[test]
+    fn barriers_do_not_add_depth_but_align() {
+        let mut circ = Circuit::new(2, 0);
+        circ.h(q(0));
+        circ.barrier_all();
+        circ.h(q(1));
+        // h(q1) must land after the barrier, which is at level 1.
+        assert_eq!(depth(&circ), 2);
+        assert_eq!(gate_count(&circ), 2);
+    }
+
+    #[test]
+    fn stats_tally_kinds() {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0)).cx(q(0), q(1));
+        circ.measure(q(0), c(0));
+        circ.reset(q(0));
+        circ.push(
+            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::bit(c(0))),
+        );
+        let s = CircuitStats::of(&circ);
+        assert_eq!(s.gate_count, 5);
+        assert_eq!(s.unitary_count, 2);
+        assert_eq!(s.measure_count, 1);
+        assert_eq!(s.reset_count, 1);
+        assert_eq!(s.conditioned_count, 1);
+        assert_eq!(s.multi_qubit_count, 1);
+        assert_eq!(s.count_of("x"), 1);
+        assert_eq!(s.count_of("cx"), 1);
+        assert_eq!(s.count_of("nope"), 0);
+    }
+
+    #[test]
+    fn stats_display_mentions_depth() {
+        let mut circ = Circuit::new(1, 0);
+        circ.h(q(0));
+        let text = CircuitStats::of(&circ).to_string();
+        assert!(text.contains("depth=1"));
+        assert!(text.contains("gates=1"));
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_depth() {
+        assert_eq!(depth(&Circuit::new(4, 2)), 0);
+        assert_eq!(gate_count(&Circuit::new(4, 2)), 0);
+    }
+}

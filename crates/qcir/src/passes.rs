@@ -1,0 +1,427 @@
+//! Peephole circuit optimization passes.
+//!
+//! Two small passes keep the emitted dynamic circuits tidy and make the
+//! resource accounting match the paper's claims (e.g. "2 more classically
+//! controlled X operations per Toffoli" for dynamic-2):
+//!
+//! * [`cancel_adjacent_inverses`] removes gate pairs `G, G†` on identical
+//!   operands with no intervening use of any of their wires — these arise
+//!   when consecutive Toffolis uncompute and recompute a shared ancilla.
+//! * [`remove_dead_writes`] removes single-qubit gates whose effect is
+//!   destroyed by a following reset (or falls off the end of the circuit
+//!   unmeasured) — these arise when a discarded iteration qubit receives
+//!   uncomputation it no longer needs.
+
+use crate::circuit::Circuit;
+use crate::instruction::{Instruction, OpKind};
+
+/// Removes adjacent inverse gate pairs until a fixed point.
+///
+/// Two instructions cancel when they are both (possibly identically
+/// conditioned) gates on exactly the same operands, the second is the
+/// inverse of the first, and no instruction between them touches any wire of
+/// the pair. Barriers block cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{passes::cancel_adjacent_inverses, Circuit, Qubit};
+/// let mut c = Circuit::new(1, 0);
+/// c.h(Qubit::new(0)).h(Qubit::new(0)).x(Qubit::new(0));
+/// assert_eq!(cancel_adjacent_inverses(&c).len(), 1);
+/// ```
+#[must_use]
+pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
+    let mut insts: Vec<Instruction> = circuit.instructions().to_vec();
+    loop {
+        let mut cancel: Option<(usize, usize)> = None;
+        'scan: for i in 0..insts.len() {
+            let a = &insts[i];
+            let OpKind::Gate(ga) = a.kind() else {
+                continue;
+            };
+            let ga = ga.clone();
+            for (offset, b) in insts[i + 1..].iter().enumerate() {
+                let j = i + 1 + offset;
+                let shares_wire = a.qubits().iter().any(|q| b.qubits().contains(q))
+                    || a
+                        .clbits_read()
+                        .iter()
+                        .any(|c| b.clbits_written().contains(c) || b.clbits_read().contains(c));
+                if !shares_wire {
+                    continue;
+                }
+                // `b` is the first instruction touching a wire of `a`.
+                if let OpKind::Gate(gb) = b.kind() {
+                    if b.qubits() == a.qubits()
+                        && b.condition() == a.condition()
+                        && *gb == ga.inverse()
+                    {
+                        cancel = Some((i, j));
+                        break 'scan;
+                    }
+                }
+                break; // wire blocked by a non-cancelling instruction
+            }
+        }
+        match cancel {
+            Some((i, j)) => {
+                insts.remove(j);
+                insts.remove(i);
+            }
+            None => break,
+        }
+    }
+    rebuild(circuit, insts)
+}
+
+/// Removes single-qubit gates whose effect is destroyed by a following
+/// reset before any measurement.
+///
+/// Wires are treated as **live at the end of the circuit** (the state might
+/// be consumed by later composition), so only writes killed by a reset are
+/// removed. See [`remove_dead_writes_assuming_discarded`] to additionally
+/// mark wires whose final state is known to be thrown away.
+#[must_use]
+pub fn remove_dead_writes(circuit: &Circuit) -> Circuit {
+    remove_dead_writes_assuming_discarded(circuit, &[])
+}
+
+/// Like [`remove_dead_writes`], but wires in `discarded` are treated as dead
+/// at the end of the circuit: trailing single-qubit gates on them (e.g.
+/// uncomputation of a dynamic circuit's recycled data qubit after its last
+/// measurement) are removed too.
+///
+/// Scanning backwards, a wire is *dead* past a point when its next operation
+/// is a reset, or (for discarded wires) when no further operation touches
+/// it. A single-qubit gate — conditioned or not — on a dead wire cannot
+/// influence any measurement outcome (a local unitary never changes the
+/// reduced state of the other wires) and is removed. Multi-qubit gates,
+/// measurements, resets and barriers are always kept.
+#[must_use]
+pub fn remove_dead_writes_assuming_discarded(
+    circuit: &Circuit,
+    discarded: &[crate::register::Qubit],
+) -> Circuit {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Status {
+        Dead,
+        Live,
+    }
+    let mut status = vec![Status::Live; circuit.num_qubits()];
+    for q in discarded {
+        status[q.index()] = Status::Dead;
+    }
+    let mut keep = vec![true; circuit.len()];
+    for (idx, inst) in circuit.instructions().iter().enumerate().rev() {
+        match inst.kind() {
+            OpKind::Barrier => {}
+            OpKind::Measure => {
+                status[inst.qubits()[0].index()] = Status::Live;
+            }
+            OpKind::Reset => {
+                status[inst.qubits()[0].index()] = Status::Dead;
+            }
+            OpKind::Gate(g) => {
+                if g.num_qubits() == 1 && status[inst.qubits()[0].index()] == Status::Dead {
+                    keep[idx] = false;
+                } else {
+                    for q in inst.qubits() {
+                        status[q.index()] = Status::Live;
+                    }
+                }
+            }
+        }
+    }
+    let insts = circuit
+        .instructions()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| keep[i])
+        .map(|(_, inst)| inst.clone())
+        .collect();
+    rebuild(circuit, insts)
+}
+
+/// Merges runs of classically controlled X gates on a common qubit.
+///
+/// Within a maximal run of consecutive instructions that are all X gates on
+/// the *same* qubit conditioned on single classical bits (or unconditioned),
+/// the gates mutually commute and are self-inverse, so the run reduces to
+/// one X per condition occurring an odd number of times (in first-occurrence
+/// order). This is what collapses the uncompute/recompute chatter between
+/// consecutive shared-ancilla Toffolis down to the paper's "2 classically
+/// controlled X per Toffoli".
+#[must_use]
+pub fn merge_conditioned_x_runs(circuit: &Circuit) -> Circuit {
+    use crate::gate::Gate;
+
+    let is_run_member = |inst: &Instruction| -> bool {
+        matches!(inst.kind(), OpKind::Gate(Gate::X))
+            && inst.qubits().len() == 1
+            && match inst.condition() {
+                None => true,
+                Some(crate::instruction::Condition::Bit { .. }) => true,
+                Some(_) => false,
+            }
+    };
+
+    let mut out_insts: Vec<Instruction> = Vec::new();
+    let insts = circuit.instructions();
+    let mut i = 0;
+    while i < insts.len() {
+        if !is_run_member(&insts[i]) {
+            out_insts.push(insts[i].clone());
+            i += 1;
+            continue;
+        }
+        let qubit = insts[i].qubits()[0];
+        let mut j = i;
+        while j < insts.len() && is_run_member(&insts[j]) && insts[j].qubits()[0] == qubit {
+            j += 1;
+        }
+        // Parity per condition key, preserving first-occurrence order.
+        let mut keys: Vec<(Option<crate::instruction::Condition>, usize)> = Vec::new();
+        for inst in &insts[i..j] {
+            let cond = inst.condition().cloned();
+            match keys.iter_mut().find(|(k, _)| *k == cond) {
+                Some((_, parity)) => *parity ^= 1,
+                None => keys.push((cond, 1)),
+            }
+        }
+        for (cond, parity) in keys {
+            if parity == 1 {
+                let mut inst = Instruction::gate(Gate::X, vec![qubit]);
+                if let Some(c) = cond {
+                    inst = inst.with_condition(c);
+                }
+                out_insts.push(inst);
+            }
+        }
+        i = j;
+    }
+    rebuild(circuit, out_insts)
+}
+
+/// Runs all peephole passes until none changes the circuit.
+#[must_use]
+pub fn peephole_optimize(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    loop {
+        let next = remove_dead_writes(&merge_conditioned_x_runs(&cancel_adjacent_inverses(
+            &current,
+        )));
+        if next.len() == current.len() {
+            return next;
+        }
+        current = next;
+    }
+}
+
+fn rebuild(model: &Circuit, insts: Vec<Instruction>) -> Circuit {
+    let mut out = Circuit::with_name(
+        model.name().to_string(),
+        model.num_qubits(),
+        model.num_clbits(),
+    );
+    for inst in insts {
+        out.push(inst);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::register::{Clbit, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    #[test]
+    fn hh_pair_cancels() {
+        let mut circ = Circuit::new(1, 0);
+        circ.h(q(0)).h(q(0));
+        assert!(cancel_adjacent_inverses(&circ).is_empty());
+    }
+
+    #[test]
+    fn t_tdg_pair_cancels() {
+        let mut circ = Circuit::new(1, 0);
+        circ.t(q(0)).tdg(q(0)).x(q(0));
+        let out = cancel_adjacent_inverses(&circ);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.instructions()[0].as_gate(), Some(&Gate::X));
+    }
+
+    #[test]
+    fn cascading_cancellation_reaches_fixed_point() {
+        // H T T† H collapses completely (inner pair first, then outer).
+        let mut circ = Circuit::new(1, 0);
+        circ.h(q(0)).t(q(0)).tdg(q(0)).h(q(0));
+        assert!(cancel_adjacent_inverses(&circ).is_empty());
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut circ = Circuit::new(1, 0);
+        circ.h(q(0)).x(q(0)).h(q(0));
+        assert_eq!(cancel_adjacent_inverses(&circ).len(), 3);
+    }
+
+    #[test]
+    fn intervening_gate_on_other_wire_does_not_block() {
+        let mut circ = Circuit::new(2, 0);
+        circ.h(q(0)).x(q(1)).h(q(0));
+        let out = cancel_adjacent_inverses(&circ);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.instructions()[0].qubits(), &[q(1)]);
+    }
+
+    #[test]
+    fn cx_pairs_cancel_only_on_same_operands() {
+        let mut circ = Circuit::new(3, 0);
+        circ.cx(q(0), q(1)).cx(q(0), q(1)).cx(q(0), q(2)).cx(q(2), q(0));
+        let out = cancel_adjacent_inverses(&circ);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn conditioned_x_pairs_cancel_when_conditions_match() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x_if(q(0), c(0)).x_if(q(0), c(0));
+        assert!(cancel_adjacent_inverses(&circ).is_empty());
+
+        let mut mixed = Circuit::new(1, 2);
+        mixed.x_if(q(0), c(0)).x_if(q(0), c(1));
+        assert_eq!(cancel_adjacent_inverses(&mixed).len(), 2);
+    }
+
+    #[test]
+    fn conditioned_and_unconditioned_x_do_not_cancel() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).x_if(q(0), c(0));
+        assert_eq!(cancel_adjacent_inverses(&circ).len(), 2);
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0)).measure(q(0), c(0)).h(q(0));
+        assert_eq!(cancel_adjacent_inverses(&circ).len(), 3);
+    }
+
+    #[test]
+    fn gate_before_reset_is_dead() {
+        let mut circ = Circuit::new(1, 0);
+        circ.x(q(0)).reset(q(0));
+        let out = remove_dead_writes(&circ);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out.instructions()[0].kind(), OpKind::Reset));
+    }
+
+    #[test]
+    fn trailing_gate_is_dead_only_on_discarded_wires() {
+        let mut circ = Circuit::new(2, 1);
+        circ.h(q(0)).cx(q(0), q(1)).measure(q(1), c(0)).x(q(0));
+        // Default: q0 may still be consumed downstream; keep the X.
+        assert_eq!(remove_dead_writes(&circ).len(), 4);
+        // Explicitly discarded: the trailing X goes.
+        let out = remove_dead_writes_assuming_discarded(&circ, &[q(0)]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn merge_x_runs_cancels_duplicate_conditions() {
+        // X^c1 X^c0 X^c1 X^c2 -> X^c0 X^c2 (order of first occurrence).
+        let mut circ = Circuit::new(1, 3);
+        circ.x_if(q(0), c(1))
+            .x_if(q(0), c(0))
+            .x_if(q(0), c(1))
+            .x_if(q(0), c(2));
+        let out = merge_conditioned_x_runs(&circ);
+        assert_eq!(out.len(), 2);
+        // Parities: c1 twice (even, cancelled); c0 and c2 once each.
+        let read: Vec<_> = out
+            .instructions()
+            .iter()
+            .flat_map(|i| i.clbits_read())
+            .collect();
+        assert_eq!(read, vec![c(0), c(2)]);
+    }
+
+    #[test]
+    fn merge_x_runs_handles_unconditioned_x() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).x_if(q(0), c(0)).x(q(0));
+        let out = merge_conditioned_x_runs(&circ);
+        // Two plain X cancel; the conditioned one survives.
+        assert_eq!(out.len(), 1);
+        assert!(out.instructions()[0].is_conditioned());
+    }
+
+    #[test]
+    fn merge_x_runs_stops_at_other_qubits_and_gates() {
+        let mut circ = Circuit::new(2, 1);
+        circ.x_if(q(0), c(0)).h(q(1)).x_if(q(0), c(0));
+        // The H on another wire splits the run (runs are consecutive).
+        assert_eq!(merge_conditioned_x_runs(&circ).len(), 3);
+    }
+
+    #[test]
+    fn merge_x_runs_ignores_register_conditions() {
+        let mut circ = Circuit::new(1, 2);
+        let cond = crate::instruction::Condition::register(vec![c(0), c(1)], 0b11);
+        circ.gate_if(Gate::X, &[q(0)], cond.clone());
+        circ.gate_if(Gate::X, &[q(0)], cond);
+        // Register-conditioned gates are left untouched (conservative).
+        assert_eq!(merge_conditioned_x_runs(&circ).len(), 2);
+    }
+
+    #[test]
+    fn gate_before_measure_is_live() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).measure(q(0), c(0));
+        assert_eq!(remove_dead_writes(&circ).len(), 2);
+    }
+
+    #[test]
+    fn conditioned_gate_before_reset_is_dead() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x_if(q(0), c(0)).reset(q(0));
+        assert_eq!(remove_dead_writes(&circ).len(), 1);
+    }
+
+    #[test]
+    fn multi_qubit_gates_are_never_dead() {
+        let mut circ = Circuit::new(2, 1);
+        circ.cx(q(0), q(1)).reset(q(0)).reset(q(1));
+        assert_eq!(remove_dead_writes(&circ).len(), 3);
+    }
+
+    #[test]
+    fn dead_chain_is_fully_removed() {
+        // x; h; reset -> both gates dead.
+        let mut circ = Circuit::new(1, 0);
+        circ.x(q(0)).h(q(0)).reset(q(0));
+        assert_eq!(remove_dead_writes(&circ).len(), 1);
+    }
+
+    #[test]
+    fn peephole_combines_both_passes() {
+        let mut circ = Circuit::new(2, 1);
+        circ.h(q(0))
+            .h(q(0))
+            .x(q(1))
+            .reset(q(1))
+            .measure(q(0), c(0));
+        let out = peephole_optimize(&circ);
+        assert_eq!(out.len(), 2); // reset + measure survive
+    }
+}

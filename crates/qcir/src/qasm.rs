@@ -1,0 +1,503 @@
+//! OpenQASM 3 export and a matching minimal importer.
+//!
+//! The exporter emits the dynamic-circuit subset of OpenQASM 3: gate calls,
+//! `ctrl @` modifiers for the CV family, measurement assignment, `reset` and
+//! single-line `if` statements. The importer parses exactly the subset the
+//! exporter produces (plus whitespace/comment freedom), which is enough for
+//! round-trip persistence of every circuit in this workspace.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::instruction::{Condition, Instruction, OpKind};
+use crate::register::{Clbit, Qubit};
+use std::error::Error;
+use std::fmt;
+
+/// Serializes `circuit` to OpenQASM 3 text.
+///
+/// Wires are emitted as a single `qubit[n] q;` / `bit[m] c;` pair regardless
+/// of the circuit's named registers, so positions are stable for the
+/// importer.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{qasm, Circuit, Qubit, Clbit};
+/// let mut c = Circuit::new(1, 1);
+/// c.h(Qubit::new(0)).measure(Qubit::new(0), Clbit::new(0));
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("c[0] = measure q[0];"));
+/// ```
+#[must_use]
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 3.0;\n");
+    out.push_str("include \"stdgates.inc\";\n");
+    if circuit.num_qubits() > 0 {
+        out.push_str(&format!("qubit[{}] q;\n", circuit.num_qubits()));
+    }
+    if circuit.num_clbits() > 0 {
+        out.push_str(&format!("bit[{}] c;\n", circuit.num_clbits()));
+    }
+    for inst in circuit.iter() {
+        let line = match inst.kind() {
+            OpKind::Gate(g) => gate_call(g, inst.qubits()),
+            OpKind::Measure => format!(
+                "c[{}] = measure q[{}];",
+                inst.clbits()[0].index(),
+                inst.qubits()[0].index()
+            ),
+            OpKind::Reset => format!("reset q[{}];", inst.qubits()[0].index()),
+            OpKind::Barrier => {
+                let qs: Vec<String> = inst
+                    .qubits()
+                    .iter()
+                    .map(|q| format!("q[{}]", q.index()))
+                    .collect();
+                format!("barrier {};", qs.join(", "))
+            }
+        };
+        match inst.condition() {
+            Some(cond) => {
+                out.push_str(&format!("if ({}) {{ {} }}\n", condition_expr(cond), line));
+            }
+            None => {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn condition_expr(cond: &Condition) -> String {
+    match cond {
+        Condition::Bit { bit, value } => {
+            format!("c[{}] == {}", bit.index(), u8::from(*value))
+        }
+        Condition::Register { bits, value } => {
+            let mut parts = Vec::new();
+            for (k, b) in bits.iter().enumerate() {
+                parts.push(format!("c[{}] == {}", b.index(), (value >> k) & 1));
+            }
+            parts.join(" && ")
+        }
+    }
+}
+
+fn gate_call(gate: &Gate, qubits: &[Qubit]) -> String {
+    let args: Vec<String> = qubits.iter().map(|q| format!("q[{}]", q.index())).collect();
+    let args = args.join(", ");
+    match gate {
+        Gate::Cv => format!("ctrl @ sx {args};"),
+        Gate::Cvdg => format!("ctrl @ sxdg {args};"),
+        Gate::Ccz => format!("ctrl(2) @ z {args};"),
+        Gate::Mcx(n) => format!("ctrl({n}) @ x {args};"),
+        g => {
+            let params = g.params();
+            if params.is_empty() {
+                format!("{} {args};", g.name())
+            } else {
+                format!("{}({}) {args};", g.name(), fmt_f64(params[0]))
+            }
+        }
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    // Round-trippable float formatting.
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("nan") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// An error from [`from_qasm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseQasmError {
+    line: usize,
+    message: String,
+}
+
+impl ParseQasmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseQasmError {}
+
+impl From<CircuitError> for ParseQasmError {
+    fn from(e: CircuitError) -> Self {
+        ParseQasmError::new(0, e.to_string())
+    }
+}
+
+/// Parses the OpenQASM 3 subset produced by [`to_qasm`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on any statement outside the supported subset,
+/// malformed operands, or wire indices outside the declared registers.
+pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
+    let mut num_qubits = 0usize;
+    let mut num_clbits = 0usize;
+    let mut insts: Vec<Instruction> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("qubit[") {
+            num_qubits = parse_decl(rest, lineno)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("bit[") {
+            num_clbits = parse_decl(rest, lineno)?;
+            continue;
+        }
+        let (condition, body) = if let Some(rest) = line.strip_prefix("if (") {
+            let close = rest
+                .find(") {")
+                .ok_or_else(|| ParseQasmError::new(lineno, "unterminated if condition"))?;
+            let cond = parse_condition(&rest[..close], lineno)?;
+            let body = rest[close + 3..]
+                .trim()
+                .strip_suffix('}')
+                .ok_or_else(|| ParseQasmError::new(lineno, "unterminated if body"))?
+                .trim();
+            (Some(cond), body.to_string())
+        } else {
+            (None, line.to_string())
+        };
+        let body = body.trim().trim_end_matches(';').trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut inst = parse_statement(body, lineno)?;
+        if let Some(cond) = condition {
+            inst = inst.with_condition(cond);
+        }
+        insts.push(inst);
+    }
+
+    let mut circuit = Circuit::new(num_qubits, num_clbits);
+    for inst in insts {
+        circuit
+            .try_push(inst)
+            .map_err(|e| ParseQasmError::new(0, e.to_string()))?;
+    }
+    Ok(circuit)
+}
+
+fn parse_decl(rest: &str, lineno: usize) -> Result<usize, ParseQasmError> {
+    let end = rest
+        .find(']')
+        .ok_or_else(|| ParseQasmError::new(lineno, "missing ] in declaration"))?;
+    rest[..end]
+        .parse()
+        .map_err(|_| ParseQasmError::new(lineno, "bad register size"))
+}
+
+fn parse_condition(expr: &str, lineno: usize) -> Result<Condition, ParseQasmError> {
+    let mut bits = Vec::new();
+    let mut value = 0u64;
+    for (k, clause) in expr.split("&&").enumerate() {
+        let clause = clause.trim();
+        let (lhs, rhs) = clause
+            .split_once("==")
+            .ok_or_else(|| ParseQasmError::new(lineno, "condition must use =="))?;
+        let bit = parse_index(lhs.trim(), 'c', lineno)?;
+        let v: u64 = rhs
+            .trim()
+            .parse()
+            .map_err(|_| ParseQasmError::new(lineno, "bad condition value"))?;
+        bits.push(Clbit::new(bit));
+        value |= (v & 1) << k;
+    }
+    match bits.len() {
+        0 => Err(ParseQasmError::new(lineno, "empty condition")),
+        1 => Ok(Condition::Bit {
+            bit: bits[0],
+            value: value == 1,
+        }),
+        _ => Ok(Condition::register(bits, value)),
+    }
+}
+
+fn parse_index(token: &str, reg: char, lineno: usize) -> Result<usize, ParseQasmError> {
+    let expect = format!("{reg}[");
+    let rest = token
+        .strip_prefix(&expect)
+        .ok_or_else(|| ParseQasmError::new(lineno, format!("expected {expect}...]")))?;
+    let end = rest
+        .find(']')
+        .ok_or_else(|| ParseQasmError::new(lineno, "missing ]"))?;
+    rest[..end]
+        .parse()
+        .map_err(|_| ParseQasmError::new(lineno, "bad wire index"))
+}
+
+fn parse_statement(body: &str, lineno: usize) -> Result<Instruction, ParseQasmError> {
+    // Measurement assignment: c[i] = measure q[j]
+    if let Some((lhs, rhs)) = body.split_once('=') {
+        if rhs.trim_start().starts_with("measure") && !lhs.contains("==") {
+            let clbit = parse_index(lhs.trim(), 'c', lineno)?;
+            let qtoken = rhs.trim().trim_start_matches("measure").trim();
+            let qubit = parse_index(qtoken, 'q', lineno)?;
+            return Ok(Instruction::measure(Qubit::new(qubit), Clbit::new(clbit)));
+        }
+    }
+    let (head, args) = match body.find(" q[") {
+        Some(pos) => (body[..pos].trim(), body[pos..].trim()),
+        None => (body, ""),
+    };
+    let qubits: Vec<Qubit> = if args.is_empty() {
+        Vec::new()
+    } else {
+        args.split(',')
+            .map(|tok| parse_index(tok.trim(), 'q', lineno).map(Qubit::new))
+            .collect::<Result<_, _>>()?
+    };
+    if head == "reset" {
+        if qubits.len() != 1 {
+            return Err(ParseQasmError::new(lineno, "reset takes one qubit"));
+        }
+        return Ok(Instruction::reset(qubits[0]));
+    }
+    if head == "barrier" {
+        return Ok(Instruction::barrier(qubits));
+    }
+    let gate = parse_gate(head, lineno)?;
+    Ok(Instruction::gate(gate, qubits))
+}
+
+fn parse_gate(head: &str, lineno: usize) -> Result<Gate, ParseQasmError> {
+    // ctrl modifiers.
+    if let Some(rest) = head.strip_prefix("ctrl") {
+        let rest = rest.trim();
+        let (count, base) = if let Some(r) = rest.strip_prefix('(') {
+            let end = r
+                .find(')')
+                .ok_or_else(|| ParseQasmError::new(lineno, "missing ) in ctrl"))?;
+            let count: usize = r[..end]
+                .parse()
+                .map_err(|_| ParseQasmError::new(lineno, "bad ctrl count"))?;
+            (count, r[end + 1..].trim())
+        } else {
+            (1, rest)
+        };
+        let base = base
+            .strip_prefix('@')
+            .ok_or_else(|| ParseQasmError::new(lineno, "expected @ after ctrl"))?
+            .trim();
+        return match (count, base) {
+            (1, "sx") => Ok(Gate::Cv),
+            (1, "sxdg") => Ok(Gate::Cvdg),
+            (2, "z") => Ok(Gate::Ccz),
+            (n, "x") => Ok(match n {
+                1 => Gate::Cx,
+                2 => Gate::Ccx,
+                n => Gate::Mcx(n),
+            }),
+            _ => Err(ParseQasmError::new(
+                lineno,
+                format!("unsupported controlled gate: {head}"),
+            )),
+        };
+    }
+    // Parameterised gates: name(angle)
+    if let Some(open) = head.find('(') {
+        let name = &head[..open];
+        let close = head
+            .find(')')
+            .ok_or_else(|| ParseQasmError::new(lineno, "missing ) in parameter"))?;
+        let angle: f64 = head[open + 1..close]
+            .parse()
+            .map_err(|_| ParseQasmError::new(lineno, "bad angle"))?;
+        return match name {
+            "p" => Ok(Gate::P(angle)),
+            "rx" => Ok(Gate::Rx(angle)),
+            "ry" => Ok(Gate::Ry(angle)),
+            "rz" => Ok(Gate::Rz(angle)),
+            "cp" => Ok(Gate::Cp(angle)),
+            _ => Err(ParseQasmError::new(
+                lineno,
+                format!("unsupported parameterised gate: {name}"),
+            )),
+        };
+    }
+    match head {
+        "id" => Ok(Gate::I),
+        "h" => Ok(Gate::H),
+        "x" => Ok(Gate::X),
+        "y" => Ok(Gate::Y),
+        "z" => Ok(Gate::Z),
+        "s" => Ok(Gate::S),
+        "sdg" => Ok(Gate::Sdg),
+        "t" => Ok(Gate::T),
+        "tdg" => Ok(Gate::Tdg),
+        "sx" => Ok(Gate::V),
+        "sxdg" => Ok(Gate::Vdg),
+        "cx" => Ok(Gate::Cx),
+        "cy" => Ok(Gate::Cy),
+        "cz" => Ok(Gate::Cz),
+        "swap" => Ok(Gate::Swap),
+        "ccx" => Ok(Gate::Ccx),
+        other => Err(ParseQasmError::new(
+            lineno,
+            format!("unsupported gate: {other}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    #[test]
+    fn export_header_and_gates() {
+        let mut circ = Circuit::new(2, 1);
+        circ.h(q(0)).cx(q(0), q(1)).measure(q(1), c(0));
+        let text = to_qasm(&circ);
+        assert!(text.starts_with("OPENQASM 3.0;"));
+        assert!(text.contains("qubit[2] q;"));
+        assert!(text.contains("bit[1] c;"));
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("cx q[0], q[1];"));
+        assert!(text.contains("c[0] = measure q[1];"));
+    }
+
+    #[test]
+    fn export_cv_uses_ctrl_modifier() {
+        let mut circ = Circuit::new(2, 0);
+        circ.cv(q(0), q(1)).cvdg(q(0), q(1));
+        let text = to_qasm(&circ);
+        assert!(text.contains("ctrl @ sx q[0], q[1];"));
+        assert!(text.contains("ctrl @ sxdg q[0], q[1];"));
+    }
+
+    #[test]
+    fn export_condition() {
+        let mut circ = Circuit::new(1, 2);
+        circ.x_if(q(0), c(1));
+        let text = to_qasm(&circ);
+        assert!(text.contains("if (c[1] == 1) { x q[0]; }"));
+    }
+
+    #[test]
+    fn export_register_condition() {
+        let mut circ = Circuit::new(1, 2);
+        circ.gate_if(
+            Gate::X,
+            &[q(0)],
+            Condition::register(vec![c(0), c(1)], 0b01),
+        );
+        let text = to_qasm(&circ);
+        assert!(text.contains("if (c[0] == 1 && c[1] == 0) { x q[0]; }"));
+    }
+
+    #[test]
+    fn round_trip_simple_circuit() {
+        let mut circ = Circuit::new(3, 2);
+        circ.h(q(0))
+            .t(q(1))
+            .cx(q(0), q(2))
+            .ccx(q(0), q(1), q(2))
+            .measure(q(0), c(0))
+            .reset(q(0))
+            .x_if(q(1), c(0))
+            .measure(q(1), c(1));
+        let parsed = from_qasm(&to_qasm(&circ)).unwrap();
+        assert_eq!(parsed.num_qubits(), 3);
+        assert_eq!(parsed.num_clbits(), 2);
+        assert_eq!(parsed.instructions(), circ.instructions());
+    }
+
+    #[test]
+    fn round_trip_cv_and_mcx() {
+        let mut circ = Circuit::new(5, 0);
+        circ.cv(q(0), q(1))
+            .cvdg(q(2), q(3))
+            .ccz(q(0), q(1), q(2))
+            .mcx(&[q(0), q(1), q(2), q(3)], q(4));
+        let parsed = from_qasm(&to_qasm(&circ)).unwrap();
+        assert_eq!(parsed.instructions(), circ.instructions());
+    }
+
+    #[test]
+    fn round_trip_parameterised_gates() {
+        let mut circ = Circuit::new(2, 0);
+        circ.p(0.5, q(0))
+            .rx(1.25, q(0))
+            .ry(-0.75, q(1))
+            .rz(3.0, q(1))
+            .cp(0.125, q(0), q(1));
+        let parsed = from_qasm(&to_qasm(&circ)).unwrap();
+        assert_eq!(parsed.instructions(), circ.instructions());
+    }
+
+    #[test]
+    fn round_trip_register_condition() {
+        let mut circ = Circuit::new(1, 3);
+        circ.gate_if(
+            Gate::V,
+            &[q(0)],
+            Condition::register(vec![c(0), c(2)], 0b10),
+        );
+        let parsed = from_qasm(&to_qasm(&circ)).unwrap();
+        assert_eq!(parsed.instructions(), circ.instructions());
+    }
+
+    #[test]
+    fn parser_ignores_comments_and_blank_lines() {
+        let text = "OPENQASM 3.0;\n// a comment\n\nqubit[1] q;\nh q[0]; // trailing\n";
+        let parsed = from_qasm(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn parser_rejects_unknown_gate() {
+        let text = "qubit[1] q;\nfrobnicate q[0];\n";
+        let err = from_qasm(text).unwrap_err();
+        assert!(err.to_string().contains("unsupported gate"));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn parser_rejects_out_of_range_wire() {
+        let text = "qubit[1] q;\nh q[5];\n";
+        assert!(from_qasm(text).is_err());
+    }
+
+    #[test]
+    fn barrier_round_trips() {
+        let mut circ = Circuit::new(2, 0);
+        circ.barrier(&[q(0), q(1)]);
+        let parsed = from_qasm(&to_qasm(&circ)).unwrap();
+        assert_eq!(parsed.instructions(), circ.instructions());
+    }
+}

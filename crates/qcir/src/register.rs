@@ -1,0 +1,281 @@
+//! Qubit and classical-bit handles and named registers.
+
+use std::fmt;
+
+/// A handle to one qubit of a [`Circuit`](crate::Circuit), identified by its
+/// global wire index.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Qubit;
+/// let q = Qubit::new(2);
+/// assert_eq!(q.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qubit(usize);
+
+impl Qubit {
+    /// Creates a handle for the qubit at global wire `index`.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The global wire index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(index: usize) -> Self {
+        Self::new(index)
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A handle to one classical bit of a [`Circuit`](crate::Circuit).
+///
+/// Classical bits receive measurement outcomes and drive classically
+/// controlled operations — the defining primitive of dynamic quantum
+/// circuits.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::Clbit;
+/// assert_eq!(Clbit::new(0).index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Clbit(usize);
+
+impl Clbit {
+    /// Creates a handle for the classical bit at global index `index`.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The global classical-bit index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for Clbit {
+    fn from(index: usize) -> Self {
+        Self::new(index)
+    }
+}
+
+impl fmt::Display for Clbit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A named, contiguous group of qubits within a circuit.
+///
+/// Registers carry no behaviour of their own; they name slices of the global
+/// wire space for readability, QASM export and the data/ancilla/answer role
+/// bookkeeping of the DQC transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantumRegister {
+    name: String,
+    start: usize,
+    size: usize,
+}
+
+impl QuantumRegister {
+    pub(crate) fn new(name: impl Into<String>, start: usize, size: usize) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            size,
+        }
+    }
+
+    /// The register's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits in the register.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// `true` when the register holds no qubits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The qubit at `offset` within the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= self.len()`.
+    #[must_use]
+    pub fn qubit(&self, offset: usize) -> Qubit {
+        assert!(
+            offset < self.size,
+            "qubit offset {offset} out of range for register '{}' of size {}",
+            self.name,
+            self.size
+        );
+        Qubit::new(self.start + offset)
+    }
+
+    /// Iterates over the register's qubits in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = Qubit> + '_ {
+        (self.start..self.start + self.size).map(Qubit::new)
+    }
+
+    /// Global index of the register's first wire.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// `true` when `qubit` belongs to this register.
+    #[must_use]
+    pub fn contains(&self, qubit: Qubit) -> bool {
+        (self.start..self.start + self.size).contains(&qubit.index())
+    }
+}
+
+/// A named, contiguous group of classical bits within a circuit.
+///
+/// The DQC transformation writes each data-qubit measurement into one bit of
+/// a classical register and later conditions gates on those bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassicalRegister {
+    name: String,
+    start: usize,
+    size: usize,
+}
+
+impl ClassicalRegister {
+    pub(crate) fn new(name: impl Into<String>, start: usize, size: usize) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            size,
+        }
+    }
+
+    /// The register's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of bits in the register.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// `true` when the register holds no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The classical bit at `offset` within the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= self.len()`.
+    #[must_use]
+    pub fn bit(&self, offset: usize) -> Clbit {
+        assert!(
+            offset < self.size,
+            "bit offset {offset} out of range for register '{}' of size {}",
+            self.name,
+            self.size
+        );
+        Clbit::new(self.start + offset)
+    }
+
+    /// Iterates over the register's bits in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Clbit> + '_ {
+        (self.start..self.start + self.size).map(Clbit::new)
+    }
+
+    /// Global index of the register's first bit.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// `true` when `bit` belongs to this register.
+    #[must_use]
+    pub fn contains(&self, bit: Clbit) -> bool {
+        (self.start..self.start + self.size).contains(&bit.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_handles_are_ordered_by_index() {
+        assert!(Qubit::new(0) < Qubit::new(1));
+        assert_eq!(Qubit::from(3).index(), 3);
+        assert_eq!(Qubit::new(5).to_string(), "q5");
+    }
+
+    #[test]
+    fn clbit_handles_display() {
+        assert_eq!(Clbit::new(2).to_string(), "c2");
+        assert_eq!(Clbit::from(7).index(), 7);
+    }
+
+    #[test]
+    fn quantum_register_addresses_its_slice() {
+        let r = QuantumRegister::new("d", 2, 3);
+        assert_eq!(r.name(), "d");
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.qubit(0), Qubit::new(2));
+        assert_eq!(r.qubit(2), Qubit::new(4));
+        assert!(r.contains(Qubit::new(3)));
+        assert!(!r.contains(Qubit::new(5)));
+        let all: Vec<_> = r.iter().collect();
+        assert_eq!(all, vec![Qubit::new(2), Qubit::new(3), Qubit::new(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantum_register_rejects_bad_offset() {
+        let _ = QuantumRegister::new("d", 0, 2).qubit(2);
+    }
+
+    #[test]
+    fn classical_register_addresses_its_slice() {
+        let r = ClassicalRegister::new("meas", 1, 2);
+        assert_eq!(r.bit(1), Clbit::new(2));
+        assert!(r.contains(Clbit::new(1)));
+        assert!(!r.contains(Clbit::new(0)));
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn classical_register_rejects_bad_offset() {
+        let _ = ClassicalRegister::new("c", 0, 1).bit(1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Qubit connectivity and SWAP-insertion routing.
+//!
+//! Real devices restrict two-qubit gates to coupled pairs. A traditional
+//! `n`-qubit circuit must be *routed* — SWAPs inserted to bring interacting
+//! qubits together — while a dynamic circuit needs exactly one coupled pair
+//! per answer qubit. This module provides coupling maps and a simple
+//! shortest-path router so that comparison can be made quantitatively.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::{Instruction, OpKind};
+use crate::register::Qubit;
+
+/// An undirected qubit-connectivity graph.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::routing::CouplingMap;
+/// let line = CouplingMap::line(4);
+/// assert!(line.coupled(1, 2));
+/// assert!(!line.coupled(0, 3));
+/// assert_eq!(line.distance(0, 3), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl CouplingMap {
+    /// Builds a map from explicit undirected edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a qubit `>= num_qubits` or couples a
+    /// qubit to itself.
+    #[must_use]
+    pub fn new(num_qubits: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(a, b) in &edges {
+            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-coupling ({a},{a})");
+        }
+        Self { num_qubits, edges }
+    }
+
+    /// A linear chain `0 - 1 - ... - (n-1)`.
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        Self::new(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect())
+    }
+
+    /// A ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 qubits");
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        Self::new(n, edges)
+    }
+
+    /// A star with qubit 0 at the centre.
+    #[must_use]
+    pub fn star(n: usize) -> Self {
+        Self::new(n, (1..n).map(|i| (0, i)).collect())
+    }
+
+    /// All-to-all connectivity.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        Self::new(n, edges)
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// `true` when `a` and `b` share an edge.
+    #[must_use]
+    pub fn coupled(&self, a: usize, b: usize) -> bool {
+        self.edges
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    /// Neighbours of `q`.
+    #[must_use]
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == q {
+                    Some(b)
+                } else if b == q {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// BFS shortest-path length between `a` and `b` (`None` when
+    /// disconnected).
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        self.shortest_path(a, b).map(|p| p.len() - 1)
+    }
+
+    /// BFS shortest path from `a` to `b`, inclusive of both endpoints.
+    #[must_use]
+    pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev = vec![usize::MAX; self.num_qubits];
+        let mut queue = std::collections::VecDeque::from([a]);
+        prev[a] = a;
+        while let Some(cur) = queue.pop_front() {
+            for nb in self.neighbors(cur) {
+                if prev[nb] == usize::MAX {
+                    prev[nb] = cur;
+                    if nb == b {
+                        let mut path = vec![b];
+                        let mut p = b;
+                        while p != a {
+                            p = prev[p];
+                            path.push(p);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(nb);
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` when every pair of qubits is connected by some path.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits <= 1 {
+            return true;
+        }
+        (1..self.num_qubits).all(|q| self.distance(0, q).is_some())
+    }
+}
+
+/// An error from [`route`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteError {
+    message: String,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "routing failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The result of routing a circuit onto a coupling map.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The routed circuit (logical operations rewritten onto physical
+    /// wires, SWAPs inserted).
+    pub circuit: Circuit,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+    /// Final logical-to-physical layout: `layout[logical] = physical`.
+    pub final_layout: Vec<usize>,
+}
+
+/// Routes `circuit` onto `map` with a greedy shortest-path strategy:
+/// logical qubit `i` starts on physical qubit `i`; before each two-qubit
+/// gate on non-adjacent qubits, SWAPs move the control along the shortest
+/// path until adjacent. Gates on 3+ qubits must be decomposed first.
+///
+/// Measurement, reset, barriers and classical conditions route unchanged
+/// (classical wiring has no connectivity constraint).
+///
+/// # Errors
+///
+/// Returns [`RouteError`] when the map has fewer qubits than the circuit,
+/// is disconnected where needed, or the circuit contains gates on three or
+/// more qubits.
+pub fn route(circuit: &Circuit, map: &CouplingMap) -> Result<RoutedCircuit, RouteError> {
+    if map.num_qubits() < circuit.num_qubits() {
+        return Err(RouteError {
+            message: format!(
+                "coupling map has {} qubits, circuit needs {}",
+                map.num_qubits(),
+                circuit.num_qubits()
+            ),
+        });
+    }
+    // layout[logical] = physical; inverse[physical] = logical.
+    let mut layout: Vec<usize> = (0..map.num_qubits()).collect();
+    let mut inverse: Vec<usize> = (0..map.num_qubits()).collect();
+    let mut out = Circuit::with_name(
+        format!("{}_routed", circuit.name()),
+        map.num_qubits(),
+        circuit.num_clbits(),
+    );
+    let mut swaps = 0usize;
+
+    for inst in circuit.iter() {
+        match inst.kind() {
+            OpKind::Gate(g) if g.num_qubits() > 2 => {
+                return Err(RouteError {
+                    message: format!("gate {g} acts on more than two qubits; decompose first"),
+                });
+            }
+            OpKind::Gate(g) if g.num_qubits() == 2 => {
+                let la = inst.qubits()[0].index();
+                let lb = inst.qubits()[1].index();
+                let (mut pa, pb) = (layout[la], layout[lb]);
+                if !map.coupled(pa, pb) {
+                    let path = map.shortest_path(pa, pb).ok_or_else(|| RouteError {
+                        message: format!("no path between physical {pa} and {pb}"),
+                    })?;
+                    // Swap the first operand down the path until adjacent.
+                    for &step in &path[1..path.len() - 1] {
+                        out.push(Instruction::gate(
+                            Gate::Swap,
+                            vec![Qubit::new(pa), Qubit::new(step)],
+                        ));
+                        swaps += 1;
+                        let (la_cur, lb_cur) = (inverse[pa], inverse[step]);
+                        layout.swap(la_cur, lb_cur);
+                        inverse.swap(pa, step);
+                        pa = step;
+                    }
+                }
+                let mapped = vec![Qubit::new(layout[la]), Qubit::new(layout[lb])];
+                let mut e = Instruction::gate(g.clone(), mapped);
+                if let Some(c) = inst.condition() {
+                    e = e.with_condition(c.clone());
+                }
+                out.push(e);
+            }
+            _ => {
+                // 1-qubit gates and non-unitary ops: remap wires only.
+                let mapped: Vec<Qubit> = inst
+                    .qubits()
+                    .iter()
+                    .map(|q| Qubit::new(layout[q.index()]))
+                    .collect();
+                let e = match inst.kind() {
+                    OpKind::Gate(g) => {
+                        let mut e = Instruction::gate(g.clone(), mapped);
+                        if let Some(c) = inst.condition() {
+                            e = e.with_condition(c.clone());
+                        }
+                        e
+                    }
+                    OpKind::Measure => {
+                        Instruction::measure(mapped[0], inst.clbits()[0])
+                    }
+                    OpKind::Reset => Instruction::reset(mapped[0]),
+                    OpKind::Barrier => Instruction::barrier(mapped),
+                };
+                out.push(e);
+            }
+        }
+    }
+    Ok(RoutedCircuit {
+        circuit: out,
+        swaps_inserted: swaps,
+        final_layout: layout,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn named_topologies_have_expected_edges() {
+        assert!(CouplingMap::line(3).coupled(0, 1));
+        assert!(!CouplingMap::line(3).coupled(0, 2));
+        assert!(CouplingMap::ring(4).coupled(3, 0));
+        assert!(CouplingMap::star(4).coupled(0, 3));
+        assert!(!CouplingMap::star(4).coupled(1, 2));
+        assert!(CouplingMap::full(4).coupled(1, 3));
+    }
+
+    #[test]
+    fn distances_follow_topology() {
+        assert_eq!(CouplingMap::line(5).distance(0, 4), Some(4));
+        assert_eq!(CouplingMap::ring(6).distance(0, 5), Some(1));
+        assert_eq!(CouplingMap::ring(6).distance(0, 3), Some(3));
+        assert_eq!(CouplingMap::star(5).distance(2, 4), Some(2));
+        let disconnected = CouplingMap::new(3, vec![(0, 1)]);
+        assert_eq!(disconnected.distance(0, 2), None);
+        assert!(!disconnected.is_connected());
+        assert!(CouplingMap::line(4).is_connected());
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let m = CouplingMap::line(4);
+        assert_eq!(m.shortest_path(0, 3).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(m.shortest_path(2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edges_rejected() {
+        let _ = CouplingMap::new(2, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn adjacent_gates_route_without_swaps() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(q(0), q(1)).cx(q(1), q(2));
+        let routed = route(&c, &CouplingMap::line(3)).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.len(), 2);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(q(0), q(2));
+        let routed = route(&c, &CouplingMap::line(3)).unwrap();
+        assert_eq!(routed.swaps_inserted, 1);
+        // The CX executes on adjacent physical wires.
+        let cx = routed
+            .circuit
+            .iter()
+            .find(|i| i.as_gate() == Some(&Gate::Cx))
+            .unwrap();
+        let (a, b) = (cx.qubits()[0].index(), cx.qubits()[1].index());
+        assert!(CouplingMap::line(3).coupled(a, b));
+    }
+
+    #[test]
+    fn routed_circuit_preserves_semantics() {
+        // Compare unitaries: routed circuit followed by undoing the final
+        // layout permutation equals the original.
+        let mut c = Circuit::new(4, 0);
+        c.h(q(0)).cx(q(0), q(3)).cx(q(1), q(2)).cx(q(3), q(1)).t(q(2));
+        let map = CouplingMap::line(4);
+        let routed = route(&c, &map).unwrap();
+        // Build a comparison circuit: routed + swaps restoring identity
+        // layout.
+        let mut fixed = routed.circuit.clone();
+        let mut layout = routed.final_layout.clone();
+        for logical in 0..4 {
+            let phys = layout[logical];
+            if phys != logical {
+                fixed.swap(q(phys), q(logical));
+                // Update bookkeeping: the logical qubit on `logical` moves.
+                let other = layout.iter().position(|&p| p == logical).unwrap();
+                layout.swap(logical, other);
+            }
+        }
+        // Unitary comparison via gate matrices.
+        let u_of = |circ: &Circuit| {
+            let mut u = qmath::CMatrix::identity(1 << circ.num_qubits());
+            for inst in circ.iter() {
+                let pos: Vec<usize> = inst.qubits().iter().map(|x| x.index()).collect();
+                u = inst
+                    .as_gate()
+                    .unwrap()
+                    .matrix()
+                    .embed(&pos, circ.num_qubits())
+                    .mul(&u);
+            }
+            u
+        };
+        assert!(u_of(&fixed).approx_eq(&u_of(&c), 1e-9));
+    }
+
+    #[test]
+    fn measurements_follow_their_qubits() {
+        let mut c = Circuit::new(3, 1);
+        c.cx(q(0), q(2)); // forces a swap
+        c.measure(q(0), crate::register::Clbit::new(0));
+        let routed = route(&c, &CouplingMap::line(3)).unwrap();
+        let measure = routed
+            .circuit
+            .iter()
+            .find(|i| matches!(i.kind(), OpKind::Measure))
+            .unwrap();
+        // Logical q0 moved to physical 1 by the swap.
+        assert_eq!(measure.qubits()[0].index(), routed.final_layout[0]);
+    }
+
+    #[test]
+    fn wide_gates_are_rejected() {
+        let mut c = Circuit::new(3, 0);
+        c.ccx(q(0), q(1), q(2));
+        let err = route(&c, &CouplingMap::line(3)).unwrap_err();
+        assert!(err.to_string().contains("more than two"));
+    }
+
+    #[test]
+    fn small_maps_are_rejected() {
+        let c = Circuit::new(5, 0);
+        assert!(route(&c, &CouplingMap::line(3)).is_err());
+    }
+
+    #[test]
+    fn dynamic_two_qubit_circuits_route_trivially() {
+        // The DQC advantage: any 2-qubit dynamic circuit routes with zero
+        // SWAPs on any connected map.
+        let mut c = Circuit::new(2, 1);
+        c.h(q(0))
+            .cx(q(0), q(1))
+            .measure(q(0), crate::register::Clbit::new(0))
+            .reset(q(0))
+            .x_if(q(0), crate::register::Clbit::new(0));
+        for map in [CouplingMap::line(2), CouplingMap::line(5), CouplingMap::ring(4)] {
+            let routed = route(&c, &map).unwrap();
+            assert_eq!(routed.swaps_inserted, 0);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the circuit IR.
+
+use proptest::prelude::*;
+use qcir::passes::{cancel_adjacent_inverses, peephole_optimize, remove_dead_writes};
+use qcir::{depth, gate_count, qasm, Circuit, CircuitStats, DagCircuit, Gate, Qubit};
+
+const NQ: usize = 4;
+
+/// A strategy producing random single/two-qubit gate instructions on `NQ`
+/// qubits (always valid: distinct operands in range).
+fn arb_gate() -> impl Strategy<Value = (Gate, Vec<usize>)> {
+    let one = (0usize..NQ).prop_flat_map(|q| {
+        prop_oneof![
+            Just(Gate::H),
+            Just(Gate::X),
+            Just(Gate::Z),
+            Just(Gate::S),
+            Just(Gate::Sdg),
+            Just(Gate::T),
+            Just(Gate::Tdg),
+            Just(Gate::V),
+            Just(Gate::Vdg),
+        ]
+        .prop_map(move |g| (g, vec![q]))
+    });
+    let two = (0usize..NQ, 0usize..NQ - 1).prop_flat_map(|(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        prop_oneof![Just(Gate::Cx), Just(Gate::Cz), Just(Gate::Cv), Just(Gate::Cvdg)]
+            .prop_map(move |g| (g, vec![a, b]))
+    });
+    prop_oneof![one, two]
+}
+
+/// Operations for dynamic-circuit generation (gates + non-unitary ops).
+#[derive(Debug, Clone)]
+enum DynOp {
+    Gate(Gate, Vec<usize>),
+    Measure(usize, usize),
+    Reset(usize),
+    CondX(usize, usize, bool),
+}
+
+fn arb_dynamic_op() -> impl Strategy<Value = DynOp> {
+    prop_oneof![
+        3 => arb_gate().prop_map(|(g, qs)| DynOp::Gate(g, qs)),
+        1 => (0usize..NQ, 0usize..NQ).prop_map(|(q, c)| DynOp::Measure(q, c)),
+        1 => (0usize..NQ).prop_map(DynOp::Reset),
+        1 => (0usize..NQ, 0usize..NQ, any::<bool>())
+            .prop_map(|(q, c, v)| DynOp::CondX(q, c, v)),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(), 0..40).prop_map(|gates| {
+        let mut c = Circuit::new(NQ, 0);
+        for (g, qs) in gates {
+            let qubits: Vec<Qubit> = qs.into_iter().map(Qubit::new).collect();
+            c.gate(g, &qubits);
+        }
+        c
+    })
+}
+
+proptest! {
+    #[test]
+    fn depth_never_exceeds_gate_count(c in arb_circuit()) {
+        prop_assert!(depth(&c) <= gate_count(&c));
+    }
+
+    #[test]
+    fn depth_at_least_busiest_wire(c in arb_circuit()) {
+        let mut per_wire = vec![0usize; NQ];
+        for inst in c.iter() {
+            for q in inst.qubits() {
+                per_wire[q.index()] += 1;
+            }
+        }
+        let busiest = per_wire.into_iter().max().unwrap_or(0);
+        prop_assert!(depth(&c) >= busiest);
+    }
+
+    #[test]
+    fn dag_layer_count_equals_depth(c in arb_circuit()) {
+        let dag = DagCircuit::from_circuit(&c);
+        prop_assert_eq!(dag.longest_path_len(), depth(&c));
+    }
+
+    #[test]
+    fn dag_edges_point_forward(c in arb_circuit()) {
+        let dag = DagCircuit::from_circuit(&c);
+        for node in 0..dag.len() {
+            for &s in dag.successors(node) {
+                prop_assert!(s > node);
+            }
+            for &p in dag.predecessors(node) {
+                prop_assert!(p < node);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_circuit_has_same_shape(c in arb_circuit()) {
+        let inv = c.inverse().unwrap();
+        prop_assert_eq!(inv.len(), c.len());
+        prop_assert_eq!(depth(&inv), depth(&c));
+    }
+
+    #[test]
+    fn double_inverse_is_identity(c in arb_circuit()) {
+        let back = c.inverse().unwrap().inverse().unwrap();
+        prop_assert_eq!(back.instructions(), c.instructions());
+    }
+
+    #[test]
+    fn cancellation_never_grows_the_circuit(c in arb_circuit()) {
+        let opt = cancel_adjacent_inverses(&c);
+        prop_assert!(opt.len() <= c.len());
+        // Parity of removed gates: cancellation removes pairs.
+        prop_assert_eq!((c.len() - opt.len()) % 2, 0);
+    }
+
+    #[test]
+    fn cancellation_is_idempotent(c in arb_circuit()) {
+        let once = cancel_adjacent_inverses(&c);
+        let twice = cancel_adjacent_inverses(&once);
+        prop_assert_eq!(once.instructions(), twice.instructions());
+    }
+
+    #[test]
+    fn dead_write_removal_is_idempotent(c in arb_circuit()) {
+        let once = remove_dead_writes(&c);
+        let twice = remove_dead_writes(&once);
+        prop_assert_eq!(once.instructions(), twice.instructions());
+    }
+
+    #[test]
+    fn peephole_never_grows(c in arb_circuit()) {
+        prop_assert!(peephole_optimize(&c).len() <= c.len());
+    }
+
+    #[test]
+    fn qasm_round_trip_preserves_instructions(c in arb_circuit()) {
+        let parsed = qasm::from_qasm(&qasm::to_qasm(&c)).unwrap();
+        prop_assert_eq!(parsed.instructions(), c.instructions());
+        prop_assert_eq!(parsed.num_qubits(), c.num_qubits());
+    }
+
+    #[test]
+    fn stats_decompose_gate_count(c in arb_circuit()) {
+        let s = CircuitStats::of(&c);
+        prop_assert_eq!(
+            s.gate_count,
+            s.unitary_count + s.measure_count + s.reset_count + s.conditioned_count
+        );
+        let by_name_total: usize = s.by_name.values().sum();
+        prop_assert_eq!(by_name_total, s.gate_count);
+    }
+
+    #[test]
+    fn dynamic_circuit_qasm_round_trip(
+        ops in proptest::collection::vec(arb_dynamic_op(), 0..30)
+    ) {
+        let mut c = Circuit::new(NQ, NQ);
+        for op in ops {
+            match op {
+                DynOp::Gate(g, qs) => {
+                    let qubits: Vec<Qubit> = qs.into_iter().map(Qubit::new).collect();
+                    c.gate(g, &qubits);
+                }
+                DynOp::Measure(q, cl) => {
+                    c.measure(Qubit::new(q), qcir::Clbit::new(cl));
+                }
+                DynOp::Reset(q) => {
+                    c.reset(Qubit::new(q));
+                }
+                DynOp::CondX(q, cl, v) => {
+                    let cond = if v {
+                        qcir::Condition::bit(qcir::Clbit::new(cl))
+                    } else {
+                        qcir::Condition::bit_zero(qcir::Clbit::new(cl))
+                    };
+                    c.gate_if(Gate::X, &[Qubit::new(q)], cond);
+                }
+            }
+        }
+        let parsed = qasm::from_qasm(&qasm::to_qasm(&c)).unwrap();
+        prop_assert_eq!(parsed.instructions(), c.instructions());
+        prop_assert_eq!(parsed.num_clbits(), c.num_clbits());
+    }
+
+    #[test]
+    fn commutation_is_symmetric(
+        (ga, qa) in arb_gate(),
+        (gb, qb) in arb_gate(),
+    ) {
+        let qa: Vec<Qubit> = qa.into_iter().map(Qubit::new).collect();
+        let qb: Vec<Qubit> = qb.into_iter().map(Qubit::new).collect();
+        let ab = qcir::commute::gates_commute(&ga, &qa, &gb, &qb);
+        let ba = qcir::commute::gates_commute(&gb, &qb, &ga, &qa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn gate_commutes_with_itself((g, qs) in arb_gate()) {
+        let qs: Vec<Qubit> = qs.into_iter().map(Qubit::new).collect();
+        prop_assert!(qcir::commute::gates_commute(&g, &qs, &g, &qs));
+    }
+}

@@ -1,0 +1,47 @@
+//! Floating-point comparison helpers shared across the workspace.
+
+/// Default absolute tolerance for comparing amplitudes and probabilities.
+///
+/// All circuits in this workspace are composed of Clifford+T-level gates whose
+/// matrix entries are exact up to a handful of floating-point operations, so a
+/// tolerance of `1e-10` comfortably separates "equal" from "different" while
+/// absorbing rounding error.
+pub const EPS: f64 = 1e-10;
+
+/// Returns `true` when `a` and `b` differ by at most `tol` in absolute value.
+///
+/// # Examples
+///
+/// ```
+/// assert!(qmath::approx_eq_f64(0.1 + 0.2, 0.3, 1e-12));
+/// assert!(!qmath::approx_eq_f64(0.1, 0.2, 1e-12));
+/// ```
+#[must_use]
+pub fn approx_eq_f64(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_are_approx_equal() {
+        assert!(approx_eq_f64(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn values_within_tolerance_compare_equal() {
+        assert!(approx_eq_f64(1.0, 1.0 + 1e-12, 1e-10));
+    }
+
+    #[test]
+    fn values_outside_tolerance_compare_unequal() {
+        assert!(!approx_eq_f64(1.0, 1.1, 1e-10));
+    }
+
+    #[test]
+    fn tolerance_is_inclusive() {
+        assert!(approx_eq_f64(1.0, 1.5, 0.5));
+    }
+}

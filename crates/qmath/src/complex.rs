@@ -1,0 +1,351 @@
+//! A minimal double-precision complex number.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// The type is deliberately small and `Copy`; it implements the arithmetic
+/// operators, conjugation and the polar helpers needed for gate matrices and
+/// statevector simulation.
+///
+/// # Examples
+///
+/// ```
+/// use qmath::C64;
+///
+/// let z = C64::new(1.0, 1.0);
+/// assert!((z.abs() - 2f64.sqrt()).abs() < 1e-12);
+/// assert_eq!(z * z.conj(), C64::new(2.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity `0 + 0i`.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// The multiplicative identity `1 + 0i`.
+    #[must_use]
+    pub const fn one() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// The imaginary unit `i`.
+    #[must_use]
+    pub const fn i() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Creates a purely real complex number.
+    #[must_use]
+    pub const fn real(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+
+    /// Creates `r * e^{i theta}` from polar coordinates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qmath::C64;
+    /// let z = C64::from_polar(1.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - C64::i()).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{i theta}`, a unit-modulus phase factor.
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|^2`; cheaper than [`C64::abs`] and the quantity
+    /// that becomes a measurement probability.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `self` is exactly zero.
+    #[must_use]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d != 0.0, "attempted to invert zero");
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Multiplies by the imaginary unit (a quarter-turn in the plane).
+    #[must_use]
+    pub fn mul_i(self) -> Self {
+        Self::new(-self.im, self.re)
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` when both parts are within `tol` of `other`'s.
+    #[must_use]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` when the modulus is within `tol` of zero.
+    #[must_use]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.norm_sqr() <= tol * tol
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for C64 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for C64 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for C64 {
+    type Output = Self;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), Add::add)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(C64::zero(), C64::new(0.0, 0.0));
+        assert_eq!(C64::one(), C64::new(1.0, 0.0));
+        assert_eq!(C64::i(), C64::new(0.0, 1.0));
+        assert_eq!(C64::real(2.5), C64::new(2.5, 0.0));
+        assert_eq!(C64::from(3.0), C64::real(3.0));
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.5);
+        assert_eq!(a + b, C64::new(-2.0, 2.5));
+        assert_eq!(a - b, C64::new(4.0, 1.5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn multiplication_follows_i_squared_is_minus_one() {
+        assert_eq!(C64::i() * C64::i(), C64::real(-1.0));
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        let mut c = a;
+        c *= b;
+        assert_eq!(c, a * b);
+    }
+
+    #[test]
+    fn scalar_multiplication_commutes() {
+        let z = C64::new(1.0, -2.0);
+        assert_eq!(z * 2.0, 2.0 * z);
+        assert_eq!(z * 2.0, C64::new(2.0, -4.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert!(((a * b) / b).approx_eq(a, 1e-12));
+        assert_eq!(C64::new(2.0, 4.0) / 2.0, C64::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn recip_of_i_is_minus_i() {
+        assert!(C64::i().recip().approx_eq(-C64::i(), 1e-15));
+    }
+
+    #[test]
+    fn conjugation_negates_imaginary_part() {
+        assert_eq!(C64::new(1.0, 2.0).conj(), C64::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn modulus_and_norm_sqr_agree() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, FRAC_PI_4);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_of_pi_is_minus_one() {
+        assert!(C64::cis(PI).approx_eq(C64::real(-1.0), 1e-12));
+        assert!(C64::cis(FRAC_PI_2).approx_eq(C64::i(), 1e-12));
+    }
+
+    #[test]
+    fn mul_i_is_quarter_turn() {
+        let z = C64::new(1.0, 2.0);
+        assert_eq!(z.mul_i(), z * C64::i());
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let s: C64 = [C64::one(), C64::i(), C64::new(1.0, 1.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(s, C64::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn is_zero_respects_tolerance() {
+        assert!(C64::new(1e-12, -1e-12).is_zero(1e-10));
+        assert!(!C64::new(1e-3, 0.0).is_zero(1e-10));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

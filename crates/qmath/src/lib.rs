@@ -1,0 +1,26 @@
+//! Complex arithmetic and small dense complex matrices.
+//!
+//! This crate is the numerical substrate of the `dqct` workspace. Quantum
+//! state spaces in the reproduced paper are tiny (at most six qubits), so a
+//! simple, well-tested, dependency-free implementation beats pulling in a
+//! general linear-algebra stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use qmath::{C64, CMatrix};
+//!
+//! let h = CMatrix::hadamard();
+//! let id = h.mul(&h);
+//! assert!(id.approx_eq(&CMatrix::identity(2), 1e-12));
+//! assert!(h.is_unitary(1e-12));
+//! let _ = C64::new(0.0, 1.0) * C64::i();
+//! ```
+
+mod approx;
+mod complex;
+mod matrix;
+
+pub use approx::{approx_eq_f64, EPS};
+pub use complex::C64;
+pub use matrix::CMatrix;

@@ -1,0 +1,674 @@
+//! Small dense complex matrices.
+
+use crate::complex::C64;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major complex matrix.
+///
+/// Sized for quantum gates and few-qubit operators (dimension at most a few
+/// hundred), so every operation favours clarity over asymptotic cleverness.
+///
+/// # Examples
+///
+/// ```
+/// use qmath::CMatrix;
+///
+/// let x = CMatrix::pauli_x();
+/// assert!(x.mul(&x).approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![C64::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of complex entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all the same length or `rows` is empty.
+    #[must_use]
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        Self {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
+    }
+
+    /// Builds a square matrix from a flat row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a perfect square.
+    #[must_use]
+    pub fn from_flat(data: Vec<C64>) -> Self {
+        let n = (data.len() as f64).sqrt().round() as usize;
+        assert_eq!(n * n, data.len(), "flat data must form a square matrix");
+        Self {
+            rows: n,
+            cols: n,
+            data,
+        }
+    }
+
+    /// Builds a square matrix of real entries (convenience for gate tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a perfect square.
+    #[must_use]
+    pub fn from_real(data: &[f64]) -> Self {
+        Self::from_flat(data.iter().map(|&r| C64::real(r)).collect())
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the underlying row-major storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero(0.0) {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// Kronecker (tensor) product `self (x) rhs`.
+    #[must_use]
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let mut out = Self::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    #[must_use]
+    pub fn dagger(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Transpose without conjugation.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate.
+    #[must_use]
+    pub fn conj(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Scales every entry by `z`.
+    #[must_use]
+    pub fn scale(&self, z: C64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| a * z).collect(),
+        }
+    }
+
+    /// Entry-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        assert_eq!(self.rows, rhs.rows, "row mismatch in add");
+        assert_eq!(self.cols, rhs.cols, "column mismatch in add");
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Entry-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        self.add(&rhs.scale(C64::real(-1.0)))
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// `true` when every entry is within `tol` of `rhs`'s.
+    #[must_use]
+    pub fn approx_eq(&self, rhs: &Self, tol: f64) -> bool {
+        self.rows == rhs.rows
+            && self.cols == rhs.cols
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(&a, &b)| a.approx_eq(b, tol))
+    }
+
+    /// `true` when `self * self.dagger()` is the identity to tolerance `tol`.
+    #[must_use]
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.is_square() && self.mul(&self.dagger()).approx_eq(&Self::identity(self.rows), tol)
+    }
+
+    /// `true` when the matrix equals its own conjugate transpose.
+    #[must_use]
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.dagger(), tol)
+    }
+
+    /// `true` when `self` equals `rhs` up to a global phase factor.
+    ///
+    /// Used when comparing circuit unitaries: quantum mechanics cannot
+    /// distinguish `U` from `e^{i phi} U`.
+    #[must_use]
+    pub fn approx_eq_up_to_phase(&self, rhs: &Self, tol: f64) -> bool {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return false;
+        }
+        // Find the entry of largest modulus in rhs to estimate the phase.
+        let mut best = 0;
+        let mut best_norm = 0.0;
+        for (idx, z) in rhs.data.iter().enumerate() {
+            if z.norm_sqr() > best_norm {
+                best_norm = z.norm_sqr();
+                best = idx;
+            }
+        }
+        if best_norm <= tol * tol {
+            // rhs is (numerically) zero; require self to be zero too.
+            return self.data.iter().all(|z| z.is_zero(tol));
+        }
+        let phase = self.data[best] / rhs.data[best];
+        if (phase.abs() - 1.0).abs() > tol.max(1e-9) {
+            return false;
+        }
+        self.approx_eq(&rhs.scale(phase), tol)
+    }
+
+    /// Frobenius norm of the difference to `rhs`, handy in diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn distance(&self, rhs: &Self) -> f64 {
+        assert_eq!(self.rows, rhs.rows, "row mismatch in distance");
+        assert_eq!(self.cols, rhs.cols, "column mismatch in distance");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Embeds a `2^k`-dimensional operator acting on `positions` into the
+    /// full `2^num_qubits`-dimensional space, acting as identity elsewhere.
+    ///
+    /// Bit conventions: basis-state index bit `q` corresponds to qubit `q`
+    /// (qubit 0 is the least-significant bit), and operand `j` of the small
+    /// operator corresponds to bit `j` of its own index. `positions[j]` names
+    /// the qubit that operand `j` acts on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator is not square with dimension `2^positions.len()`,
+    /// if any position repeats, or if a position is `>= num_qubits`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qmath::CMatrix;
+    /// // X on qubit 1 of a 2-qubit register maps |00> -> |10>.
+    /// let full = CMatrix::pauli_x().embed(&[1], 2);
+    /// assert_eq!(full[(2, 0)], qmath::C64::one());
+    /// ```
+    #[must_use]
+    pub fn embed(&self, positions: &[usize], num_qubits: usize) -> Self {
+        let k = positions.len();
+        assert!(self.is_square(), "embed requires a square operator");
+        assert_eq!(self.rows, 1 << k, "operator dimension must be 2^positions");
+        for (idx, &p) in positions.iter().enumerate() {
+            assert!(p < num_qubits, "position {p} out of range for {num_qubits} qubits");
+            assert!(
+                !positions[..idx].contains(&p),
+                "duplicate position {p} in embed"
+            );
+        }
+        let dim = 1usize << num_qubits;
+        let mut out = Self::zeros(dim, dim);
+        for i in 0..dim {
+            let mut s = 0usize;
+            let mut base = i;
+            for (j, &p) in positions.iter().enumerate() {
+                s |= ((i >> p) & 1) << j;
+                base &= !(1usize << p);
+            }
+            for sp in 0..(1usize << k) {
+                let entry = self[(sp, s)];
+                if entry.is_zero(0.0) {
+                    continue;
+                }
+                let mut out_idx = base;
+                for (j, &p) in positions.iter().enumerate() {
+                    out_idx |= ((sp >> j) & 1) << p;
+                }
+                out[(out_idx, i)] = entry;
+            }
+        }
+        out
+    }
+
+    /// Builds the controlled version of a unitary: operands are
+    /// `n_controls` control bits (low index bits) followed by the base
+    /// operator's operands (high index bits). The base operator is applied
+    /// only when every control bit is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not square.
+    #[must_use]
+    pub fn controlled(base: &Self, n_controls: usize) -> Self {
+        assert!(base.is_square(), "controlled requires a square operator");
+        let bd = base.rows;
+        let dim = bd << n_controls;
+        let mask = (1usize << n_controls) - 1;
+        let mut out = Self::zeros(dim, dim);
+        for i in 0..dim {
+            if i & mask == mask {
+                let s = i >> n_controls;
+                for sp in 0..bd {
+                    out[((sp << n_controls) | mask, i)] = base[(sp, s)];
+                }
+            } else {
+                out[(i, i)] = C64::one();
+            }
+        }
+        out
+    }
+
+    // --- Common gate matrices, used by tests and by the `qcir` gate set ---
+
+    /// The 2x2 Hadamard matrix.
+    #[must_use]
+    pub fn hadamard() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Self::from_real(&[s, s, s, -s])
+    }
+
+    /// The 2x2 Pauli-X matrix.
+    #[must_use]
+    pub fn pauli_x() -> Self {
+        Self::from_real(&[0.0, 1.0, 1.0, 0.0])
+    }
+
+    /// The 2x2 Pauli-Y matrix.
+    #[must_use]
+    pub fn pauli_y() -> Self {
+        Self::from_flat(vec![C64::zero(), -C64::i(), C64::i(), C64::zero()])
+    }
+
+    /// The 2x2 Pauli-Z matrix.
+    #[must_use]
+    pub fn pauli_z() -> Self {
+        Self::from_real(&[1.0, 0.0, 0.0, -1.0])
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s2() -> f64 {
+        std::f64::consts::FRAC_1_SQRT_2
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let h = CMatrix::hadamard();
+        let id = CMatrix::identity(2);
+        assert!(h.mul(&id).approx_eq(&h, 0.0));
+        assert!(id.mul(&h).approx_eq(&h, 0.0));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = CMatrix::hadamard();
+        assert!(h.mul(&h).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for m in [CMatrix::pauli_x(), CMatrix::pauli_y(), CMatrix::pauli_z()] {
+            assert!(m.is_unitary(1e-12));
+            assert!(m.is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn pauli_algebra_xy_equals_iz() {
+        let xy = CMatrix::pauli_x().mul(&CMatrix::pauli_y());
+        let iz = CMatrix::pauli_z().scale(C64::i());
+        assert!(xy.approx_eq(&iz, 1e-12));
+    }
+
+    #[test]
+    fn mul_vec_applies_hadamard() {
+        let h = CMatrix::hadamard();
+        let v = h.mul_vec(&[C64::one(), C64::zero()]);
+        assert!(v[0].approx_eq(C64::real(s2()), 1e-12));
+        assert!(v[1].approx_eq(C64::real(s2()), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length")]
+    fn mul_vec_rejects_wrong_length() {
+        let _ = CMatrix::hadamard().mul_vec(&[C64::one()]);
+    }
+
+    #[test]
+    fn kron_shapes_and_values() {
+        let x = CMatrix::pauli_x();
+        let id = CMatrix::identity(2);
+        let k = x.kron(&id);
+        assert_eq!(k.rows(), 4);
+        // X (x) I maps |00> -> |10> (big-endian row convention).
+        assert_eq!(k[(2, 0)], C64::one());
+        assert_eq!(k[(0, 0)], C64::zero());
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary() {
+        let k = CMatrix::hadamard().kron(&CMatrix::pauli_y());
+        assert!(k.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = CMatrix::hadamard();
+        let b = CMatrix::pauli_y();
+        let lhs = a.mul(&b).dagger();
+        let rhs = b.dagger().mul(&a.dagger());
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn transpose_and_conj_compose_to_dagger() {
+        let y = CMatrix::pauli_y();
+        assert!(y.transpose().conj().approx_eq(&y.dagger(), 0.0));
+    }
+
+    #[test]
+    fn trace_of_identity_is_dimension() {
+        assert_eq!(CMatrix::identity(4).trace(), C64::real(4.0));
+        assert_eq!(CMatrix::pauli_x().trace(), C64::zero());
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = CMatrix::hadamard();
+        let b = CMatrix::pauli_z();
+        assert!(a.add(&b).sub(&b).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn global_phase_equality() {
+        let h = CMatrix::hadamard();
+        let phased = h.scale(C64::cis(0.7));
+        assert!(phased.approx_eq_up_to_phase(&h, 1e-12));
+        assert!(!phased.approx_eq(&h, 1e-12));
+        assert!(!CMatrix::pauli_x().approx_eq_up_to_phase(&CMatrix::pauli_z(), 1e-9));
+    }
+
+    #[test]
+    fn distance_is_zero_for_equal_matrices() {
+        let h = CMatrix::hadamard();
+        assert_eq!(h.distance(&h), 0.0);
+        assert!(h.distance(&CMatrix::identity(2)) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_rejects_mismatched_shapes() {
+        let _ = CMatrix::identity(2).mul(&CMatrix::identity(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_rows_rejects_ragged_input() {
+        let r0 = [C64::one()];
+        let r1 = [C64::one(), C64::zero()];
+        let _ = CMatrix::from_rows(&[&r0, &r1]);
+    }
+
+    #[test]
+    fn from_real_builds_square() {
+        let m = CMatrix::from_real(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(1, 0)], C64::real(3.0));
+    }
+
+    #[test]
+    fn controlled_x_is_cnot() {
+        let cx = CMatrix::controlled(&CMatrix::pauli_x(), 1);
+        // Operand order [control, target]; control is bit 0.
+        // |c=1,t=0> (index 1) -> |c=1,t=1> (index 3).
+        assert_eq!(cx[(3, 1)], C64::one());
+        assert_eq!(cx[(1, 3)], C64::one());
+        assert_eq!(cx[(0, 0)], C64::one());
+        assert_eq!(cx[(2, 2)], C64::one());
+        assert!(cx.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn doubly_controlled_x_is_toffoli() {
+        let ccx = CMatrix::controlled(&CMatrix::pauli_x(), 2);
+        assert_eq!(ccx.rows(), 8);
+        // |c0=1,c1=1,t=0> (index 3) -> index 7.
+        assert_eq!(ccx[(7, 3)], C64::one());
+        // |c0=1,c1=0,t=0> stays put.
+        assert_eq!(ccx[(1, 1)], C64::one());
+        assert!(ccx.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn embed_on_all_positions_is_identity_permutation() {
+        let cx = CMatrix::controlled(&CMatrix::pauli_x(), 1);
+        assert!(cx.embed(&[0, 1], 2).approx_eq(&cx, 0.0));
+    }
+
+    #[test]
+    fn embed_reverses_operand_order() {
+        let cx = CMatrix::controlled(&CMatrix::pauli_x(), 1);
+        // CX with control=qubit1, target=qubit0: |10> (index 2) -> |11>.
+        let rev = cx.embed(&[1, 0], 2);
+        assert_eq!(rev[(3, 2)], C64::one());
+        assert_eq!(rev[(1, 1)], C64::one());
+    }
+
+    #[test]
+    fn embed_into_larger_register_acts_as_identity_elsewhere() {
+        let x = CMatrix::pauli_x();
+        let full = x.embed(&[1], 3);
+        assert!(full.is_unitary(1e-12));
+        // |000> -> |010>, |101> -> |111>.
+        assert_eq!(full[(0b010, 0b000)], C64::one());
+        assert_eq!(full[(0b111, 0b101)], C64::one());
+    }
+
+    #[test]
+    fn embed_matches_kron_for_low_qubit() {
+        // X on qubit 0 of 2 qubits == I (x) X in big-endian kron order,
+        // i.e. index = q1*2 + q0, matrix rows indexed the same way.
+        let viaembed = CMatrix::pauli_x().embed(&[0], 2);
+        let viakron = CMatrix::identity(2).kron(&CMatrix::pauli_x());
+        assert!(viaembed.approx_eq(&viakron, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate position")]
+    fn embed_rejects_duplicate_positions() {
+        let cx = CMatrix::controlled(&CMatrix::pauli_x(), 1);
+        let _ = cx.embed(&[1, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn embed_rejects_out_of_range_position() {
+        let _ = CMatrix::pauli_x().embed(&[2], 2);
+    }
+}

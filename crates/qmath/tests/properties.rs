@@ -1,0 +1,117 @@
+//! Property-based tests for the matrix substrate, driven by random
+//! unitaries composed from elementary gate matrices.
+
+use proptest::prelude::*;
+use qmath::{C64, CMatrix};
+
+/// Elementary 2x2 unitaries to compose from.
+fn elem(idx: u8) -> CMatrix {
+    match idx % 5 {
+        0 => CMatrix::hadamard(),
+        1 => CMatrix::pauli_x(),
+        2 => CMatrix::pauli_y(),
+        3 => CMatrix::pauli_z(),
+        _ => CMatrix::from_flat(vec![
+            C64::one(),
+            C64::zero(),
+            C64::zero(),
+            C64::cis(std::f64::consts::FRAC_PI_4),
+        ]),
+    }
+}
+
+/// A random n-qubit unitary built by multiplying embedded elementary gates.
+fn arb_unitary(n: usize) -> impl Strategy<Value = CMatrix> {
+    proptest::collection::vec((any::<u8>(), 0..n), 0..10).prop_map(move |ops| {
+        let mut u = CMatrix::identity(1 << n);
+        for (g, q) in ops {
+            u = elem(g).embed(&[q], n).mul(&u);
+        }
+        u
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn composed_unitaries_stay_unitary(u in arb_unitary(2)) {
+        prop_assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn dagger_is_an_involution(u in arb_unitary(2)) {
+        prop_assert!(u.dagger().dagger().approx_eq(&u, 0.0));
+    }
+
+    #[test]
+    fn dagger_inverts_unitaries(u in arb_unitary(2)) {
+        prop_assert!(u.mul(&u.dagger()).approx_eq(&CMatrix::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn trace_is_invariant_under_conjugation(u in arb_unitary(2), v in arb_unitary(2)) {
+        // Tr(U V U†) = Tr(V).
+        let conj = u.mul(&v).mul(&u.dagger());
+        let a = conj.trace();
+        let b = v.trace();
+        prop_assert!(a.approx_eq(b, 1e-8));
+    }
+
+    #[test]
+    fn kron_distributes_over_multiplication(
+        a in arb_unitary(1),
+        b in arb_unitary(1),
+        c in arb_unitary(1),
+        d in arb_unitary(1),
+    ) {
+        // (A x B)(C x D) = AC x BD.
+        let lhs = a.kron(&b).mul(&c.kron(&d));
+        let rhs = a.mul(&c).kron(&b.mul(&d));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn embed_commutes_for_disjoint_wires(g in any::<u8>(), h in any::<u8>()) {
+        let a = elem(g).embed(&[0], 3);
+        let b = elem(h).embed(&[2], 3);
+        prop_assert!(a.mul(&b).approx_eq(&b.mul(&a), 1e-9));
+    }
+
+    #[test]
+    fn embed_preserves_unitarity(u in arb_unitary(2)) {
+        prop_assert!(u.embed(&[2, 0], 3).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn global_phase_equivalence_is_reflexive_and_phase_blind(
+        u in arb_unitary(2),
+        theta in 0.0f64..std::f64::consts::TAU,
+    ) {
+        prop_assert!(u.approx_eq_up_to_phase(&u, 1e-9));
+        let phased = u.scale(C64::cis(theta));
+        prop_assert!(phased.approx_eq_up_to_phase(&u, 1e-8));
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_product(u in arb_unitary(2), v in arb_unitary(2)) {
+        // (UV) e0 == U (V e0).
+        let mut e0 = vec![C64::zero(); 4];
+        e0[0] = C64::one();
+        let lhs = u.mul(&v).mul_vec(&e0);
+        let rhs = u.mul_vec(&v.mul_vec(&e0));
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!(x.approx_eq(*y, 1e-9));
+        }
+    }
+
+    #[test]
+    fn controlled_matrix_acts_trivially_without_controls(u in arb_unitary(1)) {
+        let c = CMatrix::controlled(&u, 1);
+        // Column of |control=0, target=0> stays |00>.
+        let mut e0 = vec![C64::zero(); 4];
+        e0[0] = C64::one();
+        let out = c.mul_vec(&e0);
+        prop_assert!(out[0].approx_eq(C64::one(), 1e-9));
+    }
+}

@@ -1,0 +1,440 @@
+//! Shot-based circuit execution with classical feedback.
+//!
+//! This is the AER-simulator stand-in: it runs a (possibly dynamic) circuit
+//! shot by shot on a statevector, sampling mid-circuit measurements,
+//! applying active resets, honouring classically controlled gates, and
+//! optionally inserting noise as quantum trajectories.
+
+use crate::counts::{bitstring, Counts};
+use crate::noise::NoiseModel;
+use crate::statevector::StateVector;
+use qcir::{Circuit, OpKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A configurable shot-based simulator.
+///
+/// # Examples
+///
+/// Running a 1024-shot experiment, as the paper does:
+///
+/// ```
+/// use qcir::{Circuit, Qubit, Clbit};
+/// use qsim::Executor;
+///
+/// let mut bell = Circuit::new(2, 2);
+/// bell.h(Qubit::new(0)).cx(Qubit::new(0), Qubit::new(1)).measure_all();
+/// let counts = Executor::new().shots(1024).seed(7).run(&bell);
+/// assert_eq!(counts.total(), 1024);
+/// assert_eq!(counts.get("01") + counts.get("10"), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    shots: u64,
+    seed: Option<u64>,
+    noise: NoiseModel,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// An executor with 1024 shots (the paper's setting), no fixed seed and
+    /// no noise.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shots: 1024,
+            seed: None,
+            noise: NoiseModel::ideal(),
+        }
+    }
+
+    /// Sets the number of shots.
+    #[must_use]
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Fixes the RNG seed for reproducible runs.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Attaches a noise model (applied as quantum trajectories).
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Runs the circuit and tallies classical-register outcomes.
+    ///
+    /// The result keys are bitstrings with classical bit `n-1` leftmost.
+    pub fn run(&self, circuit: &Circuit) -> Counts {
+        let mut rng = match self.seed {
+            Some(s) => StdRng::seed_from_u64(s),
+            None => StdRng::from_entropy(),
+        };
+        let mut counts = Counts::new();
+        for _ in 0..self.shots {
+            let classical = self.run_shot(circuit, &mut rng);
+            counts.record(bitstring(&classical));
+        }
+        counts
+    }
+
+    /// Runs the circuit and returns the per-shot outcome records in order
+    /// (the "memory" mode of hardware backends), for analyses that need
+    /// shot-to-shot structure rather than aggregate counts.
+    pub fn run_memory(&self, circuit: &Circuit) -> Vec<String> {
+        let mut rng = match self.seed {
+            Some(s) => StdRng::seed_from_u64(s),
+            None => StdRng::from_entropy(),
+        };
+        (0..self.shots)
+            .map(|_| bitstring(&self.run_shot(circuit, &mut rng)))
+            .collect()
+    }
+
+    /// Runs a single shot, returning the final classical bits.
+    pub fn run_shot<R: Rng + ?Sized>(&self, circuit: &Circuit, rng: &mut R) -> Vec<bool> {
+        let (classical, _state) = self.run_shot_with_state(circuit, rng);
+        classical
+    }
+
+    /// Runs a single shot, returning the classical bits and the final
+    /// quantum state (useful for inspecting answer qubits that were never
+    /// measured).
+    ///
+    /// With [`NoiseModel::idle`] set, the circuit is executed layer by
+    /// layer (ASAP dependency layers) and the idle channel is applied to
+    /// every qubit a layer leaves untouched — so deeper circuits decay
+    /// more, as on hardware.
+    pub fn run_shot_with_state<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> (Vec<bool>, StateVector) {
+        let mut state = StateVector::zero_state(circuit.num_qubits());
+        let mut classical = vec![false; circuit.num_clbits()];
+        if let Some(idle) = &self.noise.idle {
+            // Hardware-style schedule: gates as early as possible (ASAP
+            // dependency layers), terminal measurements at the very end —
+            // so a prepared qubit waiting for readout accumulates decay.
+            for layer in scheduled_layers(circuit) {
+                if layer.is_empty() {
+                    continue;
+                }
+                let mut touched = vec![false; circuit.num_qubits()];
+                for &idx in &layer {
+                    let inst = &circuit.instructions()[idx];
+                    for q in inst.qubits() {
+                        touched[q.index()] = true;
+                    }
+                    self.execute_instruction(inst, &mut state, &mut classical, rng);
+                }
+                for (q, &t) in touched.iter().enumerate() {
+                    if !t {
+                        idle.apply_stochastic(&mut state, &[q], rng);
+                    }
+                }
+            }
+        } else {
+            for inst in circuit.iter() {
+                self.execute_instruction(inst, &mut state, &mut classical, rng);
+            }
+        }
+        (classical, state)
+    }
+
+    /// Executes one instruction under the configured noise.
+    fn execute_instruction<R: Rng + ?Sized>(
+        &self,
+        inst: &qcir::Instruction,
+        state: &mut StateVector,
+        classical: &mut [bool],
+        rng: &mut R,
+    ) {
+        if let Some(cond) = inst.condition() {
+            if !cond.evaluate(classical) {
+                return;
+            }
+        }
+        match inst.kind() {
+            OpKind::Barrier => {}
+            OpKind::Gate(g) => {
+                let qubits: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
+                state.apply_gate(g, &qubits);
+                if let Some(channel) = self.noise.channel_for_arity(qubits.len()) {
+                    let n = channel.num_qubits().min(qubits.len());
+                    channel.apply_stochastic(state, &qubits[..n], rng);
+                }
+            }
+            OpKind::Measure => {
+                let q = inst.qubits()[0].index();
+                let mut outcome = state.measure(q, rng);
+                if self.noise.readout_flip > 0.0 && rng.gen_bool(self.noise.readout_flip) {
+                    outcome = !outcome;
+                }
+                classical[inst.clbits()[0].index()] = outcome;
+            }
+            OpKind::Reset => {
+                let q = inst.qubits()[0].index();
+                state.reset(q, rng);
+                if self.noise.reset_error > 0.0 && rng.gen_bool(self.noise.reset_error) {
+                    state.apply_gate(&qcir::Gate::X, &[q]);
+                }
+            }
+        }
+    }
+}
+
+/// Hardware-style schedule of a circuit: ASAP dependency layers, with
+/// *terminal* measurements (no later operation on their qubit or bit)
+/// pinned to the final layer — matching devices, which read out all
+/// surviving qubits at the end of the shot. Layers may be empty after the
+/// pinning; callers skip those.
+fn scheduled_layers(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let dag = qcir::DagCircuit::from_circuit(circuit);
+    let mut layers = dag.layers();
+    if layers.len() < 2 {
+        return layers;
+    }
+    let last = layers.len() - 1;
+    let mut pinned: Vec<usize> = Vec::new();
+    for layer in &mut layers[..last] {
+        layer.retain(|&idx| {
+            let inst = &circuit.instructions()[idx];
+            let terminal = matches!(inst.kind(), OpKind::Measure)
+                && dag.successors(idx).is_empty();
+            if terminal {
+                pinned.push(idx);
+            }
+            !terminal
+        });
+    }
+    layers[last].extend(pinned);
+    layers[last].sort_unstable();
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::{Clbit, Condition, Gate, Instruction, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    #[test]
+    fn deterministic_circuit_gives_single_outcome() {
+        let mut circ = Circuit::new(2, 2);
+        circ.x(q(0)).measure_all();
+        let counts = Executor::new().shots(100).seed(1).run(&circ);
+        assert_eq!(counts.get("01"), 100);
+    }
+
+    #[test]
+    fn bitstring_key_is_msb_first() {
+        let mut circ = Circuit::new(2, 2);
+        circ.x(q(1)).measure_all();
+        let counts = Executor::new().shots(10).seed(1).run(&circ);
+        // qubit 1 -> clbit 1 -> leftmost character.
+        assert_eq!(counts.get("10"), 10);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0)).measure(q(0), c(0));
+        let a = Executor::new().shots(200).seed(42).run(&circ);
+        let b = Executor::new().shots(200).seed(42).run(&circ);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn superposition_statistics_are_roughly_even() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0)).measure(q(0), c(0));
+        let counts = Executor::new().shots(4000).seed(3).run(&circ);
+        let p0 = counts.probability("0");
+        assert!((p0 - 0.5).abs() < 0.05, "p0 = {p0}");
+    }
+
+    #[test]
+    fn classically_controlled_gate_fires_only_on_condition() {
+        // Teleport-style: measure a 1, conditionally flip the other qubit.
+        let mut circ = Circuit::new(2, 2);
+        circ.x(q(0)).measure(q(0), c(0)).x_if(q(1), c(0));
+        circ.measure(q(1), c(1));
+        let counts = Executor::new().shots(50).seed(4).run(&circ);
+        assert_eq!(counts.get("11"), 50);
+
+        let mut circ0 = Circuit::new(2, 2);
+        circ0.measure(q(0), c(0)).x_if(q(1), c(0));
+        circ0.measure(q(1), c(1));
+        let counts0 = Executor::new().shots(50).seed(5).run(&circ0);
+        assert_eq!(counts0.get("00"), 50);
+    }
+
+    #[test]
+    fn register_condition_requires_exact_value() {
+        let mut circ = Circuit::new(2, 3);
+        circ.x(q(0)).measure(q(0), c(0));
+        // c == 0b01 over bits [c0, c1]: true here.
+        circ.push(
+            Instruction::gate(Gate::X, vec![q(1)])
+                .with_condition(Condition::register(vec![c(0), c(1)], 0b01)),
+        );
+        circ.measure(q(1), c(2));
+        let counts = Executor::new().shots(20).seed(6).run(&circ);
+        assert_eq!(counts.get("101"), 20);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_collapses() {
+        // Measure |+> then measure again: outcomes must agree.
+        let mut circ = Circuit::new(1, 2);
+        circ.h(q(0)).measure(q(0), c(0)).measure(q(0), c(1));
+        let counts = Executor::new().shots(300).seed(7).run(&circ);
+        for (key, _) in counts.iter() {
+            let bits: Vec<char> = key.chars().collect();
+            assert_eq!(bits[0], bits[1], "outcome {key} not consistent");
+        }
+    }
+
+    #[test]
+    fn reset_reinitializes_for_reuse() {
+        // The defining DQC pattern: use, measure, reset, reuse.
+        let mut circ = Circuit::new(1, 2);
+        circ.x(q(0)).measure(q(0), c(0)).reset(q(0)).measure(q(0), c(1));
+        let counts = Executor::new().shots(100).seed(8).run(&circ);
+        assert_eq!(counts.get("01"), 100);
+    }
+
+    #[test]
+    fn readout_error_flips_outcomes() {
+        let mut circ = Circuit::new(1, 1);
+        circ.measure(q(0), c(0));
+        let noisy = Executor::new()
+            .shots(2000)
+            .seed(9)
+            .noise(NoiseModel {
+                readout_flip: 0.25,
+                ..NoiseModel::ideal()
+            });
+        let counts = noisy.run(&circ);
+        let p1 = counts.probability("1");
+        assert!((p1 - 0.25).abs() < 0.04, "p1 = {p1}");
+    }
+
+    #[test]
+    fn reset_error_leaves_excited_population() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).reset(q(0)).measure(q(0), c(0));
+        let noisy = Executor::new()
+            .shots(2000)
+            .seed(10)
+            .noise(NoiseModel {
+                reset_error: 0.2,
+                ..NoiseModel::ideal()
+            });
+        let p1 = noisy.run(&circ).probability("1");
+        assert!((p1 - 0.2).abs() < 0.04, "p1 = {p1}");
+    }
+
+    #[test]
+    fn depolarizing_noise_degrades_bell_correlations() {
+        let mut bell = Circuit::new(2, 2);
+        bell.h(q(0)).cx(q(0), q(1)).measure_all();
+        let noisy = Executor::new()
+            .shots(2000)
+            .seed(11)
+            .noise(NoiseModel::depolarizing(0.05, 0.1));
+        let counts = noisy.run(&bell);
+        let bad = counts.probability("01") + counts.probability("10");
+        assert!(bad > 0.01, "noise should produce anticorrelated outcomes");
+        assert!(bad < 0.5, "noise should not dominate");
+    }
+
+    #[test]
+    fn idle_noise_decays_waiting_qubits() {
+        // q1 is excited then waits while q0 runs a long gate chain; with
+        // amplitude-damping idle noise it should decay toward |0>.
+        let depth = 30usize;
+        let mut circ = Circuit::new(2, 1);
+        circ.x(q(1));
+        for _ in 0..depth {
+            circ.h(q(0));
+        }
+        circ.measure(q(1), c(0));
+        let gamma = 0.05;
+        let noisy = Executor::new()
+            .shots(3000)
+            .seed(17)
+            .noise(NoiseModel::ideal().with_idle_damping(gamma));
+        let p1 = noisy.run(&circ).probability("1");
+        // q1 idles for `depth` layers (the X layer touches it; the final
+        // measurement layer too): expected survival ~ (1-gamma)^depth.
+        let expect = (1.0 - gamma_f(gamma)).powi(depth as i32 - 1);
+        assert!(
+            (p1 - expect).abs() < 0.05,
+            "survival {p1} vs expected {expect}"
+        );
+    }
+
+    fn gamma_f(g: f64) -> f64 {
+        g
+    }
+
+    #[test]
+    fn idle_noise_is_noop_for_parallel_circuits() {
+        // All qubits busy every layer: idle noise never fires.
+        let mut circ = Circuit::new(2, 2);
+        for _ in 0..10 {
+            circ.h(q(0)).h(q(1));
+        }
+        circ.measure_all();
+        let ideal = Executor::new().shots(500).seed(18).run(&circ);
+        let noisy = Executor::new()
+            .shots(500)
+            .seed(18)
+            .noise(NoiseModel::ideal().with_idle_damping(0.5))
+            .run(&circ);
+        assert_eq!(ideal, noisy);
+    }
+
+    #[test]
+    fn memory_mode_matches_counts() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0)).measure(q(0), c(0));
+        let exec = Executor::new().shots(500).seed(33);
+        let memory = exec.run_memory(&circ);
+        assert_eq!(memory.len(), 500);
+        let counts = exec.run(&circ);
+        let ones = memory.iter().filter(|m| m.as_str() == "1").count() as u64;
+        assert_eq!(ones, counts.get("1"));
+    }
+
+    #[test]
+    fn final_state_is_returned() {
+        let mut circ = Circuit::new(2, 1);
+        circ.x(q(1)).measure(q(0), c(0));
+        let mut rng = StdRng::seed_from_u64(12);
+        let (classical, state) = Executor::new().run_shot_with_state(&circ, &mut rng);
+        assert_eq!(classical, vec![false]);
+        assert!((state.prob_one(1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! Pauli-string observables and expectation values.
+//!
+//! Useful for characterizing the states dynamic circuits leave behind —
+//! e.g. checking that a data qubit's coherence (its X/Y expectation) has
+//! been destroyed by a mid-circuit measurement while its Z statistics
+//! survive.
+
+use crate::density::DensityMatrix;
+use crate::statevector::StateVector;
+use qmath::{C64, CMatrix};
+use std::fmt;
+use std::str::FromStr;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// The 2x2 matrix.
+    #[must_use]
+    pub fn matrix(self) -> CMatrix {
+        match self {
+            Pauli::I => CMatrix::identity(2),
+            Pauli::X => CMatrix::pauli_x(),
+            Pauli::Y => CMatrix::pauli_y(),
+            Pauli::Z => CMatrix::pauli_z(),
+        }
+    }
+}
+
+/// A tensor product of single-qubit Paulis: an observable like `ZZI` or
+/// `XIY`.
+///
+/// The string representation puts **qubit 0 first** (`"XY"` is X on qubit
+/// 0, Y on qubit 1).
+///
+/// # Examples
+///
+/// ```
+/// use qsim::pauli::PauliString;
+/// use qsim::StateVector;
+/// use qcir::Gate;
+///
+/// let mut bell = StateVector::zero_state(2);
+/// bell.apply_gate(&Gate::H, &[0]);
+/// bell.apply_gate(&Gate::Cx, &[0, 1]);
+/// let zz: PauliString = "ZZ".parse().unwrap();
+/// assert!((zz.expectation(&bell) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// Builds an observable from per-qubit Paulis (qubit 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paulis` is empty.
+    #[must_use]
+    pub fn new(paulis: Vec<Pauli>) -> Self {
+        assert!(!paulis.is_empty(), "observable needs at least one qubit");
+        Self { paulis }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// The per-qubit Paulis.
+    #[must_use]
+    pub fn paulis(&self) -> &[Pauli] {
+        &self.paulis
+    }
+
+    /// The full `2^n x 2^n` matrix (small `n` only).
+    #[must_use]
+    pub fn matrix(&self) -> CMatrix {
+        let n = self.paulis.len();
+        let mut m = CMatrix::identity(1 << n);
+        for (q, p) in self.paulis.iter().enumerate() {
+            if *p != Pauli::I {
+                m = p.matrix().embed(&[q], n).mul(&m);
+            }
+        }
+        m
+    }
+
+    /// `<psi| P |psi>` — real because Pauli strings are Hermitian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's qubit count differs.
+    #[must_use]
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        assert_eq!(
+            state.num_qubits(),
+            self.paulis.len(),
+            "observable/state qubit count mismatch"
+        );
+        // Apply P to a copy and take the inner product — avoids building
+        // the full matrix.
+        let mut transformed = state.clone();
+        for (q, p) in self.paulis.iter().enumerate() {
+            match p {
+                Pauli::I => {}
+                Pauli::X => transformed.apply_matrix(&CMatrix::pauli_x(), &[q]),
+                Pauli::Y => transformed.apply_matrix(&CMatrix::pauli_y(), &[q]),
+                Pauli::Z => transformed.apply_matrix(&CMatrix::pauli_z(), &[q]),
+            }
+        }
+        state
+            .amplitudes()
+            .iter()
+            .zip(transformed.amplitudes())
+            .map(|(&a, &b)| (a.conj() * b).re)
+            .sum()
+    }
+
+    /// `Tr(rho P)` for a mixed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's qubit count differs.
+    #[must_use]
+    pub fn expectation_density(&self, rho: &DensityMatrix) -> f64 {
+        assert_eq!(
+            rho.num_qubits(),
+            self.paulis.len(),
+            "observable/state qubit count mismatch"
+        );
+        let p = self.matrix();
+        let dim = p.rows();
+        let mut acc = C64::zero();
+        for i in 0..dim {
+            for k in 0..dim {
+                acc += rho.matrix()[(i, k)] * p[(k, i)];
+            }
+        }
+        acc.re
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err("empty observable".into());
+        }
+        let paulis = s
+            .chars()
+            .map(|c| match c.to_ascii_uppercase() {
+                'I' => Ok(Pauli::I),
+                'X' => Ok(Pauli::X),
+                'Y' => Ok(Pauli::Y),
+                'Z' => Ok(Pauli::Z),
+                other => Err(format!("invalid pauli character '{other}'")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PauliString::new(paulis))
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.paulis {
+            let c = match p {
+                Pauli::I => 'I',
+                Pauli::X => 'X',
+                Pauli::Y => 'Y',
+                Pauli::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Gate;
+
+    fn state(ops: &[(Gate, Vec<usize>)], n: usize) -> StateVector {
+        let mut sv = StateVector::zero_state(n);
+        for (g, qs) in ops {
+            sv.apply_gate(g, qs);
+        }
+        sv
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p: PauliString = "XiZ".parse().unwrap();
+        assert_eq!(p.to_string(), "XIZ");
+        assert_eq!(p.num_qubits(), 3);
+        assert!("XQ".parse::<PauliString>().is_err());
+        assert!("".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn z_expectation_of_basis_states() {
+        let z: PauliString = "Z".parse().unwrap();
+        assert!((z.expectation(&StateVector::zero_state(1)) - 1.0).abs() < 1e-12);
+        let one = state(&[(Gate::X, vec![0])], 1);
+        assert!((z.expectation(&one) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_expectation_of_plus_state() {
+        let plus = state(&[(Gate::H, vec![0])], 1);
+        let x: PauliString = "X".parse().unwrap();
+        assert!((x.expectation(&plus) - 1.0).abs() < 1e-12);
+        let z: PauliString = "Z".parse().unwrap();
+        assert!(z.expectation(&plus).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_of_circular_state() {
+        // S H |0> = (|0> + i|1>)/sqrt(2): <Y> = +1.
+        let circ = state(&[(Gate::H, vec![0]), (Gate::S, vec![0])], 1);
+        let y: PauliString = "Y".parse().unwrap();
+        assert!((y.expectation(&circ) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let bell = state(&[(Gate::H, vec![0]), (Gate::Cx, vec![0, 1])], 2);
+        for (obs, expect) in [("ZZ", 1.0), ("XX", 1.0), ("YY", -1.0), ("ZI", 0.0), ("IZ", 0.0)] {
+            let p: PauliString = obs.parse().unwrap();
+            assert!(
+                (p.expectation(&bell) - expect).abs() < 1e-12,
+                "<{obs}> wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn density_expectation_matches_pure() {
+        let sv = state(
+            &[(Gate::H, vec![0]), (Gate::T, vec![0]), (Gate::Cx, vec![0, 1])],
+            2,
+        );
+        let rho = DensityMatrix::from_statevector(&sv);
+        for obs in ["XX", "ZZ", "XY", "ZI"] {
+            let p: PauliString = obs.parse().unwrap();
+            assert!(
+                (p.expectation(&sv) - p.expectation_density(&rho)).abs() < 1e-10,
+                "<{obs}> mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_agrees_with_expectation() {
+        let sv = state(&[(Gate::H, vec![0]), (Gate::Cx, vec![0, 1])], 2);
+        let p: PauliString = "XX".parse().unwrap();
+        let via_matrix = {
+            let v = p.matrix().mul_vec(sv.amplitudes());
+            sv.amplitudes()
+                .iter()
+                .zip(v)
+                .map(|(&a, b)| (a.conj() * b).re)
+                .sum::<f64>()
+        };
+        assert!((via_matrix - p.expectation(&sv)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_kills_coherence() {
+        // The dynamic-circuit fact in one observable: measuring destroys
+        // <X> but preserves <Z> statistics.
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&Gate::H, &[0]);
+        let x: PauliString = "X".parse().unwrap();
+        assert!((x.expectation_density(&rho) - 1.0).abs() < 1e-12);
+        // Non-selective measurement = dephasing: model via project+mix.
+        let mut rho0 = rho.clone();
+        let p0 = rho0.project(0, false);
+        let mut rho1 = rho;
+        let p1 = rho1.project(0, true);
+        let mixed = {
+            let m = rho0.matrix().scale(qmath::C64::real(p0)).add(
+                &rho1.matrix().scale(qmath::C64::real(p1)),
+            );
+            m
+        };
+        // <X> of the mixture is 0 (coherence destroyed).
+        let xm = {
+            let pm = x.matrix();
+            let mut acc = 0.0;
+            for i in 0..2 {
+                for k in 0..2 {
+                    acc += (mixed[(i, k)] * pm[(k, i)]).re;
+                }
+            }
+            acc
+        };
+        assert!(xm.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn qubit_count_mismatch_panics() {
+        let p: PauliString = "XX".parse().unwrap();
+        let _ = p.expectation(&StateVector::zero_state(1));
+    }
+}

@@ -1,0 +1,229 @@
+//! Building the unitary matrix of a measurement-free circuit.
+
+use qcir::{Circuit, CircuitError, OpKind};
+use qmath::CMatrix;
+
+/// Maximum qubit count for unitary construction (`2^12 x 2^12` complex
+/// entries is already 256 MiB; everything in this workspace is far smaller).
+const MAX_QUBITS: usize = 12;
+
+/// Computes the full unitary of `circuit`.
+///
+/// Uses the workspace-wide convention: qubit `q` is bit `q` of the basis
+/// index (least-significant first).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NotUnitary`] when the circuit contains
+/// measurement, reset, or classically conditioned operations.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 12 qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Circuit, Qubit, Gate};
+/// use qsim::circuit_unitary;
+///
+/// let mut c = Circuit::new(1, 0);
+/// c.h(Qubit::new(0)).h(Qubit::new(0));
+/// let u = circuit_unitary(&c).unwrap();
+/// assert!(u.approx_eq(&qmath::CMatrix::identity(2), 1e-12));
+/// ```
+pub fn circuit_unitary(circuit: &Circuit) -> Result<CMatrix, CircuitError> {
+    assert!(
+        circuit.num_qubits() <= MAX_QUBITS,
+        "unitary construction supports at most {MAX_QUBITS} qubits"
+    );
+    let n = circuit.num_qubits();
+    let mut u = CMatrix::identity(1 << n);
+    for inst in circuit.iter() {
+        match inst.kind() {
+            OpKind::Barrier => {}
+            OpKind::Gate(g) if !inst.is_conditioned() => {
+                let pos: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
+                u = g.matrix().embed(&pos, n).mul(&u);
+            }
+            _ => {
+                return Err(CircuitError::NotUnitary {
+                    what: inst.to_string(),
+                });
+            }
+        }
+    }
+    Ok(u)
+}
+
+/// Checks that two measurement-free circuits implement the same unitary up
+/// to global phase.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NotUnitary`] if either circuit is not unitary.
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, tol: f64) -> Result<bool, CircuitError> {
+    if a.num_qubits() != b.num_qubits() {
+        return Ok(false);
+    }
+    let ua = circuit_unitary(a)?;
+    let ub = circuit_unitary(b)?;
+    Ok(ua.approx_eq_up_to_phase(&ub, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::decompose::{ccx_clifford_t, ccx_cv, ccx_cv_ancilla, cv_clifford_t, mcx_ladder};
+    use qcir::{Gate, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn empty_circuit_is_identity() {
+        let u = circuit_unitary(&Circuit::new(2, 0)).unwrap();
+        assert!(u.approx_eq(&CMatrix::identity(4), 0.0));
+    }
+
+    #[test]
+    fn single_gate_matches_embedding() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(q(1), q(0));
+        let u = circuit_unitary(&c).unwrap();
+        assert!(u.approx_eq(&Gate::Cx.matrix().embed(&[1, 0], 2), 1e-12));
+    }
+
+    #[test]
+    fn gate_order_is_right_to_left_in_matrix_product() {
+        let mut c = Circuit::new(1, 0);
+        c.h(q(0)).t(q(0));
+        let u = circuit_unitary(&c).unwrap();
+        let expect = Gate::T.matrix().mul(&Gate::H.matrix());
+        assert!(u.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn measurement_is_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.measure(q(0), qcir::Clbit::new(0));
+        assert!(circuit_unitary(&c).is_err());
+    }
+
+    #[test]
+    fn conditioned_gate_is_rejected() {
+        let mut c = Circuit::new(1, 1);
+        c.x_if(q(0), qcir::Clbit::new(0));
+        assert!(circuit_unitary(&c).is_err());
+    }
+
+    // --- The decomposition identities of the paper, verified exactly ---
+
+    #[test]
+    fn clifford_t_toffoli_equals_ccx() {
+        let mut ccx = Circuit::new(3, 0);
+        ccx.ccx(q(0), q(1), q(2));
+        assert!(circuits_equivalent(&ccx_clifford_t(), &ccx, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn cv_network_equals_ccx() {
+        let mut ccx = Circuit::new(3, 0);
+        ccx.ccx(q(0), q(1), q(2));
+        assert!(circuits_equivalent(&ccx_cv(), &ccx, 1e-9).unwrap());
+    }
+
+    /// Compares two circuits on every basis state whose ancilla wires
+    /// (`clean` positions) are `|0>`: equality there is what ancilla-based
+    /// identities guarantee.
+    fn equivalent_on_clean_subspace(a: &Circuit, b: &Circuit, clean: &[usize]) -> bool {
+        assert_eq!(a.num_qubits(), b.num_qubits());
+        let n = a.num_qubits();
+        let ua = circuit_unitary(a).unwrap();
+        let ub = circuit_unitary(b).unwrap();
+        for input in 0..(1usize << n) {
+            if clean.iter().any(|&c| input & (1 << c) != 0) {
+                continue;
+            }
+            let mut basis = vec![qmath::C64::zero(); 1 << n];
+            basis[input] = qmath::C64::one();
+            let va = ua.mul_vec(&basis);
+            let vb = ub.mul_vec(&basis);
+            if va
+                .iter()
+                .zip(&vb)
+                .any(|(&x, &y)| !x.approx_eq(y, 1e-9))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn cv_ancilla_network_equals_ccx_on_clean_ancilla() {
+        // The 4-qubit unrolled network (qubit 3 = ancilla) equals CCX (x) I
+        // on the ancilla-in-|0> subspace, uncomputing the ancilla back to 0.
+        let mut ccx4 = Circuit::new(4, 0);
+        ccx4.ccx(q(0), q(1), q(2));
+        assert!(equivalent_on_clean_subspace(&ccx_cv_ancilla(), &ccx4, &[3]));
+    }
+
+    #[test]
+    fn cv_ancilla_network_differs_on_dirty_ancilla() {
+        // Sanity check that the restriction matters: the identity fails as a
+        // full 4-qubit unitary.
+        let mut ccx4 = Circuit::new(4, 0);
+        ccx4.ccx(q(0), q(1), q(2));
+        assert!(!circuits_equivalent(&ccx_cv_ancilla(), &ccx4, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn cv_clifford_t_equals_cv_gate() {
+        let mut cv = Circuit::new(2, 0);
+        cv.cv(q(0), q(1));
+        assert!(circuits_equivalent(&cv_clifford_t(false), &cv, 1e-9).unwrap());
+        let mut cvdg = Circuit::new(2, 0);
+        cvdg.cvdg(q(0), q(1));
+        assert!(circuits_equivalent(&cv_clifford_t(true), &cvdg, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn mcx_ladder_equals_mcx_gate_on_clean_ancillas() {
+        for n in 3..=4usize {
+            let ladder = mcx_ladder(n);
+            let mut direct = Circuit::new(2 * n - 1, 0);
+            let controls: Vec<Qubit> = (0..n).map(Qubit::new).collect();
+            direct.mcx(&controls, Qubit::new(n));
+            let ancillas: Vec<usize> = (n + 1..2 * n - 1).collect();
+            assert!(
+                equivalent_on_clean_subspace(&ladder, &direct, &ancillas),
+                "mcx ladder mismatch for n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_pass_preserves_unitary() {
+        use qcir::decompose::{decompose_ccx, decompose_cv, ToffoliStyle};
+        let mut circ = Circuit::new(3, 0);
+        circ.h(q(0)).ccx(q(0), q(1), q(2)).cx(q(1), q(2));
+        for style in [ToffoliStyle::CliffordT, ToffoliStyle::CvChain] {
+            let lowered = decompose_cv(&decompose_ccx(&circ, style));
+            assert!(
+                circuits_equivalent(&circ, &lowered, 1e-9).unwrap(),
+                "style {style:?} broke the unitary"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_circuit_gives_dagger() {
+        let mut circ = Circuit::new(2, 0);
+        circ.h(q(0)).t(q(0)).cv(q(0), q(1)).cx(q(0), q(1));
+        let u = circuit_unitary(&circ).unwrap();
+        let udg = circuit_unitary(&circ.inverse().unwrap()).unwrap();
+        assert!(u.mul(&udg).approx_eq(&CMatrix::identity(4), 1e-12));
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests for the simulators.
+
+use proptest::prelude::*;
+use qcir::{Circuit, Clbit, Gate, Qubit};
+use qsim::branch::exact_distribution;
+use qsim::density::exact_distribution_noisy;
+use qsim::{circuit_unitary, DensityMatrix, NoiseModel, StateVector};
+
+const NQ: usize = 3;
+
+fn arb_unitary_op() -> impl Strategy<Value = (Gate, Vec<usize>)> {
+    let one = (0usize..NQ).prop_flat_map(|q| {
+        prop_oneof![
+            Just(Gate::H),
+            Just(Gate::X),
+            Just(Gate::Y),
+            Just(Gate::Z),
+            Just(Gate::S),
+            Just(Gate::T),
+            Just(Gate::V),
+            Just(Gate::Vdg),
+        ]
+        .prop_map(move |g| (g, vec![q]))
+    });
+    let two = (0usize..NQ, 0usize..NQ - 1).prop_flat_map(|(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        prop_oneof![Just(Gate::Cx), Just(Gate::Cz), Just(Gate::Cv), Just(Gate::Swap)]
+            .prop_map(move |g| (g, vec![a, b]))
+    });
+    prop_oneof![one, two]
+}
+
+/// Ops for dynamic circuits: gates plus measure/reset markers.
+#[derive(Debug, Clone)]
+enum DynOp {
+    Gate(Gate, Vec<usize>),
+    Measure(usize, usize),
+    Reset(usize),
+    CondX(usize, usize),
+}
+
+fn arb_dyn_op() -> impl Strategy<Value = DynOp> {
+    prop_oneof![
+        4 => arb_unitary_op().prop_map(|(g, qs)| DynOp::Gate(g, qs)),
+        1 => (0usize..NQ, 0usize..NQ).prop_map(|(q, c)| DynOp::Measure(q, c)),
+        1 => (0usize..NQ).prop_map(DynOp::Reset),
+        1 => (0usize..NQ, 0usize..NQ).prop_map(|(q, c)| DynOp::CondX(q, c)),
+    ]
+}
+
+fn build_dynamic(ops: Vec<DynOp>) -> Circuit {
+    let mut c = Circuit::new(NQ, NQ);
+    for op in ops {
+        match op {
+            DynOp::Gate(g, qs) => {
+                let qubits: Vec<Qubit> = qs.into_iter().map(Qubit::new).collect();
+                c.gate(g, &qubits);
+            }
+            DynOp::Measure(q, cl) => {
+                c.measure(Qubit::new(q), Clbit::new(cl));
+            }
+            DynOp::Reset(q) => {
+                c.reset(Qubit::new(q));
+            }
+            DynOp::CondX(q, cl) => {
+                c.x_if(Qubit::new(q), Clbit::new(cl));
+            }
+        }
+    }
+    // Terminal measurement so outcomes depend on the whole evolution.
+    for q in 0..NQ {
+        c.measure(Qubit::new(q), Clbit::new(q));
+    }
+    c
+}
+
+/// Every gate variant, with angles drawn from a small set.
+fn arb_any_gate() -> impl Strategy<Value = (Gate, Vec<usize>)> {
+    let angle = prop_oneof![
+        Just(0.0),
+        Just(std::f64::consts::FRAC_PI_4),
+        Just(-std::f64::consts::FRAC_PI_2),
+        Just(0.3),
+        Just(2.7),
+    ];
+    prop_oneof![
+        (0usize..NQ).prop_map(|q| (Gate::I, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::X, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::Y, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::Z, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::H, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::S, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::Sdg, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::T, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::Tdg, vec![q])),
+        (0usize..NQ).prop_map(|q| (Gate::V, vec![q])),
+        (0usize..NQ, angle.clone()).prop_map(|(q, t)| (Gate::P(t), vec![q])),
+        (0usize..NQ, angle.clone()).prop_map(|(q, t)| (Gate::Rz(t), vec![q])),
+        (0usize..NQ, angle.clone()).prop_map(|(q, t)| (Gate::Rx(t), vec![q])),
+        two_qubit_any(angle),
+        Just((Gate::Ccx, vec![0, 1, 2])),
+        Just((Gate::Ccz, vec![2, 0, 1])),
+    ]
+}
+
+fn two_qubit_any(
+    angle: impl Strategy<Value = f64> + Clone + 'static,
+) -> impl Strategy<Value = (Gate, Vec<usize>)> {
+    (0usize..NQ, 0usize..NQ - 1, angle).prop_flat_map(|(a, b, t)| {
+        let b = if b >= a { b + 1 } else { b };
+        prop_oneof![
+            Just((Gate::Cx, vec![a, b])),
+            Just((Gate::Cz, vec![a, b])),
+            Just((Gate::Cp(t), vec![a, b])),
+            Just((Gate::Swap, vec![a, b])),
+            Just((Gate::Cv, vec![a, b])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The specialized gate paths in `apply_gate` agree amplitude-for-
+    /// amplitude with the general matrix path.
+    #[test]
+    fn fast_gate_paths_match_general_matrix_path(
+        prep in proptest::collection::vec(arb_unitary_op(), 0..8),
+        (g, qs) in arb_any_gate(),
+    ) {
+        let mut state = StateVector::zero_state(NQ);
+        for (pg, pqs) in prep {
+            state.apply_gate(&pg, &pqs);
+        }
+        let mut fast = state.clone();
+        fast.apply_gate(&g, &qs);
+        let mut general = state;
+        general.apply_matrix(&g.matrix(), &qs);
+        prop_assert!(
+            fast.approx_eq(&general, 1e-10),
+            "fast path of {g} diverges from the matrix path"
+        );
+    }
+
+    #[test]
+    fn unitary_circuits_keep_norm(ops in proptest::collection::vec(arb_unitary_op(), 0..25)) {
+        let mut sv = StateVector::zero_state(NQ);
+        for (g, qs) in ops {
+            sv.apply_gate(&g, &qs);
+        }
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn statevector_matches_unitary_matrix(ops in proptest::collection::vec(arb_unitary_op(), 0..12)) {
+        let mut circ = Circuit::new(NQ, 0);
+        let mut sv = StateVector::zero_state(NQ);
+        for (g, qs) in ops {
+            let qubits: Vec<Qubit> = qs.iter().copied().map(Qubit::new).collect();
+            circ.gate(g.clone(), &qubits);
+            sv.apply_gate(&g, &qs);
+        }
+        let u = circuit_unitary(&circ).unwrap();
+        let expect = u.mul_vec(StateVector::zero_state(NQ).amplitudes());
+        for (a, b) in sv.amplitudes().iter().zip(expect) {
+            prop_assert!(a.approx_eq(b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn density_matches_statevector_for_pure_evolution(
+        ops in proptest::collection::vec(arb_unitary_op(), 0..10)
+    ) {
+        let mut sv = StateVector::zero_state(NQ);
+        let mut rho = DensityMatrix::zero_state(NQ);
+        for (g, qs) in ops {
+            sv.apply_gate(&g, &qs);
+            rho.apply_gate(&g, &qs);
+        }
+        prop_assert!((rho.fidelity_pure(&sv) - 1.0).abs() < 1e-8);
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn exact_distribution_is_normalized(ops in proptest::collection::vec(arb_dyn_op(), 0..12)) {
+        let circ = build_dynamic(ops);
+        let d = exact_distribution(&circ);
+        prop_assert!((d.total() - 1.0).abs() < 1e-8, "total = {}", d.total());
+    }
+
+    #[test]
+    fn density_and_statevector_branching_agree(
+        ops in proptest::collection::vec(arb_dyn_op(), 0..8)
+    ) {
+        let circ = build_dynamic(ops);
+        let pure = exact_distribution(&circ);
+        let mixed = exact_distribution_noisy(&circ, &NoiseModel::ideal());
+        prop_assert!(pure.tvd(&mixed) < 1e-8, "tvd = {}", pure.tvd(&mixed));
+    }
+
+    #[test]
+    fn sampling_agrees_with_exact_distribution(
+        ops in proptest::collection::vec(arb_dyn_op(), 0..6)
+    ) {
+        let circ = build_dynamic(ops);
+        let exact = exact_distribution(&circ);
+        let counts = qsim::Executor::new().shots(3000).seed(99).run(&circ);
+        let tvd = exact.tvd(&counts.to_distribution());
+        prop_assert!(tvd < 0.06, "tvd = {tvd}");
+    }
+
+    #[test]
+    fn noise_never_breaks_normalization(
+        ops in proptest::collection::vec(arb_dyn_op(), 0..8),
+        scale in 0.0f64..1.0,
+    ) {
+        let circ = build_dynamic(ops);
+        let d = exact_distribution_noisy(&circ, &NoiseModel::device_like(scale));
+        prop_assert!((d.total() - 1.0).abs() < 1e-6, "total = {}", d.total());
+    }
+
+    #[test]
+    fn depolarizing_moves_toward_uniform(p in 0.0f64..1.0) {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_kraus(&qsim::KrausChannel::depolarizing(p, 1), &[0]);
+        let expect = p / 2.0;
+        prop_assert!((rho.prob_one(0) - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,52 @@
+//! Dynamic-1 vs dynamic-2 across the paper's Toffoli benchmarks.
+//!
+//! The core result of the paper in one run: for each Table II benchmark,
+//! transform with both Toffoli schemes and compare their accuracy against
+//! the traditional circuit. `cargo run -p examples --bin dj_toffoli`.
+
+use dqc::{transform_with_scheme, verify, DynamicScheme, ResourceSummary, TransformOptions};
+use examples_support::heading;
+use qalgo::suites::toffoli_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Dynamic-1 vs dynamic-2 on the Table II benchmarks");
+    println!(
+        "{:<10} {:>6} {:>6} {:>9} {:>9} {:>10} {:>10}",
+        "benchmark", "it d1", "it d2", "tvd d1", "tvd d2", "p_exp d1", "p_exp d2"
+    );
+    let opts = TransformOptions::default();
+    for b in toffoli_suite() {
+        let d1 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts)?;
+        let d2 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts)?;
+        let r1 = verify::compare(&b.circuit, &b.roles, &d1);
+        let r2 = verify::compare(&b.circuit, &b.roles, &d2);
+        println!(
+            "{:<10} {:>6} {:>6} {:>9.4} {:>9.4} {:>10.4} {:>10.4}",
+            b.name,
+            d1.num_iterations(),
+            d2.num_iterations(),
+            r1.tvd,
+            r2.tvd,
+            r1.p_dynamic,
+            r2.p_dynamic,
+        );
+    }
+
+    heading("What dynamic-2 pays for the accuracy");
+    for b in toffoli_suite().into_iter().take(1) {
+        let d1 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts)?;
+        let d2 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts)?;
+        let s1 = ResourceSummary::of_dynamic(&d1);
+        let s2 = ResourceSummary::of_dynamic(&d2);
+        println!("{} dynamic-1: {s1}", b.name);
+        println!("{} dynamic-2: {s2}", b.name);
+        println!(
+            "extra cost: {} reset(s), {} classically controlled op(s)",
+            s2.resets - s1.resets,
+            s2.conditioned.max(s1.conditioned) - s1.conditioned.min(s2.conditioned)
+        );
+        println!("\ndynamic-2 circuit:");
+        print!("{}", qcir::ascii::draw(d2.circuit()));
+    }
+    Ok(())
+}

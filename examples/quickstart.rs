@@ -1,0 +1,44 @@
+//! Quickstart: transform a Toffoli-based Deutsch-Jozsa circuit into a
+//! 2-qubit dynamic circuit and verify it.
+//!
+//! Run with `cargo run -p examples --bin quickstart`.
+
+use dqc::{transform_with_scheme, verify, DynamicScheme, QubitRoles, TransformOptions};
+use examples_support::{heading, histogram};
+use qalgo::{dj_circuit, TruthTable};
+use qsim::Executor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the traditional circuit: DJ on F(a, b) = a OR b, which the
+    //    paper's Fig. 1 writes as F(a, b) = a + b (one Toffoli).
+    let oracle = TruthTable::or(2);
+    let circuit = dj_circuit(&oracle);
+    let roles = QubitRoles::data_plus_answer(circuit.num_qubits());
+    heading("Traditional circuit (3 qubits)");
+    print!("{}", qcir::ascii::draw(&circuit));
+
+    // 2. Transform with the paper's dynamic-2 scheme: one Toffoli becomes
+    //    CV gates plus a shared-ancilla iteration.
+    let dynamic = transform_with_scheme(
+        &circuit,
+        &roles,
+        DynamicScheme::Dynamic2,
+        &TransformOptions::default(),
+    )?;
+    heading("Dynamic circuit (2 qubits, 3 iterations)");
+    print!("{}", qcir::ascii::draw(dynamic.circuit()));
+    println!("iterations: {}", dynamic.num_iterations());
+
+    // 3. Verify functional equivalence exactly (no shot noise).
+    let report = verify::compare(&circuit, &roles, &dynamic);
+    heading("Exact verification");
+    println!("total variation distance: {:.2e}", report.tvd);
+    println!("traditional distribution:\n{}", histogram(&report.traditional));
+    println!("dynamic distribution:\n{}", histogram(&report.dynamic));
+
+    // 4. And sample it the way the paper does: 1024 shots.
+    let counts = Executor::new().shots(1024).seed(42).run(dynamic.circuit());
+    heading("1024-shot sample of the dynamic circuit");
+    println!("{counts}");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Shared helpers for the example binaries.
+
+use qsim::Distribution;
+
+/// Prints a section heading.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Renders a distribution as sorted `key: probability` lines with a text
+/// bar, most probable outcome first.
+#[must_use]
+pub fn histogram(dist: &Distribution) -> String {
+    let mut entries: Vec<(String, f64)> =
+        dist.iter().map(|(k, p)| (k.to_string(), p)).collect();
+    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = String::new();
+    for (key, p) in entries {
+        let bar = "#".repeat((p * 40.0).round() as usize);
+        out.push_str(&format!("  {key}  {p:>7.4}  {bar}\n"));
+    }
+    out
+}
+
+/// Returns CLI argument `index`, falling back to `default`.
+#[must_use]
+pub fn arg_or(index: usize, default: &str) -> String {
+    std::env::args()
+        .nth(index)
+        .unwrap_or_else(|| default.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_sorts_by_probability() {
+        let mut d = Distribution::new();
+        d.set("00", 0.25);
+        d.set("11", 0.75);
+        let h = histogram(&d);
+        let first = h.lines().next().unwrap();
+        assert!(first.contains("11"));
+        assert!(first.contains('#'));
+    }
+
+    #[test]
+    fn arg_or_falls_back() {
+        assert_eq!(arg_or(99, "fallback"), "fallback");
+    }
+}

@@ -1,0 +1,83 @@
+//! Basis-lowered execution: every benchmark's dynamic circuit still
+//! produces the identical outcome distribution after translation to the
+//! Clifford+T + dynamic-ops basis.
+
+use bench::runners::transform_both;
+use dqc::{transform, TransformOptions};
+use qalgo::suites::{toffoli_free_suite, toffoli_suite};
+use qcir::basis::{is_basis_gate, lower_to_clifford_t};
+use qcir::OpKind;
+use qsim::branch::exact_distribution;
+
+#[test]
+fn lowered_dynamic_circuits_keep_their_distributions() {
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        for (label, d) in [("dyn1", d1), ("dyn2", d2)] {
+            let lowered = lower_to_clifford_t(d.circuit())
+                .unwrap_or_else(|e| panic!("{} {label}: {e}", b.name));
+            let before = exact_distribution(d.circuit());
+            let after = exact_distribution(&lowered);
+            assert!(
+                before.tvd(&after) < 1e-9,
+                "{} {label}: lowering changed the distribution by {}",
+                b.name,
+                before.tvd(&after)
+            );
+        }
+    }
+}
+
+#[test]
+fn lowered_circuits_contain_only_basis_operations() {
+    for b in toffoli_free_suite().into_iter().take(6) {
+        let d = transform(&b.circuit, &b.roles, &TransformOptions::default()).unwrap();
+        let lowered = lower_to_clifford_t(d.circuit()).unwrap();
+        for inst in lowered.iter() {
+            match inst.kind() {
+                OpKind::Gate(g) => assert!(
+                    is_basis_gate(g),
+                    "{}: non-basis gate {g} survived",
+                    b.name
+                ),
+                OpKind::Measure | OpKind::Reset | OpKind::Barrier => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn lowering_matches_the_papers_clifford_t_counts() {
+    // Lowering the raw (un-peepholed) dynamic-1 AND circuit to Clifford+T
+    // and cancelling adjacent inverses lands on the paper's ballpark.
+    let b = toffoli_suite().into_iter().next().unwrap(); // AND
+    let d1 = dqc::transform_with_scheme(
+        &b.circuit,
+        &b.roles,
+        dqc::DynamicScheme::Dynamic1,
+        &TransformOptions::default(),
+    )
+    .unwrap();
+    let lowered = lower_to_clifford_t(d1.circuit()).unwrap();
+    let cleaned = qcir::passes::cancel_adjacent_inverses(&lowered);
+    let stats = qcir::CircuitStats::of(&cleaned);
+    // Paper: 28 (dynamic gate count, measures excluded).
+    let ours = stats.gate_count - stats.measure_count;
+    assert!(
+        (24..=30).contains(&ours),
+        "lowered dynamic-1 AND count {ours} far from paper's 28"
+    );
+}
+
+#[test]
+fn traditional_lowered_circuits_agree_with_ccx_level() {
+    use qsim::circuits_equivalent;
+    for b in toffoli_suite().into_iter().take(4) {
+        let lowered = lower_to_clifford_t(&b.circuit).unwrap();
+        assert!(
+            circuits_equivalent(&b.circuit, &lowered, 1e-8).unwrap(),
+            "{}",
+            b.name
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-backend consistency: the shot-based executor, the pure-state
+//! branch enumerator and the density-matrix backend must agree on every
+//! benchmark's dynamic circuit.
+
+use bench::runners::transform_both;
+use integration_tests::with_data_measurements;
+use qalgo::suites::{toffoli_free_suite, toffoli_suite};
+use qsim::branch::exact_distribution;
+use qsim::density::exact_distribution_noisy;
+use qsim::{Executor, NoiseModel};
+
+#[test]
+fn branch_and_density_backends_agree_on_dynamic_circuits() {
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        for (label, d) in [("dyn1", &d1), ("dyn2", &d2)] {
+            let pure = exact_distribution(d.circuit());
+            let mixed = exact_distribution_noisy(d.circuit(), &NoiseModel::ideal());
+            assert!(
+                pure.tvd(&mixed) < 1e-9,
+                "{} {label}: backends disagree by {}",
+                b.name,
+                pure.tvd(&mixed)
+            );
+        }
+    }
+}
+
+#[test]
+fn branch_and_density_backends_agree_on_traditional_circuits() {
+    for b in toffoli_free_suite().into_iter().take(8) {
+        let measured = with_data_measurements(&b.circuit, &b.roles);
+        let pure = exact_distribution(&measured);
+        let mixed = exact_distribution_noisy(&measured, &NoiseModel::ideal());
+        assert!(pure.tvd(&mixed) < 1e-9, "{}", b.name);
+    }
+}
+
+#[test]
+fn executor_converges_to_branch_enumeration() {
+    for b in toffoli_suite().into_iter().take(3) {
+        let (_, d2) = transform_both(&b);
+        let exact = exact_distribution(d2.circuit());
+        let sampled = Executor::new()
+            .shots(20_000)
+            .seed(11)
+            .run(d2.circuit())
+            .to_distribution();
+        let tvd = exact.tvd(&sampled);
+        assert!(tvd < 0.02, "{}: tvd {tvd}", b.name);
+    }
+}
+
+#[test]
+fn noisy_trajectories_converge_to_noisy_density() {
+    let b = toffoli_suite().into_iter().next().unwrap();
+    let (_, d2) = transform_both(&b);
+    let noise = NoiseModel::device_like(1.0);
+    let exact = exact_distribution_noisy(d2.circuit(), &noise);
+    let sampled = Executor::new()
+        .shots(20_000)
+        .seed(12)
+        .noise(noise)
+        .run(d2.circuit())
+        .to_distribution();
+    let tvd = exact.tvd(&sampled);
+    assert!(tvd < 0.02, "tvd {tvd}");
+}
+
+#[test]
+fn deterministic_seeds_are_reproducible_across_runs() {
+    let b = toffoli_suite().into_iter().next().unwrap();
+    let (d1, _) = transform_both(&b);
+    let a = Executor::new().shots(1000).seed(5).run(d1.circuit());
+    let c = Executor::new().shots(1000).seed(5).run(d1.circuit());
+    assert_eq!(a, c);
+}

@@ -1,0 +1,138 @@
+//! The paper's Section V-A claim, verified exactly: every Toffoli-free
+//! benchmark's dynamic realization is functionally equivalent to its
+//! traditional circuit, and the Toffoli benchmarks behave per scheme.
+
+use dqc::{transform, transform_with_scheme, verify, DynamicScheme, TransformOptions};
+use qalgo::suites::{toffoli_free_suite, toffoli_suite};
+
+#[test]
+fn every_toffoli_free_benchmark_is_exactly_equivalent() {
+    for b in toffoli_free_suite() {
+        let d = transform(&b.circuit, &b.roles, &TransformOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let report = verify::compare(&b.circuit, &b.roles, &d);
+        assert!(
+            report.equivalent(1e-9),
+            "{}: tvd = {} ({report})",
+            b.name,
+            report.tvd
+        );
+        assert_eq!(d.circuit().num_qubits(), 2, "{}", b.name);
+    }
+}
+
+#[test]
+fn every_toffoli_benchmark_transforms_under_both_schemes() {
+    let opts = TransformOptions::default();
+    for b in toffoli_suite() {
+        for scheme in [DynamicScheme::Dynamic1, DynamicScheme::Dynamic2] {
+            let d = transform_with_scheme(&b.circuit, &b.roles, scheme, &opts)
+                .unwrap_or_else(|e| panic!("{} {scheme}: {e}", b.name));
+            assert_eq!(d.circuit().num_qubits(), 2, "{} {scheme}", b.name);
+            assert!(d.circuit().is_dynamic(), "{} {scheme}", b.name);
+        }
+    }
+}
+
+#[test]
+fn dynamic2_is_exact_on_all_single_toffoli_benchmarks() {
+    let opts = TransformOptions::default();
+    for b in toffoli_suite() {
+        if b.name == "CARRY" {
+            continue; // see carry_has_a_parity_obstruction below
+        }
+        let d2 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts)
+            .unwrap();
+        let report = verify::compare(&b.circuit, &b.roles, &d2);
+        assert!(
+            report.equivalent(1e-9),
+            "{}: dynamic-2 tvd = {}",
+            b.name,
+            report.tvd
+        );
+    }
+}
+
+#[test]
+fn dynamic1_deviates_on_every_toffoli_benchmark() {
+    let opts = TransformOptions::default();
+    for b in toffoli_suite() {
+        let d1 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts)
+            .unwrap();
+        let report = verify::compare(&b.circuit, &b.roles, &d1);
+        assert!(
+            report.tvd > 0.2,
+            "{}: dynamic-1 tvd only {}",
+            b.name,
+            report.tvd
+        );
+    }
+}
+
+#[test]
+fn dynamic2_never_loses_to_dynamic1_on_the_benchmarks() {
+    let opts = TransformOptions::default();
+    for b in toffoli_suite() {
+        let d1 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts)
+            .unwrap();
+        let d2 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts)
+            .unwrap();
+        let r1 = verify::compare(&b.circuit, &b.roles, &d1);
+        let r2 = verify::compare(&b.circuit, &b.roles, &d2);
+        assert!(
+            r2.tvd <= r1.tvd + 1e-9,
+            "{}: dynamic-2 tvd {} > dynamic-1 tvd {}",
+            b.name,
+            r2.tvd,
+            r1.tvd
+        );
+    }
+}
+
+/// CARRY (three Toffolis over three data qubits) is the one benchmark where
+/// even dynamic-2 cannot be exact: the traditional DJ output is supported
+/// only on odd-parity outcomes — a three-way correlation — while a dynamic
+/// realization with no data-data interaction produces a product
+/// distribution, which cannot express that parity constraint. The deviation
+/// is therefore structural, not a bug; we pin its exact value.
+#[test]
+fn carry_has_a_parity_obstruction() {
+    let opts = TransformOptions::default();
+    let carry = toffoli_suite()
+        .into_iter()
+        .find(|b| b.name == "CARRY")
+        .unwrap();
+    let d2 = transform_with_scheme(&carry.circuit, &carry.roles, DynamicScheme::Dynamic2, &opts)
+        .unwrap();
+    let report = verify::compare(&carry.circuit, &carry.roles, &d2);
+    // Traditional: uniform over {001, 010, 100, 111}. Dynamic-2: the three
+    // local double-quarter-phases make each data qubit deterministic |1>,
+    // i.e. the point distribution on 111. TVD = 1 - 1/4 = 3/4.
+    assert!((report.tvd - 0.75).abs() < 1e-9, "tvd = {}", report.tvd);
+    assert!((report.dynamic.get("111") - 1.0).abs() < 1e-9);
+    // Still strictly better than dynamic-1, which misses the support
+    // entirely.
+    let d1 = transform_with_scheme(&carry.circuit, &carry.roles, DynamicScheme::Dynamic1, &opts)
+        .unwrap();
+    let r1 = verify::compare(&carry.circuit, &carry.roles, &d1);
+    assert!(r1.tvd > report.tvd);
+}
+
+#[test]
+fn transformed_circuits_have_one_result_bit_per_data_qubit() {
+    for b in toffoli_free_suite() {
+        let d = transform(&b.circuit, &b.roles, &TransformOptions::default()).unwrap();
+        assert_eq!(
+            d.result_bits().len(),
+            b.roles.data().len(),
+            "{}",
+            b.name
+        );
+        assert_eq!(
+            d.iterations().iter().filter(|i| i.measured).count(),
+            b.roles.data().len(),
+            "{}",
+            b.name
+        );
+    }
+}

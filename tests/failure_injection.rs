@@ -1,0 +1,148 @@
+//! Failure injection: every rejection path of the public API, exercised
+//! end to end with realistic inputs.
+
+use dqc::{transform, DqcError, Pipeline, QubitRoles, TransformOptions};
+use qcir::qasm::from_qasm;
+use qcir::{Circuit, CircuitError, Clbit, Gate, Instruction, Qubit};
+
+fn q(i: usize) -> Qubit {
+    Qubit::new(i)
+}
+
+#[test]
+fn transform_rejects_measurement_in_input() {
+    let mut c = Circuit::new(3, 1);
+    c.h(q(0)).measure(q(0), Clbit::new(0));
+    let err = transform(&c, &QubitRoles::data_plus_answer(3), &TransformOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, DqcError::Unrealizable { .. }));
+    assert!(err.to_string().contains("measurement-free"));
+}
+
+#[test]
+fn transform_rejects_reset_in_input() {
+    let mut c = Circuit::new(2, 0);
+    c.reset(q(0));
+    assert!(transform(&c, &QubitRoles::data_plus_answer(2), &TransformOptions::default())
+        .is_err());
+}
+
+#[test]
+fn transform_rejects_incomplete_roles() {
+    let mut c = Circuit::new(3, 0);
+    c.h(q(0));
+    let roles = QubitRoles::new(vec![q(0)], vec![], vec![q(2)]); // q1 missing
+    let err = transform(&c, &roles, &TransformOptions::default()).unwrap_err();
+    assert!(matches!(err, DqcError::InvalidRoles { .. }));
+}
+
+#[test]
+fn transform_rejects_swap_between_data_qubits() {
+    let mut c = Circuit::new(3, 0);
+    c.swap(q(0), q(1));
+    let err = transform(&c, &QubitRoles::data_plus_answer(3), &TransformOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, DqcError::Unrealizable { .. }));
+}
+
+#[test]
+fn transform_rejects_cycles_with_qubit_list() {
+    let mut c = Circuit::new(4, 0);
+    c.cx(q(0), q(1)).cx(q(1), q(2)).cx(q(2), q(0));
+    let err = transform(&c, &QubitRoles::data_plus_answer(4), &TransformOptions::default())
+        .unwrap_err();
+    match err {
+        DqcError::CyclicDependency { qubits } => {
+            assert_eq!(qubits.len(), 3);
+        }
+        other => panic!("expected cycle, got {other}"),
+    }
+}
+
+#[test]
+fn cv_between_data_qubits_with_wrong_basis_is_handled() {
+    // CV(d0, d1) then H(d0): the control wire is released (the paper's
+    // approximation), so this *transforms* — the accuracy story is
+    // dynamic-1's. Validate that it at least stays realizable.
+    let mut c = Circuit::new(3, 0);
+    c.h(q(0)).h(q(1)).cv(q(0), q(1)).h(q(0)).cx(q(1), q(2));
+    let d = transform(&c, &QubitRoles::data_plus_answer(3), &TransformOptions::default());
+    assert!(d.is_ok());
+    let d = d.unwrap();
+    // The CV must show up as a classically conditioned V.
+    assert!(d
+        .circuit()
+        .iter()
+        .any(|i| i.is_conditioned() && i.as_gate() == Some(&Gate::V)));
+}
+
+#[test]
+fn circuit_builder_rejects_bad_wires_with_error_values() {
+    let mut c = Circuit::new(1, 1);
+    assert!(matches!(
+        c.try_push(Instruction::gate(Gate::H, vec![q(3)])),
+        Err(CircuitError::QubitOutOfRange { qubit: 3, num_qubits: 1 })
+    ));
+    assert!(matches!(
+        c.try_push(Instruction::measure(q(0), Clbit::new(4))),
+        Err(CircuitError::ClbitOutOfRange { clbit: 4, num_clbits: 1 })
+    ));
+}
+
+#[test]
+fn inverse_of_dynamic_circuit_is_rejected() {
+    let mut c = Circuit::new(1, 1);
+    c.h(q(0)).measure(q(0), Clbit::new(0));
+    assert!(matches!(c.inverse(), Err(CircuitError::NotUnitary { .. })));
+}
+
+#[test]
+fn qasm_parser_rejects_malformed_documents() {
+    for (text, needle) in [
+        ("qubit[1] q;\nwarble q[0];\n", "unsupported gate"),
+        ("qubit[1] q;\nh q[9];\n", "out of range"),
+        ("qubit[1] q;\nif (c[0] = 1) { x q[0]; }\n", "=="),
+        ("qubit[1] q;\nctrl(9) @ y q[0];\n", "unsupported"),
+        ("qubit[x] q;\n", "bad register size"),
+    ] {
+        let err = from_qasm(text).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "text {text:?} gave: {err}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_propagates_role_errors() {
+    let c = Circuit::new(2, 0);
+    let roles = QubitRoles::new(vec![q(0), q(1)], vec![], vec![]); // no answer
+    assert!(matches!(
+        Pipeline::new().run(&c, &roles),
+        Err(DqcError::InvalidRoles { .. })
+    ));
+}
+
+#[test]
+fn statevector_guards_against_misuse() {
+    let result = std::panic::catch_unwind(|| {
+        let mut sv = qsim::StateVector::zero_state(2);
+        sv.apply_gate(&Gate::Cx, &[0]); // arity mismatch
+    });
+    assert!(result.is_err());
+    let result = std::panic::catch_unwind(|| {
+        let _ = qsim::StateVector::basis_state(2, 7); // out of range
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn noise_model_constructors_validate_probabilities() {
+    for bad in [
+        || qsim::KrausChannel::bit_flip(-0.1),
+        || qsim::KrausChannel::bit_flip(1.1),
+        || qsim::KrausChannel::amplitude_damping(2.0),
+    ] {
+        assert!(std::panic::catch_unwind(bad).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 7 shape: dynamic-2 tracks the traditional expected-outcome
+//! probabilities; dynamic-1 deviates — exactly and at 1024 shots.
+
+use bench::runners::{fig7, transform_both};
+use dqc::verify;
+use qalgo::suites::toffoli_suite;
+use qsim::Executor;
+
+#[test]
+fn exact_probabilities_follow_the_papers_shape() {
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        let r1 = verify::compare(&b.circuit, &b.roles, &d1);
+        let r2 = verify::compare(&b.circuit, &b.roles, &d2);
+        if b.name == "CARRY" {
+            // Structural deviation (see equivalence.rs); but the ordering
+            // dynamic-2 < dynamic-1 still holds.
+            assert!(r2.tvd < r1.tvd, "CARRY ordering violated");
+            continue;
+        }
+        // Single-Toffoli rows: dynamic-2 equals the traditional
+        // probability; dynamic-1 is off by at least 0.25 in probability.
+        assert!(
+            (r2.p_dynamic - r2.p_traditional).abs() < 1e-9,
+            "{}: dynamic-2 p {} vs {}",
+            b.name,
+            r2.p_dynamic,
+            r2.p_traditional
+        );
+        assert!(
+            (r1.p_dynamic - r1.p_traditional).abs() > 0.2,
+            "{}: dynamic-1 unexpectedly accurate ({} vs {})",
+            b.name,
+            r1.p_dynamic,
+            r1.p_traditional
+        );
+    }
+}
+
+#[test]
+fn shot_sampling_reproduces_the_exact_values_within_noise() {
+    // 1024 shots, as the paper runs; binomial std dev at p=0.25 is ~0.014,
+    // allow 4 sigma.
+    let tol = 0.06;
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        let r1 = verify::compare(&b.circuit, &b.roles, &d1);
+        let r2 = verify::compare(&b.circuit, &b.roles, &d2);
+        let exec = Executor::new().shots(1024).seed(0xF1607);
+        let s1 = exec.run(d1.circuit()).probability(&r1.expected_outcome);
+        let s2 = exec.run(d2.circuit()).probability(&r2.expected_outcome);
+        assert!(
+            (s1 - r1.p_dynamic).abs() < tol,
+            "{}: dyn1 sampled {} vs exact {}",
+            b.name,
+            s1,
+            r1.p_dynamic
+        );
+        assert!(
+            (s2 - r2.p_dynamic).abs() < tol,
+            "{}: dyn2 sampled {} vs exact {}",
+            b.name,
+            s2,
+            r2.p_dynamic
+        );
+    }
+}
+
+#[test]
+fn fig7_table_separates_the_schemes() {
+    let t = fig7(512, 3);
+    let csv = t.to_csv();
+    let mut dyn1_worse = 0usize;
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let tvd1: f64 = cells[8].parse().unwrap();
+        let tvd2: f64 = cells[9].parse().unwrap();
+        if tvd1 > tvd2 + 0.1 {
+            dyn1_worse += 1;
+        }
+    }
+    assert_eq!(dyn1_worse, 9, "dynamic-1 should lose on every benchmark");
+}

@@ -1,0 +1,16 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use dqc::QubitRoles;
+use qcir::{Circuit, Clbit};
+
+/// Appends measurements of the role partition's data qubits into classical
+/// bits ordered by data index — the layout the dynamic transformation uses.
+#[must_use]
+pub fn with_data_measurements(circuit: &Circuit, roles: &QubitRoles) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits(), roles.data().len());
+    out.extend(circuit);
+    for (i, &d) in roles.data().iter().enumerate() {
+        out.measure(d, Clbit::new(i));
+    }
+    out
+}

@@ -1,0 +1,62 @@
+//! OpenQASM 3 round-trips of realistic dynamic circuits: the serialized
+//! form parses back to the identical instruction stream and, independently,
+//! to the identical exact outcome distribution.
+
+use bench::runners::transform_both;
+use dqc::{transform, TransformOptions};
+use qalgo::suites::{toffoli_free_suite, toffoli_suite};
+use qcir::qasm::{from_qasm, to_qasm};
+use qsim::branch::exact_distribution;
+
+#[test]
+fn every_toffoli_free_dynamic_circuit_round_trips() {
+    for b in toffoli_free_suite() {
+        let d = transform(&b.circuit, &b.roles, &TransformOptions::default()).unwrap();
+        let text = to_qasm(d.circuit());
+        let parsed = from_qasm(&text).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(
+            parsed.instructions(),
+            d.circuit().instructions(),
+            "{}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn every_toffoli_dynamic_circuit_round_trips_with_semantics() {
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        for (label, d) in [("dyn1", d1), ("dyn2", d2)] {
+            let text = to_qasm(d.circuit());
+            let parsed = from_qasm(&text).unwrap();
+            let before = exact_distribution(d.circuit());
+            let after = exact_distribution(&parsed);
+            assert!(
+                before.tvd(&after) < 1e-12,
+                "{} {label}: distribution changed through QASM",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn traditional_circuits_round_trip_too() {
+    for b in toffoli_suite() {
+        let text = to_qasm(&b.circuit);
+        let parsed = from_qasm(&text).unwrap();
+        assert_eq!(parsed.instructions(), b.circuit.instructions(), "{}", b.name);
+    }
+}
+
+#[test]
+fn qasm_text_declares_dynamic_primitives() {
+    let b = &toffoli_suite()[0];
+    let (_, d2) = transform_both(b);
+    let text = to_qasm(d2.circuit());
+    assert!(text.contains("reset q[0];"), "missing reset:\n{text}");
+    assert!(text.contains("= measure q[0];"), "missing measure:\n{text}");
+    assert!(text.contains("if (c["), "missing classical control:\n{text}");
+    assert!(text.contains("ctrl @ sx"), "missing CV gate:\n{text}");
+}

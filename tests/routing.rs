@@ -1,0 +1,79 @@
+//! Routing: semantics-preserving SWAP insertion for traditional circuits,
+//! and the dynamic circuits' zero-overhead property.
+
+use dqc::{transform_with_scheme, DynamicScheme, TransformOptions};
+use integration_tests::with_data_measurements;
+use qalgo::suites::{toffoli_free_suite, toffoli_suite};
+use qcir::decompose::{decompose_ccx, decompose_cv, ToffoliStyle};
+use qcir::routing::{route, CouplingMap};
+use qsim::branch::exact_distribution;
+
+#[test]
+fn routing_preserves_measured_distributions() {
+    for b in toffoli_free_suite().into_iter().take(6) {
+        let measured = with_data_measurements(&b.circuit, &b.roles);
+        let n = measured.num_qubits();
+        for map in [CouplingMap::line(n), CouplingMap::star(n)] {
+            let routed = route(&measured, &map).unwrap();
+            let before = exact_distribution(&measured);
+            let after = exact_distribution(&routed.circuit);
+            assert!(
+                before.tvd(&after) < 1e-9,
+                "{}: routing changed outcomes by {}",
+                b.name,
+                before.tvd(&after)
+            );
+        }
+    }
+}
+
+#[test]
+fn toffoli_benchmarks_route_after_lowering() {
+    for b in toffoli_suite() {
+        let lowered = decompose_ccx(&b.circuit, ToffoliStyle::CliffordT);
+        let measured = with_data_measurements(&lowered, &b.roles);
+        let map = CouplingMap::line(measured.num_qubits());
+        let routed = route(&measured, &map).unwrap();
+        let before = exact_distribution(&measured);
+        let after = exact_distribution(&routed.circuit);
+        assert!(before.tvd(&after) < 1e-9, "{}", b.name);
+        if b.name == "CARRY" {
+            assert!(routed.swaps_inserted > 0, "CARRY should need swaps on a line");
+        }
+    }
+}
+
+#[test]
+fn dynamic_circuits_need_no_swaps_anywhere() {
+    for b in toffoli_suite().into_iter().take(4) {
+        let d = transform_with_scheme(
+            &b.circuit,
+            &b.roles,
+            DynamicScheme::Dynamic2,
+            &TransformOptions::default(),
+        )
+        .unwrap();
+        // CV gates are 2-qubit; the router takes them directly.
+        let lowered = decompose_cv(d.circuit());
+        for map in [CouplingMap::line(2), CouplingMap::line(6), CouplingMap::ring(5)] {
+            let routed = route(&lowered, &map).unwrap();
+            assert_eq!(routed.swaps_inserted, 0, "{}", b.name);
+        }
+    }
+}
+
+#[test]
+fn routed_dynamic_circuit_still_matches_traditional() {
+    let b = toffoli_suite().into_iter().next().unwrap(); // AND
+    let d = transform_with_scheme(
+        &b.circuit,
+        &b.roles,
+        DynamicScheme::Dynamic2,
+        &TransformOptions::default(),
+    )
+    .unwrap();
+    let routed = route(d.circuit(), &CouplingMap::line(2)).unwrap();
+    let dyn_dist = exact_distribution(&routed.circuit);
+    let tradi = dqc::verify::traditional_distribution(&b.circuit, &b.roles);
+    assert!(tradi.tvd(&dyn_dist) < 1e-9);
+}
