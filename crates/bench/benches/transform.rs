@@ -2,11 +2,11 @@
 
 use bench::runners::transform_both;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dqc::QubitRoles;
 use dqc::{transform, transform_with_scheme, DynamicScheme, TransformOptions};
 use qalgo::suites::{toffoli_free_suite, toffoli_suite};
 use qalgo::{dj_circuit, TruthTable};
 use qcir::decompose::decompose_mcx;
-use dqc::QubitRoles;
 use qcir::Qubit;
 
 fn bench_schemes(c: &mut Criterion) {
@@ -51,9 +51,8 @@ fn bench_schemes(c: &mut Criterion) {
             toffoli_free_suite,
             |suite| {
                 for bench in &suite {
-                    let _ =
-                        transform(&bench.circuit, &bench.roles, &TransformOptions::default())
-                            .unwrap();
+                    let _ = transform(&bench.circuit, &bench.roles, &TransformOptions::default())
+                        .unwrap();
                 }
             },
             BatchSize::SmallInput,

@@ -37,18 +37,13 @@ fn main() {
                 reset_answer_qubits: true,
                 ..TransformOptions::default()
             };
-            let raw = transform_with_scheme(&b.circuit, &b.roles, scheme, &raw_opts)
-                .expect("transforms");
-            let opt = transform_with_scheme(
-                &b.circuit,
-                &b.roles,
-                scheme,
-                &TransformOptions::default(),
-            )
-            .expect("transforms");
-            let resets =
-                transform_with_scheme(&b.circuit, &b.roles, scheme, &full_reset_opts)
+            let raw =
+                transform_with_scheme(&b.circuit, &b.roles, scheme, &raw_opts).expect("transforms");
+            let opt =
+                transform_with_scheme(&b.circuit, &b.roles, scheme, &TransformOptions::default())
                     .expect("transforms");
+            let resets = transform_with_scheme(&b.circuit, &b.roles, scheme, &full_reset_opts)
+                .expect("transforms");
             let sr = ResourceSummary::of_dynamic(&raw);
             let so = ResourceSummary::of_dynamic(&opt);
             let sf = ResourceSummary::of_dynamic(&resets);

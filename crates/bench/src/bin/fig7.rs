@@ -1,15 +1,23 @@
 //! Regenerates the paper's Fig. 7 (expected-outcome probabilities).
 
-use bench::runners::fig7;
+use bench::report::metrics_section;
+use bench::runners::fig7_observed;
+use qobs::Observer;
 
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let shots = std::env::args()
         .skip_while(|a| a != "--shots")
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1024);
-    let t = fig7(shots, 0xD41E);
+    let obs = if metrics {
+        Observer::metrics_only()
+    } else {
+        Observer::disabled()
+    };
+    let t = fig7_observed(shots, 0xD41E, &obs);
     println!("Fig. 7 — probability of the expected outcome ({shots} shots, plus exact values)\n");
     if csv {
         print!("{}", t.to_csv());
@@ -17,4 +25,8 @@ fn main() {
         print!("{}", t.render());
     }
     println!("\nshape check: dynamic-2 tracks the traditional probabilities; dynamic-1 deviates.");
+    if metrics {
+        println!();
+        print!("{}", metrics_section(obs.metrics()));
+    }
 }

@@ -17,24 +17,11 @@ fn main() {
         ("XOR3", TruthTable::xor(3)),
         ("MAJ", TruthTable::majority3()),
         ("NAND3", TruthTable::and(3).complement()),
-        (
-            "ONE-HOT",
-            TruthTable::from_fn(3, |x| x.count_ones() == 1),
-        ),
-        (
-            "EXACTLY-2",
-            TruthTable::from_fn(3, |x| x.count_ones() == 2),
-        ),
+        ("ONE-HOT", TruthTable::from_fn(3, |x| x.count_ones() == 1)),
+        ("EXACTLY-2", TruthTable::from_fn(3, |x| x.count_ones() == 2)),
     ];
     let mut t = Table::new(vec![
-        "oracle",
-        "toffolis",
-        "mcx",
-        "p tradi",
-        "p dyn1",
-        "p dyn2",
-        "tvd dyn1",
-        "tvd dyn2",
+        "oracle", "toffolis", "mcx", "p tradi", "p dyn1", "p dyn2", "tvd dyn1", "tvd dyn2",
     ]);
     let opts = TransformOptions::default();
     for (name, tt) in cases {

@@ -3,7 +3,7 @@
 
 use bench::report::Table;
 use dqc::{transform_with_scheme, verify, DynamicScheme, QubitRoles, TransformOptions};
-use qcir::{CircuitStats, Circuit, Qubit};
+use qcir::{Circuit, CircuitStats, Qubit};
 
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");

@@ -26,9 +26,11 @@ fn main() {
     let benches: Vec<_> = toffoli_free_suite()
         .into_iter()
         .filter(|b| b.name == "BV_1111" || b.name == "BV_111" || b.name == "DJ_XOR")
-        .chain(toffoli_suite().into_iter().filter(|b| {
-            b.name == "AND" || b.name == "CARRY"
-        }))
+        .chain(
+            toffoli_suite()
+                .into_iter()
+                .filter(|b| b.name == "AND" || b.name == "CARRY"),
+        )
         .collect();
     for b in &benches {
         // Lower Toffolis so only <= 2-qubit gates remain, then route.
@@ -36,7 +38,14 @@ fn main() {
         let n = lowered.num_qubits();
         for (name, map) in [
             ("line", CouplingMap::line(n)),
-            ("ring", if n >= 3 { CouplingMap::ring(n) } else { CouplingMap::line(n) }),
+            (
+                "ring",
+                if n >= 3 {
+                    CouplingMap::ring(n)
+                } else {
+                    CouplingMap::line(n)
+                },
+            ),
             ("star", CouplingMap::star(n)),
         ] {
             let routed = route(&lowered, &map).expect("routable");

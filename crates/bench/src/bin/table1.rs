@@ -1,10 +1,18 @@
 //! Regenerates the paper's Table I (Toffoli-free circuits).
 
-use bench::runners::table1;
+use bench::report::metrics_section;
+use bench::runners::table1_observed;
+use qobs::Observer;
 
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
-    let t = table1();
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    let obs = if metrics {
+        Observer::metrics_only()
+    } else {
+        Observer::disabled()
+    };
+    let t = table1_observed(&obs);
     println!("Table I — Toffoli-free quantum circuits (ours vs. paper)");
     println!("gate convention: dynamic counts exclude measurements, include resets\n");
     if csv {
@@ -14,4 +22,8 @@ fn main() {
     }
     println!("\ntvd column: exact total-variation distance between the traditional");
     println!("and dynamic outcome distributions (0 = functionally equivalent).");
+    if metrics {
+        println!();
+        print!("{}", metrics_section(obs.metrics()));
+    }
 }

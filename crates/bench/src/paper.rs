@@ -20,34 +20,174 @@ pub struct Table1Row {
 
 /// Table I as published.
 pub const TABLE1: [Table1Row; 28] = [
-    Table1Row { name: "BV_111", qubits: (4, 2), gates: (11, 13), depth: (6, 15) },
-    Table1Row { name: "BV_110", qubits: (4, 2), gates: (8, 10), depth: (5, 13) },
-    Table1Row { name: "BV_101", qubits: (4, 2), gates: (8, 10), depth: (5, 12) },
-    Table1Row { name: "BV_011", qubits: (4, 2), gates: (8, 10), depth: (5, 12) },
-    Table1Row { name: "BV_100", qubits: (4, 2), gates: (5, 7), depth: (4, 10) },
-    Table1Row { name: "BV_010", qubits: (4, 2), gates: (5, 7), depth: (4, 10) },
-    Table1Row { name: "BV_001", qubits: (4, 2), gates: (5, 7), depth: (4, 9) },
-    Table1Row { name: "BV_1111", qubits: (5, 2), gates: (14, 17), depth: (7, 20) },
-    Table1Row { name: "BV_1110", qubits: (5, 2), gates: (11, 14), depth: (6, 18) },
-    Table1Row { name: "BV_1101", qubits: (5, 2), gates: (11, 14), depth: (6, 17) },
-    Table1Row { name: "BV_1011", qubits: (5, 2), gates: (11, 14), depth: (6, 17) },
-    Table1Row { name: "BV_0111", qubits: (5, 2), gates: (11, 14), depth: (6, 17) },
-    Table1Row { name: "BV_1010", qubits: (5, 2), gates: (8, 11), depth: (5, 15) },
-    Table1Row { name: "BV_1001", qubits: (5, 2), gates: (8, 11), depth: (5, 14) },
-    Table1Row { name: "BV_0110", qubits: (5, 2), gates: (8, 11), depth: (5, 15) },
-    Table1Row { name: "BV_0101", qubits: (5, 2), gates: (8, 11), depth: (5, 14) },
-    Table1Row { name: "BV_1000", qubits: (5, 2), gates: (5, 9), depth: (4, 12) },
-    Table1Row { name: "BV_0100", qubits: (5, 2), gates: (5, 8), depth: (4, 12) },
-    Table1Row { name: "BV_0010", qubits: (5, 2), gates: (5, 8), depth: (4, 12) },
-    Table1Row { name: "BV_0001", qubits: (5, 2), gates: (5, 8), depth: (4, 11) },
-    Table1Row { name: "DJ_CONST_0", qubits: (3, 2), gates: (6, 7), depth: (3, 7) },
-    Table1Row { name: "DJ_CONST_1", qubits: (3, 2), gates: (7, 8), depth: (3, 7) },
-    Table1Row { name: "DJ_PASS_1", qubits: (3, 2), gates: (7, 8), depth: (5, 9) },
-    Table1Row { name: "DJ_PASS_2", qubits: (3, 2), gates: (7, 8), depth: (5, 8) },
-    Table1Row { name: "DJ_INVERT_1", qubits: (3, 2), gates: (8, 9), depth: (6, 10) },
-    Table1Row { name: "DJ_INVERT_2", qubits: (3, 2), gates: (8, 9), depth: (6, 8) },
-    Table1Row { name: "DJ_XOR", qubits: (3, 2), gates: (8, 9), depth: (6, 10) },
-    Table1Row { name: "DJ_XNOR", qubits: (3, 2), gates: (9, 10), depth: (7, 11) },
+    Table1Row {
+        name: "BV_111",
+        qubits: (4, 2),
+        gates: (11, 13),
+        depth: (6, 15),
+    },
+    Table1Row {
+        name: "BV_110",
+        qubits: (4, 2),
+        gates: (8, 10),
+        depth: (5, 13),
+    },
+    Table1Row {
+        name: "BV_101",
+        qubits: (4, 2),
+        gates: (8, 10),
+        depth: (5, 12),
+    },
+    Table1Row {
+        name: "BV_011",
+        qubits: (4, 2),
+        gates: (8, 10),
+        depth: (5, 12),
+    },
+    Table1Row {
+        name: "BV_100",
+        qubits: (4, 2),
+        gates: (5, 7),
+        depth: (4, 10),
+    },
+    Table1Row {
+        name: "BV_010",
+        qubits: (4, 2),
+        gates: (5, 7),
+        depth: (4, 10),
+    },
+    Table1Row {
+        name: "BV_001",
+        qubits: (4, 2),
+        gates: (5, 7),
+        depth: (4, 9),
+    },
+    Table1Row {
+        name: "BV_1111",
+        qubits: (5, 2),
+        gates: (14, 17),
+        depth: (7, 20),
+    },
+    Table1Row {
+        name: "BV_1110",
+        qubits: (5, 2),
+        gates: (11, 14),
+        depth: (6, 18),
+    },
+    Table1Row {
+        name: "BV_1101",
+        qubits: (5, 2),
+        gates: (11, 14),
+        depth: (6, 17),
+    },
+    Table1Row {
+        name: "BV_1011",
+        qubits: (5, 2),
+        gates: (11, 14),
+        depth: (6, 17),
+    },
+    Table1Row {
+        name: "BV_0111",
+        qubits: (5, 2),
+        gates: (11, 14),
+        depth: (6, 17),
+    },
+    Table1Row {
+        name: "BV_1010",
+        qubits: (5, 2),
+        gates: (8, 11),
+        depth: (5, 15),
+    },
+    Table1Row {
+        name: "BV_1001",
+        qubits: (5, 2),
+        gates: (8, 11),
+        depth: (5, 14),
+    },
+    Table1Row {
+        name: "BV_0110",
+        qubits: (5, 2),
+        gates: (8, 11),
+        depth: (5, 15),
+    },
+    Table1Row {
+        name: "BV_0101",
+        qubits: (5, 2),
+        gates: (8, 11),
+        depth: (5, 14),
+    },
+    Table1Row {
+        name: "BV_1000",
+        qubits: (5, 2),
+        gates: (5, 9),
+        depth: (4, 12),
+    },
+    Table1Row {
+        name: "BV_0100",
+        qubits: (5, 2),
+        gates: (5, 8),
+        depth: (4, 12),
+    },
+    Table1Row {
+        name: "BV_0010",
+        qubits: (5, 2),
+        gates: (5, 8),
+        depth: (4, 12),
+    },
+    Table1Row {
+        name: "BV_0001",
+        qubits: (5, 2),
+        gates: (5, 8),
+        depth: (4, 11),
+    },
+    Table1Row {
+        name: "DJ_CONST_0",
+        qubits: (3, 2),
+        gates: (6, 7),
+        depth: (3, 7),
+    },
+    Table1Row {
+        name: "DJ_CONST_1",
+        qubits: (3, 2),
+        gates: (7, 8),
+        depth: (3, 7),
+    },
+    Table1Row {
+        name: "DJ_PASS_1",
+        qubits: (3, 2),
+        gates: (7, 8),
+        depth: (5, 9),
+    },
+    Table1Row {
+        name: "DJ_PASS_2",
+        qubits: (3, 2),
+        gates: (7, 8),
+        depth: (5, 8),
+    },
+    Table1Row {
+        name: "DJ_INVERT_1",
+        qubits: (3, 2),
+        gates: (8, 9),
+        depth: (6, 10),
+    },
+    Table1Row {
+        name: "DJ_INVERT_2",
+        qubits: (3, 2),
+        gates: (8, 9),
+        depth: (6, 8),
+    },
+    Table1Row {
+        name: "DJ_XOR",
+        qubits: (3, 2),
+        gates: (8, 9),
+        depth: (6, 10),
+    },
+    Table1Row {
+        name: "DJ_XNOR",
+        qubits: (3, 2),
+        gates: (9, 10),
+        depth: (7, 11),
+    },
 ];
 
 /// One row of Table II (Toffoli-based): `(traditional, dynamic-1,
@@ -66,15 +206,60 @@ pub struct Table2Row {
 
 /// Table II as published.
 pub const TABLE2: [Table2Row; 9] = [
-    Table2Row { name: "AND", qubits: (3, 2), gates: (21, 28, 33), depth: (16, 23, 26) },
-    Table2Row { name: "NAND", qubits: (3, 2), gates: (22, 29, 34), depth: (17, 24, 27) },
-    Table2Row { name: "OR", qubits: (3, 2), gates: (23, 30, 35), depth: (18, 26, 29) },
-    Table2Row { name: "NOR", qubits: (3, 2), gates: (24, 31, 36), depth: (19, 27, 30) },
-    Table2Row { name: "IMPLY_1", qubits: (3, 2), gates: (23, 30, 35), depth: (18, 26, 29) },
-    Table2Row { name: "IMPLY_2", qubits: (3, 2), gates: (23, 30, 35), depth: (18, 25, 28) },
-    Table2Row { name: "INHIB_1", qubits: (3, 2), gates: (22, 29, 34), depth: (17, 24, 27) },
-    Table2Row { name: "INHIB_2", qubits: (3, 2), gates: (22, 29, 34), depth: (17, 25, 28) },
-    Table2Row { name: "CARRY", qubits: (4, 2), gates: (53, 73, 82), depth: (36, 60, 68) },
+    Table2Row {
+        name: "AND",
+        qubits: (3, 2),
+        gates: (21, 28, 33),
+        depth: (16, 23, 26),
+    },
+    Table2Row {
+        name: "NAND",
+        qubits: (3, 2),
+        gates: (22, 29, 34),
+        depth: (17, 24, 27),
+    },
+    Table2Row {
+        name: "OR",
+        qubits: (3, 2),
+        gates: (23, 30, 35),
+        depth: (18, 26, 29),
+    },
+    Table2Row {
+        name: "NOR",
+        qubits: (3, 2),
+        gates: (24, 31, 36),
+        depth: (19, 27, 30),
+    },
+    Table2Row {
+        name: "IMPLY_1",
+        qubits: (3, 2),
+        gates: (23, 30, 35),
+        depth: (18, 26, 29),
+    },
+    Table2Row {
+        name: "IMPLY_2",
+        qubits: (3, 2),
+        gates: (23, 30, 35),
+        depth: (18, 25, 28),
+    },
+    Table2Row {
+        name: "INHIB_1",
+        qubits: (3, 2),
+        gates: (22, 29, 34),
+        depth: (17, 24, 27),
+    },
+    Table2Row {
+        name: "INHIB_2",
+        qubits: (3, 2),
+        gates: (22, 29, 34),
+        depth: (17, 25, 28),
+    },
+    Table2Row {
+        name: "CARRY",
+        qubits: (4, 2),
+        gates: (53, 73, 82),
+        depth: (36, 60, 68),
+    },
 ];
 
 /// Looks up a Table I row by benchmark name.
@@ -117,8 +302,16 @@ mod tests {
             assert!(r.depth.1 >= r.depth.0, "{}", r.name);
         }
         for r in &TABLE2 {
-            assert!(r.gates.1 >= r.gates.0 && r.gates.2 >= r.gates.1, "{}", r.name);
-            assert!(r.depth.1 >= r.depth.0 && r.depth.2 >= r.depth.1, "{}", r.name);
+            assert!(
+                r.gates.1 >= r.gates.0 && r.gates.2 >= r.gates.1,
+                "{}",
+                r.name
+            );
+            assert!(
+                r.depth.1 >= r.depth.0 && r.depth.2 >= r.depth.1,
+                "{}",
+                r.name
+            );
         }
     }
 }

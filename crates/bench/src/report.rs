@@ -103,6 +103,15 @@ impl Table {
     }
 }
 
+/// Renders a machine-readable metrics section for appending to a report:
+/// a `=== metrics (json) ===` delimiter line followed by the registry's
+/// single-line JSON document, so downstream tooling can split on the
+/// delimiter and parse everything after it.
+#[must_use]
+pub fn metrics_section(metrics: &qobs::MetricsRegistry) -> String {
+    format!("=== metrics (json) ===\n{}\n", metrics.to_json())
+}
+
 /// Formats a probability with 4 decimals.
 #[must_use]
 pub fn fmt_prob(p: f64) -> String {
@@ -148,6 +157,18 @@ mod tests {
     fn row_width_is_checked() {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn metrics_section_is_delimited_and_parseable() {
+        let obs = qobs::Observer::metrics_only();
+        obs.counter_add("executor.shots", 42);
+        let section = metrics_section(obs.metrics());
+        let mut lines = section.lines();
+        assert_eq!(lines.next(), Some("=== metrics (json) ==="));
+        let json = lines.next().unwrap();
+        qobs::json::validate(json).expect("valid JSON");
+        assert!(json.contains("\"executor.shots\":42"));
     }
 
     #[test]

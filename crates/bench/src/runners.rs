@@ -7,13 +7,14 @@
 use crate::paper;
 use crate::report::{fmt_prob, Table};
 use dqc::{
-    transform, transform_with_scheme, verify, DynamicScheme, QubitRoles, ResourceSummary,
-    TransformOptions,
+    transform, transform_observed, transform_with_scheme, verify, DynamicScheme, QubitRoles,
+    ResourceSummary, TransformOptions,
 };
 use qalgo::suites::{toffoli_free_suite, toffoli_suite, Benchmark};
 use qalgo::{dj_circuit, TruthTable};
 use qcir::decompose::{decompose_ccx, decompose_mcx, ToffoliStyle};
 use qcir::{Circuit, Qubit};
+use qobs::Observer;
 use qsim::density::exact_distribution_noisy;
 use qsim::{Executor, NoiseModel};
 
@@ -28,6 +29,15 @@ fn vs(ours: usize, paper: usize) -> String {
 /// distance establishing the paper's functional-equivalence claim.
 #[must_use]
 pub fn table1() -> Table {
+    table1_observed(&Observer::disabled())
+}
+
+/// [`table1`] with instrumentation: every per-benchmark transform and
+/// equivalence check records its spans and timing histograms into the
+/// observer, so `table1 --metrics` can append a machine-readable metrics
+/// section to the report.
+#[must_use]
+pub fn table1_observed(obs: &Observer) -> Table {
     let mut t = Table::new(vec![
         "benchmark",
         "qubits t>d",
@@ -38,11 +48,12 @@ pub fn table1() -> Table {
         "tvd",
     ]);
     for b in toffoli_free_suite() {
-        let d = transform(&b.circuit, &b.roles, &TransformOptions::default())
+        let d = transform_observed(&b.circuit, &b.roles, &TransformOptions::default(), obs)
             .expect("toffoli-free benchmarks always transform");
         let tradi = ResourceSummary::of_circuit(&b.circuit);
         let dyna = ResourceSummary::of_dynamic(&d);
-        let report = verify::compare(&b.circuit, &b.roles, &d);
+        let report = verify::compare_observed(&b.circuit, &b.roles, &d, obs);
+        obs.counter_add("bench.benchmarks", 1);
         let p = paper::table1_row(&b.name).expect("paper row exists");
         t.row(vec![
             b.name.clone(),
@@ -83,9 +94,8 @@ pub fn table2() -> Table {
         // the CV-level counts are reported alongside.
         let s1cv = ResourceSummary::of_dynamic(&d1);
         let s2cv = ResourceSummary::of_dynamic(&d2);
-        let lower = |c: &Circuit| {
-            qcir::passes::cancel_adjacent_inverses(&qcir::decompose::decompose_cv(c))
-        };
+        let lower =
+            |c: &Circuit| qcir::passes::cancel_adjacent_inverses(&qcir::decompose::decompose_cv(c));
         let s1 = ResourceSummary::of_circuit(&lower(d1.circuit()));
         let s2 = ResourceSummary::of_circuit(&lower(d2.circuit()));
         let p = paper::table2_row(&b.name).expect("paper row exists");
@@ -120,6 +130,15 @@ pub fn table2() -> Table {
 /// schemes.
 #[must_use]
 pub fn fig7(shots: u64, seed: u64) -> Table {
+    fig7_observed(shots, seed, &Observer::disabled())
+}
+
+/// [`fig7`] with instrumentation: the shot-based estimates run through an
+/// observed [`Executor`], so the report can carry the simulation counters
+/// (total shots, gates by kind, resets, mid-circuit measurements,
+/// classical-control fire/skip) alongside the probabilities.
+#[must_use]
+pub fn fig7_observed(shots: u64, seed: u64, obs: &Observer) -> Table {
     let mut t = Table::new(vec![
         "benchmark",
         "expected",
@@ -139,7 +158,10 @@ pub fn fig7(shots: u64, seed: u64) -> Table {
         debug_assert_eq!(r1.expected_outcome, r2.expected_outcome);
 
         // Shot-based estimates, as the paper measured them.
-        let exec = Executor::new().shots(shots).seed(seed);
+        let exec = Executor::new()
+            .shots(shots)
+            .seed(seed)
+            .observer(obs.clone());
         let n_data = b.roles.data().len();
         let mut tradi_measured = Circuit::new(b.circuit.num_qubits(), n_data);
         tradi_measured.extend(&b.circuit);
@@ -172,13 +194,7 @@ pub fn fig7(shots: u64, seed: u64) -> Table {
 /// circuits' extra depth interacts with decoherence.
 #[must_use]
 pub fn noise_sweep(scales: &[f64]) -> Table {
-    let mut t = Table::new(vec![
-        "benchmark",
-        "noise",
-        "p tradi",
-        "p dyn1",
-        "p dyn2",
-    ]);
+    let mut t = Table::new(vec!["benchmark", "noise", "p tradi", "p dyn1", "p dyn2"]);
     for b in toffoli_suite() {
         // Density-matrix evolution is exponential in qubits; all benchmarks
         // here are at most 4 + 1 ancilla wires.
@@ -284,10 +300,7 @@ pub fn mct_sweep(max_controls: usize) -> Table {
         data.extend((0..extra).map(|i| Qubit::new(dj.num_qubits() + i)));
         let roles = QubitRoles::new(data, Vec::new(), vec![Qubit::new(n)]);
 
-        let tradi = ResourceSummary::of_circuit(&decompose_ccx(
-            &lowered,
-            ToffoliStyle::CliffordT,
-        ));
+        let tradi = ResourceSummary::of_circuit(&decompose_ccx(&lowered, ToffoliStyle::CliffordT));
         for scheme in [
             DynamicScheme::Direct,
             DynamicScheme::Dynamic1,
@@ -307,11 +320,12 @@ pub fn mct_sweep(max_controls: usize) -> Table {
                     (d, report)
                 })
             } else {
-                transform_with_scheme(&lowered, &roles, scheme, &TransformOptions::default())
-                    .map(|d| {
+                transform_with_scheme(&lowered, &roles, scheme, &TransformOptions::default()).map(
+                    |d| {
                         let report = verify::compare(&lowered, &roles, &d);
                         (d, report)
-                    })
+                    },
+                )
             };
             let row = match result {
                 Ok((d, report)) => {
@@ -405,6 +419,28 @@ mod tests {
         assert_eq!(t.len(), 9);
         let text = t.render();
         assert!(text.contains("expected"));
+    }
+
+    #[test]
+    fn observed_runners_fill_the_registry() {
+        let obs = Observer::metrics_only();
+        let _ = table1_observed(&obs);
+        assert_eq!(obs.metrics().counter("bench.benchmarks"), Some(28));
+        assert_eq!(
+            obs.metrics()
+                .histogram("verify.equivalence_ns")
+                .unwrap()
+                .count,
+            28
+        );
+
+        let obs2 = Observer::metrics_only();
+        let _ = fig7_observed(32, 7, &obs2);
+        // 9 benchmarks x 3 circuits (traditional, dynamic-1, dynamic-2).
+        assert_eq!(obs2.metrics().counter("executor.shots"), Some(9 * 3 * 32));
+        assert!(obs2.metrics().counter("executor.mid_circuit_measurements") > Some(0));
+        let section = crate::report::metrics_section(obs2.metrics());
+        qobs::json::validate(section.lines().nth(1).unwrap()).unwrap();
     }
 
     #[test]

@@ -7,16 +7,28 @@
 //!
 //! ```text
 //! dqct --data 0,1 --answer 2 [--ancilla 3,4] [--scheme direct|dynamic1|dynamic2]
-//!      [--verify] [--stats] [--ascii] [--input FILE]
+//!      [--verify] [--stats] [--ascii] [--metrics[=json|text]]
+//!      [--shots N] [--seed N] [--input FILE | FILE]
 //! ```
 
 use dqc::{
-    transform_with_scheme, verify, DynamicScheme, QubitRoles, ResourceSummary,
+    transform_with_scheme_observed, verify, DynamicScheme, QubitRoles, ResourceSummary,
     TransformOptions,
 };
 use qcir::qasm::{from_qasm, to_qasm};
 use qcir::Qubit;
+use qobs::Observer;
+use qsim::Executor;
 use std::fmt::Write as _;
+
+/// Output format of the `--metrics` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// One machine-readable JSON document (replaces the QASM output).
+    Json,
+    /// Human-readable `// `-prefixed lines appended after the QASM.
+    Text,
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +49,12 @@ pub struct CliOptions {
     pub ascii: bool,
     /// Run the static exactness analysis and report the verdict.
     pub analyze: bool,
+    /// Collect and print pipeline + simulation metrics.
+    pub metrics: Option<MetricsFormat>,
+    /// Shots for the metrics-mode simulation of the dynamic circuit.
+    pub shots: u64,
+    /// RNG seed for the metrics-mode simulation (fixed for reproducibility).
+    pub seed: u64,
     /// Input file (`None` = stdin).
     pub input: Option<String>,
 }
@@ -52,6 +70,9 @@ impl Default for CliOptions {
             stats: false,
             ascii: false,
             analyze: false,
+            metrics: None,
+            shots: 1024,
+            seed: 7,
             input: None,
         }
     }
@@ -84,11 +105,41 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--analyze" => opts.analyze = true,
             "--stats" => opts.stats = true,
             "--ascii" => opts.ascii = true,
+            "--metrics" => opts.metrics = Some(MetricsFormat::Text),
+            "--shots" => {
+                let v = it.next().ok_or("--shots needs a value")?;
+                opts.shots = v
+                    .parse()
+                    .map_err(|_| format!("--shots: '{v}' is not a shot count"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: '{v}' is not a seed"))?;
+            }
             "--input" => {
                 opts.input = Some(it.next().ok_or("--input needs a value")?.clone());
             }
             "--help" | "-h" => return Err(usage()),
-            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+            other => {
+                if let Some(fmt) = other.strip_prefix("--metrics=") {
+                    opts.metrics = Some(match fmt {
+                        "json" => MetricsFormat::Json,
+                        "text" => MetricsFormat::Text,
+                        bad => {
+                            return Err(format!(
+                                "unknown metrics format '{bad}' (expected 'json' or 'text')"
+                            ))
+                        }
+                    });
+                } else if !other.starts_with('-') && opts.input.is_none() {
+                    // Positional input file: `dqct --metrics=json circuit.qasm`.
+                    opts.input = Some(other.to_string());
+                } else {
+                    return Err(format!("unknown argument '{other}'\n{}", usage()));
+                }
+            }
         }
     }
     if opts.answer.is_empty() {
@@ -114,10 +165,14 @@ fn parse_list(value: Option<&String>, flag: &str) -> Result<Vec<usize>, String> 
 pub fn usage() -> String {
     "usage: dqct --answer <i,j,...> [--data <i,...>] [--ancilla <i,...>]\n\
      \x20           [--scheme direct|dynamic1|dynamic2] [--verify] [--analyze]\n\
-     \x20           [--stats]\n\
-     \x20           [--ascii] [--input FILE]\n\
+     \x20           [--stats] [--metrics[=json|text]] [--shots N] [--seed N]\n\
+     \x20           [--ascii] [--input FILE | FILE]\n\
      Reads OpenQASM 3 from FILE or stdin; qubits not listed under --answer\n\
-     or --ancilla default to data."
+     or --ancilla default to data.\n\
+     --metrics instruments the transform, verification and a seeded\n\
+     simulation of the dynamic circuit, then prints the collected\n\
+     counters, gauges and timing histograms ('json' prints one JSON\n\
+     document instead of QASM; 'text' appends '//'-prefixed lines)."
         .to_string()
 }
 
@@ -142,9 +197,19 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         opts.ancilla.iter().map(|&i| Qubit::new(i)).collect(),
         opts.answer.iter().map(|&i| Qubit::new(i)).collect(),
     );
-    let dynamic =
-        transform_with_scheme(&circuit, &roles, opts.scheme, &TransformOptions::default())
-            .map_err(|e| e.to_string())?;
+    let obs = if opts.metrics.is_some() {
+        Observer::metrics_only()
+    } else {
+        Observer::disabled()
+    };
+    let dynamic = transform_with_scheme_observed(
+        &circuit,
+        &roles,
+        opts.scheme,
+        &TransformOptions::default(),
+        &obs,
+    )
+    .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
     if opts.ascii {
@@ -190,12 +255,35 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         }
     }
     if opts.verify {
-        let report = verify::compare(&circuit, &roles, &dynamic);
+        let report = verify::compare_observed(&circuit, &roles, &dynamic, &obs);
         let _ = writeln!(
             out,
             "// verify: tvd = {:.6}, expected outcome '{}' p_tradi = {:.4} p_dyn = {:.4}",
             report.tvd, report.expected_outcome, report.p_traditional, report.p_dynamic
         );
+    }
+    if let Some(format) = opts.metrics {
+        // Run the dynamic circuit through the shot executor under the same
+        // observer, so simulation counters land next to the transform spans.
+        Executor::new()
+            .shots(opts.shots)
+            .seed(opts.seed)
+            .observer(obs.clone())
+            .run(dynamic.circuit());
+        match format {
+            MetricsFormat::Json => {
+                // Machine-readable mode: the output is exactly one JSON
+                // document.
+                let mut json = obs.metrics().to_json();
+                json.push('\n');
+                return Ok(json);
+            }
+            MetricsFormat::Text => {
+                for line in obs.metrics().to_text().lines() {
+                    let _ = writeln!(out, "// {line}");
+                }
+            }
+        }
     }
     out.push_str(&to_qasm(dynamic.circuit()));
     Ok(out)
@@ -258,6 +346,88 @@ h q[1];
         let toffoli = "qubit[3] q;\nh q[0];\nh q[1];\ncx q[0], q[1];\nh q[0];\ncx q[1], q[2];\n";
         let out = run(toffoli, &opts).unwrap();
         assert!(out.contains("// analysis: APPROXIMATE"), "{out}");
+    }
+
+    #[test]
+    fn metrics_flag_parses_all_forms() {
+        let bare = parse_args(&args("--answer 2 --metrics")).unwrap();
+        assert_eq!(bare.metrics, Some(MetricsFormat::Text));
+        let json = parse_args(&args("--answer 2 --metrics=json")).unwrap();
+        assert_eq!(json.metrics, Some(MetricsFormat::Json));
+        let text = parse_args(&args("--answer 2 --metrics=text")).unwrap();
+        assert_eq!(text.metrics, Some(MetricsFormat::Text));
+        assert_eq!(bare.shots, 1024);
+        assert_eq!(bare.seed, 7);
+        let tuned = parse_args(&args("--answer 2 --metrics --shots 64 --seed 3")).unwrap();
+        assert_eq!((tuned.shots, tuned.seed), (64, 3));
+    }
+
+    #[test]
+    fn bad_metrics_format_is_a_clear_error() {
+        let err = parse_args(&args("--answer 2 --metrics=xml")).unwrap_err();
+        assert!(
+            err.contains("unknown metrics format 'xml'")
+                && err.contains("expected 'json' or 'text'"),
+            "{err}"
+        );
+        assert!(parse_args(&args("--answer 2 --shots lots")).is_err());
+        assert!(parse_args(&args("--answer 2 --seed abc")).is_err());
+    }
+
+    #[test]
+    fn positional_input_file_is_accepted() {
+        let o = parse_args(&args("--answer 2 circuit.qasm")).unwrap();
+        assert_eq!(o.input.as_deref(), Some("circuit.qasm"));
+        // A second positional is rejected.
+        assert!(parse_args(&args("--answer 2 a.qasm b.qasm")).is_err());
+    }
+
+    #[test]
+    fn metrics_json_mode_emits_one_valid_document() {
+        let opts = parse_args(&args("--answer 2 --metrics=json --shots 32")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        qobs::json::validate(&out).expect("output must be valid JSON");
+        // The acceptance-criteria fields are all present.
+        for key in [
+            "\"transform.lower_ns\"",
+            "\"transform.reorder_ns\"",
+            "\"transform.emit_ns\"",
+            "\"transform.peephole_ns\"",
+            "\"executor.run_ns\"",
+            "\"executor.shots\"",
+            "\"executor.gates.h\"",
+            "\"executor.resets\"",
+            "\"executor.mid_circuit_measurements\"",
+            "\"executor.cc_fired\"",
+            "\"executor.cc_skipped\"",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // 32 shots requested.
+        assert!(out.contains("\"executor.shots\":32"), "{out}");
+        // No QASM in JSON mode.
+        assert!(!out.contains("OPENQASM"));
+    }
+
+    #[test]
+    fn metrics_text_mode_appends_comments_and_keeps_qasm() {
+        let opts = parse_args(&args("--answer 2 --metrics --shots 16")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        assert!(out.contains("qubit[2] q;"), "{out}");
+        assert!(out.contains("// counter   executor.shots = 16"), "{out}");
+        assert!(from_qasm(&out).is_ok(), "QASM must stay parseable");
+    }
+
+    #[test]
+    fn metrics_runs_are_seed_reproducible() {
+        let opts = parse_args(&args("--answer 2 --metrics=json --shots 64 --seed 5")).unwrap();
+        let (a, b) = (run(BV_QASM, &opts).unwrap(), run(BV_QASM, &opts).unwrap());
+        let counters = |s: &str| {
+            let start = s.find("\"counters\"").unwrap();
+            let end = s.find("\"gauges\"").unwrap();
+            s[start..end].to_string()
+        };
+        assert_eq!(counters(&a), counters(&b));
     }
 
     #[test]

@@ -143,9 +143,7 @@ pub fn analyze(circuit: &Circuit, roles: &QubitRoles) -> Result<DqcAnalysis, cra
                 let OpKind::Gate(lg) = later.kind() else {
                     continue;
                 };
-                if let Some(wire_pos) =
-                    later.qubits().iter().position(|&q| q == ctrl)
-                {
+                if let Some(wire_pos) = later.qubits().iter().position(|&q| q == ctrl) {
                     if !diagonal_on(lg, wire_pos) {
                         conflicts.push(Conflict {
                             classicalized: idx,

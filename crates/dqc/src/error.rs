@@ -54,7 +54,10 @@ impl fmt::Display for DqcError {
                 write!(f, "cannot realize dynamically: {what} ({reason})")
             }
             DqcError::Incomplete { remaining } => {
-                write!(f, "transformation left {remaining} instruction(s) unscheduled")
+                write!(
+                    f,
+                    "transformation left {remaining} instruction(s) unscheduled"
+                )
             }
         }
     }

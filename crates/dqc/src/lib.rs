@@ -62,5 +62,7 @@ pub use error::DqcError;
 pub use pipeline::{Pipeline, PipelineResult};
 pub use reorder::reorder_work_qubits;
 pub use roles::{QubitRoles, Role};
-pub use scheme::{transform_with_scheme, DynamicScheme};
-pub use transform::{transform, DynamicCircuit, IterationInfo, TransformOptions};
+pub use scheme::{transform_with_scheme, transform_with_scheme_observed, DynamicScheme};
+pub use transform::{
+    transform, transform_observed, DynamicCircuit, IterationInfo, TransformOptions,
+};

@@ -8,10 +8,11 @@
 use crate::cost::ResourceSummary;
 use crate::error::DqcError;
 use crate::roles::QubitRoles;
-use crate::scheme::{transform_with_scheme, DynamicScheme};
+use crate::scheme::{transform_with_scheme_observed, DynamicScheme};
 use crate::transform::{DynamicCircuit, TransformOptions};
 use crate::verify::{self, EquivalenceReport};
 use qcir::Circuit;
+use qobs::Observer;
 use std::fmt;
 
 /// A configured transform-verify-account pipeline.
@@ -41,6 +42,7 @@ pub struct Pipeline {
     scheme: DynamicScheme,
     options: TransformOptions,
     compare_answers: bool,
+    observer: Observer,
 }
 
 impl Default for Pipeline {
@@ -58,6 +60,7 @@ impl Pipeline {
             scheme: DynamicScheme::Dynamic2,
             options: TransformOptions::default(),
             compare_answers: false,
+            observer: Observer::disabled(),
         }
     }
 
@@ -83,25 +86,64 @@ impl Pipeline {
         self
     }
 
+    /// Attaches an observability handle: every stage of
+    /// [`Pipeline::run`] records a span (`pipeline.transform`,
+    /// `pipeline.verify`, `pipeline.account`) into its metrics registry,
+    /// and the transformation itself emits its finer-grained spans and
+    /// events (see [`crate::transform_observed`]).
+    ///
+    /// The default is [`Observer::disabled`], under which every
+    /// instrumentation call is a no-op branch.
+    #[must_use]
+    pub fn observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
     /// Runs the pipeline.
     ///
     /// # Errors
     ///
     /// Propagates every error of
     /// [`transform_with_scheme`](crate::transform_with_scheme).
-    pub fn run(
-        &self,
-        circuit: &Circuit,
-        roles: &QubitRoles,
-    ) -> Result<PipelineResult, DqcError> {
-        let dynamic = transform_with_scheme(circuit, roles, self.scheme, &self.options)?;
-        let report = if self.compare_answers {
-            verify::compare_with_answers(circuit, roles, &dynamic)
-        } else {
-            verify::compare(circuit, roles, &dynamic)
+    pub fn run(&self, circuit: &Circuit, roles: &QubitRoles) -> Result<PipelineResult, DqcError> {
+        let obs = &self.observer;
+        let dynamic = {
+            let mut span = obs.span("pipeline.transform");
+            span.field("scheme", self.scheme.to_string());
+            span.field("qubits", circuit.num_qubits());
+            span.field("instructions", circuit.len());
+            transform_with_scheme_observed(circuit, roles, self.scheme, &self.options, obs)?
         };
-        let traditional = ResourceSummary::of_circuit(circuit);
-        let resources = ResourceSummary::of_dynamic(&dynamic);
+        let report = {
+            let _span = obs.span("pipeline.verify");
+            if self.compare_answers {
+                verify::compare_with_answers_observed(circuit, roles, &dynamic, obs)
+            } else {
+                verify::compare_observed(circuit, roles, &dynamic, obs)
+            }
+        };
+        let (traditional, resources) = {
+            let _span = obs.span("pipeline.account");
+            (
+                ResourceSummary::of_circuit(circuit),
+                ResourceSummary::of_dynamic(&dynamic),
+            )
+        };
+        obs.counter_add("pipeline.runs", 1);
+        obs.gauge_set("pipeline.last_tvd", report.tvd);
+        obs.event(
+            "pipeline.result",
+            &[
+                ("scheme", self.scheme.to_string().into()),
+                ("iterations", dynamic.num_iterations().into()),
+                (
+                    "qubit_saving",
+                    traditional.qubits.saturating_sub(resources.qubits).into(),
+                ),
+                ("tvd", report.tvd.into()),
+            ],
+        );
         Ok(PipelineResult {
             scheme: self.scheme,
             dynamic,
@@ -131,7 +173,9 @@ impl PipelineResult {
     /// Qubits saved by the dynamic realization.
     #[must_use]
     pub fn qubit_saving(&self) -> usize {
-        self.traditional.qubits.saturating_sub(self.resources.qubits)
+        self.traditional
+            .qubits
+            .saturating_sub(self.resources.qubits)
     }
 
     /// Depth overhead factor of the dynamic realization.
@@ -226,6 +270,53 @@ mod tests {
             .run(&cyclic, &QubitRoles::data_plus_answer(3))
             .unwrap_err();
         assert!(matches!(err, DqcError::CyclicDependency { .. }));
+    }
+
+    #[test]
+    fn observer_records_stage_spans_and_events() {
+        let sink = std::sync::Arc::new(qobs::CollectingSink::new());
+        let obs = Observer::with_sink(sink.clone());
+        Pipeline::new()
+            .observer(obs.clone())
+            .run(&dj_and(), &QubitRoles::data_plus_answer(3))
+            .unwrap();
+        let names = sink.span_names();
+        for expected in [
+            "transform.lower",
+            "transform.roles",
+            "transform.reorder",
+            "transform.emit",
+            "transform.peephole",
+            "verify.equivalence",
+            "pipeline.transform",
+            "pipeline.verify",
+            "pipeline.account",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+        // Per-stage timing histograms exist.
+        for h in ["pipeline.transform_ns", "verify.equivalence_ns"] {
+            assert_eq!(obs.metrics().histogram(h).unwrap().count, 1, "{h}");
+        }
+        assert_eq!(obs.metrics().counter("pipeline.runs"), Some(1));
+        // One transform.iteration event per iteration (dynamic-2 on one
+        // Toffoli: 2 data + 1 shared ancilla = 3).
+        let iteration_events = sink
+            .events()
+            .iter()
+            .filter(|e| e.name == "transform.iteration")
+            .count();
+        assert_eq!(iteration_events, 3);
+    }
+
+    #[test]
+    fn disabled_observer_leaves_registry_empty() {
+        let obs = Observer::disabled();
+        Pipeline::new()
+            .observer(obs.clone())
+            .run(&dj_and(), &QubitRoles::data_plus_answer(3))
+            .unwrap();
+        assert!(obs.metrics().is_empty());
     }
 
     #[test]

@@ -37,10 +37,7 @@ use qcir::{Circuit, Gate, OpKind, Qubit};
 /// let order = reorder_work_qubits(&c, &roles).unwrap();
 /// assert_eq!(order, vec![Qubit::new(1), Qubit::new(0)]);
 /// ```
-pub fn reorder_work_qubits(
-    circuit: &Circuit,
-    roles: &QubitRoles,
-) -> Result<Vec<Qubit>, DqcError> {
+pub fn reorder_work_qubits(circuit: &Circuit, roles: &QubitRoles) -> Result<Vec<Qubit>, DqcError> {
     let work = roles.work_qubits();
     let pos_of = |q: Qubit| work.iter().position(|&w| w == q);
     let n = work.len();
@@ -128,10 +125,7 @@ mod tests {
         let mut c = Circuit::new(3, 0);
         c.cx(q(0), q(2)).cx(q(1), q(2));
         let roles = QubitRoles::data_plus_answer(3);
-        assert_eq!(
-            reorder_work_qubits(&c, &roles).unwrap(),
-            vec![q(0), q(1)]
-        );
+        assert_eq!(reorder_work_qubits(&c, &roles).unwrap(), vec![q(0), q(1)]);
     }
 
     #[test]
@@ -139,10 +133,7 @@ mod tests {
         let mut c = Circuit::new(3, 0);
         c.cx(q(1), q(0));
         let roles = QubitRoles::data_plus_answer(3);
-        assert_eq!(
-            reorder_work_qubits(&c, &roles).unwrap(),
-            vec![q(1), q(0)]
-        );
+        assert_eq!(reorder_work_qubits(&c, &roles).unwrap(), vec![q(1), q(0)]);
     }
 
     #[test]
@@ -213,10 +204,7 @@ mod tests {
         let mut c = Circuit::new(3, 0);
         c.ccx(q(0), q(1), q(2));
         let roles = QubitRoles::data_plus_answer(3);
-        assert_eq!(
-            reorder_work_qubits(&c, &roles).unwrap(),
-            vec![q(0), q(1)]
-        );
+        assert_eq!(reorder_work_qubits(&c, &roles).unwrap(), vec![q(0), q(1)]);
     }
 
     #[test]

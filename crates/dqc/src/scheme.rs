@@ -14,9 +14,10 @@
 
 use crate::error::DqcError;
 use crate::roles::QubitRoles;
-use crate::transform::{transform, DynamicCircuit, TransformOptions};
+use crate::transform::{transform_observed, DynamicCircuit, TransformOptions};
 use qcir::decompose::{decompose_ccx, ToffoliStyle};
 use qcir::{Circuit, Gate, Qubit};
+use qobs::Observer;
 use std::fmt;
 
 /// Which dynamic realization of Toffoli gates to use.
@@ -77,21 +78,53 @@ pub fn transform_with_scheme(
     scheme: DynamicScheme,
     options: &TransformOptions,
 ) -> Result<DynamicCircuit, DqcError> {
+    transform_with_scheme_observed(circuit, roles, scheme, options, &Observer::disabled())
+}
+
+/// [`transform_with_scheme`] with instrumentation: a `transform.lower`
+/// span covers the Toffoli lowering (with `scheme` and before/after
+/// instruction counts as fields), then delegates to
+/// [`transform_observed`](crate::transform_observed).
+///
+/// # Errors
+///
+/// Same as [`transform_with_scheme`].
+pub fn transform_with_scheme_observed(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    scheme: DynamicScheme,
+    options: &TransformOptions,
+    obs: &Observer,
+) -> Result<DynamicCircuit, DqcError> {
     match scheme {
-        DynamicScheme::Direct => transform(circuit, roles, options),
+        DynamicScheme::Direct => transform_observed(circuit, roles, options, obs),
         DynamicScheme::Dynamic1 => {
-            let oriented = orient_toffolis(circuit, roles);
-            let lowered = decompose_ccx(&oriented, ToffoliStyle::CvChain);
-            transform(&lowered, roles, options)
+            let lowered = {
+                let mut span = obs.span("transform.lower");
+                span.field("scheme", "dynamic-1");
+                span.field("before", circuit.len());
+                let oriented = orient_toffolis(circuit, roles);
+                let lowered = decompose_ccx(&oriented, ToffoliStyle::CvChain);
+                span.field("after", lowered.len());
+                lowered
+            };
+            transform_observed(&lowered, roles, options, obs)
         }
         DynamicScheme::Dynamic2 => {
-            let ancillas = qcir::decompose::cv_ancilla_wires(circuit);
-            let lowered = decompose_ccx(circuit, ToffoliStyle::CvAncilla);
             let mut roles = roles.clone();
-            for a in ancillas {
-                roles = roles.with_extra_ancilla(a);
-            }
-            transform(&lowered, &roles, options)
+            let lowered = {
+                let mut span = obs.span("transform.lower");
+                span.field("scheme", "dynamic-2");
+                span.field("before", circuit.len());
+                let ancillas = qcir::decompose::cv_ancilla_wires(circuit);
+                let lowered = decompose_ccx(circuit, ToffoliStyle::CvAncilla);
+                for a in ancillas {
+                    roles = roles.with_extra_ancilla(a);
+                }
+                span.field("after", lowered.len());
+                lowered
+            };
+            transform_observed(&lowered, &roles, options, obs)
         }
     }
 }
@@ -170,10 +203,8 @@ mod tests {
     fn dynamic2_adds_exactly_one_iteration() {
         let roles = QubitRoles::data_plus_answer(3);
         let opts = TransformOptions::default();
-        let d1 =
-            transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic1, &opts).unwrap();
-        let d2 =
-            transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        let d1 = transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic1, &opts).unwrap();
+        let d2 = transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic2, &opts).unwrap();
         assert_eq!(d1.num_iterations(), 2);
         assert_eq!(d2.num_iterations(), 3);
         assert_eq!(CircuitStats::of(d2.circuit()).reset_count, 2);
@@ -201,8 +232,7 @@ mod tests {
         // plus two extra classically controlled X per Toffoli.
         let roles = QubitRoles::data_plus_answer(3);
         let opts = TransformOptions::default();
-        let d2 =
-            transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        let d2 = transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic2, &opts).unwrap();
         let s2 = CircuitStats::of(d2.circuit());
         assert_eq!(s2.conditioned_count, 2, "{}", d2.circuit());
 
@@ -220,8 +250,7 @@ mod tests {
             carry.h(q(d));
         }
         let roles4 = QubitRoles::data_plus_answer(4);
-        let dc =
-            transform_with_scheme(&carry, &roles4, DynamicScheme::Dynamic2, &opts).unwrap();
+        let dc = transform_with_scheme(&carry, &roles4, DynamicScheme::Dynamic2, &opts).unwrap();
         let sc = CircuitStats::of(dc.circuit());
         assert_eq!(sc.conditioned_count, 6, "{}", dc.circuit());
     }
@@ -248,13 +277,14 @@ mod tests {
         // Table II shape: tradi < dynamic-1 < dynamic-2 in gate count.
         let roles = QubitRoles::data_plus_answer(3);
         let opts = TransformOptions::default();
-        let d1 =
-            transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic1, &opts).unwrap();
-        let d2 =
-            transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        let d1 = transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic1, &opts).unwrap();
+        let d2 = transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic2, &opts).unwrap();
         let g1 = CircuitStats::of(d1.circuit()).gate_count;
         let g2 = CircuitStats::of(d2.circuit()).gate_count;
-        assert!(g1 < g2, "dynamic-1 ({g1}) should be smaller than dynamic-2 ({g2})");
+        assert!(
+            g1 < g2,
+            "dynamic-1 ({g1}) should be smaller than dynamic-2 ({g2})"
+        );
     }
 
     #[test]

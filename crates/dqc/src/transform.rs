@@ -29,6 +29,7 @@ use qcir::passes::{
     cancel_adjacent_inverses, merge_conditioned_x_runs, remove_dead_writes_assuming_discarded,
 };
 use qcir::{Circuit, Clbit, Condition, Gate, Instruction, OpKind, Qubit};
+use qobs::Observer;
 
 /// Options controlling the emitted dynamic circuit.
 ///
@@ -149,10 +150,7 @@ impl DynamicCircuit {
             }
         }
         boundaries.push(insts.len());
-        boundaries
-            .windows(2)
-            .map(|w| &insts[w[0]..w[1]])
-            .collect()
+        boundaries.windows(2).map(|w| &insts[w[0]..w[1]]).collect()
     }
 }
 
@@ -192,7 +190,34 @@ pub fn transform(
     roles: &QubitRoles,
     options: &TransformOptions,
 ) -> Result<DynamicCircuit, DqcError> {
-    roles.validate(circuit)?;
+    transform_observed(circuit, roles, options, &Observer::disabled())
+}
+
+/// [`transform`] with instrumentation: records spans for the role
+/// partition check (`transform.roles`), the work-qubit reorder
+/// (`transform.reorder`), the whole emission loop (`transform.emit`) and
+/// the peephole cleanup (`transform.peephole`), plus one
+/// `transform.iteration` event per emitted iteration.
+///
+/// With a disabled observer this is exactly [`transform`] — every
+/// instrumentation call short-circuits on a boolean.
+///
+/// # Errors
+///
+/// Same as [`transform`].
+pub fn transform_observed(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    options: &TransformOptions,
+    obs: &Observer,
+) -> Result<DynamicCircuit, DqcError> {
+    {
+        let mut span = obs.span("transform.roles");
+        span.field("data", roles.data().len());
+        span.field("ancilla", roles.ancilla().len());
+        span.field("answer", roles.answer().len());
+        roles.validate(circuit)?;
+    }
     for inst in circuit.iter() {
         if inst.kind().is_nonunitary() || inst.is_conditioned() {
             return Err(DqcError::Unrealizable {
@@ -201,15 +226,16 @@ pub fn transform(
             });
         }
     }
-    let work_order = reorder_work_qubits(circuit, roles)?;
+    let work_order = {
+        let mut span = obs.span("transform.reorder");
+        let order = reorder_work_qubits(circuit, roles)?;
+        span.field("work_qubits", order.len());
+        order
+    };
     let n_answer = roles.answer().len();
     let n_data = roles.data().len();
 
-    let mut out = Circuit::with_name(
-        format!("{}_dqc", circuit.name()),
-        1 + n_answer,
-        n_data,
-    );
+    let mut out = Circuit::with_name(format!("{}_dqc", circuit.name()), 1 + n_answer, n_data);
     let qd = Qubit::new(0);
     let answer_wires: Vec<Qubit> = (1..=n_answer).map(Qubit::new).collect();
     let result_bits: Vec<Clbit> = (0..n_data).map(Clbit::new).collect();
@@ -228,8 +254,10 @@ pub fn transform(
         .map(|inst| inst.is_barrier()) // barriers carry no semantics here
         .collect();
     let mut iterations = Vec::new();
+    let mut emit_span = obs.span("transform.emit");
 
     for (it, &w) in work_order.iter().enumerate() {
+        let emitted_before = out.len();
         if it > 0 || options.reset_first_iteration {
             out.reset(qd);
         }
@@ -249,9 +277,27 @@ pub fn transform(
             let bit = result_bits[roles.data_index(w).expect("data qubit has index")];
             out.measure(qd, bit);
         }
+        let role = roles.role_of(w).expect("work qubit has role");
+        obs.event(
+            "transform.iteration",
+            &[
+                ("index", it.into()),
+                ("work_qubit", w.index().into()),
+                (
+                    "role",
+                    if matches!(role, Role::Data) {
+                        "data".into()
+                    } else {
+                        "ancilla".into()
+                    },
+                ),
+                ("measured", is_data.into()),
+                ("emitted", (out.len() - emitted_before).into()),
+            ],
+        );
         iterations.push(IterationInfo {
             work_qubit: w,
-            role: roles.role_of(w).expect("work qubit has role"),
+            role,
             measured: is_data,
         });
         if options.insert_barriers && it + 1 < work_order.len() {
@@ -272,17 +318,23 @@ pub fn transform(
         &mut out,
     )?;
 
+    emit_span.field("iterations", iterations.len());
+    emit_span.field("instructions", out.len());
+    drop(emit_span);
+
     let remaining = transformed.iter().filter(|&&t| !t).count();
     if remaining > 0 {
         return Err(DqcError::Incomplete { remaining });
     }
 
     let circuit_out = if options.peephole {
+        let mut span = obs.span("transform.peephole");
+        let before = out.len();
         // The physical data qubit's final state is discarded (it is either
         // measured or a spent ancilla); answer wires stay live for later
         // composition. Iterate the passes to a fixed point.
         let mut current = out;
-        loop {
+        let cleaned = loop {
             let next = remove_dead_writes_assuming_discarded(
                 &merge_conditioned_x_runs(&cancel_adjacent_inverses(&current)),
                 &[qd],
@@ -291,7 +343,10 @@ pub fn transform(
                 break next;
             }
             current = next;
-        }
+        };
+        span.field("before", before);
+        span.field("after", cleaned.len());
+        cleaned
     } else {
         out
     };
@@ -417,9 +472,7 @@ fn schedule_iteration(
                 continue;
             }
             new_qubits.push(match roles.role_of(qb) {
-                Some(Role::Answer) => {
-                    answer_wires[roles.answer_index(qb).expect("answer indexed")]
-                }
+                Some(Role::Answer) => answer_wires[roles.answer_index(qb).expect("answer indexed")],
                 _ => qd,
             });
         }
@@ -450,11 +503,7 @@ fn schedule_iteration(
 }
 
 /// Removes `k` (classicalized) controls from a controlled gate.
-fn reduce_controls(
-    gate: &Gate,
-    k: usize,
-    inst: &Instruction,
-) -> Result<Option<Gate>, DqcError> {
+fn reduce_controls(gate: &Gate, k: usize, inst: &Instruction) -> Result<Option<Gate>, DqcError> {
     if k == 0 {
         return Ok(Some(gate.clone()));
     }
@@ -554,11 +603,7 @@ mod tests {
         c.h(q(0)).cx(q(0), q(1)).cx(q(1), q(2));
         let roles = QubitRoles::data_plus_answer(3);
         let d = transform(&c, &roles, &default_opts()).unwrap();
-        let conditioned: Vec<_> = d
-            .circuit()
-            .iter()
-            .filter(|i| i.is_conditioned())
-            .collect();
+        let conditioned: Vec<_> = d.circuit().iter().filter(|i| i.is_conditioned()).collect();
         assert_eq!(conditioned.len(), 1);
         assert_eq!(conditioned[0].as_gate(), Some(&Gate::X));
         assert_eq!(conditioned[0].qubits(), &[q(0)]); // physical data qubit
@@ -575,11 +620,7 @@ mod tests {
         c.ccx(q(0), q(1), q(2));
         let roles = QubitRoles::data_plus_answer(3);
         let d = transform(&c, &roles, &default_opts()).unwrap();
-        let conditioned: Vec<_> = d
-            .circuit()
-            .iter()
-            .filter(|i| i.is_conditioned())
-            .collect();
+        let conditioned: Vec<_> = d.circuit().iter().filter(|i| i.is_conditioned()).collect();
         assert_eq!(conditioned.len(), 1);
         assert_eq!(conditioned[0].as_gate(), Some(&Gate::Cx));
     }
@@ -694,11 +735,7 @@ mod tests {
         let d = transform(&tricky, &roles, &default_opts()).unwrap();
         // CV(d0, ans) deferred past d0's iteration must come back as a
         // classically conditioned V on the answer wire.
-        let conditioned: Vec<_> = d
-            .circuit()
-            .iter()
-            .filter(|i| i.is_conditioned())
-            .collect();
+        let conditioned: Vec<_> = d.circuit().iter().filter(|i| i.is_conditioned()).collect();
         assert_eq!(conditioned.len(), 1);
         assert_eq!(conditioned[0].as_gate(), Some(&Gate::V));
         assert_eq!(conditioned[0].qubits()[0], q(1)); // answer wire
@@ -712,11 +749,7 @@ mod tests {
         c.mcx(&[q(0), q(1), q(2)], q(3));
         let roles = QubitRoles::data_plus_answer(4);
         let d = transform(&c, &roles, &default_opts()).unwrap();
-        let conditioned: Vec<_> = d
-            .circuit()
-            .iter()
-            .filter(|i| i.is_conditioned())
-            .collect();
+        let conditioned: Vec<_> = d.circuit().iter().filter(|i| i.is_conditioned()).collect();
         assert_eq!(conditioned.len(), 1);
         assert_eq!(conditioned[0].as_gate(), Some(&Gate::Cx));
         match conditioned[0].condition().unwrap() {
@@ -740,11 +773,7 @@ mod tests {
         let roles = QubitRoles::new(vec![q(0), q(1)], vec![q(3)], vec![q(2)]);
         let d = transform(&c, &roles, &default_opts()).unwrap();
         // Uncompute X^c pairs after the CV are dead (ancilla discarded).
-        let conditioned = d
-            .circuit()
-            .iter()
-            .filter(|i| i.is_conditioned())
-            .count();
+        let conditioned = d.circuit().iter().filter(|i| i.is_conditioned()).count();
         assert_eq!(conditioned, 2, "{}", d.circuit());
     }
 
@@ -759,10 +788,7 @@ mod tests {
         // Each data iteration ends with its measurement.
         for (slice, info) in slices.iter().zip(d.iterations()) {
             if info.measured {
-                assert!(matches!(
-                    slice.last().unwrap().kind(),
-                    OpKind::Measure
-                ));
+                assert!(matches!(slice.last().unwrap().kind(), OpKind::Measure));
             }
         }
         // Every slice after the first starts with the separating reset.

@@ -10,6 +10,7 @@
 use crate::roles::QubitRoles;
 use crate::transform::DynamicCircuit;
 use qcir::{Circuit, Clbit};
+use qobs::Observer;
 use qsim::branch::exact_distribution;
 use qsim::Distribution;
 use std::fmt;
@@ -91,13 +92,27 @@ pub fn compare(
     roles: &QubitRoles,
     dynamic: &DynamicCircuit,
 ) -> EquivalenceReport {
+    compare_observed(circuit, roles, dynamic, &Observer::disabled())
+}
+
+/// [`compare`] with instrumentation: the exact equivalence check runs
+/// inside a `verify.equivalence` span carrying the resulting `tvd` and the
+/// two distributions' outcome counts as fields.
+#[must_use]
+pub fn compare_observed(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    dynamic: &DynamicCircuit,
+    obs: &Observer,
+) -> EquivalenceReport {
+    let mut span = obs.span("verify.equivalence");
     let traditional = traditional_distribution(circuit, roles);
     let dyn_dist = dynamic_distribution(dynamic);
     let tvd = traditional.tvd(&dyn_dist);
-    let expected = traditional
-        .argmax()
-        .unwrap_or_default()
-        .to_string();
+    span.field("tvd", tvd);
+    span.field("traditional_outcomes", traditional.len());
+    span.field("dynamic_outcomes", dyn_dist.len());
+    let expected = traditional.argmax().unwrap_or_default().to_string();
     let p_traditional = traditional.get(&expected);
     let p_dynamic = dyn_dist.get(&expected);
     EquivalenceReport {
@@ -120,6 +135,19 @@ pub fn compare_with_answers(
     roles: &QubitRoles,
     dynamic: &DynamicCircuit,
 ) -> EquivalenceReport {
+    compare_with_answers_observed(circuit, roles, dynamic, &Observer::disabled())
+}
+
+/// [`compare_with_answers`] with instrumentation; see [`compare_observed`].
+#[must_use]
+pub fn compare_with_answers_observed(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    dynamic: &DynamicCircuit,
+    obs: &Observer,
+) -> EquivalenceReport {
+    let mut span = obs.span("verify.equivalence");
+    span.field("with_answers", true);
     // Traditional side: measure data (register order) then answers above.
     let n_data = roles.data().len();
     let n_ans = roles.answer().len();
@@ -134,10 +162,7 @@ pub fn compare_with_answers(
     let traditional = exact_distribution(&measured);
 
     // Dynamic side: extend with answer measurements.
-    let mut dyn_measured = Circuit::new(
-        dynamic.circuit().num_qubits(),
-        n_data + n_ans,
-    );
+    let mut dyn_measured = Circuit::new(dynamic.circuit().num_qubits(), n_data + n_ans);
     dyn_measured.extend(dynamic.circuit());
     for (i, &a) in dynamic.answer_qubits().iter().enumerate() {
         dyn_measured.measure(a, Clbit::new(n_data + i));
@@ -145,6 +170,9 @@ pub fn compare_with_answers(
     let dyn_dist = exact_distribution(&dyn_measured);
 
     let tvd = traditional.tvd(&dyn_dist);
+    span.field("tvd", tvd);
+    span.field("traditional_outcomes", traditional.len());
+    span.field("dynamic_outcomes", dyn_dist.len());
     let expected = traditional.argmax().unwrap_or_default().to_string();
     let p_traditional = traditional.get(&expected);
     let p_dynamic = dyn_dist.get(&expected);
@@ -283,10 +311,8 @@ mod tests {
     fn dynamic2_beats_dynamic1_in_tvd() {
         let roles = QubitRoles::data_plus_answer(3);
         let opts = TransformOptions::default();
-        let d1 =
-            transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic1, &opts).unwrap();
-        let d2 =
-            transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic2, &opts).unwrap();
+        let d1 = transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic1, &opts).unwrap();
+        let d2 = transform_with_scheme(&dj_and(), &roles, DynamicScheme::Dynamic2, &opts).unwrap();
         let r1 = compare(&dj_and(), &roles, &d1);
         let r2 = compare(&dj_and(), &roles, &d2);
         assert!(

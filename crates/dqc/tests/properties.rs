@@ -6,10 +6,8 @@
 //! must be exactly functionally equivalent, so each random instance checks
 //! the full pipeline end to end.
 
+use dqc::{transform, transform_with_scheme, verify, DynamicScheme, QubitRoles, TransformOptions};
 use proptest::prelude::*;
-use dqc::{
-    transform, transform_with_scheme, verify, DynamicScheme, QubitRoles, TransformOptions,
-};
 use qcir::{Circuit, CircuitStats, Gate, Qubit};
 
 /// An oracle term: which data qubits control which X-power on the answer.

@@ -115,10 +115,7 @@ mod tests {
             let dist = exact_distribution_with_final_measure(&c, &data);
             // Key layout: data reversed (MSB first) = s reversed.
             let expect: String = s.chars().rev().collect();
-            assert!(
-                (dist.get(&expect) - 1.0).abs() < 1e-10,
-                "BV_{s}: {dist}"
-            );
+            assert!((dist.get(&expect) - 1.0).abs() < 1e-10, "BV_{s}: {dist}");
         }
     }
 

@@ -39,5 +39,5 @@ pub use grover::{grover_circuit, optimal_iterations};
 pub use oracle::TruthTable;
 pub use qpe::{estimate_from_bits, qpe_circuit};
 pub use simon::{run_simon, simon_circuit, simon_oracle, solve_gf2_nullspace};
-pub use teleport::teleport_circuit;
 pub use suites::{toffoli_free_suite, toffoli_suite, Benchmark};
+pub use teleport::teleport_circuit;

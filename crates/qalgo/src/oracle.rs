@@ -203,8 +203,7 @@ impl TruthTable {
                     c.ccx(inputs[monomial[0]], inputs[monomial[1]], target);
                 }
                 _ => {
-                    let controls: Vec<Qubit> =
-                        monomial.iter().map(|&i| inputs[i]).collect();
+                    let controls: Vec<Qubit> = monomial.iter().map(|&i| inputs[i]).collect();
                     c.mcx(&controls, target);
                 }
             }
@@ -291,11 +290,11 @@ mod tests {
     #[test]
     fn pprm_of_known_functions() {
         assert_eq!(TruthTable::and(2).pprm(), vec![vec![0, 1]]);
+        assert_eq!(TruthTable::xor(2).pprm(), vec![vec![0], vec![1]]);
         assert_eq!(
-            TruthTable::xor(2).pprm(),
-            vec![vec![0], vec![1]]
+            TruthTable::constant(2, true).pprm(),
+            vec![Vec::<usize>::new()]
         );
-        assert_eq!(TruthTable::constant(2, true).pprm(), vec![Vec::<usize>::new()]);
         assert!(TruthTable::constant(3, false).pprm().is_empty());
         // MAJ = ab xor ac xor bc.
         assert_eq!(

@@ -124,10 +124,7 @@ mod tests {
             let d = transform(&c, &roles, &TransformOptions::default()).unwrap();
             assert_eq!(d.circuit().num_qubits(), 2);
             let report = verify::compare(&c, &roles, &d);
-            assert!(
-                report.equivalent(1e-9),
-                "theta={theta}, n={n}: {report}"
-            );
+            assert!(report.equivalent(1e-9), "theta={theta}, n={n}: {report}");
         }
     }
 

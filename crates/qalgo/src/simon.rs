@@ -172,23 +172,17 @@ mod tests {
                 // Evaluate the oracle on |x>|0> and read the output register.
                 let mut sv = StateVector::basis_state(2 * n, x);
                 for inst in circ.iter() {
-                    let qs: Vec<usize> =
-                        inst.qubits().iter().map(|q| q.index()).collect();
+                    let qs: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
                     sv.apply_gate(inst.as_gate().unwrap(), &qs);
                 }
-                let idx = sv
-                    .probabilities()
-                    .iter()
-                    .position(|&p| p > 0.5)
-                    .unwrap();
+                let idx = sv.probabilities().iter().position(|&p| p > 0.5).unwrap();
                 idx >> n
             };
             for x in 0..1usize << n {
                 assert_eq!(f(x), f(x ^ s_val), "s={s_str}, x={x:b}");
             }
             // 2-to-1: image has half the size.
-            let image: std::collections::BTreeSet<usize> =
-                (0..1usize << n).map(f).collect();
+            let image: std::collections::BTreeSet<usize> = (0..1usize << n).map(f).collect();
             assert_eq!(image.len(), 1 << (n - 1), "s={s_str}");
         }
     }
@@ -226,10 +220,7 @@ mod tests {
         // Redundant rows do not add rank (n = 3 needs two independent).
         assert!(solve_gf2_nullspace(&[0b011, 0b011], 3).is_none());
         // While a single row is already full rank for n = 2.
-        assert_eq!(
-            solve_gf2_nullspace(&[0b01], 2),
-            Some(vec![false, true])
-        );
+        assert_eq!(solve_gf2_nullspace(&[0b01], 2), Some(vec![false, true]));
     }
 
     #[test]

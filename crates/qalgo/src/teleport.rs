@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn teleportation_preserves_bloch_vector_for_many_states() {
         let preparations: Vec<fn(&mut Circuit, Qubit)> = vec![
-            |_, _| {},                                  // |0>
+            |_, _| {}, // |0>
             |c, q| {
                 c.x(q);
             }, // |1>

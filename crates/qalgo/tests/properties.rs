@@ -1,7 +1,7 @@
 //! Property-based tests for the algorithm generators.
 
-use proptest::prelude::*;
 use dqc::{transform, verify, QubitRoles, TransformOptions};
+use proptest::prelude::*;
 use qalgo::{bv_circuit, dj_circuit, qpe_circuit, TruthTable};
 use qcir::Qubit;
 use qsim::branch::exact_distribution_with_final_measure;

@@ -17,8 +17,8 @@ use crate::gate::Gate;
 use crate::instruction::{Instruction, OpKind};
 use crate::register::Qubit;
 use std::error::Error;
-use std::fmt;
 use std::f64::consts::PI;
+use std::fmt;
 
 /// An angle that cannot be represented exactly in the target basis.
 #[derive(Debug, Clone, PartialEq)]
@@ -193,7 +193,10 @@ fn template(tpl: &Circuit, qs: &[Qubit]) -> Vec<Instruction> {
     tpl.iter()
         .map(|inst| {
             let mapped: Vec<Qubit> = inst.qubits().iter().map(|q| qs[q.index()]).collect();
-            Instruction::gate(inst.as_gate().expect("templates are unitary").clone(), mapped)
+            Instruction::gate(
+                inst.as_gate().expect("templates are unitary").clone(),
+                mapped,
+            )
         })
         .collect()
 }
@@ -258,7 +261,14 @@ mod tests {
         ] {
             check_gate(g, 1);
         }
-        for g in [Gate::Cx, Gate::Cy, Gate::Cz, Gate::Cv, Gate::Cvdg, Gate::Swap] {
+        for g in [
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Cv,
+            Gate::Cvdg,
+            Gate::Swap,
+        ] {
             check_gate(g, 2);
         }
         for g in [Gate::Ccx, Gate::Ccz] {
@@ -301,9 +311,7 @@ mod tests {
         c.mcx(&[q(0), q(1), q(2), q(3)], q(4));
         let lowered = lower_to_clifford_t(&c).unwrap();
         assert!(lowered.num_qubits() > 5); // ladder ancillas appended
-        assert!(lowered
-            .iter()
-            .all(|i| is_basis_gate(i.as_gate().unwrap())));
+        assert!(lowered.iter().all(|i| is_basis_gate(i.as_gate().unwrap())));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::error::CircuitError;
 use crate::gate::Gate;
 use crate::instruction::{Condition, Instruction, OpKind};
-use crate::register::{ClassicalRegister, Clbit, Qubit, QuantumRegister};
+use crate::register::{ClassicalRegister, Clbit, QuantumRegister, Qubit};
 use std::fmt;
 
 /// A quantum circuit: an ordered list of [`Instruction`]s over a set of
@@ -478,8 +478,7 @@ impl Circuit {
         self.instructions.iter().enumerate().any(|(idx, i)| {
             matches!(i.kind(), OpKind::Reset)
                 || i.is_conditioned()
-                || (matches!(i.kind(), OpKind::Measure)
-                    && last_quantum_op.is_some_and(|l| idx < l))
+                || (matches!(i.kind(), OpKind::Measure) && last_quantum_op.is_some_and(|l| idx < l))
         })
     }
 
@@ -570,8 +569,7 @@ mod tests {
     #[test]
     fn try_push_rejects_out_of_range_condition_bit() {
         let mut circ = Circuit::new(1, 1);
-        let inst =
-            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::bit(c(3)));
+        let inst = Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::bit(c(3)));
         assert!(matches!(
             circ.try_push(inst),
             Err(CircuitError::ClbitOutOfRange { .. })
@@ -699,7 +697,10 @@ mod tests {
     fn into_iterator_yields_instructions() {
         let mut circ = Circuit::new(1, 0);
         circ.h(q(0)).x(q(0));
-        let names: Vec<_> = (&circ).into_iter().map(|i| i.kind().name().to_string()).collect();
+        let names: Vec<_> = (&circ)
+            .into_iter()
+            .map(|i| i.kind().name().to_string())
+            .collect();
         assert_eq!(names, vec!["h", "x"]);
     }
 }

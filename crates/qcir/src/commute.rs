@@ -34,8 +34,16 @@ const COMMUTE_TOL: f64 = 1e-9;
 /// ```
 #[must_use]
 pub fn gates_commute(a: &Gate, a_qubits: &[Qubit], b: &Gate, b_qubits: &[Qubit]) -> bool {
-    assert_eq!(a_qubits.len(), a.num_qubits(), "operand count mismatch for {a}");
-    assert_eq!(b_qubits.len(), b.num_qubits(), "operand count mismatch for {b}");
+    assert_eq!(
+        a_qubits.len(),
+        a.num_qubits(),
+        "operand count mismatch for {a}"
+    );
+    assert_eq!(
+        b_qubits.len(),
+        b.num_qubits(),
+        "operand count mismatch for {b}"
+    );
     if a_qubits.iter().all(|q| !b_qubits.contains(q)) {
         return true;
     }
@@ -81,9 +89,7 @@ pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
     let share_clbit = a_cl.iter().any(|c| b_cl.contains(c));
 
     match (a.kind(), b.kind()) {
-        (OpKind::Gate(ga), OpKind::Gate(gb))
-            if !a.is_conditioned() && !b.is_conditioned() =>
-        {
+        (OpKind::Gate(ga), OpKind::Gate(gb)) if !a.is_conditioned() && !b.is_conditioned() => {
             gates_commute(ga, a.qubits(), gb, b.qubits())
         }
         _ => !share_qubit && !share_clbit,
@@ -129,18 +135,33 @@ mod tests {
 
     #[test]
     fn cnots_sharing_control_commute() {
-        assert!(gates_commute(&Gate::Cx, &[q(0), q(1)], &Gate::Cx, &[q(0), q(2)]));
+        assert!(gates_commute(
+            &Gate::Cx,
+            &[q(0), q(1)],
+            &Gate::Cx,
+            &[q(0), q(2)]
+        ));
     }
 
     #[test]
     fn cnots_sharing_target_commute() {
-        assert!(gates_commute(&Gate::Cx, &[q(0), q(2)], &Gate::Cx, &[q(1), q(2)]));
+        assert!(gates_commute(
+            &Gate::Cx,
+            &[q(0), q(2)],
+            &Gate::Cx,
+            &[q(1), q(2)]
+        ));
     }
 
     #[test]
     fn cnot_chain_does_not_commute() {
         // CX(0->1) and CX(1->2) share qubit 1 as target/control.
-        assert!(!gates_commute(&Gate::Cx, &[q(0), q(1)], &Gate::Cx, &[q(1), q(2)]));
+        assert!(!gates_commute(
+            &Gate::Cx,
+            &[q(0), q(1)],
+            &Gate::Cx,
+            &[q(1), q(2)]
+        ));
     }
 
     #[test]
@@ -183,7 +204,12 @@ mod tests {
 
     #[test]
     fn swap_and_cx_overlap() {
-        assert!(!gates_commute(&Gate::Swap, &[q(0), q(1)], &Gate::Cx, &[q(0), q(2)]));
+        assert!(!gates_commute(
+            &Gate::Swap,
+            &[q(0), q(1)],
+            &Gate::Cx,
+            &[q(0), q(2)]
+        ));
     }
 
     #[test]
@@ -207,15 +233,15 @@ mod tests {
     #[test]
     fn measurement_blocks_condition_on_same_bit() {
         let m = Instruction::measure(q(0), Clbit::new(0));
-        let g = Instruction::gate(Gate::X, vec![q(1)])
-            .with_condition(Condition::bit(Clbit::new(0)));
+        let g =
+            Instruction::gate(Gate::X, vec![q(1)]).with_condition(Condition::bit(Clbit::new(0)));
         assert!(!instructions_commute(&m, &g));
     }
 
     #[test]
     fn conditioned_gates_are_conservative_even_when_matrices_commute() {
-        let a = Instruction::gate(Gate::X, vec![q(0)])
-            .with_condition(Condition::bit(Clbit::new(0)));
+        let a =
+            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::bit(Clbit::new(0)));
         let b = Instruction::gate(Gate::V, vec![q(0)]);
         // X and V commute as matrices, but the conditioned X is treated
         // conservatively because its action depends on the classical state.

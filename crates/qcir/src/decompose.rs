@@ -66,11 +66,7 @@ pub fn ccx_clifford_t() -> Circuit {
 pub fn ccx_cv() -> Circuit {
     let (c0, c1, t) = (Qubit::new(0), Qubit::new(1), Qubit::new(2));
     let mut c = Circuit::with_name("ccx_cv", 3, 0);
-    c.cv(c1, t)
-        .cx(c0, c1)
-        .cvdg(c1, t)
-        .cx(c0, c1)
-        .cv(c0, t);
+    c.cv(c1, t).cx(c0, c1).cvdg(c1, t).cx(c0, c1).cv(c0, t);
     c
 }
 
@@ -101,7 +97,15 @@ pub fn ccx_cv_ancilla() -> Circuit {
 #[must_use]
 pub fn cv_clifford_t(dagger: bool) -> Circuit {
     let (c0, t) = (Qubit::new(0), Qubit::new(1));
-    let mut c = Circuit::with_name(if dagger { "cvdg_clifford_t" } else { "cv_clifford_t" }, 2, 0);
+    let mut c = Circuit::with_name(
+        if dagger {
+            "cvdg_clifford_t"
+        } else {
+            "cv_clifford_t"
+        },
+        2,
+        0,
+    );
     c.h(t);
     if dagger {
         c.tdg(c0).tdg(t).cx(c0, t).t(t).cx(c0, t);
@@ -326,8 +330,11 @@ mod tests {
     #[test]
     fn decompose_ccx_ancilla_adds_one_shared_wire() {
         let mut c = Circuit::new(4, 0);
-        c.ccx(Qubit::new(0), Qubit::new(1), Qubit::new(3))
-            .ccx(Qubit::new(1), Qubit::new(2), Qubit::new(3));
+        c.ccx(Qubit::new(0), Qubit::new(1), Qubit::new(3)).ccx(
+            Qubit::new(1),
+            Qubit::new(2),
+            Qubit::new(3),
+        );
         let lowered = decompose_ccx(&c, ToffoliStyle::CvAncilla);
         assert_eq!(lowered.num_qubits(), 5);
         assert_eq!(lowered.len(), 14);

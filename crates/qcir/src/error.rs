@@ -33,10 +33,16 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
-                write!(f, "classical bit {clbit} out of range for {num_clbits}-bit circuit")
+                write!(
+                    f,
+                    "classical bit {clbit} out of range for {num_clbits}-bit circuit"
+                )
             }
             CircuitError::NotUnitary { what } => {
                 write!(f, "operation has no unitary representation: {what}")

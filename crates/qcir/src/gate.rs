@@ -1,6 +1,6 @@
 //! The gate set: unitary operations and their matrices.
 
-use qmath::{C64, CMatrix};
+use qmath::{CMatrix, C64};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
 use std::fmt;
 
@@ -103,13 +103,7 @@ impl Gate {
             | Gate::Rx(_)
             | Gate::Ry(_)
             | Gate::Rz(_) => 1,
-            Gate::Cx
-            | Gate::Cy
-            | Gate::Cz
-            | Gate::Cp(_)
-            | Gate::Cv
-            | Gate::Cvdg
-            | Gate::Swap => 2,
+            Gate::Cx | Gate::Cy | Gate::Cz | Gate::Cp(_) | Gate::Cv | Gate::Cvdg | Gate::Swap => 2,
             Gate::Ccx | Gate::Ccz => 3,
             Gate::Mcx(n) => n + 1,
         }

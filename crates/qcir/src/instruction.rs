@@ -58,7 +58,10 @@ impl Condition {
     /// Panics if `bits` is empty or `value` does not fit in `bits.len()` bits.
     #[must_use]
     pub fn register(bits: Vec<Clbit>, value: u64) -> Self {
-        assert!(!bits.is_empty(), "register condition needs at least one bit");
+        assert!(
+            !bits.is_empty(),
+            "register condition needs at least one bit"
+        );
         assert!(
             bits.len() >= 64 || value < (1u64 << bits.len()),
             "value {value} does not fit in {} bits",
@@ -433,8 +436,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "barriers cannot be conditioned")]
     fn barrier_rejects_condition() {
-        let _ = Instruction::barrier(vec![Qubit::new(0)])
-            .with_condition(Condition::bit(Clbit::new(0)));
+        let _ =
+            Instruction::barrier(vec![Qubit::new(0)]).with_condition(Condition::bit(Clbit::new(0)));
     }
 
     #[test]

@@ -50,4 +50,4 @@ pub use error::CircuitError;
 pub use gate::Gate;
 pub use instruction::{Condition, Instruction, OpKind};
 pub use metrics::{depth, gate_count, CircuitStats};
-pub use register::{ClassicalRegister, Clbit, Qubit, QuantumRegister};
+pub use register::{ClassicalRegister, Clbit, QuantumRegister, Qubit};

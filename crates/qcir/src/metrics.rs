@@ -73,7 +73,10 @@ impl CircuitStats {
                 continue;
             }
             stats.gate_count += 1;
-            *stats.by_name.entry(inst.kind().name().to_string()).or_insert(0) += 1;
+            *stats
+                .by_name
+                .entry(inst.kind().name().to_string())
+                .or_insert(0) += 1;
             match inst.kind() {
                 OpKind::Measure => stats.measure_count += 1,
                 OpKind::Reset => stats.reset_count += 1,
@@ -145,7 +148,11 @@ pub fn depth(circuit: &Circuit) -> usize {
             .chain(wires_c.iter().map(|&w| clevel[w]))
             .max()
             .unwrap_or(0);
-        let new = if inst.is_barrier() { current } else { current + 1 };
+        let new = if inst.is_barrier() {
+            current
+        } else {
+            current + 1
+        };
         for w in wires_q {
             qlevel[w] = new;
         }
@@ -232,9 +239,7 @@ mod tests {
         circ.h(q(0)).cx(q(0), q(1));
         circ.measure(q(0), c(0));
         circ.reset(q(0));
-        circ.push(
-            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::bit(c(0))),
-        );
+        circ.push(Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::bit(c(0))));
         let s = CircuitStats::of(&circ);
         assert_eq!(s.gate_count, 5);
         assert_eq!(s.unitary_count, 2);

@@ -44,8 +44,7 @@ pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
             for (offset, b) in insts[i + 1..].iter().enumerate() {
                 let j = i + 1 + offset;
                 let shares_wire = a.qubits().iter().any(|q| b.qubits().contains(q))
-                    || a
-                        .clbits_read()
+                    || a.clbits_read()
                         .iter()
                         .any(|c| b.clbits_written().contains(c) || b.clbits_read().contains(c));
                 if !shares_wire {
@@ -287,7 +286,10 @@ mod tests {
     #[test]
     fn cx_pairs_cancel_only_on_same_operands() {
         let mut circ = Circuit::new(3, 0);
-        circ.cx(q(0), q(1)).cx(q(0), q(1)).cx(q(0), q(2)).cx(q(2), q(0));
+        circ.cx(q(0), q(1))
+            .cx(q(0), q(1))
+            .cx(q(0), q(2))
+            .cx(q(2), q(0));
         let out = cancel_adjacent_inverses(&circ);
         assert_eq!(out.len(), 2);
     }
@@ -416,11 +418,7 @@ mod tests {
     #[test]
     fn peephole_combines_both_passes() {
         let mut circ = Circuit::new(2, 1);
-        circ.h(q(0))
-            .h(q(0))
-            .x(q(1))
-            .reset(q(1))
-            .measure(q(0), c(0));
+        circ.h(q(0)).h(q(0)).x(q(1)).reset(q(1)).measure(q(0), c(0));
         let out = peephole_optimize(&circ);
         assert_eq!(out.len(), 2); // reset + measure survive
     }

@@ -134,7 +134,11 @@ impl ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

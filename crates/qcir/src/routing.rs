@@ -38,7 +38,10 @@ impl CouplingMap {
     #[must_use]
     pub fn new(num_qubits: usize, edges: Vec<(usize, usize)>) -> Self {
         for &(a, b) in &edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-coupling ({a},{a})");
         }
         Self { num_qubits, edges }
@@ -271,9 +274,7 @@ pub fn route(circuit: &Circuit, map: &CouplingMap) -> Result<RoutedCircuit, Rout
                         }
                         e
                     }
-                    OpKind::Measure => {
-                        Instruction::measure(mapped[0], inst.clbits()[0])
-                    }
+                    OpKind::Measure => Instruction::measure(mapped[0], inst.clbits()[0]),
                     OpKind::Reset => Instruction::reset(mapped[0]),
                     OpKind::Barrier => Instruction::barrier(mapped),
                 };
@@ -361,7 +362,11 @@ mod tests {
         // Compare unitaries: routed circuit followed by undoing the final
         // layout permutation equals the original.
         let mut c = Circuit::new(4, 0);
-        c.h(q(0)).cx(q(0), q(3)).cx(q(1), q(2)).cx(q(3), q(1)).t(q(2));
+        c.h(q(0))
+            .cx(q(0), q(3))
+            .cx(q(1), q(2))
+            .cx(q(3), q(1))
+            .t(q(2));
         let map = CouplingMap::line(4);
         let routed = route(&c, &map).unwrap();
         // Build a comparison circuit: routed + swaps restoring identity
@@ -433,7 +438,11 @@ mod tests {
             .measure(q(0), crate::register::Clbit::new(0))
             .reset(q(0))
             .x_if(q(0), crate::register::Clbit::new(0));
-        for map in [CouplingMap::line(2), CouplingMap::line(5), CouplingMap::ring(4)] {
+        for map in [
+            CouplingMap::line(2),
+            CouplingMap::line(5),
+            CouplingMap::ring(4),
+        ] {
             let routed = route(&c, &map).unwrap();
             assert_eq!(routed.swaps_inserted, 0);
         }

@@ -25,8 +25,13 @@ fn arb_gate() -> impl Strategy<Value = (Gate, Vec<usize>)> {
     });
     let two = (0usize..NQ, 0usize..NQ - 1).prop_flat_map(|(a, b)| {
         let b = if b >= a { b + 1 } else { b };
-        prop_oneof![Just(Gate::Cx), Just(Gate::Cz), Just(Gate::Cv), Just(Gate::Cvdg)]
-            .prop_map(move |g| (g, vec![a, b]))
+        prop_oneof![
+            Just(Gate::Cx),
+            Just(Gate::Cz),
+            Just(Gate::Cv),
+            Just(Gate::Cvdg)
+        ]
+        .prop_map(move |g| (g, vec![a, b]))
     });
     prop_oneof![one, two]
 }

@@ -331,9 +331,7 @@ mod tests {
 
     #[test]
     fn sum_accumulates() {
-        let s: C64 = [C64::one(), C64::i(), C64::new(1.0, 1.0)]
-            .into_iter()
-            .sum();
+        let s: C64 = [C64::one(), C64::i(), C64::new(1.0, 1.0)].into_iter().sum();
         assert_eq!(s, C64::new(2.0, 2.0));
     }
 

@@ -273,7 +273,10 @@ impl CMatrix {
     /// `true` when `self * self.dagger()` is the identity to tolerance `tol`.
     #[must_use]
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.is_square() && self.mul(&self.dagger()).approx_eq(&Self::identity(self.rows), tol)
+        self.is_square()
+            && self
+                .mul(&self.dagger())
+                .approx_eq(&Self::identity(self.rows), tol)
     }
 
     /// `true` when the matrix equals its own conjugate transpose.
@@ -355,7 +358,10 @@ impl CMatrix {
         assert!(self.is_square(), "embed requires a square operator");
         assert_eq!(self.rows, 1 << k, "operator dimension must be 2^positions");
         for (idx, &p) in positions.iter().enumerate() {
-            assert!(p < num_qubits, "position {p} out of range for {num_qubits} qubits");
+            assert!(
+                p < num_qubits,
+                "position {p} out of range for {num_qubits} qubits"
+            );
             assert!(
                 !positions[..idx].contains(&p),
                 "duplicate position {p} in embed"

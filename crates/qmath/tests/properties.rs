@@ -2,7 +2,7 @@
 //! unitaries composed from elementary gate matrices.
 
 use proptest::prelude::*;
-use qmath::{C64, CMatrix};
+use qmath::{CMatrix, C64};
 
 /// Elementary 2x2 unitaries to compose from.
 fn elem(idx: u8) -> CMatrix {

@@ -1,0 +1,434 @@
+//! Hand-rolled JSON emission and a minimal validating parser.
+//!
+//! The workspace is offline (no `serde`), so the observability layer writes
+//! its own JSON. [`JsonWriter`] produces compact, valid JSON with correct
+//! string escaping; [`validate`] is a small recursive-descent checker used
+//! by tests (and the CLI's self-checks) to assert that emitted documents
+//! are well-formed without pulling in a parser dependency.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(qobs::json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+/// assert_eq!(qobs::json::escape("plain"), "plain");
+/// ```
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; those are
+/// emitted as `null`).
+#[must_use]
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest round-trip representation Rust offers.
+        let s = format!("{v}");
+        // `{}` on f64 never produces exponent-free integers with a dot for
+        // whole numbers; JSON accepts both, so pass through.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental writer for compact JSON documents.
+///
+/// Tracks nesting and comma placement so call sites stay linear:
+///
+/// ```
+/// use qobs::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("carry");
+/// w.key("shots");
+/// w.uint(1024);
+/// w.end_object();
+/// let doc = w.finish();
+/// assert_eq!(doc, r#"{"name":"carry","shots":1024}"#);
+/// assert!(qobs::json::validate(&doc).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Per-depth flag: does the current container already hold an item?
+    has_item: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn comma_if_needed(&mut self) {
+        if let Some(has) = self.has_item.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) {
+        self.comma_if_needed();
+        self.out.push('{');
+        self.has_item.push(false);
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) {
+        self.has_item.pop();
+        self.out.push('}');
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) {
+        self.comma_if_needed();
+        self.out.push('[');
+        self.has_item.push(false);
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) {
+        self.has_item.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next value call provides its value.
+    pub fn key(&mut self, k: &str) {
+        self.comma_if_needed();
+        let _ = write!(self.out, "\"{}\":", escape(k));
+        // The value that follows must not emit its own comma.
+        if let Some(has) = self.has_item.last_mut() {
+            *has = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) {
+        self.comma_if_needed();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn uint(&mut self, v: u64) {
+        self.comma_if_needed();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a signed integer value.
+    pub fn int(&mut self, v: i64) {
+        self.comma_if_needed();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a float value (`null` for non-finite).
+    pub fn float(&mut self, v: f64) {
+        self.comma_if_needed();
+        let _ = write!(self.out, "{}", number(v));
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.comma_if_needed();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes pre-rendered JSON (caller guarantees validity).
+    pub fn raw(&mut self, json: &str) {
+        self.comma_if_needed();
+        self.out.push_str(json);
+    }
+
+    /// Returns the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics when containers are still open (a structural bug at the call
+    /// site).
+    #[must_use]
+    pub fn finish(self) -> String {
+        assert!(
+            self.has_item.is_empty(),
+            "JsonWriter::finish with {} unclosed container(s)",
+            self.has_item.len()
+        );
+        self.out
+    }
+}
+
+/// Validates that `s` is one complete, well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable message with the byte offset of the first
+/// problem.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {}", *c as char, *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {}", *pos));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials_and_controls() {
+        assert_eq!(escape(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape("back\\slash"), "back\\\\slash");
+        assert_eq!(escape("tab\there"), "tab\\there");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+        assert_eq!(escape("unicode: π ✓"), "unicode: π ✓");
+    }
+
+    #[test]
+    fn writer_nests_objects_and_arrays() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("list");
+        w.begin_array();
+        w.uint(1);
+        w.uint(2);
+        w.begin_object();
+        w.key("x");
+        w.float(0.5);
+        w.end_object();
+        w.end_array();
+        w.key("flag");
+        w.bool(true);
+        w.end_object();
+        let doc = w.finish();
+        assert_eq!(doc, r#"{"list":[1,2,{"x":0.5}],"flag":true}"#);
+        assert!(validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn writer_escapes_keys_and_strings() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("we\"ird\nkey");
+        w.string("va\\lue");
+        w.end_object();
+        let doc = w.finish();
+        assert!(validate(&doc).is_ok(), "{doc}");
+        assert!(doc.contains("\\\"ird\\nkey"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(1.5), "1.5");
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            r#"{"a":[1,2,3],"b":{"c":"d\""}}"#,
+            "  [ true , false , null ]  ",
+        ] {
+            assert!(validate(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[01x]",
+        ] {
+            assert!(validate(doc).is_err(), "{doc}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # qobs — zero-dependency observability for the dqct pipeline
+//!
+//! `qobs` provides tracing (events + timed spans), metrics (counters,
+//! gauges, log-scale histograms) and JSON/text rendering with **no
+//! external crate dependencies**, so the workspace builds fully offline.
+//!
+//! The central type is [`Observer`]: a cheap-to-clone handle bundling an
+//! [`EventSink`] and a [`MetricsRegistry`]. Library code accepts an
+//! `Observer` and instruments itself with [`Observer::span`],
+//! [`Observer::event`] and [`Observer::counter_add`]; when the observer is
+//! disabled every one of those calls short-circuits on a boolean — no
+//! timestamps, no allocation, no locking. That is the
+//! zero-overhead-when-disabled guarantee the simulator hot path relies on.
+//!
+//! ```
+//! use qobs::Observer;
+//!
+//! let obs = Observer::collecting();
+//! obs.counter_add("shots", 16);
+//! {
+//!     let mut span = obs.span("transform");
+//!     span.field("iterations", 3u64);
+//! }
+//! assert_eq!(obs.metrics().counter("shots"), Some(16));
+//! assert_eq!(obs.metrics().histogram("transform_ns").unwrap().count, 1);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod sink;
+
+pub use metrics::{Histogram, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use observer::{Observer, SpanGuard};
+pub use sink::{CollectingSink, Event, EventSink, FieldValue, FmtSink, NullSink, SpanRecord};

@@ -1,0 +1,447 @@
+//! Counters, gauges and log-scale timing histograms with hand-rolled JSON
+//! and text serialization.
+
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of log₂ buckets: bucket `i` (for `i ≥ 1`) holds values `v` with
+/// `2^(i-1) ≤ v < 2^i`; bucket 0 holds `v == 0`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Maps a value (e.g. nanoseconds) to its log₂ bucket index.
+///
+/// # Examples
+///
+/// ```
+/// use qobs::metrics::bucket_index;
+/// assert_eq!(bucket_index(0), 0);
+/// assert_eq!(bucket_index(1), 1);
+/// assert_eq!(bucket_index(2), 2);
+/// assert_eq!(bucket_index(3), 2);
+/// assert_eq!(bucket_index(4), 3);
+/// assert_eq!(bucket_index(u64::MAX), 64);
+/// ```
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// A log₂-bucketed histogram (values are u64, conventionally nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket occupancy; see [`bucket_index`].
+    pub buckets: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u128,
+    /// Minimum observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Maximum observation (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean observation, or 0 for an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(f64),
+    /// Log-scale distribution.
+    Histogram(Histogram),
+}
+
+/// A registry of named counters, gauges and histograms.
+///
+/// Thread-safe (internally locked); instrumented hot paths accumulate into
+/// local tallies and flush here once per run, so the lock is never on a
+/// per-gate path.
+///
+/// # Examples
+///
+/// ```
+/// use qobs::MetricsRegistry;
+/// use std::time::Duration;
+///
+/// let m = MetricsRegistry::new();
+/// m.inc_counter("executor.shots", 1024);
+/// m.set_gauge("verify.tvd", 0.0);
+/// m.observe_duration("transform.total_ns", Duration::from_micros(250));
+///
+/// assert_eq!(m.counter("executor.shots"), Some(1024));
+/// let json = m.to_json();
+/// assert!(qobs::json::validate(&json).is_ok());
+/// assert!(json.contains("\"executor.shots\":1024"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_inner<T>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> T) -> T {
+        f(&mut self.inner.lock().expect("metrics lock"))
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        self.with_inner(
+            |m| match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+                Metric::Counter(c) => *c += delta,
+                other => panic!("metric '{name}' is not a counter: {other:?}"),
+            },
+        );
+    }
+
+    /// Sets the named gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.with_inner(
+            |m| match m.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+                Metric::Gauge(g) => *g = value,
+                other => panic!("metric '{name}' is not a gauge: {other:?}"),
+            },
+        );
+    }
+
+    /// Records a raw value into the named histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.with_inner(|m| {
+            match m
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram(Histogram::default()))
+            {
+                Metric::Histogram(h) => h.observe(value),
+                other => panic!("metric '{name}' is not a histogram: {other:?}"),
+            }
+        });
+    }
+
+    /// Records a duration (as nanoseconds) into the named histogram.
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.observe(name, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Reads a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.with_inner(|m| match m.get(name) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Reads a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.with_inner(|m| match m.get(name) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// Reads a histogram (cloned).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.with_inner(|m| match m.get(name) {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        })
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.with_inner(|m| m.is_empty())
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> BTreeMap<String, Metric> {
+        self.with_inner(|m| m.clone())
+    }
+
+    /// Merges every metric of `other` into `self` (counters add, gauges
+    /// overwrite, histograms merge bucket-wise).
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        for (name, metric) in other.snapshot() {
+            match metric {
+                Metric::Counter(c) => self.inc_counter(&name, c),
+                Metric::Gauge(g) => self.set_gauge(&name, g),
+                Metric::Histogram(h) => self.with_inner(|m| {
+                    match m
+                        .entry(name.clone())
+                        .or_insert_with(|| Metric::Histogram(Histogram::default()))
+                    {
+                        Metric::Histogram(mine) => {
+                            for (b, v) in mine.buckets.iter_mut().zip(&h.buckets) {
+                                *b += v;
+                            }
+                            mine.count += h.count;
+                            mine.sum += h.sum;
+                            mine.min = mine.min.min(h.min);
+                            mine.max = mine.max.max(h.max);
+                        }
+                        other => panic!("metric '{name}' is not a histogram: {other:?}"),
+                    }
+                }),
+            }
+        }
+    }
+
+    /// Serializes the registry as a compact JSON object with `counters`,
+    /// `gauges` and `histograms` sections (always present, possibly empty).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+
+        w.key("counters");
+        w.begin_object();
+        for (name, metric) in &snap {
+            if let Metric::Counter(c) = metric {
+                w.key(name);
+                w.uint(*c);
+            }
+        }
+        w.end_object();
+
+        w.key("gauges");
+        w.begin_object();
+        for (name, metric) in &snap {
+            if let Metric::Gauge(g) = metric {
+                w.key(name);
+                w.float(*g);
+            }
+        }
+        w.end_object();
+
+        w.key("histograms");
+        w.begin_object();
+        for (name, metric) in &snap {
+            if let Metric::Histogram(h) = metric {
+                w.key(name);
+                w.begin_object();
+                w.key("count");
+                w.uint(h.count);
+                w.key("sum");
+                w.float(h.sum as f64);
+                w.key("min");
+                w.uint(if h.count == 0 { 0 } else { h.min });
+                w.key("max");
+                w.uint(h.max);
+                w.key("mean");
+                w.float(h.mean());
+                w.key("buckets");
+                w.begin_array();
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    w.begin_object();
+                    w.key("le");
+                    // Upper bound (exclusive) of bucket i: 2^i; bucket 0 is
+                    // exactly zero, bucket 64 saturates at u64::MAX.
+                    w.uint(if i == 0 {
+                        0
+                    } else if i == 64 {
+                        u64::MAX
+                    } else {
+                        1u64 << i
+                    });
+                    w.key("count");
+                    w.uint(n);
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+            }
+        }
+        w.end_object();
+
+        w.end_object();
+        w.finish()
+    }
+
+    /// Human-readable multi-line rendering, sorted by metric name.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let snap = self.snapshot();
+        if snap.is_empty() {
+            return "(no metrics recorded)\n".to_string();
+        }
+        let mut out = String::new();
+        for (name, metric) in &snap {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "counter   {name} = {c}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "gauge     {name} = {g}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "histogram {name}: count={} mean={:.1} min={} max={}",
+                        h.count,
+                        h.mean(),
+                        if h.count == 0 { 0 } else { h.min },
+                        h.max
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_serializes_to_empty_sections() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        let json = m.to_json();
+        assert_eq!(json, r#"{"counters":{},"gauges":{},"histograms":{}}"#);
+        assert!(crate::json::validate(&json).is_ok());
+        assert_eq!(m.to_text(), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("a", 2);
+        m.inc_counter("a", 3);
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", -2.5);
+        assert_eq!(m.counter("a"), Some(5));
+        assert_eq!(m.gauge("g"), Some(-2.5));
+        let json = m.to_json();
+        assert!(json.contains(r#""a":5"#), "{json}");
+        assert!(json.contains(r#""g":-2.5"#), "{json}");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_powers_of_two() {
+        // Values on both sides of each boundary land in adjacent buckets.
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 2); // 4..8 -> 4, 7
+        assert_eq!(h.buckets[4], 1); // 8
+        assert_eq!(h.buckets[10], 1); // 512..1024 -> 1023
+        assert_eq!(h.buckets[11], 1); // 1024
+        assert_eq!(h.buckets[64], 1); // u64::MAX
+        assert_eq!(h.count, 10);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_json_emits_only_occupied_buckets() {
+        let m = MetricsRegistry::new();
+        m.observe("lat", 3);
+        m.observe("lat", 1000);
+        let json = m.to_json();
+        assert!(crate::json::validate(&json).is_ok(), "{json}");
+        assert!(json.contains(r#"{"le":4,"count":1}"#), "{json}");
+        assert!(json.contains(r#"{"le":1024,"count":1}"#), "{json}");
+        assert!(json.contains(r#""count":2"#), "{json}");
+    }
+
+    #[test]
+    fn names_needing_escapes_stay_valid_json() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("weird\"name\\with\nstuff", 1);
+        let json = m.to_json();
+        assert!(crate::json::validate(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.inc_counter("c", 1);
+        b.inc_counter("c", 2);
+        b.set_gauge("g", 7.0);
+        a.observe("h", 4);
+        b.observe("h", 4);
+        a.merge_from(&b);
+        assert_eq!(a.counter("c"), Some(3));
+        assert_eq!(a.gauge("g"), Some(7.0));
+        assert_eq!(a.histogram("h").unwrap().count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("x", 1.0);
+        m.inc_counter("x", 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Structured events, spans and the [`EventSink`] trait with its three
+//! built-in implementations.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A typed field value attached to events and spans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A point-in-time structured record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event name, e.g. `transform.iteration`.
+    pub name: String,
+    /// Ordered key/value fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Builds an event from a name and field slice.
+    #[must_use]
+    pub fn new(name: &str, fields: &[(&str, FieldValue)]) -> Self {
+        Event {
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Looks up a field by key.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A completed timed region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Dotted span name, e.g. `pipeline.transform`.
+    pub name: String,
+    /// Wall-clock duration of the region.
+    pub duration: Duration,
+    /// Ordered key/value fields attached at close time.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// Receiver of events and spans.
+///
+/// Implementations must be cheap when [`EventSink::enabled`] is `false`:
+/// instrumented code checks that flag before building any payload, which is
+/// the zero-overhead-when-disabled guarantee.
+pub trait EventSink: Send + Sync {
+    /// Whether this sink wants records at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives an event.
+    fn event(&self, event: &Event);
+
+    /// Receives a completed span.
+    fn span(&self, span: &SpanRecord);
+}
+
+/// A sink that drops everything and reports itself disabled.
+///
+/// Instrumented code short-circuits on [`EventSink::enabled`], so a
+/// `NullSink` run never materializes events, spans or timestamps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn event(&self, _event: &Event) {}
+    fn span(&self, _span: &SpanRecord) {}
+}
+
+/// A sink that stores every record in memory, for tests and programmatic
+/// inspection.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<Event>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl CollectingSink {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of collected events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("collector lock").clone()
+    }
+
+    /// Snapshot of collected spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("collector lock").clone()
+    }
+
+    /// Names of collected spans, in completion order.
+    #[must_use]
+    pub fn span_names(&self) -> Vec<String> {
+        self.spans().into_iter().map(|s| s.name).collect()
+    }
+}
+
+impl EventSink for CollectingSink {
+    fn event(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("collector lock")
+            .push(event.clone());
+    }
+    fn span(&self, span: &SpanRecord) {
+        self.spans
+            .lock()
+            .expect("collector lock")
+            .push(span.clone());
+    }
+}
+
+/// A human-readable line-per-record sink writing to any `io::Write`.
+pub struct FmtSink {
+    out: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl fmt::Debug for FmtSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FmtSink").finish_non_exhaustive()
+    }
+}
+
+impl FmtSink {
+    /// A sink writing to the given stream.
+    #[must_use]
+    pub fn new(out: Box<dyn std::io::Write + Send>) -> Self {
+        FmtSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// A sink writing to standard error.
+    #[must_use]
+    pub fn stderr() -> Self {
+        Self::new(Box::new(std::io::stderr()))
+    }
+
+    fn write_line(&self, line: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+}
+
+impl EventSink for FmtSink {
+    fn event(&self, event: &Event) {
+        let mut line = format!("event {}", event.name);
+        for (k, v) in &event.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        self.write_line(&line);
+    }
+
+    fn span(&self, span: &SpanRecord) {
+        let micros = span.duration.as_nanos() as f64 / 1e3;
+        let mut line = format!("span  {} {micros:.1}us", span.name);
+        for (k, v) in &span.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        self.write_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn collecting_sink_stores_records() {
+        let sink = CollectingSink::new();
+        sink.event(&Event::new("a.b", &[("k", FieldValue::U64(3))]));
+        sink.span(&SpanRecord {
+            name: "s".into(),
+            duration: Duration::from_micros(5),
+            fields: vec![],
+        });
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].field("k"), Some(&FieldValue::U64(3)));
+        assert_eq!(sink.span_names(), vec!["s".to_string()]);
+    }
+
+    #[test]
+    fn fmt_sink_renders_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(Mutex::new(buf));
+        struct SharedWriter(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedWriter {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = FmtSink::new(Box::new(SharedWriter(shared.clone())));
+        sink.event(&Event::new("x", &[("n", FieldValue::Str("v".into()))]));
+        sink.span(&SpanRecord {
+            name: "stage".into(),
+            duration: Duration::from_micros(1500),
+            fields: vec![("count".into(), FieldValue::U64(2))],
+        });
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("event x n=v"), "{text}");
+        assert!(text.contains("span  stage 1500.0us count=2"), "{text}");
+    }
+}

@@ -210,7 +210,10 @@ mod tests {
     #[test]
     fn qubit_reuse_after_reset_is_fresh() {
         let mut circ = Circuit::new(1, 2);
-        circ.h(q(0)).measure(q(0), c(0)).reset(q(0)).measure(q(0), c(1));
+        circ.h(q(0))
+            .measure(q(0), c(0))
+            .reset(q(0))
+            .measure(q(0), c(1));
         let d = exact_distribution(&circ);
         // c1 always 0, c0 uniform.
         assert!((d.get("00") - 0.5).abs() < 1e-12);

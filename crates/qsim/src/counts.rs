@@ -464,7 +464,7 @@ mod tests {
         let mut d = Distribution::new();
         d.set("10", 1.0); // bit1=1, bit0=0
         let m = d.marginal(&[0, 1]); // keep bit0 then bit1
-        // Rightmost char = first listed position (bit0=0), left = bit1=1.
+                                     // Rightmost char = first listed position (bit0=0), left = bit1=1.
         assert!((m.get("10") - 1.0).abs() < 1e-12);
         let swapped = d.marginal(&[1, 0]);
         assert!((swapped.get("01") - 1.0).abs() < 1e-12);

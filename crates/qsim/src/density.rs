@@ -9,8 +9,8 @@
 use crate::counts::{bitstring, Distribution};
 use crate::noise::{KrausChannel, NoiseModel};
 use crate::statevector::StateVector;
-use qmath::{C64, CMatrix};
 use qcir::{Circuit, OpKind};
+use qmath::{CMatrix, C64};
 
 /// Probability below which a measurement branch is abandoned.
 const BRANCH_EPS: f64 = 1e-14;
@@ -112,11 +112,7 @@ impl DensityMatrix {
     ///
     /// Panics if the channel arity does not match `qubits.len()`.
     pub fn apply_kraus(&mut self, channel: &KrausChannel, qubits: &[usize]) {
-        assert_eq!(
-            channel.num_qubits(),
-            qubits.len(),
-            "channel arity mismatch"
-        );
+        assert_eq!(channel.num_qubits(), qubits.len(), "channel arity mismatch");
         let dim = self.mat.rows();
         let mut out = CMatrix::zeros(dim, dim);
         for k in channel.operators() {
@@ -214,9 +210,7 @@ impl DensityMatrix {
             assert!(!keep[..i].contains(&q), "duplicate kept qubit {q}");
         }
         let k = keep.len();
-        let traced: Vec<usize> = (0..self.num_qubits)
-            .filter(|q| !keep.contains(q))
-            .collect();
+        let traced: Vec<usize> = (0..self.num_qubits).filter(|q| !keep.contains(q)).collect();
         let mut out = CMatrix::zeros(1 << k, 1 << k);
         let spread = |bits: usize, positions: &[usize]| -> usize {
             positions
@@ -567,7 +561,10 @@ mod tests {
     #[test]
     fn conditioned_gates_respect_classical_state_in_density_backend() {
         let mut circ = Circuit::new(2, 2);
-        circ.x(q(0)).measure(q(0), c(0)).x_if(q(1), c(0)).measure(q(1), c(1));
+        circ.x(q(0))
+            .measure(q(0), c(0))
+            .x_if(q(1), c(0))
+            .measure(q(1), c(1));
         let d = exact_distribution_noisy(&circ, &NoiseModel::ideal());
         assert!((d.get("11") - 1.0).abs() < 1e-12);
     }

@@ -9,8 +9,10 @@ use crate::counts::{bitstring, Counts};
 use crate::noise::NoiseModel;
 use crate::statevector::StateVector;
 use qcir::{Circuit, OpKind};
+use qobs::Observer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// A configurable shot-based simulator.
 ///
@@ -33,6 +35,50 @@ pub struct Executor {
     shots: u64,
     seed: Option<u64>,
     noise: NoiseModel,
+    observer: Observer,
+}
+
+/// Per-run accumulation of executor counters.
+///
+/// The per-gate hot path only touches this plain struct (and only when the
+/// observer is enabled); it is flushed into the observer's shared
+/// [`qobs::MetricsRegistry`] **once** per [`Executor::run`] /
+/// [`Executor::run_memory`] call, so the registry lock is never taken per
+/// gate or per shot.
+#[derive(Debug, Default)]
+struct RunTally {
+    gates: BTreeMap<&'static str, u64>,
+    resets: u64,
+    measurements: u64,
+    mid_measurements: u64,
+    cc_fired: u64,
+    cc_skipped: u64,
+    noise_applications: u64,
+}
+
+/// Tally plus the per-instruction "is a mid-circuit measurement" flags
+/// (precomputed once per run, not per shot).
+struct TallyCtx<'a> {
+    tally: &'a mut RunTally,
+    mid_measure: &'a [bool],
+}
+
+/// `flags[i]` is `true` when instruction `i` is a measurement whose qubit
+/// is used again by a later instruction — the defining property of a
+/// mid-circuit measurement.
+fn mid_measure_flags(circuit: &Circuit) -> Vec<bool> {
+    let insts = circuit.instructions();
+    let mut flags = vec![false; insts.len()];
+    for (i, inst) in insts.iter().enumerate() {
+        if !matches!(inst.kind(), OpKind::Measure) {
+            continue;
+        }
+        let q = inst.qubits()[0];
+        flags[i] = insts[i + 1..]
+            .iter()
+            .any(|later| later.qubits().contains(&q));
+    }
+    flags
 }
 
 impl Default for Executor {
@@ -50,6 +96,7 @@ impl Executor {
             shots: 1024,
             seed: None,
             noise: NoiseModel::ideal(),
+            observer: Observer::disabled(),
         }
     }
 
@@ -74,19 +121,40 @@ impl Executor {
         self
     }
 
+    /// Attaches an observability handle. Each [`Executor::run`] /
+    /// [`Executor::run_memory`] call then records, into the observer's
+    /// metrics registry:
+    ///
+    /// * `executor.shots` — shots executed;
+    /// * `executor.gates.<name>` — gates applied, by gate kind (only gates
+    ///   that actually executed: a skipped conditioned gate is not counted);
+    /// * `executor.resets` — active resets applied;
+    /// * `executor.measurements` / `executor.mid_circuit_measurements` —
+    ///   all measurements, and the subset whose qubit is reused later;
+    /// * `executor.cc_fired` / `executor.cc_skipped` — classically
+    ///   controlled operations whose condition held / did not hold;
+    /// * `executor.noise_injections` — stochastic noise-channel
+    ///   applications (gate noise and idle noise trajectories);
+    ///
+    /// plus an `executor.run` span (duration histogram `executor.run_ns`).
+    ///
+    /// Counters accumulate per shot but are flushed to the registry once
+    /// per run; with the default [`Observer::disabled`] the hot path is a
+    /// single branch.
+    #[must_use]
+    pub fn observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
     /// Runs the circuit and tallies classical-register outcomes.
     ///
     /// The result keys are bitstrings with classical bit `n-1` leftmost.
     pub fn run(&self, circuit: &Circuit) -> Counts {
-        let mut rng = match self.seed {
-            Some(s) => StdRng::seed_from_u64(s),
-            None => StdRng::from_entropy(),
-        };
         let mut counts = Counts::new();
-        for _ in 0..self.shots {
-            let classical = self.run_shot(circuit, &mut rng);
+        self.run_all(circuit, |classical| {
             counts.record(bitstring(&classical));
-        }
+        });
         counts
     }
 
@@ -94,13 +162,58 @@ impl Executor {
     /// (the "memory" mode of hardware backends), for analyses that need
     /// shot-to-shot structure rather than aggregate counts.
     pub fn run_memory(&self, circuit: &Circuit) -> Vec<String> {
+        let mut memory = Vec::with_capacity(self.shots as usize);
+        self.run_all(circuit, |classical| {
+            memory.push(bitstring(&classical));
+        });
+        memory
+    }
+
+    /// Shared shot loop behind [`Executor::run`] and
+    /// [`Executor::run_memory`]: seeds the RNG, executes every shot, and —
+    /// only when the observer is enabled — times the run and flushes the
+    /// per-run tally into the metrics registry.
+    fn run_all(&self, circuit: &Circuit, mut per_shot: impl FnMut(Vec<bool>)) {
         let mut rng = match self.seed {
             Some(s) => StdRng::seed_from_u64(s),
             None => StdRng::from_entropy(),
         };
-        (0..self.shots)
-            .map(|_| bitstring(&self.run_shot(circuit, &mut rng)))
-            .collect()
+        if self.observer.is_enabled() {
+            let mut span = self.observer.span("executor.run");
+            span.field("shots", self.shots);
+            span.field("instructions", circuit.len());
+            let mid = mid_measure_flags(circuit);
+            let mut tally = RunTally::default();
+            for _ in 0..self.shots {
+                let mut ctx = Some(TallyCtx {
+                    tally: &mut tally,
+                    mid_measure: &mid,
+                });
+                let (classical, _) = self.run_shot_with_state_tallied(circuit, &mut rng, &mut ctx);
+                per_shot(classical);
+            }
+            self.flush_tally(&tally);
+        } else {
+            for _ in 0..self.shots {
+                per_shot(self.run_shot(circuit, &mut rng));
+            }
+        }
+    }
+
+    /// Adds the run's tally to the observer's registry (one lock
+    /// acquisition per counter, once per run).
+    fn flush_tally(&self, tally: &RunTally) {
+        let obs = &self.observer;
+        obs.counter_add("executor.shots", self.shots);
+        obs.counter_add("executor.resets", tally.resets);
+        obs.counter_add("executor.measurements", tally.measurements);
+        obs.counter_add("executor.mid_circuit_measurements", tally.mid_measurements);
+        obs.counter_add("executor.cc_fired", tally.cc_fired);
+        obs.counter_add("executor.cc_skipped", tally.cc_skipped);
+        obs.counter_add("executor.noise_injections", tally.noise_applications);
+        for (name, n) in &tally.gates {
+            obs.counter_add(&format!("executor.gates.{name}"), *n);
+        }
     }
 
     /// Runs a single shot, returning the final classical bits.
@@ -122,6 +235,18 @@ impl Executor {
         circuit: &Circuit,
         rng: &mut R,
     ) -> (Vec<bool>, StateVector) {
+        self.run_shot_with_state_tallied(circuit, rng, &mut None)
+    }
+
+    /// Single-shot execution with an optional tally context (`None` on the
+    /// un-instrumented path: a per-instruction `Option` branch is the whole
+    /// overhead).
+    fn run_shot_with_state_tallied<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+        ctx: &mut Option<TallyCtx<'_>>,
+    ) -> (Vec<bool>, StateVector) {
         let mut state = StateVector::zero_state(circuit.num_qubits());
         let mut classical = vec![false; circuit.num_clbits()];
         if let Some(idle) = &self.noise.idle {
@@ -138,33 +263,46 @@ impl Executor {
                     for q in inst.qubits() {
                         touched[q.index()] = true;
                     }
-                    self.execute_instruction(inst, &mut state, &mut classical, rng);
+                    self.execute_instruction(inst, idx, &mut state, &mut classical, rng, ctx);
                 }
                 for (q, &t) in touched.iter().enumerate() {
                     if !t {
                         idle.apply_stochastic(&mut state, &[q], rng);
+                        if let Some(c) = ctx {
+                            c.tally.noise_applications += 1;
+                        }
                     }
                 }
             }
         } else {
-            for inst in circuit.iter() {
-                self.execute_instruction(inst, &mut state, &mut classical, rng);
+            for (idx, inst) in circuit.iter().enumerate() {
+                self.execute_instruction(inst, idx, &mut state, &mut classical, rng, ctx);
             }
         }
         (classical, state)
     }
 
-    /// Executes one instruction under the configured noise.
+    /// Executes one instruction under the configured noise. `idx` is the
+    /// instruction's index in the circuit (for the mid-circuit-measurement
+    /// flags of the tally context).
     fn execute_instruction<R: Rng + ?Sized>(
         &self,
         inst: &qcir::Instruction,
+        idx: usize,
         state: &mut StateVector,
         classical: &mut [bool],
         rng: &mut R,
+        ctx: &mut Option<TallyCtx<'_>>,
     ) {
         if let Some(cond) = inst.condition() {
             if !cond.evaluate(classical) {
+                if let Some(c) = ctx {
+                    c.tally.cc_skipped += 1;
+                }
                 return;
+            }
+            if let Some(c) = ctx {
+                c.tally.cc_fired += 1;
             }
         }
         match inst.kind() {
@@ -172,9 +310,15 @@ impl Executor {
             OpKind::Gate(g) => {
                 let qubits: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
                 state.apply_gate(g, &qubits);
+                if let Some(c) = ctx {
+                    *c.tally.gates.entry(g.name()).or_insert(0) += 1;
+                }
                 if let Some(channel) = self.noise.channel_for_arity(qubits.len()) {
                     let n = channel.num_qubits().min(qubits.len());
                     channel.apply_stochastic(state, &qubits[..n], rng);
+                    if let Some(c) = ctx {
+                        c.tally.noise_applications += 1;
+                    }
                 }
             }
             OpKind::Measure => {
@@ -184,12 +328,21 @@ impl Executor {
                     outcome = !outcome;
                 }
                 classical[inst.clbits()[0].index()] = outcome;
+                if let Some(c) = ctx {
+                    c.tally.measurements += 1;
+                    if c.mid_measure.get(idx).copied().unwrap_or(false) {
+                        c.tally.mid_measurements += 1;
+                    }
+                }
             }
             OpKind::Reset => {
                 let q = inst.qubits()[0].index();
                 state.reset(q, rng);
                 if self.noise.reset_error > 0.0 && rng.gen_bool(self.noise.reset_error) {
                     state.apply_gate(&qcir::Gate::X, &[q]);
+                }
+                if let Some(c) = ctx {
+                    c.tally.resets += 1;
                 }
             }
         }
@@ -212,8 +365,7 @@ fn scheduled_layers(circuit: &Circuit) -> Vec<Vec<usize>> {
     for layer in &mut layers[..last] {
         layer.retain(|&idx| {
             let inst = &circuit.instructions()[idx];
-            let terminal = matches!(inst.kind(), OpKind::Measure)
-                && dag.successors(idx).is_empty();
+            let terminal = matches!(inst.kind(), OpKind::Measure) && dag.successors(idx).is_empty();
             if terminal {
                 pinned.push(idx);
             }
@@ -319,7 +471,10 @@ mod tests {
     fn reset_reinitializes_for_reuse() {
         // The defining DQC pattern: use, measure, reset, reuse.
         let mut circ = Circuit::new(1, 2);
-        circ.x(q(0)).measure(q(0), c(0)).reset(q(0)).measure(q(0), c(1));
+        circ.x(q(0))
+            .measure(q(0), c(0))
+            .reset(q(0))
+            .measure(q(0), c(1));
         let counts = Executor::new().shots(100).seed(8).run(&circ);
         assert_eq!(counts.get("01"), 100);
     }
@@ -328,13 +483,10 @@ mod tests {
     fn readout_error_flips_outcomes() {
         let mut circ = Circuit::new(1, 1);
         circ.measure(q(0), c(0));
-        let noisy = Executor::new()
-            .shots(2000)
-            .seed(9)
-            .noise(NoiseModel {
-                readout_flip: 0.25,
-                ..NoiseModel::ideal()
-            });
+        let noisy = Executor::new().shots(2000).seed(9).noise(NoiseModel {
+            readout_flip: 0.25,
+            ..NoiseModel::ideal()
+        });
         let counts = noisy.run(&circ);
         let p1 = counts.probability("1");
         assert!((p1 - 0.25).abs() < 0.04, "p1 = {p1}");
@@ -344,13 +496,10 @@ mod tests {
     fn reset_error_leaves_excited_population() {
         let mut circ = Circuit::new(1, 1);
         circ.x(q(0)).reset(q(0)).measure(q(0), c(0));
-        let noisy = Executor::new()
-            .shots(2000)
-            .seed(10)
-            .noise(NoiseModel {
-                reset_error: 0.2,
-                ..NoiseModel::ideal()
-            });
+        let noisy = Executor::new().shots(2000).seed(10).noise(NoiseModel {
+            reset_error: 0.2,
+            ..NoiseModel::ideal()
+        });
         let p1 = noisy.run(&circ).probability("1");
         assert!((p1 - 0.2).abs() < 0.04, "p1 = {p1}");
     }
@@ -426,6 +575,144 @@ mod tests {
         let counts = exec.run(&circ);
         let ones = memory.iter().filter(|m| m.as_str() == "1").count() as u64;
         assert_eq!(ones, counts.get("1"));
+    }
+
+    #[test]
+    fn observer_counts_dynamic_circuit_operations() {
+        // The defining DQC shot: gate, mid-circuit measure, conditioned
+        // gate, reset, final measure.
+        let mut circ = Circuit::new(2, 2);
+        circ.x(q(0))
+            .measure(q(0), c(0)) // mid-circuit: q0 is reset afterwards
+            .x_if(q(1), c(0)) // fires every shot (outcome is 1)
+            .reset(q(0))
+            .measure(q(1), c(1));
+        let obs = qobs::Observer::metrics_only();
+        let counts = Executor::new()
+            .shots(10)
+            .seed(1)
+            .observer(obs.clone())
+            .run(&circ);
+        assert_eq!(counts.total(), 10);
+        let m = obs.metrics();
+        assert_eq!(m.counter("executor.shots"), Some(10));
+        assert_eq!(m.counter("executor.gates.x"), Some(20)); // X + fired X_if
+        assert_eq!(m.counter("executor.resets"), Some(10));
+        assert_eq!(m.counter("executor.measurements"), Some(20));
+        assert_eq!(m.counter("executor.mid_circuit_measurements"), Some(10));
+        assert_eq!(m.counter("executor.cc_fired"), Some(10));
+        assert_eq!(m.counter("executor.cc_skipped"), Some(0));
+        assert_eq!(m.counter("executor.noise_injections"), Some(0));
+        assert_eq!(m.histogram("executor.run_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn observer_counts_skipped_conditionals() {
+        let mut circ = Circuit::new(2, 2);
+        circ.measure(q(0), c(0)).x_if(q(1), c(0)); // outcome 0: never fires
+        circ.measure(q(1), c(1));
+        let obs = qobs::Observer::metrics_only();
+        Executor::new()
+            .shots(8)
+            .seed(2)
+            .observer(obs.clone())
+            .run(&circ);
+        assert_eq!(obs.metrics().counter("executor.cc_skipped"), Some(8));
+        assert_eq!(obs.metrics().counter("executor.cc_fired"), Some(0));
+        assert_eq!(obs.metrics().counter("executor.gates.x"), None);
+    }
+
+    #[test]
+    fn observer_counts_noise_trajectories() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0)).measure(q(0), c(0));
+        let obs = qobs::Observer::metrics_only();
+        Executor::new()
+            .shots(5)
+            .seed(3)
+            .noise(NoiseModel::depolarizing(0.1, 0.1))
+            .observer(obs.clone())
+            .run(&circ);
+        // One single-qubit channel application per H gate per shot.
+        assert_eq!(obs.metrics().counter("executor.noise_injections"), Some(5));
+    }
+
+    #[test]
+    fn observer_does_not_change_outcomes() {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0)).cx(q(0), q(1)).measure_all();
+        let plain = Executor::new().shots(300).seed(21).run(&circ);
+        let observed = Executor::new()
+            .shots(300)
+            .seed(21)
+            .observer(qobs::Observer::metrics_only())
+            .run(&circ);
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn observed_metrics_are_deterministic_per_seed() {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0))
+            .measure(q(0), c(0))
+            .x_if(q(1), c(0))
+            .measure(q(1), c(1));
+        let run = || {
+            let obs = qobs::Observer::metrics_only();
+            Executor::new()
+                .shots(256)
+                .seed(99)
+                .observer(obs.clone())
+                .run(&circ);
+            obs.metrics().to_json()
+        };
+        let (a, b) = (run(), run());
+        // Identical counter sections (histograms carry wall-clock times,
+        // which legitimately differ between runs).
+        let counters = |s: &str| {
+            let start = s.find("\"counters\"").unwrap();
+            let end = s.find("\"gauges\"").unwrap();
+            s[start..end].to_string()
+        };
+        assert_eq!(counters(&a), counters(&b));
+    }
+
+    #[test]
+    fn disabled_observer_overhead_is_within_noise() {
+        // A disabled observer must take the un-instrumented fast path; we
+        // check the median wall-clock of interleaved runs stays within a
+        // generous factor (the real overhead is one boolean branch, but CI
+        // timers are noisy, so the threshold is deliberately loose).
+        let mut circ = Circuit::new(4, 4);
+        for _ in 0..8 {
+            circ.h(q(0)).cx(q(0), q(1)).cx(q(1), q(2)).cx(q(2), q(3));
+        }
+        circ.measure_all();
+        let time = |observed: bool| {
+            let mut ex = Executor::new().shots(200).seed(5);
+            if observed {
+                ex = ex.observer(qobs::Observer::disabled());
+            }
+            let start = std::time::Instant::now();
+            ex.run(&circ);
+            start.elapsed()
+        };
+        // Warm-up, then interleave to cancel drift.
+        time(false);
+        time(true);
+        let mut plain: Vec<_> = Vec::new();
+        let mut disabled: Vec<_> = Vec::new();
+        for _ in 0..9 {
+            plain.push(time(false));
+            disabled.push(time(true));
+        }
+        plain.sort();
+        disabled.sort();
+        let (p, d) = (plain[4].as_secs_f64(), disabled[4].as_secs_f64());
+        assert!(
+            d < p * 2.0,
+            "disabled-observer median {d:.6}s vs plain {p:.6}s"
+        );
     }
 
     #[test]

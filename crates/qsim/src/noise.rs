@@ -6,7 +6,7 @@
 //! usable both stochastically (statevector trajectories) and exactly
 //! (density-matrix evolution).
 
-use qmath::{C64, CMatrix};
+use qmath::{CMatrix, C64};
 use rand::Rng;
 
 use crate::statevector::StateVector;
@@ -37,9 +37,15 @@ impl KrausChannel {
     /// `sum K†K = I` beyond `1e-9`.
     #[must_use]
     pub fn new(ops: Vec<CMatrix>) -> Self {
-        assert!(!ops.is_empty(), "a channel needs at least one Kraus operator");
+        assert!(
+            !ops.is_empty(),
+            "a channel needs at least one Kraus operator"
+        );
         let dim = ops[0].rows();
-        assert!(dim.is_power_of_two(), "Kraus dimension must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "Kraus dimension must be a power of two"
+        );
         let mut sum = CMatrix::zeros(dim, dim);
         for k in &ops {
             assert!(k.is_square() && k.rows() == dim, "Kraus shapes must agree");
@@ -217,11 +223,7 @@ impl KrausChannel {
                 if p > f64::EPSILON {
                     let scale = C64::real(1.0 / p.sqrt());
                     *state = StateVector::from_amplitudes(
-                        candidate
-                            .amplitudes()
-                            .iter()
-                            .map(|&a| a * scale)
-                            .collect(),
+                        candidate.amplitudes().iter().map(|&a| a * scale).collect(),
                     );
                 }
                 return;

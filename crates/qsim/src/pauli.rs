@@ -7,7 +7,7 @@
 
 use crate::density::DensityMatrix;
 use crate::statevector::StateVector;
-use qmath::{C64, CMatrix};
+use qmath::{CMatrix, C64};
 use std::fmt;
 use std::str::FromStr;
 
@@ -239,7 +239,13 @@ mod tests {
     #[test]
     fn bell_state_correlations() {
         let bell = state(&[(Gate::H, vec![0]), (Gate::Cx, vec![0, 1])], 2);
-        for (obs, expect) in [("ZZ", 1.0), ("XX", 1.0), ("YY", -1.0), ("ZI", 0.0), ("IZ", 0.0)] {
+        for (obs, expect) in [
+            ("ZZ", 1.0),
+            ("XX", 1.0),
+            ("YY", -1.0),
+            ("ZI", 0.0),
+            ("IZ", 0.0),
+        ] {
             let p: PauliString = obs.parse().unwrap();
             assert!(
                 (p.expectation(&bell) - expect).abs() < 1e-12,
@@ -251,7 +257,11 @@ mod tests {
     #[test]
     fn density_expectation_matches_pure() {
         let sv = state(
-            &[(Gate::H, vec![0]), (Gate::T, vec![0]), (Gate::Cx, vec![0, 1])],
+            &[
+                (Gate::H, vec![0]),
+                (Gate::T, vec![0]),
+                (Gate::Cx, vec![0, 1]),
+            ],
             2,
         );
         let rho = DensityMatrix::from_statevector(&sv);
@@ -293,9 +303,10 @@ mod tests {
         let mut rho1 = rho;
         let p1 = rho1.project(0, true);
         let mixed = {
-            let m = rho0.matrix().scale(qmath::C64::real(p0)).add(
-                &rho1.matrix().scale(qmath::C64::real(p1)),
-            );
+            let m = rho0
+                .matrix()
+                .scale(qmath::C64::real(p0))
+                .add(&rho1.matrix().scale(qmath::C64::real(p1)));
             m
         };
         // <X> of the mixture is 0 (coherence destroyed).

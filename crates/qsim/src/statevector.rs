@@ -1,6 +1,6 @@
 //! Pure-state (statevector) quantum simulation.
 
-use qmath::{C64, CMatrix};
+use qmath::{CMatrix, C64};
 use rand::Rng;
 
 /// A pure quantum state on `n` qubits.
@@ -43,7 +43,10 @@ impl StateVector {
     #[must_use]
     pub fn basis_state(num_qubits: usize, index: usize) -> Self {
         let dim = 1usize << num_qubits;
-        assert!(index < dim, "basis index {index} out of range for {num_qubits} qubits");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for {num_qubits} qubits"
+        );
         let mut amps = vec![C64::zero(); dim];
         amps[index] = C64::one();
         Self { num_qubits, amps }
@@ -58,7 +61,10 @@ impl StateVector {
     #[must_use]
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let dim = amps.len();
-        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let num_qubits = dim.trailing_zeros() as usize;
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!(

@@ -150,11 +150,7 @@ mod tests {
             basis[input] = qmath::C64::one();
             let va = ua.mul_vec(&basis);
             let vb = ub.mul_vec(&basis);
-            if va
-                .iter()
-                .zip(&vb)
-                .any(|(&x, &y)| !x.approx_eq(y, 1e-9))
-            {
+            if va.iter().zip(&vb).any(|(&x, &y)| !x.approx_eq(y, 1e-9)) {
                 return false;
             }
         }

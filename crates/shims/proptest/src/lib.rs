@@ -1,0 +1,113 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build sandbox has no crates.io access, so this crate reimplements the
+//! subset of the proptest 1.x API that the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map` and `boxed`;
+//! * [`strategy::Just`], integer/float range strategies, tuple strategies,
+//!   `any::<T>()`, and weighted unions via [`prop_oneof!`];
+//! * [`collection::vec`] with exact or ranged sizes;
+//! * the [`proptest!`] test macro with `#![proptest_config(...)]`, plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! **No shrinking**: a failing case panics immediately, reporting the case
+//! index and the deterministic per-case seed so it can be replayed. Every
+//! run is fully deterministic (seeds derive from the case index only),
+//! which suits a reproduction repo better than time-seeded exploration.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, (a, b) in arb_pair()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let __seed = $crate::test_runner::case_seed(stringify!($name), __case);
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case, __seed);
+                { $body }
+                __guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest harness (no shrinking here,
+/// so it simply panics with the failing condition).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Weighted or unweighted union of strategies with a common value type.
+///
+/// ```ignore
+/// prop_oneof![Just(1), Just(2)];          // equal weights
+/// prop_oneof![3 => heavy(), 1 => rare()]; // weighted
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}

@@ -1,0 +1,120 @@
+//! Deterministic case runner support: config, RNG and failure reporting.
+
+/// Runner configuration; only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256; the shim favours fast,
+    /// deterministic suites.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic seed for one `(test, case)` pair (FNV-1a over the name,
+/// mixed with the case index).
+#[must_use]
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The generation RNG: xoshiro256** seeded through SplitMix64.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Deterministic construction from a 64-bit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Prints replay information when a property body panics.
+///
+/// Armed on construction; [`CaseGuard::disarm`] marks the case as passed.
+/// If the guard drops while panicking it reports the test name, case index
+/// and seed (the shim's substitute for proptest's persisted regressions).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    seed: u64,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one case.
+    #[must_use]
+    pub fn new(name: &'static str, case: u32, seed: u64) -> Self {
+        CaseGuard {
+            name,
+            case,
+            seed,
+            armed: true,
+        }
+    }
+
+    /// Marks the case as passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: property '{}' failed at case {} (seed {:#018x})",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("p(traditional) = {:.4}", report.p_traditional);
     println!("p(dynamic)     = {:.4}", report.p_dynamic);
     println!("tvd            = {:.2e}", report.tvd);
-    println!("\ndynamic outcome distribution:\n{}", histogram(&report.dynamic));
+    println!(
+        "\ndynamic outcome distribution:\n{}",
+        histogram(&report.dynamic)
+    );
 
     heading("OpenQASM 3 of the dynamic circuit");
     print!("{}", qcir::qasm::to_qasm(dynamic.circuit()));

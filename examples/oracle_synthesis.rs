@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if m.is_empty() {
                     "1".to_string()
                 } else {
-                    m.iter().map(|i| format!("x{i}")).collect::<Vec<_>>().join("·")
+                    m.iter()
+                        .map(|i| format!("x{i}"))
+                        .collect::<Vec<_>>()
+                        .join("·")
                 }
             })
             .collect();

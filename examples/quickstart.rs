@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = verify::compare(&circuit, &roles, &dynamic);
     heading("Exact verification");
     println!("total variation distance: {:.2e}", report.tvd);
-    println!("traditional distribution:\n{}", histogram(&report.traditional));
+    println!(
+        "traditional distribution:\n{}",
+        histogram(&report.traditional)
+    );
     println!("dynamic distribution:\n{}", histogram(&report.dynamic));
 
     // 4. And sample it the way the paper does: 1024 shots.

@@ -11,8 +11,7 @@ pub fn heading(title: &str) {
 /// bar, most probable outcome first.
 #[must_use]
 pub fn histogram(dist: &Distribution) -> String {
-    let mut entries: Vec<(String, f64)> =
-        dist.iter().map(|(k, p)| (k.to_string(), p)).collect();
+    let mut entries: Vec<(String, f64)> = dist.iter().map(|(k, p)| (k.to_string(), p)).collect();
     entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut out = String::new();
     for (key, p) in entries {

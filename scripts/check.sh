@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repository hygiene gate: formatting, lints, full test suite.
+#
+# Designed for the offline reproduction environment: every cargo call
+# passes --offline (all dependencies resolve to in-repo shims, see
+# DESIGN.md §7.2), so no network access is required.
+#
+# Usage: ./scripts/check.sh [--fast]
+#   --fast  skip the release-mode build (debug tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) FAST=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+if [ "$FAST" -eq 0 ]; then
+    run cargo build --release --offline
+fi
+run cargo test --workspace --offline -q
+
+echo "==> all checks passed"

@@ -35,11 +35,9 @@ fn lowered_circuits_contain_only_basis_operations() {
         let lowered = lower_to_clifford_t(d.circuit()).unwrap();
         for inst in lowered.iter() {
             match inst.kind() {
-                OpKind::Gate(g) => assert!(
-                    is_basis_gate(g),
-                    "{}: non-basis gate {g} survived",
-                    b.name
-                ),
+                OpKind::Gate(g) => {
+                    assert!(is_basis_gate(g), "{}: non-basis gate {g} survived", b.name)
+                }
                 OpKind::Measure | OpKind::Reset | OpKind::Barrier => {}
             }
         }

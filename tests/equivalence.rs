@@ -41,8 +41,8 @@ fn dynamic2_is_exact_on_all_single_toffoli_benchmarks() {
         if b.name == "CARRY" {
             continue; // see carry_has_a_parity_obstruction below
         }
-        let d2 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts)
-            .unwrap();
+        let d2 =
+            transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts).unwrap();
         let report = verify::compare(&b.circuit, &b.roles, &d2);
         assert!(
             report.equivalent(1e-9),
@@ -57,8 +57,8 @@ fn dynamic2_is_exact_on_all_single_toffoli_benchmarks() {
 fn dynamic1_deviates_on_every_toffoli_benchmark() {
     let opts = TransformOptions::default();
     for b in toffoli_suite() {
-        let d1 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts)
-            .unwrap();
+        let d1 =
+            transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts).unwrap();
         let report = verify::compare(&b.circuit, &b.roles, &d1);
         assert!(
             report.tvd > 0.2,
@@ -73,10 +73,10 @@ fn dynamic1_deviates_on_every_toffoli_benchmark() {
 fn dynamic2_never_loses_to_dynamic1_on_the_benchmarks() {
     let opts = TransformOptions::default();
     for b in toffoli_suite() {
-        let d1 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts)
-            .unwrap();
-        let d2 = transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts)
-            .unwrap();
+        let d1 =
+            transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic1, &opts).unwrap();
+        let d2 =
+            transform_with_scheme(&b.circuit, &b.roles, DynamicScheme::Dynamic2, &opts).unwrap();
         let r1 = verify::compare(&b.circuit, &b.roles, &d1);
         let r2 = verify::compare(&b.circuit, &b.roles, &d2);
         assert!(
@@ -122,12 +122,7 @@ fn carry_has_a_parity_obstruction() {
 fn transformed_circuits_have_one_result_bit_per_data_qubit() {
     for b in toffoli_free_suite() {
         let d = transform(&b.circuit, &b.roles, &TransformOptions::default()).unwrap();
-        assert_eq!(
-            d.result_bits().len(),
-            b.roles.data().len(),
-            "{}",
-            b.name
-        );
+        assert_eq!(d.result_bits().len(), b.roles.data().len(), "{}", b.name);
         assert_eq!(
             d.iterations().iter().filter(|i| i.measured).count(),
             b.roles.data().len(),

@@ -100,7 +100,10 @@ fn pipeline_reports_match_direct_calls() {
     .unwrap();
     let report = verify::compare(&circuit, &roles, &d);
     assert_eq!(result.report.tvd, report.tvd);
-    assert_eq!(result.resources.gates, dqc::ResourceSummary::of_dynamic(&d).gates);
+    assert_eq!(
+        result.resources.gates,
+        dqc::ResourceSummary::of_dynamic(&d).gates
+    );
     assert_eq!(result.qubit_saving(), 1);
 }
 

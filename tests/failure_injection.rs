@@ -13,8 +13,12 @@ fn q(i: usize) -> Qubit {
 fn transform_rejects_measurement_in_input() {
     let mut c = Circuit::new(3, 1);
     c.h(q(0)).measure(q(0), Clbit::new(0));
-    let err = transform(&c, &QubitRoles::data_plus_answer(3), &TransformOptions::default())
-        .unwrap_err();
+    let err = transform(
+        &c,
+        &QubitRoles::data_plus_answer(3),
+        &TransformOptions::default(),
+    )
+    .unwrap_err();
     assert!(matches!(err, DqcError::Unrealizable { .. }));
     assert!(err.to_string().contains("measurement-free"));
 }
@@ -23,8 +27,12 @@ fn transform_rejects_measurement_in_input() {
 fn transform_rejects_reset_in_input() {
     let mut c = Circuit::new(2, 0);
     c.reset(q(0));
-    assert!(transform(&c, &QubitRoles::data_plus_answer(2), &TransformOptions::default())
-        .is_err());
+    assert!(transform(
+        &c,
+        &QubitRoles::data_plus_answer(2),
+        &TransformOptions::default()
+    )
+    .is_err());
 }
 
 #[test]
@@ -40,8 +48,12 @@ fn transform_rejects_incomplete_roles() {
 fn transform_rejects_swap_between_data_qubits() {
     let mut c = Circuit::new(3, 0);
     c.swap(q(0), q(1));
-    let err = transform(&c, &QubitRoles::data_plus_answer(3), &TransformOptions::default())
-        .unwrap_err();
+    let err = transform(
+        &c,
+        &QubitRoles::data_plus_answer(3),
+        &TransformOptions::default(),
+    )
+    .unwrap_err();
     assert!(matches!(err, DqcError::Unrealizable { .. }));
 }
 
@@ -49,8 +61,12 @@ fn transform_rejects_swap_between_data_qubits() {
 fn transform_rejects_cycles_with_qubit_list() {
     let mut c = Circuit::new(4, 0);
     c.cx(q(0), q(1)).cx(q(1), q(2)).cx(q(2), q(0));
-    let err = transform(&c, &QubitRoles::data_plus_answer(4), &TransformOptions::default())
-        .unwrap_err();
+    let err = transform(
+        &c,
+        &QubitRoles::data_plus_answer(4),
+        &TransformOptions::default(),
+    )
+    .unwrap_err();
     match err {
         DqcError::CyclicDependency { qubits } => {
             assert_eq!(qubits.len(), 3);
@@ -66,7 +82,11 @@ fn cv_between_data_qubits_with_wrong_basis_is_handled() {
     // dynamic-1's. Validate that it at least stays realizable.
     let mut c = Circuit::new(3, 0);
     c.h(q(0)).h(q(1)).cv(q(0), q(1)).h(q(0)).cx(q(1), q(2));
-    let d = transform(&c, &QubitRoles::data_plus_answer(3), &TransformOptions::default());
+    let d = transform(
+        &c,
+        &QubitRoles::data_plus_answer(3),
+        &TransformOptions::default(),
+    );
     assert!(d.is_ok());
     let d = d.unwrap();
     // The CV must show up as a classically conditioned V.
@@ -81,11 +101,17 @@ fn circuit_builder_rejects_bad_wires_with_error_values() {
     let mut c = Circuit::new(1, 1);
     assert!(matches!(
         c.try_push(Instruction::gate(Gate::H, vec![q(3)])),
-        Err(CircuitError::QubitOutOfRange { qubit: 3, num_qubits: 1 })
+        Err(CircuitError::QubitOutOfRange {
+            qubit: 3,
+            num_qubits: 1
+        })
     ));
     assert!(matches!(
         c.try_push(Instruction::measure(q(0), Clbit::new(4))),
-        Err(CircuitError::ClbitOutOfRange { clbit: 4, num_clbits: 1 })
+        Err(CircuitError::ClbitOutOfRange {
+            clbit: 4,
+            num_clbits: 1
+        })
     ));
 }
 

@@ -46,7 +46,12 @@ fn traditional_circuits_round_trip_too() {
     for b in toffoli_suite() {
         let text = to_qasm(&b.circuit);
         let parsed = from_qasm(&text).unwrap();
-        assert_eq!(parsed.instructions(), b.circuit.instructions(), "{}", b.name);
+        assert_eq!(
+            parsed.instructions(),
+            b.circuit.instructions(),
+            "{}",
+            b.name
+        );
     }
 }
 
@@ -57,6 +62,9 @@ fn qasm_text_declares_dynamic_primitives() {
     let text = to_qasm(d2.circuit());
     assert!(text.contains("reset q[0];"), "missing reset:\n{text}");
     assert!(text.contains("= measure q[0];"), "missing measure:\n{text}");
-    assert!(text.contains("if (c["), "missing classical control:\n{text}");
+    assert!(
+        text.contains("if (c["),
+        "missing classical control:\n{text}"
+    );
     assert!(text.contains("ctrl @ sx"), "missing CV gate:\n{text}");
 }

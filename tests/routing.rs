@@ -38,7 +38,10 @@ fn toffoli_benchmarks_route_after_lowering() {
         let after = exact_distribution(&routed.circuit);
         assert!(before.tvd(&after) < 1e-9, "{}", b.name);
         if b.name == "CARRY" {
-            assert!(routed.swaps_inserted > 0, "CARRY should need swaps on a line");
+            assert!(
+                routed.swaps_inserted > 0,
+                "CARRY should need swaps on a line"
+            );
         }
     }
 }
@@ -55,7 +58,11 @@ fn dynamic_circuits_need_no_swaps_anywhere() {
         .unwrap();
         // CV gates are 2-qubit; the router takes them directly.
         let lowered = decompose_cv(d.circuit());
-        for map in [CouplingMap::line(2), CouplingMap::line(6), CouplingMap::ring(5)] {
+        for map in [
+            CouplingMap::line(2),
+            CouplingMap::line(6),
+            CouplingMap::ring(5),
+        ] {
             let routed = route(&lowered, &map).unwrap();
             assert_eq!(routed.swaps_inserted, 0, "{}", b.name);
         }
