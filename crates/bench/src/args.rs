@@ -1,0 +1,59 @@
+//! Tiny shared argv helpers for the benchmark binaries.
+//!
+//! The binaries deliberately avoid a CLI-parsing dependency; these helpers
+//! keep the handful of common flags (`--csv`, `--metrics`, `--shots N`,
+//! `--seed N`, `--threads N`) consistent across them instead of each binary
+//! re-implementing the scan.
+
+/// `true` when `name` (e.g. `"--csv"`) appears anywhere in the argv.
+#[must_use]
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The value following `name` in the argv, parsed; `None` when the flag is
+/// absent or its value does not parse.
+#[must_use]
+pub fn value<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::args()
+        .skip_while(|a| a != name)
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+}
+
+/// `--shots N` with a default (the paper runs 1024).
+#[must_use]
+pub fn shots(default: u64) -> u64 {
+    value("--shots").unwrap_or(default)
+}
+
+/// `--threads N`: the shot executor's worker count. `None` (flag absent)
+/// leaves the executor on its default, `available_parallelism`; a value of
+/// 0 is treated as absent. Thanks to per-shot RNG streams the choice only
+/// changes wall-clock time, never the seeded counts — which is exactly what
+/// `scripts/check.sh`'s determinism gate asserts.
+#[must_use]
+pub fn threads() -> Option<usize> {
+    value::<usize>("--threads").filter(|&n| n > 0)
+}
+
+/// Applies the `--threads` flag (when present) to an executor.
+#[must_use]
+pub fn with_threads(exec: qsim::Executor) -> qsim::Executor {
+    match threads() {
+        Some(n) => exec.threads(n),
+        None => exec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // `std::env::args` of the test runner is not controllable, so the
+    // helpers are exercised for "absent" behaviour only.
+    #[test]
+    fn absent_flags_fall_back() {
+        assert!(!super::flag("--definitely-not-passed"));
+        assert_eq!(super::shots(77), 77);
+        assert_eq!(super::threads(), None);
+    }
+}

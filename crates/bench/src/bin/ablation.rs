@@ -8,12 +8,16 @@
 //!   gates early (reflected in depth);
 //! * the **reset placement options** (paper-style leading resets).
 
+use bench::args;
 use bench::report::Table;
 use dqc::{transform_with_scheme, DynamicScheme, ResourceSummary, TransformOptions};
 use qalgo::suites::toffoli_suite;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
+    let csv = args::flag("--csv");
+    // Accepted for interface uniformity with the shot-based binaries; the
+    // ablation is resource counting, so the worker count cannot change it.
+    let _ = args::threads();
     let mut t = Table::new(vec![
         "benchmark",
         "scheme",

@@ -1,23 +1,20 @@
 //! Regenerates the paper's Fig. 7 (expected-outcome probabilities).
 
+use bench::args;
 use bench::report::metrics_section;
 use bench::runners::fig7_observed;
 use qobs::Observer;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    let metrics = std::env::args().any(|a| a == "--metrics");
-    let shots = std::env::args()
-        .skip_while(|a| a != "--shots")
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let csv = args::flag("--csv");
+    let metrics = args::flag("--metrics");
+    let shots = args::shots(1024);
     let obs = if metrics {
         Observer::metrics_only()
     } else {
         Observer::disabled()
     };
-    let t = fig7_observed(shots, 0xD41E, &obs);
+    let t = fig7_observed(shots, 0xD41E, args::threads(), &obs);
     println!("Fig. 7 — probability of the expected outcome ({shots} shots, plus exact values)\n");
     if csv {
         print!("{}", t.to_csv());

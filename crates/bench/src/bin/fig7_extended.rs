@@ -4,13 +4,17 @@
 //! Toffolis). This sweep fills the gap with 3-input oracles of increasing
 //! Toffoli count, charting where dynamic-2's exactness ends.
 
+use bench::args;
 use bench::report::{fmt_prob, Table};
 use dqc::{transform_with_scheme, verify, DynamicScheme, QubitRoles, TransformOptions};
 use qalgo::{dj_circuit, TruthTable};
 use qcir::Gate;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
+    let csv = args::flag("--csv");
+    // Accepted for interface uniformity with the shot-based binaries; this
+    // sweep is computed exactly, so the worker count cannot change it.
+    let _ = args::threads();
     let cases: Vec<(&str, TruthTable)> = vec![
         ("AND3", TruthTable::and(3)),
         ("OR3", TruthTable::or(3)),

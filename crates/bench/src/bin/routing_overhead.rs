@@ -5,6 +5,7 @@
 //! beyond saving qubits, the 2-qubit realization eliminates SWAP-insertion
 //! overhead entirely.
 
+use bench::args;
 use bench::report::Table;
 use dqc::{transform_with_scheme, DynamicScheme, TransformOptions};
 use qalgo::suites::{toffoli_free_suite, toffoli_suite};
@@ -13,7 +14,11 @@ use qcir::routing::{route, CouplingMap};
 use qcir::CircuitStats;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
+    let csv = args::flag("--csv");
+    // Accepted for interface uniformity with the shot-based binaries; the
+    // routing tables are deterministic, so the worker count cannot change
+    // them.
+    let _ = args::threads();
     let mut t = Table::new(vec![
         "benchmark",
         "topology",

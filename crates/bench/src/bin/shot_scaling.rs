@@ -1,0 +1,78 @@
+//! Shot-executor thread scaling on the paper's heaviest sampled circuit.
+//!
+//! Runs CARRY under dynamic-2 (three Toffolis, the deepest Table II entry)
+//! at a fixed seed across worker counts, timing each run and asserting the
+//! counts are bit-identical — the determinism contract of the per-shot RNG
+//! streams made observable as a benchmark. `--shots N` and `--threads-list
+//! 1,2,4,8` override the defaults; the speedup column is relative to one
+//! worker.
+
+use bench::args;
+use bench::report::Table;
+use dqc::{transform_with_scheme, DynamicScheme, TransformOptions};
+use qalgo::suites::toffoli_suite;
+use qsim::Executor;
+use std::time::Instant;
+
+fn main() {
+    let csv = args::flag("--csv");
+    let shots = args::shots(1024);
+    let seed = args::value("--seed").unwrap_or(0xD41Eu64);
+    let threads_list: Vec<usize> = args::value::<String>("--threads-list")
+        .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+
+    let carry = toffoli_suite()
+        .into_iter()
+        .find(|b| b.name == "CARRY")
+        .expect("CARRY is in the Toffoli suite");
+    let dynamic = transform_with_scheme(
+        &carry.circuit,
+        &carry.roles,
+        DynamicScheme::Dynamic2,
+        &TransformOptions::default(),
+    )
+    .expect("CARRY transforms under dynamic-2");
+    let circuit = dynamic.circuit();
+
+    let mut t = Table::new(vec!["threads", "wall ms", "speedup", "counts identical"]);
+    let mut baseline_ms = None;
+    let mut baseline_counts = None;
+    for &threads in &threads_list {
+        let exec = Executor::new().shots(shots).seed(seed).threads(threads);
+        let start = Instant::now();
+        let counts = exec.run(circuit);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let identical = match &baseline_counts {
+            None => {
+                baseline_counts = Some(counts);
+                true
+            }
+            Some(base) => base == &counts,
+        };
+        assert!(
+            identical,
+            "seeded counts diverged at {threads} threads — determinism contract broken"
+        );
+        let speedup = baseline_ms.get_or_insert(ms).max(f64::MIN_POSITIVE) / ms;
+        t.row(vec![
+            threads.to_string(),
+            format!("{ms:.2}"),
+            format!("{speedup:.2}x"),
+            "yes".to_string(),
+        ]);
+    }
+
+    println!(
+        "Shot scaling — CARRY dynamic-2, {shots} shots, seed {seed:#x} \
+         (host has {} core(s))\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!("\ncounts are asserted bit-identical across worker counts before timing");
+    println!("is reported; a divergence aborts the run.");
+}

@@ -1,12 +1,16 @@
 //! Regenerates the paper's Table I (Toffoli-free circuits).
 
+use bench::args;
 use bench::report::metrics_section;
 use bench::runners::table1_observed;
 use qobs::Observer;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    let metrics = std::env::args().any(|a| a == "--metrics");
+    let csv = args::flag("--csv");
+    let metrics = args::flag("--metrics");
+    // Accepted for interface uniformity with the shot-based binaries; this
+    // table is computed exactly, so the worker count cannot change it.
+    let _ = args::threads();
     let obs = if metrics {
         Observer::metrics_only()
     } else {

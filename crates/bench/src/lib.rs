@@ -11,7 +11,12 @@
 //! * `mct_sweep` — multi-control Toffoli networks (the paper's future work)
 //!
 //! Run e.g. `cargo run -p bench --bin table1 -- --csv`.
+//!
+//! Shot-based binaries additionally accept `--threads N` (worker count for
+//! the parallel shot executor; seeded results are bit-identical for every
+//! value) — see [`args`].
 
+pub mod args;
 pub mod paper;
 pub mod report;
 pub mod runners;

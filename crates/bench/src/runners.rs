@@ -130,15 +130,17 @@ pub fn table2() -> Table {
 /// schemes.
 #[must_use]
 pub fn fig7(shots: u64, seed: u64) -> Table {
-    fig7_observed(shots, seed, &Observer::disabled())
+    fig7_observed(shots, seed, None, &Observer::disabled())
 }
 
 /// [`fig7`] with instrumentation: the shot-based estimates run through an
 /// observed [`Executor`], so the report can carry the simulation counters
 /// (total shots, gates by kind, resets, mid-circuit measurements,
-/// classical-control fire/skip) alongside the probabilities.
+/// classical-control fire/skip) alongside the probabilities. `threads`
+/// caps the executor's worker count (`None` = `available_parallelism`);
+/// per-shot RNG streams keep every probability identical across values.
 #[must_use]
-pub fn fig7_observed(shots: u64, seed: u64, obs: &Observer) -> Table {
+pub fn fig7_observed(shots: u64, seed: u64, threads: Option<usize>, obs: &Observer) -> Table {
     let mut t = Table::new(vec![
         "benchmark",
         "expected",
@@ -158,10 +160,13 @@ pub fn fig7_observed(shots: u64, seed: u64, obs: &Observer) -> Table {
         debug_assert_eq!(r1.expected_outcome, r2.expected_outcome);
 
         // Shot-based estimates, as the paper measured them.
-        let exec = Executor::new()
+        let mut exec = Executor::new()
             .shots(shots)
             .seed(seed)
             .observer(obs.clone());
+        if let Some(t) = threads {
+            exec = exec.threads(t);
+        }
         let n_data = b.roles.data().len();
         let mut tradi_measured = Circuit::new(b.circuit.num_qubits(), n_data);
         tradi_measured.extend(&b.circuit);
@@ -435,7 +440,7 @@ mod tests {
         );
 
         let obs2 = Observer::metrics_only();
-        let _ = fig7_observed(32, 7, &obs2);
+        let _ = fig7_observed(32, 7, None, &obs2);
         // 9 benchmarks x 3 circuits (traditional, dynamic-1, dynamic-2).
         assert_eq!(obs2.metrics().counter("executor.shots"), Some(9 * 3 * 32));
         assert!(obs2.metrics().counter("executor.mid_circuit_measurements") > Some(0));

@@ -55,6 +55,10 @@ pub struct CliOptions {
     pub shots: u64,
     /// RNG seed for the metrics-mode simulation (fixed for reproducibility).
     pub seed: u64,
+    /// Worker threads for the metrics-mode simulation (`None` = the
+    /// executor's default, `available_parallelism`). Per-shot RNG streams
+    /// make the counts identical for every value.
+    pub threads: Option<usize>,
     /// Input file (`None` = stdin).
     pub input: Option<String>,
 }
@@ -73,6 +77,7 @@ impl Default for CliOptions {
             metrics: None,
             shots: 1024,
             seed: 7,
+            threads: None,
             input: None,
         }
     }
@@ -117,6 +122,16 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 opts.seed = v
                     .parse()
                     .map_err(|_| format!("--seed: '{v}' is not a seed"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads: '{v}' is not a thread count"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = Some(n);
             }
             "--input" => {
                 opts.input = Some(it.next().ok_or("--input needs a value")?.clone());
@@ -166,13 +181,16 @@ pub fn usage() -> String {
     "usage: dqct --answer <i,j,...> [--data <i,...>] [--ancilla <i,...>]\n\
      \x20           [--scheme direct|dynamic1|dynamic2] [--verify] [--analyze]\n\
      \x20           [--stats] [--metrics[=json|text]] [--shots N] [--seed N]\n\
-     \x20           [--ascii] [--input FILE | FILE]\n\
+     \x20           [--threads N] [--ascii] [--input FILE | FILE]\n\
      Reads OpenQASM 3 from FILE or stdin; qubits not listed under --answer\n\
      or --ancilla default to data.\n\
      --metrics instruments the transform, verification and a seeded\n\
      simulation of the dynamic circuit, then prints the collected\n\
      counters, gauges and timing histograms ('json' prints one JSON\n\
-     document instead of QASM; 'text' appends '//'-prefixed lines)."
+     document instead of QASM; 'text' appends '//'-prefixed lines).\n\
+     --threads sets the shot executor's worker count (default: all\n\
+     cores); per-shot RNG streams keep seeded counts bit-identical\n\
+     for every thread count."
         .to_string()
 }
 
@@ -265,11 +283,14 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
     if let Some(format) = opts.metrics {
         // Run the dynamic circuit through the shot executor under the same
         // observer, so simulation counters land next to the transform spans.
-        Executor::new()
+        let mut exec = Executor::new()
             .shots(opts.shots)
             .seed(opts.seed)
-            .observer(obs.clone())
-            .run(dynamic.circuit());
+            .observer(obs.clone());
+        if let Some(threads) = opts.threads {
+            exec = exec.threads(threads);
+        }
+        exec.run(dynamic.circuit());
         match format {
             MetricsFormat::Json => {
                 // Machine-readable mode: the output is exactly one JSON
@@ -358,8 +379,20 @@ h q[1];
         assert_eq!(text.metrics, Some(MetricsFormat::Text));
         assert_eq!(bare.shots, 1024);
         assert_eq!(bare.seed, 7);
-        let tuned = parse_args(&args("--answer 2 --metrics --shots 64 --seed 3")).unwrap();
-        assert_eq!((tuned.shots, tuned.seed), (64, 3));
+        assert_eq!(bare.threads, None);
+        let tuned = parse_args(&args(
+            "--answer 2 --metrics --shots 64 --seed 3 --threads 4",
+        ))
+        .unwrap();
+        assert_eq!((tuned.shots, tuned.seed, tuned.threads), (64, 3, Some(4)));
+    }
+
+    #[test]
+    fn threads_flag_rejects_bad_values() {
+        assert!(parse_args(&args("--answer 2 --threads many")).is_err());
+        let err = parse_args(&args("--answer 2 --threads 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(parse_args(&args("--answer 2 --threads")).is_err());
     }
 
     #[test]
@@ -428,6 +461,26 @@ h q[1];
             s[start..end].to_string()
         };
         assert_eq!(counters(&a), counters(&b));
+    }
+
+    #[test]
+    fn metrics_counters_are_identical_across_thread_counts() {
+        // The stronger determinism contract: per-shot RNG streams make the
+        // seeded simulation (and hence every outcome-dependent counter,
+        // e.g. executor.cc_fired) bit-identical at any worker count.
+        let counters = |threads: &str| {
+            let opts = parse_args(&args(&format!(
+                "--answer 2 --metrics=json --shots 128 --seed 5 --threads {threads}"
+            )))
+            .unwrap();
+            let out = run(BV_QASM, &opts).unwrap();
+            let start = out.find("\"counters\"").unwrap();
+            let end = out.find("\"gauges\"").unwrap();
+            out[start..end].to_string()
+        };
+        let one = counters("1");
+        assert_eq!(counters("2"), one);
+        assert_eq!(counters("8"), one);
     }
 
     #[test]

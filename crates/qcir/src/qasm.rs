@@ -477,6 +477,61 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_bit_zero_condition() {
+        // An on-zero condition must emit `== 0` and survive the round trip
+        // as `Bit { value: false }`, not collapse to the on-one form.
+        let mut circ = Circuit::new(1, 2);
+        circ.gate_if(Gate::X, &[q(0)], Condition::bit_zero(c(1)));
+        let text = to_qasm(&circ);
+        assert!(text.contains("if (c[1] == 0) { x q[0]; }"), "{text}");
+        let parsed = from_qasm(&text).unwrap();
+        assert_eq!(parsed.instructions(), circ.instructions());
+        assert_eq!(to_qasm(&parsed), text);
+    }
+
+    #[test]
+    fn emit_parse_emit_is_idempotent_for_condition_forms() {
+        // Every condition shape the IR can express: bit == 1, bit == 0,
+        // multi-bit register values with mixed 0/1 clauses (including
+        // non-contiguous, out-of-order bit lists), a conditioned reset, and
+        // a single-bit register (which re-parses as the equivalent Bit
+        // condition — the emitted text is identical either way).
+        let mut circ = Circuit::new(2, 4);
+        circ.measure(q(0), c(0)).measure(q(1), c(1));
+        circ.gate_if(Gate::X, &[q(0)], Condition::bit(c(0)));
+        circ.gate_if(Gate::H, &[q(1)], Condition::bit_zero(c(1)));
+        circ.gate_if(
+            Gate::Z,
+            &[q(0)],
+            Condition::register(vec![c(0), c(1), c(3)], 0b101),
+        );
+        circ.gate_if(Gate::V, &[q(1)], Condition::register(vec![c(2)], 0b1));
+        circ.gate_if(
+            Gate::Y,
+            &[q(0)],
+            Condition::register(vec![c(3), c(0)], 0b01),
+        );
+        circ.push(
+            Instruction::reset(q(0)).with_condition(Condition::register(vec![c(1), c(2)], 0b10)),
+        );
+        let once = to_qasm(&circ);
+        let parsed = from_qasm(&once).unwrap();
+        let twice = to_qasm(&parsed);
+        assert_eq!(once, twice, "emit -> parse -> emit must be a fixed point");
+        // The conditions must also evaluate identically on every possible
+        // classical-register state, so the normalization is semantics-free.
+        assert_eq!(circ.instructions().len(), parsed.instructions().len());
+        for (a, b) in circ.instructions().iter().zip(parsed.instructions()) {
+            for value in 0u8..16 {
+                let bits: Vec<bool> = (0..4).map(|k| value >> k & 1 == 1).collect();
+                let fire_a = a.condition().is_none_or(|cond| cond.evaluate(&bits));
+                let fire_b = b.condition().is_none_or(|cond| cond.evaluate(&bits));
+                assert_eq!(fire_a, fire_b, "condition mismatch on bits {bits:?}");
+            }
+        }
+    }
+
+    #[test]
     fn parser_ignores_comments_and_blank_lines() {
         let text = "OPENQASM 3.0;\n// a comment\n\nqubit[1] q;\nh q[0]; // trailing\n";
         let parsed = from_qasm(text).unwrap();

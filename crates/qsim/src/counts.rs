@@ -50,6 +50,36 @@ impl Counts {
         *self.map.entry(key.into()).or_insert(0) += n;
     }
 
+    /// Absorbs all observations of `other`, as if the outcome sequences had
+    /// been recorded back to back.
+    ///
+    /// Merging is associative and commutative (counts are a multiset), which
+    /// is what lets parallel shot workers tally locally and combine their
+    /// partial results in shot order without changing the aggregate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsim::Counts;
+    /// let mut a = Counts::new();
+    /// a.record("0");
+    /// let mut b = Counts::new();
+    /// b.record("0");
+    /// b.record("1");
+    /// a.merge(b);
+    /// assert_eq!(a.get("0"), 2);
+    /// assert_eq!(a.total(), 3);
+    /// ```
+    pub fn merge(&mut self, other: Counts) {
+        if self.map.is_empty() {
+            self.map = other.map;
+            return;
+        }
+        for (k, v) in other.map {
+            *self.map.entry(k).or_insert(0) += v;
+        }
+    }
+
     /// The number of shots recorded.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -371,6 +401,37 @@ mod tests {
         assert_eq!(c.total(), 0);
         assert_eq!(c.probability("0"), 0.0);
         assert!(c.most_frequent().is_none());
+    }
+
+    #[test]
+    fn merge_matches_concatenated_recording() {
+        let left = ["00", "01", "00"];
+        let right = ["01", "11"];
+        let mut a = Counts::new();
+        for k in left {
+            a.record(k);
+        }
+        let mut b = Counts::new();
+        for k in right {
+            b.record(k);
+        }
+        a.merge(b);
+        let mut concat = Counts::new();
+        for k in left.iter().chain(right.iter()) {
+            concat.record(*k);
+        }
+        assert_eq!(a, concat);
+    }
+
+    #[test]
+    fn merge_into_empty_and_with_empty() {
+        let mut a = Counts::new();
+        let mut b = Counts::new();
+        b.record_n("1", 4);
+        a.merge(b.clone());
+        assert_eq!(a, b);
+        a.merge(Counts::new());
+        assert_eq!(a, b);
     }
 
     #[test]

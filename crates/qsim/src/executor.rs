@@ -4,6 +4,22 @@
 //! shot by shot on a statevector, sampling mid-circuit measurements,
 //! applying active resets, honouring classically controlled gates, and
 //! optionally inserting noise as quantum trajectories.
+//!
+//! # Determinism contract
+//!
+//! Shot `i` of a seeded run executes on its own RNG, seeded with
+//! [`rand::stream_seed`]`(seed, i)` — a counter-based derivation, not a
+//! shared sequential stream. A shot's outcome therefore depends only on
+//! `(seed, shot_index, circuit)`: it never shifts because another shot, a
+//! noise trajectory, or a reordered draw consumed randomness elsewhere.
+//! Consequences, all covered by tests:
+//!
+//! * results are **bit-identical for every thread count** (see
+//!   [`Executor::threads`]) — shots are embarrassingly parallel;
+//! * an `n`-shot run is a **prefix** of an `m > n`-shot run at the same
+//!   seed (in [`Executor::run_memory`] order);
+//! * enabling a noise channel perturbs only the shots in which it draws,
+//!   never the seeding of later shots.
 
 use crate::counts::{bitstring, Counts};
 use crate::noise::NoiseModel;
@@ -11,8 +27,9 @@ use crate::statevector::StateVector;
 use qcir::{Circuit, OpKind};
 use qobs::Observer;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{stream_seed, Rng, RngCore, SeedableRng};
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 /// A configurable shot-based simulator.
 ///
@@ -34,6 +51,7 @@ use std::collections::BTreeMap;
 pub struct Executor {
     shots: u64,
     seed: Option<u64>,
+    threads: Option<usize>,
     noise: NoiseModel,
     observer: Observer,
 }
@@ -56,6 +74,23 @@ struct RunTally {
     noise_applications: u64,
 }
 
+impl RunTally {
+    /// Adds `other`'s counters into `self`. Worker-local tallies are merged
+    /// with this in shot order before the single registry flush; every field
+    /// is a sum, so the merge is exact regardless of the partitioning.
+    fn absorb(&mut self, other: RunTally) {
+        for (name, n) in other.gates {
+            *self.gates.entry(name).or_insert(0) += n;
+        }
+        self.resets += other.resets;
+        self.measurements += other.measurements;
+        self.mid_measurements += other.mid_measurements;
+        self.cc_fired += other.cc_fired;
+        self.cc_skipped += other.cc_skipped;
+        self.noise_applications += other.noise_applications;
+    }
+}
+
 /// Tally plus the per-instruction "is a mid-circuit measurement" flags
 /// (precomputed once per run, not per shot).
 struct TallyCtx<'a> {
@@ -64,19 +99,26 @@ struct TallyCtx<'a> {
 }
 
 /// `flags[i]` is `true` when instruction `i` is a measurement whose qubit
-/// is used again by a later instruction — the defining property of a
-/// mid-circuit measurement.
+/// is used again by a later gate, measurement or reset — the defining
+/// property of a mid-circuit measurement. A single backward pass over the
+/// circuit (O(n), not a per-measurement forward rescan), tracking whether
+/// each qubit has a later *operational* use; barriers are scheduling
+/// directives, not operations, so a trailing barrier does not turn a final
+/// readout into a mid-circuit one.
 fn mid_measure_flags(circuit: &Circuit) -> Vec<bool> {
     let insts = circuit.instructions();
     let mut flags = vec![false; insts.len()];
-    for (i, inst) in insts.iter().enumerate() {
-        if !matches!(inst.kind(), OpKind::Measure) {
+    let mut used_later = vec![false; circuit.num_qubits()];
+    for (i, inst) in insts.iter().enumerate().rev() {
+        if matches!(inst.kind(), OpKind::Barrier) {
             continue;
         }
-        let q = inst.qubits()[0];
-        flags[i] = insts[i + 1..]
-            .iter()
-            .any(|later| later.qubits().contains(&q));
+        if matches!(inst.kind(), OpKind::Measure) {
+            flags[i] = used_later[inst.qubits()[0].index()];
+        }
+        for q in inst.qubits() {
+            used_later[q.index()] = true;
+        }
     }
     flags
 }
@@ -95,6 +137,7 @@ impl Executor {
         Self {
             shots: 1024,
             seed: None,
+            threads: None,
             noise: NoiseModel::ideal(),
             observer: Observer::disabled(),
         }
@@ -107,10 +150,33 @@ impl Executor {
         self
     }
 
-    /// Fixes the RNG seed for reproducible runs.
+    /// Fixes the base seed for reproducible runs. Shot `i` then executes on
+    /// its own stream seeded with [`rand::stream_seed`]`(seed, i)`, so the
+    /// per-shot outcomes are a pure function of `(seed, i, circuit)` — see
+    /// the module-level determinism contract.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the worker-thread count for [`Executor::run`] /
+    /// [`Executor::run_memory`]. The default is the machine's
+    /// `std::thread::available_parallelism`.
+    ///
+    /// Because every shot runs on its own counter-derived RNG stream, the
+    /// thread count is invisible in the results: a seeded run is
+    /// bit-identical at 1, 2 or 8 threads (counts, memory order, and
+    /// observer counters alike). `threads(1)` forces the in-thread
+    /// sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is 0.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be at least 1");
+        self.threads = Some(threads);
         self
     }
 
@@ -150,52 +216,173 @@ impl Executor {
     /// Runs the circuit and tallies classical-register outcomes.
     ///
     /// The result keys are bitstrings with classical bit `n-1` leftmost.
+    /// Shots are distributed over [`Executor::threads`] workers with
+    /// worker-local [`Counts`] buffers, merged in shot order; the result is
+    /// bit-identical for every thread count at a fixed seed.
     pub fn run(&self, circuit: &Circuit) -> Counts {
+        let parts = self.run_partitioned(
+            circuit,
+            |_| Counts::new(),
+            |counts: &mut Counts, classical| counts.record(bitstring(&classical)),
+        );
         let mut counts = Counts::new();
-        self.run_all(circuit, |classical| {
-            counts.record(bitstring(&classical));
-        });
+        for part in parts {
+            counts.merge(part);
+        }
         counts
     }
 
     /// Runs the circuit and returns the per-shot outcome records in order
     /// (the "memory" mode of hardware backends), for analyses that need
     /// shot-to-shot structure rather than aggregate counts.
+    ///
+    /// Workers fill worker-local buffers over contiguous shot ranges, which
+    /// are concatenated in range order — entry `i` is always shot `i`,
+    /// whatever the thread count.
     pub fn run_memory(&self, circuit: &Circuit) -> Vec<String> {
+        let parts = self.run_partitioned(
+            circuit,
+            Vec::with_capacity,
+            |memory: &mut Vec<String>, classical| memory.push(bitstring(&classical)),
+        );
         let mut memory = Vec::with_capacity(self.shots as usize);
-        self.run_all(circuit, |classical| {
-            memory.push(bitstring(&classical));
-        });
+        for part in parts {
+            memory.extend(part);
+        }
         memory
     }
 
-    /// Shared shot loop behind [`Executor::run`] and
-    /// [`Executor::run_memory`]: seeds the RNG, executes every shot, and —
-    /// only when the observer is enabled — times the run and flushes the
-    /// per-run tally into the metrics registry.
-    fn run_all(&self, circuit: &Circuit, mut per_shot: impl FnMut(Vec<bool>)) {
-        let mut rng = match self.seed {
-            Some(s) => StdRng::seed_from_u64(s),
-            None => StdRng::from_entropy(),
+    /// The run's base seed: the configured seed, or fresh entropy drawn once
+    /// per run (so even unseeded runs derive coherent per-shot streams).
+    fn base_seed(&self) -> u64 {
+        match self.seed {
+            Some(s) => s,
+            None => StdRng::from_entropy().next_u64(),
+        }
+    }
+
+    /// The worker count: the explicit [`Executor::threads`] override, else
+    /// the machine's available parallelism (1 when undeterminable).
+    fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+    }
+
+    /// Shared shot driver behind [`Executor::run`] and
+    /// [`Executor::run_memory`]: splits the shot range into one contiguous
+    /// chunk per worker, executes each chunk with a worker-local accumulator
+    /// (built by `make`, filled by `record`), and returns the accumulators
+    /// in shot order. With the observer enabled, each worker also keeps a
+    /// local [`RunTally`]; the tallies are merged deterministically in shot
+    /// order and flushed into the metrics registry exactly once, under the
+    /// timed `executor.run` span.
+    ///
+    /// Shot `i` always executes on `stream_seed(base, i)`, so the partition
+    /// geometry (and hence the thread count) is invisible in the results.
+    fn run_partitioned<A, M, F>(&self, circuit: &Circuit, make: M, record: F) -> Vec<A>
+    where
+        A: Send,
+        M: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, Vec<bool>) + Sync,
+    {
+        let base = self.base_seed();
+        let workers = (self.effective_threads() as u64).min(self.shots.max(1)) as usize;
+        let observed = self.observer.is_enabled();
+        let mid = if observed {
+            Some(mid_measure_flags(circuit))
+        } else {
+            None
         };
-        if self.observer.is_enabled() {
+        let span = if observed {
             let mut span = self.observer.span("executor.run");
             span.field("shots", self.shots);
             span.field("instructions", circuit.len());
-            let mid = mid_measure_flags(circuit);
-            let mut tally = RunTally::default();
-            for _ in 0..self.shots {
-                let mut ctx = Some(TallyCtx {
-                    tally: &mut tally,
-                    mid_measure: &mid,
-                });
-                let (classical, _) = self.run_shot_with_state_tallied(circuit, &mut rng, &mut ctx);
-                per_shot(classical);
-            }
-            self.flush_tally(&tally);
+            span.field("threads", workers as u64);
+            Some(span)
         } else {
-            for _ in 0..self.shots {
-                per_shot(self.run_shot(circuit, &mut rng));
+            None
+        };
+
+        let (parts, tallies): (Vec<A>, Vec<Option<RunTally>>) = if workers <= 1 {
+            let mut acc = make(self.shots as usize);
+            let tally = self.run_chunk_with(
+                circuit,
+                base,
+                0..self.shots,
+                mid.as_deref(),
+                &mut acc,
+                &record,
+            );
+            (vec![acc], vec![tally])
+        } else {
+            let chunk = self.shots.div_ceil(workers as u64);
+            let mid = mid.as_deref();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers as u64)
+                    .map(|w| {
+                        let lo = w * chunk;
+                        let hi = (lo + chunk).min(self.shots);
+                        let (make, record) = (&make, &record);
+                        scope.spawn(move || {
+                            let mut acc = make((hi - lo) as usize);
+                            let tally =
+                                self.run_chunk_with(circuit, base, lo..hi, mid, &mut acc, record);
+                            (acc, tally)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shot worker panicked"))
+                    .unzip()
+            })
+        };
+        if observed {
+            let mut merged = RunTally::default();
+            for tally in tallies.into_iter().flatten() {
+                merged.absorb(tally);
+            }
+            self.flush_tally(&merged);
+        }
+        drop(span);
+        parts
+    }
+
+    /// Executes the contiguous shot range `shots` sequentially, seeding shot
+    /// `i` from `stream_seed(base, i)` and feeding each outcome to `record`.
+    /// Returns this chunk's tally when `mid` is provided (the observed
+    /// path); `None` keeps the un-instrumented hot path tally-free.
+    fn run_chunk_with<A>(
+        &self,
+        circuit: &Circuit,
+        base: u64,
+        shots: Range<u64>,
+        mid: Option<&[bool]>,
+        acc: &mut A,
+        record: &(impl Fn(&mut A, Vec<bool>) + Sync),
+    ) -> Option<RunTally> {
+        match mid {
+            Some(mid) => {
+                let mut tally = RunTally::default();
+                for i in shots {
+                    let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
+                    let mut ctx = Some(TallyCtx {
+                        tally: &mut tally,
+                        mid_measure: mid,
+                    });
+                    let (classical, _) =
+                        self.run_shot_with_state_tallied(circuit, &mut rng, &mut ctx);
+                    record(acc, classical);
+                }
+                Some(tally)
+            }
+            None => {
+                for i in shots {
+                    let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
+                    record(acc, self.run_shot(circuit, &mut rng));
+                }
+                None
             }
         }
     }
@@ -414,6 +601,144 @@ mod tests {
         let a = Executor::new().shots(200).seed(42).run(&circ);
         let b = Executor::new().shots(200).seed(42).run(&circ);
         assert_eq!(a, b);
+    }
+
+    /// A dynamic circuit exercising every RNG consumer: superposition
+    /// measurement, classical control, reset, plus (optionally) noise.
+    fn dynamic_test_circuit() -> Circuit {
+        let mut circ = Circuit::new(2, 3);
+        circ.h(q(0))
+            .measure(q(0), c(0))
+            .x_if(q(1), c(0))
+            .reset(q(0))
+            .h(q(0))
+            .measure(q(0), c(1))
+            .measure(q(1), c(2));
+        circ
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        // The tentpole invariant: at a fixed seed, counts AND shot-ordered
+        // memory are identical at 1, 2 and 8 threads.
+        let circ = dynamic_test_circuit();
+        let exec = |threads: usize| Executor::new().shots(257).seed(0xC0FFEE).threads(threads);
+        let counts1 = exec(1).run(&circ);
+        let memory1 = exec(1).run_memory(&circ);
+        for threads in [2, 8] {
+            assert_eq!(exec(threads).run(&circ), counts1, "counts @ {threads}");
+            assert_eq!(
+                exec(threads).run_memory(&circ),
+                memory1,
+                "memory @ {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_results_are_bit_identical_across_thread_counts() {
+        let circ = dynamic_test_circuit();
+        let exec = |threads: usize| {
+            Executor::new()
+                .shots(200)
+                .seed(99)
+                .threads(threads)
+                .noise(NoiseModel::depolarizing(0.05, 0.1))
+        };
+        let baseline = exec(1).run_memory(&circ);
+        assert_eq!(exec(2).run_memory(&circ), baseline);
+        assert_eq!(exec(8).run_memory(&circ), baseline);
+    }
+
+    #[test]
+    fn observer_counters_are_identical_across_thread_counts() {
+        let circ = dynamic_test_circuit();
+        let counters = |threads: usize| {
+            let obs = qobs::Observer::metrics_only();
+            Executor::new()
+                .shots(128)
+                .seed(7)
+                .threads(threads)
+                .observer(obs.clone())
+                .run(&circ);
+            let json = obs.metrics().to_json();
+            let start = json.find("\"counters\"").unwrap();
+            let end = json.find("\"gauges\"").unwrap();
+            json[start..end].to_string()
+        };
+        let one = counters(1);
+        assert_eq!(counters(2), one);
+        assert_eq!(counters(8), one);
+    }
+
+    #[test]
+    fn shorter_runs_are_prefixes_of_longer_runs() {
+        // Order independence: shot i depends only on (seed, i, circuit), so
+        // a 100-shot run is literally the first 100 shots of a 300-shot run.
+        let circ = dynamic_test_circuit();
+        let short = Executor::new().shots(100).seed(5).run_memory(&circ);
+        let long = Executor::new().shots(300).seed(5).run_memory(&circ);
+        assert_eq!(short[..], long[..100]);
+    }
+
+    #[test]
+    fn thread_count_exceeding_shots_is_fine() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).measure(q(0), c(0));
+        let counts = Executor::new().shots(3).seed(1).threads(16).run(&circ);
+        assert_eq!(counts.get("1"), 3);
+        let none = Executor::new().shots(0).seed(1).threads(4).run(&circ);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be at least 1")]
+    fn zero_threads_is_rejected() {
+        let _ = Executor::new().threads(0);
+    }
+
+    #[test]
+    fn mid_measure_flags_ignore_barriers_and_find_reuse() {
+        // measure; barrier on the same qubit; nothing else -> NOT mid-circuit.
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0)).measure(q(0), c(0));
+        circ.push(Instruction::barrier(vec![q(0), q(1)]));
+        circ.measure(q(1), c(1));
+        let flags = mid_measure_flags(&circ);
+        assert_eq!(flags, vec![false, false, false, false]);
+
+        // measure; later gate on the same qubit -> mid-circuit.
+        let mut circ2 = Circuit::new(1, 2);
+        circ2.measure(q(0), c(0));
+        circ2.push(Instruction::barrier(vec![q(0)]));
+        circ2.h(q(0)).measure(q(0), c(1));
+        let flags2 = mid_measure_flags(&circ2);
+        assert_eq!(flags2, vec![true, false, false, false]);
+
+        // Reset counts as reuse; the final measurement does not.
+        let mut circ3 = Circuit::new(1, 2);
+        circ3.measure(q(0), c(0)).reset(q(0)).measure(q(0), c(1));
+        assert_eq!(mid_measure_flags(&circ3), vec![true, false, false]);
+    }
+
+    #[test]
+    fn trailing_barrier_does_not_inflate_mid_measure_counter() {
+        // Regression: the old forward rescan counted a trailing barrier
+        // touching the measured qubit as "reuse".
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0)).measure(q(0), c(0));
+        circ.push(Instruction::barrier(vec![q(0)]));
+        let obs = qobs::Observer::metrics_only();
+        Executor::new()
+            .shots(10)
+            .seed(3)
+            .observer(obs.clone())
+            .run(&circ);
+        assert_eq!(
+            obs.metrics().counter("executor.mid_circuit_measurements"),
+            Some(0)
+        );
+        assert_eq!(obs.metrics().counter("executor.measurements"), Some(10));
     }
 
     #[test]

@@ -335,16 +335,25 @@ impl StateVector {
     }
 
     /// Samples a full computational-basis outcome without collapsing.
+    ///
+    /// On sub-normalized states (e.g. leaky noisy trajectories) a draw past
+    /// the cumulative total falls back to the last basis state with nonzero
+    /// probability — never to an unreachable zero-amplitude outcome.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let x: f64 = rng.gen();
         let mut acc = 0.0;
+        let mut last_nonzero = 0;
         for (i, a) in self.amps.iter().enumerate() {
-            acc += a.norm_sqr();
+            let p = a.norm_sqr();
+            if p > 0.0 {
+                last_nonzero = i;
+            }
+            acc += p;
             if x < acc {
                 return i;
             }
         }
-        self.amps.len() - 1
+        last_nonzero
     }
 
     /// `|<self|other>|^2`.
@@ -427,6 +436,46 @@ mod tests {
         let mut sv = StateVector::zero_state(2);
         sv.apply_gate(&Gate::X, &[1]);
         assert_eq!(sv.amplitudes()[0b10], C64::one());
+    }
+
+    /// An RNG pinned to the top of the unit interval: `gen::<f64>()` yields
+    /// `(2^53 - 1) / 2^53`, the largest representable draw.
+    struct MaxRng;
+
+    impl rand::RngCore for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn sample_on_leaky_state_never_returns_zero_amplitude_outcome() {
+        // Regression: a sub-normalized ("leaky") state, as noisy
+        // trajectories produce, with all weight on basis states 0 and 1.
+        // A draw past the cumulative sum (x ~ 1 > 0.5) used to fall back to
+        // `len - 1` = |11>, an outcome with zero amplitude; it must fall
+        // back to the last *reachable* basis state instead.
+        let leaky = StateVector {
+            num_qubits: 2,
+            amps: vec![
+                C64::real(0.4f64.sqrt()),
+                C64::real(0.1f64.sqrt()),
+                C64::zero(),
+                C64::zero(),
+            ],
+        };
+        assert!(leaky.norm_sqr() < 0.75, "state must be sub-normalized");
+        let got = leaky.sample(&mut MaxRng);
+        assert_eq!(
+            got, 1,
+            "fallback must be the last nonzero-probability index"
+        );
+
+        // Unit-norm states are unaffected: the draw lands inside the sum.
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_gate(&Gate::H, &[0]);
+        let idx = sv.sample(&mut MaxRng);
+        assert!(sv.probabilities()[idx] > 0.0);
     }
 
     #[test]

@@ -231,4 +231,47 @@ proptest! {
         let expect = p / 2.0;
         prop_assert!((rho.prob_one(0) - expect).abs() < 1e-9);
     }
+
+    #[test]
+    fn counts_merge_equals_concatenated_recording(
+        left in proptest::collection::vec(0u8..4, 0..40),
+        right in proptest::collection::vec(0u8..4, 0..40),
+    ) {
+        let key = |v: u8| format!("{:02b}", v);
+        let mut a = qsim::Counts::new();
+        for &v in &left {
+            a.record(key(v));
+        }
+        let mut b = qsim::Counts::new();
+        for &v in &right {
+            b.record(key(v));
+        }
+        a.merge(b);
+        let mut concat = qsim::Counts::new();
+        for &v in left.iter().chain(right.iter()) {
+            concat.record(key(v));
+        }
+        prop_assert_eq!(a, concat);
+    }
+
+    #[test]
+    fn parallel_execution_is_invisible_in_results(
+        ops in proptest::collection::vec(arb_dyn_op(), 0..6),
+        seed in 0u64..1000,
+        threads in 2usize..8,
+    ) {
+        // Per-shot streams make the thread count unobservable: memory
+        // preserves shot order bit-for-bit and the counts are the memory's
+        // tally, at every worker count.
+        let circ = build_dynamic(ops);
+        let exec = |t: usize| qsim::Executor::new().shots(97).seed(seed).threads(t);
+        let sequential = exec(1).run_memory(&circ);
+        let parallel = exec(threads).run_memory(&circ);
+        prop_assert_eq!(&sequential, &parallel);
+        let mut from_memory = qsim::Counts::new();
+        for outcome in &sequential {
+            from_memory.record(outcome.clone());
+        }
+        prop_assert_eq!(exec(threads).run(&circ), from_memory);
+    }
 }

@@ -34,4 +34,30 @@ if [ "$FAST" -eq 0 ]; then
 fi
 run cargo test --workspace --offline -q
 
+# Determinism gate: a fixed-seed simulation must produce bit-identical
+# counters at every worker count. The circuit has a Toffoli, so the
+# conditioned-gate counters (executor.cc_fired / cc_skipped) depend on the
+# per-shot measurement outcomes — any drift in the per-shot RNG streams
+# shows up here.
+echo "==> determinism gate: --threads 1 vs --threads 8"
+GATE_QASM='OPENQASM 3.0;
+include "stdgates.inc";
+qubit[3] q;
+h q[0];
+h q[1];
+ccx q[0], q[1], q[2];'
+gate_counters() {
+    cargo run -q --offline -p dqct-cli --bin dqct -- \
+        --answer 2 --metrics=json --shots 256 --seed 11 --threads "$1" \
+        <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}'
+}
+c1="$(gate_counters 1)"
+c8="$(gate_counters 8)"
+if [ "$c1" != "$c8" ]; then
+    echo "determinism gate FAILED: counters differ between thread counts" >&2
+    diff <(echo "$c1") <(echo "$c8") >&2 || true
+    exit 1
+fi
+echo "    counters identical: $c1"
+
 echo "==> all checks passed"
