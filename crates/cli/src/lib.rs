@@ -8,18 +8,21 @@
 //! ```text
 //! dqct --data 0,1 --answer 2 [--ancilla 3,4] [--scheme direct|dynamic1|dynamic2]
 //!      [--verify] [--stats] [--ascii] [--metrics[=json|text]]
+//!      [--mitigate=reset-verify[,meas-repeat=R][,readout-cal]] [--noise S]
+//!      [--deadline-ms N] [--max-failed K]
 //!      [--shots N] [--seed N] [--input FILE | FILE]
 //! ```
 
 use dqc::{
-    transform_with_scheme_observed, verify, DynamicScheme, QubitRoles, ResourceSummary,
-    TransformOptions,
+    mitigate_observed, transform_with_scheme_observed, verify, DynamicScheme, MitigationOptions,
+    QubitRoles, ReadoutCalibration, ResourceSummary, TransformOptions,
 };
 use qcir::qasm::{from_qasm, to_qasm};
 use qcir::Qubit;
 use qobs::Observer;
-use qsim::Executor;
+use qsim::{Executor, NoiseModel};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Output format of the `--metrics` flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +34,7 @@ pub enum MetricsFormat {
 }
 
 /// Parsed command-line options.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CliOptions {
     /// Data qubit indices.
     pub data: Vec<usize>,
@@ -59,6 +62,15 @@ pub struct CliOptions {
     /// executor's default, `available_parallelism`). Per-shot RNG streams
     /// make the counts identical for every value.
     pub threads: Option<usize>,
+    /// Mitigation passes applied to the transformed circuit.
+    pub mitigate: MitigationOptions,
+    /// `device_like` noise scale for the metrics-mode simulation
+    /// (`None` = noiseless).
+    pub noise: Option<f64>,
+    /// Wall-clock budget for the metrics-mode simulation.
+    pub deadline_ms: Option<u64>,
+    /// Abort the metrics-mode simulation once more than this many shots fail.
+    pub max_failed: Option<u64>,
     /// Input file (`None` = stdin).
     pub input: Option<String>,
 }
@@ -78,6 +90,10 @@ impl Default for CliOptions {
             shots: 1024,
             seed: 7,
             threads: None,
+            mitigate: MitigationOptions::none(),
+            noise: None,
+            deadline_ms: None,
+            max_failed: None,
             input: None,
         }
     }
@@ -133,12 +149,47 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 }
                 opts.threads = Some(n);
             }
+            "--mitigate" => {
+                let v = it.next().ok_or("--mitigate needs a pass list")?;
+                opts.mitigate =
+                    MitigationOptions::parse(v).map_err(|e| format!("--mitigate: {e}"))?;
+            }
+            "--noise" => {
+                let v = it.next().ok_or("--noise needs a scale")?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--noise: '{v}' is not a noise scale"))?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err(format!("--noise: scale must be finite and >= 0, got {v}"));
+                }
+                opts.noise = Some(s);
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--deadline-ms: '{v}' is not a duration"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be at least 1".to_string());
+                }
+                opts.deadline_ms = Some(ms);
+            }
+            "--max-failed" => {
+                let v = it.next().ok_or("--max-failed needs a value")?;
+                opts.max_failed = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-failed: '{v}' is not a count"))?,
+                );
+            }
             "--input" => {
                 opts.input = Some(it.next().ok_or("--input needs a value")?.clone());
             }
             "--help" | "-h" => return Err(usage()),
             other => {
-                if let Some(fmt) = other.strip_prefix("--metrics=") {
+                if let Some(spec) = other.strip_prefix("--mitigate=") {
+                    opts.mitigate =
+                        MitigationOptions::parse(spec).map_err(|e| format!("--mitigate: {e}"))?;
+                } else if let Some(fmt) = other.strip_prefix("--metrics=") {
                     opts.metrics = Some(match fmt {
                         "json" => MetricsFormat::Json,
                         "text" => MetricsFormat::Text,
@@ -159,6 +210,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     }
     if opts.answer.is_empty() {
         return Err(format!("--answer is required\n{}", usage()));
+    }
+    if opts.mitigate.readout_cal && opts.noise.is_none() {
+        return Err(
+            "--mitigate readout-cal needs --noise (the confusion matrix is \
+             calibrated against the simulated noise model)"
+                .to_string(),
+        );
     }
     Ok(opts)
 }
@@ -181,7 +239,10 @@ pub fn usage() -> String {
     "usage: dqct --answer <i,j,...> [--data <i,...>] [--ancilla <i,...>]\n\
      \x20           [--scheme direct|dynamic1|dynamic2] [--verify] [--analyze]\n\
      \x20           [--stats] [--metrics[=json|text]] [--shots N] [--seed N]\n\
-     \x20           [--threads N] [--ascii] [--input FILE | FILE]\n\
+     \x20           [--threads N] [--ascii]\n\
+     \x20           [--mitigate reset-verify[=K],meas-repeat=R,readout-cal]\n\
+     \x20           [--noise S] [--deadline-ms N] [--max-failed K]\n\
+     \x20           [--input FILE | FILE]\n\
      Reads OpenQASM 3 from FILE or stdin; qubits not listed under --answer\n\
      or --ancilla default to data.\n\
      --metrics instruments the transform, verification and a seeded\n\
@@ -190,7 +251,13 @@ pub fn usage() -> String {
      document instead of QASM; 'text' appends '//'-prefixed lines).\n\
      --threads sets the shot executor's worker count (default: all\n\
      cores); per-shot RNG streams keep seeded counts bit-identical\n\
-     for every thread count."
+     for every thread count.\n\
+     --mitigate hardens the dynamic circuit: verified resets (K rounds),\n\
+     repeated measurements with majority vote (R odd readings) and, with\n\
+     --noise, readout-confusion inversion over the simulated counts.\n\
+     --noise S simulates under NoiseModel::device_like(S); --deadline-ms\n\
+     and --max-failed bound the simulation, which then degrades to partial\n\
+     counts plus a run report instead of failing."
         .to_string()
 }
 
@@ -228,6 +295,20 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         &obs,
     )
     .map_err(|e| e.to_string())?;
+    // Rewrite passes (verified resets, repeated measurements) widen the
+    // classical register; readout calibration is counts post-processing only.
+    let mitigated = if opts.mitigate.reset_verify.is_some() || opts.mitigate.meas_repeat.is_some() {
+        Some(mitigate_observed(dynamic.circuit(), &opts.mitigate, &obs))
+    } else {
+        None
+    };
+    let hardened = mitigated
+        .as_ref()
+        .map_or(dynamic.circuit(), |m| m.circuit());
+    let noise = match opts.noise {
+        Some(scale) => Some(NoiseModel::try_device_like(scale).map_err(|e| e.to_string())?),
+        None => None,
+    };
 
     let mut out = String::new();
     if opts.ascii {
@@ -281,8 +362,10 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         );
     }
     if let Some(format) = opts.metrics {
-        // Run the dynamic circuit through the shot executor under the same
-        // observer, so simulation counters land next to the transform spans.
+        // Run the (possibly hardened) dynamic circuit through the shot
+        // executor under the same observer, so simulation counters land next
+        // to the transform spans. The resilient entry point returns partial
+        // counts plus a run report when a budget is exhausted.
         let mut exec = Executor::new()
             .shots(opts.shots)
             .seed(opts.seed)
@@ -290,7 +373,54 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         if let Some(threads) = opts.threads {
             exec = exec.threads(threads);
         }
-        exec.run(dynamic.circuit());
+        if let Some(model) = &noise {
+            exec = exec.noise(model.clone());
+        }
+        if let Some(ms) = opts.deadline_ms {
+            exec = exec.deadline(Duration::from_millis(ms));
+        }
+        if let Some(k) = opts.max_failed {
+            exec = exec.max_failed(k);
+        }
+        let (counts, report) = exec.run_resilient(hardened);
+        let mut run_lines = Vec::new();
+        run_lines.push(format!(
+            "run: completed={} failed={} discarded={} termination={}",
+            report.completed, report.failed, report.discarded, report.termination
+        ));
+        let resolved = mitigated
+            .as_ref()
+            .map(|m| m.resolve_observed(&counts, &obs));
+        if let Some(r) = &resolved {
+            run_lines.push(format!(
+                "mitigate: votes_flipped={} reset_verify_fired={}",
+                r.votes_flipped, r.reset_verify_fired
+            ));
+        }
+        if opts.mitigate.readout_cal {
+            let final_counts = resolved.as_ref().map_or(&counts, |r| &r.counts);
+            let model = noise
+                .as_ref()
+                .unwrap_or_else(|| unreachable!("parse_args requires --noise for readout-cal"));
+            let width = mitigated
+                .as_ref()
+                .map_or(hardened.num_clbits(), |m| m.original_clbits());
+            let corrected = ReadoutCalibration::calibrate(
+                model,
+                width,
+                opts.shots.max(4096),
+                opts.seed.wrapping_add(1),
+            )
+            .and_then(|cal| cal.correct(final_counts))
+            .map_err(|e| e.to_string())?;
+            if let Some(top) = corrected.argmax() {
+                obs.gauge_set("mitigate.readout_cal_top_p", corrected.get(top));
+                run_lines.push(format!(
+                    "readout-cal: argmax '{top}' p={:.4}",
+                    corrected.get(top)
+                ));
+            }
+        }
         match format {
             MetricsFormat::Json => {
                 // Machine-readable mode: the output is exactly one JSON
@@ -300,13 +430,16 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
                 return Ok(json);
             }
             MetricsFormat::Text => {
+                for line in run_lines {
+                    let _ = writeln!(out, "// {line}");
+                }
                 for line in obs.metrics().to_text().lines() {
                     let _ = writeln!(out, "// {line}");
                 }
             }
         }
     }
-    out.push_str(&to_qasm(dynamic.circuit()));
+    out.push_str(&to_qasm(hardened));
     Ok(out)
 }
 
@@ -426,7 +559,7 @@ h q[1];
             "\"transform.reorder_ns\"",
             "\"transform.emit_ns\"",
             "\"transform.peephole_ns\"",
-            "\"executor.run_ns\"",
+            "\"executor.run_resilient_ns\"",
             "\"executor.shots\"",
             "\"executor.gates.h\"",
             "\"executor.resets\"",
@@ -481,6 +614,81 @@ h q[1];
         let one = counters("1");
         assert_eq!(counters("2"), one);
         assert_eq!(counters("8"), one);
+    }
+
+    #[test]
+    fn mitigate_flag_parses_both_forms() {
+        let eq = parse_args(&args("--answer 2 --mitigate=reset-verify,meas-repeat=3")).unwrap();
+        assert_eq!(eq.mitigate.reset_verify, Some(1));
+        assert_eq!(eq.mitigate.meas_repeat, Some(3));
+        let sep = parse_args(&args("--answer 2 --mitigate meas-repeat=5")).unwrap();
+        assert_eq!(sep.mitigate.meas_repeat, Some(5));
+        let err = parse_args(&args("--answer 2 --mitigate=meas-repeat=2")).unwrap_err();
+        assert!(err.contains("--mitigate:"), "{err}");
+    }
+
+    #[test]
+    fn readout_cal_requires_noise() {
+        let err = parse_args(&args("--answer 2 --mitigate=readout-cal")).unwrap_err();
+        assert!(err.contains("needs --noise"), "{err}");
+        let ok = parse_args(&args("--answer 2 --mitigate=readout-cal --noise 0.5")).unwrap();
+        assert!(ok.mitigate.readout_cal);
+        assert_eq!(ok.noise, Some(0.5));
+    }
+
+    #[test]
+    fn resilience_flags_are_validated() {
+        assert!(parse_args(&args("--answer 2 --noise -1")).is_err());
+        assert!(parse_args(&args("--answer 2 --noise hot")).is_err());
+        assert!(parse_args(&args("--answer 2 --deadline-ms 0")).is_err());
+        assert!(parse_args(&args("--answer 2 --deadline-ms soon")).is_err());
+        assert!(parse_args(&args("--answer 2 --max-failed some")).is_err());
+        let o = parse_args(&args("--answer 2 --deadline-ms 250 --max-failed 3")).unwrap();
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(o.max_failed, Some(3));
+    }
+
+    #[test]
+    fn mitigated_run_emits_widened_qasm_and_run_report() {
+        let opts = parse_args(&args(
+            "--answer 2 --metrics --shots 32 --mitigate=reset-verify,meas-repeat=3",
+        ))
+        .unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        // 2 original bits + 2 ballots per measurement + 1 verify bit per reset.
+        assert!(out.contains("// run: completed=32"), "{out}");
+        assert!(out.contains("// mitigate: votes_flipped="), "{out}");
+        assert!(!out.contains("bit[2] c;"), "register must widen: {out}");
+        assert!(
+            from_qasm(&out).is_ok(),
+            "mitigated QASM must stay parseable"
+        );
+    }
+
+    #[test]
+    fn mitigated_counts_are_thread_count_invariant() {
+        let counters = |threads: &str| {
+            let opts = parse_args(&args(&format!(
+                "--answer 2 --metrics=json --shots 128 --seed 5 --threads {threads} \
+                 --noise 1.0 --mitigate=meas-repeat=3"
+            )))
+            .unwrap();
+            let out = run(BV_QASM, &opts).unwrap();
+            let start = out.find("\"counters\"").unwrap();
+            let end = out.find("\"gauges\"").unwrap();
+            out[start..end].to_string()
+        };
+        assert_eq!(counters("1"), counters("8"));
+    }
+
+    #[test]
+    fn readout_cal_reports_corrected_argmax() {
+        let opts = parse_args(&args(
+            "--answer 2 --metrics --shots 64 --noise 1.0 --mitigate=readout-cal",
+        ))
+        .unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        assert!(out.contains("// readout-cal: argmax"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Failure-injection tests for the `dqct` binary.
+//!
+//! Every malformed invocation must exit nonzero with a one-line (or at least
+//! human-readable) message on stderr — never a panic backtrace, never a
+//! success status with garbage output.
+
+use std::io::Write as _;
+use std::process::{Command, Output, Stdio};
+
+fn dqct(args: &[&str], stdin: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dqct"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dqct");
+    // A child that rejects its arguments may exit before reading stdin;
+    // the resulting broken pipe is fine.
+    let _ = child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes());
+    child.wait_with_output().expect("wait for dqct")
+}
+
+fn assert_clean_failure(out: &Output, expect_in_stderr: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "expected nonzero exit, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "stderr missing '{expect_in_stderr}': {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked at") && !stderr.contains("RUST_BACKTRACE"),
+        "CLI failure leaked a panic: {stderr}"
+    );
+}
+
+const GOOD_QASM: &str = "qubit[3] q;\nh q[0];\ncx q[0], q[2];\nh q[0];\n";
+
+#[test]
+fn unknown_flag_fails_cleanly() {
+    let out = dqct(&["--answer", "2", "--frobnicate"], GOOD_QASM);
+    assert_clean_failure(&out, "unknown argument '--frobnicate'");
+}
+
+#[test]
+fn missing_answer_fails_cleanly() {
+    let out = dqct(&[], GOOD_QASM);
+    assert_clean_failure(&out, "--answer is required");
+}
+
+#[test]
+fn unreadable_input_file_fails_cleanly() {
+    let out = dqct(
+        &["--answer", "2", "--input", "/nonexistent/circuit.qasm"],
+        "",
+    );
+    assert_clean_failure(&out, "cannot read /nonexistent/circuit.qasm");
+}
+
+#[test]
+fn malformed_qasm_fails_cleanly() {
+    let out = dqct(&["--answer", "2"], "qubit[1] q;\nwarble q[0];\n");
+    assert_clean_failure(&out, "unsupported gate");
+}
+
+#[test]
+fn bad_mitigate_spec_fails_cleanly() {
+    let out = dqct(&["--answer", "2", "--mitigate=meas-repeat=4"], GOOD_QASM);
+    assert_clean_failure(&out, "--mitigate: meas-repeat must be an odd count");
+    let out = dqct(&["--answer", "2", "--mitigate=warp-core"], GOOD_QASM);
+    assert_clean_failure(&out, "unknown mitigation pass 'warp-core'");
+}
+
+#[test]
+fn bad_resilience_flags_fail_cleanly() {
+    let out = dqct(&["--answer", "2", "--noise", "-0.5"], GOOD_QASM);
+    assert_clean_failure(&out, "--noise");
+    let out = dqct(&["--answer", "2", "--deadline-ms", "0"], GOOD_QASM);
+    assert_clean_failure(&out, "--deadline-ms must be at least 1");
+    let out = dqct(&["--answer", "2", "--max-failed", "lots"], GOOD_QASM);
+    assert_clean_failure(&out, "--max-failed");
+}
+
+#[test]
+fn mitigated_metrics_run_succeeds_end_to_end() {
+    let out = dqct(
+        &[
+            "--answer",
+            "2",
+            "--metrics",
+            "--shots",
+            "32",
+            "--noise",
+            "1.0",
+            "--mitigate=reset-verify,meas-repeat=3",
+            "--deadline-ms",
+            "60000",
+            "--max-failed",
+            "10",
+        ],
+        GOOD_QASM,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stdout.contains("// run: completed=32"), "{stdout}");
+    assert!(stdout.contains("// mitigate: votes_flipped="), "{stdout}");
+    assert!(stdout.contains("OPENQASM"), "{stdout}");
+}

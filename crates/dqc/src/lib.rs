@@ -49,6 +49,7 @@
 pub mod analysis;
 mod cost;
 mod error;
+pub mod mitigate;
 mod pipeline;
 mod reorder;
 mod roles;
@@ -59,6 +60,10 @@ pub mod verify;
 pub use analysis::{analyze, Conflict, DqcAnalysis, Exactness};
 pub use cost::{CostComparison, ResourceSummary};
 pub use error::DqcError;
+pub use mitigate::{
+    mitigate, mitigate_observed, MitigateError, MitigatedCircuit, MitigationOptions,
+    ReadoutCalibration, ResolvedCounts,
+};
 pub use pipeline::{Pipeline, PipelineResult};
 pub use reorder::reorder_work_qubits;
 pub use roles::{QubitRoles, Role};

@@ -1,0 +1,938 @@
+//! Error-mitigation passes for dynamic circuits.
+//!
+//! Dynamic circuits lean on exactly the operations that are noisiest on
+//! hardware: active reset and mid-circuit measurement. This module rewrites a
+//! transformed circuit to harden those operations, and post-processes the
+//! resulting [`Counts`] back into the original classical register:
+//!
+//! * **Verified resets** — every `reset` is followed by `k` verification
+//!   rounds of `measure q -> s; x q if s`, so a reset that leaves the qubit in
+//!   `|1>` is caught and corrected (up to readout error) before reuse.
+//! * **Measurement repetition with majority vote** — every mid-circuit and
+//!   final measurement is repeated `r` times into scratch clbits; classically
+//!   controlled gates downstream fire on the majority-voted bit
+//!   ([`qcir::Condition::voted`]), and [`MitigatedCircuit::resolve`] votes the
+//!   groups down to the original register width.
+//! * **Readout calibration** — [`ReadoutCalibration`] estimates a per-bit
+//!   confusion matrix from calibration circuits run under a noise model and
+//!   applies its (tensored) inverse to a measured distribution.
+//!
+//! The rewrite only grows the classical register; qubit wires, gate structure
+//! and the original clbit indices are untouched, so resolved counts are
+//! directly comparable with unmitigated runs.
+
+use crate::error::DqcError;
+use qcir::{Circuit, Clbit, Condition, Instruction, OpKind};
+use qobs::Observer;
+use qsim::{Counts, Distribution, Executor, NoiseModel};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which mitigation passes to apply, parsed from the CLI `--mitigate` spec.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MitigationOptions {
+    /// Verified resets: number of verification rounds appended to each reset.
+    pub reset_verify: Option<usize>,
+    /// Measurement repetition: total readings per measurement (odd, >= 3).
+    pub meas_repeat: Option<usize>,
+    /// Invert a readout confusion matrix over the resolved counts.
+    pub readout_cal: bool,
+}
+
+impl MitigationOptions {
+    /// No mitigation at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no pass is enabled.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.reset_verify.is_none() && self.meas_repeat.is_none() && !self.readout_cal
+    }
+
+    /// Parses a comma-separated mitigation spec, e.g.
+    /// `reset-verify,meas-repeat=3,readout-cal` or `reset-verify=2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token when the spec contains an
+    /// unknown pass, a malformed count, an even/zero repetition factor, or an
+    /// out-of-range verification depth.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut opts = Self::none();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (key, value) = match token.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (token, None),
+            };
+            match key {
+                "reset-verify" => {
+                    let k = match value {
+                        None => 1,
+                        Some(v) => v
+                            .parse::<usize>()
+                            .map_err(|_| format!("invalid reset-verify count '{v}'"))?,
+                    };
+                    if !(1..=8).contains(&k) {
+                        return Err(format!(
+                            "reset-verify depth must be between 1 and 8, got {k}"
+                        ));
+                    }
+                    opts.reset_verify = Some(k);
+                }
+                "meas-repeat" => {
+                    let v = value.ok_or_else(|| {
+                        "meas-repeat needs a repetition count, e.g. meas-repeat=3".to_string()
+                    })?;
+                    let r = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid meas-repeat count '{v}'"))?;
+                    if r % 2 == 0 || !(3..=15).contains(&r) {
+                        return Err(format!(
+                            "meas-repeat must be an odd count between 3 and 15, got {r}"
+                        ));
+                    }
+                    opts.meas_repeat = Some(r);
+                }
+                "readout-cal" => {
+                    if value.is_some() {
+                        return Err("readout-cal takes no value".to_string());
+                    }
+                    opts.readout_cal = true;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown mitigation pass '{other}' \
+                         (expected reset-verify[=K], meas-repeat=R or readout-cal)"
+                    ))
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+impl fmt::Display for MitigationOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(k) = self.reset_verify {
+            parts.push(format!("reset-verify={k}"));
+        }
+        if let Some(r) = self.meas_repeat {
+            parts.push(format!("meas-repeat={r}"));
+        }
+        if self.readout_cal {
+            parts.push("readout-cal".to_string());
+        }
+        if parts.is_empty() {
+            write!(f, "none")
+        } else {
+            write!(f, "{}", parts.join(","))
+        }
+    }
+}
+
+/// Counts resolved back to the original register, plus mitigation statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedCounts {
+    /// Counts over the original (pre-mitigation) classical register.
+    pub counts: Counts,
+    /// Shots where a majority vote overturned the primary reading of a bit
+    /// (summed over vote groups).
+    pub votes_flipped: u64,
+    /// Shots where a reset-verification round found the qubit in `|1>` and
+    /// fired the corrective X (summed over verification rounds).
+    pub reset_verify_fired: u64,
+}
+
+/// A circuit rewritten with mitigation scaffolding, plus the bookkeeping
+/// needed to collapse its widened classical register back down.
+#[derive(Debug, Clone)]
+pub struct MitigatedCircuit {
+    circuit: Circuit,
+    original_clbits: usize,
+    /// Per original clbit: the scratch clbits holding its repeat readings.
+    vote_groups: HashMap<usize, Vec<Clbit>>,
+    /// Scratch clbits written by reset-verification rounds.
+    verify_bits: Vec<Clbit>,
+    options: MitigationOptions,
+}
+
+impl MitigatedCircuit {
+    /// The rewritten circuit (wider classical register, same qubits).
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Width of the classical register before mitigation.
+    #[must_use]
+    pub fn original_clbits(&self) -> usize {
+        self.original_clbits
+    }
+
+    /// Number of scratch clbits the rewrite added.
+    #[must_use]
+    pub fn scratch_clbits(&self) -> usize {
+        self.circuit.num_clbits() - self.original_clbits
+    }
+
+    /// The options the circuit was rewritten with.
+    #[must_use]
+    pub fn options(&self) -> &MitigationOptions {
+        &self.options
+    }
+
+    /// Collapses counts over the widened register back to the original one:
+    /// each vote group resolves to its majority bit, verification scratch is
+    /// stripped, and keys are reassembled at the original width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key's width does not match the mitigated circuit's
+    /// classical register.
+    #[must_use]
+    pub fn resolve(&self, counts: &Counts) -> ResolvedCounts {
+        let total = self.circuit.num_clbits();
+        let mut resolved = Counts::new();
+        let mut votes_flipped = 0u64;
+        let mut reset_verify_fired = 0u64;
+        for (key, n) in counts.iter() {
+            assert_eq!(
+                key.len(),
+                total,
+                "count key '{key}' does not match the mitigated register width {total}"
+            );
+            // Keys are MSB-first: bit i lives at char index total - 1 - i.
+            let bit = |i: usize| key.as_bytes()[total - 1 - i] == b'1';
+            let mut out = vec![b'0'; self.original_clbits];
+            for i in 0..self.original_clbits {
+                let primary = bit(i);
+                let value = match self.vote_groups.get(&i) {
+                    Some(ballots) => {
+                        let mut ones = usize::from(primary);
+                        for b in ballots {
+                            ones += usize::from(bit(b.index()));
+                        }
+                        let majority = 2 * ones > ballots.len() + 1;
+                        if majority != primary {
+                            votes_flipped += n;
+                        }
+                        majority
+                    }
+                    None => primary,
+                };
+                if value {
+                    out[self.original_clbits - 1 - i] = b'1';
+                }
+            }
+            for b in &self.verify_bits {
+                if bit(b.index()) {
+                    reset_verify_fired += n;
+                }
+            }
+            let out = String::from_utf8(out).unwrap_or_else(|_| unreachable!("ascii key"));
+            resolved.record_n(out, n);
+        }
+        ResolvedCounts {
+            counts: resolved,
+            votes_flipped,
+            reset_verify_fired,
+        }
+    }
+
+    /// [`resolve`](Self::resolve), also emitting `mitigate.votes_flipped` and
+    /// `mitigate.reset_verify_fired` counters to the observer.
+    #[must_use]
+    pub fn resolve_observed(&self, counts: &Counts, observer: &Observer) -> ResolvedCounts {
+        let resolved = self.resolve(counts);
+        if observer.is_enabled() {
+            observer.counter_add("mitigate.votes_flipped", resolved.votes_flipped);
+            observer.counter_add("mitigate.reset_verify_fired", resolved.reset_verify_fired);
+        }
+        resolved
+    }
+}
+
+/// Rewrites `circuit` with the mitigation scaffolding selected in `options`.
+///
+/// The original clbit indices keep their meaning: repeat readings and
+/// verification outcomes land in freshly allocated scratch clbits above the
+/// original register, and every classical condition downstream of a repeated
+/// measurement is rewritten to fire on the majority-voted bit.
+#[must_use]
+pub fn mitigate(circuit: &Circuit, options: &MitigationOptions) -> MitigatedCircuit {
+    mitigate_observed(circuit, options, &Observer::disabled())
+}
+
+/// [`mitigate`], traced under a `dqc.mitigate` span with scratch-bit counters.
+#[must_use]
+pub fn mitigate_observed(
+    circuit: &Circuit,
+    options: &MitigationOptions,
+    observer: &Observer,
+) -> MitigatedCircuit {
+    let _span = observer.span("dqc.mitigate");
+    let mut out = Circuit::with_name(
+        circuit.name().to_string(),
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+    );
+    let mut vote_groups: HashMap<usize, Vec<Clbit>> = HashMap::new();
+    let mut verify_bits = Vec::new();
+    let repeat = options.meas_repeat.unwrap_or(1).max(1);
+    let verify_rounds = options.reset_verify.unwrap_or(0);
+
+    for inst in circuit.iter() {
+        let condition = inst.condition().map(|c| rewrite_condition(c, &vote_groups));
+        match inst.kind() {
+            OpKind::Measure if repeat > 1 => {
+                let qubit = inst.qubits()[0];
+                let primary = inst.clbits()[0];
+                emit(&mut out, Instruction::measure(qubit, primary), &condition);
+                let ballots = out.alloc_clbits(repeat - 1);
+                for &ballot in &ballots {
+                    emit(&mut out, Instruction::measure(qubit, ballot), &condition);
+                }
+                vote_groups.insert(primary.index(), ballots);
+            }
+            OpKind::Reset if verify_rounds > 0 => {
+                let qubit = inst.qubits()[0];
+                emit(&mut out, Instruction::reset(qubit), &condition);
+                for _ in 0..verify_rounds {
+                    let scratch = out.alloc_clbit();
+                    emit(&mut out, Instruction::measure(qubit, scratch), &condition);
+                    // The corrective X must fire whenever the verification
+                    // reading was 1, regardless of the instruction's own
+                    // condition: if the conditioned reset was skipped, the
+                    // measure above was skipped too and scratch stays 0.
+                    out.push(
+                        Instruction::gate(qcir::Gate::X, vec![qubit])
+                            .with_condition(Condition::bit(scratch)),
+                    );
+                    verify_bits.push(scratch);
+                }
+            }
+            _ => {
+                emit(&mut out, strip_condition(inst), &condition);
+            }
+        }
+    }
+
+    if observer.is_enabled() {
+        let scratch = out.num_clbits() - circuit.num_clbits();
+        observer.counter_add("mitigate.scratch_clbits", scratch as u64);
+        observer.counter_add("mitigate.vote_groups", vote_groups.len() as u64);
+    }
+
+    MitigatedCircuit {
+        circuit: out,
+        original_clbits: circuit.num_clbits(),
+        vote_groups,
+        verify_bits,
+        options: options.clone(),
+    }
+}
+
+fn emit(out: &mut Circuit, inst: Instruction, condition: &Option<Condition>) {
+    match condition {
+        Some(c) => out.push(inst.with_condition(c.clone())),
+        None => out.push(inst),
+    };
+}
+
+/// Clones `inst` without its condition (the rewritten one is re-attached by
+/// [`emit`]).
+fn strip_condition(inst: &Instruction) -> Instruction {
+    match inst.kind() {
+        OpKind::Gate(g) => Instruction::gate(g.clone(), inst.qubits().to_vec()),
+        OpKind::Measure => Instruction::measure(inst.qubits()[0], inst.clbits()[0]),
+        OpKind::Reset => Instruction::reset(inst.qubits()[0]),
+        OpKind::Barrier => Instruction::barrier(inst.qubits().to_vec()),
+    }
+}
+
+/// Rewrites a condition so every bit with repeat readings is majority-voted.
+fn rewrite_condition(condition: &Condition, vote_groups: &HashMap<usize, Vec<Clbit>>) -> Condition {
+    let group_of = |bit: Clbit| -> Vec<Clbit> {
+        let mut g = vec![bit];
+        if let Some(ballots) = vote_groups.get(&bit.index()) {
+            g.extend(ballots.iter().copied());
+        }
+        g
+    };
+    match condition {
+        Condition::Bit { bit, value } => Condition::voted(vec![group_of(*bit)], u64::from(*value)),
+        Condition::Register { bits, value } => {
+            Condition::voted(bits.iter().map(|&b| group_of(b)).collect(), *value)
+        }
+        // Already voted: leave untouched (double mitigation is not supported).
+        Condition::Voted { .. } => condition.clone(),
+    }
+}
+
+/// Errors from readout calibration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MitigateError {
+    /// A bit's confusion matrix is (numerically) singular and cannot be
+    /// inverted: `e0 + e1` is too close to 1.
+    SingularConfusion {
+        /// The classical bit whose matrix is singular.
+        bit: usize,
+    },
+    /// The register is too wide for dense confusion inversion.
+    TooManyBits {
+        /// Requested register width.
+        bits: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// A counts key does not match the calibrated register width.
+    KeyWidthMismatch {
+        /// The offending key.
+        key: String,
+        /// The calibrated width.
+        expected: usize,
+    },
+    /// An error rate outside `[0, 1]` was supplied.
+    RateOutOfRange {
+        /// The classical bit with the bad rate.
+        bit: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MitigateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MitigateError::SingularConfusion { bit } => write!(
+                f,
+                "readout confusion matrix for bit {bit} is singular (e0 + e1 ~ 1)"
+            ),
+            MitigateError::TooManyBits { bits, max } => write!(
+                f,
+                "readout calibration supports at most {max} bits, got {bits}"
+            ),
+            MitigateError::KeyWidthMismatch { key, expected } => write!(
+                f,
+                "count key '{key}' does not match calibrated width {expected}"
+            ),
+            MitigateError::RateOutOfRange { bit, value } => write!(
+                f,
+                "readout error rate for bit {bit} is out of [0, 1]: {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MitigateError {}
+
+impl From<MitigateError> for DqcError {
+    fn from(err: MitigateError) -> Self {
+        DqcError::Unrealizable {
+            what: "readout calibration".to_string(),
+            reason: err.to_string(),
+        }
+    }
+}
+
+/// Per-bit readout confusion matrix, invertible over measured counts.
+///
+/// Bit `i`'s confusion matrix is `[[1-e0, e1], [e0, 1-e1]]` (column = true
+/// state, row = observed state): `e0[i] = P(read 1 | true 0)` and
+/// `e1[i] = P(read 0 | true 1)`. Correction applies the tensored inverse,
+/// clips negative quasi-probabilities to zero and renormalizes.
+#[derive(Debug, Clone)]
+pub struct ReadoutCalibration {
+    e0: Vec<f64>,
+    e1: Vec<f64>,
+}
+
+/// Widest register the dense tensored inversion will process.
+const MAX_CALIBRATED_BITS: usize = 16;
+
+impl ReadoutCalibration {
+    /// Builds a calibration from known per-bit error rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MitigateError::RateOutOfRange`] for rates outside `[0, 1]`
+    /// and [`MitigateError::TooManyBits`] past the dense-inversion limit.
+    pub fn from_error_rates(e0: Vec<f64>, e1: Vec<f64>) -> Result<Self, MitigateError> {
+        assert_eq!(e0.len(), e1.len(), "e0/e1 length mismatch");
+        if e0.len() > MAX_CALIBRATED_BITS {
+            return Err(MitigateError::TooManyBits {
+                bits: e0.len(),
+                max: MAX_CALIBRATED_BITS,
+            });
+        }
+        for (bit, &rate) in e0.iter().chain(e1.iter()).enumerate() {
+            // NaN fails this comparison too.
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(MitigateError::RateOutOfRange {
+                    bit: bit % e0.len().max(1),
+                    value: rate,
+                });
+            }
+        }
+        Ok(Self { e0, e1 })
+    }
+
+    /// Estimates per-bit error rates by running the two standard calibration
+    /// circuits (all-`|0>` and all-`|1>` preparation, then measure-all) under
+    /// `noise`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MitigateError::TooManyBits`] when `num_bits` exceeds the
+    /// dense-inversion limit.
+    pub fn calibrate(
+        noise: &NoiseModel,
+        num_bits: usize,
+        shots: u64,
+        seed: u64,
+    ) -> Result<Self, MitigateError> {
+        if num_bits > MAX_CALIBRATED_BITS {
+            return Err(MitigateError::TooManyBits {
+                bits: num_bits,
+                max: MAX_CALIBRATED_BITS,
+            });
+        }
+        let executor = Executor::new().shots(shots).seed(seed).noise(noise.clone());
+        let marginals = |prepare_ones: bool| -> Vec<f64> {
+            let mut c = Circuit::with_name(
+                if prepare_ones {
+                    "cal_ones"
+                } else {
+                    "cal_zeros"
+                },
+                num_bits,
+                num_bits,
+            );
+            if prepare_ones {
+                for q in 0..num_bits {
+                    c.x(qcir::Qubit::new(q));
+                }
+            }
+            c.measure_all();
+            let counts = executor.run(&c);
+            let total = counts.total().max(1) as f64;
+            let mut ones = vec![0u64; num_bits];
+            for (key, n) in counts.iter() {
+                for (i, one) in ones.iter_mut().enumerate() {
+                    if key.as_bytes()[num_bits - 1 - i] == b'1' {
+                        *one += n;
+                    }
+                }
+            }
+            ones.iter().map(|&o| o as f64 / total).collect()
+        };
+        let e0 = marginals(false);
+        let e1 = marginals(true).iter().map(|p1| 1.0 - p1).collect();
+        Ok(Self { e0, e1 })
+    }
+
+    /// Number of calibrated bits.
+    #[must_use]
+    pub fn num_bits(&self) -> usize {
+        self.e0.len()
+    }
+
+    /// `P(read 1 | true 0)` per bit.
+    #[must_use]
+    pub fn error_rates_zero(&self) -> &[f64] {
+        &self.e0
+    }
+
+    /// `P(read 0 | true 1)` per bit.
+    #[must_use]
+    pub fn error_rates_one(&self) -> &[f64] {
+        &self.e1
+    }
+
+    /// Applies the tensored inverse confusion matrix to `counts`, returning
+    /// the corrected (clipped, renormalized) distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MitigateError::KeyWidthMismatch`] when a key's width differs
+    /// from the calibrated register and [`MitigateError::SingularConfusion`]
+    /// when any bit's matrix cannot be inverted.
+    pub fn correct(&self, counts: &Counts) -> Result<Distribution, MitigateError> {
+        let n = self.num_bits();
+        for (bit, (&e0, &e1)) in self.e0.iter().zip(&self.e1).enumerate() {
+            let det = 1.0 - e0 - e1;
+            // NaN determinants are singular too.
+            if det.abs() <= 1e-9 || det.is_nan() {
+                return Err(MitigateError::SingularConfusion { bit });
+            }
+        }
+        let dim = 1usize << n;
+        let mut p = vec![0.0f64; dim];
+        let total = counts.total().max(1) as f64;
+        for (key, count) in counts.iter() {
+            if key.len() != n {
+                return Err(MitigateError::KeyWidthMismatch {
+                    key: key.to_string(),
+                    expected: n,
+                });
+            }
+            let mut index = 0usize;
+            for i in 0..n {
+                if key.as_bytes()[n - 1 - i] == b'1' {
+                    index |= 1 << i;
+                }
+            }
+            p[index] += count as f64 / total;
+        }
+        // Invert bit by bit: for each axis apply the 2x2 inverse to every
+        // (index0, index1) pair differing only in that bit.
+        for i in 0..n {
+            let (e0, e1) = (self.e0[i], self.e1[i]);
+            let det = 1.0 - e0 - e1;
+            let stride = 1usize << i;
+            for base in 0..dim {
+                if base & stride != 0 {
+                    continue;
+                }
+                let lo = p[base];
+                let hi = p[base | stride];
+                p[base] = ((1.0 - e1) * lo - e1 * hi) / det;
+                p[base | stride] = (-e0 * lo + (1.0 - e0) * hi) / det;
+            }
+        }
+        for q in &mut p {
+            if *q < 0.0 {
+                *q = 0.0;
+            }
+        }
+        let norm: f64 = p.iter().sum();
+        let mut dist = Distribution::new();
+        for (index, &q) in p.iter().enumerate() {
+            if q <= 0.0 {
+                continue;
+            }
+            let mut key = vec![b'0'; n];
+            for (i, slot) in key.iter_mut().rev().enumerate() {
+                if index & (1 << i) != 0 {
+                    *slot = b'1';
+                }
+            }
+            let key = String::from_utf8(key).unwrap_or_else(|_| unreachable!("ascii key"));
+            dist.set(key, if norm > 0.0 { q / norm } else { q });
+        }
+        Ok(dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::{Gate, Qubit};
+    use qsim::branch::exact_distribution;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+    fn c(i: usize) -> Clbit {
+        Clbit::new(i)
+    }
+
+    #[test]
+    fn parse_accepts_full_spec() {
+        let opts = MitigationOptions::parse("reset-verify=2, meas-repeat=5 ,readout-cal").unwrap();
+        assert_eq!(opts.reset_verify, Some(2));
+        assert_eq!(opts.meas_repeat, Some(5));
+        assert!(opts.readout_cal);
+        assert_eq!(opts.to_string(), "reset-verify=2,meas-repeat=5,readout-cal");
+    }
+
+    #[test]
+    fn parse_defaults_reset_verify_to_one_round() {
+        let opts = MitigationOptions::parse("reset-verify").unwrap();
+        assert_eq!(opts.reset_verify, Some(1));
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(MitigationOptions::parse("meas-repeat=2").is_err());
+        assert!(MitigationOptions::parse("meas-repeat").is_err());
+        assert!(MitigationOptions::parse("reset-verify=0").is_err());
+        assert!(MitigationOptions::parse("readout-cal=yes").is_err());
+        assert!(MitigationOptions::parse("zero-noise-extrapolation").is_err());
+        assert!(MitigationOptions::parse("meas-repeat=x").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_no_mitigation() {
+        let opts = MitigationOptions::parse("").unwrap();
+        assert!(opts.is_none());
+        assert_eq!(opts.to_string(), "none");
+    }
+
+    #[test]
+    fn meas_repeat_triplicates_measurements_and_votes_conditions() {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0));
+        circ.measure(q(0), c(0));
+        circ.x_if(q(1), c(0));
+        circ.measure(q(1), c(1));
+
+        let opts = MitigationOptions {
+            meas_repeat: Some(3),
+            ..MitigationOptions::none()
+        };
+        let mitigated = mitigate(&circ, &opts);
+        let mc = mitigated.circuit();
+        // Each of the 2 measurements gains 2 ballots.
+        assert_eq!(mc.num_clbits(), 6);
+        assert_eq!(mitigated.scratch_clbits(), 4);
+        let measures = mc
+            .iter()
+            .filter(|i| matches!(i.kind(), OpKind::Measure))
+            .count();
+        assert_eq!(measures, 6);
+        // The conditioned X now fires on the majority of c0's group.
+        let cond = mc
+            .iter()
+            .find(|i| i.is_conditioned())
+            .and_then(|i| i.condition().cloned())
+            .unwrap_or_else(|| unreachable!("conditioned X survives the rewrite"));
+        match cond {
+            Condition::Voted { groups, value } => {
+                assert_eq!(groups.len(), 1);
+                assert_eq!(groups[0].len(), 3);
+                assert_eq!(groups[0][0], c(0));
+                assert_eq!(value, 1);
+            }
+            other => panic!("expected voted condition, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mitigated_circuit_is_noise_free_equivalent() {
+        // Without noise, mitigation must not change the outcome distribution
+        // over the original register.
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0));
+        circ.measure(q(0), c(0));
+        circ.reset(q(0));
+        circ.x_if(q(1), c(0));
+        circ.measure(q(1), c(1));
+
+        let opts = MitigationOptions::parse("reset-verify,meas-repeat=3").unwrap();
+        let mitigated = mitigate(&circ, &opts);
+        let counts = Executor::new().shots(512).seed(7).run(mitigated.circuit());
+        let resolved = mitigated.resolve(&counts);
+        assert_eq!(resolved.counts.total(), 512);
+        assert_eq!(resolved.votes_flipped, 0);
+        assert_eq!(resolved.reset_verify_fired, 0);
+
+        let ideal = exact_distribution(&circ);
+        let observed = resolved.counts.to_distribution();
+        assert!(observed.tvd(&ideal) < 0.1);
+    }
+
+    #[test]
+    fn resolve_majority_votes_and_counts_flips() {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0));
+        circ.measure(q(0), c(0));
+        let opts = MitigationOptions {
+            meas_repeat: Some(3),
+            ..MitigationOptions::none()
+        };
+        let mitigated = mitigate(&circ, &opts);
+        assert_eq!(mitigated.circuit().num_clbits(), 3);
+
+        // Hand-built counts over [c0, ballot1, ballot2] (MSB-first keys).
+        let mut counts = Counts::new();
+        counts.record_n("110", 5); // primary 0, ballots 1,1 -> votes to 1
+        counts.record_n("001", 3); // primary 1, ballots 0,0 -> votes to 0
+        counts.record_n("111", 2); // unanimous 1
+        let resolved = mitigated.resolve(&counts);
+        assert_eq!(resolved.counts.get("1"), 7);
+        assert_eq!(resolved.counts.get("0"), 3);
+        assert_eq!(resolved.votes_flipped, 8);
+    }
+
+    #[test]
+    fn reset_verify_corrects_faulty_resets() {
+        // reset_error-only noise: bare dynamic reset reuse leaks |1> into the
+        // second measurement; one verification round catches most of it.
+        let mut circ = Circuit::new(1, 2);
+        circ.x(q(0));
+        circ.measure(q(0), c(0));
+        circ.reset(q(0));
+        circ.measure(q(0), c(1));
+
+        let noise = NoiseModel {
+            reset_error: 0.25,
+            ..NoiseModel::ideal()
+        };
+        let bare = Executor::new()
+            .shots(2048)
+            .seed(11)
+            .noise(noise.clone())
+            .run(&circ);
+        let bare_bad = bare.probability("11");
+
+        let opts = MitigationOptions::parse("reset-verify").unwrap();
+        let mitigated = mitigate(&circ, &opts);
+        let counts = Executor::new()
+            .shots(2048)
+            .seed(11)
+            .noise(noise)
+            .run(mitigated.circuit());
+        let resolved = mitigated.resolve(&counts);
+        let mitigated_bad = resolved.counts.probability("11");
+
+        assert!(
+            bare_bad > 0.2,
+            "reset error should corrupt the bare run, got {bare_bad}"
+        );
+        assert!(
+            mitigated_bad < bare_bad / 2.0,
+            "verified reset should at least halve the leak: {mitigated_bad} vs {bare_bad}"
+        );
+        assert!(resolved.reset_verify_fired > 0);
+    }
+
+    #[test]
+    fn meas_repeat_outvotes_readout_flips_in_feedforward() {
+        // Readout-noise-only: the conditioned X fires on a voted bit, so the
+        // copy c0 -> c1 survives flips that corrupt the bare dynamic circuit.
+        let mut circ = Circuit::new(2, 2);
+        circ.x(q(0));
+        circ.measure(q(0), c(0));
+        circ.x_if(q(1), c(0));
+        circ.measure(q(1), c(1));
+
+        let noise = NoiseModel {
+            readout_flip: 0.15,
+            ..NoiseModel::ideal()
+        };
+        let shots = 4096;
+        let bare = Executor::new()
+            .shots(shots)
+            .seed(3)
+            .noise(noise.clone())
+            .run(&circ);
+        // Success: the X fired (q1 == 1). Bit 1 is the left char.
+        let bare_fired: u64 = bare
+            .iter()
+            .filter(|(k, _)| k.as_bytes()[0] == b'1')
+            .map(|(_, n)| n)
+            .sum();
+
+        let opts = MitigationOptions::parse("meas-repeat=5").unwrap();
+        let mitigated = mitigate(&circ, &opts);
+        let counts = Executor::new()
+            .shots(shots)
+            .seed(3)
+            .noise(noise)
+            .run(mitigated.circuit());
+        let resolved = mitigated.resolve(&counts);
+        let mitigated_fired: u64 = resolved
+            .counts
+            .iter()
+            .filter(|(k, _)| k.as_bytes()[0] == b'1')
+            .map(|(_, n)| n)
+            .sum();
+
+        let bare_p = bare_fired as f64 / shots as f64;
+        let mitigated_p = mitigated_fired as f64 / shots as f64;
+        assert!(
+            mitigated_p > bare_p + 0.05,
+            "vote should beat single reading: {mitigated_p} vs {bare_p}"
+        );
+        assert!(resolved.votes_flipped > 0);
+    }
+
+    #[test]
+    fn readout_calibration_inverts_known_confusion() {
+        // Distribution should recover the noiseless one from analytically
+        // flipped counts: true state always "01" (bit0 = 1, bit1 = 0).
+        let cal = ReadoutCalibration::from_error_rates(vec![0.1, 0.2], vec![0.1, 0.2]).unwrap();
+        let mut counts = Counts::new();
+        // P(observe xy) from true "01": bit0 reads 1 w.p. 0.9; bit1 reads 1
+        // w.p. 0.2. Encode with 10_000 shots, exact expectation.
+        counts.record_n("01", 7200); // 0.8 * 0.9
+        counts.record_n("00", 800); // 0.8 * 0.1
+        counts.record_n("11", 1800); // 0.2 * 0.9
+        counts.record_n("10", 200); // 0.2 * 0.1
+        let corrected = cal.correct(&counts).unwrap();
+        assert!(
+            (corrected.get("01") - 1.0).abs() < 1e-9,
+            "expected delta at 01, got {corrected:?}"
+        );
+    }
+
+    #[test]
+    fn calibrate_estimates_readout_flip_rate() {
+        let noise = NoiseModel {
+            readout_flip: 0.1,
+            ..NoiseModel::ideal()
+        };
+        let cal = ReadoutCalibration::calibrate(&noise, 2, 8192, 5).unwrap();
+        for &e in cal.error_rates_zero().iter().chain(cal.error_rates_one()) {
+            assert!((e - 0.1).abs() < 0.03, "estimated rate {e} far from 0.1");
+        }
+    }
+
+    #[test]
+    fn calibration_rejects_bad_inputs() {
+        assert!(matches!(
+            ReadoutCalibration::from_error_rates(vec![1.5], vec![0.0]),
+            Err(MitigateError::RateOutOfRange { .. })
+        ));
+        let singular = ReadoutCalibration::from_error_rates(vec![0.5], vec![0.5]).unwrap();
+        let mut counts = Counts::new();
+        counts.record_n("0", 1);
+        assert!(matches!(
+            singular.correct(&counts),
+            Err(MitigateError::SingularConfusion { bit: 0 })
+        ));
+        let cal = ReadoutCalibration::from_error_rates(vec![0.1], vec![0.1]).unwrap();
+        let mut wide = Counts::new();
+        wide.record_n("00", 1);
+        assert!(matches!(
+            cal.correct(&wide),
+            Err(MitigateError::KeyWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mitigation_composes_with_toffoli_feedforward() {
+        // A conditioned gate reading a register condition gets per-bit vote
+        // groups.
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0));
+        circ.measure(q(0), c(0));
+        circ.measure(q(0), c(1));
+        circ.push(
+            Instruction::gate(Gate::X, vec![q(1)])
+                .with_condition(Condition::register(vec![c(0), c(1)], 3)),
+        );
+        let opts = MitigationOptions::parse("meas-repeat=3").unwrap();
+        let mitigated = mitigate(&circ, &opts);
+        let cond = mitigated
+            .circuit()
+            .iter()
+            .rfind(|i| i.is_conditioned())
+            .and_then(|i| i.condition().cloned())
+            .unwrap_or_else(|| unreachable!("conditioned gate survives"));
+        match cond {
+            Condition::Voted { groups, value } => {
+                assert_eq!(groups.len(), 2);
+                assert!(groups.iter().all(|g| g.len() == 3));
+                assert_eq!(value, 3);
+            }
+            other => panic!("expected voted register condition, got {other}"),
+        }
+    }
+}

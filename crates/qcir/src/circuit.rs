@@ -116,6 +116,25 @@ impl Circuit {
         reg
     }
 
+    /// Allocates one anonymous scratch classical bit, growing the bit count,
+    /// and returns it.
+    ///
+    /// Scratch bits back mitigation rewrites (repeated-measurement ballots,
+    /// reset-verification readings); they live outside any named register and
+    /// extend the flat classical wire space at the high end, so existing bit
+    /// indices are untouched.
+    pub fn alloc_clbit(&mut self) -> Clbit {
+        let bit = Clbit::new(self.num_clbits);
+        self.num_clbits += 1;
+        bit
+    }
+
+    /// Allocates `n` consecutive scratch classical bits (see
+    /// [`Circuit::alloc_clbit`]).
+    pub fn alloc_clbits(&mut self, n: usize) -> Vec<Clbit> {
+        (0..n).map(|_| self.alloc_clbit()).collect()
+    }
+
     /// The circuit's named quantum registers.
     #[must_use]
     pub fn qregs(&self) -> &[QuantumRegister] {
@@ -540,6 +559,19 @@ mod tests {
         assert!(!circ.is_empty());
         assert_eq!(circ.num_qubits(), 2);
         assert_eq!(circ.num_clbits(), 1);
+    }
+
+    #[test]
+    fn alloc_clbit_extends_wire_space_at_the_high_end() {
+        let mut circ = Circuit::new(1, 2);
+        let s0 = circ.alloc_clbit();
+        let more = circ.alloc_clbits(2);
+        assert_eq!(s0, c(2));
+        assert_eq!(more, vec![c(3), c(4)]);
+        assert_eq!(circ.num_clbits(), 5);
+        // Freshly allocated bits are immediately valid instruction operands.
+        circ.measure(q(0), more[1]);
+        assert_eq!(circ.instructions().last().unwrap().clbits(), &[c(4)]);
     }
 
     #[test]

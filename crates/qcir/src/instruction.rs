@@ -36,6 +36,20 @@ pub enum Condition {
         /// The unsigned value the bits must encode.
         value: u64,
     },
+    /// True when the majority-voted bit groups, read LSB-first, encode
+    /// `value`.
+    ///
+    /// Each group is an odd-length list of classical bits holding repeated
+    /// readings of the same logical measurement; the group's effective bit is
+    /// the majority of its members. This is the feed-forward side of
+    /// measurement-repetition mitigation: a classically controlled gate fires
+    /// on the voted bit rather than a single (possibly flipped) reading.
+    Voted {
+        /// Bit groups, least-significant first; each group odd-length.
+        groups: Vec<Vec<Clbit>>,
+        /// The unsigned value the voted group bits must encode.
+        value: u64,
+    },
 }
 
 impl Condition {
@@ -70,12 +84,55 @@ impl Condition {
         Condition::Register { bits, value }
     }
 
+    /// Condition on majority-voted bit groups (groups listed LSB-first).
+    ///
+    /// Degenerate all-singleton group lists normalize to the equivalent
+    /// [`Condition::Bit`] / [`Condition::Register`], so a vote over
+    /// unrepeated measurements round-trips through QASM unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty, any group is empty or even-length, or
+    /// `value` does not fit in `groups.len()` bits.
+    #[must_use]
+    pub fn voted(groups: Vec<Vec<Clbit>>, value: u64) -> Self {
+        assert!(
+            !groups.is_empty(),
+            "voted condition needs at least one group"
+        );
+        for g in &groups {
+            assert!(
+                g.len() % 2 == 1,
+                "vote group must have odd nonzero length, got {}",
+                g.len()
+            );
+        }
+        assert!(
+            groups.len() >= 64 || value < (1u64 << groups.len()),
+            "value {value} does not fit in {} groups",
+            groups.len()
+        );
+        if groups.iter().all(|g| g.len() == 1) {
+            let bits: Vec<Clbit> = groups.iter().map(|g| g[0]).collect();
+            return if bits.len() == 1 {
+                Condition::Bit {
+                    bit: bits[0],
+                    value: value == 1,
+                }
+            } else {
+                Condition::Register { bits, value }
+            };
+        }
+        Condition::Voted { groups, value }
+    }
+
     /// The classical bits this condition reads.
     #[must_use]
     pub fn bits(&self) -> Vec<Clbit> {
         match self {
             Condition::Bit { bit, .. } => vec![*bit],
             Condition::Register { bits, .. } => bits.clone(),
+            Condition::Voted { groups, .. } => groups.iter().flatten().copied().collect(),
         }
     }
 
@@ -98,6 +155,16 @@ impl Condition {
                 }
                 acc == *value
             }
+            Condition::Voted { groups, value } => {
+                let mut acc = 0u64;
+                for (k, group) in groups.iter().enumerate() {
+                    let ones = group.iter().filter(|b| classical[b.index()]).count();
+                    if 2 * ones > group.len() {
+                        acc |= 1 << k;
+                    }
+                }
+                acc == *value
+            }
         }
     }
 }
@@ -113,6 +180,21 @@ impl fmt::Display for Condition {
                         write!(f, ",")?;
                     }
                     write!(f, "{b}")?;
+                }
+                write!(f, "] == {value})")
+            }
+            Condition::Voted { groups, value } => {
+                write!(f, "if (maj[")?;
+                for (i, g) in groups.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    for (j, b) in g.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, "+")?;
+                        }
+                        write!(f, "{b}")?;
+                    }
                 }
                 write!(f, "] == {value})")
             }
@@ -328,6 +410,13 @@ impl Instruction {
                 bits: bits.iter().map(|b| clbit_map[b.index()]).collect(),
                 value: *value,
             },
+            Condition::Voted { groups, value } => Condition::Voted {
+                groups: groups
+                    .iter()
+                    .map(|g| g.iter().map(|b| clbit_map[b.index()]).collect())
+                    .collect(),
+                value: *value,
+            },
         });
         out
     }
@@ -388,6 +477,58 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn register_condition_rejects_oversized_value() {
         let _ = Condition::register(vec![Clbit::new(0)], 2);
+    }
+
+    #[test]
+    fn voted_condition_takes_group_majority() {
+        let c = Condition::voted(
+            vec![
+                vec![Clbit::new(0), Clbit::new(1), Clbit::new(2)],
+                vec![Clbit::new(3)],
+            ],
+            0b01,
+        );
+        // Two of three readings say 1 -> group votes 1; second group reads 0.
+        assert!(c.evaluate(&[true, false, true, false]));
+        // One of three readings says 1 -> group votes 0.
+        assert!(!c.evaluate(&[true, false, false, false]));
+        // Second group flips to 1 -> encoded value becomes 0b11, not 0b01.
+        assert!(!c.evaluate(&[true, true, false, true]));
+        assert_eq!(
+            c.bits(),
+            vec![Clbit::new(0), Clbit::new(1), Clbit::new(2), Clbit::new(3)]
+        );
+    }
+
+    #[test]
+    fn voted_condition_normalizes_singleton_groups() {
+        let one = Condition::voted(vec![vec![Clbit::new(4)]], 1);
+        assert_eq!(one, Condition::bit(Clbit::new(4)));
+        let two = Condition::voted(vec![vec![Clbit::new(0)], vec![Clbit::new(2)]], 0b10);
+        assert_eq!(
+            two,
+            Condition::register(vec![Clbit::new(0), Clbit::new(2)], 0b10)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd nonzero length")]
+    fn voted_condition_rejects_even_groups() {
+        let _ = Condition::voted(vec![vec![Clbit::new(0), Clbit::new(1)]], 1);
+    }
+
+    #[test]
+    fn voted_condition_remaps_every_group_member() {
+        let cmap: Vec<Clbit> = (0..6).map(|i| Clbit::new(i + 10)).collect();
+        let i = Instruction::gate(Gate::X, vec![Qubit::new(0)]).with_condition(Condition::voted(
+            vec![vec![Clbit::new(1), Clbit::new(3), Clbit::new(5)]],
+            1,
+        ));
+        let r = i.remapped(&[Qubit::new(0)], &cmap);
+        assert_eq!(
+            r.clbits_read(),
+            vec![Clbit::new(11), Clbit::new(13), Clbit::new(15)]
+        );
     }
 
     #[test]

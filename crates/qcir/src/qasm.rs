@@ -84,6 +84,23 @@ fn condition_expr(cond: &Condition) -> String {
             }
             parts.join(" && ")
         }
+        Condition::Voted { groups, value } => {
+            // A group of repeated readings becomes an integer comparison on
+            // the sum of its bits: majority-1 is `sum >= ceil(n/2)`,
+            // majority-0 is `sum <= floor(n/2) - ...` i.e. `sum < ceil(n/2)`.
+            let mut parts = Vec::new();
+            for (k, g) in groups.iter().enumerate() {
+                let sum: Vec<String> = g.iter().map(|b| format!("c[{}]", b.index())).collect();
+                let sum = sum.join(" + ");
+                let threshold = g.len() / 2 + 1;
+                if (value >> k) & 1 == 1 {
+                    parts.push(format!("{sum} >= {threshold}"));
+                } else {
+                    parts.push(format!("{sum} <= {}", threshold - 1));
+                }
+            }
+            parts.join(" && ")
+        }
     }
 }
 
@@ -219,29 +236,78 @@ fn parse_decl(rest: &str, lineno: usize) -> Result<usize, ParseQasmError> {
 }
 
 fn parse_condition(expr: &str, lineno: usize) -> Result<Condition, ParseQasmError> {
-    let mut bits = Vec::new();
+    // Each `&&`-joined clause is either `c[i] == v` (one bit) or a
+    // majority-vote threshold `c[a] + c[b] + c[c] >= m` / `<= m-1` over an
+    // odd-length group of repeated readings.
+    let mut groups: Vec<Vec<Clbit>> = Vec::new();
     let mut value = 0u64;
+    let mut any_vote = false;
     for (k, clause) in expr.split("&&").enumerate() {
         let clause = clause.trim();
-        let (lhs, rhs) = clause
-            .split_once("==")
-            .ok_or_else(|| ParseQasmError::new(lineno, "condition must use =="))?;
-        let bit = parse_index(lhs.trim(), 'c', lineno)?;
-        let v: u64 = rhs
-            .trim()
-            .parse()
-            .map_err(|_| ParseQasmError::new(lineno, "bad condition value"))?;
-        bits.push(Clbit::new(bit));
-        value |= (v & 1) << k;
+        let (group, wanted) = if let Some((lhs, rhs)) = clause.split_once("==") {
+            let bit = parse_index(lhs.trim(), 'c', lineno)?;
+            let v: u64 = rhs
+                .trim()
+                .parse()
+                .map_err(|_| ParseQasmError::new(lineno, "bad condition value"))?;
+            (vec![Clbit::new(bit)], v & 1 == 1)
+        } else {
+            any_vote = true;
+            parse_vote_clause(clause, lineno)?
+        };
+        groups.push(group);
+        if wanted {
+            value |= 1 << k;
+        }
     }
-    match bits.len() {
-        0 => Err(ParseQasmError::new(lineno, "empty condition")),
-        1 => Ok(Condition::Bit {
-            bit: bits[0],
+    match (groups.len(), any_vote) {
+        (0, _) => Err(ParseQasmError::new(lineno, "empty condition")),
+        (_, true) => Ok(Condition::voted(groups, value)),
+        (1, false) => Ok(Condition::Bit {
+            bit: groups[0][0],
             value: value == 1,
         }),
-        _ => Ok(Condition::register(bits, value)),
+        (_, false) => Ok(Condition::register(
+            groups.iter().map(|g| g[0]).collect(),
+            value,
+        )),
     }
+}
+
+fn parse_vote_clause(clause: &str, lineno: usize) -> Result<(Vec<Clbit>, bool), ParseQasmError> {
+    let (wanted, lhs, rhs) = if let Some((lhs, rhs)) = clause.split_once(">=") {
+        (true, lhs, rhs)
+    } else if let Some((lhs, rhs)) = clause.split_once("<=") {
+        (false, lhs, rhs)
+    } else {
+        return Err(ParseQasmError::new(
+            lineno,
+            "condition must use ==, >= or <=",
+        ));
+    };
+    let mut group = Vec::new();
+    for term in lhs.split('+') {
+        group.push(Clbit::new(parse_index(term.trim(), 'c', lineno)?));
+    }
+    if group.len() % 2 != 1 {
+        return Err(ParseQasmError::new(lineno, "vote group must be odd-length"));
+    }
+    let threshold: usize = rhs
+        .trim()
+        .parse()
+        .map_err(|_| ParseQasmError::new(lineno, "bad vote threshold"))?;
+    let majority = group.len() / 2 + 1;
+    let expected = if wanted { majority } else { majority - 1 };
+    if threshold != expected {
+        return Err(ParseQasmError::new(
+            lineno,
+            format!(
+                "vote threshold {threshold} is not the majority of {} bits",
+                group.len()
+            ),
+        ));
+    }
+    Ok((group, wanted))
 }
 
 fn parse_index(token: &str, reg: char, lineno: usize) -> Result<usize, ParseQasmError> {
@@ -422,6 +488,49 @@ mod tests {
         );
         let text = to_qasm(&circ);
         assert!(text.contains("if (c[0] == 1 && c[1] == 0) { x q[0]; }"));
+    }
+
+    #[test]
+    fn export_voted_condition_as_threshold_sums() {
+        let mut circ = Circuit::new(1, 4);
+        circ.gate_if(
+            Gate::X,
+            &[q(0)],
+            Condition::voted(vec![vec![c(0), c(1), c(2)], vec![c(3)]], 0b01),
+        );
+        let text = to_qasm(&circ);
+        assert!(
+            text.contains("if (c[0] + c[1] + c[2] >= 2 && c[3] <= 0) { x q[0]; }"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn round_trip_voted_conditions() {
+        let mut circ = Circuit::new(2, 7);
+        // Majority-1 over three readings.
+        circ.gate_if(
+            Gate::X,
+            &[q(0)],
+            Condition::voted(vec![vec![c(0), c(2), c(4)]], 1),
+        );
+        // Majority-0 over five readings, mixed with a singleton group.
+        circ.gate_if(
+            Gate::H,
+            &[q(1)],
+            Condition::voted(vec![vec![c(1), c(3), c(4), c(5), c(6)], vec![c(0)]], 0b10),
+        );
+        let parsed = from_qasm(&to_qasm(&circ)).unwrap();
+        assert_eq!(parsed.instructions(), circ.instructions());
+        // Emitted text is a fixed point of emit -> parse -> emit.
+        assert_eq!(to_qasm(&parsed), to_qasm(&circ));
+    }
+
+    #[test]
+    fn parse_rejects_non_majority_vote_threshold() {
+        let text = "qubit[1] q;\nbit[3] c;\nif (c[0] + c[1] + c[2] >= 3) { x q[0]; }";
+        let err = from_qasm(text).unwrap_err();
+        assert!(err.to_string().contains("not the majority"), "{err}");
     }
 
     #[test]

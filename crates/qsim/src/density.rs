@@ -302,9 +302,16 @@ fn explore(
             OpKind::Gate(g) => {
                 let qubits: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
                 rho.apply_gate(g, &qubits);
-                if let Some(channel) = noise.channel_for_arity(qubits.len()) {
-                    let n = channel.num_qubits().min(qubits.len());
-                    rho.apply_kraus(channel, &qubits[..n]);
+                match noise.gate_noise(qubits.len()) {
+                    Some(crate::noise::GateNoise::Joint(channel)) => {
+                        rho.apply_kraus(channel, &qubits);
+                    }
+                    Some(crate::noise::GateNoise::PerOperand(channel)) => {
+                        for &q in &qubits {
+                            rho.apply_kraus(channel, &[q]);
+                        }
+                    }
+                    None => {}
                 }
             }
             OpKind::Measure => {

@@ -22,14 +22,18 @@
 //!   never the seeding of later shots.
 
 use crate::counts::{bitstring, Counts};
-use crate::noise::NoiseModel;
+use crate::noise::{GateNoise, NoiseModel};
 use crate::statevector::StateVector;
 use qcir::{Circuit, OpKind};
 use qobs::Observer;
 use rand::rngs::StdRng;
 use rand::{stream_seed, Rng, RngCore, SeedableRng};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
 
 /// A configurable shot-based simulator.
 ///
@@ -54,6 +58,168 @@ pub struct Executor {
     threads: Option<usize>,
     noise: NoiseModel,
     observer: Observer,
+    drift: Option<DriftPolicy>,
+    drift_tolerance: f64,
+    deadline: Option<Duration>,
+    max_failed: Option<u64>,
+}
+
+/// What [`Executor::run_resilient`] does when a shot's statevector norm
+/// drifts from 1 beyond the configured tolerance (including to NaN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftPolicy {
+    /// Rescale the state back to unit norm and continue the shot. Falls back
+    /// to discarding when the norm is NaN, infinite or (near) zero, where no
+    /// rescale can recover a meaningful state.
+    Renormalize,
+    /// Drop the shot (counted in [`RunReport::discarded`]) and move on.
+    DiscardShot,
+    /// Terminate the whole run, returning the counts gathered so far with
+    /// [`Termination::Aborted`].
+    Abort,
+}
+
+/// Why a [`Executor::run_resilient`] call stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Every requested shot was attempted.
+    Completed,
+    /// The [`Executor::deadline`] elapsed with shots still pending.
+    Deadline,
+    /// Failed shots exceeded the [`Executor::max_failed`] budget.
+    FailedShotBudget,
+    /// A shot tripped [`DriftPolicy::Abort`].
+    Aborted,
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Termination::Completed => write!(f, "completed"),
+            Termination::Deadline => write!(f, "deadline"),
+            Termination::FailedShotBudget => write!(f, "failed-shot-budget"),
+            Termination::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
+/// Outcome accounting for one [`Executor::run_resilient`] call.
+///
+/// The invariant `completed + failed + discarded <= requested` always holds;
+/// the difference is the shots never attempted because the run terminated
+/// early (`termination != Completed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Shots the executor was asked for.
+    pub requested: u64,
+    /// Shots that ran to the end and were recorded in the counts.
+    pub completed: u64,
+    /// Shots that panicked and were isolated (nothing recorded).
+    pub failed: u64,
+    /// Shots dropped by the drift guard (nothing recorded).
+    pub discarded: u64,
+    /// Why the run stopped.
+    pub termination: Termination,
+}
+
+/// Drift-guard configuration resolved once per resilient run.
+#[derive(Debug, Clone, Copy)]
+struct DriftGuard {
+    policy: DriftPolicy,
+    tolerance: f64,
+}
+
+/// Control-flow outcome of one guarded shot.
+enum ShotControl {
+    Done(Vec<bool>, StateVector),
+    Discarded,
+    Abort,
+}
+
+/// What the drift guard decided after one instruction.
+enum DriftAction {
+    Continue,
+    Discard,
+    Abort,
+}
+
+const TERMINATION_COMPLETED: u8 = 0;
+const TERMINATION_DEADLINE: u8 = 1;
+const TERMINATION_FAILED_BUDGET: u8 = 2;
+const TERMINATION_ABORTED: u8 = 3;
+
+/// Shared early-termination state for one resilient run: a stop flag the
+/// workers poll between shots, the cross-worker failed-shot counter, and
+/// the first termination reason recorded.
+struct RunBudget {
+    start: Instant,
+    deadline: Option<Duration>,
+    max_failed: Option<u64>,
+    stop: AtomicBool,
+    failed: AtomicU64,
+    termination: AtomicU8,
+}
+
+impl RunBudget {
+    /// Requests termination with `reason`; the first caller wins, later
+    /// reasons are dropped.
+    fn terminate(&self, reason: u8) {
+        let _ = self.termination.compare_exchange(
+            TERMINATION_COMPLETED,
+            reason,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn termination(&self) -> Termination {
+        match self.termination.load(Ordering::Relaxed) {
+            TERMINATION_DEADLINE => Termination::Deadline,
+            TERMINATION_FAILED_BUDGET => Termination::FailedShotBudget,
+            TERMINATION_ABORTED => Termination::Aborted,
+            _ => Termination::Completed,
+        }
+    }
+}
+
+/// One worker's contribution to a resilient run.
+#[derive(Default)]
+struct ChunkOutcome {
+    counts: Counts,
+    completed: u64,
+    failed: u64,
+    discarded: u64,
+    renormalized: u64,
+}
+
+/// Applies the drift guard (if any) to the state after one instruction.
+fn check_drift(
+    guard: Option<&DriftGuard>,
+    state: &mut StateVector,
+    renorms: &mut u64,
+) -> DriftAction {
+    let Some(g) = guard else {
+        return DriftAction::Continue;
+    };
+    let deviation = (state.norm_sqr() - 1.0).abs();
+    // Written so a NaN deviation falls through to the policy.
+    if deviation <= g.tolerance {
+        return DriftAction::Continue;
+    }
+    match g.policy {
+        DriftPolicy::Renormalize => {
+            if state.renormalize() {
+                *renorms += 1;
+                DriftAction::Continue
+            } else {
+                // NaN / collapsed norm: nothing left to rescale.
+                DriftAction::Discard
+            }
+        }
+        DriftPolicy::DiscardShot => DriftAction::Discard,
+        DriftPolicy::Abort => DriftAction::Abort,
+    }
 }
 
 /// Per-run accumulation of executor counters.
@@ -140,7 +306,50 @@ impl Executor {
             threads: None,
             noise: NoiseModel::ideal(),
             observer: Observer::disabled(),
+            drift: None,
+            drift_tolerance: 1e-6,
+            deadline: None,
+            max_failed: None,
         }
+    }
+
+    /// Enables the per-instruction norm-drift guard for
+    /// [`Executor::run_resilient`] with the given policy.
+    ///
+    /// The guard costs one `norm_sqr` scan (O(2^n)) per executed
+    /// instruction, so it is opt-in; [`Executor::run`] never checks.
+    #[must_use]
+    pub fn drift_policy(mut self, policy: DriftPolicy) -> Self {
+        self.drift = Some(policy);
+        self
+    }
+
+    /// Sets the norm-drift tolerance for [`Executor::drift_policy`]: the
+    /// guard trips when `| ||psi||^2 - 1 |` exceeds it (default `1e-6`).
+    /// A NaN norm always trips the guard.
+    #[must_use]
+    pub fn drift_tolerance(mut self, tolerance: f64) -> Self {
+        self.drift_tolerance = tolerance;
+        self
+    }
+
+    /// Sets a wall-clock budget for [`Executor::run_resilient`]: once it
+    /// elapses, no further shots start and the run returns the partial
+    /// counts with [`Termination::Deadline`].
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the failed-shot budget for [`Executor::run_resilient`]: when
+    /// more than `max_failed` shots have panicked, the run stops with
+    /// [`Termination::FailedShotBudget`] (so `max_failed(0)` stops on the
+    /// first failure).
+    #[must_use]
+    pub fn max_failed(mut self, max_failed: u64) -> Self {
+        self.max_failed = Some(max_failed);
+        self
     }
 
     /// Sets the number of shots.
@@ -252,6 +461,189 @@ impl Executor {
         memory
     }
 
+    /// Runs the circuit with per-shot fault isolation and graceful
+    /// degradation, returning whatever counts were gathered plus a
+    /// [`RunReport`].
+    ///
+    /// Differences from [`Executor::run`]:
+    ///
+    /// * every shot executes under `catch_unwind`: a panicking shot (NaN
+    ///   probabilities, a poisoned gate parameter, …) is recorded as
+    ///   *failed* instead of killing the run;
+    /// * with [`Executor::drift_policy`] set, the statevector norm is
+    ///   checked after every instruction and handled per the policy;
+    /// * with [`Executor::deadline`] / [`Executor::max_failed`] set, the
+    ///   run terminates early once the budget is exhausted and returns the
+    ///   **partial** counts gathered so far — it never panics for budget
+    ///   reasons.
+    ///
+    /// Shot `i` still executes on `stream_seed(base, i)`, so a resilient
+    /// run that completes (no early termination) produces counts
+    /// bit-identical to [`Executor::run`] at every thread count. Early
+    /// termination stops workers at chunk granularity, so *which* shots ran
+    /// may then depend on timing and thread count — but every recorded shot
+    /// is still individually reproducible.
+    ///
+    /// With an observer attached, the run additionally records
+    /// `executor.shots_failed`, `executor.shots_discarded` and
+    /// `executor.drift_renormalized` counters on top of the usual set (and
+    /// `executor.shots` counts *completed* shots only).
+    pub fn run_resilient(&self, circuit: &Circuit) -> (Counts, RunReport) {
+        let base = self.base_seed();
+        let workers = (self.effective_threads() as u64).min(self.shots.max(1)) as usize;
+        let observed = self.observer.is_enabled();
+        let mid = if observed {
+            Some(mid_measure_flags(circuit))
+        } else {
+            None
+        };
+        let span = if observed {
+            let mut span = self.observer.span("executor.run_resilient");
+            span.field("shots", self.shots);
+            span.field("instructions", circuit.len());
+            span.field("threads", workers as u64);
+            Some(span)
+        } else {
+            None
+        };
+        let guard = self.drift.map(|policy| DriftGuard {
+            policy,
+            tolerance: self.drift_tolerance,
+        });
+
+        let budget = RunBudget {
+            start: Instant::now(),
+            deadline: self.deadline,
+            max_failed: self.max_failed,
+            stop: AtomicBool::new(false),
+            failed: AtomicU64::new(0),
+            termination: AtomicU8::new(TERMINATION_COMPLETED),
+        };
+
+        let (chunks, tallies): (Vec<ChunkOutcome>, Vec<Option<RunTally>>) = if workers <= 1 {
+            let (chunk, tally) = self.run_chunk_resilient(
+                circuit,
+                base,
+                0..self.shots,
+                mid.as_deref(),
+                guard,
+                &budget,
+            );
+            (vec![chunk], vec![tally])
+        } else {
+            let chunk_len = self.shots.div_ceil(workers as u64);
+            let mid = mid.as_deref();
+            let budget = &budget;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers as u64)
+                    .map(|w| {
+                        let lo = w * chunk_len;
+                        let hi = (lo + chunk_len).min(self.shots);
+                        scope.spawn(move || {
+                            self.run_chunk_resilient(circuit, base, lo..hi, mid, guard, budget)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("resilient chunk driver panicked"))
+                    .unzip()
+            })
+        };
+
+        let mut counts = Counts::new();
+        let mut report = RunReport {
+            requested: self.shots,
+            completed: 0,
+            failed: 0,
+            discarded: 0,
+            termination: budget.termination(),
+        };
+        let mut renorms = 0u64;
+        for chunk in chunks {
+            counts.merge(chunk.counts);
+            report.completed += chunk.completed;
+            report.failed += chunk.failed;
+            report.discarded += chunk.discarded;
+            renorms += chunk.renormalized;
+        }
+        if observed {
+            let mut merged = RunTally::default();
+            for tally in tallies.into_iter().flatten() {
+                merged.absorb(tally);
+            }
+            self.flush_tally(&merged, report.completed);
+            let obs = &self.observer;
+            obs.counter_add("executor.shots_failed", report.failed);
+            obs.counter_add("executor.shots_discarded", report.discarded);
+            obs.counter_add("executor.drift_renormalized", renorms);
+        }
+        drop(span);
+        (counts, report)
+    }
+
+    /// Executes the contiguous shot range `shots` for
+    /// [`Executor::run_resilient`]: per-shot `catch_unwind`, drift guard,
+    /// and cooperative early termination through the shared budget.
+    fn run_chunk_resilient(
+        &self,
+        circuit: &Circuit,
+        base: u64,
+        shots: Range<u64>,
+        mid: Option<&[bool]>,
+        guard: Option<DriftGuard>,
+        budget: &RunBudget,
+    ) -> (ChunkOutcome, Option<RunTally>) {
+        let mut out = ChunkOutcome::default();
+        let mut tally = mid.map(|_| RunTally::default());
+        for i in shots {
+            if budget.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(deadline) = budget.deadline {
+                if budget.start.elapsed() >= deadline {
+                    budget.terminate(TERMINATION_DEADLINE);
+                    break;
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
+            let mut renorms = 0u64;
+            let shot = catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = match (&mut tally, mid) {
+                    (Some(tally), Some(mid)) => Some(TallyCtx {
+                        tally,
+                        mid_measure: mid,
+                    }),
+                    _ => None,
+                };
+                self.run_shot_guarded(circuit, &mut rng, &mut ctx, guard.as_ref(), &mut renorms)
+            }));
+            out.renormalized += renorms;
+            match shot {
+                Ok(ShotControl::Done(classical, _)) => {
+                    out.completed += 1;
+                    out.counts.record(bitstring(&classical));
+                }
+                Ok(ShotControl::Discarded) => out.discarded += 1,
+                Ok(ShotControl::Abort) => {
+                    budget.terminate(TERMINATION_ABORTED);
+                    break;
+                }
+                Err(_) => {
+                    out.failed += 1;
+                    let failed_total = budget.failed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(max) = budget.max_failed {
+                        if failed_total > max {
+                            budget.terminate(TERMINATION_FAILED_BUDGET);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        (out, tally)
+    }
+
     /// The run's base seed: the configured seed, or fresh entropy drawn once
     /// per run (so even unseeded runs derive coherent per-shot streams).
     fn base_seed(&self) -> u64 {
@@ -343,7 +735,7 @@ impl Executor {
             for tally in tallies.into_iter().flatten() {
                 merged.absorb(tally);
             }
-            self.flush_tally(&merged);
+            self.flush_tally(&merged, self.shots);
         }
         drop(span);
         parts
@@ -388,10 +780,12 @@ impl Executor {
     }
 
     /// Adds the run's tally to the observer's registry (one lock
-    /// acquisition per counter, once per run).
-    fn flush_tally(&self, tally: &RunTally) {
+    /// acquisition per counter, once per run). `shots` is the number of
+    /// shots actually recorded — all requested shots for [`Executor::run`],
+    /// completed shots only for [`Executor::run_resilient`].
+    fn flush_tally(&self, tally: &RunTally, shots: u64) {
         let obs = &self.observer;
-        obs.counter_add("executor.shots", self.shots);
+        obs.counter_add("executor.shots", shots);
         obs.counter_add("executor.resets", tally.resets);
         obs.counter_add("executor.measurements", tally.measurements);
         obs.counter_add("executor.mid_circuit_measurements", tally.mid_measurements);
@@ -434,6 +828,27 @@ impl Executor {
         rng: &mut R,
         ctx: &mut Option<TallyCtx<'_>>,
     ) -> (Vec<bool>, StateVector) {
+        match self.run_shot_guarded(circuit, rng, ctx, None, &mut 0) {
+            ShotControl::Done(classical, state) => (classical, state),
+            // Without a guard a shot always runs to completion.
+            ShotControl::Discarded | ShotControl::Abort => unreachable!("unguarded shot"),
+        }
+    }
+
+    /// Single-shot execution with an optional tally context and an optional
+    /// norm-drift guard. With a guard, the squared norm is checked after
+    /// every executed instruction (and every idle-noise application) and the
+    /// guard's policy decides whether the shot continues, is discarded, or
+    /// aborts the run. `renorms` counts the rescues performed under
+    /// [`DriftPolicy::Renormalize`].
+    fn run_shot_guarded<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+        ctx: &mut Option<TallyCtx<'_>>,
+        guard: Option<&DriftGuard>,
+        renorms: &mut u64,
+    ) -> ShotControl {
         let mut state = StateVector::zero_state(circuit.num_qubits());
         let mut classical = vec![false; circuit.num_clbits()];
         if let Some(idle) = &self.noise.idle {
@@ -451,6 +866,11 @@ impl Executor {
                         touched[q.index()] = true;
                     }
                     self.execute_instruction(inst, idx, &mut state, &mut classical, rng, ctx);
+                    match check_drift(guard, &mut state, renorms) {
+                        DriftAction::Continue => {}
+                        DriftAction::Discard => return ShotControl::Discarded,
+                        DriftAction::Abort => return ShotControl::Abort,
+                    }
                 }
                 for (q, &t) in touched.iter().enumerate() {
                     if !t {
@@ -458,15 +878,25 @@ impl Executor {
                         if let Some(c) = ctx {
                             c.tally.noise_applications += 1;
                         }
+                        match check_drift(guard, &mut state, renorms) {
+                            DriftAction::Continue => {}
+                            DriftAction::Discard => return ShotControl::Discarded,
+                            DriftAction::Abort => return ShotControl::Abort,
+                        }
                     }
                 }
             }
         } else {
             for (idx, inst) in circuit.iter().enumerate() {
                 self.execute_instruction(inst, idx, &mut state, &mut classical, rng, ctx);
+                match check_drift(guard, &mut state, renorms) {
+                    DriftAction::Continue => {}
+                    DriftAction::Discard => return ShotControl::Discarded,
+                    DriftAction::Abort => return ShotControl::Abort,
+                }
             }
         }
-        (classical, state)
+        ShotControl::Done(classical, state)
     }
 
     /// Executes one instruction under the configured noise. `idx` is the
@@ -500,12 +930,22 @@ impl Executor {
                 if let Some(c) = ctx {
                     *c.tally.gates.entry(g.name()).or_insert(0) += 1;
                 }
-                if let Some(channel) = self.noise.channel_for_arity(qubits.len()) {
-                    let n = channel.num_qubits().min(qubits.len());
-                    channel.apply_stochastic(state, &qubits[..n], rng);
-                    if let Some(c) = ctx {
-                        c.tally.noise_applications += 1;
+                match self.noise.gate_noise(qubits.len()) {
+                    Some(GateNoise::Joint(channel)) => {
+                        channel.apply_stochastic(state, &qubits, rng);
+                        if let Some(c) = ctx {
+                            c.tally.noise_applications += 1;
+                        }
                     }
+                    Some(GateNoise::PerOperand(channel)) => {
+                        for &q in &qubits {
+                            channel.apply_stochastic(state, &[q], rng);
+                            if let Some(c) = ctx {
+                                c.tally.noise_applications += 1;
+                            }
+                        }
+                    }
+                    None => {}
                 }
             }
             OpKind::Measure => {
@@ -1038,6 +1478,227 @@ mod tests {
             d < p * 2.0,
             "disabled-observer median {d:.6}s vs plain {p:.6}s"
         );
+    }
+
+    /// A circuit whose every shot panics: `p(NaN)` poisons the amplitudes,
+    /// so the following measurement draws `gen_bool(NaN)`.
+    fn poisoned_circuit() -> Circuit {
+        let mut circ = Circuit::new(1, 1);
+        circ.h(q(0)).p(f64::NAN, q(0)).measure(q(0), c(0));
+        circ
+    }
+
+    /// A circuit where roughly half the shots panic: the `p(NaN)` gate is
+    /// conditioned on a fair-coin measurement, so only the `1` branch is
+    /// poisoned.
+    fn half_poisoned_circuit() -> Circuit {
+        let mut circ = Circuit::new(1, 2);
+        circ.h(q(0)).measure(q(0), c(0));
+        circ.gate_if(Gate::P(f64::NAN), &[q(0)], Condition::bit(c(0)));
+        circ.measure(q(0), c(1));
+        circ
+    }
+
+    #[test]
+    fn resilient_run_matches_plain_run_when_nothing_fails() {
+        let circ = dynamic_test_circuit();
+        let exec = Executor::new()
+            .shots(300)
+            .seed(41)
+            .noise(NoiseModel::depolarizing(0.02, 0.05));
+        let plain = exec.run(&circ);
+        let (counts, report) = exec.run_resilient(&circ);
+        assert_eq!(counts, plain);
+        assert_eq!(report.requested, 300);
+        assert_eq!(report.completed, 300);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.discarded, 0);
+        assert_eq!(report.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn resilient_counts_are_bit_identical_across_thread_counts() {
+        let circ = dynamic_test_circuit();
+        let exec = |threads: usize| Executor::new().shots(257).seed(0xFEED).threads(threads);
+        let (one, _) = exec(1).run_resilient(&circ);
+        let (four, _) = exec(4).run_resilient(&circ);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn panicking_shot_is_isolated_not_fatal() {
+        // Every shot of the poisoned circuit panics; the run must survive
+        // and account for all of them as failed.
+        let (counts, report) = Executor::new()
+            .shots(8)
+            .seed(1)
+            .threads(1)
+            .run_resilient(&poisoned_circuit());
+        assert!(counts.is_empty());
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 8);
+        assert_eq!(report.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn partial_counts_survive_mixed_failures() {
+        // Only the measured-1 branch panics: the measured-0 shots must
+        // still be recorded, and completed + failed must cover every shot.
+        let shots = 64;
+        let (counts, report) = Executor::new()
+            .shots(shots)
+            .seed(5)
+            .run_resilient(&half_poisoned_circuit());
+        assert_eq!(report.completed + report.failed, shots);
+        assert!(report.completed > 0, "some shots should survive");
+        assert!(report.failed > 0, "some shots should fail");
+        assert_eq!(counts.total(), report.completed);
+        // Every surviving shot measured 0 both times.
+        assert_eq!(counts.get("00"), report.completed);
+    }
+
+    #[test]
+    fn exhausted_failed_shot_budget_returns_partial_counts() {
+        // Acceptance criterion: an exhausted budget returns partial counts
+        // plus a report instead of panicking.
+        let (counts, report) = Executor::new()
+            .shots(1000)
+            .seed(2)
+            .threads(1)
+            .max_failed(5)
+            .run_resilient(&poisoned_circuit());
+        assert_eq!(report.termination, Termination::FailedShotBudget);
+        assert_eq!(report.failed, 6, "stops as soon as failed exceeds 5");
+        assert!(report.completed + report.failed + report.discarded < 1000);
+        assert_eq!(counts.total(), report.completed);
+    }
+
+    #[test]
+    fn expired_deadline_terminates_before_any_shot() {
+        let circ = dynamic_test_circuit();
+        let (counts, report) = Executor::new()
+            .shots(100)
+            .seed(3)
+            .deadline(Duration::ZERO)
+            .run_resilient(&circ);
+        assert!(counts.is_empty());
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.termination, Termination::Deadline);
+    }
+
+    #[test]
+    fn drift_guard_discards_nan_shots_before_they_panic() {
+        let (counts, report) = Executor::new()
+            .shots(16)
+            .seed(4)
+            .drift_policy(DriftPolicy::DiscardShot)
+            .run_resilient(&poisoned_circuit());
+        assert!(counts.is_empty());
+        assert_eq!(report.discarded, 16);
+        assert_eq!(report.failed, 0, "guard fires before the panic");
+        assert_eq!(report.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn drift_abort_policy_stops_the_run() {
+        let (_, report) = Executor::new()
+            .shots(100)
+            .seed(5)
+            .threads(1)
+            .drift_policy(DriftPolicy::Abort)
+            .run_resilient(&poisoned_circuit());
+        assert_eq!(report.termination, Termination::Aborted);
+        assert_eq!(report.completed + report.failed + report.discarded, 0);
+    }
+
+    #[test]
+    fn renormalize_policy_rescues_benign_drift_and_discards_nan() {
+        // With a negative tolerance every check trips; a healthy state is
+        // renormalized (a no-op-sized rescale) and the shot completes.
+        let circ = dynamic_test_circuit();
+        let exec = Executor::new()
+            .shots(50)
+            .seed(6)
+            .drift_policy(DriftPolicy::Renormalize)
+            .drift_tolerance(-1.0);
+        let obs = qobs::Observer::metrics_only();
+        let (counts, report) = exec.observer(obs.clone()).run_resilient(&circ);
+        assert_eq!(report.completed, 50);
+        assert_eq!(counts.total(), 50);
+        let renorms = obs.metrics().counter("executor.drift_renormalized");
+        assert!(renorms.unwrap_or(0) > 0, "renormalizations must be counted");
+
+        // A NaN norm cannot be rescaled: the shot is discarded instead.
+        let (_, nan_report) = Executor::new()
+            .shots(4)
+            .seed(7)
+            .drift_policy(DriftPolicy::Renormalize)
+            .run_resilient(&poisoned_circuit());
+        assert_eq!(nan_report.discarded, 4);
+    }
+
+    #[test]
+    fn resilient_observer_counters_track_the_report() {
+        let obs = qobs::Observer::metrics_only();
+        let (_, report) = Executor::new()
+            .shots(32)
+            .seed(8)
+            .observer(obs.clone())
+            .run_resilient(&half_poisoned_circuit());
+        let m = obs.metrics();
+        assert_eq!(m.counter("executor.shots"), Some(report.completed));
+        assert_eq!(m.counter("executor.shots_failed"), Some(report.failed));
+        assert_eq!(m.counter("executor.shots_discarded"), Some(0));
+        assert_eq!(m.histogram("executor.run_resilient_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn toffoli_under_1q_noise_perturbs_every_operand() {
+        // Regression for channel_for_arity: arity-3 gates used to silently
+        // reuse the 2-qubit channel on a 2-operand subset. They now take
+        // the 1-qubit channel independently on each operand.
+        let mut circ = Circuit::new(3, 3);
+        circ.x(q(0)).x(q(1)).ccx(q(0), q(1), q(2)).measure_all();
+        let obs = qobs::Observer::metrics_only();
+        let shots = 600;
+        let counts = Executor::new()
+            .shots(shots)
+            .seed(12)
+            .noise(NoiseModel::depolarizing(0.25, 0.0))
+            .observer(obs.clone())
+            .run(&circ);
+        // Noise must actually reach the Toffoli: the ideal outcome can no
+        // longer be the only one.
+        assert!(counts.get("111") < shots, "noise never touched the CCX");
+        // Each of the three operands must see errors (keys are MSB-first:
+        // position 2 - i holds clbit i).
+        for bit in 0..3 {
+            let flipped: u64 = counts
+                .iter()
+                .filter(|(key, _)| key.as_bytes()[2 - bit] == b'0')
+                .map(|(_, n)| n)
+                .sum();
+            assert!(flipped > 0, "operand {bit} never saw an error");
+        }
+        // Two X gates + per-operand CCX noise = 2 + 3 injections per shot.
+        assert_eq!(
+            obs.metrics().counter("executor.noise_injections"),
+            Some(5 * shots)
+        );
+    }
+
+    #[test]
+    fn toffoli_no_longer_borrows_the_2q_channel() {
+        // With only a 2-qubit channel configured, a Toffoli is now
+        // noise-free instead of silently noising a 2-operand subset.
+        let mut circ = Circuit::new(3, 3);
+        circ.x(q(0)).x(q(1)).ccx(q(0), q(1), q(2)).measure_all();
+        let counts = Executor::new()
+            .shots(200)
+            .seed(13)
+            .noise(NoiseModel::depolarizing(0.0, 0.5))
+            .run(&circ);
+        assert_eq!(counts.get("111"), 200);
     }
 
     #[test]

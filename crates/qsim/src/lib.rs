@@ -50,7 +50,8 @@ mod unitary;
 pub use counts::{bitstring, Counts, Distribution};
 pub use density::DensityMatrix;
 pub use executor::Executor;
-pub use noise::{KrausChannel, NoiseModel};
+pub use executor::{DriftPolicy, RunReport, Termination};
+pub use noise::{GateNoise, KrausChannel, NoiseError, NoiseModel};
 pub use pauli::{Pauli, PauliString};
 pub use statevector::StateVector;
 pub use unitary::{circuit_unitary, circuits_equivalent};

@@ -8,8 +8,65 @@
 
 use qmath::{CMatrix, C64};
 use rand::Rng;
+use std::error::Error;
+use std::fmt;
 
 use crate::statevector::StateVector;
+
+/// A typed error from fallible noise-channel construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// A channel was given no Kraus operators.
+    EmptyChannel,
+    /// The Kraus operators are not all square with one shared dimension.
+    ShapeMismatch,
+    /// The shared Kraus dimension is not a power of two.
+    DimensionNotPowerOfTwo {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// `sum K†K` deviates from the identity beyond tolerance.
+    NotTracePreserving {
+        /// Largest absolute entry deviation from the identity.
+        deviation: f64,
+    },
+    /// A probability-like parameter fell outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Name of the parameter (e.g. `"p"`, `"gamma"`, `"scale"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A channel was requested for an unsupported qubit count.
+    UnsupportedArity {
+        /// The requested arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::EmptyChannel => write!(f, "a channel needs at least one Kraus operator"),
+            NoiseError::ShapeMismatch => write!(f, "Kraus operator shapes must agree"),
+            NoiseError::DimensionNotPowerOfTwo { dim } => {
+                write!(f, "Kraus dimension {dim} is not a power of two")
+            }
+            NoiseError::NotTracePreserving { deviation } => write!(
+                f,
+                "Kraus operators are not trace preserving (deviation {deviation:.3e})"
+            ),
+            NoiseError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "{name} = {value} is outside [0, 1]")
+            }
+            NoiseError::UnsupportedArity { arity } => {
+                write!(f, "unsupported channel arity {arity}")
+            }
+        }
+    }
+}
+
+impl Error for NoiseError {}
 
 /// A completely positive trace-preserving map given by Kraus operators.
 ///
@@ -34,31 +91,55 @@ impl KrausChannel {
     ///
     /// Panics if the operators are not all square of equal power-of-two
     /// dimension, or if they fail the trace-preservation condition
-    /// `sum K†K = I` beyond `1e-9`.
+    /// `sum K†K = I` beyond `1e-9`. Use [`KrausChannel::try_new`] to get a
+    /// typed error instead.
     #[must_use]
     pub fn new(ops: Vec<CMatrix>) -> Self {
-        assert!(
-            !ops.is_empty(),
-            "a channel needs at least one Kraus operator"
-        );
+        match Self::try_new(ops) {
+            Ok(ch) => ch,
+            Err(NoiseError::NotTracePreserving { deviation }) => {
+                panic!("Kraus operators are not trace preserving (deviation {deviation:.3e})")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a channel from explicit Kraus operators, reporting validation
+    /// failures as a typed [`NoiseError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError`] when the operator list is empty, the shapes
+    /// disagree or are not square of power-of-two dimension, or the
+    /// trace-preservation condition `sum K†K = I` fails beyond `1e-9`.
+    pub fn try_new(ops: Vec<CMatrix>) -> Result<Self, NoiseError> {
+        if ops.is_empty() {
+            return Err(NoiseError::EmptyChannel);
+        }
         let dim = ops[0].rows();
-        assert!(
-            dim.is_power_of_two(),
-            "Kraus dimension must be a power of two"
-        );
+        if !dim.is_power_of_two() {
+            return Err(NoiseError::DimensionNotPowerOfTwo { dim });
+        }
         let mut sum = CMatrix::zeros(dim, dim);
         for k in &ops {
-            assert!(k.is_square() && k.rows() == dim, "Kraus shapes must agree");
+            if !k.is_square() || k.rows() != dim {
+                return Err(NoiseError::ShapeMismatch);
+            }
             sum = sum.add(&k.dagger().mul(k));
         }
-        assert!(
-            sum.approx_eq(&CMatrix::identity(dim), 1e-9),
-            "Kraus operators are not trace preserving"
-        );
-        Self {
+        let deviation = sum
+            .sub(&CMatrix::identity(dim))
+            .as_slice()
+            .iter()
+            .map(|z| z.abs())
+            .fold(0.0_f64, f64::max);
+        if deviation > 1e-9 || deviation.is_nan() {
+            return Err(NoiseError::NotTracePreserving { deviation });
+        }
+        Ok(Self {
             num_qubits: dim.trailing_zeros() as usize,
             ops,
-        }
+        })
     }
 
     /// Number of qubits the channel acts on.
@@ -89,6 +170,28 @@ impl KrausChannel {
     pub fn depolarizing(p: f64, n: usize) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         assert!(n == 1 || n == 2, "depolarizing supports 1 or 2 qubits");
+        match Self::try_depolarizing(p, n) {
+            Ok(ch) => ch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`KrausChannel::depolarizing`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError`] if `p` is outside `[0, 1]` (including NaN) or
+    /// `n` is not 1 or 2.
+    pub fn try_depolarizing(p: f64, n: usize) -> Result<Self, NoiseError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(NoiseError::ProbabilityOutOfRange {
+                name: "p",
+                value: p,
+            });
+        }
+        if n != 1 && n != 2 {
+            return Err(NoiseError::UnsupportedArity { arity: n });
+        }
         let paulis_1q = [
             CMatrix::identity(2),
             CMatrix::pauli_x(),
@@ -117,7 +220,7 @@ impl KrausChannel {
             };
             ops.push(pauli.scale(C64::real(w)));
         }
-        Self::new(ops)
+        Self::try_new(ops)
     }
 
     /// Bit-flip channel: X with probability `p`.
@@ -287,43 +390,133 @@ impl NoiseModel {
 
     /// A uniform depolarizing model: probability `p1` after 1-qubit gates
     /// and `p2` after 2-qubit gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
     #[must_use]
     pub fn depolarizing(p1: f64, p2: f64) -> Self {
-        Self {
-            gate_1q: (p1 > 0.0).then(|| KrausChannel::depolarizing(p1, 1)),
-            gate_2q: (p2 > 0.0).then(|| KrausChannel::depolarizing(p2, 2)),
+        match Self::try_depolarizing(p1, p2) {
+            Ok(nm) => nm,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`NoiseModel::depolarizing`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError`] if either probability is outside `[0, 1]`
+    /// (including NaN).
+    pub fn try_depolarizing(p1: f64, p2: f64) -> Result<Self, NoiseError> {
+        Ok(Self {
+            gate_1q: if p1 > 0.0 {
+                Some(KrausChannel::try_depolarizing(p1, 1)?)
+            } else {
+                check_probability("p1", p1)?;
+                None
+            },
+            gate_2q: if p2 > 0.0 {
+                Some(KrausChannel::try_depolarizing(p2, 2)?)
+            } else {
+                check_probability("p2", p2)?;
+                None
+            },
             readout_flip: 0.0,
             reset_error: 0.0,
             idle: None,
-        }
+        })
     }
 
     /// A rough superconducting-device profile: depolarizing gate noise plus
     /// readout and reset error, parameterized by an overall `scale` in
     /// `[0, 1]` (0 = ideal; 1 roughly mirrors a 2021-era IBM device:
     /// `p1 = 0.0004`, `p2 = 0.01`, 2% readout error, 1% reset error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is NaN or large enough to push any error rate
+    /// past 1.
     #[must_use]
     pub fn device_like(scale: f64) -> Self {
-        if scale <= 0.0 {
-            return Self::ideal();
-        }
-        Self {
-            gate_1q: Some(KrausChannel::depolarizing(0.0004 * scale, 1)),
-            gate_2q: Some(KrausChannel::depolarizing(0.01 * scale, 2)),
-            readout_flip: 0.02 * scale,
-            reset_error: 0.01 * scale,
-            idle: None,
+        match Self::try_device_like(scale) {
+            Ok(nm) => nm,
+            Err(e) => panic!("{e}"),
         }
     }
 
+    /// Fallible [`NoiseModel::device_like`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError`] if `scale` is NaN or any derived error rate
+    /// leaves `[0, 1]`.
+    pub fn try_device_like(scale: f64) -> Result<Self, NoiseError> {
+        if scale.is_nan() {
+            return Err(NoiseError::ProbabilityOutOfRange {
+                name: "scale",
+                value: scale,
+            });
+        }
+        if scale <= 0.0 {
+            return Ok(Self::ideal());
+        }
+        check_probability("readout_flip", 0.02 * scale)?;
+        check_probability("reset_error", 0.01 * scale)?;
+        Ok(Self {
+            gate_1q: Some(KrausChannel::try_depolarizing(0.0004 * scale, 1)?),
+            gate_2q: Some(KrausChannel::try_depolarizing(0.01 * scale, 2)?),
+            readout_flip: 0.02 * scale,
+            reset_error: 0.01 * scale,
+            idle: None,
+        })
+    }
+
     /// The channel applied after a gate of the given arity, if any.
+    ///
+    /// Only arities with a native channel (1 and 2) return one; wider gates
+    /// have no joint channel and are noised per-operand — see
+    /// [`NoiseModel::gate_noise`].
     #[must_use]
     pub fn channel_for_arity(&self, arity: usize) -> Option<&KrausChannel> {
         match arity {
             1 => self.gate_1q.as_ref(),
             2 => self.gate_2q.as_ref(),
-            _ => self.gate_2q.as_ref(), // widest available approximation
+            _ => None,
         }
+    }
+
+    /// The noise to inject after a gate of the given arity.
+    ///
+    /// Arity 1 and 2 use their native channel on all operands jointly. Wider
+    /// gates (Toffoli, MCX) have no native channel; instead of silently
+    /// reusing the 2-qubit channel on a subset of operands (which both
+    /// under-covered the gate and misassigned correlated errors), the
+    /// single-qubit channel is applied independently to every operand.
+    #[must_use]
+    pub fn gate_noise(&self, arity: usize) -> Option<GateNoise<'_>> {
+        match arity {
+            1 => self.gate_1q.as_ref().map(GateNoise::Joint),
+            2 => self.gate_2q.as_ref().map(GateNoise::Joint),
+            _ => self.gate_1q.as_ref().map(GateNoise::PerOperand),
+        }
+    }
+}
+
+/// How [`NoiseModel::gate_noise`] covers a gate's operands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateNoise<'a> {
+    /// One channel whose arity matches the gate, applied to all operands.
+    Joint(&'a KrausChannel),
+    /// A single-qubit channel applied independently to each operand.
+    PerOperand(&'a KrausChannel),
+}
+
+fn check_probability(name: &'static str, value: f64) -> Result<(), NoiseError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(NoiseError::ProbabilityOutOfRange { name, value })
     }
 }
 
@@ -423,5 +616,70 @@ mod tests {
         let nm = NoiseModel::depolarizing(0.01, 0.02);
         assert_eq!(nm.channel_for_arity(1).unwrap().num_qubits(), 1);
         assert_eq!(nm.channel_for_arity(2).unwrap().num_qubits(), 2);
+        // Wider gates have no native channel; they are noised per-operand.
+        assert_eq!(nm.channel_for_arity(3), None);
+        match nm.gate_noise(3) {
+            Some(GateNoise::PerOperand(ch)) => assert_eq!(ch.num_qubits(), 1),
+            other => panic!("expected per-operand 1q noise, got {other:?}"),
+        }
+        match nm.gate_noise(2) {
+            Some(GateNoise::Joint(ch)) => assert_eq!(ch.num_qubits(), 2),
+            other => panic!("expected joint 2q noise, got {other:?}"),
+        }
+        // Without a 1q channel there is nothing to apply per-operand.
+        let only_2q = NoiseModel::depolarizing(0.0, 0.02);
+        assert_eq!(only_2q.gate_noise(3), None);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            KrausChannel::try_new(vec![]).unwrap_err(),
+            NoiseError::EmptyChannel
+        );
+        assert_eq!(
+            KrausChannel::try_new(vec![CMatrix::zeros(3, 3)]).unwrap_err(),
+            NoiseError::DimensionNotPowerOfTwo { dim: 3 }
+        );
+        assert_eq!(
+            KrausChannel::try_new(vec![CMatrix::identity(2), CMatrix::identity(4)]).unwrap_err(),
+            NoiseError::ShapeMismatch
+        );
+        match KrausChannel::try_new(vec![CMatrix::pauli_x().scale(C64::real(0.5))]) {
+            Err(NoiseError::NotTracePreserving { deviation }) => {
+                assert!((deviation - 0.75).abs() < 1e-12, "deviation {deviation}");
+            }
+            other => panic!("expected trace-preservation error, got {other:?}"),
+        }
+        // A valid construction still succeeds through the fallible path.
+        assert!(KrausChannel::try_new(vec![CMatrix::identity(2)]).is_ok());
+    }
+
+    #[test]
+    fn fallible_builders_reject_bad_probabilities() {
+        assert!(matches!(
+            KrausChannel::try_depolarizing(f64::NAN, 1),
+            Err(NoiseError::ProbabilityOutOfRange { name: "p", .. })
+        ));
+        assert!(matches!(
+            KrausChannel::try_depolarizing(0.1, 3),
+            Err(NoiseError::UnsupportedArity { arity: 3 })
+        ));
+        assert!(matches!(
+            NoiseModel::try_depolarizing(-0.1, 0.0),
+            Err(NoiseError::ProbabilityOutOfRange { name: "p1", .. })
+        ));
+        assert!(matches!(
+            NoiseModel::try_device_like(f64::NAN),
+            Err(NoiseError::ProbabilityOutOfRange { name: "scale", .. })
+        ));
+        assert!(matches!(
+            NoiseModel::try_device_like(200.0),
+            Err(NoiseError::ProbabilityOutOfRange { .. })
+        ));
+        assert_eq!(
+            NoiseModel::try_device_like(0.5).unwrap(),
+            NoiseModel::device_like(0.5)
+        );
     }
 }

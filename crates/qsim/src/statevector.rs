@@ -378,6 +378,23 @@ impl StateVector {
         self.amps.iter().map(|a| a.norm_sqr()).sum()
     }
 
+    /// Rescales the state to unit norm, returning `true` on success.
+    ///
+    /// Returns `false` — leaving the state untouched — when the current
+    /// squared norm is NaN, infinite or below `f64::EPSILON`, where no
+    /// rescale can recover a meaningful state.
+    pub fn renormalize(&mut self) -> bool {
+        let n2 = self.norm_sqr();
+        if !n2.is_finite() || n2 < f64::EPSILON {
+            return false;
+        }
+        let inv = 1.0 / n2.sqrt();
+        for a in &mut self.amps {
+            *a *= C64::real(inv);
+        }
+        true
+    }
+
     /// `true` when amplitudes match `other` within `tol` component-wise.
     #[must_use]
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use qcir::{Circuit, Clbit, Gate, Qubit};
 use qsim::branch::exact_distribution;
 use qsim::density::exact_distribution_noisy;
-use qsim::{circuit_unitary, DensityMatrix, NoiseModel, StateVector};
+use qsim::{circuit_unitary, DensityMatrix, KrausChannel, NoiseModel, StateVector};
 
 const NQ: usize = 3;
 
@@ -230,6 +230,71 @@ proptest! {
         rho.apply_kraus(&qsim::KrausChannel::depolarizing(p, 1), &[0]);
         let expect = p / 2.0;
         prop_assert!((rho.prob_one(0) - expect).abs() < 1e-9);
+    }
+
+    /// Every named channel constructor, over its whole parameter range,
+    /// satisfies the CPTP condition `sum K†K = I` — `try_new` revalidates
+    /// what the constructor built, so a constructed channel passing back
+    /// through `try_new` is the assertion.
+    #[test]
+    fn every_channel_constructor_is_trace_preserving(
+        p in prop_oneof![Just(0.0f64), Just(1.0f64), 0.0f64..1.0],
+        arity in 1usize..3,
+    ) {
+        for ch in [
+            KrausChannel::depolarizing(p, arity),
+            KrausChannel::bit_flip(p),
+            KrausChannel::phase_flip(p),
+            KrausChannel::amplitude_damping(p),
+            KrausChannel::phase_damping(p),
+            KrausChannel::identity(arity),
+        ] {
+            prop_assert!(
+                KrausChannel::try_new(ch.operators().to_vec()).is_ok(),
+                "constructor output failed CPTP revalidation"
+            );
+        }
+    }
+
+    /// The zero point of the device profile is exactly the ideal model —
+    /// not merely a model with zero-probability channels attached.
+    #[test]
+    fn device_like_zero_scale_is_exactly_ideal(eps in 0.0f64..1e-12) {
+        prop_assert_eq!(NoiseModel::device_like(0.0), NoiseModel::ideal());
+        prop_assert_eq!(NoiseModel::device_like(-eps), NoiseModel::ideal());
+        prop_assert!(NoiseModel::device_like(0.0).is_ideal());
+    }
+
+    /// Stochastic (trajectory) channel application preserves the state
+    /// norm: whichever Kraus branch is selected, the state is renormalized.
+    #[test]
+    fn apply_stochastic_preserves_state_norm(
+        prep in proptest::collection::vec(arb_unitary_op(), 0..8),
+        p in prop_oneof![Just(0.0f64), Just(1.0f64), 0.0f64..1.0],
+        qubit in 0usize..NQ,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut state = StateVector::zero_state(NQ);
+        for (g, qs) in prep {
+            state.apply_gate(&g, &qs);
+        }
+        let other = (qubit + 1) % NQ;
+        for ch in [
+            KrausChannel::depolarizing(p, 1),
+            KrausChannel::bit_flip(p),
+            KrausChannel::phase_flip(p),
+            KrausChannel::amplitude_damping(p),
+            KrausChannel::phase_damping(p),
+        ] {
+            ch.apply_stochastic(&mut state, &[qubit], &mut rng);
+            let n2 = state.norm_sqr();
+            prop_assert!((n2 - 1.0).abs() < 1e-9, "norm^2 = {n2} after 1q channel");
+        }
+        KrausChannel::depolarizing(p, 2).apply_stochastic(&mut state, &[qubit, other], &mut rng);
+        let n2 = state.norm_sqr();
+        prop_assert!((n2 - 1.0).abs() < 1e-9, "norm^2 = {n2} after 2q channel");
     }
 
     #[test]

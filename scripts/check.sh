@@ -29,6 +29,10 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
+# Library code in the simulation/transform core must not unwrap: failures
+# there have typed errors (NoiseError, MitigateError, DqcError) or degrade
+# gracefully (run_resilient). Tests and binaries may unwrap freely.
+run cargo clippy -p qsim -p dqc --lib --offline -- -D warnings -D clippy::unwrap_used
 if [ "$FAST" -eq 0 ]; then
     run cargo build --release --offline
 fi
@@ -59,5 +63,24 @@ if [ "$c1" != "$c8" ]; then
     exit 1
 fi
 echo "    counters identical: $c1"
+
+# Mitigation determinism gate: the mitigated + noisy resilient path must
+# stay bit-identical across worker counts too — vote resolution, scratch
+# clbits and per-shot noise all ride on the per-shot RNG streams.
+echo "==> mitigation determinism gate: --threads 1 vs --threads 8"
+mitigated_counters() {
+    cargo run -q --offline -p dqct-cli --bin dqct -- \
+        --answer 2 --metrics=json --shots 256 --seed 11 --threads "$1" \
+        --noise 1.0 --mitigate=meas-repeat=3 \
+        <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}'
+}
+m1="$(mitigated_counters 1)"
+m8="$(mitigated_counters 8)"
+if [ "$m1" != "$m8" ]; then
+    echo "mitigation determinism gate FAILED: counters differ between thread counts" >&2
+    diff <(echo "$m1") <(echo "$m8") >&2 || true
+    exit 1
+fi
+echo "    counters identical: $m1"
 
 echo "==> all checks passed"
