@@ -1,0 +1,39 @@
+//! Chaos sweep: Fig. 7 benchmarks under a deterministic injected fault
+//! plan, dynamic-1 vs dynamic-2, bare vs mitigated. Rows surface the run
+//! report (termination cause, failed/discarded shots) for both runs.
+
+use bench::runners::chaos_sweep;
+
+fn main() {
+    // Injected per-shot panics are caught and counted by the resilient
+    // executor; keep them off stderr while letting real panics through.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("qfault: injected panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let csv = std::env::args().any(|a| a == "--csv");
+    let spec = std::env::args()
+        .skip_while(|a| a != "--inject")
+        .nth(1)
+        .unwrap_or_else(|| "seed=5,reset-leak=0.05,meas-flip=0.05,cc-flip=0.02,panic=0.01".into());
+    let (shots, seed) = (4096, 7);
+    let t = chaos_sweep(&spec, shots, seed);
+    println!(
+        "Chaos sweep — expected-outcome probability under '{spec}', {shots} shots, seed {seed}"
+    );
+    println!(
+        "(mitigated = reset-verify + meas-repeat=3; termination and failed/disc \
+         columns show bare|mitigated)\n"
+    );
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+}

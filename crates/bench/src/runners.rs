@@ -308,6 +308,8 @@ pub fn mitigation_sweep_observed(scale: f64, shots: u64, seed: u64, obs: &Observ
         "gain",
         "votes flipped",
         "verify fired",
+        "termination",
+        "failed/disc",
     ]);
     for b in toffoli_suite() {
         let (d1, d2) = transform_both(&b);
@@ -320,7 +322,7 @@ pub fn mitigation_sweep_observed(scale: f64, shots: u64, seed: u64, obs: &Observ
                 .observer(obs.clone());
             let bare = exec.run(d.circuit()).probability(&expected);
             let hardened = dqc::mitigate(d.circuit(), &mitigation);
-            let (counts, _report) = exec.run_resilient(hardened.circuit());
+            let (counts, report) = exec.run_resilient(hardened.circuit());
             let resolved = hardened.resolve_observed(&counts, obs);
             let mitigated = resolved.counts.probability(&expected);
             t.row(vec![
@@ -331,6 +333,58 @@ pub fn mitigation_sweep_observed(scale: f64, shots: u64, seed: u64, obs: &Observ
                 format!("{:+.4}", mitigated - bare),
                 resolved.votes_flipped.to_string(),
                 resolved.reset_verify_fired.to_string(),
+                report.termination.to_string(),
+                format!("{}/{}", report.failed, report.discarded),
+            ]);
+        }
+    }
+    t
+}
+
+/// Chaos sweep (ours): expected-outcome probability of the Toffoli
+/// benchmarks under a deterministic injected fault plan, bare vs mitigated
+/// (verified resets + 3-fold measurement repetition). Every row surfaces the
+/// run report — termination cause and failed/discarded shot counts — so a
+/// budget-limited run is visibly partial instead of silently truncated.
+#[must_use]
+pub fn chaos_sweep(spec: &str, shots: u64, seed: u64) -> Table {
+    let plan = qfault::FaultPlan::parse(spec).expect("chaos sweep fault spec parses");
+    let mitigation = dqc::MitigationOptions::parse("reset-verify,meas-repeat=3")
+        .expect("literal mitigation spec parses");
+    let mut t = Table::new(vec![
+        "benchmark",
+        "scheme",
+        "p bare",
+        "p mitigated",
+        "gain",
+        "termination",
+        "failed/disc",
+    ]);
+    for b in toffoli_suite() {
+        let (d1, d2) = transform_both(&b);
+        let expected = verify::compare(&b.circuit, &b.roles, &d1).expected_outcome;
+        for (scheme, d) in [("dynamic-1", &d1), ("dynamic-2", &d2)] {
+            let exec = Executor::new()
+                .shots(shots)
+                .seed(seed)
+                .fault_hook(std::sync::Arc::new(plan.clone()));
+            let (bare_counts, bare_report) = exec.run_resilient(d.circuit());
+            let bare = bare_counts.probability(&expected);
+            let hardened = dqc::mitigate(d.circuit(), &mitigation);
+            let (counts, report) = exec.run_resilient(hardened.circuit());
+            let resolved = hardened.resolve(&counts);
+            let mitigated = resolved.counts.probability(&expected);
+            t.row(vec![
+                b.name.clone(),
+                scheme.to_string(),
+                fmt_prob(bare),
+                fmt_prob(mitigated),
+                format!("{:+.4}", mitigated - bare),
+                format!("{}|{}", bare_report.termination, report.termination),
+                format!(
+                    "{}/{}|{}/{}",
+                    bare_report.failed, bare_report.discarded, report.failed, report.discarded
+                ),
             ]);
         }
     }
@@ -567,6 +621,23 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("dynamic-1") && csv.contains("dynamic-2"));
         assert!(csv.contains("CARRY"));
+        // Every row surfaces its run report.
+        assert!(csv.contains("termination"), "{csv}");
+        assert!(csv.contains("completed"), "{csv}");
+        assert!(csv.contains("failed/disc"), "{csv}");
+    }
+
+    #[test]
+    fn chaos_sweep_reports_terminations_per_row() {
+        let t = chaos_sweep("seed=5,meas-flip=0.1,panic=0.05", 64, 7);
+        assert_eq!(t.len(), 18);
+        let csv = t.to_csv();
+        assert!(csv.contains("completed|completed"), "{csv}");
+        // panic=0.05 over 64 shots fails at least one shot in some row.
+        assert!(
+            csv.lines().skip(1).any(|l| !l.ends_with("0/0|0/0")),
+            "{csv}"
+        );
     }
 
     #[test]

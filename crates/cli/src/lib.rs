@@ -9,7 +9,7 @@
 //! dqct --data 0,1 --answer 2 [--ancilla 3,4] [--scheme direct|dynamic1|dynamic2]
 //!      [--verify] [--stats] [--ascii] [--metrics[=json|text]]
 //!      [--mitigate=reset-verify[,meas-repeat=R][,readout-cal]] [--noise S]
-//!      [--deadline-ms N] [--max-failed K]
+//!      [--deadline-ms N] [--max-failed K] [--inject SPEC]
 //!      [--shots N] [--seed N] [--input FILE | FILE]
 //! ```
 
@@ -19,9 +19,11 @@ use dqc::{
 };
 use qcir::qasm::{from_qasm, to_qasm};
 use qcir::Qubit;
+use qfault::FaultPlan;
 use qobs::Observer;
 use qsim::{Executor, NoiseModel};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Output format of the `--metrics` flag.
@@ -71,6 +73,8 @@ pub struct CliOptions {
     pub deadline_ms: Option<u64>,
     /// Abort the metrics-mode simulation once more than this many shots fail.
     pub max_failed: Option<u64>,
+    /// Deterministic fault plan injected into the metrics-mode simulation.
+    pub inject: Option<FaultPlan>,
     /// Input file (`None` = stdin).
     pub input: Option<String>,
 }
@@ -94,6 +98,7 @@ impl Default for CliOptions {
             noise: None,
             deadline_ms: None,
             max_failed: None,
+            inject: None,
             input: None,
         }
     }
@@ -166,13 +171,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--deadline-ms" => {
                 let v = it.next().ok_or("--deadline-ms needs a value")?;
-                let ms: u64 = v
-                    .parse()
-                    .map_err(|_| format!("--deadline-ms: '{v}' is not a duration"))?;
-                if ms == 0 {
-                    return Err("--deadline-ms must be at least 1".to_string());
-                }
-                opts.deadline_ms = Some(ms);
+                // 0 is legal: an already-expired deadline degrades to empty
+                // counts with Termination::Deadline, useful for chaos drills.
+                opts.deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--deadline-ms: '{v}' is not a duration"))?,
+                );
             }
             "--max-failed" => {
                 let v = it.next().ok_or("--max-failed needs a value")?;
@@ -180,6 +184,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     v.parse()
                         .map_err(|_| format!("--max-failed: '{v}' is not a count"))?,
                 );
+            }
+            "--inject" => {
+                let v = it.next().ok_or("--inject needs a fault spec")?;
+                opts.inject = Some(FaultPlan::parse(v).map_err(|e| format!("--inject: {e}"))?);
             }
             "--input" => {
                 opts.input = Some(it.next().ok_or("--input needs a value")?.clone());
@@ -189,6 +197,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 if let Some(spec) = other.strip_prefix("--mitigate=") {
                     opts.mitigate =
                         MitigationOptions::parse(spec).map_err(|e| format!("--mitigate: {e}"))?;
+                } else if let Some(spec) = other.strip_prefix("--inject=") {
+                    opts.inject =
+                        Some(FaultPlan::parse(spec).map_err(|e| format!("--inject: {e}"))?);
                 } else if let Some(fmt) = other.strip_prefix("--metrics=") {
                     opts.metrics = Some(match fmt {
                         "json" => MetricsFormat::Json,
@@ -218,6 +229,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 .to_string(),
         );
     }
+    if opts.inject.is_some() && opts.metrics.is_none() {
+        return Err(
+            "--inject needs --metrics (faults are injected into the metrics-mode simulation)"
+                .to_string(),
+        );
+    }
     Ok(opts)
 }
 
@@ -242,6 +259,7 @@ pub fn usage() -> String {
      \x20           [--threads N] [--ascii]\n\
      \x20           [--mitigate reset-verify[=K],meas-repeat=R,readout-cal]\n\
      \x20           [--noise S] [--deadline-ms N] [--max-failed K]\n\
+     \x20           [--inject seed=N,<site>=<rate>,...,delay-ms=N]\n\
      \x20           [--input FILE | FILE]\n\
      Reads OpenQASM 3 from FILE or stdin; qubits not listed under --answer\n\
      or --ancilla default to data.\n\
@@ -257,7 +275,11 @@ pub fn usage() -> String {
      --noise, readout-confusion inversion over the simulated counts.\n\
      --noise S simulates under NoiseModel::device_like(S); --deadline-ms\n\
      and --max-failed bound the simulation, which then degrades to partial\n\
-     counts plus a run report instead of failing."
+     counts plus a run report instead of failing.\n\
+     --inject runs the simulation under a deterministic fault plan (sites:\n\
+     reset-leak, meas-flip, cc-flip, cc-loss, gate-drop, gate-dup, panic,\n\
+     delay; rates in [0,1]); injections are counted as fault.injected.*\n\
+     metrics and are bit-identical for every --threads value."
         .to_string()
 }
 
@@ -269,6 +291,11 @@ pub fn usage() -> String {
 /// circuits.
 pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
     let circuit = from_qasm(qasm_text).map_err(|e| e.to_string())?;
+    // Ingestion boundary: reject structurally invalid circuits with a typed
+    // one-line message instead of letting them panic deeper in the pipeline.
+    circuit
+        .validate()
+        .map_err(|e| format!("invalid input circuit: {e}"))?;
     // Default: every unlisted qubit is data.
     let mut data: Vec<Qubit> = opts.data.iter().map(|&i| Qubit::new(i)).collect();
     if data.is_empty() {
@@ -381,6 +408,9 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         }
         if let Some(k) = opts.max_failed {
             exec = exec.max_failed(k);
+        }
+        if let Some(plan) = &opts.inject {
+            exec = exec.fault_hook(Arc::new(plan.clone()));
         }
         let (counts, report) = exec.run_resilient(hardened);
         let mut run_lines = Vec::new();
@@ -640,12 +670,51 @@ h q[1];
     fn resilience_flags_are_validated() {
         assert!(parse_args(&args("--answer 2 --noise -1")).is_err());
         assert!(parse_args(&args("--answer 2 --noise hot")).is_err());
-        assert!(parse_args(&args("--answer 2 --deadline-ms 0")).is_err());
         assert!(parse_args(&args("--answer 2 --deadline-ms soon")).is_err());
         assert!(parse_args(&args("--answer 2 --max-failed some")).is_err());
         let o = parse_args(&args("--answer 2 --deadline-ms 250 --max-failed 3")).unwrap();
         assert_eq!(o.deadline_ms, Some(250));
         assert_eq!(o.max_failed, Some(3));
+        // An already-expired deadline is a legal chaos-drill budget.
+        let zero = parse_args(&args("--answer 2 --deadline-ms 0")).unwrap();
+        assert_eq!(zero.deadline_ms, Some(0));
+    }
+
+    #[test]
+    fn inject_flag_parses_and_requires_metrics() {
+        let o = parse_args(&args(
+            "--answer 2 --metrics=json --inject seed=9,meas-flip=0.25",
+        ))
+        .unwrap();
+        let plan = o.inject.expect("plan parsed");
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.rate(qfault::FaultSite::MeasFlip), 0.25);
+        // `--inject=SPEC` form too.
+        let eq = parse_args(&args("--answer 2 --metrics --inject=reset-leak=0.1")).unwrap();
+        assert!(eq.inject.is_some());
+        let err = parse_args(&args("--answer 2 --inject meas-flip=0.25")).unwrap_err();
+        assert!(err.contains("--inject needs --metrics"), "{err}");
+        let err = parse_args(&args("--answer 2 --metrics --inject warp=0.1")).unwrap_err();
+        assert!(err.contains("--inject: bad fault spec token"), "{err}");
+    }
+
+    #[test]
+    fn injected_faults_are_counted_and_thread_invariant() {
+        let counters = |threads: &str| {
+            let opts = parse_args(&args(&format!(
+                "--answer 2 --metrics=json --shots 128 --seed 5 --threads {threads} \
+                 --inject seed=3,meas-flip=0.2,reset-leak=0.2,cc-flip=0.1,gate-drop=0.1"
+            )))
+            .unwrap();
+            let out = run(BV_QASM, &opts).unwrap();
+            let start = out.find("\"counters\"").unwrap();
+            let end = out.find("\"gauges\"").unwrap();
+            out[start..end].to_string()
+        };
+        let one = counters("1");
+        assert!(one.contains("\"fault.injected.meas-flip\""), "{one}");
+        assert!(one.contains("\"fault.injected.reset-leak\""), "{one}");
+        assert_eq!(counters("8"), one);
     }
 
     #[test]

@@ -4,6 +4,18 @@ use std::io::Read;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // `--inject` panics are caught and counted by the resilient executor;
+    // keep them off stderr while letting real panics through.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("qfault: injected panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match dqct_cli::parse_args(&args) {
         Ok(o) => o,

@@ -82,10 +82,80 @@ fn bad_mitigate_spec_fails_cleanly() {
 fn bad_resilience_flags_fail_cleanly() {
     let out = dqct(&["--answer", "2", "--noise", "-0.5"], GOOD_QASM);
     assert_clean_failure(&out, "--noise");
-    let out = dqct(&["--answer", "2", "--deadline-ms", "0"], GOOD_QASM);
-    assert_clean_failure(&out, "--deadline-ms must be at least 1");
+    let out = dqct(&["--answer", "2", "--deadline-ms", "soon"], GOOD_QASM);
+    assert_clean_failure(&out, "--deadline-ms");
     let out = dqct(&["--answer", "2", "--max-failed", "lots"], GOOD_QASM);
     assert_clean_failure(&out, "--max-failed");
+}
+
+#[test]
+fn bad_inject_specs_fail_cleanly() {
+    let out = dqct(
+        &["--answer", "2", "--metrics", "--inject", "warp-core=0.5"],
+        GOOD_QASM,
+    );
+    assert_clean_failure(&out, "bad fault spec token 'warp-core=0.5'");
+    let out = dqct(
+        &["--answer", "2", "--metrics", "--inject", "meas-flip=1.5"],
+        GOOD_QASM,
+    );
+    assert_clean_failure(&out, "--inject");
+    // --inject without --metrics is rejected up front.
+    let out = dqct(&["--answer", "2", "--inject", "meas-flip=0.1"], GOOD_QASM);
+    assert_clean_failure(&out, "--inject needs --metrics");
+}
+
+#[test]
+fn garbled_qasm_fails_cleanly_instead_of_panicking() {
+    // Each of these used to panic inside the parser or the circuit
+    // constructors; they must now be one-line typed errors.
+    let cases: [(&str, &str); 5] = [
+        ("qubit[2] q;\ncx q[0];\n", "takes 2 qubit(s), got 1"),
+        ("qubit[2] q;\ncx q[0], q[0];\n", "duplicate qubit operand"),
+        (
+            "qubit[2] q;\nbit[1] c;\nif (c[0] == 1) { barrier q[0], q[1]; }\n",
+            "barrier cannot be conditioned",
+        ),
+        ("qubit[2] q;\nctrl(0) @ x q[0], q[1];\n", "ctrl count"),
+        (
+            "qubit[99999999] q;\nh q[0];\n",
+            "exceeds the supported maximum",
+        ),
+    ];
+    for (qasm, expect) in cases {
+        let out = dqct(&["--answer", "1"], qasm);
+        assert_clean_failure(&out, expect);
+    }
+}
+
+#[test]
+fn chaos_metrics_run_succeeds_end_to_end() {
+    let out = dqct(
+        &[
+            "--answer",
+            "2",
+            "--metrics",
+            "--shots",
+            "64",
+            "--seed",
+            "11",
+            "--inject",
+            "seed=5,meas-flip=0.2,panic=0.05",
+            "--max-failed",
+            "64",
+        ],
+        GOOD_QASM,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stdout.contains("// run: completed="), "{stdout}");
+    assert!(stdout.contains("fault.injected.meas-flip"), "{stdout}");
+    // Injected panics are caught and counted, not spewed to stderr.
+    assert!(
+        !stderr.contains("panicked at"),
+        "injected panics leaked to stderr: {stderr}"
+    );
 }
 
 #[test]

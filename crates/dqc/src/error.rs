@@ -1,6 +1,6 @@
 //! Errors raised by the dynamic-circuit transformation.
 
-use qcir::Qubit;
+use qcir::{CircuitError, Qubit};
 use std::error::Error;
 use std::fmt;
 
@@ -8,6 +8,13 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum DqcError {
+    /// The input circuit failed [`qcir::Circuit::validate`] — out-of-range
+    /// wires or structurally invalid conditions, typically from corrupted
+    /// or hand-written QASM.
+    InvalidCircuit {
+        /// The underlying well-formedness violation.
+        source: CircuitError,
+    },
     /// The role partition does not cover the circuit's qubits exactly once.
     InvalidRoles {
         /// Human-readable description of the defect.
@@ -39,6 +46,7 @@ pub enum DqcError {
 impl fmt::Display for DqcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            DqcError::InvalidCircuit { source } => write!(f, "invalid input circuit: {source}"),
             DqcError::InvalidRoles { reason } => write!(f, "invalid qubit roles: {reason}"),
             DqcError::CyclicDependency { qubits } => {
                 write!(f, "cyclic data-qubit dependency among ")?;

@@ -104,9 +104,14 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Propagates every error of
+    /// Returns [`DqcError::InvalidCircuit`] when the input fails
+    /// [`Circuit::validate`] (the pipeline is an ingestion boundary for
+    /// untrusted QASM), and otherwise propagates every error of
     /// [`transform_with_scheme`](crate::transform_with_scheme).
     pub fn run(&self, circuit: &Circuit, roles: &QubitRoles) -> Result<PipelineResult, DqcError> {
+        circuit
+            .validate()
+            .map_err(|source| DqcError::InvalidCircuit { source })?;
         let obs = &self.observer;
         let dynamic = {
             let mut span = obs.span("pipeline.transform");
@@ -260,6 +265,26 @@ mod tests {
             .run(&dj_and(), &roles)
             .unwrap();
         assert_eq!(result.report.expected_outcome.len(), 3);
+    }
+
+    #[test]
+    fn malformed_circuit_is_rejected_with_a_typed_error() {
+        // A condition with bypassed smart-constructor invariants used to
+        // reach the transform/simulator and panic; the pipeline's validate
+        // pass now rejects it up front.
+        use qcir::{Condition, Gate, Instruction};
+        let mut bad = dj_and();
+        bad.push(
+            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::Register {
+                bits: vec![],
+                value: 0,
+            }),
+        );
+        let err = Pipeline::new()
+            .run(&bad, &QubitRoles::data_plus_answer(3))
+            .unwrap_err();
+        assert!(matches!(err, DqcError::InvalidCircuit { .. }), "{err}");
+        assert!(err.to_string().starts_with("invalid input circuit:"));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Chaos harness: differential tests proving each mitigation protocol
+//! actually counters the fault class it was designed for.
+//!
+//! Every test runs the same circuit twice under the same deterministic
+//! [`FaultPlan`] — once bare, once hardened by a mitigation pass — and
+//! asserts the hardened run recovers the ideal distribution where the bare
+//! run degrades. Seeds and rates are fixed, so the margins are stable.
+
+use dqc::{mitigate, MitigationOptions, ReadoutCalibration};
+use qcir::{Circuit, Clbit, Qubit};
+use qfault::{FaultPlan, FaultSite};
+use qsim::{Counts, Executor, FaultHook};
+use std::sync::Arc;
+
+fn q(i: usize) -> Qubit {
+    Qubit::new(i)
+}
+
+fn c(i: usize) -> Clbit {
+    Clbit::new(i)
+}
+
+const SHOTS: u64 = 2000;
+
+fn run(circuit: &Circuit, plan: &FaultPlan) -> Counts {
+    let hook: Arc<dyn FaultHook> = Arc::new(plan.clone());
+    Executor::new()
+        .shots(SHOTS)
+        .seed(23)
+        .fault_hook(hook)
+        .run(circuit)
+}
+
+fn p(counts: &Counts, key: &str) -> f64 {
+    counts.get(key) as f64 / counts.total().max(1) as f64
+}
+
+#[test]
+fn reset_verify_counters_injected_reset_leaks() {
+    // x; measure -> c0; reset; measure -> c1. Ideally c0=1, c1=0 ("01").
+    // A leaked reset leaves |1>, so the second readout reports "11".
+    let mut circ = Circuit::new(1, 2);
+    circ.x(q(0))
+        .measure(q(0), c(0))
+        .reset(q(0))
+        .measure(q(0), c(1));
+    let plan = FaultPlan::new(3).with_rate(FaultSite::ResetLeak, 0.4);
+
+    let bare = run(&circ, &plan);
+    assert!(
+        p(&bare, "11") > 0.3,
+        "reset leaks must corrupt the bare run: {bare:?}"
+    );
+
+    let hardened = mitigate(
+        &circ,
+        &MitigationOptions {
+            reset_verify: Some(1),
+            ..MitigationOptions::none()
+        },
+    );
+    let resolved = hardened.resolve(&run(hardened.circuit(), &plan));
+    assert!(
+        resolved.reset_verify_fired > 0,
+        "verification rounds must catch leaked resets"
+    );
+    assert!(
+        p(&resolved.counts, "11") < 0.05,
+        "verified resets must recover the ideal readout: {:?}",
+        resolved.counts
+    );
+    assert!(p(&resolved.counts, "01") > 0.9, "{:?}", resolved.counts);
+}
+
+#[test]
+fn meas_repeat_counters_injected_measurement_flips() {
+    // x; measure -> c0. Ideally "1"; a flipped readout reports "0".
+    let mut circ = Circuit::new(1, 1);
+    circ.x(q(0)).measure(q(0), c(0));
+    let plan = FaultPlan::new(5).with_rate(FaultSite::MeasFlip, 0.2);
+
+    let bare = run(&circ, &plan);
+    let bare_err = p(&bare, "0");
+    assert!(bare_err > 0.15, "flips must corrupt the bare run: {bare:?}");
+
+    // Three independent readings: each ballot is a distinct instruction, so
+    // its flip draw is independent, and the majority error drops to
+    // 3p^2(1-p) + p^3 ~ 0.104 for p = 0.2.
+    let hardened = mitigate(
+        &circ,
+        &MitigationOptions {
+            meas_repeat: Some(3),
+            ..MitigationOptions::none()
+        },
+    );
+    let resolved = hardened.resolve(&run(hardened.circuit(), &plan));
+    assert!(resolved.votes_flipped > 0, "majority votes must overturn");
+    let mitigated_err = p(&resolved.counts, "0");
+    assert!(
+        mitigated_err < bare_err - 0.03,
+        "majority vote must beat the single reading: {mitigated_err} vs {bare_err}"
+    );
+}
+
+#[test]
+fn voted_conditions_counter_injected_classical_corruption() {
+    // x; measure -> c0; x q1 if c0; measure q1 -> c1. Ideally "11".
+    // cc-flip at rate 1.0 corrupts one condition bit in *every* shot: the
+    // bare single-bit condition always misfires; a 3-ballot vote group
+    // shrugs off any single corrupted ballot.
+    let mut circ = Circuit::new(2, 2);
+    circ.x(q(0))
+        .measure(q(0), c(0))
+        .x_if(q(1), c(0))
+        .measure(q(1), c(1));
+    let plan = FaultPlan::new(11).with_rate(FaultSite::CcFlip, 1.0);
+
+    let bare = run(&circ, &plan);
+    assert!(
+        p(&bare, "11") < 0.05,
+        "certain corruption must break the bare conditioned gate: {bare:?}"
+    );
+
+    let hardened = mitigate(
+        &circ,
+        &MitigationOptions {
+            meas_repeat: Some(3),
+            ..MitigationOptions::none()
+        },
+    );
+    let resolved = hardened.resolve(&run(hardened.circuit(), &plan));
+    assert!(
+        p(&resolved.counts, "11") > 0.95,
+        "a voted condition must absorb one corrupted ballot: {:?}",
+        resolved.counts
+    );
+}
+
+#[test]
+fn readout_calibration_counters_injected_symmetric_flips() {
+    // x; measure -> c0 under a 25% injected flip: observed p("1") ~ 0.75.
+    // Inverting the matching symmetric confusion matrix restores ~1.0.
+    let mut circ = Circuit::new(1, 1);
+    circ.x(q(0)).measure(q(0), c(0));
+    let plan = FaultPlan::new(17).with_rate(FaultSite::MeasFlip, 0.25);
+
+    let bare = run(&circ, &plan);
+    let bare_p1 = p(&bare, "1");
+    assert!((0.65..0.85).contains(&bare_p1), "{bare:?}");
+
+    let cal = ReadoutCalibration::from_error_rates(vec![0.25], vec![0.25])
+        .expect("symmetric 25% confusion is well-conditioned");
+    let corrected = cal.correct(&bare).expect("inversion succeeds");
+    assert!(
+        corrected.get("1") > 0.95,
+        "calibration must recover the ideal readout: {corrected:?}"
+    );
+    assert!(corrected.get("1") > bare_p1 + 0.1);
+}

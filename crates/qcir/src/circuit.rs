@@ -191,6 +191,82 @@ impl Circuit {
         Ok(())
     }
 
+    /// Checks the whole circuit for well-formedness: every operand within
+    /// the wire counts, every condition reading at least one in-range bit,
+    /// vote groups odd-sized, and comparison values representable in the
+    /// bits a condition reads.
+    ///
+    /// [`Circuit::try_push`] already guards the wire bounds on insertion,
+    /// but [`Condition`]'s fields are public (and deserialized circuits may
+    /// arrive from untrusted QASM), so invariants the smart constructors
+    /// assert can be bypassed. Ingestion boundaries — the CLI and
+    /// `dqc::Pipeline` — run this pass so malformed circuits fail with a
+    /// typed error here instead of a panic deep in the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, tagged with the offending
+    /// instruction's index.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        for (at, inst) in self.instructions.iter().enumerate() {
+            for q in inst.qubits() {
+                if q.index() >= self.num_qubits {
+                    return Err(CircuitError::QubitOutOfRange {
+                        qubit: q.index(),
+                        num_qubits: self.num_qubits,
+                    });
+                }
+            }
+            for c in inst.clbits().iter().copied().chain(inst.clbits_read()) {
+                if c.index() >= self.num_clbits {
+                    return Err(CircuitError::ClbitOutOfRange {
+                        clbit: c.index(),
+                        num_clbits: self.num_clbits,
+                    });
+                }
+            }
+            if let Some(cond) = inst.condition() {
+                self.validate_condition(at, cond)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural checks for one condition (bounds were already checked).
+    fn validate_condition(&self, at: usize, cond: &Condition) -> Result<(), CircuitError> {
+        let check_width = |width: usize, value: u64| -> Result<(), CircuitError> {
+            if width == 0 {
+                return Err(CircuitError::EmptyCondition { at });
+            }
+            if width > u64::BITS as usize {
+                return Err(CircuitError::ConditionTooWide { at, width });
+            }
+            if width < u64::BITS as usize && value >= 1u64 << width {
+                return Err(CircuitError::ConditionOverflow { at, value, width });
+            }
+            Ok(())
+        };
+        match cond {
+            Condition::Bit { .. } => Ok(()),
+            Condition::Register { bits, value } => check_width(bits.len(), *value),
+            Condition::Voted { groups, value } => {
+                check_width(groups.len(), *value)?;
+                for group in groups {
+                    if group.is_empty() {
+                        return Err(CircuitError::EmptyCondition { at });
+                    }
+                    if group.len() % 2 == 0 {
+                        return Err(CircuitError::BadVoteGroup {
+                            at,
+                            len: group.len(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Appends an instruction.
     ///
     /// # Panics
@@ -734,5 +810,75 @@ mod tests {
             .map(|i| i.kind().name().to_string())
             .collect();
         assert_eq!(names, vec!["h", "x"]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_dynamic_circuits() {
+        let mut circ = Circuit::new(2, 3);
+        circ.h(q(0)).measure(q(0), c(0)).x_if(q(1), c(0));
+        circ.push(
+            Instruction::gate(Gate::X, vec![q(1)])
+                .with_condition(Condition::voted(vec![vec![c(0), c(1), c(2)]], 1)),
+        );
+        assert_eq!(circ.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bypassed_condition_invariants() {
+        // Condition's fields are public, so the smart-constructor
+        // invariants can be bypassed; try_push only checks wire bounds.
+        let mut empty = Circuit::new(1, 1);
+        empty.push(
+            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::Register {
+                bits: vec![],
+                value: 0,
+            }),
+        );
+        assert_eq!(
+            empty.validate(),
+            Err(CircuitError::EmptyCondition { at: 0 })
+        );
+
+        let mut even = Circuit::new(1, 2);
+        even.push(
+            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::Voted {
+                groups: vec![vec![c(0), c(1)]],
+                value: 1,
+            }),
+        );
+        assert_eq!(
+            even.validate(),
+            Err(CircuitError::BadVoteGroup { at: 0, len: 2 })
+        );
+
+        let mut overflow = Circuit::new(1, 2);
+        overflow.push(
+            Instruction::gate(Gate::X, vec![q(0)]).with_condition(Condition::Register {
+                bits: vec![c(0), c(1)],
+                value: 4,
+            }),
+        );
+        assert_eq!(
+            overflow.validate(),
+            Err(CircuitError::ConditionOverflow {
+                at: 0,
+                value: 4,
+                width: 2
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_over_wide_conditions() {
+        let mut circ = Circuit::new(1, 65);
+        let bits: Vec<Clbit> = (0..65).map(Clbit::new).collect();
+        circ.push(
+            Instruction::gate(Gate::X, vec![q(0)])
+                .with_condition(Condition::Register { bits, value: 0 }),
+        );
+        assert_eq!(
+            circ.validate(),
+            Err(CircuitError::ConditionTooWide { at: 0, width: 65 })
+        );
     }
 }

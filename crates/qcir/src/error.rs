@@ -27,6 +27,38 @@ pub enum CircuitError {
         /// Rendering of the offending instruction.
         what: String,
     },
+    /// A classical condition reads no bits at all (empty register or an
+    /// empty vote group).
+    EmptyCondition {
+        /// Index of the offending instruction.
+        at: usize,
+    },
+    /// A voted condition carries a vote group with an even ballot count,
+    /// which has no majority.
+    BadVoteGroup {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The offending group's ballot count.
+        len: usize,
+    },
+    /// A condition reads more bits than its 64-bit comparison value can
+    /// represent.
+    ConditionTooWide {
+        /// Index of the offending instruction.
+        at: usize,
+        /// Number of bits (or vote groups) the condition compares.
+        width: usize,
+    },
+    /// A condition's comparison value needs more bits than the condition
+    /// reads, so it can never hold.
+    ConditionOverflow {
+        /// Index of the offending instruction.
+        at: usize,
+        /// The unreachable comparison value.
+        value: u64,
+        /// Number of bits (or vote groups) the condition compares.
+        width: usize,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -46,6 +78,27 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::NotUnitary { what } => {
                 write!(f, "operation has no unitary representation: {what}")
+            }
+            CircuitError::EmptyCondition { at } => {
+                write!(f, "instruction {at}: condition reads no classical bits")
+            }
+            CircuitError::BadVoteGroup { at, len } => {
+                write!(
+                    f,
+                    "instruction {at}: vote group with {len} ballots has no majority (must be odd)"
+                )
+            }
+            CircuitError::ConditionTooWide { at, width } => {
+                write!(
+                    f,
+                    "instruction {at}: condition compares {width} bits, more than the 64 supported"
+                )
+            }
+            CircuitError::ConditionOverflow { at, value, width } => {
+                write!(
+                    f,
+                    "instruction {at}: condition value {value} does not fit in {width} bits"
+                )
             }
         }
     }

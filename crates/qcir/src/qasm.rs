@@ -212,6 +212,9 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         }
         let mut inst = parse_statement(body, lineno)?;
         if let Some(cond) = condition {
+            if inst.is_barrier() {
+                return Err(ParseQasmError::new(lineno, "barrier cannot be conditioned"));
+            }
             inst = inst.with_condition(cond);
         }
         insts.push(inst);
@@ -226,13 +229,26 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
     Ok(circuit)
 }
 
+/// Largest register a declaration may request. The statevector simulator
+/// tops out well below this anyway; the cap keeps a corrupted declaration
+/// (`qubit[18446744073709551615] q;`) from propagating a nonsense wire
+/// count into downstream passes.
+const MAX_REGISTER: usize = 4096;
+
 fn parse_decl(rest: &str, lineno: usize) -> Result<usize, ParseQasmError> {
     let end = rest
         .find(']')
         .ok_or_else(|| ParseQasmError::new(lineno, "missing ] in declaration"))?;
-    rest[..end]
+    let size: usize = rest[..end]
         .parse()
-        .map_err(|_| ParseQasmError::new(lineno, "bad register size"))
+        .map_err(|_| ParseQasmError::new(lineno, "bad register size"))?;
+    if size > MAX_REGISTER {
+        return Err(ParseQasmError::new(
+            lineno,
+            format!("register size {size} exceeds the supported maximum {MAX_REGISTER}"),
+        ));
+    }
+    Ok(size)
 }
 
 fn parse_condition(expr: &str, lineno: usize) -> Result<Condition, ParseQasmError> {
@@ -243,6 +259,12 @@ fn parse_condition(expr: &str, lineno: usize) -> Result<Condition, ParseQasmErro
     let mut value = 0u64;
     let mut any_vote = false;
     for (k, clause) in expr.split("&&").enumerate() {
+        if k >= 64 {
+            return Err(ParseQasmError::new(
+                lineno,
+                "condition has more than the 64 supported clauses",
+            ));
+        }
         let clause = clause.trim();
         let (group, wanted) = if let Some((lhs, rhs)) = clause.split_once("==") {
             let bit = parse_index(lhs.trim(), 'c', lineno)?;
@@ -350,11 +372,36 @@ fn parse_statement(body: &str, lineno: usize) -> Result<Instruction, ParseQasmEr
         }
         return Ok(Instruction::reset(qubits[0]));
     }
+    // The Instruction constructors assert these invariants; pre-check so a
+    // garbled file gets a parse error instead of a panic.
+    check_distinct(&qubits, lineno)?;
     if head == "barrier" {
         return Ok(Instruction::barrier(qubits));
     }
     let gate = parse_gate(head, lineno)?;
+    if gate.num_qubits() != qubits.len() {
+        return Err(ParseQasmError::new(
+            lineno,
+            format!(
+                "gate {head} takes {} qubit(s), got {}",
+                gate.num_qubits(),
+                qubits.len()
+            ),
+        ));
+    }
     Ok(Instruction::gate(gate, qubits))
+}
+
+fn check_distinct(qubits: &[Qubit], lineno: usize) -> Result<(), ParseQasmError> {
+    for (i, a) in qubits.iter().enumerate() {
+        if qubits[..i].contains(a) {
+            return Err(ParseQasmError::new(
+                lineno,
+                format!("duplicate qubit operand q[{}]", a.index()),
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn parse_gate(head: &str, lineno: usize) -> Result<Gate, ParseQasmError> {
@@ -368,6 +415,9 @@ fn parse_gate(head: &str, lineno: usize) -> Result<Gate, ParseQasmError> {
             let count: usize = r[..end]
                 .parse()
                 .map_err(|_| ParseQasmError::new(lineno, "bad ctrl count"))?;
+            if count == 0 {
+                return Err(ParseQasmError::new(lineno, "ctrl count must be at least 1"));
+            }
             (count, r[end + 1..].trim())
         } else {
             (1, rest)
@@ -394,12 +444,18 @@ fn parse_gate(head: &str, lineno: usize) -> Result<Gate, ParseQasmError> {
     // Parameterised gates: name(angle)
     if let Some(open) = head.find('(') {
         let name = &head[..open];
-        let close = head
+        // Search after the `(` so a stray earlier `)` cannot invert the
+        // slice range and panic on garbled input.
+        let close = head[open + 1..]
             .find(')')
+            .map(|i| open + 1 + i)
             .ok_or_else(|| ParseQasmError::new(lineno, "missing ) in parameter"))?;
         let angle: f64 = head[open + 1..close]
             .parse()
             .map_err(|_| ParseQasmError::new(lineno, "bad angle"))?;
+        if !angle.is_finite() {
+            return Err(ParseQasmError::new(lineno, "angle must be finite"));
+        }
         return match name {
             "p" => Ok(Gate::P(angle)),
             "rx" => Ok(Gate::Rx(angle)),

@@ -1,0 +1,436 @@
+//! # qfault — deterministic, seeded fault injection for the shot executor
+//!
+//! A [`FaultPlan`] decides, for every `(shot, site)` pair, whether one of
+//! the structured faults of [`qsim::fault`] fires: reset-leaves-`|1>`,
+//! measurement bit-flips, classical-register corruption or loss before a
+//! conditioned gate, gate drop/duplication, injected per-shot panics and
+//! artificial per-shot latency.
+//!
+//! # Determinism contract
+//!
+//! Every decision is a **pure function of `(fault_seed, shot, site)`**,
+//! derived counter-style through three chained [`rand::stream_seed`]
+//! applications (seed → site lane → shot → draw) — the same SplitMix64
+//! derivation the executor uses for per-shot RNG streams. No hidden state,
+//! no draw ordering: chaos runs are bit-identical at every thread count and
+//! prefix-stable across shot counts, and re-querying a decision (as the
+//! resilient executor does to attribute caught panics) always returns the
+//! same answer. Fault draws never touch the shot's own RNG stream, so a
+//! plan whose rates are all zero reproduces an uninjected run bit for bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use qfault::FaultPlan;
+//! use qsim::fault::FaultSite;
+//!
+//! let plan = FaultPlan::parse("seed=7,reset-leak=0.25,panic=0.01").unwrap();
+//! assert_eq!(plan.seed(), 7);
+//! assert_eq!(plan.rate(FaultSite::ResetLeak), 0.25);
+//! // Decisions are pure: the same query always answers the same way.
+//! assert_eq!(
+//!     plan.fires(FaultSite::ResetLeak, 3, 0),
+//!     plan.fires(FaultSite::ResetLeak, 3, 0),
+//! );
+//! ```
+
+#![deny(clippy::unwrap_used)]
+
+pub use qsim::fault::{CcFault, FaultHook, FaultSite, GateFate};
+
+use rand::stream_seed;
+use std::fmt;
+use std::time::Duration;
+
+/// Default length of an injected per-shot delay (overridable with
+/// `delay-ms=N` in a spec or [`FaultPlan::with_delay`]).
+const DEFAULT_DELAY: Duration = Duration::from_millis(1);
+
+/// Draw lanes within one `(site, shot)` stream: lane 0 decides whether the
+/// fault fires, lane 1 picks a target (e.g. which condition bit to corrupt).
+const LANE_FIRE: u64 = 0;
+const LANE_TARGET: u64 = 1;
+
+/// A seeded, declarative fault-injection plan; implements
+/// [`qsim::fault::FaultHook`] so it plugs straight into
+/// [`qsim::Executor::fault_hook`].
+///
+/// Each [`FaultSite`] carries an independent firing rate in `[0, 1]`; a
+/// rate of 0 (the default) disables the site entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [f64; FaultSite::ALL.len()],
+    delay: Duration,
+}
+
+/// A rejected `--inject` spec, with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The token that failed to parse (empty for whole-spec problems).
+    pub token: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.token.is_empty() {
+            write!(f, "{}", self.reason)
+        } else {
+            write!(f, "bad fault spec token '{}': {}", self.token, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn spec_error(token: &str, reason: impl Into<String>) -> FaultSpecError {
+    FaultSpecError {
+        token: token.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn site_index(site: FaultSite) -> usize {
+    // Position in FaultSite::ALL; the array is tiny and the order fixed.
+    FaultSite::ALL
+        .iter()
+        .position(|s| *s == site)
+        .unwrap_or_else(|| unreachable!("site {site} missing from FaultSite::ALL"))
+}
+
+impl FaultPlan {
+    /// An empty plan (every rate 0) over `seed`. Running under an empty
+    /// plan is bit-identical to running with no plan at all.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rates: [0.0; FaultSite::ALL.len()],
+            delay: DEFAULT_DELAY,
+        }
+    }
+
+    /// Sets the firing rate for `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is not in `[0, 1]` (use [`FaultPlan::parse`] for
+    /// untrusted input).
+    #[must_use]
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate for {site} must be in [0, 1], got {rate}"
+        );
+        self.rates[site_index(site)] = rate;
+        self
+    }
+
+    /// Sets the length of each injected [`FaultSite::ShotDelay`] stall.
+    #[must_use]
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Parses a comma-separated spec, as taken by `dqct --inject`:
+    /// `seed=N`, `delay-ms=N`, and `<site>=<rate>` entries where `<site>`
+    /// is a [`FaultSite::name`] (`reset-leak`, `meas-flip`, `cc-flip`,
+    /// `cc-loss`, `gate-drop`, `gate-dup`, `panic`, `delay`) and `<rate>`
+    /// is in `[0, 1]`. Later entries override earlier ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultSpecError`] naming the offending token for empty
+    /// specs, unknown keys, malformed numbers and out-of-range rates.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        if spec.trim().is_empty() {
+            return Err(spec_error("", "empty fault spec"));
+        }
+        let mut plan = FaultPlan::new(0);
+        for token in spec.split(',') {
+            let token = token.trim();
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(spec_error(token, "expected key=value"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| spec_error(token, "seed must be a u64"))?;
+                }
+                "delay-ms" => {
+                    let ms = value
+                        .parse::<u64>()
+                        .map_err(|_| spec_error(token, "delay-ms must be a u64"))?;
+                    plan.delay = Duration::from_millis(ms);
+                }
+                _ => {
+                    let Some(site) = FaultSite::parse(key) else {
+                        return Err(spec_error(
+                            token,
+                            format!(
+                                "unknown key (expected seed, delay-ms, or a site: {})",
+                                FaultSite::ALL.map(FaultSite::name).join(", ")
+                            ),
+                        ));
+                    };
+                    let rate = value
+                        .parse::<f64>()
+                        .map_err(|_| spec_error(token, "rate must be a number"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(spec_error(token, "rate must be in [0, 1]"));
+                    }
+                    plan.rates[site_index(site)] = rate;
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan's fault seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The firing rate configured for `site`.
+    #[must_use]
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        self.rates[site_index(site)]
+    }
+
+    /// The length of each injected delay.
+    #[must_use]
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+
+    /// `true` when every rate is zero (the plan can never fire).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rates.iter().all(|&r| r == 0.0)
+    }
+
+    /// The canonical spec string the plan round-trips through
+    /// [`FaultPlan::parse`].
+    #[must_use]
+    pub fn spec(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        if self.delay != DEFAULT_DELAY {
+            parts.push(format!("delay-ms={}", self.delay.as_millis()));
+        }
+        for site in FaultSite::ALL {
+            let rate = self.rate(site);
+            if rate > 0.0 {
+                parts.push(format!("{}={rate}", site.name()));
+            }
+        }
+        parts.join(",")
+    }
+
+    /// The raw 64-bit draw for `(site, shot, site_index, lane)`: three
+    /// chained counter derivations, no state.
+    fn word(&self, site: FaultSite, shot: u64, idx: usize, lane: u64) -> u64 {
+        let site_lane = stream_seed(self.seed, site_index(site) as u64);
+        let shot_lane = stream_seed(site_lane, shot);
+        stream_seed(shot_lane, (idx as u64) << 1 | lane)
+    }
+
+    /// A uniform draw in `[0, 1)` for the decision lane of
+    /// `(site, shot, idx)`.
+    fn unit(&self, site: FaultSite, shot: u64, idx: usize) -> f64 {
+        // Top 53 bits -> [0, 1), the standard double conversion.
+        (self.word(site, shot, idx, LANE_FIRE) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Does the fault at `site` fire for instruction `idx` of `shot`?
+    /// Pure in `(seed, site, shot, idx)`.
+    #[must_use]
+    pub fn fires(&self, site: FaultSite, shot: u64, idx: usize) -> bool {
+        let rate = self.rates[site_index(site)];
+        rate > 0.0 && self.unit(site, shot, idx) < rate
+    }
+
+    /// Deterministically picks a target in `0..n` for a firing fault.
+    fn pick(&self, site: FaultSite, shot: u64, idx: usize, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.word(site, shot, idx, LANE_TARGET) % n as u64) as usize
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn shot_panic(&self, shot: u64) -> bool {
+        self.fires(FaultSite::ShotPanic, shot, 0)
+    }
+
+    fn shot_delay(&self, shot: u64) -> Option<Duration> {
+        self.fires(FaultSite::ShotDelay, shot, 0)
+            .then_some(self.delay)
+    }
+
+    fn gate_fate(&self, shot: u64, site: usize) -> GateFate {
+        // Drop wins over duplicate when both fire for the same gate.
+        if self.fires(FaultSite::GateDrop, shot, site) {
+            GateFate::Drop
+        } else if self.fires(FaultSite::GateDup, shot, site) {
+            GateFate::Duplicate
+        } else {
+            GateFate::Execute
+        }
+    }
+
+    fn reset_leak(&self, shot: u64, site: usize) -> bool {
+        self.fires(FaultSite::ResetLeak, shot, site)
+    }
+
+    fn measure_flip(&self, shot: u64, site: usize) -> bool {
+        self.fires(FaultSite::MeasFlip, shot, site)
+    }
+
+    fn condition_fault(&self, shot: u64, site: usize, num_bits: usize) -> Option<CcFault> {
+        if num_bits == 0 {
+            return None;
+        }
+        // Flip wins over loss when both fire for the same condition.
+        if self.fires(FaultSite::CcFlip, shot, site) {
+            Some(CcFault::Flip(self.pick(
+                FaultSite::CcFlip,
+                shot,
+                site,
+                num_bits,
+            )))
+        } else if self.fires(FaultSite::CcLoss, shot, site) {
+            Some(CcFault::Lose(self.pick(
+                FaultSite::CcLoss,
+                shot,
+                site,
+                num_bits,
+            )))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec_round_trips() {
+        let plan = FaultPlan::parse("seed=42,delay-ms=5,reset-leak=0.25,meas-flip=0.1,panic=0.01")
+            .expect("valid spec");
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.delay(), Duration::from_millis(5));
+        assert_eq!(plan.rate(FaultSite::ResetLeak), 0.25);
+        assert_eq!(plan.rate(FaultSite::MeasFlip), 0.1);
+        assert_eq!(plan.rate(FaultSite::ShotPanic), 0.01);
+        assert_eq!(plan.rate(FaultSite::GateDrop), 0.0);
+        let reparsed = FaultPlan::parse(&plan.spec()).expect("canonical spec");
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for (spec, why) in [
+            ("", "empty"),
+            ("  ", "empty"),
+            ("reset-leak", "missing ="),
+            ("bogus=0.5", "unknown key"),
+            ("reset-leak=nope", "bad number"),
+            ("reset-leak=1.5", "rate above 1"),
+            ("reset-leak=-0.1", "rate below 0"),
+            ("seed=abc", "bad seed"),
+            ("delay-ms=-3", "bad delay"),
+            ("seed=1,,panic=0.1", "empty token"),
+        ] {
+            assert!(FaultPlan::parse(spec).is_err(), "{why}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_token() {
+        let err = FaultPlan::parse("seed=1,bogus=0.5").expect_err("unknown key");
+        let msg = err.to_string();
+        assert!(msg.contains("bogus=0.5"), "{msg}");
+    }
+
+    #[test]
+    fn decisions_are_pure_and_instance_independent() {
+        let a = FaultPlan::new(7).with_rate(FaultSite::MeasFlip, 0.3);
+        let b = FaultPlan::parse("seed=7,meas-flip=0.3").expect("spec");
+        for shot in 0..200 {
+            for idx in 0..5 {
+                let fire = a.fires(FaultSite::MeasFlip, shot, idx);
+                assert_eq!(fire, a.fires(FaultSite::MeasFlip, shot, idx));
+                assert_eq!(fire, b.fires(FaultSite::MeasFlip, shot, idx));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_zero_never_fires_and_rate_one_always_fires() {
+        let plan = FaultPlan::new(3)
+            .with_rate(FaultSite::ResetLeak, 1.0)
+            .with_rate(FaultSite::GateDrop, 0.0);
+        for shot in 0..100 {
+            assert!(plan.fires(FaultSite::ResetLeak, shot, 2));
+            assert!(!plan.fires(FaultSite::GateDrop, shot, 2));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let plan = FaultPlan::new(11).with_rate(FaultSite::MeasFlip, 0.2);
+        let fired = (0..10_000)
+            .filter(|&s| plan.fires(FaultSite::MeasFlip, s, 0))
+            .count();
+        let rate = fired as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn sites_are_decorrelated() {
+        // The same (shot, idx) must not fire all sites in lockstep: each
+        // site draws from its own lane of the seed.
+        let mut plan = FaultPlan::new(5);
+        for site in FaultSite::ALL {
+            plan = plan.with_rate(site, 0.5);
+        }
+        let mut agree = 0u32;
+        let trials = 2_000;
+        for shot in 0..trials {
+            let a = plan.fires(FaultSite::ResetLeak, shot, 0);
+            let b = plan.fires(FaultSite::MeasFlip, shot, 0);
+            agree += u32::from(a == b);
+        }
+        let frac = f64::from(agree) / f64::from(trials as u32);
+        assert!((frac - 0.5).abs() < 0.05, "agreement {frac}");
+    }
+
+    #[test]
+    fn cc_fault_picks_in_range_and_flip_beats_loss() {
+        let plan = FaultPlan::new(9)
+            .with_rate(FaultSite::CcFlip, 1.0)
+            .with_rate(FaultSite::CcLoss, 1.0);
+        for shot in 0..50 {
+            match plan.condition_fault(shot, 4, 3) {
+                Some(CcFault::Flip(k)) => assert!(k < 3),
+                other => panic!("expected a flip, got {other:?}"),
+            }
+        }
+        assert_eq!(plan.condition_fault(0, 4, 0), None, "no bits, no fault");
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::new(1).is_empty());
+        assert!(!FaultPlan::new(1)
+            .with_rate(FaultSite::ShotPanic, 0.1)
+            .is_empty());
+    }
+}

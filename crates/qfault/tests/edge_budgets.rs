@@ -1,0 +1,222 @@
+//! Edge-of-budget chaos drills against the real shot executor.
+//!
+//! Every [`Termination`] variant must be reachable through fault injection
+//! alone, exhausted budgets must degrade to empty-but-valid [`Counts`]
+//! instead of panicking, and injected faults must leave both the counts and
+//! the fault counters bit-identical across worker-thread counts.
+
+use qcir::{Circuit, Clbit, Condition, Gate, Qubit};
+use qfault::{FaultPlan, FaultSite};
+use qobs::Observer;
+use qsim::{Counts, DriftPolicy, Executor, RunReport, Termination};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn q(i: usize) -> Qubit {
+    Qubit::new(i)
+}
+
+fn c(i: usize) -> Clbit {
+    Clbit::new(i)
+}
+
+/// A small dynamic circuit: Bell-ish pair measured mid-circuit, with a
+/// conditioned correction — exercises gates, measure, reset and cc paths.
+fn probe_circuit() -> Circuit {
+    let mut circ = Circuit::new(2, 2);
+    circ.h(q(0));
+    circ.measure(q(0), c(0));
+    circ.gate_if(Gate::X, &[q(1)], Condition::bit(c(0)));
+    circ.reset(q(0));
+    circ.measure(q(1), c(1));
+    circ
+}
+
+fn run_with(
+    plan: FaultPlan,
+    threads: usize,
+    shots: u64,
+    configure: impl Fn(Executor) -> Executor,
+) -> (Counts, RunReport) {
+    let exec = configure(
+        Executor::new()
+            .shots(shots)
+            .seed(41)
+            .threads(threads)
+            .fault_hook(Arc::new(plan)),
+    );
+    exec.run_resilient(&probe_circuit())
+}
+
+#[test]
+fn all_shots_faulted_yields_empty_but_valid_counts() {
+    let plan = FaultPlan::new(7).with_rate(FaultSite::ShotPanic, 1.0);
+    for threads in [1, 8] {
+        let (counts, report) = run_with(plan.clone(), threads, 32, |e| e);
+        assert_eq!(counts.total(), 0, "threads={threads}");
+        assert!(counts.is_empty(), "threads={threads}");
+        assert_eq!(report.completed, 0, "threads={threads}");
+        assert_eq!(report.failed, 32, "threads={threads}");
+        // No budget was set, so the run ran to the end of the shot range.
+        assert_eq!(report.termination, Termination::Completed);
+    }
+}
+
+#[test]
+fn max_failed_zero_trips_on_the_first_injected_panic() {
+    let plan = FaultPlan::new(7).with_rate(FaultSite::ShotPanic, 1.0);
+    for threads in [1, 8] {
+        let (counts, report) = run_with(plan.clone(), threads, 64, |e| e.max_failed(0));
+        assert_eq!(report.termination, Termination::FailedShotBudget);
+        assert!(report.failed >= 1, "threads={threads}");
+        // Partial counts stay internally consistent.
+        assert_eq!(counts.total(), report.completed, "threads={threads}");
+    }
+}
+
+#[test]
+fn zero_deadline_terminates_before_any_shot() {
+    let plan = FaultPlan::new(7).with_rate(FaultSite::MeasFlip, 0.5);
+    for threads in [1, 8] {
+        let (counts, report) = run_with(plan.clone(), threads, 64, |e| e.deadline(Duration::ZERO));
+        assert_eq!(report.termination, Termination::Deadline);
+        assert_eq!(counts.total(), 0, "threads={threads}");
+        assert_eq!(report.completed, 0, "threads={threads}");
+        assert_eq!(report.failed, 0, "threads={threads}");
+    }
+}
+
+#[test]
+fn injected_delay_trips_a_short_deadline() {
+    let plan = FaultPlan::new(7)
+        .with_rate(FaultSite::ShotDelay, 1.0)
+        .with_delay(Duration::from_millis(5));
+    let (counts, report) = run_with(plan, 1, 10_000, |e| e.deadline(Duration::from_millis(25)));
+    assert_eq!(report.termination, Termination::Deadline);
+    assert!(report.completed < 10_000, "deadline must cut the run short");
+    assert_eq!(counts.total(), report.completed);
+}
+
+#[test]
+fn injected_condition_corruption_reaches_abort() {
+    // Ideal run: c0 is never set, so the NaN-angle rotation stays dormant.
+    // A certain cc-flip fires the branch, the norm collapses to NaN, and
+    // `DriftPolicy::Abort` must surface as `Termination::Aborted`.
+    let mut circ = Circuit::new(1, 1);
+    circ.gate_if(Gate::Rx(f64::NAN), &[q(0)], Condition::bit(c(0)));
+    circ.measure(q(0), c(0));
+    let without_plan = Executor::new()
+        .shots(8)
+        .seed(41)
+        .drift_policy(DriftPolicy::Abort)
+        .run_resilient(&circ);
+    assert_eq!(without_plan.1.termination, Termination::Completed);
+
+    let plan = FaultPlan::new(7).with_rate(FaultSite::CcFlip, 1.0);
+    for threads in [1, 8] {
+        let (counts, report) = Executor::new()
+            .shots(8)
+            .seed(41)
+            .threads(threads)
+            .drift_policy(DriftPolicy::Abort)
+            .fault_hook(Arc::new(plan.clone()))
+            .run_resilient(&circ);
+        assert_eq!(
+            report.termination,
+            Termination::Aborted,
+            "threads={threads}"
+        );
+        assert_eq!(counts.total(), report.completed, "threads={threads}");
+    }
+}
+
+#[test]
+fn every_termination_variant_is_reachable_by_injection() {
+    let mut seen = vec![
+        all_termination_of(|p| p.with_rate(FaultSite::MeasFlip, 0.1), |e| e),
+        all_termination_of(
+            |p| p.with_rate(FaultSite::ShotPanic, 1.0),
+            |e| e.max_failed(0),
+        ),
+        all_termination_of(
+            |p| p.with_rate(FaultSite::MeasFlip, 0.1),
+            |e| e.deadline(Duration::ZERO),
+        ),
+        all_termination_of(
+            |p| p.with_rate(FaultSite::CcFlip, 1.0),
+            |e| e.drift_policy(DriftPolicy::Abort),
+        ),
+    ];
+    seen.sort_by_key(|t| format!("{t}"));
+    let mut expected = vec![
+        Termination::Completed,
+        Termination::FailedShotBudget,
+        Termination::Deadline,
+        Termination::Aborted,
+    ];
+    expected.sort_by_key(|t| format!("{t}"));
+    assert_eq!(seen, expected);
+}
+
+fn all_termination_of(
+    build: impl Fn(FaultPlan) -> FaultPlan,
+    configure: impl Fn(Executor) -> Executor,
+) -> Termination {
+    let plan = build(FaultPlan::new(7));
+    let circ = if plan.rate(FaultSite::CcFlip) > 0.0 {
+        let mut circ = Circuit::new(1, 1);
+        circ.gate_if(Gate::Rx(f64::NAN), &[q(0)], Condition::bit(c(0)));
+        circ.measure(q(0), c(0));
+        circ
+    } else {
+        probe_circuit()
+    };
+    let exec = configure(
+        Executor::new()
+            .shots(16)
+            .seed(41)
+            .fault_hook(Arc::new(plan)),
+    );
+    exec.run_resilient(&circ).1.termination
+}
+
+#[test]
+fn counts_and_fault_counters_are_thread_invariant_under_a_full_plan() {
+    // Every site except delay (which only costs wall-clock time) at a
+    // meaningful rate; no budgets, so the failed set is thread-invariant too.
+    let plan = FaultPlan::parse(
+        "seed=5,reset-leak=0.2,meas-flip=0.2,cc-flip=0.1,cc-loss=0.1,\
+         gate-drop=0.1,gate-dup=0.1,panic=0.05",
+    )
+    .expect("spec parses");
+    let run = |threads: usize| {
+        let obs = Observer::metrics_only();
+        let exec = Executor::new()
+            .shots(256)
+            .seed(41)
+            .threads(threads)
+            .observer(obs.clone())
+            .fault_hook(Arc::new(plan.clone()));
+        let (counts, report) = exec.run_resilient(&probe_circuit());
+        let json = obs.metrics().to_json();
+        let start = json.find("\"counters\"").expect("counters section");
+        let end = json.find("\"gauges\"").expect("gauges section");
+        (
+            counts,
+            report.completed,
+            report.failed,
+            json[start..end].to_string(),
+        )
+    };
+    let one = run(1);
+    assert!(
+        one.3.contains("\"fault.injected.meas-flip\""),
+        "counters must include injections: {}",
+        one.3
+    );
+    assert!(one.3.contains("\"fault.caught.panic\""), "{}", one.3);
+    let eight = run(8);
+    assert_eq!(one.0, eight.0, "counts must be bit-identical");
+    assert_eq!((one.1, one.2), (eight.1, eight.2));
+    assert_eq!(one.3, eight.3, "fault counters must be bit-identical");
+}

@@ -22,6 +22,7 @@
 //!   never the seeding of later shots.
 
 use crate::counts::{bitstring, Counts};
+use crate::fault::{CcFault, FaultHook, FaultSite, GateFate, FAULT_CAUGHT_PANIC};
 use crate::noise::{GateNoise, NoiseModel};
 use crate::statevector::StateVector;
 use qcir::{Circuit, OpKind};
@@ -33,6 +34,7 @@ use std::fmt;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A configurable shot-based simulator.
@@ -62,6 +64,7 @@ pub struct Executor {
     drift_tolerance: f64,
     deadline: Option<Duration>,
     max_failed: Option<u64>,
+    fault: Option<Arc<dyn FaultHook>>,
 }
 
 /// What [`Executor::run_resilient`] does when a shot's statevector norm
@@ -238,6 +241,9 @@ struct RunTally {
     cc_fired: u64,
     cc_skipped: u64,
     noise_applications: u64,
+    /// Fault-injection counters, keyed by full counter name
+    /// (`fault.injected.<site>`, `fault.caught.panic`).
+    faults: BTreeMap<&'static str, u64>,
 }
 
 impl RunTally {
@@ -254,6 +260,14 @@ impl RunTally {
         self.cc_fired += other.cc_fired;
         self.cc_skipped += other.cc_skipped;
         self.noise_applications += other.noise_applications;
+        for (name, n) in other.faults {
+            *self.faults.entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Records one injected fault at `site`.
+    fn fault(&mut self, site: FaultSite) {
+        *self.faults.entry(site.counter()).or_insert(0) += 1;
     }
 }
 
@@ -310,7 +324,25 @@ impl Executor {
             drift_tolerance: 1e-6,
             deadline: None,
             max_failed: None,
+            fault: None,
         }
+    }
+
+    /// Installs a fault-injection hook (see [`crate::fault`] and the
+    /// `qfault` crate). The hook is consulted at every named boundary of
+    /// the shot loop; without one installed each boundary is a single
+    /// `Option` branch and results are bit-identical to an uninjected run.
+    ///
+    /// Fault decisions never consume the shot's RNG stream, so installing a
+    /// hook whose every decision is "no fault" also leaves results
+    /// bit-identical. Injected panics should be run under
+    /// [`Executor::run_resilient`], which isolates them per shot and counts
+    /// them as `fault.caught.panic`; under [`Executor::run`] they propagate
+    /// and abort the whole run.
+    #[must_use]
+    pub fn fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.fault = Some(hook);
+        self
     }
 
     /// Enables the per-instruction norm-drift guard for
@@ -616,7 +648,7 @@ impl Executor {
                     }),
                     _ => None,
                 };
-                self.run_shot_guarded(circuit, &mut rng, &mut ctx, guard.as_ref(), &mut renorms)
+                self.run_shot_guarded(circuit, i, &mut rng, &mut ctx, guard.as_ref(), &mut renorms)
             }));
             out.renormalized += renorms;
             match shot {
@@ -631,6 +663,14 @@ impl Executor {
                 }
                 Err(_) => {
                     out.failed += 1;
+                    // Attribute the catch when the panic was an injected
+                    // one (the hook's decision is pure, so re-asking gives
+                    // the same answer the shot saw).
+                    if let Some(t) = &mut tally {
+                        if self.fault.as_ref().is_some_and(|h| h.shot_panic(i)) {
+                            *t.faults.entry(FAULT_CAUGHT_PANIC).or_insert(0) += 1;
+                        }
+                    }
                     let failed_total = budget.failed.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(max) = budget.max_failed {
                         if failed_total > max {
@@ -764,7 +804,7 @@ impl Executor {
                         mid_measure: mid,
                     });
                     let (classical, _) =
-                        self.run_shot_with_state_tallied(circuit, &mut rng, &mut ctx);
+                        self.run_shot_with_state_tallied(circuit, i, &mut rng, &mut ctx);
                     record(acc, classical);
                 }
                 Some(tally)
@@ -772,7 +812,9 @@ impl Executor {
             None => {
                 for i in shots {
                     let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
-                    record(acc, self.run_shot(circuit, &mut rng));
+                    let (classical, _) =
+                        self.run_shot_with_state_tallied(circuit, i, &mut rng, &mut None);
+                    record(acc, classical);
                 }
                 None
             }
@@ -795,9 +837,15 @@ impl Executor {
         for (name, n) in &tally.gates {
             obs.counter_add(&format!("executor.gates.{name}"), *n);
         }
+        for (name, n) in &tally.faults {
+            obs.counter_add(name, *n);
+        }
     }
 
     /// Runs a single shot, returning the final classical bits.
+    ///
+    /// Standalone single-shot calls execute as shot 0 of a run, so an
+    /// installed [`FaultHook`] sees `shot = 0`.
     pub fn run_shot<R: Rng + ?Sized>(&self, circuit: &Circuit, rng: &mut R) -> Vec<bool> {
         let (classical, _state) = self.run_shot_with_state(circuit, rng);
         classical
@@ -816,7 +864,7 @@ impl Executor {
         circuit: &Circuit,
         rng: &mut R,
     ) -> (Vec<bool>, StateVector) {
-        self.run_shot_with_state_tallied(circuit, rng, &mut None)
+        self.run_shot_with_state_tallied(circuit, 0, rng, &mut None)
     }
 
     /// Single-shot execution with an optional tally context (`None` on the
@@ -825,10 +873,11 @@ impl Executor {
     fn run_shot_with_state_tallied<R: Rng + ?Sized>(
         &self,
         circuit: &Circuit,
+        shot: u64,
         rng: &mut R,
         ctx: &mut Option<TallyCtx<'_>>,
     ) -> (Vec<bool>, StateVector) {
-        match self.run_shot_guarded(circuit, rng, ctx, None, &mut 0) {
+        match self.run_shot_guarded(circuit, shot, rng, ctx, None, &mut 0) {
             ShotControl::Done(classical, state) => (classical, state),
             // Without a guard a shot always runs to completion.
             ShotControl::Discarded | ShotControl::Abort => unreachable!("unguarded shot"),
@@ -844,11 +893,26 @@ impl Executor {
     fn run_shot_guarded<R: Rng + ?Sized>(
         &self,
         circuit: &Circuit,
+        shot: u64,
         rng: &mut R,
         ctx: &mut Option<TallyCtx<'_>>,
         guard: Option<&DriftGuard>,
         renorms: &mut u64,
     ) -> ShotControl {
+        if let Some(hook) = &self.fault {
+            if let Some(delay) = hook.shot_delay(shot) {
+                if let Some(c) = ctx {
+                    c.tally.fault(FaultSite::ShotDelay);
+                }
+                std::thread::sleep(delay);
+            }
+            if hook.shot_panic(shot) {
+                if let Some(c) = ctx {
+                    c.tally.fault(FaultSite::ShotPanic);
+                }
+                panic!("qfault: injected panic in shot {shot}");
+            }
+        }
         let mut state = StateVector::zero_state(circuit.num_qubits());
         let mut classical = vec![false; circuit.num_clbits()];
         if let Some(idle) = &self.noise.idle {
@@ -865,7 +929,7 @@ impl Executor {
                     for q in inst.qubits() {
                         touched[q.index()] = true;
                     }
-                    self.execute_instruction(inst, idx, &mut state, &mut classical, rng, ctx);
+                    self.execute_instruction(inst, idx, shot, &mut state, &mut classical, rng, ctx);
                     match check_drift(guard, &mut state, renorms) {
                         DriftAction::Continue => {}
                         DriftAction::Discard => return ShotControl::Discarded,
@@ -888,7 +952,7 @@ impl Executor {
             }
         } else {
             for (idx, inst) in circuit.iter().enumerate() {
-                self.execute_instruction(inst, idx, &mut state, &mut classical, rng, ctx);
+                self.execute_instruction(inst, idx, shot, &mut state, &mut classical, rng, ctx);
                 match check_drift(guard, &mut state, renorms) {
                     DriftAction::Continue => {}
                     DriftAction::Discard => return ShotControl::Discarded,
@@ -901,17 +965,42 @@ impl Executor {
 
     /// Executes one instruction under the configured noise. `idx` is the
     /// instruction's index in the circuit (for the mid-circuit-measurement
-    /// flags of the tally context).
+    /// flags of the tally context and as the fault site); `shot` is the
+    /// shot index the fault hook keys its decisions on.
+    #[allow(clippy::too_many_arguments)]
     fn execute_instruction<R: Rng + ?Sized>(
         &self,
         inst: &qcir::Instruction,
         idx: usize,
+        shot: u64,
         state: &mut StateVector,
         classical: &mut [bool],
         rng: &mut R,
         ctx: &mut Option<TallyCtx<'_>>,
     ) {
         if let Some(cond) = inst.condition() {
+            if let Some(hook) = &self.fault {
+                let bits = cond.bits();
+                match hook.condition_fault(shot, idx, bits.len()) {
+                    Some(CcFault::Flip(k)) => {
+                        if let Some(b) = bits.get(k) {
+                            classical[b.index()] = !classical[b.index()];
+                            if let Some(c) = ctx {
+                                c.tally.fault(FaultSite::CcFlip);
+                            }
+                        }
+                    }
+                    Some(CcFault::Lose(k)) => {
+                        if let Some(b) = bits.get(k) {
+                            classical[b.index()] = false;
+                            if let Some(c) = ctx {
+                                c.tally.fault(FaultSite::CcLoss);
+                            }
+                        }
+                    }
+                    None => {}
+                }
+            }
             if !cond.evaluate(classical) {
                 if let Some(c) = ctx {
                     c.tally.cc_skipped += 1;
@@ -925,10 +1014,27 @@ impl Executor {
         match inst.kind() {
             OpKind::Barrier => {}
             OpKind::Gate(g) => {
+                let fate = match &self.fault {
+                    Some(hook) => hook.gate_fate(shot, idx),
+                    None => GateFate::Execute,
+                };
+                if fate == GateFate::Drop {
+                    if let Some(c) = ctx {
+                        c.tally.fault(FaultSite::GateDrop);
+                    }
+                    return;
+                }
                 let qubits: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
                 state.apply_gate(g, &qubits);
                 if let Some(c) = ctx {
                     *c.tally.gates.entry(g.name()).or_insert(0) += 1;
+                }
+                if fate == GateFate::Duplicate {
+                    state.apply_gate(g, &qubits);
+                    if let Some(c) = ctx {
+                        *c.tally.gates.entry(g.name()).or_insert(0) += 1;
+                        c.tally.fault(FaultSite::GateDup);
+                    }
                 }
                 match self.noise.gate_noise(qubits.len()) {
                     Some(GateNoise::Joint(channel)) => {
@@ -954,6 +1060,14 @@ impl Executor {
                 if self.noise.readout_flip > 0.0 && rng.gen_bool(self.noise.readout_flip) {
                     outcome = !outcome;
                 }
+                if let Some(hook) = &self.fault {
+                    if hook.measure_flip(shot, idx) {
+                        outcome = !outcome;
+                        if let Some(c) = ctx {
+                            c.tally.fault(FaultSite::MeasFlip);
+                        }
+                    }
+                }
                 classical[inst.clbits()[0].index()] = outcome;
                 if let Some(c) = ctx {
                     c.tally.measurements += 1;
@@ -967,6 +1081,14 @@ impl Executor {
                 state.reset(q, rng);
                 if self.noise.reset_error > 0.0 && rng.gen_bool(self.noise.reset_error) {
                     state.apply_gate(&qcir::Gate::X, &[q]);
+                }
+                if let Some(hook) = &self.fault {
+                    if hook.reset_leak(shot, idx) {
+                        state.apply_gate(&qcir::Gate::X, &[q]);
+                        if let Some(c) = ctx {
+                            c.tally.fault(FaultSite::ResetLeak);
+                        }
+                    }
                 }
                 if let Some(c) = ctx {
                     c.tally.resets += 1;
@@ -1709,5 +1831,220 @@ mod tests {
         let (classical, state) = Executor::new().run_shot_with_state(&circ, &mut rng);
         assert_eq!(classical, vec![false]);
         assert!((state.prob_one(1) - 1.0).abs() < 1e-12);
+    }
+
+    // ---- fault-injection seam -------------------------------------------
+
+    /// Test hook firing fixed fault kinds unconditionally (or, for panics,
+    /// on odd shots only) — a pure function of its configuration, as the
+    /// [`FaultHook`] contract requires.
+    #[derive(Debug, Default)]
+    struct TestHook {
+        flip_measures: bool,
+        leak_resets: bool,
+        drop_gates: bool,
+        dup_gates: bool,
+        flip_conditions: bool,
+        panic_odd_shots: bool,
+        delay: Option<Duration>,
+    }
+
+    impl FaultHook for TestHook {
+        fn shot_panic(&self, shot: u64) -> bool {
+            self.panic_odd_shots && shot % 2 == 1
+        }
+        fn shot_delay(&self, _shot: u64) -> Option<Duration> {
+            self.delay
+        }
+        fn gate_fate(&self, _shot: u64, _site: usize) -> GateFate {
+            if self.drop_gates {
+                GateFate::Drop
+            } else if self.dup_gates {
+                GateFate::Duplicate
+            } else {
+                GateFate::Execute
+            }
+        }
+        fn reset_leak(&self, _shot: u64, _site: usize) -> bool {
+            self.leak_resets
+        }
+        fn measure_flip(&self, _shot: u64, _site: usize) -> bool {
+            self.flip_measures
+        }
+        fn condition_fault(&self, _shot: u64, _site: usize, num_bits: usize) -> Option<CcFault> {
+            (self.flip_conditions && num_bits > 0).then_some(CcFault::Flip(0))
+        }
+    }
+
+    #[test]
+    fn noop_hook_is_bit_identical_to_no_hook() {
+        // A hook whose every decision is "no fault" must not perturb
+        // anything: fault draws never touch the shot's RNG stream.
+        let circ = dynamic_test_circuit();
+        let exec = Executor::new()
+            .shots(200)
+            .seed(21)
+            .noise(NoiseModel::depolarizing(0.02, 0.05));
+        let bare = exec.run_memory(&circ);
+        let hooked = exec
+            .clone()
+            .fault_hook(Arc::new(TestHook::default()))
+            .run_memory(&circ);
+        assert_eq!(bare, hooked);
+    }
+
+    #[test]
+    fn measure_flip_fault_flips_the_recorded_bit() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).measure(q(0), c(0));
+        let hook = TestHook {
+            flip_measures: true,
+            ..TestHook::default()
+        };
+        let counts = Executor::new()
+            .shots(20)
+            .seed(1)
+            .fault_hook(Arc::new(hook))
+            .run(&circ);
+        assert_eq!(counts.get("0"), 20, "every readout flipped 1 -> 0");
+    }
+
+    #[test]
+    fn reset_leak_fault_leaves_the_qubit_in_one() {
+        let mut circ = Circuit::new(1, 1);
+        circ.reset(q(0)).measure(q(0), c(0));
+        let hook = TestHook {
+            leak_resets: true,
+            ..TestHook::default()
+        };
+        let counts = Executor::new()
+            .shots(20)
+            .seed(2)
+            .fault_hook(Arc::new(hook))
+            .run(&circ);
+        assert_eq!(counts.get("1"), 20, "every reset leaked |1>");
+    }
+
+    #[test]
+    fn gate_drop_and_duplication_faults() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).measure(q(0), c(0));
+        let run = |hook: TestHook| {
+            Executor::new()
+                .shots(10)
+                .seed(3)
+                .fault_hook(Arc::new(hook))
+                .run(&circ)
+        };
+        let dropped = run(TestHook {
+            drop_gates: true,
+            ..TestHook::default()
+        });
+        assert_eq!(dropped.get("0"), 10, "dropped X never fires");
+        let duplicated = run(TestHook {
+            dup_gates: true,
+            ..TestHook::default()
+        });
+        assert_eq!(duplicated.get("0"), 10, "X twice is the identity");
+    }
+
+    #[test]
+    fn condition_flip_fault_fires_a_dormant_branch() {
+        // c0 is never written, so the conditioned X is dead code — until
+        // the injected flip corrupts c0 right before evaluation.
+        let mut circ = Circuit::new(1, 2);
+        circ.x_if(q(0), c(0)).measure(q(0), c(1));
+        let bare = Executor::new().shots(10).seed(4).run(&circ);
+        assert_eq!(bare.get("00"), 10);
+        let hook = TestHook {
+            flip_conditions: true,
+            ..TestHook::default()
+        };
+        let counts = Executor::new()
+            .shots(10)
+            .seed(4)
+            .fault_hook(Arc::new(hook))
+            .run(&circ);
+        // The corruption lands in the register itself, so c0 reads 1 too.
+        assert_eq!(counts.get("11"), 10);
+    }
+
+    #[test]
+    fn injected_panics_are_isolated_and_counted() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).measure(q(0), c(0));
+        let obs = qobs::Observer::metrics_only();
+        let (counts, report) = Executor::new()
+            .shots(10)
+            .seed(5)
+            .threads(2)
+            .observer(obs.clone())
+            .fault_hook(Arc::new(TestHook {
+                panic_odd_shots: true,
+                ..TestHook::default()
+            }))
+            .run_resilient(&circ);
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.failed, 5);
+        assert_eq!(report.termination, Termination::Completed);
+        assert_eq!(counts.get("1"), 5, "even shots complete normally");
+        let m = obs.metrics();
+        assert_eq!(m.counter("fault.injected.panic"), Some(5));
+        assert_eq!(m.counter("fault.caught.panic"), Some(5));
+    }
+
+    #[test]
+    fn injected_delay_trips_the_deadline() {
+        let mut circ = Circuit::new(1, 1);
+        circ.x(q(0)).measure(q(0), c(0));
+        let (counts, report) = Executor::new()
+            .shots(1000)
+            .seed(6)
+            .threads(1)
+            .deadline(Duration::from_millis(20))
+            .fault_hook(Arc::new(TestHook {
+                delay: Some(Duration::from_millis(5)),
+                ..TestHook::default()
+            }))
+            .run_resilient(&circ);
+        assert_eq!(report.termination, Termination::Deadline);
+        assert!(report.completed < 1000, "deadline must cut the run short");
+        assert_eq!(
+            counts.total(),
+            report.completed,
+            "partial counts well-formed"
+        );
+    }
+
+    #[test]
+    fn fault_counters_are_bit_identical_across_thread_counts() {
+        // Shot-keyed hooks keep the determinism contract: counts AND
+        // fault.* counters agree at 1 vs 8 threads.
+        let circ = dynamic_test_circuit();
+        let run = |threads: usize| {
+            let obs = qobs::Observer::metrics_only();
+            let (counts, _) = Executor::new()
+                .shots(257)
+                .seed(0xFA)
+                .threads(threads)
+                .observer(obs.clone())
+                .fault_hook(Arc::new(TestHook {
+                    flip_measures: true,
+                    panic_odd_shots: true,
+                    ..TestHook::default()
+                }))
+                .run_resilient(&circ);
+            // Counters only: the metrics JSON also holds wall-clock span
+            // histograms, which legitimately differ run to run.
+            let json = obs.metrics().to_json();
+            let start = json.find("\"counters\":{").expect("counters section");
+            let end = start + json[start..].find('}').expect("closing brace");
+            (counts, json[start..=end].to_string())
+        };
+        let (counts1, json1) = run(1);
+        let (counts8, json8) = run(8);
+        assert_eq!(counts1, counts8);
+        assert!(json1.contains("fault.injected.meas-flip"), "{json1}");
+        assert_eq!(json1, json8);
     }
 }

@@ -1,0 +1,177 @@
+//! The executor's fault-injection seam.
+//!
+//! [`FaultHook`] is the narrow interface through which a fault plan (see the
+//! `qfault` crate) perturbs a run: the executor asks the hook, at each named
+//! boundary of the shot loop, whether a structured fault fires for
+//! `(shot, site)`. The executor itself never draws randomness for faults —
+//! a hook is expected to derive its decisions counter-style from its own
+//! seed, so injected runs stay bit-identical across thread counts and
+//! prefix-stable across shot counts, exactly like the noise RNG streams.
+//!
+//! With no hook installed ([`Executor::fault_hook`](crate::Executor::fault_hook)
+//! never called) every site collapses to a single `Option` branch and the
+//! executor behaves bit-identically to a build without this module.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A named boundary of the shot loop where a fault can be injected.
+///
+/// The `site` argument the executor passes alongside a [`FaultSite`] is the
+/// instruction index within the circuit (0 for the per-shot sites
+/// [`FaultSite::ShotPanic`] / [`FaultSite::ShotDelay`], which fire before
+/// any instruction runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// An active reset completes but leaves the qubit in `|1>`.
+    ResetLeak,
+    /// A measurement outcome is flipped after (noise-free or noisy) readout.
+    MeasFlip,
+    /// A classical bit read by a condition is flipped in the register just
+    /// before the condition is evaluated.
+    CcFlip,
+    /// A classical bit read by a condition is lost (forced to 0) just
+    /// before the condition is evaluated.
+    CcLoss,
+    /// A gate whose condition passed is silently dropped.
+    GateDrop,
+    /// A gate whose condition passed is applied twice.
+    GateDup,
+    /// The shot panics before its first instruction.
+    ShotPanic,
+    /// The shot sleeps before its first instruction (exercises deadlines).
+    ShotDelay,
+}
+
+impl FaultSite {
+    /// Every site, in a fixed order (used for salting fault streams).
+    pub const ALL: [FaultSite; 8] = [
+        FaultSite::ResetLeak,
+        FaultSite::MeasFlip,
+        FaultSite::CcFlip,
+        FaultSite::CcLoss,
+        FaultSite::GateDrop,
+        FaultSite::GateDup,
+        FaultSite::ShotPanic,
+        FaultSite::ShotDelay,
+    ];
+
+    /// The site's spec name, as accepted by `dqct --inject`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::ResetLeak => "reset-leak",
+            FaultSite::MeasFlip => "meas-flip",
+            FaultSite::CcFlip => "cc-flip",
+            FaultSite::CcLoss => "cc-loss",
+            FaultSite::GateDrop => "gate-drop",
+            FaultSite::GateDup => "gate-dup",
+            FaultSite::ShotPanic => "panic",
+            FaultSite::ShotDelay => "delay",
+        }
+    }
+
+    /// The qobs counter recording injections at this site.
+    #[must_use]
+    pub fn counter(self) -> &'static str {
+        match self {
+            FaultSite::ResetLeak => "fault.injected.reset-leak",
+            FaultSite::MeasFlip => "fault.injected.meas-flip",
+            FaultSite::CcFlip => "fault.injected.cc-flip",
+            FaultSite::CcLoss => "fault.injected.cc-loss",
+            FaultSite::GateDrop => "fault.injected.gate-drop",
+            FaultSite::GateDup => "fault.injected.gate-dup",
+            FaultSite::ShotPanic => "fault.injected.panic",
+            FaultSite::ShotDelay => "fault.injected.delay",
+        }
+    }
+
+    /// Parses a spec name back into a site (the inverse of
+    /// [`FaultSite::name`]).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The qobs counter recording injected panics that `run_resilient` isolated.
+pub const FAULT_CAUGHT_PANIC: &str = "fault.caught.panic";
+
+/// What happens to a gate whose condition passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GateFate {
+    /// Apply the gate normally.
+    #[default]
+    Execute,
+    /// Drop the gate (its noise channel is skipped too: the gate never ran).
+    Drop,
+    /// Apply the gate twice.
+    Duplicate,
+}
+
+/// A corruption of the classical bits a condition is about to read.
+/// The payload selects which of the condition's read bits (by position in
+/// [`qcir::Condition::bits`] order) is hit; the corruption is applied to the
+/// classical register itself, so later reads of the same bit see it too —
+/// as a dropped or flipped feed-forward message would on hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcFault {
+    /// Flip the selected bit.
+    Flip(usize),
+    /// Lose the selected bit (force it to 0).
+    Lose(usize),
+}
+
+/// Decides, per `(shot, site)`, whether a structured fault fires.
+///
+/// Implementations must be pure functions of their inputs (plus internal
+/// immutable configuration): the executor may consult the same decision
+/// more than once — e.g. [`FaultHook::shot_panic`] is re-queried after a
+/// caught panic to attribute it — and relies on every answer being
+/// identical whatever the thread count or query order. Deriving decisions
+/// from `rand::stream_seed` chains keeps this contract for free.
+pub trait FaultHook: fmt::Debug + Send + Sync {
+    /// Should this shot panic before its first instruction?
+    fn shot_panic(&self, shot: u64) -> bool {
+        let _ = shot;
+        false
+    }
+
+    /// Should this shot stall before its first instruction, and for how long?
+    fn shot_delay(&self, shot: u64) -> Option<Duration> {
+        let _ = shot;
+        None
+    }
+
+    /// Fate of the gate at instruction `site` in this shot (asked only
+    /// after the gate's condition, if any, passed).
+    fn gate_fate(&self, shot: u64, site: usize) -> GateFate {
+        let _ = (shot, site);
+        GateFate::Execute
+    }
+
+    /// Should the reset at instruction `site` leave the qubit in `|1>`?
+    fn reset_leak(&self, shot: u64, site: usize) -> bool {
+        let _ = (shot, site);
+        false
+    }
+
+    /// Should the measurement at instruction `site` record a flipped bit?
+    fn measure_flip(&self, shot: u64, site: usize) -> bool {
+        let _ = (shot, site);
+        false
+    }
+
+    /// Corruption (if any) of the `num_bits` classical bits the condition
+    /// at instruction `site` reads, applied before it is evaluated.
+    fn condition_fault(&self, shot: u64, site: usize, num_bits: usize) -> Option<CcFault> {
+        let _ = (shot, site, num_bits);
+        None
+    }
+}

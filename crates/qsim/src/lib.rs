@@ -42,6 +42,7 @@ pub mod branch;
 mod counts;
 pub mod density;
 mod executor;
+pub mod fault;
 pub mod noise;
 pub mod pauli;
 mod statevector;
@@ -51,6 +52,7 @@ pub use counts::{bitstring, Counts, Distribution};
 pub use density::DensityMatrix;
 pub use executor::Executor;
 pub use executor::{DriftPolicy, RunReport, Termination};
+pub use fault::{CcFault, FaultHook, FaultSite, GateFate};
 pub use noise::{GateNoise, KrausChannel, NoiseError, NoiseModel};
 pub use pauli::{Pauli, PauliString};
 pub use statevector::StateVector;

@@ -31,8 +31,10 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 # Library code in the simulation/transform core must not unwrap: failures
 # there have typed errors (NoiseError, MitigateError, DqcError) or degrade
-# gracefully (run_resilient). Tests and binaries may unwrap freely.
-run cargo clippy -p qsim -p dqc --lib --offline -- -D warnings -D clippy::unwrap_used
+# gracefully (run_resilient). Tests and binaries may unwrap freely. qfault
+# additionally carries a crate-level #![deny(clippy::unwrap_used)] — fault
+# injection code that panics would corrupt the chaos experiments it drives.
+run cargo clippy -p qsim -p dqc -p qfault --lib --offline -- -D warnings -D clippy::unwrap_used
 if [ "$FAST" -eq 0 ]; then
     run cargo build --release --offline
 fi
@@ -82,5 +84,34 @@ if [ "$m1" != "$m8" ]; then
     exit 1
 fi
 echo "    counters identical: $m1"
+
+# Chaos determinism gate: injected faults are scheduled counter-style from
+# (fault_seed, shot, site), never from the shot's own RNG stream, so the
+# fault.injected.* counters — and the shot counts they perturb — must be
+# bit-identical at every worker count. The spec leaves out the delay site
+# (wall-clock only) and sets no budgets, so failed shots are also
+# thread-invariant.
+echo "==> chaos determinism gate: --inject at --threads 1 vs --threads 8"
+chaos_counters() {
+    cargo run -q --offline -p dqct-cli --bin dqct -- \
+        --answer 2 --metrics=json --shots 256 --seed 11 --threads "$1" \
+        --inject 'seed=5,reset-leak=0.2,meas-flip=0.1,cc-flip=0.05,cc-loss=0.05,gate-drop=0.05,gate-dup=0.05,panic=0.02' \
+        <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}'
+}
+f1="$(chaos_counters 1)"
+f8="$(chaos_counters 8)"
+if [ "$f1" != "$f8" ]; then
+    echo "chaos determinism gate FAILED: counters differ between thread counts" >&2
+    diff <(echo "$f1") <(echo "$f8") >&2 || true
+    exit 1
+fi
+case "$f1" in
+*fault.injected.*) ;;
+*)
+    echo "chaos determinism gate FAILED: no fault.injected.* counters in output" >&2
+    exit 1
+    ;;
+esac
+echo "    counters identical: $f1"
 
 echo "==> all checks passed"

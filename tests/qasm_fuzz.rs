@@ -1,0 +1,247 @@
+//! QASM ingestion hardening: property-based round-trips over random dynamic
+//! circuits (including voted conditions) and seeded, deterministic
+//! corruption of well-formed files.
+//!
+//! The corruption loop is the repo's no-dependency stand-in for a fuzzer:
+//! every case derives from a fixed seed, so failures replay exactly. The
+//! contract under test: `from_qasm` never panics — it either returns a
+//! typed one-line error or a circuit that passes `Circuit::validate`.
+
+use proptest::prelude::*;
+use qcir::qasm::{from_qasm, to_qasm};
+use qcir::{Circuit, Clbit, Condition, Gate, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NQ: usize = 4;
+const NC: usize = 6;
+
+/// One random circuit operation, including the dynamic/conditioned forms.
+#[derive(Debug, Clone)]
+enum Op {
+    Gate(Gate, Vec<usize>),
+    Measure(usize, usize),
+    Reset(usize),
+    /// X conditioned on a single bit compared against `value`.
+    BitCond(usize, usize, bool),
+    /// X conditioned on a two-bit register value.
+    RegCond(usize, usize, u64),
+    /// X conditioned on a majority vote over three ballots (plus `value`
+    /// selecting the wanted vote outcome).
+    VotedCond(usize, usize, bool),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let one = (0usize..NQ).prop_flat_map(|q| {
+        prop_oneof![
+            Just(Gate::H),
+            Just(Gate::X),
+            Just(Gate::Z),
+            Just(Gate::S),
+            Just(Gate::T),
+            Just(Gate::V),
+        ]
+        .prop_map(move |g| (g, vec![q]))
+    });
+    let two = (0usize..NQ, 0usize..NQ - 1).prop_map(|(a, b)| {
+        let b = if b >= a { b + 1 } else { b };
+        (Gate::Cx, vec![a, b])
+    });
+    prop_oneof![
+        3 => prop_oneof![one, two].prop_map(|(g, qs)| Op::Gate(g, qs)),
+        2 => (0usize..NQ, 0usize..NC).prop_map(|(q, c)| Op::Measure(q, c)),
+        1 => (0usize..NQ).prop_map(Op::Reset),
+        1 => (0usize..NQ, 0usize..NC, any::<bool>())
+            .prop_map(|(q, c, v)| Op::BitCond(q, c, v)),
+        1 => (0usize..NQ, 0usize..NC - 1, 0u64..4)
+            .prop_map(|(q, c, v)| Op::RegCond(q, c, v)),
+        1 => (0usize..NQ, 0usize..NC - 2, any::<bool>())
+            .prop_map(|(q, c, v)| Op::VotedCond(q, c, v)),
+    ]
+}
+
+fn build(ops: Vec<Op>) -> Circuit {
+    let mut circ = Circuit::new(NQ, NC);
+    for op in ops {
+        match op {
+            Op::Gate(g, qs) => {
+                let qubits: Vec<Qubit> = qs.into_iter().map(Qubit::new).collect();
+                circ.gate(g, &qubits);
+            }
+            Op::Measure(q, c) => {
+                circ.measure(Qubit::new(q), Clbit::new(c));
+            }
+            Op::Reset(q) => {
+                circ.reset(Qubit::new(q));
+            }
+            Op::BitCond(q, c, v) => {
+                let cond = if v {
+                    Condition::bit(Clbit::new(c))
+                } else {
+                    Condition::bit_zero(Clbit::new(c))
+                };
+                circ.gate_if(Gate::X, &[Qubit::new(q)], cond);
+            }
+            Op::RegCond(q, c, v) => {
+                circ.gate_if(
+                    Gate::X,
+                    &[Qubit::new(q)],
+                    Condition::register(vec![Clbit::new(c), Clbit::new(c + 1)], v),
+                );
+            }
+            Op::VotedCond(q, c, v) => {
+                circ.gate_if(
+                    Gate::X,
+                    &[Qubit::new(q)],
+                    Condition::voted(
+                        vec![vec![Clbit::new(c), Clbit::new(c + 1), Clbit::new(c + 2)]],
+                        u64::from(v),
+                    ),
+                );
+            }
+        }
+    }
+    circ
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_dynamic_circuits_round_trip(ops in proptest::collection::vec(arb_op(), 0..30)) {
+        let circ = build(ops);
+        prop_assert!(circ.validate().is_ok());
+        let text = to_qasm(&circ);
+        let parsed = from_qasm(&text).expect("serialized circuit must parse");
+        prop_assert_eq!(parsed.instructions(), circ.instructions());
+        prop_assert_eq!(parsed.num_qubits(), circ.num_qubits());
+        prop_assert!(parsed.validate().is_ok());
+    }
+}
+
+/// A representative dynamic-circuit QASM file used as corruption fodder:
+/// declarations, gates, measurement assignment, reset, bit / register /
+/// voted conditions.
+fn corruption_fodder() -> String {
+    let mut circ = Circuit::new(3, 5);
+    circ.h(Qubit::new(0));
+    circ.measure(Qubit::new(0), Clbit::new(0));
+    circ.measure(Qubit::new(0), Clbit::new(1));
+    circ.measure(Qubit::new(0), Clbit::new(2));
+    circ.gate_if(
+        Gate::X,
+        &[Qubit::new(1)],
+        Condition::voted(vec![vec![Clbit::new(0), Clbit::new(1), Clbit::new(2)]], 1),
+    );
+    circ.reset(Qubit::new(0));
+    circ.gate(Gate::Cx, &[Qubit::new(1), Qubit::new(2)]);
+    circ.measure(Qubit::new(2), Clbit::new(3));
+    circ.gate_if(
+        Gate::H,
+        &[Qubit::new(2)],
+        Condition::register(vec![Clbit::new(3), Clbit::new(4)], 0b01),
+    );
+    to_qasm(&circ)
+}
+
+/// Applies one seeded mutation to the text, staying valid UTF-8.
+fn mutate(text: &str, rng: &mut StdRng) -> String {
+    let printable = |rng: &mut StdRng| (rng.gen_range(0x20u64..0x7f) as u8) as char;
+    let mut s: Vec<char> = text.chars().collect();
+    match rng.gen_range(0u64..6) {
+        0 if !s.is_empty() => {
+            // Replace one character.
+            let i = rng.gen_range(0..s.len() as u64) as usize;
+            s[i] = printable(rng);
+        }
+        1 if !s.is_empty() => {
+            // Delete one character.
+            let i = rng.gen_range(0..s.len() as u64) as usize;
+            s.remove(i);
+        }
+        2 => {
+            // Insert one character.
+            let i = rng.gen_range(0..(s.len() as u64 + 1)) as usize;
+            let ch = printable(rng);
+            s.insert(i, ch);
+        }
+        3 if !s.is_empty() => {
+            // Truncate.
+            let i = rng.gen_range(0..s.len() as u64) as usize;
+            s.truncate(i);
+        }
+        4 => {
+            // Duplicate a random line in place.
+            let lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let i = rng.gen_range(0..lines.len() as u64) as usize;
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                out.extend_from_slice(&lines[..=i]);
+                out.extend_from_slice(&lines[i..]);
+                return out.join("\n");
+            }
+        }
+        _ => {
+            // Splice a digit into a random position (targets indices/sizes).
+            let i = rng.gen_range(0..(s.len() as u64 + 1)) as usize;
+            let d = char::from(b'0' + rng.gen_range(0u64..10) as u8);
+            s.insert(i, d);
+        }
+    }
+    s.into_iter().collect()
+}
+
+#[test]
+fn seeded_corruption_never_panics_the_parser() {
+    let fodder = corruption_fodder();
+    assert!(from_qasm(&fodder).is_ok(), "fodder must start valid");
+    let mut rejected = 0u32;
+    for seed in 0u64..400 {
+        let mut rng = StdRng::seed_from_u64(0x51ED_F00D ^ seed);
+        let mut garbled = fodder.clone();
+        let rounds = 1 + rng.gen_range(0u64..3);
+        for _ in 0..rounds {
+            garbled = mutate(&garbled, &mut rng);
+        }
+        match from_qasm(&garbled) {
+            Ok(circ) => {
+                // A mutation that still parses must yield a well-formed
+                // circuit — corruption must never smuggle invalid structure
+                // past the ingestion boundary.
+                assert!(
+                    circ.validate().is_ok(),
+                    "seed {seed}: parsed circuit fails validate:\n{garbled}"
+                );
+            }
+            Err(e) => {
+                rejected += 1;
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "seed {seed}: empty error");
+                assert!(!msg.contains('\n'), "seed {seed}: multi-line error: {msg}");
+            }
+        }
+    }
+    // Sanity: the mutator is actually producing malformed files.
+    assert!(rejected > 100, "only {rejected}/400 cases rejected");
+}
+
+#[test]
+fn hand_picked_garbles_yield_typed_errors() {
+    let cases = [
+        "qubit[2] q;\ncx q[0];\n",
+        "qubit[2] q;\ncx q[0], q[0];\n",
+        "qubit[2] q;\nbit[1] c;\nif (c[0] == 1) { barrier q[0], q[1]; }\n",
+        "qubit[2] q;\nctrl(0) @ x q[0], q[1];\n",
+        "qubit[999999999] q;\n",
+        "qubit[2] q;\nbit[3] c;\nif (c[0] + c[1] >= 2) { x q[0]; }\n",
+        "qubit[2] q;\nbit[3] c;\nif (c[0] + c[1] + c[2] >= 1) { x q[0]; }\n",
+        "qubit[1] q;\nbit[1] c;\nif (c[0] == 1) { x q[0];\n",
+        "qubit[1] q;\nh q[5];\n",
+        "qubit[1] q;\nbit[1] c;\nc[7] = measure q[0];\n",
+    ];
+    for qasm in cases {
+        let err = from_qasm(qasm).expect_err(qasm);
+        let msg = err.to_string();
+        assert!(!msg.is_empty() && !msg.contains('\n'), "{qasm}: {msg}");
+    }
+}
