@@ -1,0 +1,375 @@
+//! perf_baseline — the repo's performance trajectory, one JSON document at
+//! a time.
+//!
+//! Runs the paper's representative workloads (a BV instance, a DJ oracle,
+//! 3-qubit Grover and CARRY, all under dynamic-2) through the traced
+//! pipeline and shot executor across a shots × threads sweep, and emits a
+//! schema-stable `perf_baseline/v1` JSON document: per-phase wall times,
+//! shots/sec, gate-apply histogram summaries and the disabled-tracing
+//! overhead measurement. The committed `BENCH_perf_baseline.json` at the
+//! repo root is the first point of that trajectory; regenerate it with
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_baseline > BENCH_perf_baseline.json
+//! ```
+//!
+//! `--check PATH` is the CI gate: it re-runs a quick profile, fails loudly
+//! when a pipeline phase goes missing from the fresh run, when the
+//! committed document has structurally drifted from the current schema, or
+//! when the disabled-tracing fast path regresses past the per-call budget.
+//! Timing *values* are machine-dependent and deliberately not compared.
+
+use bench::args;
+use dqc::{DynamicScheme, Pipeline, QubitRoles};
+use qalgo::suites::{toffoli_free_suite, toffoli_suite};
+use qalgo::{grover_circuit, optimal_iterations};
+use qcir::Circuit;
+use qobs::json::JsonWriter;
+use qobs::{Metric, Observer, Tracer};
+use qsim::Executor;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Disabled-tracing budget: `Tracer::is_enabled` + `Tracer::shot_local`
+/// must average under this many nanoseconds per call. The real cost is a
+/// branch on an `Option` (single-digit ns); the budget is generous so only
+/// a structural regression (a lock or allocation sneaking onto the
+/// disabled path) trips it, not a noisy neighbour.
+const DISABLED_NS_PER_CALL_BUDGET: f64 = 50.0;
+
+/// Calls per overhead measurement; large enough to amortize timer noise.
+const OVERHEAD_CALLS: u64 = 2_000_000;
+
+/// Phase keys every run must carry; `--check` fails when one goes missing.
+const PHASE_KEYS: [&str; 5] = [
+    "transform_ms",
+    "verify_ms",
+    "account_ms",
+    "simulate_ms",
+    "total_ms",
+];
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(summary) => {
+            eprintln!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("perf_baseline: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<String, String> {
+    let seed = args::value("--seed").unwrap_or(7u64);
+    if let Some(path) = args::value::<String>("--check") {
+        return check(&path, seed);
+    }
+    let shots_list = list_flag("--shots-list", &[256, 1024]);
+    let threads_list: Vec<usize> = list_flag("--threads-list", &[1, 2])
+        .into_iter()
+        .map(|n| (n as usize).max(1))
+        .collect();
+    let rows = profile(&shots_list, &threads_list, seed)?;
+    let doc = render(&rows, seed, measure_disabled_overhead());
+    match args::value::<String>("--out") {
+        Some(path) => {
+            std::fs::write(&path, &doc).map_err(|e| format!("cannot write '{path}': {e}"))?;
+            Ok(format!(
+                "perf_baseline: wrote {} runs to {path}",
+                rows.len()
+            ))
+        }
+        None => {
+            println!("{doc}");
+            Ok(format!("perf_baseline: {} runs", rows.len()))
+        }
+    }
+}
+
+/// The representative workload set: one Toffoli-free row per family plus
+/// the deepest Toffoli row, everything the committed baseline tracks.
+fn workloads() -> Vec<(String, Circuit, QubitRoles)> {
+    let mut out = Vec::new();
+    for wanted in ["BV_110", "DJ_XOR"] {
+        let b = toffoli_free_suite()
+            .into_iter()
+            .find(|b| b.name == wanted)
+            .expect("Table I suite contains its own rows");
+        out.push((b.name, b.circuit, b.roles));
+    }
+    let grover = grover_circuit(0b101, 3, optimal_iterations(3));
+    let roles = QubitRoles::data_plus_answer(grover.num_qubits());
+    out.push(("GROVER_3".to_string(), grover, roles));
+    let carry = toffoli_suite()
+        .into_iter()
+        .find(|b| b.name == "CARRY")
+        .expect("CARRY is in the Toffoli suite");
+    out.push((carry.name, carry.circuit, carry.roles));
+    out
+}
+
+/// One profiled configuration.
+struct RunRow {
+    workload: String,
+    shots: u64,
+    threads: usize,
+    /// `(key, milliseconds)` in [`PHASE_KEYS`] order.
+    phases: Vec<(&'static str, f64)>,
+    shots_per_sec: f64,
+    completed: u64,
+    termination: String,
+    /// `(gate kind, observations, mean ns)` from the traced apply path.
+    apply: Vec<(String, u64, f64)>,
+}
+
+fn profile(shots_list: &[u64], threads_list: &[usize], seed: u64) -> Result<Vec<RunRow>, String> {
+    let mut rows = Vec::new();
+    for (name, circuit, roles) in workloads() {
+        for &shots in shots_list {
+            for &threads in threads_list {
+                rows.push(run_one(&name, &circuit, &roles, shots, threads, seed)?);
+            }
+        }
+    }
+    Ok(rows)
+}
+
+fn run_one(
+    name: &str,
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    shots: u64,
+    threads: usize,
+    seed: u64,
+) -> Result<RunRow, String> {
+    // A fresh observer + wall-clock tracer per configuration: the phase
+    // histograms then hold exactly this run, and the traced apply path
+    // feeds the per-gate-kind summaries.
+    let obs = Observer::metrics_only();
+    let tracer = Tracer::wall();
+    let total_start = Instant::now();
+    let result = Pipeline::new()
+        .scheme(DynamicScheme::Dynamic2)
+        .observer(obs.clone())
+        .tracer(tracer.clone())
+        .run(circuit, roles)
+        .map_err(|e| format!("{name}: {e}"))?;
+    let exec = Executor::new()
+        .shots(shots)
+        .seed(seed)
+        .threads(threads)
+        .observer(obs.clone())
+        .tracer(tracer.clone());
+    let sim_start = Instant::now();
+    let (_counts, report) = exec.run_resilient(result.dynamic.circuit());
+    let simulate_ms = sim_start.elapsed().as_secs_f64() * 1e3;
+    let total_ms = total_start.elapsed().as_secs_f64() * 1e3;
+    let hist_ms = |key: &str| {
+        obs.metrics()
+            .histogram(key)
+            .map_or(0.0, |h| h.sum as f64 / 1e6)
+    };
+    let phases = vec![
+        ("transform_ms", hist_ms("pipeline.transform_ns")),
+        ("verify_ms", hist_ms("pipeline.verify_ns")),
+        ("account_ms", hist_ms("pipeline.account_ns")),
+        ("simulate_ms", simulate_ms),
+        ("total_ms", total_ms),
+    ];
+    // Missing instrumentation is a structural failure, not a slow run.
+    for probe in [
+        "pipeline.transform_ns",
+        "pipeline.verify_ns",
+        "executor.run_resilient_ns",
+    ] {
+        if obs.metrics().histogram(probe).is_none() {
+            return Err(format!(
+                "{name}: phase histogram '{probe}' missing — instrumentation regressed"
+            ));
+        }
+    }
+    let apply: Vec<(String, u64, f64)> = obs
+        .metrics()
+        .snapshot()
+        .into_iter()
+        .filter_map(|(k, m)| {
+            let kind = k.strip_prefix("executor.apply.")?.strip_suffix("_ns")?;
+            match m {
+                Metric::Histogram(h) => Some((kind.to_string(), h.count, h.mean())),
+                _ => None,
+            }
+        })
+        .collect();
+    if apply.is_empty() {
+        return Err(format!(
+            "{name}: no executor.apply.*_ns histograms — the traced apply path regressed"
+        ));
+    }
+    Ok(RunRow {
+        workload: name.to_string(),
+        shots,
+        threads,
+        phases,
+        shots_per_sec: report.completed as f64 / (simulate_ms / 1e3).max(f64::MIN_POSITIVE),
+        completed: report.completed,
+        termination: report.termination.to_string(),
+        apply,
+    })
+}
+
+/// Times the disabled-tracing fast path: the per-call average over
+/// [`OVERHEAD_CALLS`] `is_enabled` + `shot_local` pairs, through
+/// `black_box` so the branch is not optimized away.
+fn measure_disabled_overhead() -> (f64, u64) {
+    let tracer = Tracer::disabled();
+    let iters = OVERHEAD_CALLS / 2;
+    let start = Instant::now();
+    for i in 0..iters {
+        let t = std::hint::black_box(&tracer);
+        std::hint::black_box(t.is_enabled());
+        std::hint::black_box(t.shot_local(i));
+    }
+    let ns = start.elapsed().as_nanos() as f64;
+    (ns / OVERHEAD_CALLS as f64, OVERHEAD_CALLS)
+}
+
+fn render(rows: &[RunRow], seed: u64, overhead: (f64, u64)) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("perf_baseline/v1");
+    w.key("scheme");
+    w.string("dynamic2");
+    w.key("seed");
+    w.uint(seed);
+    w.key("host_cores");
+    w.uint(std::thread::available_parallelism().map_or(1, |n| n.get() as u64));
+    w.key("workloads");
+    w.begin_array();
+    for (name, _, _) in workloads() {
+        w.string(&name);
+    }
+    w.end_array();
+    w.key("runs");
+    w.begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("workload");
+        w.string(&r.workload);
+        w.key("shots");
+        w.uint(r.shots);
+        w.key("threads");
+        w.uint(r.threads as u64);
+        w.key("phases");
+        w.begin_object();
+        for (key, ms) in &r.phases {
+            w.key(key);
+            w.float(*ms);
+        }
+        w.end_object();
+        w.key("shots_per_sec");
+        w.float(r.shots_per_sec);
+        w.key("completed");
+        w.uint(r.completed);
+        w.key("termination");
+        w.string(&r.termination);
+        w.key("apply_ns");
+        w.begin_object();
+        for (kind, count, mean) in &r.apply {
+            w.key(kind);
+            w.begin_object();
+            w.key("count");
+            w.uint(*count);
+            w.key("mean_ns");
+            w.float(*mean);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("overhead");
+    w.begin_object();
+    w.key("disabled_ns_per_call");
+    w.float(overhead.0);
+    w.key("calls");
+    w.uint(overhead.1);
+    w.end_object();
+    w.end_object();
+    let mut doc = w.finish();
+    doc.push('\n');
+    doc
+}
+
+/// The `--check PATH` gate: quick fresh profile + structural comparison
+/// against the committed baseline + disabled-overhead budget.
+fn check(path: &str, seed: u64) -> Result<String, String> {
+    let committed =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline '{path}': {e}"))?;
+    qobs::json::validate(&committed)
+        .map_err(|e| format!("baseline '{path}' is not valid JSON: {e}"))?;
+    if !committed.contains("\"schema\":\"perf_baseline/v1\"") {
+        return Err(format!(
+            "baseline '{path}' does not declare schema perf_baseline/v1 — regenerate it"
+        ));
+    }
+    // Structural drift: every current workload and phase key must appear in
+    // the committed document, as must the overhead section.
+    for (name, _, _) in workloads() {
+        if !committed.contains(&format!("\"workload\":\"{name}\"")) {
+            return Err(format!(
+                "baseline '{path}' is missing workload '{name}' — regenerate it"
+            ));
+        }
+    }
+    for key in PHASE_KEYS {
+        if !committed.contains(&format!("\"{key}\":")) {
+            return Err(format!(
+                "baseline '{path}' is missing phase key '{key}' — regenerate it"
+            ));
+        }
+    }
+    if !committed.contains("\"disabled_ns_per_call\":") {
+        return Err(format!(
+            "baseline '{path}' is missing the overhead section — regenerate it"
+        ));
+    }
+    // Fresh quick profile: run_one fails on any missing phase histogram or
+    // empty apply path, so instrumentation regressions surface here.
+    let rows = profile(&[64], &[1], seed)?;
+    for r in &rows {
+        if r.termination != "completed" {
+            return Err(format!(
+                "quick profile of '{}' terminated '{}' instead of completing",
+                r.workload, r.termination
+            ));
+        }
+    }
+    let (ns_per_call, calls) = measure_disabled_overhead();
+    if ns_per_call > DISABLED_NS_PER_CALL_BUDGET {
+        return Err(format!(
+            "disabled tracing costs {ns_per_call:.1} ns/call over {calls} calls \
+             (budget {DISABLED_NS_PER_CALL_BUDGET} ns) — the disabled path must \
+             stay one branch on a static"
+        ));
+    }
+    Ok(format!(
+        "perf-baseline: OK ({} quick runs, disabled tracing {ns_per_call:.1} ns/call)",
+        rows.len()
+    ))
+}
+
+/// `--flag 1,2,4` → the parsed list, or `default` when absent/empty.
+fn list_flag(flag: &str, default: &[u64]) -> Vec<u64> {
+    let parsed: Vec<u64> = args::value::<String>(flag)
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
+}

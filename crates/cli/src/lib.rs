@@ -8,6 +8,7 @@
 //! ```text
 //! dqct --data 0,1 --answer 2 [--ancilla 3,4] [--scheme direct|dynamic1|dynamic2]
 //!      [--verify] [--stats] [--ascii] [--metrics[=json|text]]
+//!      [--metrics-out PATH] [--trace PATH] [--trace-clock wall|test]
 //!      [--mitigate=reset-verify[,meas-repeat=R][,readout-cal]] [--noise S]
 //!      [--deadline-ms N] [--max-failed K] [--inject SPEC]
 //!      [--shots N] [--seed N] [--input FILE | FILE]
@@ -20,7 +21,7 @@ use dqc::{
 use qcir::qasm::{from_qasm, to_qasm};
 use qcir::Qubit;
 use qfault::FaultPlan;
-use qobs::Observer;
+use qobs::{ClockMode, Observer, Tracer};
 use qsim::{Executor, NoiseModel};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -55,7 +56,22 @@ pub struct CliOptions {
     /// Run the static exactness analysis and report the verdict.
     pub analyze: bool,
     /// Collect and print pipeline + simulation metrics.
+    ///
+    /// `--metrics=json` is kept as a deprecated alias for `--metrics-out -`;
+    /// prefer `--metrics-out` so machine-readable output never competes with
+    /// the QASM on stdout.
     pub metrics: Option<MetricsFormat>,
+    /// Write the metrics JSON document to this path (`-` = stdout, in which
+    /// case the document replaces the QASM output).
+    pub metrics_out: Option<String>,
+    /// Write a Chrome trace-event JSON file of the run to this path
+    /// (`-` = stdout, in which case the trace replaces the QASM output).
+    /// Implies the instrumented simulation even without `--metrics`.
+    pub trace: Option<String>,
+    /// Clock for `--trace`: `wall` for real timings, `test` for the
+    /// deterministic virtual clock (byte-identical traces at any
+    /// `--threads` value).
+    pub trace_clock: ClockMode,
     /// Shots for the metrics-mode simulation of the dynamic circuit.
     pub shots: u64,
     /// RNG seed for the metrics-mode simulation (fixed for reproducibility).
@@ -91,6 +107,9 @@ impl Default for CliOptions {
             ascii: false,
             analyze: false,
             metrics: None,
+            metrics_out: None,
+            trace: None,
+            trace_clock: ClockMode::Wall,
             shots: 1024,
             seed: 7,
             threads: None,
@@ -132,6 +151,20 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--stats" => opts.stats = true,
             "--ascii" => opts.ascii = true,
             "--metrics" => opts.metrics = Some(MetricsFormat::Text),
+            "--metrics-out" => {
+                let v = it
+                    .next()
+                    .ok_or("--metrics-out needs a path ('-' for stdout)")?;
+                opts.metrics_out = Some(v.clone());
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a path ('-' for stdout)")?;
+                opts.trace = Some(v.clone());
+            }
+            "--trace-clock" => {
+                let v = it.next().ok_or("--trace-clock needs 'wall' or 'test'")?;
+                opts.trace_clock = parse_clock(v)?;
+            }
             "--shots" => {
                 let v = it.next().ok_or("--shots needs a value")?;
                 opts.shots = v
@@ -200,6 +233,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 } else if let Some(spec) = other.strip_prefix("--inject=") {
                     opts.inject =
                         Some(FaultPlan::parse(spec).map_err(|e| format!("--inject: {e}"))?);
+                } else if let Some(path) = other.strip_prefix("--metrics-out=") {
+                    opts.metrics_out = Some(path.to_string());
+                } else if let Some(clock) = other.strip_prefix("--trace-clock=") {
+                    opts.trace_clock = parse_clock(clock)?;
+                } else if let Some(path) = other.strip_prefix("--trace=") {
+                    opts.trace = Some(path.to_string());
                 } else if let Some(fmt) = other.strip_prefix("--metrics=") {
                     opts.metrics = Some(match fmt {
                         "json" => MetricsFormat::Json,
@@ -229,13 +268,39 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 .to_string(),
         );
     }
-    if opts.inject.is_some() && opts.metrics.is_none() {
+    if opts.inject.is_some()
+        && opts.metrics.is_none()
+        && opts.metrics_out.is_none()
+        && opts.trace.is_none()
+    {
         return Err(
-            "--inject needs --metrics (faults are injected into the metrics-mode simulation)"
+            "--inject needs --metrics, --metrics-out or --trace (faults are injected \
+             into the instrumented simulation)"
+                .to_string(),
+        );
+    }
+    // stdout carries exactly one document; reject competing claims up front.
+    let stdout_claims = usize::from(opts.metrics == Some(MetricsFormat::Json))
+        + usize::from(opts.metrics_out.as_deref() == Some("-"))
+        + usize::from(opts.trace.as_deref() == Some("-"));
+    if stdout_claims > 1 {
+        return Err(
+            "at most one of --metrics=json, --metrics-out - and --trace - may write \
+             to stdout; send the others to files"
                 .to_string(),
         );
     }
     Ok(opts)
+}
+
+fn parse_clock(v: &str) -> Result<ClockMode, String> {
+    match v {
+        "wall" => Ok(ClockMode::Wall),
+        "test" => Ok(ClockMode::Test),
+        other => Err(format!(
+            "--trace-clock: unknown clock '{other}' (expected 'wall' or 'test')"
+        )),
+    }
 }
 
 fn parse_list(value: Option<&String>, flag: &str) -> Result<Vec<usize>, String> {
@@ -256,7 +321,8 @@ pub fn usage() -> String {
     "usage: dqct --answer <i,j,...> [--data <i,...>] [--ancilla <i,...>]\n\
      \x20           [--scheme direct|dynamic1|dynamic2] [--verify] [--analyze]\n\
      \x20           [--stats] [--metrics[=json|text]] [--shots N] [--seed N]\n\
-     \x20           [--threads N] [--ascii]\n\
+     \x20           [--threads N] [--ascii] [--metrics-out PATH]\n\
+     \x20           [--trace PATH] [--trace-clock wall|test]\n\
      \x20           [--mitigate reset-verify[=K],meas-repeat=R,readout-cal]\n\
      \x20           [--noise S] [--deadline-ms N] [--max-failed K]\n\
      \x20           [--inject seed=N,<site>=<rate>,...,delay-ms=N]\n\
@@ -267,6 +333,15 @@ pub fn usage() -> String {
      simulation of the dynamic circuit, then prints the collected\n\
      counters, gauges and timing histograms ('json' prints one JSON\n\
      document instead of QASM; 'text' appends '//'-prefixed lines).\n\
+     --metrics-out writes the metrics JSON document to PATH ('-' for\n\
+     stdout) so it never interleaves with the QASM; --metrics=json is a\n\
+     deprecated alias for --metrics-out -.\n\
+     --trace writes a Chrome trace-event JSON file ('-' for stdout) of\n\
+     the run — pipeline phases, per-shot spans, measure/reset/condition\n\
+     sub-spans and fault instants — loadable in Perfetto or\n\
+     chrome://tracing. --trace-clock test swaps the wall clock for a\n\
+     deterministic virtual clock: traces become byte-identical for\n\
+     every --threads value.\n\
      --threads sets the shot executor's worker count (default: all\n\
      cores); per-shot RNG streams keep seeded counts bit-identical\n\
      for every thread count.\n\
@@ -309,11 +384,25 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         opts.ancilla.iter().map(|&i| Qubit::new(i)).collect(),
         opts.answer.iter().map(|&i| Qubit::new(i)).collect(),
     );
-    let obs = if opts.metrics.is_some() {
+    // Tracing or metrics output of any kind runs the instrumented pipeline
+    // plus a seeded simulation of the dynamic circuit.
+    let wants_sim = opts.metrics.is_some() || opts.metrics_out.is_some() || opts.trace.is_some();
+    let obs = if wants_sim {
         Observer::metrics_only()
     } else {
         Observer::disabled()
     };
+    let tracer = if opts.trace.is_some() {
+        Tracer::enabled(opts.trace_clock)
+    } else {
+        Tracer::disabled()
+    };
+    // Pipeline-phase spans ride on the trace's top lane. On an error return
+    // the open span is simply dropped — no trace file is written then.
+    let mut phases = tracer.top_local();
+    if let Some(t) = phases.as_mut() {
+        t.begin("pipeline.transform");
+    }
     let dynamic = transform_with_scheme_observed(
         &circuit,
         &roles,
@@ -332,6 +421,9 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
     let hardened = mitigated
         .as_ref()
         .map_or(dynamic.circuit(), |m| m.circuit());
+    if let Some(t) = phases.as_mut() {
+        t.end();
+    }
     let noise = match opts.noise {
         Some(scale) => Some(NoiseModel::try_device_like(scale).map_err(|e| e.to_string())?),
         None => None,
@@ -381,14 +473,25 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         }
     }
     if opts.verify {
+        if let Some(t) = phases.as_mut() {
+            t.begin("pipeline.verify");
+        }
         let report = verify::compare_observed(&circuit, &roles, &dynamic, &obs);
+        if let Some(t) = phases.as_mut() {
+            t.end();
+        }
         let _ = writeln!(
             out,
             "// verify: tvd = {:.6}, expected outcome '{}' p_tradi = {:.4} p_dyn = {:.4}",
             report.tvd, report.expected_outcome, report.p_traditional, report.p_dynamic
         );
     }
-    if let Some(format) = opts.metrics {
+    // Phase spans are submitted before the simulation so the merged trace
+    // always reads pipeline-first, executor-second.
+    if let Some(t) = phases.take() {
+        tracer.submit(t.into_events());
+    }
+    if wants_sim {
         // Run the (possibly hardened) dynamic circuit through the shot
         // executor under the same observer, so simulation counters land next
         // to the transform spans. The resilient entry point returns partial
@@ -396,7 +499,8 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         let mut exec = Executor::new()
             .shots(opts.shots)
             .seed(opts.seed)
-            .observer(obs.clone());
+            .observer(obs.clone())
+            .tracer(tracer.clone());
         if let Some(threads) = opts.threads {
             exec = exec.threads(threads);
         }
@@ -451,21 +555,57 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
                 ));
             }
         }
-        match format {
-            MetricsFormat::Json => {
-                // Machine-readable mode: the output is exactly one JSON
-                // document.
-                let mut json = obs.metrics().to_json();
-                json.push('\n');
-                return Ok(json);
+        // Side-channel documents first (files never compete with stdout),
+        // then at most one stdout claimant — parse_args enforced that.
+        let metrics_json = {
+            let mut json = obs.metrics().to_json();
+            json.push('\n');
+            json
+        };
+        if let Some(path) = &opts.metrics_out {
+            if path != "-" {
+                std::fs::write(path, &metrics_json)
+                    .map_err(|e| format!("--metrics-out: cannot write '{path}': {e}"))?;
             }
-            MetricsFormat::Text => {
+        }
+        let mut trace_doc = None;
+        if let Some(path) = &opts.trace {
+            let mut json = tracer.export_chrome();
+            json.push('\n');
+            if path == "-" {
+                trace_doc = Some(json);
+            } else {
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("--trace: cannot write '{path}': {e}"))?;
+            }
+        }
+        if let Some(doc) = trace_doc {
+            return Ok(doc);
+        }
+        if opts.metrics_out.as_deref() == Some("-") {
+            return Ok(metrics_json);
+        }
+        match opts.metrics {
+            Some(MetricsFormat::Json) => {
+                // Deprecated alias for `--metrics-out -`: the output is
+                // exactly one JSON document.
+                return Ok(metrics_json);
+            }
+            Some(MetricsFormat::Text) => {
                 for line in run_lines {
                     let _ = writeln!(out, "// {line}");
                 }
                 for line in obs.metrics().to_text().lines() {
                     let _ = writeln!(out, "// {line}");
                 }
+            }
+            None => {}
+        }
+        if opts.trace.as_deref().is_some_and(|p| p != "-") {
+            // A compact profile next to the QASM when the full trace went to
+            // a file: top spans by total time, then instant counts.
+            for line in tracer.summary(8).lines() {
+                let _ = writeln!(out, "// {line}");
             }
         }
     }
@@ -715,6 +855,128 @@ h q[1];
         assert!(one.contains("\"fault.injected.meas-flip\""), "{one}");
         assert!(one.contains("\"fault.injected.reset-leak\""), "{one}");
         assert_eq!(counters("8"), one);
+    }
+
+    #[test]
+    fn trace_and_metrics_out_flags_parse_all_forms() {
+        let o = parse_args(&args(
+            "--answer 2 --trace out.json --trace-clock test --metrics-out m.json",
+        ))
+        .unwrap();
+        assert_eq!(o.trace.as_deref(), Some("out.json"));
+        assert_eq!(o.trace_clock, ClockMode::Test);
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        // `=` forms and the stdout sentinel.
+        let eq = parse_args(&args("--answer 2 --trace=- --trace-clock=wall")).unwrap();
+        assert_eq!(eq.trace.as_deref(), Some("-"));
+        assert_eq!(eq.trace_clock, ClockMode::Wall);
+        let err = parse_args(&args("--answer 2 --trace-clock sundial")).unwrap_err();
+        assert!(err.contains("expected 'wall' or 'test'"), "{err}");
+        // The default clock is wall.
+        assert_eq!(
+            parse_args(&args("--answer 2")).unwrap().trace_clock,
+            ClockMode::Wall
+        );
+    }
+
+    #[test]
+    fn stdout_can_only_be_claimed_once() {
+        let err = parse_args(&args("--answer 2 --metrics=json --trace -")).unwrap_err();
+        assert!(err.contains("at most one"), "{err}");
+        let err = parse_args(&args("--answer 2 --metrics-out - --trace=-")).unwrap_err();
+        assert!(err.contains("at most one"), "{err}");
+        // One claimant plus file sinks is fine.
+        assert!(parse_args(&args("--answer 2 --metrics=json --trace t.json")).is_ok());
+    }
+
+    #[test]
+    fn inject_is_satisfied_by_any_instrumented_mode() {
+        assert!(parse_args(&args("--answer 2 --trace=- --inject meas-flip=0.1")).is_ok());
+        assert!(parse_args(&args(
+            "--answer 2 --metrics-out m.json --inject meas-flip=0.1"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn trace_to_stdout_is_one_chrome_trace_document() {
+        let opts = parse_args(&args(
+            "--answer 2 --trace - --trace-clock test --shots 16 --seed 3",
+        ))
+        .unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        qobs::json::validate(&out).expect("trace must be valid JSON");
+        assert!(out.trim_start().starts_with('['), "{out}");
+        assert!(!out.contains("OPENQASM"), "trace replaces the QASM: {out}");
+        for needle in [
+            "\"pipeline.transform\"",
+            "\"shot\"",
+            "\"measure\"",
+            "\"executor.run_resilient\"",
+            "\"executor.run_end\"",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+    }
+
+    #[test]
+    fn trace_file_is_byte_identical_across_thread_counts() {
+        let dir = std::env::temp_dir();
+        let trace_for = |threads: u32| {
+            let path = dir.join(format!("dqct_trace_{}_{threads}.json", std::process::id()));
+            let opts = parse_args(&args(&format!(
+                "--answer 2 --trace {} --trace-clock test --shots 64 --seed 9 \
+                 --threads {threads} --verify",
+                path.display()
+            )))
+            .unwrap();
+            let out = run(BV_QASM, &opts).unwrap();
+            // QASM still owns stdout when the trace goes to a file, with a
+            // compact summary appended as comments.
+            assert!(out.contains("OPENQASM"), "{out}");
+            assert!(out.contains("// "), "{out}");
+            let doc = std::fs::read_to_string(&path).expect("trace file written");
+            let _ = std::fs::remove_file(&path);
+            doc
+        };
+        let one = trace_for(1);
+        qobs::json::validate(&one).expect("trace must be valid JSON");
+        assert!(one.contains("\"pipeline.verify\""), "{one}");
+        assert_eq!(
+            trace_for(8),
+            one,
+            "test-clock traces must not depend on --threads"
+        );
+    }
+
+    #[test]
+    fn metrics_out_writes_the_document_beside_the_qasm() {
+        let path = std::env::temp_dir().join(format!("dqct_metrics_{}.json", std::process::id()));
+        let opts = parse_args(&args(&format!(
+            "--answer 2 --metrics-out {} --shots 32 --seed 3",
+            path.display()
+        )))
+        .unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        assert!(out.contains("OPENQASM"), "QASM stays on stdout: {out}");
+        let doc = std::fs::read_to_string(&path).expect("metrics file written");
+        let _ = std::fs::remove_file(&path);
+        qobs::json::validate(&doc).expect("metrics must be valid JSON");
+        assert!(doc.contains("\"executor.shots\":32"), "{doc}");
+    }
+
+    #[test]
+    fn metrics_out_stdout_matches_the_deprecated_alias() {
+        let new = parse_args(&args("--answer 2 --metrics-out - --shots 32 --seed 3")).unwrap();
+        let old = parse_args(&args("--answer 2 --metrics=json --shots 32 --seed 3")).unwrap();
+        let (a, b) = (run(BV_QASM, &new).unwrap(), run(BV_QASM, &old).unwrap());
+        let counters = |s: &str| {
+            let start = s.find("\"counters\"").unwrap();
+            let end = s.find("\"gauges\"").unwrap();
+            s[start..end].to_string()
+        };
+        assert_eq!(counters(&a), counters(&b));
+        assert!(!a.contains("OPENQASM"), "{a}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::scheme::{transform_with_scheme_observed, DynamicScheme};
 use crate::transform::{DynamicCircuit, TransformOptions};
 use crate::verify::{self, EquivalenceReport};
 use qcir::Circuit;
-use qobs::Observer;
+use qobs::{Observer, Tracer};
 use std::fmt;
 
 /// A configured transform-verify-account pipeline.
@@ -43,6 +43,7 @@ pub struct Pipeline {
     options: TransformOptions,
     compare_answers: bool,
     observer: Observer,
+    tracer: Tracer,
 }
 
 impl Default for Pipeline {
@@ -61,6 +62,7 @@ impl Pipeline {
             options: TransformOptions::default(),
             compare_answers: false,
             observer: Observer::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -100,6 +102,20 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a tracing handle: every stage of [`Pipeline::run`] records
+    /// a phase span (`pipeline.transform`, `pipeline.verify`,
+    /// `pipeline.account`) on the trace's top-level lane, alongside the
+    /// observer's metric spans. Simulation phases traced by downstream
+    /// callers (e.g. `qsim::Executor::tracer`) share the same tracer, so
+    /// one Chrome export shows the full transform→verify→simulate
+    /// timeline. The default [`Tracer::disabled`] costs one branch per
+    /// stage.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Runs the pipeline.
     ///
     /// # Errors
@@ -113,28 +129,54 @@ impl Pipeline {
             .validate()
             .map_err(|source| DqcError::InvalidCircuit { source })?;
         let obs = &self.observer;
+        let mut phases = self.tracer.top_local();
         let dynamic = {
             let mut span = obs.span("pipeline.transform");
             span.field("scheme", self.scheme.to_string());
             span.field("qubits", circuit.num_qubits());
             span.field("instructions", circuit.len());
-            transform_with_scheme_observed(circuit, roles, self.scheme, &self.options, obs)?
+            if let Some(t) = phases.as_mut() {
+                t.begin("pipeline.transform");
+            }
+            let dynamic =
+                transform_with_scheme_observed(circuit, roles, self.scheme, &self.options, obs);
+            if let Some(t) = phases.as_mut() {
+                t.end();
+            }
+            dynamic?
         };
         let report = {
             let _span = obs.span("pipeline.verify");
-            if self.compare_answers {
+            if let Some(t) = phases.as_mut() {
+                t.begin("pipeline.verify");
+            }
+            let report = if self.compare_answers {
                 verify::compare_with_answers_observed(circuit, roles, &dynamic, obs)
             } else {
                 verify::compare_observed(circuit, roles, &dynamic, obs)
+            };
+            if let Some(t) = phases.as_mut() {
+                t.end();
             }
+            report
         };
         let (traditional, resources) = {
             let _span = obs.span("pipeline.account");
-            (
+            if let Some(t) = phases.as_mut() {
+                t.begin("pipeline.account");
+            }
+            let summaries = (
                 ResourceSummary::of_circuit(circuit),
                 ResourceSummary::of_dynamic(&dynamic),
-            )
+            );
+            if let Some(t) = phases.as_mut() {
+                t.end();
+            }
+            summaries
         };
+        if let Some(t) = phases {
+            self.tracer.submit(t.into_events());
+        }
         obs.counter_add("pipeline.runs", 1);
         obs.gauge_set("pipeline.last_tvd", report.tvd);
         obs.event(
@@ -332,6 +374,40 @@ mod tests {
             .filter(|e| e.name == "transform.iteration")
             .count();
         assert_eq!(iteration_events, 3);
+    }
+
+    #[test]
+    fn tracer_records_phase_spans_on_the_top_lane() {
+        let tracer = Tracer::test();
+        Pipeline::new()
+            .tracer(tracer.clone())
+            .run(&dj_and(), &QubitRoles::data_plus_answer(3))
+            .unwrap();
+        let begins: Vec<&str> = tracer
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                qobs::TraceEvent::Begin { name, tid, .. } => {
+                    assert_eq!(*tid, qobs::trace::TOP_TID);
+                    Some(*name)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            begins,
+            vec!["pipeline.transform", "pipeline.verify", "pipeline.account"]
+        );
+        let json = tracer.export_chrome();
+        assert!(qobs::json::validate(&json).is_ok(), "{json}");
+        // Deterministic: a second identical run on a fresh tracer exports
+        // byte-identical JSON under the test clock.
+        let tracer2 = Tracer::test();
+        Pipeline::new()
+            .tracer(tracer2.clone())
+            .run(&dj_and(), &QubitRoles::data_plus_answer(3))
+            .unwrap();
+        assert_eq!(json, tracer2.export_chrome());
     }
 
     #[test]

@@ -11,11 +11,19 @@ use std::fmt::Write as _;
 /// Escapes `s` for inclusion inside a JSON string literal (quotes not
 /// included).
 ///
+/// Control characters **and every non-ASCII character** are `\u`-escaped
+/// (astral-plane characters as UTF-16 surrogate pairs), so emitted
+/// documents are pure ASCII: counter and label keys built from arbitrary
+/// fault-site or gate-kind names can never produce invalid or
+/// encoding-sensitive JSON, whatever bytes a hostile name carries.
+///
 /// # Examples
 ///
 /// ```
 /// assert_eq!(qobs::json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
 /// assert_eq!(qobs::json::escape("plain"), "plain");
+/// assert_eq!(qobs::json::escape("π"), "\\u03c0");
+/// assert_eq!(qobs::json::escape("😀"), "\\ud83d\\ude00");
 /// ```
 #[must_use]
 pub fn escape(s: &str) -> String {
@@ -29,8 +37,11 @@ pub fn escape(s: &str) -> String {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if (c as u32) < 0x20 || !c.is_ascii() => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
             c => out.push(c),
         }
@@ -357,7 +368,36 @@ mod tests {
         assert_eq!(escape("back\\slash"), "back\\\\slash");
         assert_eq!(escape("tab\there"), "tab\\there");
         assert_eq!(escape("\u{01}"), "\\u0001");
-        assert_eq!(escape("unicode: π ✓"), "unicode: π ✓");
+        assert_eq!(escape("unicode: π ✓"), "unicode: \\u03c0 \\u2713");
+        // Astral-plane characters become surrogate pairs.
+        assert_eq!(escape("😀"), "\\ud83d\\ude00");
+        // The output is always pure ASCII.
+        assert!(escape("mixé \u{7f} \u{e9}\u{10FFFF}").is_ascii());
+    }
+
+    #[test]
+    fn hostile_keys_round_trip_through_writer_and_validator() {
+        // Keys mixing control bytes, quotes, backslashes, non-ASCII and
+        // astral-plane characters — the shapes a fault-site or gate-kind
+        // label could smuggle in — must always yield a valid document.
+        let hostile = [
+            "fault.injected.\u{0}null",
+            "gate.\"quoted\"\\slashed",
+            "π-rotation ✓",
+            "emoji.😀.key",
+            "\u{1b}[31mansi\u{1b}[0m",
+            "del\u{7f}ete",
+        ];
+        for key in hostile {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key(key);
+            w.string(key);
+            w.end_object();
+            let doc = w.finish();
+            assert!(validate(&doc).is_ok(), "{key}: {doc}");
+            assert!(doc.is_ascii(), "{key}: {doc}");
+        }
     }
 
     #[test]

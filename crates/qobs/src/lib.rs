@@ -29,7 +29,9 @@ pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod sink;
+pub mod trace;
 
 pub use metrics::{Histogram, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use observer::{Observer, SpanGuard};
 pub use sink::{CollectingSink, Event, EventSink, FieldValue, FmtSink, NullSink, SpanRecord};
+pub use trace::{ClockMode, LocalTrace, TraceEvent, Tracer};

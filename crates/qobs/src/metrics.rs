@@ -79,6 +79,18 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Merges `other` into `self` bucket-wise; the result is exactly the
+    /// histogram of the union of both observation streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, v) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += v;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// One named metric.
@@ -180,6 +192,26 @@ impl MetricsRegistry {
         self.observe(name, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Merges a locally accumulated histogram into the named registry
+    /// histogram in one lock acquisition — the flush half of the
+    /// accumulate-locally, flush-once-per-run pattern the executor's
+    /// per-gate apply timing uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        self.with_inner(|m| {
+            match m
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram(Histogram::default()))
+            {
+                Metric::Histogram(mine) => mine.merge(h),
+                other => panic!("metric '{name}' is not a histogram: {other:?}"),
+            }
+        });
+    }
+
     /// Reads a counter.
     #[must_use]
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -226,23 +258,7 @@ impl MetricsRegistry {
             match metric {
                 Metric::Counter(c) => self.inc_counter(&name, c),
                 Metric::Gauge(g) => self.set_gauge(&name, g),
-                Metric::Histogram(h) => self.with_inner(|m| {
-                    match m
-                        .entry(name.clone())
-                        .or_insert_with(|| Metric::Histogram(Histogram::default()))
-                    {
-                        Metric::Histogram(mine) => {
-                            for (b, v) in mine.buckets.iter_mut().zip(&h.buckets) {
-                                *b += v;
-                            }
-                            mine.count += h.count;
-                            mine.sum += h.sum;
-                            mine.min = mine.min.min(h.min);
-                            mine.max = mine.max.max(h.max);
-                        }
-                        other => panic!("metric '{name}' is not a histogram: {other:?}"),
-                    }
-                }),
+                Metric::Histogram(h) => self.merge_histogram(&name, &h),
             }
         }
     }
@@ -435,6 +451,20 @@ mod tests {
         assert_eq!(a.counter("c"), Some(3));
         assert_eq!(a.gauge("g"), Some(7.0));
         assert_eq!(a.histogram("h").unwrap().count, 2);
+    }
+
+    #[test]
+    fn merge_histogram_flushes_local_accumulation() {
+        let m = MetricsRegistry::new();
+        let mut local = Histogram::default();
+        local.observe(3);
+        local.observe(1000);
+        m.merge_histogram("executor.apply.h_ns", &local);
+        m.merge_histogram("executor.apply.h_ns", &local);
+        let h = m.histogram("executor.apply.h_ns").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, 1000);
     }
 
     #[test]

@@ -26,7 +26,8 @@ use crate::fault::{CcFault, FaultHook, FaultSite, GateFate, FAULT_CAUGHT_PANIC};
 use crate::noise::{GateNoise, NoiseModel};
 use crate::statevector::StateVector;
 use qcir::{Circuit, OpKind};
-use qobs::Observer;
+use qobs::trace::{LocalTrace, TraceEvent, Tracer};
+use qobs::{FieldValue, Histogram, Observer};
 use rand::rngs::StdRng;
 use rand::{stream_seed, Rng, RngCore, SeedableRng};
 use std::collections::BTreeMap;
@@ -60,6 +61,7 @@ pub struct Executor {
     threads: Option<usize>,
     noise: NoiseModel,
     observer: Observer,
+    tracer: Tracer,
     drift: Option<DriftPolicy>,
     drift_tolerance: f64,
     deadline: Option<Duration>,
@@ -123,6 +125,19 @@ pub struct RunReport {
     pub discarded: u64,
     /// Why the run stopped.
     pub termination: Termination,
+}
+
+impl fmt::Display for RunReport {
+    /// One stable line, e.g.
+    /// `completed 1024/1024 shots (0 failed, 0 discarded): completed` —
+    /// the same rendering the trace's `executor.run_end` instant carries.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "completed {}/{} shots ({} failed, {} discarded): {}",
+            self.completed, self.requested, self.failed, self.discarded, self.termination
+        )
+    }
 }
 
 /// Drift-guard configuration resolved once per resilient run.
@@ -244,6 +259,10 @@ struct RunTally {
     /// Fault-injection counters, keyed by full counter name
     /// (`fault.injected.<site>`, `fault.caught.panic`).
     faults: BTreeMap<&'static str, u64>,
+    /// Per-gate-kind apply-duration histograms (ns on the tracer's clock),
+    /// populated only when tracing and observing are both enabled; flushed
+    /// as `executor.apply.<kind>_ns`.
+    apply_ns: BTreeMap<&'static str, Histogram>,
 }
 
 impl RunTally {
@@ -262,6 +281,9 @@ impl RunTally {
         self.noise_applications += other.noise_applications;
         for (name, n) in other.faults {
             *self.faults.entry(name).or_insert(0) += n;
+        }
+        for (name, h) in other.apply_ns {
+            self.apply_ns.entry(name).or_default().merge(&h);
         }
     }
 
@@ -320,6 +342,7 @@ impl Executor {
             threads: None,
             noise: NoiseModel::ideal(),
             observer: Observer::disabled(),
+            tracer: Tracer::disabled(),
             drift: None,
             drift_tolerance: 1e-6,
             deadline: None,
@@ -454,6 +477,30 @@ impl Executor {
         self
     }
 
+    /// Attaches a tracing handle (see [`qobs::trace`]). Each run then
+    /// records, into the tracer's shared log:
+    ///
+    /// * a top-level `executor.run` / `executor.run_resilient` span closed
+    ///   by an `executor.run_end` instant carrying the termination reason;
+    /// * one `shot` span per shot, with `measure` / `reset` / `condition`
+    ///   sub-spans, on a lane derived from the shot index;
+    /// * qfault injections as instant events (named after their counters,
+    ///   e.g. `fault.injected.meas-flip`) on the owning shot's span;
+    /// * with the observer **also** enabled, per-gate-kind apply timing
+    ///   into `executor.apply.<kind>_ns` histograms (metrics, not events).
+    ///
+    /// Shots record into owner-local buffers submitted in shot order, so
+    /// the trace is deterministic at every thread count; under
+    /// [`Tracer::test`] the exported file is byte-identical. Tracing never
+    /// consumes the shot RNG streams: results with tracing on are
+    /// bit-identical to results with it off. With the default
+    /// [`Tracer::disabled`] every instrumentation site is one branch.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Runs the circuit and tallies classical-register outcomes.
     ///
     /// The result keys are bitstrings with classical bit `n-1` leftmost.
@@ -552,8 +599,13 @@ impl Executor {
             termination: AtomicU8::new(TERMINATION_COMPLETED),
         };
 
-        let (chunks, tallies): (Vec<ChunkOutcome>, Vec<Option<RunTally>>) = if workers <= 1 {
-            let (chunk, tally) = self.run_chunk_resilient(
+        let mut top = self.tracer.top_local();
+        if let Some(t) = top.as_mut() {
+            t.begin("executor.run_resilient");
+        }
+
+        let results: Vec<(ChunkOutcome, Option<RunTally>, Vec<TraceEvent>)> = if workers <= 1 {
+            let result = self.run_chunk_resilient(
                 circuit,
                 base,
                 0..self.shots,
@@ -561,7 +613,7 @@ impl Executor {
                 guard,
                 &budget,
             );
-            (vec![chunk], vec![tally])
+            vec![result]
         } else {
             let chunk_len = self.shots.div_ceil(workers as u64);
             let mid = mid.as_deref();
@@ -579,7 +631,7 @@ impl Executor {
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("resilient chunk driver panicked"))
-                    .unzip()
+                    .collect()
             })
         };
 
@@ -592,23 +644,40 @@ impl Executor {
             termination: budget.termination(),
         };
         let mut renorms = 0u64;
-        for chunk in chunks {
+        let mut merged = RunTally::default();
+        for (chunk, tally, trace) in results {
             counts.merge(chunk.counts);
             report.completed += chunk.completed;
             report.failed += chunk.failed;
             report.discarded += chunk.discarded;
             renorms += chunk.renormalized;
-        }
-        if observed {
-            let mut merged = RunTally::default();
-            for tally in tallies.into_iter().flatten() {
+            if let Some(tally) = tally {
                 merged.absorb(tally);
             }
+            self.tracer.submit(trace);
+        }
+        if observed {
             self.flush_tally(&merged, report.completed);
             let obs = &self.observer;
             obs.counter_add("executor.shots_failed", report.failed);
             obs.counter_add("executor.shots_discarded", report.discarded);
             obs.counter_add("executor.drift_renormalized", renorms);
+        }
+        if let Some(mut t) = top {
+            t.instant_with(
+                "executor.run_end",
+                vec![
+                    (
+                        "termination",
+                        FieldValue::Str(report.termination.to_string()),
+                    ),
+                    ("completed", FieldValue::U64(report.completed)),
+                    ("failed", FieldValue::U64(report.failed)),
+                    ("discarded", FieldValue::U64(report.discarded)),
+                ],
+            );
+            t.end();
+            self.tracer.submit(t.into_events());
         }
         drop(span);
         (counts, report)
@@ -625,9 +694,10 @@ impl Executor {
         mid: Option<&[bool]>,
         guard: Option<DriftGuard>,
         budget: &RunBudget,
-    ) -> (ChunkOutcome, Option<RunTally>) {
+    ) -> (ChunkOutcome, Option<RunTally>, Vec<TraceEvent>) {
         let mut out = ChunkOutcome::default();
         let mut tally = mid.map(|_| RunTally::default());
+        let mut events = Vec::new();
         for i in shots {
             if budget.stop.load(Ordering::Relaxed) {
                 break;
@@ -640,29 +710,62 @@ impl Executor {
             }
             let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
             let mut renorms = 0u64;
-            let shot = catch_unwind(AssertUnwindSafe(|| {
-                let mut ctx = match (&mut tally, mid) {
-                    (Some(tally), Some(mid)) => Some(TallyCtx {
-                        tally,
-                        mid_measure: mid,
-                    }),
-                    _ => None,
-                };
-                self.run_shot_guarded(circuit, i, &mut rng, &mut ctx, guard.as_ref(), &mut renorms)
-            }));
+            // The trace buffer lives outside the unwind boundary so a
+            // panicking shot still contributes a balanced span with the
+            // panic marked on it.
+            let mut lt = self.tracer.shot_local(i);
+            if let Some(t) = lt.as_mut() {
+                t.begin("shot");
+            }
+            let shot = {
+                let lt = &mut lt;
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut ctx = match (&mut tally, mid) {
+                        (Some(tally), Some(mid)) => Some(TallyCtx {
+                            tally,
+                            mid_measure: mid,
+                        }),
+                        _ => None,
+                    };
+                    self.run_shot_guarded(
+                        circuit,
+                        i,
+                        &mut rng,
+                        &mut ctx,
+                        lt,
+                        guard.as_ref(),
+                        &mut renorms,
+                    )
+                }))
+            };
             out.renormalized += renorms;
+            let mut stop = false;
             match shot {
                 Ok(ShotControl::Done(classical, _)) => {
                     out.completed += 1;
                     out.counts.record(bitstring(&classical));
+                    if let Some(t) = lt.as_mut() {
+                        t.end();
+                    }
                 }
-                Ok(ShotControl::Discarded) => out.discarded += 1,
+                Ok(ShotControl::Discarded) => {
+                    out.discarded += 1;
+                    if let Some(t) = lt.as_mut() {
+                        t.abort_open("shot.discarded");
+                    }
+                }
                 Ok(ShotControl::Abort) => {
                     budget.terminate(TERMINATION_ABORTED);
-                    break;
+                    if let Some(t) = lt.as_mut() {
+                        t.abort_open("budget.abort");
+                    }
+                    stop = true;
                 }
                 Err(_) => {
                     out.failed += 1;
+                    if let Some(t) = lt.as_mut() {
+                        t.abort_open("shot.panic");
+                    }
                     // Attribute the catch when the panic was an injected
                     // one (the hook's decision is pure, so re-asking gives
                     // the same answer the shot saw).
@@ -675,13 +778,22 @@ impl Executor {
                     if let Some(max) = budget.max_failed {
                         if failed_total > max {
                             budget.terminate(TERMINATION_FAILED_BUDGET);
-                            break;
+                            if let Some(t) = lt.as_mut() {
+                                t.instant("budget.failed-shots");
+                            }
+                            stop = true;
                         }
                     }
                 }
             }
+            if let Some(t) = lt {
+                events.extend(t.into_events());
+            }
+            if stop {
+                break;
+            }
         }
-        (out, tally)
+        (out, tally, events)
     }
 
     /// The run's base seed: the configured seed, or fresh entropy drawn once
@@ -735,10 +847,14 @@ impl Executor {
         } else {
             None
         };
+        let mut top = self.tracer.top_local();
+        if let Some(t) = top.as_mut() {
+            t.begin("executor.run");
+        }
 
-        let (parts, tallies): (Vec<A>, Vec<Option<RunTally>>) = if workers <= 1 {
+        let results: Vec<(A, Option<RunTally>, Vec<TraceEvent>)> = if workers <= 1 {
             let mut acc = make(self.shots as usize);
-            let tally = self.run_chunk_with(
+            let (tally, trace) = self.run_chunk_with(
                 circuit,
                 base,
                 0..self.shots,
@@ -746,7 +862,7 @@ impl Executor {
                 &mut acc,
                 &record,
             );
-            (vec![acc], vec![tally])
+            vec![(acc, tally, trace)]
         } else {
             let chunk = self.shots.div_ceil(workers as u64);
             let mid = mid.as_deref();
@@ -758,24 +874,43 @@ impl Executor {
                         let (make, record) = (&make, &record);
                         scope.spawn(move || {
                             let mut acc = make((hi - lo) as usize);
-                            let tally =
+                            let (tally, trace) =
                                 self.run_chunk_with(circuit, base, lo..hi, mid, &mut acc, record);
-                            (acc, tally)
+                            (acc, tally, trace)
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("shot worker panicked"))
-                    .unzip()
+                    .collect()
             })
         };
-        if observed {
-            let mut merged = RunTally::default();
-            for tally in tallies.into_iter().flatten() {
+        // Chunks cover contiguous shot ranges in worker order, so absorbing
+        // and submitting in iteration order is absorbing in shot order —
+        // the deterministic-merge contract for counters and traces alike.
+        let mut parts = Vec::with_capacity(results.len());
+        let mut merged = RunTally::default();
+        for (acc, tally, trace) in results {
+            parts.push(acc);
+            if let Some(tally) = tally {
                 merged.absorb(tally);
             }
+            self.tracer.submit(trace);
+        }
+        if observed {
             self.flush_tally(&merged, self.shots);
+        }
+        if let Some(mut t) = top {
+            t.instant_with(
+                "executor.run_end",
+                vec![
+                    ("termination", FieldValue::Str("completed".to_string())),
+                    ("shots", FieldValue::U64(self.shots)),
+                ],
+            );
+            t.end();
+            self.tracer.submit(t.into_events());
         }
         drop(span);
         parts
@@ -784,7 +919,9 @@ impl Executor {
     /// Executes the contiguous shot range `shots` sequentially, seeding shot
     /// `i` from `stream_seed(base, i)` and feeding each outcome to `record`.
     /// Returns this chunk's tally when `mid` is provided (the observed
-    /// path); `None` keeps the un-instrumented hot path tally-free.
+    /// path) and this chunk's trace events when the tracer is enabled;
+    /// `None`/empty keeps the un-instrumented hot path tally- and
+    /// trace-free.
     fn run_chunk_with<A>(
         &self,
         circuit: &Circuit,
@@ -793,7 +930,8 @@ impl Executor {
         mid: Option<&[bool]>,
         acc: &mut A,
         record: &(impl Fn(&mut A, Vec<bool>) + Sync),
-    ) -> Option<RunTally> {
+    ) -> (Option<RunTally>, Vec<TraceEvent>) {
+        let mut events = Vec::new();
         match mid {
             Some(mid) => {
                 let mut tally = RunTally::default();
@@ -803,20 +941,36 @@ impl Executor {
                         tally: &mut tally,
                         mid_measure: mid,
                     });
+                    let mut lt = self.tracer.shot_local(i);
+                    if let Some(t) = lt.as_mut() {
+                        t.begin("shot");
+                    }
                     let (classical, _) =
-                        self.run_shot_with_state_tallied(circuit, i, &mut rng, &mut ctx);
+                        self.run_shot_with_state_traced(circuit, i, &mut rng, &mut ctx, &mut lt);
+                    if let Some(mut t) = lt {
+                        t.end();
+                        events.extend(t.into_events());
+                    }
                     record(acc, classical);
                 }
-                Some(tally)
+                (Some(tally), events)
             }
             None => {
                 for i in shots {
                     let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
+                    let mut lt = self.tracer.shot_local(i);
+                    if let Some(t) = lt.as_mut() {
+                        t.begin("shot");
+                    }
                     let (classical, _) =
-                        self.run_shot_with_state_tallied(circuit, i, &mut rng, &mut None);
+                        self.run_shot_with_state_traced(circuit, i, &mut rng, &mut None, &mut lt);
+                    if let Some(mut t) = lt {
+                        t.end();
+                        events.extend(t.into_events());
+                    }
                     record(acc, classical);
                 }
-                None
+                (None, events)
             }
         }
     }
@@ -839,6 +993,10 @@ impl Executor {
         }
         for (name, n) in &tally.faults {
             obs.counter_add(name, *n);
+        }
+        for (name, h) in &tally.apply_ns {
+            obs.metrics()
+                .merge_histogram(&format!("executor.apply.{name}_ns"), h);
         }
     }
 
@@ -864,20 +1022,21 @@ impl Executor {
         circuit: &Circuit,
         rng: &mut R,
     ) -> (Vec<bool>, StateVector) {
-        self.run_shot_with_state_tallied(circuit, 0, rng, &mut None)
+        self.run_shot_with_state_traced(circuit, 0, rng, &mut None, &mut None)
     }
 
-    /// Single-shot execution with an optional tally context (`None` on the
-    /// un-instrumented path: a per-instruction `Option` branch is the whole
-    /// overhead).
-    fn run_shot_with_state_tallied<R: Rng + ?Sized>(
+    /// Single-shot execution with an optional tally context and an optional
+    /// shot-trace buffer (`None`/`None` on the un-instrumented path: a
+    /// per-instruction `Option` branch each is the whole overhead).
+    fn run_shot_with_state_traced<R: Rng + ?Sized>(
         &self,
         circuit: &Circuit,
         shot: u64,
         rng: &mut R,
         ctx: &mut Option<TallyCtx<'_>>,
+        lt: &mut Option<LocalTrace>,
     ) -> (Vec<bool>, StateVector) {
-        match self.run_shot_guarded(circuit, shot, rng, ctx, None, &mut 0) {
+        match self.run_shot_guarded(circuit, shot, rng, ctx, lt, None, &mut 0) {
             ShotControl::Done(classical, state) => (classical, state),
             // Without a guard a shot always runs to completion.
             ShotControl::Discarded | ShotControl::Abort => unreachable!("unguarded shot"),
@@ -890,12 +1049,14 @@ impl Executor {
     /// guard's policy decides whether the shot continues, is discarded, or
     /// aborts the run. `renorms` counts the rescues performed under
     /// [`DriftPolicy::Renormalize`].
+    #[allow(clippy::too_many_arguments)]
     fn run_shot_guarded<R: Rng + ?Sized>(
         &self,
         circuit: &Circuit,
         shot: u64,
         rng: &mut R,
         ctx: &mut Option<TallyCtx<'_>>,
+        lt: &mut Option<LocalTrace>,
         guard: Option<&DriftGuard>,
         renorms: &mut u64,
     ) -> ShotControl {
@@ -904,11 +1065,17 @@ impl Executor {
                 if let Some(c) = ctx {
                     c.tally.fault(FaultSite::ShotDelay);
                 }
+                if let Some(t) = lt.as_mut() {
+                    t.instant(FaultSite::ShotDelay.counter());
+                }
                 std::thread::sleep(delay);
             }
             if hook.shot_panic(shot) {
                 if let Some(c) = ctx {
                     c.tally.fault(FaultSite::ShotPanic);
+                }
+                if let Some(t) = lt.as_mut() {
+                    t.instant(FaultSite::ShotPanic.counter());
                 }
                 panic!("qfault: injected panic in shot {shot}");
             }
@@ -929,7 +1096,16 @@ impl Executor {
                     for q in inst.qubits() {
                         touched[q.index()] = true;
                     }
-                    self.execute_instruction(inst, idx, shot, &mut state, &mut classical, rng, ctx);
+                    self.execute_instruction(
+                        inst,
+                        idx,
+                        shot,
+                        &mut state,
+                        &mut classical,
+                        rng,
+                        ctx,
+                        lt,
+                    );
                     match check_drift(guard, &mut state, renorms) {
                         DriftAction::Continue => {}
                         DriftAction::Discard => return ShotControl::Discarded,
@@ -952,7 +1128,7 @@ impl Executor {
             }
         } else {
             for (idx, inst) in circuit.iter().enumerate() {
-                self.execute_instruction(inst, idx, shot, &mut state, &mut classical, rng, ctx);
+                self.execute_instruction(inst, idx, shot, &mut state, &mut classical, rng, ctx, lt);
                 match check_drift(guard, &mut state, renorms) {
                     DriftAction::Continue => {}
                     DriftAction::Discard => return ShotControl::Discarded,
@@ -977,8 +1153,12 @@ impl Executor {
         classical: &mut [bool],
         rng: &mut R,
         ctx: &mut Option<TallyCtx<'_>>,
+        lt: &mut Option<LocalTrace>,
     ) {
         if let Some(cond) = inst.condition() {
+            if let Some(t) = lt.as_mut() {
+                t.begin("condition");
+            }
             if let Some(hook) = &self.fault {
                 let bits = cond.bits();
                 match hook.condition_fault(shot, idx, bits.len()) {
@@ -988,6 +1168,9 @@ impl Executor {
                             if let Some(c) = ctx {
                                 c.tally.fault(FaultSite::CcFlip);
                             }
+                            if let Some(t) = lt.as_mut() {
+                                t.instant(FaultSite::CcFlip.counter());
+                            }
                         }
                     }
                     Some(CcFault::Lose(k)) => {
@@ -996,12 +1179,19 @@ impl Executor {
                             if let Some(c) = ctx {
                                 c.tally.fault(FaultSite::CcLoss);
                             }
+                            if let Some(t) = lt.as_mut() {
+                                t.instant(FaultSite::CcLoss.counter());
+                            }
                         }
                     }
                     None => {}
                 }
             }
-            if !cond.evaluate(classical) {
+            let fired = cond.evaluate(classical);
+            if let Some(t) = lt.as_mut() {
+                t.end();
+            }
+            if !fired {
                 if let Some(c) = ctx {
                     c.tally.cc_skipped += 1;
                 }
@@ -1022,9 +1212,20 @@ impl Executor {
                     if let Some(c) = ctx {
                         c.tally.fault(FaultSite::GateDrop);
                     }
+                    if let Some(t) = lt.as_mut() {
+                        t.instant(FaultSite::GateDrop.counter());
+                    }
                     return;
                 }
                 let qubits: Vec<usize> = inst.qubits().iter().map(|q| q.index()).collect();
+                // Per-gate-kind apply timing: histogram observations only
+                // (a span pair per gate would dwarf the trace), taken on
+                // the tracer's clock and accumulated into the run tally —
+                // so it needs both a trace buffer and a tally context.
+                let apply_start = match (lt.as_mut(), &ctx) {
+                    (Some(t), Some(_)) => Some(t.now()),
+                    _ => None,
+                };
                 state.apply_gate(g, &qubits);
                 if let Some(c) = ctx {
                     *c.tally.gates.entry(g.name()).or_insert(0) += 1;
@@ -1034,6 +1235,19 @@ impl Executor {
                     if let Some(c) = ctx {
                         *c.tally.gates.entry(g.name()).or_insert(0) += 1;
                         c.tally.fault(FaultSite::GateDup);
+                    }
+                    if let Some(t) = lt.as_mut() {
+                        t.instant(FaultSite::GateDup.counter());
+                    }
+                }
+                if let Some(start) = apply_start {
+                    if let (Some(t), Some(c)) = (lt.as_mut(), ctx.as_mut()) {
+                        let elapsed = t.now().saturating_sub(start);
+                        c.tally
+                            .apply_ns
+                            .entry(g.name())
+                            .or_default()
+                            .observe(elapsed);
                     }
                 }
                 match self.noise.gate_noise(qubits.len()) {
@@ -1055,6 +1269,9 @@ impl Executor {
                 }
             }
             OpKind::Measure => {
+                if let Some(t) = lt.as_mut() {
+                    t.begin("measure");
+                }
                 let q = inst.qubits()[0].index();
                 let mut outcome = state.measure(q, rng);
                 if self.noise.readout_flip > 0.0 && rng.gen_bool(self.noise.readout_flip) {
@@ -1066,6 +1283,9 @@ impl Executor {
                         if let Some(c) = ctx {
                             c.tally.fault(FaultSite::MeasFlip);
                         }
+                        if let Some(t) = lt.as_mut() {
+                            t.instant(FaultSite::MeasFlip.counter());
+                        }
                     }
                 }
                 classical[inst.clbits()[0].index()] = outcome;
@@ -1075,8 +1295,14 @@ impl Executor {
                         c.tally.mid_measurements += 1;
                     }
                 }
+                if let Some(t) = lt.as_mut() {
+                    t.end();
+                }
             }
             OpKind::Reset => {
+                if let Some(t) = lt.as_mut() {
+                    t.begin("reset");
+                }
                 let q = inst.qubits()[0].index();
                 state.reset(q, rng);
                 if self.noise.reset_error > 0.0 && rng.gen_bool(self.noise.reset_error) {
@@ -1088,10 +1314,16 @@ impl Executor {
                         if let Some(c) = ctx {
                             c.tally.fault(FaultSite::ResetLeak);
                         }
+                        if let Some(t) = lt.as_mut() {
+                            t.instant(FaultSite::ResetLeak.counter());
+                        }
                     }
                 }
                 if let Some(c) = ctx {
                     c.tally.resets += 1;
+                }
+                if let Some(t) = lt.as_mut() {
+                    t.end();
                 }
             }
         }
@@ -2046,5 +2278,227 @@ mod tests {
         assert_eq!(counts1, counts8);
         assert!(json1.contains("fault.injected.meas-flip"), "{json1}");
         assert_eq!(json1, json8);
+    }
+
+    // ---- tracing --------------------------------------------------------
+
+    #[test]
+    fn termination_variants_render_stable_one_liners() {
+        assert_eq!(Termination::Completed.to_string(), "completed");
+        assert_eq!(Termination::Deadline.to_string(), "deadline");
+        assert_eq!(
+            Termination::FailedShotBudget.to_string(),
+            "failed-shot-budget"
+        );
+        assert_eq!(Termination::Aborted.to_string(), "aborted");
+    }
+
+    #[test]
+    fn run_report_display_is_one_stable_line() {
+        let report = RunReport {
+            requested: 1024,
+            completed: 1000,
+            failed: 20,
+            discarded: 4,
+            termination: Termination::FailedShotBudget,
+        };
+        let line = report.to_string();
+        assert_eq!(
+            line,
+            "completed 1000/1024 shots (20 failed, 4 discarded): failed-shot-budget"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn tracing_never_perturbs_results() {
+        // The tracer must not consume shot RNG streams: traced and
+        // untraced runs are bit-identical, noise and all.
+        let circ = dynamic_test_circuit();
+        let exec = || {
+            Executor::new()
+                .shots(199)
+                .seed(17)
+                .noise(NoiseModel::depolarizing(0.02, 0.05))
+        };
+        let plain = exec().run(&circ);
+        let traced = exec().tracer(Tracer::wall()).run(&circ);
+        assert_eq!(plain, traced);
+        let (resilient, report) = exec().tracer(Tracer::test()).run_resilient(&circ);
+        assert_eq!(plain, resilient);
+        assert_eq!(report.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn traced_run_is_byte_identical_across_thread_counts() {
+        // The acceptance-criterion property: under the test clock the whole
+        // exported Chrome trace — event order and timestamps — is a pure
+        // function of (circuit, seed, shots), never of the thread count.
+        let circ = dynamic_test_circuit();
+        let run = |threads: usize| {
+            let tracer = Tracer::test();
+            let exec = Executor::new()
+                .shots(64)
+                .seed(9)
+                .threads(threads)
+                .observer(qobs::Observer::metrics_only())
+                .tracer(tracer.clone());
+            let (counts, _) = exec.run_resilient(&circ);
+            (counts, tracer.export_chrome())
+        };
+        let (counts1, json1) = run(1);
+        let (counts8, json8) = run(8);
+        assert_eq!(counts1, counts8);
+        assert_eq!(json1, json8);
+        assert!(qobs::json::validate(&json1).is_ok());
+        assert!(json1.contains(r#""name":"shot""#), "{json1}");
+        assert!(json1.contains(r#""name":"measure""#), "{json1}");
+        assert!(json1.contains(r#""name":"executor.run_resilient""#));
+        assert!(json1.contains(r#""termination":"completed""#));
+    }
+
+    #[test]
+    fn trace_surfaces_fault_instants_and_sub_spans() {
+        let circ = dynamic_test_circuit();
+        let tracer = Tracer::test();
+        let _ = Executor::new()
+            .shots(4)
+            .seed(3)
+            .threads(1)
+            .tracer(tracer.clone())
+            .fault_hook(Arc::new(TestHook {
+                flip_measures: true,
+                leak_resets: true,
+                ..TestHook::default()
+            }))
+            .run(&circ);
+        let events = tracer.events();
+        let instants: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Instant { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            instants.contains(&"fault.injected.meas-flip"),
+            "{instants:?}"
+        );
+        assert!(
+            instants.contains(&"fault.injected.reset-leak"),
+            "{instants:?}"
+        );
+        // Sub-spans appear between the owning shot's begin/end pair.
+        let begins: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Begin { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert!(begins.contains(&"shot"));
+        assert!(begins.contains(&"measure"));
+        assert!(begins.contains(&"reset"));
+        assert!(begins.contains(&"condition"));
+    }
+
+    #[test]
+    fn panicking_shot_leaves_balanced_trace_with_marker() {
+        let tracer = Tracer::test();
+        let (_, report) = Executor::new()
+            .shots(8)
+            .seed(2)
+            .threads(1)
+            .tracer(tracer.clone())
+            .fault_hook(Arc::new(TestHook {
+                panic_odd_shots: true,
+                ..TestHook::default()
+            }))
+            .run_resilient(&poisonless_bell());
+        assert_eq!(report.failed, 4);
+        let events = tracer.events();
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Begin { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::End { .. }))
+            .count();
+        assert_eq!(begins, ends, "panicking shots still close their spans");
+        let panics = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Instant {
+                        name: "shot.panic",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(panics, 4);
+        // The injected panic is also visible as its fault instant.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Instant {
+                name: "fault.injected.panic",
+                ..
+            }
+        )));
+    }
+
+    /// A small measured circuit with no poison, for panic-injection tests.
+    fn poisonless_bell() -> Circuit {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0)).cx(q(0), q(1)).measure_all();
+        circ
+    }
+
+    #[test]
+    fn run_end_instant_reports_early_termination() {
+        let tracer = Tracer::test();
+        let (_, report) = Executor::new()
+            .shots(50)
+            .seed(5)
+            .threads(1)
+            .max_failed(0)
+            .tracer(tracer.clone())
+            .run_resilient(&poisoned_circuit());
+        assert_eq!(report.termination, Termination::FailedShotBudget);
+        let json = tracer.export_chrome();
+        assert!(
+            json.contains(r#""termination":"failed-shot-budget""#),
+            "{json}"
+        );
+        assert!(json.contains("budget.failed-shots"), "{json}");
+    }
+
+    #[test]
+    fn apply_histograms_flush_when_traced_and_observed() {
+        let circ = dynamic_test_circuit();
+        let obs = qobs::Observer::metrics_only();
+        let _ = Executor::new()
+            .shots(16)
+            .seed(1)
+            .observer(obs.clone())
+            .tracer(Tracer::test())
+            .run(&circ);
+        let h = obs
+            .metrics()
+            .histogram("executor.apply.h_ns")
+            .expect("per-gate apply histogram");
+        // dynamic_test_circuit applies two H gates per shot.
+        assert_eq!(h.count, 32);
+        // Without a tracer the histograms are absent (no clock reads on the
+        // metrics-only hot path).
+        let obs2 = qobs::Observer::metrics_only();
+        let _ = Executor::new()
+            .shots(16)
+            .seed(1)
+            .observer(obs2.clone())
+            .run(&circ);
+        assert!(obs2.metrics().histogram("executor.apply.h_ns").is_none());
     }
 }

@@ -31,10 +31,12 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 # Library code in the simulation/transform core must not unwrap: failures
 # there have typed errors (NoiseError, MitigateError, DqcError) or degrade
-# gracefully (run_resilient). Tests and binaries may unwrap freely. qfault
-# additionally carries a crate-level #![deny(clippy::unwrap_used)] — fault
-# injection code that panics would corrupt the chaos experiments it drives.
-run cargo clippy -p qsim -p dqc -p qfault --lib --offline -- -D warnings -D clippy::unwrap_used
+# gracefully (run_resilient). Tests may unwrap freely. qfault additionally
+# carries a crate-level #![deny(clippy::unwrap_used)] — fault injection
+# code that panics would corrupt the chaos experiments it drives. The bench
+# crate (lib + bins) is held to the same bar: its binaries emit committed
+# artifacts, and a panic mid-sweep loses the whole run.
+run cargo clippy -p qsim -p dqc -p qfault -p bench --lib --bins --offline -- -D warnings -D clippy::unwrap_used
 if [ "$FAST" -eq 0 ]; then
     run cargo build --release --offline
 fi
@@ -113,5 +115,45 @@ case "$f1" in
     ;;
 esac
 echo "    counters identical: $f1"
+
+# Trace determinism gate: under the virtual test clock the merged Chrome
+# trace is a pure function of (circuit, seed, shots) — shot spans are
+# recorded into owner-local buffers and submitted in shot order, so the
+# exported file must be byte-identical at every worker count.
+echo "==> trace determinism gate: --trace at --threads 1 vs --threads 8"
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+gate_trace() {
+    cargo run -q --offline -p dqct-cli --bin dqct -- \
+        --answer 2 --verify --shots 256 --seed 11 --threads "$1" \
+        --trace "$TRACE_DIR/trace$1.json" --trace-clock test \
+        <<<"$GATE_QASM" >/dev/null
+}
+gate_trace 1
+gate_trace 8
+if ! cmp -s "$TRACE_DIR/trace1.json" "$TRACE_DIR/trace8.json"; then
+    echo "trace determinism gate FAILED: traces differ between thread counts" >&2
+    exit 1
+fi
+for span in pipeline.transform pipeline.verify '"shot"' executor.run_resilient; do
+    if ! grep -q "$span" "$TRACE_DIR/trace1.json"; then
+        echo "trace determinism gate FAILED: span $span missing from trace" >&2
+        exit 1
+    fi
+done
+echo "    traces identical ($(wc -c <"$TRACE_DIR/trace1.json") bytes)"
+
+# Perf-baseline gate: a quick instrumented profile must still surface every
+# pipeline phase and gate-apply histogram, the committed
+# BENCH_perf_baseline.json must match the current schema, and the disabled
+# tracing fast path must stay within its per-call budget. Timing values are
+# machine-dependent and not compared.
+if [ "$FAST" -eq 0 ]; then
+    echo "==> perf-baseline gate"
+    run cargo run -q --release --offline -p bench --bin perf_baseline -- \
+        --check BENCH_perf_baseline.json
+else
+    echo "==> perf-baseline gate skipped (--fast; the overhead budget needs release codegen)"
+fi
 
 echo "==> all checks passed"
