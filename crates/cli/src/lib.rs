@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! dqct --data 0,1 --answer 2 [--ancilla 3,4] [--scheme direct|dynamic1|dynamic2]
-//!      [--verify] [--stats] [--ascii] [--metrics[=json|text]]
+//!      [--reuse auto|off|K] [--verify] [--stats] [--ascii] [--metrics[=json|text]]
 //!      [--metrics-out PATH] [--trace PATH] [--trace-clock wall|test]
 //!      [--mitigate=reset-verify[,meas-repeat=R][,readout-cal]] [--noise S]
 //!      [--deadline-ms N] [--max-failed K] [--inject SPEC]
@@ -15,8 +15,9 @@
 //! ```
 
 use dqc::{
-    mitigate_observed, transform_with_scheme_observed, verify, DynamicScheme, MitigationOptions,
-    QubitRoles, ReadoutCalibration, ResourceSummary, TransformOptions,
+    mitigate_observed, plan_with_scheme_observed, transform_with_scheme_observed, verify,
+    CostModel, DynamicScheme, MitigationOptions, QubitRoles, ReadoutCalibration, ResourceSummary,
+    ReuseMode, TransformOptions,
 };
 use qcir::qasm::{from_qasm, to_qasm};
 use qcir::Qubit;
@@ -47,6 +48,8 @@ pub struct CliOptions {
     pub answer: Vec<usize>,
     /// Toffoli realization scheme.
     pub scheme: DynamicScheme,
+    /// Reuse planning mode (`None` = the paper's single-data-qubit path).
+    pub reuse: Option<ReuseMode>,
     /// Verify equivalence exactly and report the TVD.
     pub verify: bool,
     /// Print resource statistics.
@@ -102,6 +105,7 @@ impl Default for CliOptions {
             ancilla: Vec::new(),
             answer: Vec::new(),
             scheme: DynamicScheme::Dynamic2,
+            reuse: None,
             verify: false,
             stats: false,
             ascii: false,
@@ -145,6 +149,10 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     "dynamic2" | "dynamic-2" => DynamicScheme::Dynamic2,
                     other => return Err(format!("unknown scheme '{other}'")),
                 };
+            }
+            "--reuse" => {
+                let v = it.next().ok_or("--reuse needs 'auto', 'off' or a width")?;
+                opts.reuse = Some(v.parse().map_err(|e| format!("--reuse: {e}"))?);
             }
             "--verify" => opts.verify = true,
             "--analyze" => opts.analyze = true,
@@ -227,7 +235,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--help" | "-h" => return Err(usage()),
             other => {
-                if let Some(spec) = other.strip_prefix("--mitigate=") {
+                if let Some(spec) = other.strip_prefix("--reuse=") {
+                    opts.reuse = Some(spec.parse().map_err(|e| format!("--reuse: {e}"))?);
+                } else if let Some(spec) = other.strip_prefix("--mitigate=") {
                     opts.mitigate =
                         MitigationOptions::parse(spec).map_err(|e| format!("--mitigate: {e}"))?;
                 } else if let Some(spec) = other.strip_prefix("--inject=") {
@@ -319,7 +329,8 @@ fn parse_list(value: Option<&String>, flag: &str) -> Result<Vec<usize>, String> 
 #[must_use]
 pub fn usage() -> String {
     "usage: dqct --answer <i,j,...> [--data <i,...>] [--ancilla <i,...>]\n\
-     \x20           [--scheme direct|dynamic1|dynamic2] [--verify] [--analyze]\n\
+     \x20           [--scheme direct|dynamic1|dynamic2] [--reuse auto|off|K]\n\
+     \x20           [--verify] [--analyze]\n\
      \x20           [--stats] [--metrics[=json|text]] [--shots N] [--seed N]\n\
      \x20           [--threads N] [--ascii] [--metrics-out PATH]\n\
      \x20           [--trace PATH] [--trace-clock wall|test]\n\
@@ -329,6 +340,11 @@ pub fn usage() -> String {
      \x20           [--input FILE | FILE]\n\
      Reads OpenQASM 3 from FILE or stdin; qubits not listed under --answer\n\
      or --ancilla default to data.\n\
+     --reuse explores the qubit-reuse design space: K physical lanes\n\
+     replay the work qubits ('off' = one lane per work qubit, i.e. no\n\
+     reuse; 'auto' picks the best width under the cost model; K = 1 is\n\
+     the paper's scheme and the default without --reuse). A '// reuse:'\n\
+     line reports the selection.\n\
      --metrics instruments the transform, verification and a seeded\n\
      simulation of the dynamic circuit, then prints the collected\n\
      counters, gauges and timing histograms ('json' prints one JSON\n\
@@ -403,14 +419,31 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
     if let Some(t) = phases.as_mut() {
         t.begin("pipeline.transform");
     }
-    let dynamic = transform_with_scheme_observed(
-        &circuit,
-        &roles,
-        opts.scheme,
-        &TransformOptions::default(),
-        &obs,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut reuse_line = None;
+    let dynamic = match opts.reuse {
+        Some(mode) => {
+            let (dynamic, report) = plan_with_scheme_observed(
+                &circuit,
+                &roles,
+                opts.scheme,
+                mode,
+                &CostModel::default(),
+                &TransformOptions::default(),
+                &obs,
+            )
+            .map_err(|e| e.to_string())?;
+            reuse_line = Some(format!("// reuse: {report}"));
+            dynamic
+        }
+        None => transform_with_scheme_observed(
+            &circuit,
+            &roles,
+            opts.scheme,
+            &TransformOptions::default(),
+            &obs,
+        )
+        .map_err(|e| e.to_string())?,
+    };
     // Rewrite passes (verified resets, repeated measurements) widen the
     // classical register; readout calibration is counts post-processing only.
     let mitigated = if opts.mitigate.reset_verify.is_some() || opts.mitigate.meas_repeat.is_some() {
@@ -439,6 +472,9 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         for line in qcir::ascii::draw(dynamic.circuit()).lines() {
             let _ = writeln!(out, "// {line}");
         }
+    }
+    if let Some(line) = &reuse_line {
+        let _ = writeln!(out, "{line}");
     }
     if opts.stats {
         let tradi = ResourceSummary::of_circuit(&circuit);
@@ -670,6 +706,63 @@ h q[1];
         let toffoli = "qubit[3] q;\nh q[0];\nh q[1];\ncx q[0], q[1];\nh q[0];\ncx q[1], q[2];\n";
         let out = run(toffoli, &opts).unwrap();
         assert!(out.contains("// analysis: APPROXIMATE"), "{out}");
+    }
+
+    #[test]
+    fn reuse_flag_parses_both_forms_and_rejects_junk() {
+        let auto = parse_args(&args("--answer 2 --reuse auto")).unwrap();
+        assert_eq!(auto.reuse, Some(ReuseMode::Auto));
+        let off = parse_args(&args("--answer 2 --reuse=off")).unwrap();
+        assert_eq!(off.reuse, Some(ReuseMode::Off));
+        let k = parse_args(&args("--answer 2 --reuse=3")).unwrap();
+        assert_eq!(k.reuse, Some(ReuseMode::Width(3)));
+        assert_eq!(parse_args(&args("--answer 2")).unwrap().reuse, None);
+        let err = parse_args(&args("--answer 2 --reuse=wide")).unwrap_err();
+        assert!(err.contains("--reuse:"), "{err}");
+        assert!(parse_args(&args("--answer 2 --reuse")).is_err());
+    }
+
+    #[test]
+    fn reuse_auto_reports_selection_and_keeps_qasm_parseable() {
+        let opts = parse_args(&args("--answer 2 --reuse auto --verify")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        assert!(out.contains("// reuse: "), "{out}");
+        assert!(out.contains("// verify: tvd = 0.000000"), "{out}");
+        assert!(from_qasm(&out).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn reuse_off_emits_the_full_width_circuit() {
+        let opts = parse_args(&args("--answer 2 --reuse off")).unwrap();
+        let out = run(BV_QASM, &opts).unwrap();
+        // No reuse: 2 work lanes + 1 answer wire, and no resets at all.
+        assert!(out.contains("qubit[3] q;"), "{out}");
+        assert!(!out.contains("reset"), "{out}");
+    }
+
+    #[test]
+    fn reuse_width_one_matches_the_default_path() {
+        let legacy = parse_args(&args("--answer 2")).unwrap();
+        let k1 = parse_args(&args("--answer 2 --reuse 1")).unwrap();
+        let a = run(BV_QASM, &legacy).unwrap();
+        let b = run(BV_QASM, &k1).unwrap();
+        // The reuse line is the only difference; the QASM is identical.
+        let stripped: String =
+            b.lines()
+                .filter(|l| !l.starts_with("// reuse:"))
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+        assert_eq!(a, stripped);
+    }
+
+    #[test]
+    fn reuse_infeasible_width_is_a_clear_error() {
+        let opts = parse_args(&args("--answer 2 --reuse 9")).unwrap();
+        let err = run(BV_QASM, &opts).unwrap_err();
+        assert!(err.contains("invalid reuse plan"), "{err}");
     }
 
     #[test]

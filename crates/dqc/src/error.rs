@@ -41,6 +41,12 @@ pub enum DqcError {
         /// Number of instructions left untransformed.
         remaining: usize,
     },
+    /// A reuse plan does not partition the work qubits into ordered lanes,
+    /// or no feasible plan exists for the requested physical width.
+    InvalidPlan {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DqcError {
@@ -67,6 +73,7 @@ impl fmt::Display for DqcError {
                     "transformation left {remaining} instruction(s) unscheduled"
                 )
             }
+            DqcError::InvalidPlan { reason } => write!(f, "invalid reuse plan: {reason}"),
         }
     }
 }

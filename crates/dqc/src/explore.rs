@@ -1,0 +1,192 @@
+//! Design-space exploration: one dynamic realization per feasible width.
+//!
+//! Where the planner ([`crate::plan_with_scheme`]) answers "give me the best
+//! plan", [`explore`] answers "show me the whole trade-off": for every
+//! physical width `k ∈ 1..=m` with a feasible lane plan it emits the
+//! best-scoring dynamic circuit, its resource summary and (optionally) an
+//! exact equivalence check against the traditional circuit. The result is
+//! the width/depth Pareto data behind `bench reuse_sweep` and the paper's
+//! extended design space.
+
+use crate::cost::{CostModel, ResourceSummary};
+use crate::error::DqcError;
+use crate::reuse::{plan_with_scheme_observed, ReuseMode};
+use crate::roles::QubitRoles;
+use crate::scheme::DynamicScheme;
+use crate::transform::{DynamicCircuit, TransformOptions};
+use crate::verify::{self, EquivalenceReport};
+use qcir::Circuit;
+use qobs::Observer;
+
+/// One point of the reuse design space: the best plan at a fixed width.
+#[derive(Debug, Clone)]
+pub struct ReusePoint {
+    /// The physical width (number of lanes).
+    pub k: usize,
+    /// The selected lane assignment (lowered-circuit qubit ids).
+    pub lanes: Vec<Vec<qcir::Qubit>>,
+    /// The emitted dynamic circuit.
+    pub dynamic: DynamicCircuit,
+    /// Resource summary of the emitted circuit.
+    pub summary: ResourceSummary,
+    /// Cost-model score (lower is better).
+    pub score: f64,
+    /// Exact traditional-vs-dynamic equivalence report, when requested.
+    pub verify: Option<EquivalenceReport>,
+}
+
+/// Options for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Toffoli lowering scheme.
+    pub scheme: DynamicScheme,
+    /// Scoring model used to pick the best plan at each width.
+    pub cost: CostModel,
+    /// Options forwarded to the transformation.
+    pub transform: TransformOptions,
+    /// Run the exact statevector equivalence check per point. Exponential
+    /// in the answer count + width; fine for the seeded suites.
+    pub verify: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self {
+            scheme: DynamicScheme::Dynamic2,
+            cost: CostModel::default(),
+            transform: TransformOptions::default(),
+            verify: true,
+        }
+    }
+}
+
+/// Sweeps every feasible width, returning one [`ReusePoint`] per width in
+/// increasing-`k` order. Widths with no feasible plan are skipped (the
+/// planner's static filter plus transform attempts decide feasibility).
+///
+/// # Errors
+///
+/// Propagates the underlying error when *no* width at all is feasible
+/// (role/ordering defects); an empty result is never returned silently.
+pub fn explore(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    options: &ExploreOptions,
+) -> Result<Vec<ReusePoint>, DqcError> {
+    explore_observed(circuit, roles, options, &Observer::disabled())
+}
+
+/// [`explore`] with instrumentation forwarded to the planner and transform.
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_observed(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    options: &ExploreOptions,
+    obs: &Observer,
+) -> Result<Vec<ReusePoint>, DqcError> {
+    // One probe run discovers m (the work-qubit count after lowering).
+    let (probe, report) = plan_with_scheme_observed(
+        circuit,
+        roles,
+        options.scheme,
+        ReuseMode::Off,
+        &options.cost,
+        &options.transform,
+        obs,
+    )?;
+    let m = report.max_width;
+    let mut points = Vec::new();
+    for k in 1..=m.max(1) {
+        let planned = if k == m.max(1) {
+            // Reuse the probe: Off is exactly the k = m plan.
+            Some((probe.clone(), report.clone()))
+        } else {
+            plan_with_scheme_observed(
+                circuit,
+                roles,
+                options.scheme,
+                ReuseMode::Width(k),
+                &options.cost,
+                &options.transform,
+                obs,
+            )
+            .ok()
+        };
+        let Some((dynamic, rep)) = planned else {
+            continue;
+        };
+        let summary = ResourceSummary::of_dynamic(&dynamic);
+        let verify = options
+            .verify
+            .then(|| verify::compare_observed(circuit, roles, &dynamic, obs));
+        points.push(ReusePoint {
+            k,
+            lanes: rep.lanes,
+            dynamic,
+            summary,
+            score: rep.score,
+            verify,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Qubit;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    /// BV(11): 2 data + 1 answer, Toffoli-free.
+    fn bv11() -> Circuit {
+        let mut c = Circuit::new(3, 0);
+        c.x(q(2)).h(q(2));
+        c.h(q(0)).h(q(1));
+        c.cx(q(0), q(2)).cx(q(1), q(2));
+        c.h(q(0)).h(q(1));
+        c
+    }
+
+    #[test]
+    fn explore_covers_every_width_for_bv() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let points = explore(&bv11(), &roles, &ExploreOptions::default()).unwrap();
+        let ks: Vec<usize> = points.iter().map(|p| p.k).collect();
+        assert_eq!(ks, vec![1, 2]);
+        // Width grows, depth shrinks along the sweep.
+        assert_eq!(points[0].summary.qubits, 2);
+        assert_eq!(points[1].summary.qubits, 3);
+        assert!(points[0].summary.depth >= points[1].summary.depth);
+        // Every point is exactly equivalent to the traditional circuit.
+        for p in &points {
+            let v = p.verify.as_ref().unwrap();
+            assert!(v.equivalent(1e-10), "k={} tvd={}", p.k, v.tvd);
+        }
+    }
+
+    #[test]
+    fn explore_handles_toffolis_via_lowering() {
+        let mut dj = Circuit::new(3, 0);
+        dj.x(q(2)).h(q(2));
+        dj.h(q(0)).h(q(1));
+        dj.ccx(q(0), q(1), q(2));
+        dj.h(q(0)).h(q(1));
+        let roles = QubitRoles::data_plus_answer(3);
+        let points = explore(&dj, &roles, &ExploreOptions::default()).unwrap();
+        // Dynamic-2 lowering adds a shared ancilla (max width 3). k = 2 has
+        // no *exact* plan: every 2-lane schedule would classicalize only one
+        // of the ancilla's control reads, which is unsound (the control is
+        // measured after its closing Hadamard) — the planner must skip it.
+        let ks: Vec<usize> = points.iter().map(|p| p.k).collect();
+        assert_eq!(ks, vec![1, 3]);
+        for p in &points {
+            assert!(p.verify.as_ref().unwrap().equivalent(1e-10), "k={}", p.k);
+        }
+    }
+}

@@ -49,25 +49,33 @@
 pub mod analysis;
 mod cost;
 mod error;
+pub mod explore;
 pub mod mitigate;
 mod pipeline;
 mod reorder;
+mod reuse;
 mod roles;
 mod scheme;
 mod transform;
 pub mod verify;
 
 pub use analysis::{analyze, Conflict, DqcAnalysis, Exactness};
-pub use cost::{CostComparison, ResourceSummary};
+pub use cost::{CostComparison, CostModel, ResourceSummary};
 pub use error::DqcError;
+pub use explore::{explore, explore_observed, ExploreOptions, ReusePoint};
 pub use mitigate::{
     mitigate, mitigate_observed, MitigateError, MitigatedCircuit, MitigationOptions,
     ReadoutCalibration, ResolvedCounts,
 };
 pub use pipeline::{Pipeline, PipelineResult};
 pub use reorder::reorder_work_qubits;
+pub use reuse::{
+    plan_with_scheme, plan_with_scheme_observed, PlannedTransform, ReuseMode, ReusePlan,
+    ReuseReport, DEFAULT_CANDIDATE_CAP,
+};
 pub use roles::{QubitRoles, Role};
 pub use scheme::{transform_with_scheme, transform_with_scheme_observed, DynamicScheme};
 pub use transform::{
-    transform, transform_observed, DynamicCircuit, IterationInfo, TransformOptions,
+    transform, transform_observed, transform_with_plan, transform_with_plan_observed,
+    DynamicCircuit, IterationInfo, TransformOptions,
 };

@@ -5,8 +5,9 @@
 //! circuit and a role partition, get back the dynamic circuit together with
 //! its equivalence report and resource comparison.
 
-use crate::cost::ResourceSummary;
+use crate::cost::{CostModel, ResourceSummary};
 use crate::error::DqcError;
+use crate::reuse::{plan_with_scheme_observed, ReuseMode, ReuseReport};
 use crate::roles::QubitRoles;
 use crate::scheme::{transform_with_scheme_observed, DynamicScheme};
 use crate::transform::{DynamicCircuit, TransformOptions};
@@ -42,6 +43,8 @@ pub struct Pipeline {
     scheme: DynamicScheme,
     options: TransformOptions,
     compare_answers: bool,
+    reuse: Option<ReuseMode>,
+    cost: CostModel,
     observer: Observer,
     tracer: Tracer,
 }
@@ -61,9 +64,30 @@ impl Pipeline {
             scheme: DynamicScheme::Dynamic2,
             options: TransformOptions::default(),
             compare_answers: false,
+            reuse: None,
+            cost: CostModel::default(),
             observer: Observer::disabled(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Enables reuse planning: instead of the fixed single-data-qubit
+    /// scheme, the planner searches lane plans per [`ReuseMode`] (a fixed
+    /// width, `off` for no reuse, or `auto` for the best cost-model score)
+    /// and the run's [`PipelineResult::reuse`] reports the selection.
+    /// Without this call the paper's `k = 1` path runs unchanged.
+    #[must_use]
+    pub fn reuse(mut self, mode: ReuseMode) -> Self {
+        self.reuse = Some(mode);
+        self
+    }
+
+    /// Overrides the cost model scoring reuse plans (only consulted when
+    /// [`Pipeline::reuse`] is set).
+    #[must_use]
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
     }
 
     /// Selects the Toffoli realization scheme.
@@ -130,20 +154,37 @@ impl Pipeline {
             .map_err(|source| DqcError::InvalidCircuit { source })?;
         let obs = &self.observer;
         let mut phases = self.tracer.top_local();
-        let dynamic = {
+        let (dynamic, reuse) = {
             let mut span = obs.span("pipeline.transform");
             span.field("scheme", self.scheme.to_string());
             span.field("qubits", circuit.num_qubits());
             span.field("instructions", circuit.len());
+            if let Some(mode) = self.reuse {
+                span.field("reuse", mode.to_string());
+            }
             if let Some(t) = phases.as_mut() {
                 t.begin("pipeline.transform");
             }
-            let dynamic =
-                transform_with_scheme_observed(circuit, roles, self.scheme, &self.options, obs);
+            let outcome = match self.reuse {
+                Some(mode) => plan_with_scheme_observed(
+                    circuit,
+                    roles,
+                    self.scheme,
+                    mode,
+                    &self.cost,
+                    &self.options,
+                    obs,
+                )
+                .map(|(d, r)| (d, Some(r))),
+                None => {
+                    transform_with_scheme_observed(circuit, roles, self.scheme, &self.options, obs)
+                        .map(|d| (d, None))
+                }
+            };
             if let Some(t) = phases.as_mut() {
                 t.end();
             }
-            dynamic?
+            outcome?
         };
         let report = {
             let _span = obs.span("pipeline.verify");
@@ -197,6 +238,7 @@ impl Pipeline {
             report,
             traditional,
             resources,
+            reuse,
         })
     }
 }
@@ -214,6 +256,8 @@ pub struct PipelineResult {
     pub traditional: ResourceSummary,
     /// Resource summary of the dynamic circuit.
     pub resources: ResourceSummary,
+    /// The reuse planner's report, when [`Pipeline::reuse`] was set.
+    pub reuse: Option<ReuseReport>,
 }
 
 impl PipelineResult {
@@ -243,7 +287,11 @@ impl fmt::Display for PipelineResult {
             self.depth_overhead(),
             self.resources.iterations.unwrap_or(0),
             self.report.tvd
-        )
+        )?;
+        if let Some(reuse) = &self.reuse {
+            write!(f, ", reuse[{reuse}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -297,6 +345,59 @@ mod tests {
             .run(&dj_and(), &roles)
             .unwrap();
         assert_eq!(result.resources.resets, 3); // 3 iterations, all reset
+    }
+
+    #[test]
+    fn reuse_auto_reports_the_selected_width() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let result = Pipeline::new()
+            .reuse(ReuseMode::Auto)
+            .run(&dj_and(), &roles)
+            .unwrap();
+        let reuse = result.reuse.as_ref().expect("reuse mode was set");
+        assert_eq!(reuse.mode, ReuseMode::Auto);
+        assert_eq!(result.dynamic.lanes(), reuse.k);
+        assert!(result.report.equivalent(1e-10));
+        assert!(result.to_string().contains("reuse["));
+    }
+
+    #[test]
+    fn reuse_off_reproduces_the_traditional_width() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let result = Pipeline::new()
+            .reuse(ReuseMode::Off)
+            .run(&dj_and(), &roles)
+            .unwrap();
+        let reuse = result.reuse.as_ref().expect("reuse mode was set");
+        // Dynamic-2 lowering adds one shared ancilla: 2 data + ancilla.
+        assert_eq!(reuse.k, 3);
+        assert_eq!(result.qubit_saving(), 0);
+        assert!(result.report.equivalent(1e-10));
+    }
+
+    #[test]
+    fn reuse_width_one_matches_the_legacy_path() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let legacy = Pipeline::new().run(&dj_and(), &roles).unwrap();
+        let planned = Pipeline::new()
+            .reuse(ReuseMode::Width(1))
+            .run(&dj_and(), &roles)
+            .unwrap();
+        assert!(legacy.reuse.is_none());
+        assert_eq!(
+            qcir::qasm::to_qasm(planned.dynamic.circuit()),
+            qcir::qasm::to_qasm(legacy.dynamic.circuit())
+        );
+    }
+
+    #[test]
+    fn reuse_infeasible_width_errors() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let err = Pipeline::new()
+            .reuse(ReuseMode::Width(7))
+            .run(&dj_and(), &roles)
+            .unwrap_err();
+        assert!(matches!(err, DqcError::InvalidPlan { .. }), "{err}");
     }
 
     #[test]

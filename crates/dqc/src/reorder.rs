@@ -7,8 +7,9 @@
 //! and produces a stable topological order of the work qubits.
 
 use crate::error::DqcError;
-use crate::roles::{QubitRoles, Role};
-use qcir::{Circuit, Gate, OpKind, Qubit};
+use crate::roles::QubitRoles;
+use qcir::reuse::{QubitDependencyGraph, ReuseError};
+use qcir::{Circuit, Qubit};
 
 /// Computes the iteration order of the work qubits (data and ancilla).
 ///
@@ -38,78 +39,27 @@ use qcir::{Circuit, Gate, OpKind, Qubit};
 /// assert_eq!(order, vec![Qubit::new(1), Qubit::new(0)]);
 /// ```
 pub fn reorder_work_qubits(circuit: &Circuit, roles: &QubitRoles) -> Result<Vec<Qubit>, DqcError> {
+    // The foldable set is exactly the work qubits: answer qubits stay
+    // physical and impose no ordering (qcir::reuse ignores non-foldable
+    // operands, matching the paper's Case-2 relation).
     let work = roles.work_qubits();
-    let pos_of = |q: Qubit| work.iter().position(|&w| w == q);
-    let n = work.len();
-    // adjacency[u] contains v when u must precede v.
-    let mut succ = vec![Vec::new(); n];
-    let mut indegree = vec![0usize; n];
+    let graph = QubitDependencyGraph::build(circuit, &work).map_err(from_reuse_error)?;
+    graph.topological_order().map_err(from_reuse_error)
+}
 
-    for inst in circuit.iter() {
-        let OpKind::Gate(g) = inst.kind() else {
-            continue;
-        };
-        let qubits = inst.qubits();
-        let n_ctrl = g.num_controls();
-        let work_operands: Vec<Qubit> = qubits
-            .iter()
-            .copied()
-            .filter(|&q| !matches!(roles.role_of(q), Some(Role::Answer)))
-            .collect();
-        if work_operands.len() <= 1 {
-            continue;
-        }
-        // Multiple work operands: only controlled gates with exactly one
-        // target can be split (controls classicalized, target replayed).
-        if n_ctrl == 0 || matches!(g, Gate::Swap) {
-            return Err(DqcError::Unrealizable {
-                what: inst.to_string(),
-                reason: "couples work qubits without a control/target structure".into(),
-            });
-        }
-        let target = qubits[qubits.len() - 1];
-        if matches!(roles.role_of(target), Some(Role::Answer)) {
-            // All work operands are controls: no mutual ordering implied.
-            continue;
-        }
-        let Some(t) = pos_of(target) else {
-            continue;
-        };
-        for &c in &qubits[..n_ctrl] {
-            if matches!(roles.role_of(c), Some(Role::Answer)) {
-                continue;
-            }
-            if let Some(u) = pos_of(c) {
-                if u != t && !succ[u].contains(&t) {
-                    succ[u].push(t);
-                    indegree[t] += 1;
-                }
-            }
-        }
+/// Maps the analysis-layer error onto the transformation's vocabulary.
+fn from_reuse_error(err: ReuseError) -> DqcError {
+    match err {
+        ReuseError::Uncoupled { what } => DqcError::Unrealizable {
+            what,
+            reason: "couples work qubits without a control/target structure".into(),
+        },
+        ReuseError::Cyclic { qubits } => DqcError::CyclicDependency { qubits },
+        other => DqcError::Unrealizable {
+            what: other.to_string(),
+            reason: "reuse dependency analysis failed".into(),
+        },
     }
-
-    // Stable Kahn: always pick the ready qubit with the smallest original
-    // position, preserving the paper's data-register order when possible.
-    let mut order = Vec::with_capacity(n);
-    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-    while let Some(&next) = ready.iter().min() {
-        ready.retain(|&i| i != next);
-        order.push(work[next]);
-        for &v in &succ[next] {
-            indegree[v] -= 1;
-            if indegree[v] == 0 {
-                ready.push(v);
-            }
-        }
-    }
-    if order.len() != n {
-        let stuck: Vec<Qubit> = (0..n)
-            .filter(|&i| indegree[i] > 0)
-            .map(|i| work[i])
-            .collect();
-        return Err(DqcError::CyclicDependency { qubits: stuck });
-    }
-    Ok(order)
 }
 
 #[cfg(test)]

@@ -96,35 +96,46 @@ pub fn transform_with_scheme_observed(
     options: &TransformOptions,
     obs: &Observer,
 ) -> Result<DynamicCircuit, DqcError> {
+    let (lowered, roles) = lower_for_scheme(circuit, roles, scheme, obs);
+    transform_observed(&lowered, &roles, options, obs)
+}
+
+/// Lowers Toffolis according to `scheme` without running Algorithm 1: the
+/// shared front half of [`transform_with_scheme_observed`] and the reuse
+/// planner ([`crate::plan_with_scheme`]), which transforms the lowered
+/// circuit many times under different lane plans.
+///
+/// Returns the lowered circuit together with the (possibly extended) role
+/// partition — dynamic-2 appends the decomposition's shared ancilla wires.
+pub(crate) fn lower_for_scheme(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    scheme: DynamicScheme,
+    obs: &Observer,
+) -> (Circuit, QubitRoles) {
     match scheme {
-        DynamicScheme::Direct => transform_observed(circuit, roles, options, obs),
+        DynamicScheme::Direct => (circuit.clone(), roles.clone()),
         DynamicScheme::Dynamic1 => {
-            let lowered = {
-                let mut span = obs.span("transform.lower");
-                span.field("scheme", "dynamic-1");
-                span.field("before", circuit.len());
-                let oriented = orient_toffolis(circuit, roles);
-                let lowered = decompose_ccx(&oriented, ToffoliStyle::CvChain);
-                span.field("after", lowered.len());
-                lowered
-            };
-            transform_observed(&lowered, roles, options, obs)
+            let mut span = obs.span("transform.lower");
+            span.field("scheme", "dynamic-1");
+            span.field("before", circuit.len());
+            let oriented = orient_toffolis(circuit, roles);
+            let lowered = decompose_ccx(&oriented, ToffoliStyle::CvChain);
+            span.field("after", lowered.len());
+            (lowered, roles.clone())
         }
         DynamicScheme::Dynamic2 => {
             let mut roles = roles.clone();
-            let lowered = {
-                let mut span = obs.span("transform.lower");
-                span.field("scheme", "dynamic-2");
-                span.field("before", circuit.len());
-                let ancillas = qcir::decompose::cv_ancilla_wires(circuit);
-                let lowered = decompose_ccx(circuit, ToffoliStyle::CvAncilla);
-                for a in ancillas {
-                    roles = roles.with_extra_ancilla(a);
-                }
-                span.field("after", lowered.len());
-                lowered
-            };
-            transform_observed(&lowered, &roles, options, obs)
+            let mut span = obs.span("transform.lower");
+            span.field("scheme", "dynamic-2");
+            span.field("before", circuit.len());
+            let ancillas = qcir::decompose::cv_ancilla_wires(circuit);
+            let lowered = decompose_ccx(circuit, ToffoliStyle::CvAncilla);
+            for a in ancillas {
+                roles = roles.with_extra_ancilla(a);
+            }
+            span.field("after", lowered.len());
+            (lowered, roles)
         }
     }
 }

@@ -1,28 +1,40 @@
-//! Algorithm 1: the traditional-to-dynamic circuit transformation.
+//! Algorithm 1, generalized to `k` physical lanes: the
+//! traditional-to-dynamic circuit transformation.
 //!
 //! Given a unitary circuit and a data/ancilla/answer role partition, the
-//! transformation emits a circuit on **one physical data qubit plus the
+//! transformation emits a circuit on **`k` physical lane wires plus the
 //! answer qubits** that replays each work qubit's gates in its own
-//! *iteration*: active reset, the qubit's unitary gates (with interactions
-//! to already-measured work qubits replaced by classically controlled
-//! gates), then a mid-circuit measurement into the classical result register
-//! (data qubits only).
+//! *iteration* on its lane: active reset, the qubit's unitary gates (with
+//! interactions to already-measured work qubits replaced by classically
+//! controlled gates), then a mid-circuit measurement into the classical
+//! result register (data qubits only). The paper's scheme is the `k = 1`
+//! special case ([`ReusePlan::single_lane`], the default of [`transform`]);
+//! `k = m` ([`ReusePlan::full_width`]) performs no reuse and reproduces the
+//! input gates with trailing measurements.
 //!
 //! ## Scheduling semantics
 //!
-//! Within an iteration, gates are emitted in original circuit order. A gate
-//! that cannot run yet is *deferred*; deferring establishes ordering
-//! constraints on the wires where the gate will still act **quantumly**
-//! (answer wires and later work qubits), and a subsequent gate may only be
-//! hoisted past a deferred one when they share no such wire or provably
-//! commute (exact matrix test). Constraints on the *control* side of a
-//! work-to-work gate are deliberately released — the control is read from
-//! its measurement result instead, which is the approximation the paper
-//! accepts (and the reason dynamic-1 loses accuracy, see the `verify`
-//! module).
+//! Lane heads all activate at the start; a later lane member activates at
+//! its position in the Case-2 work order, retiring (measuring) its lane
+//! predecessor first. After every activation a scheduling sweep emits each
+//! currently-eligible gate in original circuit order. A gate that cannot
+//! run yet is *deferred*; deferring establishes ordering constraints on the
+//! wires where the gate will still act **quantumly** (answer wires and
+//! not-yet-retired work qubits), and a subsequent gate may only be hoisted
+//! past a deferred one when they share no such wire or provably commute
+//! (exact matrix test).
+//!
+//! At `k = 1`, constraints on the *control* side of a work-to-work gate are
+//! deliberately released — the control is read from its measurement result
+//! instead, which is the approximation the paper accepts (and the reason
+//! dynamic-1 loses accuracy, see the `verify` module). At `k > 1` a control
+//! wire is only released when the schedule *guarantees* the control retires
+//! before the gate can first be emitted; concurrently-live lanes keep their
+//! quantum ordering.
 
 use crate::error::DqcError;
 use crate::reorder::reorder_work_qubits;
+use crate::reuse::{LaneSchedule, ReusePlan};
 use crate::roles::{QubitRoles, Role};
 use qcir::commute::gates_commute;
 use qcir::passes::{
@@ -39,7 +51,7 @@ use qobs::Observer;
 /// redundant classically controlled operations is enabled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransformOptions {
-    /// Emit an active reset before the first iteration too.
+    /// Emit an active reset before the first iteration of every lane too.
     pub reset_first_iteration: bool,
     /// Emit active resets of the answer qubits before the first iteration.
     pub reset_answer_qubits: bool,
@@ -72,20 +84,24 @@ pub struct IterationInfo {
     pub role: Role,
     /// `true` when the iteration ends with a measurement (data qubits).
     pub measured: bool,
+    /// The physical lane wire this iteration runs on (`0` at `k = 1`).
+    pub lane: usize,
 }
 
 /// The result of the dynamic transformation.
 ///
-/// Wire layout of [`DynamicCircuit::circuit`]: qubit 0 is the physical data
-/// qubit; qubits `1..=k` are the `k` answer qubits in the role partition's
-/// order. Classical bit `i` holds the measurement of data qubit
-/// `roles.data()[i]`.
+/// Wire layout of [`DynamicCircuit::circuit`]: qubits `0..k` are the
+/// physical lane wires (`k = 1` for the paper's scheme); qubits
+/// `k..k + a` are the `a` answer qubits in the role partition's order.
+/// Classical bit `i` holds the measurement of data qubit `roles.data()[i]`,
+/// independent of the lane it ran on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DynamicCircuit {
     circuit: Circuit,
     answer_qubits: Vec<Qubit>,
     result_bits: Vec<Clbit>,
     iterations: Vec<IterationInfo>,
+    lanes: usize,
 }
 
 impl DynamicCircuit {
@@ -101,10 +117,23 @@ impl DynamicCircuit {
         self.circuit
     }
 
-    /// The physical data qubit (always wire 0).
+    /// The first physical lane wire (wire 0) — the unique data qubit of the
+    /// paper's `k = 1` scheme.
     #[must_use]
     pub fn data_qubit(&self) -> Qubit {
         Qubit::new(0)
+    }
+
+    /// Number of physical lane wires (`k`; 1 for the paper's scheme).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The physical lane wires, `0..k`.
+    #[must_use]
+    pub fn lane_wires(&self) -> Vec<Qubit> {
+        (0..self.lanes).map(Qubit::new).collect()
     }
 
     /// The physical answer qubits, in the role partition's answer order.
@@ -120,7 +149,7 @@ impl DynamicCircuit {
         &self.result_bits
     }
 
-    /// Iteration structure, in execution order.
+    /// Iteration structure, in activation order.
     #[must_use]
     pub fn iterations(&self) -> &[IterationInfo] {
         &self.iterations
@@ -133,12 +162,14 @@ impl DynamicCircuit {
     }
 
     /// Splits the emitted instruction stream into per-iteration slices,
-    /// using the data-qubit resets as separators (the reset *starts* the
+    /// using the wire-0 resets as separators (the reset *starts* the
     /// next iteration, matching the paper's definition of an iteration as
     /// "all operations between a reset and a measurement").
     ///
-    /// The number of slices equals [`DynamicCircuit::num_iterations`]; the
-    /// slices partition the instruction list.
+    /// This is a single-lane notion: at `k = 1` the number of slices equals
+    /// [`DynamicCircuit::num_iterations`] and the slices partition the
+    /// instruction list. For `k > 1` use [`DynamicCircuit::lane_slices`],
+    /// which tracks one lane's replays individually.
     #[must_use]
     pub fn iteration_slices(&self) -> Vec<&[Instruction]> {
         let insts = self.circuit.instructions();
@@ -152,9 +183,35 @@ impl DynamicCircuit {
         boundaries.push(insts.len());
         boundaries.windows(2).map(|w| &insts[w[0]..w[1]]).collect()
     }
+
+    /// Instruction indices touching lane `lane`'s wire, split into one
+    /// group per replay: a reset on the wire (after it has already been
+    /// used) starts the next group. Barriers are skipped. The number of
+    /// groups equals the number of iterations scheduled on that lane.
+    #[must_use]
+    pub fn lane_slices(&self, lane: usize) -> Vec<Vec<usize>> {
+        let wire = Qubit::new(lane);
+        let mut slices: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        for (idx, inst) in self.circuit.iter().enumerate() {
+            if inst.is_barrier() || !inst.qubits().contains(&wire) {
+                continue;
+            }
+            if matches!(inst.kind(), OpKind::Reset) && !current.is_empty() {
+                slices.push(std::mem::take(&mut current));
+            }
+            current.push(idx);
+        }
+        if !current.is_empty() {
+            slices.push(current);
+        }
+        slices
+    }
 }
 
-/// Applies Algorithm 1 to `circuit` under the given role partition.
+/// Applies Algorithm 1 to `circuit` under the given role partition, folding
+/// all work qubits onto one physical data qubit (the paper's scheme,
+/// [`ReusePlan::single_lane`]).
 ///
 /// # Errors
 ///
@@ -197,7 +254,8 @@ pub fn transform(
 /// partition check (`transform.roles`), the work-qubit reorder
 /// (`transform.reorder`), the whole emission loop (`transform.emit`) and
 /// the peephole cleanup (`transform.peephole`), plus one
-/// `transform.iteration` event per emitted iteration.
+/// `transform.iteration` event per emitted iteration, a `reuse.lanes`
+/// gauge and a `reuse.resets_inserted` counter.
 ///
 /// With a disabled observer this is exactly [`transform`] — every
 /// instrumentation call short-circuits on a boolean.
@@ -208,6 +266,63 @@ pub fn transform(
 pub fn transform_observed(
     circuit: &Circuit,
     roles: &QubitRoles,
+    options: &TransformOptions,
+    obs: &Observer,
+) -> Result<DynamicCircuit, DqcError> {
+    transform_with_plan_observed(circuit, roles, &ReusePlan::single_lane(), options, obs)
+}
+
+/// Applies the generalized transformation under an explicit reuse plan.
+///
+/// The plan's lanes are resolved against the Case-2 work order; lane `i`
+/// replays its member qubits, in order, on physical wire `i`.
+///
+/// # Errors
+///
+/// Everything [`transform`] raises, plus [`DqcError::InvalidPlan`] when the
+/// plan does not partition the work order into ordered increasing lanes.
+pub fn transform_with_plan(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    plan: &ReusePlan,
+    options: &TransformOptions,
+) -> Result<DynamicCircuit, DqcError> {
+    transform_with_plan_observed(circuit, roles, plan, options, &Observer::disabled())
+}
+
+/// Lifecycle of a qubit in the lane emitter.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FoldState {
+    /// Not folded (answer qubit).
+    NonWork,
+    /// Work qubit whose iteration has not started.
+    Pending,
+    /// Work qubit currently live on its lane wire.
+    Active,
+    /// Work qubit retired (measured if data); reads are classical.
+    Retired,
+}
+
+/// A lane's currently-live iteration.
+struct ActiveLane {
+    qubit: Qubit,
+    /// `out.len()` at activation (before the lane reset), for the
+    /// `emitted` event field.
+    start_len: usize,
+    /// Index into the `iterations` list, recorded at activation.
+    index: usize,
+}
+
+/// [`transform_with_plan`] with instrumentation (see
+/// [`transform_observed`]).
+///
+/// # Errors
+///
+/// Same as [`transform_with_plan`].
+pub fn transform_with_plan_observed(
+    circuit: &Circuit,
+    roles: &QubitRoles,
+    plan: &ReusePlan,
     options: &TransformOptions,
     obs: &Observer,
 ) -> Result<DynamicCircuit, DqcError> {
@@ -232,12 +347,21 @@ pub fn transform_observed(
         span.field("work_qubits", order.len());
         order
     };
+    let lanes = plan.resolve(&work_order)?;
+    let k = lanes.len().max(1);
+    let sched = LaneSchedule::new(&lanes, &work_order, circuit.num_qubits());
+    // Deferred-measurement frontier: a classical read of qubit `q` by the
+    // gate at index `idx` is exact iff no gate after `idx` acts
+    // non-diagonally on `q`. Only consulted for k > 1 (the single-lane
+    // scheme keeps the paper's approximation instead).
+    let frontier: Vec<Option<usize>> = (0..circuit.num_qubits())
+        .map(|i| qcir::reuse::last_nondiagonal_action(circuit, Qubit::new(i)))
+        .collect();
     let n_answer = roles.answer().len();
     let n_data = roles.data().len();
 
-    let mut out = Circuit::with_name(format!("{}_dqc", circuit.name()), 1 + n_answer, n_data);
-    let qd = Qubit::new(0);
-    let answer_wires: Vec<Qubit> = (1..=n_answer).map(Qubit::new).collect();
+    let mut out = Circuit::with_name(format!("{}_dqc", circuit.name()), k + n_answer, n_data);
+    let answer_wires: Vec<Qubit> = (k..k + n_answer).map(Qubit::new).collect();
     let result_bits: Vec<Clbit> = (0..n_data).map(Clbit::new).collect();
 
     if options.reset_answer_qubits {
@@ -246,73 +370,158 @@ pub fn transform_observed(
         }
     }
 
-    // Iteration index of each work qubit, for "measured earlier" checks.
-    let iteration_of = |q: Qubit| work_order.iter().position(|&w| w == q);
+    let mut state: Vec<FoldState> = (0..circuit.num_qubits())
+        .map(|i| {
+            if work_order.contains(&Qubit::new(i)) {
+                FoldState::Pending
+            } else {
+                FoldState::NonWork
+            }
+        })
+        .collect();
+    let mut active: Vec<Option<ActiveLane>> = (0..k).map(|_| None).collect();
 
     let mut transformed: Vec<bool> = circuit
         .iter()
         .map(|inst| inst.is_barrier()) // barriers carry no semantics here
         .collect();
-    let mut iterations = Vec::new();
+    let mut iterations: Vec<IterationInfo> = Vec::new();
     let mut emit_span = obs.span("transform.emit");
+    emit_span.field("lanes", k);
 
-    for (it, &w) in work_order.iter().enumerate() {
-        let emitted_before = out.len();
-        if it > 0 || options.reset_first_iteration {
-            out.reset(qd);
+    // Retires a lane's live qubit: measure (data only), mark classical and
+    // fire the iteration event. `out.len() - start_len` counts everything
+    // emitted while the iteration was live (at k = 1 this is exactly the
+    // iteration's instructions; concurrent lanes interleave).
+    let retire = |act: ActiveLane,
+                  lane: usize,
+                  state: &mut [FoldState],
+                  iterations: &[IterationInfo],
+                  out: &mut Circuit| {
+        let info = &iterations[act.index];
+        if info.measured {
+            let bit = result_bits[roles.data_index(act.qubit).expect("data qubit has index")];
+            out.measure(Qubit::new(lane), bit);
         }
-        schedule_iteration(
-            circuit,
-            roles,
-            &mut transformed,
-            Some((w, it)),
-            &iteration_of,
-            qd,
-            &answer_wires,
-            &result_bits,
-            &mut out,
-        )?;
-        let is_data = matches!(roles.role_of(w), Some(Role::Data));
-        if is_data {
-            let bit = result_bits[roles.data_index(w).expect("data qubit has index")];
-            out.measure(qd, bit);
-        }
-        let role = roles.role_of(w).expect("work qubit has role");
+        state[act.qubit.index()] = FoldState::Retired;
         obs.event(
             "transform.iteration",
             &[
-                ("index", it.into()),
-                ("work_qubit", w.index().into()),
+                ("index", act.index.into()),
+                ("work_qubit", act.qubit.index().into()),
                 (
                     "role",
-                    if matches!(role, Role::Data) {
+                    if matches!(info.role, Role::Data) {
                         "data".into()
                     } else {
                         "ancilla".into()
                     },
                 ),
-                ("measured", is_data.into()),
-                ("emitted", (out.len() - emitted_before).into()),
+                ("measured", info.measured.into()),
+                ("lane", lane.into()),
+                ("emitted", (out.len() - act.start_len).into()),
             ],
         );
+    };
+
+    // Stage 0: every lane head activates together.
+    for (l, lane) in lanes.iter().enumerate() {
+        let w = lane[0];
+        let start_len = out.len();
+        if options.reset_first_iteration {
+            out.reset(Qubit::new(l));
+        }
+        state[w.index()] = FoldState::Active;
+        let role = roles.role_of(w).expect("work qubit has role");
+        let is_data = matches!(role, Role::Data);
+        active[l] = Some(ActiveLane {
+            qubit: w,
+            start_len,
+            index: iterations.len(),
+        });
         iterations.push(IterationInfo {
             work_qubit: w,
             role,
             measured: is_data,
+            lane: l,
         });
-        if options.insert_barriers && it + 1 < work_order.len() {
+    }
+    sweep(
+        circuit,
+        roles,
+        &sched,
+        k,
+        &frontier,
+        &mut transformed,
+        &state,
+        &answer_wires,
+        &result_bits,
+        &mut out,
+    )?;
+
+    // Later lane members: retire the predecessor, reset the lane wire,
+    // activate, sweep.
+    for &w in &work_order {
+        if state[w.index()] != FoldState::Pending {
+            continue;
+        }
+        let l = sched.lane_of(w);
+        let prev = active[l]
+            .take()
+            .expect("non-head lane member has an active predecessor");
+        retire(prev, l, &mut state, &iterations, &mut out);
+        if options.insert_barriers {
             out.barrier_all();
         }
+        let start_len = out.len();
+        out.reset(Qubit::new(l));
+        state[w.index()] = FoldState::Active;
+        let role = roles.role_of(w).expect("work qubit has role");
+        let is_data = matches!(role, Role::Data);
+        active[l] = Some(ActiveLane {
+            qubit: w,
+            start_len,
+            index: iterations.len(),
+        });
+        iterations.push(IterationInfo {
+            work_qubit: w,
+            role,
+            measured: is_data,
+            lane: l,
+        });
+        sweep(
+            circuit,
+            roles,
+            &sched,
+            k,
+            &frontier,
+            &mut transformed,
+            &state,
+            &answer_wires,
+            &result_bits,
+            &mut out,
+        )?;
+    }
+
+    // Final retirements (each lane's last member), in work-qubit order.
+    for &w in &work_order {
+        if state[w.index()] != FoldState::Active {
+            continue;
+        }
+        let l = sched.lane_of(w);
+        let act = active[l].take().expect("active qubit is on its lane");
+        retire(act, l, &mut state, &iterations, &mut out);
     }
 
     // Final cleanup pass: gates whose every work operand is now classical.
-    schedule_iteration(
+    sweep(
         circuit,
         roles,
+        &sched,
+        k,
+        &frontier,
         &mut transformed,
-        None,
-        &iteration_of,
-        qd,
+        &state,
         &answer_wires,
         &result_bits,
         &mut out,
@@ -327,17 +536,18 @@ pub fn transform_observed(
         return Err(DqcError::Incomplete { remaining });
     }
 
+    let lane_wires: Vec<Qubit> = (0..k).map(Qubit::new).collect();
     let circuit_out = if options.peephole {
         let mut span = obs.span("transform.peephole");
         let before = out.len();
-        // The physical data qubit's final state is discarded (it is either
+        // The lane wires' final states are discarded (each is either
         // measured or a spent ancilla); answer wires stay live for later
         // composition. Iterate the passes to a fixed point.
         let mut current = out;
         let cleaned = loop {
             let next = remove_dead_writes_assuming_discarded(
                 &merge_conditioned_x_runs(&cancel_adjacent_inverses(&current)),
-                &[qd],
+                &lane_wires,
             );
             if next.len() == current.len() {
                 break next;
@@ -351,29 +561,41 @@ pub fn transform_observed(
         out
     };
 
+    obs.gauge_set("reuse.lanes", k as f64);
+    let resets = circuit_out
+        .iter()
+        .filter(|i| matches!(i.kind(), OpKind::Reset))
+        .count();
+    obs.counter_add("reuse.resets_inserted", resets as u64);
+
     Ok(DynamicCircuit {
         circuit: circuit_out,
         answer_qubits: answer_wires,
         result_bits,
         iterations,
+        lanes: k,
     })
 }
 
-/// One scheduling sweep: emits every currently-eligible untransformed gate.
-/// `current` is `Some((work_qubit, iteration_index))` during an iteration or
-/// `None` for the final all-classical cleanup sweep.
+/// One scheduling sweep: emits every currently-eligible untransformed gate,
+/// in original circuit order, against the current qubit lifecycle `state`.
 #[allow(clippy::too_many_arguments)]
-fn schedule_iteration(
+fn sweep(
     circuit: &Circuit,
     roles: &QubitRoles,
+    sched: &LaneSchedule,
+    width: usize,
+    frontier: &[Option<usize>],
     transformed: &mut [bool],
-    current: Option<(Qubit, usize)>,
-    iteration_of: &dyn Fn(Qubit) -> Option<usize>,
-    qd: Qubit,
+    state: &[FoldState],
     answer_wires: &[Qubit],
     result_bits: &[Clbit],
     out: &mut Circuit,
 ) -> Result<(), DqcError> {
+    // Exact classical read: nothing after `idx` acts non-diagonally on
+    // `q`, so the early measurement commutes with the rest of `q`'s gates.
+    let sound_read = |idx: usize, q: Qubit| frontier[q.index()].is_none_or(|last| last <= idx);
+
     // Deferred gates and the wires on which they will still act quantumly.
     let mut deferred: Vec<(usize, Vec<Qubit>)> = Vec::new();
 
@@ -393,19 +615,22 @@ fn schedule_iteration(
         for (k, &qb) in qubits.iter().enumerate() {
             match roles.role_of(qb) {
                 Some(Role::Answer) => {}
-                Some(role @ (Role::Data | Role::Ancilla)) => {
-                    let is_current = current.is_some_and(|(w, _)| w == qb);
-                    if is_current {
-                        continue;
-                    }
-                    let earlier = match (iteration_of(qb), current) {
-                        (Some(i), Some((_, it))) => i < it,
-                        (Some(_), None) => true, // cleanup sweep: all past
-                        (None, _) => false,
-                    };
-                    if earlier {
-                        if k < n_ctrl && matches!(role, Role::Data) {
+                Some(role @ (Role::Data | Role::Ancilla)) => match state[qb.index()] {
+                    FoldState::Active => {}
+                    FoldState::Retired => {
+                        if k < n_ctrl
+                            && matches!(role, Role::Data)
+                            && (width <= 1 || sound_read(idx, qb))
+                        {
                             classical_controls.push(qb);
+                        } else if k < n_ctrl && matches!(role, Role::Data) {
+                            return Err(DqcError::Unrealizable {
+                                what: inst.to_string(),
+                                reason: "classical read of a control measured after \
+                                         basis-changing gates is not exact (unsound \
+                                         with concurrent lanes)"
+                                    .into(),
+                            });
                         } else {
                             return Err(DqcError::Unrealizable {
                                 what: inst.to_string(),
@@ -418,16 +643,16 @@ fn schedule_iteration(
                                 },
                             });
                         }
-                    } else {
-                        eligible = false;
                     }
-                }
+                    FoldState::Pending => eligible = false,
+                    FoldState::NonWork => unreachable!("work qubit state tracked"),
+                },
                 None => unreachable!("roles validated"),
             }
         }
 
         // Quantum wires of this gate if it were deferred: everything except
-        // classical(izable) control reads on measured-or-current data.
+        // control reads that are certain to be classical by emission time.
         let quantum_wires_if_deferred: Vec<Qubit> = qubits
             .iter()
             .enumerate()
@@ -438,9 +663,22 @@ fn schedule_iteration(
                 }
                 let is_control = k < n_ctrl;
                 let is_data = matches!(roles.role_of(qb), Some(Role::Data));
-                // A data control will eventually be read classically; its
-                // wire constraint is released (the paper's approximation).
-                !(is_control && is_data)
+                if width <= 1 {
+                    // Single lane: a data control will eventually be read
+                    // classically; its wire constraint is released (the
+                    // paper's approximation).
+                    !(is_control && is_data)
+                } else {
+                    // Concurrent lanes: only release the constraint when
+                    // the schedule guarantees the control retires before
+                    // the gate's earliest emission step AND the early
+                    // classical read is exact — otherwise the control stays
+                    // a quantum ordering constraint.
+                    !(is_control
+                        && is_data
+                        && sched.statically_classical(qb, qubits)
+                        && sound_read(idx, qb))
+                }
             })
             .map(|(_, &qb)| qb)
             .collect();
@@ -473,7 +711,7 @@ fn schedule_iteration(
             }
             new_qubits.push(match roles.role_of(qb) {
                 Some(Role::Answer) => answer_wires[roles.answer_index(qb).expect("answer indexed")],
-                _ => qd,
+                _ => Qubit::new(sched.lane_of(qb)),
             });
         }
         let mut emitted = if let Some(g) = reduced {
@@ -564,7 +802,9 @@ mod tests {
         assert_eq!(d.circuit().num_qubits(), 2);
         assert_eq!(d.circuit().num_clbits(), 2);
         assert_eq!(d.num_iterations(), 2);
+        assert_eq!(d.lanes(), 1);
         assert!(d.iterations().iter().all(|i| i.measured));
+        assert!(d.iterations().iter().all(|i| i.lane == 0));
         let stats = CircuitStats::of(d.circuit());
         assert_eq!(stats.reset_count, 1); // between the two iterations
         assert_eq!(stats.measure_count, 2);
@@ -816,5 +1056,115 @@ mod tests {
         assert_eq!(d.num_iterations(), 2);
         // Each data iteration still measures (the paper's empty iterations).
         assert_eq!(CircuitStats::of(d.circuit()).measure_count, 2);
+    }
+
+    // ---- k-lane plans -----------------------------------------------------
+
+    #[test]
+    fn full_width_plan_reproduces_the_input_gates() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let opts = TransformOptions {
+            peephole: false,
+            ..default_opts()
+        };
+        let d = transform_with_plan(&bv11(), &roles, &ReusePlan::full_width(), &opts).unwrap();
+        assert_eq!(d.lanes(), 2);
+        assert_eq!(d.circuit().num_qubits(), 3);
+        // No resets, no conditioning: the input gates plus final measures.
+        let stats = CircuitStats::of(d.circuit());
+        assert_eq!(stats.reset_count, 0);
+        assert_eq!(stats.conditioned_count, 0);
+        assert_eq!(stats.measure_count, 2);
+        let gates: Vec<_> = d
+            .circuit()
+            .iter()
+            .filter_map(|i| i.as_gate().cloned())
+            .collect();
+        let original: Vec<_> = bv11().iter().filter_map(|i| i.as_gate().cloned()).collect();
+        assert_eq!(gates, original);
+    }
+
+    #[test]
+    fn single_lane_and_plan_free_transform_agree() {
+        let roles = QubitRoles::data_plus_answer(3);
+        let a = transform(&bv11(), &roles, &default_opts()).unwrap();
+        let b = transform_with_plan(&bv11(), &roles, &ReusePlan::single_lane(), &default_opts())
+            .unwrap();
+        assert_eq!(a.circuit().instructions(), b.circuit().instructions());
+        assert_eq!(a.iterations(), b.iterations());
+    }
+
+    #[test]
+    fn two_lane_plan_keeps_data_data_interaction_quantum() {
+        // CX(d0, d1) on separate lanes stays a quantum CX between wires.
+        let mut c = Circuit::new(3, 0);
+        c.h(q(0)).cx(q(0), q(1)).cx(q(1), q(2));
+        let roles = QubitRoles::data_plus_answer(3);
+        let plan = ReusePlan::from_lanes(vec![vec![q(0)], vec![q(1)]]);
+        let d = transform_with_plan(&c, &roles, &plan, &default_opts()).unwrap();
+        assert_eq!(d.lanes(), 2);
+        let stats = CircuitStats::of(d.circuit());
+        assert_eq!(stats.conditioned_count, 0);
+        assert_eq!(stats.reset_count, 0);
+        assert_eq!(stats.measure_count, 2);
+        assert!(d
+            .circuit()
+            .iter()
+            .any(|i| i.as_gate() == Some(&Gate::Cx) && i.qubits() == [q(0), q(1)]));
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        let roles = QubitRoles::data_plus_answer(3);
+        // Lane order violates the iteration (register) order.
+        let plan = ReusePlan::from_lanes(vec![vec![q(1)], vec![q(0)]]);
+        assert!(matches!(
+            transform_with_plan(&bv11(), &roles, &plan, &default_opts()),
+            Err(DqcError::InvalidPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn lane_slices_track_each_lane_replay() {
+        // 4 work qubits on 2 lanes: 2 replays per lane.
+        let mut c = Circuit::new(5, 0);
+        for d in 0..4 {
+            c.h(q(d)).cx(q(d), q(4));
+        }
+        let roles = QubitRoles::data_plus_answer(5);
+        let plan = ReusePlan::from_lanes(vec![vec![q(0), q(2)], vec![q(1), q(3)]]);
+        let d = transform_with_plan(&c, &roles, &plan, &default_opts()).unwrap();
+        assert_eq!(d.lanes(), 2);
+        assert_eq!(d.num_iterations(), 4);
+        assert_eq!(d.lane_slices(0).len(), 2);
+        assert_eq!(d.lane_slices(1).len(), 2);
+        // Lane assignment matches the plan.
+        let lanes_of: Vec<usize> = d.iterations().iter().map(|i| i.lane).collect();
+        let members: Vec<Qubit> = d.iterations().iter().map(|i| i.work_qubit).collect();
+        assert_eq!(members, vec![q(0), q(1), q(2), q(3)]);
+        assert_eq!(lanes_of, vec![0, 1, 0, 1]);
+        // Width is 2 lanes + 1 answer; all four data qubits measured.
+        assert_eq!(d.circuit().num_qubits(), 3);
+        assert_eq!(CircuitStats::of(d.circuit()).measure_count, 4);
+    }
+
+    #[test]
+    fn unsound_classical_read_is_rejected_for_concurrent_lanes() {
+        // CX(d0, d1) followed by H(d0): reading d0 classically is the
+        // paper's approximation — the measurement lands after the H. The
+        // single-lane scheme accepts it; a multi-lane plan that would need
+        // the same read must be rejected (it is not exact).
+        let mut c = Circuit::new(4, 0);
+        c.h(q(0)).cx(q(0), q(1)).h(q(0)).cx(q(1), q(3)).h(q(2));
+        let roles = QubitRoles::data_plus_answer(4);
+        assert!(
+            transform(&c, &roles, &default_opts()).is_ok(),
+            "single lane keeps the paper's approximation"
+        );
+        // Lanes [[d0, d1], [d2]]: d0 retires when d1 activates, so
+        // CX(d0, d1) needs the classical read — unsound, H(d0) follows.
+        let plan = ReusePlan::from_lanes(vec![vec![q(0), q(1)], vec![q(2)]]);
+        let err = transform_with_plan(&c, &roles, &plan, &default_opts()).unwrap_err();
+        assert!(matches!(err, DqcError::Unrealizable { .. }), "{err}");
     }
 }

@@ -259,3 +259,108 @@ fn terms_clamped(terms: &[Term], n_data: usize) -> Vec<Term> {
         })
         .collect()
 }
+
+// ---------------------------------------------------------------------------
+// Reuse-plan properties: the lane generalization must preserve the paper's
+// structural invariants at every width.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The work-qubit dependency graph of a phase-oracle circuit is always
+    /// acyclic (controls only ever point at the answer), so a replay order
+    /// exists and the reuse planner has a well-defined search space.
+    #[test]
+    fn reuse_dependency_graph_is_acyclic(
+        n_data in 1usize..4,
+        terms in proptest::collection::vec(arb_term(3), 0..8),
+    ) {
+        let circ = build_oracle_circuit(n_data, &terms_clamped(&terms, n_data), false);
+        let work: Vec<Qubit> = (0..n_data).map(Qubit::new).collect();
+        let graph = qcir::reuse::QubitDependencyGraph::build(&circ, &work).unwrap();
+        prop_assert!(graph.is_acyclic());
+        let order = graph.topological_order().unwrap();
+        prop_assert_eq!(order.len(), n_data);
+    }
+
+    /// Every lane partition the enumerator yields is a plan the validator
+    /// accepts, and the number of lanes is exactly the requested width.
+    #[test]
+    fn enumerated_lane_partitions_are_valid_plans(m in 1usize..6, k_raw in 0usize..6) {
+        let k = k_raw % m + 1;
+        let order: Vec<Qubit> = (0..m).map(Qubit::new).collect();
+        for part in qcir::reuse::lane_partitions(m, k, 4096) {
+            let lanes: Vec<Vec<Qubit>> = part
+                .iter()
+                .map(|lane| lane.iter().map(|&p| order[p]).collect())
+                .collect();
+            let plan = dqc::ReusePlan::from_lanes(lanes);
+            let resolved = plan.resolve(&order).unwrap();
+            prop_assert_eq!(resolved.len(), k);
+            let mut members: Vec<usize> =
+                resolved.iter().flatten().map(|q| q.index()).collect();
+            members.sort_unstable();
+            prop_assert_eq!(members, (0..m).collect::<Vec<_>>());
+        }
+    }
+
+    /// The k = m plan (no reuse) reproduces a Toffoli-free input
+    /// instruction-for-instruction: the original unitary gates in order,
+    /// then one trailing measurement per work qubit — and nothing else.
+    #[test]
+    fn full_width_plan_is_the_identity_transform(
+        n_data in 1usize..4,
+        terms in proptest::collection::vec(arb_term(3), 0..8),
+    ) {
+        let circ = build_oracle_circuit(n_data, &terms_clamped(&terms, n_data), true);
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        let opts = TransformOptions { peephole: false, ..TransformOptions::default() };
+        let d = dqc::transform_with_plan(&circ, &roles, &dqc::ReusePlan::full_width(), &opts)
+            .unwrap();
+        let out = d.circuit();
+        prop_assert_eq!(out.num_qubits(), circ.num_qubits());
+        prop_assert_eq!(out.len(), circ.len() + n_data);
+        for (emitted, original) in out.iter().zip(circ.iter()) {
+            prop_assert_eq!(emitted.as_gate(), original.as_gate());
+            prop_assert_eq!(emitted.qubits(), original.qubits());
+            prop_assert!(emitted.condition().is_none());
+        }
+        let stats = CircuitStats::of(out);
+        prop_assert_eq!(stats.reset_count, 0);
+        prop_assert_eq!(stats.measure_count, n_data);
+    }
+
+    /// Feed-forward ordering: at every feasible width, each classically
+    /// controlled gate only reads classical bits some earlier measurement
+    /// already wrote. A read-before-write would mean the lane schedule
+    /// broke the measurement → feed-forward dependency.
+    #[test]
+    fn feed_forward_reads_follow_their_measurements(
+        n_data in 2usize..4,
+        terms in proptest::collection::vec(arb_term(3), 1..8),
+    ) {
+        let circ = build_oracle_circuit(n_data, &terms_clamped(&terms, n_data), false);
+        let roles = QubitRoles::data_plus_answer(n_data + 1);
+        let opts = dqc::ExploreOptions {
+            verify: false,
+            ..dqc::ExploreOptions::default()
+        };
+        for point in dqc::explore(&circ, &roles, &opts).unwrap() {
+            let mut written = std::collections::HashSet::new();
+            for inst in point.dynamic.circuit().iter() {
+                for bit in inst.clbits_read() {
+                    prop_assert!(
+                        written.contains(&bit),
+                        "k={}: condition reads bit {:?} before any measurement wrote it",
+                        point.k,
+                        bit
+                    );
+                }
+                for &bit in inst.clbits_written() {
+                    written.insert(bit);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! QASM round-trips of the reuse design space.
+//!
+//! Every width the planner can emit — the paper's k = 1, an intermediate
+//! width, and the no-reuse k = m — must survive emit → parse → emit with a
+//! byte-identical second emission, including mid-circuit resets, measures
+//! and classically controlled gates. The mitigated variants add `Voted`
+//! conditions (measurement repetition) and verified resets on top, so the
+//! whole dynamic instruction vocabulary is covered.
+
+use dqc::{
+    mitigate, plan_with_scheme, CostModel, DynamicScheme, MitigationOptions, QubitRoles, ReuseMode,
+    TransformOptions,
+};
+use qcir::qasm::{from_qasm, to_qasm};
+use qcir::{Circuit, Condition, Qubit};
+
+fn q(i: usize) -> Qubit {
+    Qubit::new(i)
+}
+
+/// BV(110): 3 data + 1 answer, Toffoli-free, every width 1..=3 feasible.
+fn bv110() -> (Circuit, QubitRoles) {
+    let mut c = Circuit::new(4, 0);
+    c.x(q(3)).h(q(3));
+    for i in 0..3 {
+        c.h(q(i));
+    }
+    c.cx(q(1), q(3)).cx(q(2), q(3));
+    for i in 0..3 {
+        c.h(q(i));
+    }
+    (c, QubitRoles::data_plus_answer(4))
+}
+
+/// DJ AND: one Toffoli, lowered by dynamic-2 (widths 1 and 3 feasible).
+fn dj_and() -> (Circuit, QubitRoles) {
+    let mut c = Circuit::new(3, 0);
+    c.x(q(2)).h(q(2));
+    c.h(q(0)).h(q(1));
+    c.ccx(q(0), q(1), q(2));
+    c.h(q(0)).h(q(1));
+    (c, QubitRoles::data_plus_answer(3))
+}
+
+fn dynamic_at(circuit: &Circuit, roles: &QubitRoles, mode: ReuseMode) -> Circuit {
+    let (dynamic, _) = plan_with_scheme(
+        circuit,
+        roles,
+        DynamicScheme::Dynamic2,
+        mode,
+        &CostModel::default(),
+        &TransformOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("planning {mode} failed: {e}"));
+    dynamic.circuit().clone()
+}
+
+fn assert_round_trips(circuit: &Circuit, what: &str) {
+    let first = to_qasm(circuit);
+    let reparsed = from_qasm(&first).unwrap_or_else(|e| panic!("{what}: parse failed: {e}"));
+    let second = to_qasm(&reparsed);
+    assert_eq!(first, second, "{what}: second emission drifted");
+    assert_eq!(
+        reparsed.num_qubits(),
+        circuit.num_qubits(),
+        "{what}: width changed"
+    );
+    assert_eq!(reparsed.len(), circuit.len(), "{what}: length changed");
+}
+
+#[test]
+fn every_width_round_trips_for_bv() {
+    let (circuit, roles) = bv110();
+    for mode in [ReuseMode::Width(1), ReuseMode::Width(2), ReuseMode::Off] {
+        let dynamic = dynamic_at(&circuit, &roles, mode);
+        assert_round_trips(&dynamic, &format!("BV_110 at {mode}"));
+    }
+    // k = 1 and k = 2 replay lanes, so the reset must survive the trip.
+    let k1 = to_qasm(&dynamic_at(&circuit, &roles, ReuseMode::Width(1)));
+    assert!(k1.contains("reset"), "{k1}");
+}
+
+#[test]
+fn lowered_toffoli_widths_round_trip() {
+    let (circuit, roles) = dj_and();
+    // Widths 1 (paper scheme, classically controlled gates) and m (no
+    // reuse) — k = 2 is soundly infeasible for this circuit.
+    for mode in [ReuseMode::Width(1), ReuseMode::Off] {
+        let dynamic = dynamic_at(&circuit, &roles, mode);
+        assert_round_trips(&dynamic, &format!("DJ_AND at {mode}"));
+    }
+    let k1 = to_qasm(&dynamic_at(&circuit, &roles, ReuseMode::Width(1)));
+    assert!(
+        k1.contains("if ("),
+        "conditioned gates must be emitted: {k1}"
+    );
+}
+
+#[test]
+fn voted_conditions_round_trip_at_every_width() {
+    let (circuit, roles) = dj_and();
+    let opts = MitigationOptions {
+        reset_verify: Some(1),
+        meas_repeat: Some(3),
+        readout_cal: false,
+    };
+    for mode in [ReuseMode::Width(1), ReuseMode::Off] {
+        let dynamic = dynamic_at(&circuit, &roles, mode);
+        let hardened = mitigate(&dynamic, &opts).circuit().clone();
+        assert_round_trips(&hardened, &format!("mitigated DJ_AND at {mode}"));
+    }
+    // The k = 1 mitigated circuit actually exercises Voted feed-forward.
+    let hardened = mitigate(&dynamic_at(&circuit, &roles, ReuseMode::Width(1)), &opts);
+    let voted = hardened
+        .circuit()
+        .iter()
+        .filter(|i| matches!(i.condition(), Some(Condition::Voted { .. })))
+        .count();
+    assert!(voted > 0, "expected voted conditions after meas-repeat");
+}

@@ -1,0 +1,114 @@
+//! Pins the reuse planner's `auto` selection on the four seeded suites.
+//!
+//! These tests lock in which width the default [`CostModel`] picks for
+//! BV_110, DJ_XOR, 3-qubit Grover and CARRY under dynamic-2 lowering, plus
+//! how the `width_first`/`depth_first` presets move the choice. A change in
+//! the cost model, the planner's static filter, or the soundness rule that
+//! decides feasible widths shows up here first.
+
+use dqc::{plan_with_scheme, CostModel, DynamicScheme, QubitRoles, ReuseMode, TransformOptions};
+use qalgo::{grover_circuit, optimal_iterations, toffoli_free_suite, toffoli_suite};
+use qcir::Circuit;
+
+fn suite_workload(name: &str) -> (Circuit, QubitRoles) {
+    let b = toffoli_free_suite()
+        .into_iter()
+        .chain(toffoli_suite())
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("{name} is a seeded suite row"));
+    (b.circuit, b.roles)
+}
+
+fn grover3() -> (Circuit, QubitRoles) {
+    let circuit = grover_circuit(0b101, 3, optimal_iterations(3));
+    let roles = QubitRoles::data_plus_answer(circuit.num_qubits());
+    (circuit, roles)
+}
+
+fn auto_k(circuit: &Circuit, roles: &QubitRoles, cost: &CostModel) -> usize {
+    let (_, report) = plan_with_scheme(
+        circuit,
+        roles,
+        DynamicScheme::Dynamic2,
+        ReuseMode::Auto,
+        cost,
+        &TransformOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("auto planning failed: {e}"));
+    report.k
+}
+
+#[test]
+fn default_cost_model_selections_are_pinned() {
+    // Toffoli-free suites have every width sound, so the default model's
+    // balanced width x depth trade lands in the middle.
+    let expect = [("BV_110", 2), ("DJ_XOR", 2)];
+    for (name, k) in expect {
+        let (circuit, roles) = suite_workload(name);
+        assert_eq!(auto_k(&circuit, &roles, &CostModel::default()), k, "{name}");
+    }
+    // Toffoli networks only have sound plans at the extremes (k = 1 keeps
+    // the paper's approximation; k = m classicalizes nothing), and the
+    // default model prefers the narrow end.
+    let (grover, groles) = grover3();
+    assert_eq!(auto_k(&grover, &groles, &CostModel::default()), 1);
+    let (carry, croles) = suite_workload("CARRY");
+    assert_eq!(auto_k(&carry, &croles, &CostModel::default()), 1);
+}
+
+#[test]
+fn width_first_always_picks_the_paper_scheme() {
+    let cost = CostModel::width_first();
+    for (circuit, roles) in [
+        suite_workload("BV_110"),
+        suite_workload("DJ_XOR"),
+        grover3(),
+        suite_workload("CARRY"),
+    ] {
+        assert_eq!(auto_k(&circuit, &roles, &cost), 1);
+    }
+}
+
+#[test]
+fn depth_first_picks_the_widest_feasible_plan() {
+    let cost = CostModel::depth_first();
+    let expect = [("BV_110", 3), ("DJ_XOR", 2), ("CARRY", 4)];
+    for (name, k) in expect {
+        let (circuit, roles) = suite_workload(name);
+        assert_eq!(auto_k(&circuit, &roles, &cost), k, "{name}");
+    }
+    let (grover, groles) = grover3();
+    assert_eq!(auto_k(&grover, &groles, &cost), 2);
+}
+
+#[test]
+fn feasible_widths_match_the_soundness_rule() {
+    // BV's work qubits never interact, so every width up to m = 3 works;
+    // CARRY's classicalized Toffoli reads are only exact at the extremes.
+    let cost = CostModel::default();
+    let opts = TransformOptions::default();
+    let (bv, bv_roles) = suite_workload("BV_110");
+    let (_, report) = plan_with_scheme(
+        &bv,
+        &bv_roles,
+        DynamicScheme::Dynamic2,
+        ReuseMode::Auto,
+        &cost,
+        &opts,
+    )
+    .unwrap_or_else(|e| panic!("bv: {e}"));
+    assert_eq!(report.feasible_widths, vec![1, 2, 3]);
+
+    let (carry, carry_roles) = suite_workload("CARRY");
+    let (_, report) = plan_with_scheme(
+        &carry,
+        &carry_roles,
+        DynamicScheme::Dynamic2,
+        ReuseMode::Auto,
+        &cost,
+        &opts,
+    )
+    .unwrap_or_else(|e| panic!("carry: {e}"));
+    assert_eq!(report.feasible_widths, vec![1, 4]);
+    assert_eq!(report.max_width, 4);
+}

@@ -42,6 +42,7 @@ mod metrics;
 pub mod passes;
 pub mod qasm;
 mod register;
+pub mod reuse;
 pub mod routing;
 
 pub use circuit::Circuit;

@@ -1,0 +1,551 @@
+//! Reuse-aware qubit dependency analysis.
+//!
+//! The dynamic-circuit transformation folds a set of logical qubits (the
+//! *foldable* set — data and ancilla qubits in `dqc`'s terminology) onto a
+//! smaller number of physical wires by replaying each logical qubit in its
+//! own iteration. Which schedules are legal is governed by a **qubit-level
+//! dependency graph**: whenever a gate couples two foldable qubits with a
+//! control/target structure, the control's lifetime must end (it must be
+//! measured) no later than the moment the target-side replay needs its
+//! value — i.e. the control's iteration comes first.
+//!
+//! This module provides the pieces a reuse planner needs, independent of
+//! any particular transformation:
+//!
+//! * [`QubitDependencyGraph`] — the control→target relation over a foldable
+//!   qubit set, with cycle detection and a stable topological order;
+//! * [`live_intervals`] — per-qubit first/last-use, measure and reset points
+//!   of an instruction stream;
+//! * [`lane_partitions`] — enumeration of the legal ways to fold an ordered
+//!   qubit sequence onto `k` physical lanes (ordered partitions into
+//!   increasing subsequences), the combinatorial design space a `k`-lane
+//!   planner searches.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::instruction::OpKind;
+use crate::register::Qubit;
+use std::fmt;
+
+/// Errors from reuse dependency analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReuseError {
+    /// A gate couples two or more foldable qubits without a control/target
+    /// structure (e.g. a swap), so no fold order can serialize it.
+    Uncoupled {
+        /// Rendering of the offending instruction.
+        what: String,
+    },
+    /// The control→target relation is cyclic: no fold order exists.
+    Cyclic {
+        /// Foldable qubits involved in the unresolved cycle.
+        qubits: Vec<Qubit>,
+    },
+}
+
+impl fmt::Display for ReuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReuseError::Uncoupled { what } => {
+                write!(
+                    f,
+                    "{what}: couples foldable qubits without a control/target structure"
+                )
+            }
+            ReuseError::Cyclic { qubits } => {
+                write!(f, "cyclic qubit dependency among ")?;
+                for (i, q) in qubits.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{q}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReuseError {}
+
+/// The control→target dependency relation over a foldable qubit set.
+///
+/// An edge `u → v` means qubit `u`'s replay must come before qubit `v`'s:
+/// some gate has its control on `u` and its target on `v`, so `u`'s
+/// measured value must exist when `v`'s side is replayed.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Circuit, Qubit};
+/// use qcir::reuse::QubitDependencyGraph;
+///
+/// let q = Qubit::new;
+/// let mut c = Circuit::new(3, 0);
+/// c.cx(q(1), q(0)); // control q1, target q0
+/// let g = QubitDependencyGraph::build(&c, &[q(0), q(1)]).unwrap();
+/// assert_eq!(g.topological_order().unwrap(), vec![q(1), q(0)]);
+/// assert!(g.has_edge(q(1), q(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QubitDependencyGraph {
+    foldable: Vec<Qubit>,
+    /// `succ[u]` holds `v` when `u` must precede `v` (indices into
+    /// `foldable`).
+    succ: Vec<Vec<usize>>,
+}
+
+impl QubitDependencyGraph {
+    /// Builds the dependency graph of `circuit` over the given foldable
+    /// qubit set. Qubits outside the set (e.g. answer qubits) impose no
+    /// ordering. Non-gate instructions are ignored.
+    ///
+    /// A gate with two or more foldable operands must have a control/target
+    /// structure — controls first, exactly one target last — to be
+    /// serializable; for such gates an edge is added from every foldable
+    /// control to the target (when the target itself is foldable).
+    ///
+    /// # Errors
+    ///
+    /// [`ReuseError::Uncoupled`] for a gate with multiple foldable operands
+    /// and no control/target structure (no controls, or a swap).
+    pub fn build(circuit: &Circuit, foldable: &[Qubit]) -> Result<Self, ReuseError> {
+        let pos_of = |q: Qubit| foldable.iter().position(|&w| w == q);
+        let n = foldable.len();
+        let mut succ = vec![Vec::new(); n];
+
+        for inst in circuit.iter() {
+            let OpKind::Gate(g) = inst.kind() else {
+                continue;
+            };
+            let qubits = inst.qubits();
+            let n_ctrl = g.num_controls();
+            let fold_count = qubits.iter().filter(|&&q| pos_of(q).is_some()).count();
+            if fold_count <= 1 {
+                continue;
+            }
+            if n_ctrl == 0 || matches!(g, Gate::Swap) {
+                return Err(ReuseError::Uncoupled {
+                    what: inst.to_string(),
+                });
+            }
+            let target = qubits[qubits.len() - 1];
+            let Some(t) = pos_of(target) else {
+                // All foldable operands are controls: no mutual ordering.
+                continue;
+            };
+            for &c in &qubits[..n_ctrl] {
+                if let Some(u) = pos_of(c) {
+                    if u != t && !succ[u].contains(&t) {
+                        succ[u].push(t);
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            foldable: foldable.to_vec(),
+            succ,
+        })
+    }
+
+    /// The foldable qubit set, in construction order.
+    #[must_use]
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.foldable
+    }
+
+    /// `true` when the relation contains the edge `u → v`.
+    #[must_use]
+    pub fn has_edge(&self, u: Qubit, v: Qubit) -> bool {
+        let pos = |q: Qubit| self.foldable.iter().position(|&w| w == q);
+        match (pos(u), pos(v)) {
+            (Some(a), Some(b)) => self.succ[a].contains(&b),
+            _ => false,
+        }
+    }
+
+    /// All edges `(control, target)` in deterministic order.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(Qubit, Qubit)> {
+        let mut out = Vec::new();
+        for (u, vs) in self.succ.iter().enumerate() {
+            for &v in vs {
+                out.push((self.foldable[u], self.foldable[v]));
+            }
+        }
+        out
+    }
+
+    /// `true` when a topological order exists.
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_ok()
+    }
+
+    /// A stable topological order: among ready qubits the one earliest in
+    /// the foldable sequence comes first, preserving the caller's register
+    /// order when the constraints allow.
+    ///
+    /// # Errors
+    ///
+    /// [`ReuseError::Cyclic`] with the qubits stuck in the cycle.
+    pub fn topological_order(&self) -> Result<Vec<Qubit>, ReuseError> {
+        let n = self.foldable.len();
+        let mut indegree = vec![0usize; n];
+        for vs in &self.succ {
+            for &v in vs {
+                indegree[v] += 1;
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        while let Some(&next) = ready.iter().min() {
+            ready.retain(|&i| i != next);
+            order.push(self.foldable[next]);
+            for &v in &self.succ[next] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    ready.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck: Vec<Qubit> = (0..n)
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| self.foldable[i])
+                .collect();
+            return Err(ReuseError::Cyclic { qubits: stuck });
+        }
+        Ok(order)
+    }
+}
+
+/// Per-qubit lifetime facts of an instruction stream (barriers ignored).
+///
+/// Instruction indices refer to positions in [`Circuit::instructions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveInterval {
+    /// The qubit.
+    pub qubit: Qubit,
+    /// Index of the first non-barrier instruction touching the qubit.
+    pub first_use: Option<usize>,
+    /// Index of the last non-barrier instruction touching the qubit.
+    pub last_use: Option<usize>,
+    /// Indices of measurements of this qubit.
+    pub measured_at: Vec<usize>,
+    /// Indices of active resets of this qubit.
+    pub reset_at: Vec<usize>,
+}
+
+impl LiveInterval {
+    /// `true` when no instruction touches the qubit.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.first_use.is_none()
+    }
+}
+
+/// Computes [`LiveInterval`]s for every qubit wire of `circuit`.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::{Circuit, Clbit, Qubit};
+/// use qcir::reuse::live_intervals;
+///
+/// let q = Qubit::new;
+/// let mut c = Circuit::new(2, 1);
+/// c.h(q(0)).cx(q(0), q(1)).measure(q(0), Clbit::new(0)).reset(q(0));
+/// let live = live_intervals(&c);
+/// assert_eq!(live[0].first_use, Some(0));
+/// assert_eq!(live[0].last_use, Some(3));
+/// assert_eq!(live[0].measured_at, vec![2]);
+/// assert_eq!(live[0].reset_at, vec![3]);
+/// assert_eq!(live[1].first_use, Some(1));
+/// ```
+#[must_use]
+pub fn live_intervals(circuit: &Circuit) -> Vec<LiveInterval> {
+    let mut out: Vec<LiveInterval> = (0..circuit.num_qubits())
+        .map(|i| LiveInterval {
+            qubit: Qubit::new(i),
+            first_use: None,
+            last_use: None,
+            measured_at: Vec::new(),
+            reset_at: Vec::new(),
+        })
+        .collect();
+    for (idx, inst) in circuit.iter().enumerate() {
+        if inst.is_barrier() {
+            continue;
+        }
+        for &q in inst.qubits() {
+            let live = &mut out[q.index()];
+            if live.first_use.is_none() {
+                live.first_use = Some(idx);
+            }
+            live.last_use = Some(idx);
+            match inst.kind() {
+                OpKind::Measure => live.measured_at.push(idx),
+                OpKind::Reset => live.reset_at.push(idx),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// `true` when `gate` acts diagonally (Z-basis-preserving) on its
+/// `operand`-th qubit: the operand is a control, or the whole gate is
+/// diagonal in the computational basis (up to global phase).
+///
+/// This is the condition under which a computational-basis measurement of
+/// that qubit commutes past the gate — the deferred-measurement soundness
+/// criterion a reuse planner uses to decide whether an early classical
+/// read of a control is *exact* rather than the single-lane scheme's
+/// approximation.
+#[must_use]
+pub fn acts_diagonally(gate: &Gate, operand: usize) -> bool {
+    if operand < gate.num_controls() {
+        return true;
+    }
+    matches!(
+        gate,
+        Gate::I
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::P(_)
+            | Gate::Rz(_)
+            | Gate::Cz
+            | Gate::Cp(_)
+            | Gate::Ccz
+    )
+}
+
+/// The index of the last instruction acting **non-diagonally** on `q`, if
+/// any (see [`acts_diagonally`]; non-gate instructions are ignored).
+///
+/// A classical read of `q`'s measurement by an instruction at index `idx`
+/// is sound — exactly equivalent to the original quantum control — iff
+/// `last_nondiagonal_action(c, q) <= Some(idx)`: everything on `q` after
+/// the reading gate then commutes with the measurement, so measuring early
+/// cannot change any outcome distribution.
+#[must_use]
+pub fn last_nondiagonal_action(circuit: &Circuit, q: Qubit) -> Option<usize> {
+    let mut last = None;
+    for (idx, inst) in circuit.iter().enumerate() {
+        let OpKind::Gate(gate) = inst.kind() else {
+            continue;
+        };
+        if let Some(pos) = inst.qubits().iter().position(|&x| x == q) {
+            if !acts_diagonally(gate, pos) {
+                last = Some(idx);
+            }
+        }
+    }
+    last
+}
+
+/// Enumerates the ways to fold the ordered sequence `0..m` onto exactly
+/// `k` physical lanes.
+///
+/// Each result is a list of `k` non-empty lanes; each lane is a strictly
+/// increasing subsequence of `0..m`, and lanes are ordered by their first
+/// element. The count is the Stirling number of the second kind `S(m, k)`.
+/// Enumeration is deterministic and stops once `cap` partitions have been
+/// produced (a planner's search budget); `cap = usize::MAX` enumerates all.
+///
+/// Returns an empty list when `k == 0 < m` or `k > m`. For `m == 0` the
+/// only partition is the empty one when `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qcir::reuse::lane_partitions;
+///
+/// let parts = lane_partitions(3, 2, usize::MAX);
+/// assert_eq!(parts.len(), 3); // S(3,2) = 3
+/// assert!(parts.contains(&vec![vec![0, 1], vec![2]]));
+/// assert!(parts.contains(&vec![vec![0, 2], vec![1]]));
+/// assert!(parts.contains(&vec![vec![0], vec![1, 2]]));
+/// ```
+#[must_use]
+pub fn lane_partitions(m: usize, k: usize, cap: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut out = Vec::new();
+    if k > m {
+        return out;
+    }
+    if m == 0 {
+        if k == 0 {
+            out.push(Vec::new());
+        }
+        return out;
+    }
+    if k == 0 {
+        return out;
+    }
+    let mut lanes: Vec<Vec<usize>> = Vec::new();
+    assign(0, m, k, cap, &mut lanes, &mut out);
+    out
+}
+
+/// Recursive helper of [`lane_partitions`]: place item `i` on an existing
+/// lane or open a new one, pruning branches that cannot reach `k` lanes.
+fn assign(
+    i: usize,
+    m: usize,
+    k: usize,
+    cap: usize,
+    lanes: &mut Vec<Vec<usize>>,
+    out: &mut Vec<Vec<Vec<usize>>>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if i == m {
+        if lanes.len() == k {
+            out.push(lanes.clone());
+        }
+        return;
+    }
+    let remaining = m - i;
+    // Existing lanes (only when enough items remain to open the missing
+    // lanes afterwards).
+    if lanes.len() + remaining > k {
+        for l in 0..lanes.len() {
+            lanes[l].push(i);
+            assign(i + 1, m, k, cap, lanes, out);
+            lanes[l].pop();
+        }
+    }
+    // A new lane.
+    if lanes.len() < k {
+        lanes.push(vec![i]);
+        assign(i + 1, m, k, cap, lanes, out);
+        lanes.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::Clbit;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn graph_orders_control_before_target() {
+        let mut c = Circuit::new(3, 0);
+        c.cx(q(1), q(0)).cx(q(0), q(2));
+        let g = QubitDependencyGraph::build(&c, &[q(0), q(1)]).unwrap();
+        assert_eq!(g.topological_order().unwrap(), vec![q(1), q(0)]);
+        assert_eq!(g.edges(), vec![(q(1), q(0))]);
+    }
+
+    #[test]
+    fn stable_order_keeps_register_order_when_unconstrained() {
+        let mut c = Circuit::new(4, 0);
+        c.cx(q(0), q(3)).cx(q(1), q(3)).cx(q(2), q(3));
+        let g = QubitDependencyGraph::build(&c, &[q(0), q(1), q(2)]).unwrap();
+        assert_eq!(g.topological_order().unwrap(), vec![q(0), q(1), q(2)]);
+    }
+
+    #[test]
+    fn cycle_is_reported_with_members() {
+        let mut c = Circuit::new(2, 0);
+        c.cx(q(0), q(1)).cx(q(1), q(0));
+        let g = QubitDependencyGraph::build(&c, &[q(0), q(1)]).unwrap();
+        assert!(!g.is_acyclic());
+        match g.topological_order().unwrap_err() {
+            ReuseError::Cyclic { qubits } => assert_eq!(qubits, vec![q(0), q(1)]),
+            other => panic!("expected cycle, got {other}"),
+        }
+    }
+
+    #[test]
+    fn swap_between_foldable_qubits_is_uncoupled() {
+        let mut c = Circuit::new(3, 0);
+        c.swap(q(0), q(1));
+        let err = QubitDependencyGraph::build(&c, &[q(0), q(1)]).unwrap_err();
+        assert!(matches!(err, ReuseError::Uncoupled { .. }), "{err}");
+    }
+
+    #[test]
+    fn swap_touching_non_foldable_is_fine() {
+        let mut c = Circuit::new(3, 0);
+        c.swap(q(0), q(2));
+        assert!(QubitDependencyGraph::build(&c, &[q(0), q(1)]).is_ok());
+    }
+
+    #[test]
+    fn target_outside_foldable_set_imposes_no_order() {
+        let mut c = Circuit::new(3, 0);
+        c.ccx(q(0), q(1), q(2));
+        let g = QubitDependencyGraph::build(&c, &[q(0), q(1)]).unwrap();
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn live_intervals_track_idle_qubits() {
+        let mut c = Circuit::new(3, 1);
+        c.h(q(0)).measure(q(0), Clbit::new(0));
+        let live = live_intervals(&c);
+        assert!(!live[0].is_idle());
+        assert!(live[1].is_idle());
+        assert_eq!(live[0].measured_at, vec![1]);
+    }
+
+    #[test]
+    fn live_intervals_ignore_barriers() {
+        let mut c = Circuit::new(2, 0);
+        c.h(q(0)).barrier_all().x(q(0));
+        let live = live_intervals(&c);
+        assert_eq!(live[0].first_use, Some(0));
+        assert_eq!(live[0].last_use, Some(2));
+        assert!(live[1].is_idle());
+    }
+
+    #[test]
+    fn partition_counts_are_stirling_numbers() {
+        // S(4,1)=1, S(4,2)=7, S(4,3)=6, S(4,4)=1.
+        for (k, expected) in [(1, 1), (2, 7), (3, 6), (4, 1)] {
+            assert_eq!(lane_partitions(4, k, usize::MAX).len(), expected, "k={k}");
+        }
+        assert!(lane_partitions(4, 5, usize::MAX).is_empty());
+        assert!(lane_partitions(4, 0, usize::MAX).is_empty());
+        assert_eq!(
+            lane_partitions(0, 0, usize::MAX),
+            vec![Vec::<Vec<usize>>::new()]
+        );
+    }
+
+    #[test]
+    fn partitions_are_increasing_and_lane_ordered() {
+        for part in lane_partitions(5, 3, usize::MAX) {
+            let mut seen = Vec::new();
+            for lane in &part {
+                assert!(!lane.is_empty());
+                assert!(lane.windows(2).all(|w| w[0] < w[1]));
+                seen.extend_from_slice(lane);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+            assert!(part.windows(2).all(|w| w[0][0] < w[1][0]));
+        }
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        assert_eq!(lane_partitions(10, 3, 5).len(), 5);
+    }
+
+    #[test]
+    fn single_lane_partition_is_the_whole_sequence() {
+        assert_eq!(lane_partitions(3, 1, usize::MAX), vec![vec![vec![0, 1, 2]]]);
+    }
+}

@@ -465,6 +465,8 @@ impl Executor {
     ///   controlled operations whose condition held / did not hold;
     /// * `executor.noise_injections` — stochastic noise-channel
     ///   applications (gate noise and idle noise trajectories);
+    /// * `executor.qubits` — a gauge holding the simulated circuit's
+    ///   physical width (the reuse planner's lanes + answer wires);
     ///
     /// plus an `executor.run` span (duration histogram `executor.run_ns`).
     ///
@@ -659,6 +661,7 @@ impl Executor {
         if observed {
             self.flush_tally(&merged, report.completed);
             let obs = &self.observer;
+            obs.gauge_set("executor.qubits", circuit.num_qubits() as f64);
             obs.counter_add("executor.shots_failed", report.failed);
             obs.counter_add("executor.shots_discarded", report.discarded);
             obs.counter_add("executor.drift_renormalized", renorms);
@@ -900,6 +903,8 @@ impl Executor {
         }
         if observed {
             self.flush_tally(&merged, self.shots);
+            self.observer
+                .gauge_set("executor.qubits", circuit.num_qubits() as f64);
         }
         if let Some(mut t) = top {
             t.instant_with(
@@ -1722,6 +1727,7 @@ mod tests {
         assert_eq!(m.counter("executor.cc_fired"), Some(10));
         assert_eq!(m.counter("executor.cc_skipped"), Some(0));
         assert_eq!(m.counter("executor.noise_injections"), Some(0));
+        assert_eq!(m.gauge("executor.qubits"), Some(2.0));
         assert_eq!(m.histogram("executor.run_ns").unwrap().count, 1);
     }
 

@@ -35,8 +35,10 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 # carries a crate-level #![deny(clippy::unwrap_used)] — fault injection
 # code that panics would corrupt the chaos experiments it drives. The bench
 # crate (lib + bins) is held to the same bar: its binaries emit committed
-# artifacts, and a panic mid-sweep loses the whole run.
-run cargo clippy -p qsim -p dqc -p qfault -p bench --lib --bins --offline -- -D warnings -D clippy::unwrap_used
+# artifacts, and a panic mid-sweep loses the whole run. qcir/qalgo (the IR
+# and circuit generators everything builds on) and the CLI driver are held
+# to it too — a panic in the CLI turns a typed one-line error into a crash.
+run cargo clippy -p qsim -p dqc -p qfault -p bench -p qcir -p qalgo -p dqct-cli --lib --bins --offline -- -D warnings -D clippy::unwrap_used
 if [ "$FAST" -eq 0 ]; then
     run cargo build --release --offline
 fi
@@ -142,6 +144,65 @@ for span in pipeline.transform pipeline.verify '"shot"' executor.run_resilient; 
     fi
 done
 echo "    traces identical ($(wc -c <"$TRACE_DIR/trace1.json") bytes)"
+
+# Reuse determinism gate: a fixed-width lane plan must simulate to
+# bit-identical counters at every worker count, exactly like the k = 1
+# path — lane replay adds mid-circuit resets and measures but no new
+# nondeterminism.
+echo "==> reuse determinism gate: --reuse 2 at --threads 1 vs --threads 8"
+reuse_counters() {
+    cargo run -q --offline -p dqct-cli --bin dqct -- \
+        --answer 2 --reuse 2 --metrics=json --shots 256 --seed 11 --threads "$1" \
+        <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}'
+}
+r1="$(reuse_counters 1)"
+r8="$(reuse_counters 8)"
+if [ "$r1" != "$r8" ]; then
+    echo "reuse determinism gate FAILED: counters differ between thread counts" >&2
+    diff <(echo "$r1") <(echo "$r8") >&2 || true
+    exit 1
+fi
+echo "    counters identical: $r1"
+
+# Reuse equivalence gate: every feasible width of the gate circuit must
+# verify exactly equivalent to the traditional input. The gate circuit's
+# Toffoli lowers under dynamic-2 to 3 work qubits (max width 3; width 4
+# reports 'invalid reuse plan', which is acceptable). A width that plans
+# successfully but verifies with nonzero TVD is a planner soundness bug.
+echo "==> reuse equivalence gate: every feasible width verifies exactly"
+feasible=0
+for k in 1 2 3 4; do
+    if out="$(cargo run -q --offline -p dqct-cli --bin dqct -- \
+        --answer 2 --reuse "$k" --verify <<<"$GATE_QASM" 2>&1)"; then
+        feasible=$((feasible + 1))
+        if ! grep -q '// verify: tvd = 0.000000' <<<"$out"; then
+            echo "reuse equivalence gate FAILED: k=$k is feasible but not exact" >&2
+            grep '// verify' <<<"$out" >&2 || true
+            exit 1
+        fi
+    elif ! grep -q 'invalid reuse plan' <<<"$out"; then
+        echo "reuse equivalence gate FAILED: k=$k errored unexpectedly" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+done
+if [ "$feasible" -lt 2 ]; then
+    echo "reuse equivalence gate FAILED: only $feasible feasible width(s)" >&2
+    exit 1
+fi
+echo "    $feasible feasible widths, all exact"
+
+# Reuse-pareto gate: the committed design-space sweep must match the
+# current schema, keep every currently-feasible width, stay exact at every
+# width above 1, and still expose a 3-point (width, depth) frontier on at
+# least one suite. Timing values are machine-dependent and not compared.
+if [ "$FAST" -eq 0 ]; then
+    echo "==> reuse-pareto gate"
+    run cargo run -q --release --offline -p bench --bin reuse_sweep -- \
+        --check BENCH_reuse_pareto.json
+else
+    echo "==> reuse-pareto gate skipped (--fast; the sweep wants release codegen)"
+fi
 
 # Perf-baseline gate: a quick instrumented profile must still surface every
 # pipeline phase and gate-apply histogram, the committed
