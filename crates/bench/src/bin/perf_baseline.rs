@@ -26,7 +26,7 @@ use qalgo::{grover_circuit, optimal_iterations};
 use qcir::Circuit;
 use qobs::json::JsonWriter;
 use qobs::{Metric, Observer, Tracer};
-use qsim::Executor;
+use qsim::{Engine, Executor};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -39,6 +39,18 @@ const DISABLED_NS_PER_CALL_BUDGET: f64 = 50.0;
 
 /// Calls per overhead measurement; large enough to amortize timer noise.
 const OVERHEAD_CALLS: u64 = 2_000_000;
+
+/// Prefix-engine floor for `--check`: on CARRY dynamic-2 at
+/// [`PREFIX_CHECK_SHOTS`] shots the branch-tree engine must beat the
+/// per-shot executor by at least this factor. The measured ratio is ~15-25x
+/// in release builds; the floor is generous so only a structural regression
+/// (the tree silently falling back to per-shot, or its walk growing a
+/// per-shot state evolution) trips it, not a noisy neighbour.
+const PREFIX_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Shots for the prefix-floor measurement: enough for the per-shot loop to
+/// dominate the tree-build cost.
+const PREFIX_CHECK_SHOTS: u64 = 1024;
 
 /// Phase keys every run must carry; `--check` fails when one goes missing.
 const PHASE_KEYS: [&str; 5] = [
@@ -356,10 +368,59 @@ fn check(path: &str, seed: u64) -> Result<String, String> {
              stay one branch on a static"
         ));
     }
+    let prefix_speedup = measure_prefix_speedup(seed)?;
+    if prefix_speedup < PREFIX_SPEEDUP_FLOOR {
+        return Err(format!(
+            "prefix engine is only {prefix_speedup:.2}x the per-shot executor on CARRY \
+             dynamic-2 at {PREFIX_CHECK_SHOTS} shots (floor {PREFIX_SPEEDUP_FLOOR}x) — \
+             the branch-tree engine regressed or silently fell back to per-shot"
+        ));
+    }
     Ok(format!(
-        "perf-baseline: OK ({} quick runs, disabled tracing {ns_per_call:.1} ns/call)",
+        "perf-baseline: OK ({} quick runs, disabled tracing {ns_per_call:.1} ns/call, \
+         prefix engine {prefix_speedup:.2}x per-shot)",
         rows.len()
     ))
+}
+
+/// Times both shot engines on CARRY dynamic-2 and returns the prefix
+/// engine's speedup, after asserting the engines agree bit-for-bit. Best of
+/// two timings per engine so a single scheduler hiccup cannot fail CI.
+fn measure_prefix_speedup(seed: u64) -> Result<f64, String> {
+    let carry = toffoli_suite()
+        .into_iter()
+        .find(|b| b.name == "CARRY")
+        .expect("CARRY is in the Toffoli suite");
+    let result = Pipeline::new()
+        .scheme(DynamicScheme::Dynamic2)
+        .run(&carry.circuit, &carry.roles)
+        .map_err(|e| format!("CARRY: {e}"))?;
+    let circuit = result.dynamic.circuit();
+    let timed = |engine: Engine| {
+        let exec = Executor::new()
+            .shots(PREFIX_CHECK_SHOTS)
+            .seed(seed)
+            .threads(1)
+            .engine(engine);
+        let mut best = f64::INFINITY;
+        let mut counts = None;
+        for _ in 0..2 {
+            let start = Instant::now();
+            counts = Some(exec.run(circuit));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best, counts.expect("two runs happened"))
+    };
+    let (shots_s, shots_counts) = timed(Engine::Shots);
+    let (prefix_s, prefix_counts) = timed(Engine::Prefix);
+    if shots_counts != prefix_counts {
+        return Err(
+            "prefix engine diverged from the per-shot executor on CARRY dynamic-2 — \
+             bit-identity broken"
+                .to_string(),
+        );
+    }
+    Ok(shots_s / prefix_s.max(f64::MIN_POSITIVE))
 }
 
 /// `--flag 1,2,4` → the parsed list, or `default` when absent/empty.

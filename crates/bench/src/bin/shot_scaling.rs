@@ -1,78 +1,273 @@
-//! Shot-executor thread scaling on the paper's heaviest sampled circuit.
+//! Shot-engine scaling on the paper's heaviest sampled circuit.
 //!
 //! Runs CARRY under dynamic-2 (three Toffolis, the deepest Table II entry)
-//! at a fixed seed across worker counts, timing each run and asserting the
-//! counts are bit-identical — the determinism contract of the per-shot RNG
-//! streams made observable as a benchmark. `--shots N` and `--threads-list
-//! 1,2,4,8` override the defaults; the speedup column is relative to one
-//! worker.
+//! at a fixed seed across worker counts, once per shot engine: the per-shot
+//! executor that re-runs the circuit every shot, and the prefix-sharing
+//! branch-tree engine that evolves the state once per stochastic branch and
+//! samples shots by walking the tree. Counts are asserted bit-identical
+//! across engines *and* worker counts before any timing is reported — the
+//! determinism contract made observable as a benchmark.
+//!
+//! ```text
+//! shot_scaling [--shots N] [--seed N] [--threads-list 1,2,4,8] [--csv]
+//!              [--out PATH]       # write the shot_scaling/v1 JSON document
+//!              [--check PATH]     # CI gate against a committed document
+//! ```
+//!
+//! The committed `BENCH_shot_scaling.json` at the repo root is the
+//! trajectory point for the prefix engine; regenerate it with
+//!
+//! ```text
+//! cargo run --release -p bench --bin shot_scaling -- --out BENCH_shot_scaling.json
+//! ```
+//!
+//! `--check PATH` validates the committed document structurally (schema,
+//! the 4096-shot row, the recorded prefix-vs-per-shot speedup against
+//! [`COMMITTED_SPEEDUP_FLOOR`]) and re-runs a quick fresh parity sweep so
+//! an engine divergence fails CI even on a machine too noisy for timing
+//! gates.
 
 use bench::args;
 use bench::report::Table;
 use dqc::{transform_with_scheme, DynamicScheme, TransformOptions};
 use qalgo::suites::toffoli_suite;
-use qsim::Executor;
+use qcir::Circuit;
+use qobs::json::JsonWriter;
+use qsim::{Engine, Executor};
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
-    let csv = args::flag("--csv");
-    let shots = args::shots(1024);
+/// The committed 4096-shot trajectory point must record the prefix engine
+/// at least this many times faster than the per-shot executor (acceptance
+/// floor of the branch-tree engine).
+const COMMITTED_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// The `--check` fresh parity sweep: shots per configuration. Small enough
+/// for CI, large enough to exercise every branch of the CARRY tree.
+const CHECK_SHOTS: u64 = 512;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(summary) => {
+            eprintln!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shot_scaling: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<String, String> {
     let seed = args::value("--seed").unwrap_or(0xD41Eu64);
+    if let Some(path) = args::value::<String>("--check") {
+        return check(&path, seed);
+    }
+    let csv = args::flag("--csv");
+    let shots = args::shots(4096);
     let threads_list: Vec<usize> = args::value::<String>("--threads-list")
         .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
         .unwrap_or_else(|| vec![1, 2, 4, 8]);
 
-    let carry = toffoli_suite()
-        .into_iter()
-        .find(|b| b.name == "CARRY")
-        .expect("CARRY is in the Toffoli suite");
-    let dynamic = transform_with_scheme(
-        &carry.circuit,
-        &carry.roles,
-        DynamicScheme::Dynamic2,
-        &TransformOptions::default(),
-    )
-    .expect("CARRY transforms under dynamic-2");
-    let circuit = dynamic.circuit();
+    let circuit = carry_dynamic2();
+    let rows = sweep(&circuit, shots, seed, &threads_list)?;
 
-    let mut t = Table::new(vec!["threads", "wall ms", "speedup", "counts identical"]);
-    let mut baseline_ms = None;
-    let mut baseline_counts = None;
-    for &threads in &threads_list {
-        let exec = Executor::new().shots(shots).seed(seed).threads(threads);
-        let start = Instant::now();
-        let counts = exec.run(circuit);
-        let ms = start.elapsed().as_secs_f64() * 1e3;
-        let identical = match &baseline_counts {
-            None => {
-                baseline_counts = Some(counts);
-                true
-            }
-            Some(base) => base == &counts,
-        };
-        assert!(
-            identical,
-            "seeded counts diverged at {threads} threads — determinism contract broken"
-        );
-        let speedup = baseline_ms.get_or_insert(ms).max(f64::MIN_POSITIVE) / ms;
+    let mut t = Table::new(vec![
+        "threads",
+        "per-shot ms",
+        "prefix ms",
+        "prefix speedup",
+        "counts identical",
+    ]);
+    for r in &rows {
         t.row(vec![
-            threads.to_string(),
-            format!("{ms:.2}"),
-            format!("{speedup:.2}x"),
+            r.threads.to_string(),
+            format!("{:.2}", r.shots_ms),
+            format!("{:.2}", r.prefix_ms),
+            format!("{:.2}x", r.speedup),
             "yes".to_string(),
         ]);
     }
 
+    if let Some(path) = args::value::<String>("--out") {
+        let doc = render(&rows, shots, seed);
+        std::fs::write(&path, &doc).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        return Ok(format!("shot_scaling: wrote {} rows to {path}", rows.len()));
+    }
     println!(
-        "Shot scaling — CARRY dynamic-2, {shots} shots, seed {seed:#x} \
+        "Shot-engine scaling — CARRY dynamic-2, {shots} shots, seed {seed:#x} \
          (host has {} core(s))\n",
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        host_cores()
     );
     if csv {
         print!("{}", t.to_csv());
     } else {
         print!("{}", t.render());
     }
-    println!("\ncounts are asserted bit-identical across worker counts before timing");
-    println!("is reported; a divergence aborts the run.");
+    println!("\ncounts are asserted bit-identical across engines and worker counts");
+    println!("before timing is reported; a divergence aborts the run.");
+    Ok(format!("shot_scaling: {} rows", rows.len()))
+}
+
+fn carry_dynamic2() -> Circuit {
+    let carry = toffoli_suite()
+        .into_iter()
+        .find(|b| b.name == "CARRY")
+        .expect("CARRY is in the Toffoli suite");
+    transform_with_scheme(
+        &carry.circuit,
+        &carry.roles,
+        DynamicScheme::Dynamic2,
+        &TransformOptions::default(),
+    )
+    .expect("CARRY transforms under dynamic-2")
+    .circuit()
+    .clone()
+}
+
+/// One engine × threads configuration, both engines timed.
+struct Row {
+    threads: usize,
+    shots_ms: f64,
+    prefix_ms: f64,
+    speedup: f64,
+}
+
+fn sweep(
+    circuit: &Circuit,
+    shots: u64,
+    seed: u64,
+    threads_list: &[usize],
+) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    let mut baseline_counts = None;
+    for &threads in threads_list {
+        let timed = |engine: Engine| {
+            let exec = Executor::new()
+                .shots(shots)
+                .seed(seed)
+                .threads(threads)
+                .engine(engine);
+            let start = Instant::now();
+            let counts = exec.run(circuit);
+            (start.elapsed().as_secs_f64() * 1e3, counts)
+        };
+        let (shots_ms, shots_counts) = timed(Engine::Shots);
+        let (prefix_ms, prefix_counts) = timed(Engine::Prefix);
+        if shots_counts != prefix_counts {
+            return Err(format!(
+                "engines diverged at {threads} thread(s) — the prefix tree is not \
+                 bit-identical to the per-shot executor"
+            ));
+        }
+        match &baseline_counts {
+            None => baseline_counts = Some(shots_counts),
+            Some(base) => {
+                if base != &shots_counts {
+                    return Err(format!(
+                        "seeded counts diverged at {threads} threads — determinism \
+                         contract broken"
+                    ));
+                }
+            }
+        }
+        rows.push(Row {
+            threads,
+            shots_ms,
+            prefix_ms,
+            speedup: shots_ms / prefix_ms.max(f64::MIN_POSITIVE),
+        });
+    }
+    Ok(rows)
+}
+
+fn render(rows: &[Row], shots: u64, seed: u64) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("shot_scaling/v1");
+    w.key("workload");
+    w.string("CARRY_dynamic2");
+    w.key("shots");
+    w.uint(shots);
+    w.key("seed");
+    w.uint(seed);
+    w.key("host_cores");
+    w.uint(host_cores());
+    w.key("counts_identical");
+    w.bool(true);
+    w.key("rows");
+    w.begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("threads");
+        w.uint(r.threads as u64);
+        w.key("per_shot_ms");
+        w.float(r.shots_ms);
+        w.key("prefix_ms");
+        w.float(r.prefix_ms);
+        w.key("per_shot_shots_per_sec");
+        w.float(shots as f64 / (r.shots_ms / 1e3).max(f64::MIN_POSITIVE));
+        w.key("prefix_shots_per_sec");
+        w.float(shots as f64 / (r.prefix_ms / 1e3).max(f64::MIN_POSITIVE));
+        w.key("prefix_speedup");
+        w.float(r.speedup);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let mut doc = w.finish();
+    doc.push('\n');
+    doc
+}
+
+/// The `--check PATH` gate: structural validation of the committed point
+/// plus a fresh parity sweep.
+fn check(path: &str, seed: u64) -> Result<String, String> {
+    let committed =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    qobs::json::validate(&committed)
+        .map_err(|e| format!("committed document '{path}' is not valid JSON: {e}"))?;
+    if !committed.contains("\"schema\":\"shot_scaling/v1\"") {
+        return Err(format!(
+            "'{path}' does not declare schema shot_scaling/v1 — regenerate it"
+        ));
+    }
+    if !committed.contains("\"shots\":4096") {
+        return Err(format!(
+            "'{path}' is not a 4096-shot trajectory point — regenerate it"
+        ));
+    }
+    if !committed.contains("\"counts_identical\":true") {
+        return Err(format!("'{path}' does not assert engine parity"));
+    }
+    let best = committed
+        .split("\"prefix_speedup\":")
+        .skip(1)
+        .filter_map(|rest| {
+            let end = rest.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())?;
+            rest[..end].parse::<f64>().ok()
+        })
+        .fold(f64::NAN, f64::max);
+    // NaN (no prefix_speedup fields parsed) must fail, hence the explicit arm.
+    if best.is_nan() || best < COMMITTED_SPEEDUP_FLOOR {
+        return Err(format!(
+            "committed prefix speedup peaks at {best:.2}x, below the {COMMITTED_SPEEDUP_FLOOR}x \
+             floor — the branch-tree engine regressed (or '{path}' predates it)"
+        ));
+    }
+    // Fresh parity: a quick engine × threads sweep re-asserts bit-identity
+    // on this machine; timings are not compared (machine-dependent).
+    let circuit = carry_dynamic2();
+    let rows = sweep(&circuit, CHECK_SHOTS, seed, &[1, 8])?;
+    Ok(format!(
+        "shot-scaling: OK (committed peak {best:.2}x >= {COMMITTED_SPEEDUP_FLOOR}x, \
+         fresh parity over {} configs at {CHECK_SHOTS} shots)",
+        rows.len()
+    ))
+}
+
+fn host_cores() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
 }

@@ -11,7 +11,8 @@
 //!      [--metrics-out PATH] [--trace PATH] [--trace-clock wall|test]
 //!      [--mitigate=reset-verify[,meas-repeat=R][,readout-cal]] [--noise S]
 //!      [--deadline-ms N] [--max-failed K] [--inject SPEC]
-//!      [--shots N] [--seed N] [--input FILE | FILE]
+//!      [--engine shots|prefix|auto] [--shots N] [--seed N]
+//!      [--input FILE | FILE]
 //! ```
 
 use dqc::{
@@ -23,7 +24,7 @@ use qcir::qasm::{from_qasm, to_qasm};
 use qcir::Qubit;
 use qfault::FaultPlan;
 use qobs::{ClockMode, Observer, Tracer};
-use qsim::{Executor, NoiseModel};
+use qsim::{Engine, Executor, NoiseModel};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -94,6 +95,11 @@ pub struct CliOptions {
     pub max_failed: Option<u64>,
     /// Deterministic fault plan injected into the metrics-mode simulation.
     pub inject: Option<FaultPlan>,
+    /// Shot engine for the metrics-mode simulation (`None` = `auto`, which
+    /// picks the prefix-sharing branch-tree engine whenever the run is
+    /// eligible). When set explicitly, a `// engine:` line reports the
+    /// resolved engine.
+    pub engine: Option<Engine>,
     /// Input file (`None` = stdin).
     pub input: Option<String>,
 }
@@ -122,6 +128,7 @@ impl Default for CliOptions {
             deadline_ms: None,
             max_failed: None,
             inject: None,
+            engine: None,
             input: None,
         }
     }
@@ -230,6 +237,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 let v = it.next().ok_or("--inject needs a fault spec")?;
                 opts.inject = Some(FaultPlan::parse(v).map_err(|e| format!("--inject: {e}"))?);
             }
+            "--engine" => {
+                let v = it
+                    .next()
+                    .ok_or("--engine needs 'shots', 'prefix' or 'auto'")?;
+                opts.engine = Some(parse_engine(v)?);
+            }
             "--input" => {
                 opts.input = Some(it.next().ok_or("--input needs a value")?.clone());
             }
@@ -243,6 +256,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 } else if let Some(spec) = other.strip_prefix("--inject=") {
                     opts.inject =
                         Some(FaultPlan::parse(spec).map_err(|e| format!("--inject: {e}"))?);
+                } else if let Some(name) = other.strip_prefix("--engine=") {
+                    opts.engine = Some(parse_engine(name)?);
                 } else if let Some(path) = other.strip_prefix("--metrics-out=") {
                     opts.metrics_out = Some(path.to_string());
                 } else if let Some(clock) = other.strip_prefix("--trace-clock=") {
@@ -289,6 +304,17 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 .to_string(),
         );
     }
+    if opts.engine.is_some()
+        && opts.metrics.is_none()
+        && opts.metrics_out.is_none()
+        && opts.trace.is_none()
+    {
+        return Err(
+            "--engine needs --metrics, --metrics-out or --trace (the engine selects \
+             how the instrumented simulation samples shots)"
+                .to_string(),
+        );
+    }
     // stdout carries exactly one document; reject competing claims up front.
     let stdout_claims = usize::from(opts.metrics == Some(MetricsFormat::Json))
         + usize::from(opts.metrics_out.as_deref() == Some("-"))
@@ -301,6 +327,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         );
     }
     Ok(opts)
+}
+
+fn parse_engine(v: &str) -> Result<Engine, String> {
+    Engine::parse(v).ok_or_else(|| {
+        format!("--engine: unknown engine '{v}' (expected 'shots', 'prefix' or 'auto')")
+    })
 }
 
 fn parse_clock(v: &str) -> Result<ClockMode, String> {
@@ -337,7 +369,7 @@ pub fn usage() -> String {
      \x20           [--mitigate reset-verify[=K],meas-repeat=R,readout-cal]\n\
      \x20           [--noise S] [--deadline-ms N] [--max-failed K]\n\
      \x20           [--inject seed=N,<site>=<rate>,...,delay-ms=N]\n\
-     \x20           [--input FILE | FILE]\n\
+     \x20           [--engine shots|prefix|auto] [--input FILE | FILE]\n\
      Reads OpenQASM 3 from FILE or stdin; qubits not listed under --answer\n\
      or --ancilla default to data.\n\
      --reuse explores the qubit-reuse design space: K physical lanes\n\
@@ -370,7 +402,13 @@ pub fn usage() -> String {
      --inject runs the simulation under a deterministic fault plan (sites:\n\
      reset-leak, meas-flip, cc-flip, cc-loss, gate-drop, gate-dup, panic,\n\
      delay; rates in [0,1]); injections are counted as fault.injected.*\n\
-     metrics and are bit-identical for every --threads value."
+     metrics and are bit-identical for every --threads value.\n\
+     --engine picks the shot engine: 'shots' re-runs the circuit per shot,\n\
+     'prefix' shares unitary prefixes via a branch tree and samples shots\n\
+     by walking it (bit-identical counts at the same seed), 'auto' (the\n\
+     default) uses prefix whenever the run is eligible — tracing, fault\n\
+     injection, gate/idle noise or run budgets fall back to per-shot.\n\
+     A '// engine:' line reports the resolved engine."
         .to_string()
 }
 
@@ -551,6 +589,18 @@ pub fn run(qasm_text: &str, opts: &CliOptions) -> Result<String, String> {
         }
         if let Some(plan) = &opts.inject {
             exec = exec.fault_hook(Arc::new(plan.clone()));
+        }
+        if let Some(engine) = opts.engine {
+            exec = exec.engine(engine);
+            // Report the engine actually used: the prefix tree additionally
+            // requires an unbounded resilient run, so budget flags force the
+            // per-shot path even when the circuit itself is tree-eligible.
+            let resolved = if opts.deadline_ms.is_some() || opts.max_failed.is_some() {
+                qsim::Engine::Shots
+            } else {
+                exec.resolve_engine(hardened)
+            };
+            let _ = writeln!(out, "// engine: {resolved}");
         }
         let (counts, report) = exec.run_resilient(hardened);
         let mut run_lines = Vec::new();
@@ -948,6 +998,62 @@ h q[1];
         assert!(one.contains("\"fault.injected.meas-flip\""), "{one}");
         assert!(one.contains("\"fault.injected.reset-leak\""), "{one}");
         assert_eq!(counters("8"), one);
+    }
+
+    #[test]
+    fn engine_flag_parses_both_forms_and_rejects_junk() {
+        let sep = parse_args(&args("--answer 2 --metrics --engine prefix")).unwrap();
+        assert_eq!(sep.engine, Some(Engine::Prefix));
+        let eq = parse_args(&args("--answer 2 --metrics --engine=shots")).unwrap();
+        assert_eq!(eq.engine, Some(Engine::Shots));
+        let auto = parse_args(&args("--answer 2 --metrics --engine auto")).unwrap();
+        assert_eq!(auto.engine, Some(Engine::Auto));
+        assert_eq!(parse_args(&args("--answer 2")).unwrap().engine, None);
+        let err = parse_args(&args("--answer 2 --metrics --engine=warp")).unwrap_err();
+        assert!(err.contains("unknown engine 'warp'"), "{err}");
+        assert!(parse_args(&args("--answer 2 --metrics --engine")).is_err());
+        // Like --inject, the flag shapes the instrumented simulation only.
+        let err = parse_args(&args("--answer 2 --engine prefix")).unwrap_err();
+        assert!(err.contains("--engine needs --metrics"), "{err}");
+    }
+
+    #[test]
+    fn engine_line_reports_the_resolved_engine() {
+        let run_with = |flags: &str| {
+            let opts =
+                parse_args(&args(&format!("--answer 2 --metrics --shots 32 {flags}"))).unwrap();
+            run(BV_QASM, &opts).unwrap()
+        };
+        // Explicit engines report themselves; the eligible auto run resolves
+        // to prefix; a fault plan forces per-shot; no flag, no line.
+        assert!(run_with("--engine prefix").contains("// engine: prefix"));
+        assert!(run_with("--engine shots").contains("// engine: shots"));
+        assert!(run_with("--engine auto").contains("// engine: prefix"));
+        assert!(run_with("--engine auto --inject meas-flip=0.1").contains("// engine: shots"));
+        assert!(run_with("--engine auto --max-failed 3").contains("// engine: shots"));
+        assert!(!run_with("").contains("// engine:"));
+    }
+
+    #[test]
+    fn engine_choice_does_not_change_the_counts() {
+        let counters = |engine: &str| {
+            let opts = parse_args(&args(&format!(
+                "--answer 2 --metrics=json --shots 128 --seed 5 --engine {engine}"
+            )))
+            .unwrap();
+            let out = run(BV_QASM, &opts).unwrap();
+            let start = out.find("\"counters\"").unwrap();
+            let end = out.find("\"gauges\"").unwrap();
+            // The prefix run adds prefix.* tree counters; every shared
+            // counter (executor.*, transform.*, ...) must agree exactly.
+            // Counter values are scalars, so the section splits on commas.
+            out[start..end]
+                .split(',')
+                .filter(|kv| !kv.contains("\"prefix."))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        assert_eq!(counters("shots"), counters("prefix"));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod commute;
 mod dag;
 pub mod decompose;
 mod error;
+pub mod fusion;
 mod gate;
 mod instruction;
 mod metrics;
@@ -48,6 +49,7 @@ pub mod routing;
 pub use circuit::Circuit;
 pub use dag::DagCircuit;
 pub use error::CircuitError;
+pub use fusion::{fuse, FusedBlock, FusedOp, FusedProgram, FusionStats};
 pub use gate::Gate;
 pub use instruction::{Condition, Instruction, OpKind};
 pub use metrics::{depth, gate_count, CircuitStats};

@@ -251,7 +251,21 @@ mod tests {
             circ.h(q(0)).measure(q(0), c(i));
         }
         let d = exact_distribution(&circ);
-        assert!((d.total() - 1.0).abs() < 1e-10);
+        // `prune` renormalizes, so the total is 1 up to bare summation
+        // rounding — not merely up to accumulated BRANCH_EPS dust.
+        assert!((d.total() - 1.0).abs() < 1e-12, "total = {}", d.total());
         assert_eq!(d.len(), 16);
+    }
+
+    #[test]
+    fn pruned_dust_weight_is_redistributed() {
+        // A branch with probability ~sin^2(1e-8) ≈ 1e-16 < BRANCH_EPS is
+        // explored as dust or skipped entirely; either way the surviving
+        // distribution must still sum to 1 after pruning.
+        let mut circ = Circuit::new(1, 2);
+        circ.ry(1e-8 * 2.0, q(0)).measure(q(0), c(0));
+        circ.h(q(0)).measure(q(0), c(1));
+        let d = exact_distribution(&circ);
+        assert!((d.total() - 1.0).abs() < 1e-12, "total = {}", d.total());
     }
 }

@@ -234,9 +234,22 @@ impl Distribution {
             .map(|(k, _)| k.as_str())
     }
 
-    /// Removes outcomes below `threshold` (numerical dust from branching).
+    /// Removes outcomes below `threshold` (numerical dust from branching),
+    /// then rescales the survivors so the distribution sums to 1 again.
+    ///
+    /// Without the rescale every pruned branch leaves the total short by its
+    /// dust weight, so enumerations like `branch::exact_distribution` could
+    /// return totals below 1 by accumulated `BRANCH_EPS` crumbs. When
+    /// nothing survives (or the surviving total is not positive and finite)
+    /// the map is left as-is: there is no meaningful mass to rescale.
     pub fn prune(&mut self, threshold: f64) {
         self.map.retain(|_, p| *p >= threshold);
+        let total = self.total();
+        if total.is_finite() && total > 0.0 {
+            for p in self.map.values_mut() {
+                *p /= total;
+            }
+        }
     }
 
     /// Marginal distribution over a subset of bit positions.
@@ -568,6 +581,32 @@ mod tests {
         d.set("1", 1e-15);
         d.prune(1e-12);
         assert_eq!(d.len(), 1);
+        // Regression: the dust's weight must be redistributed, not lost —
+        // the pruned distribution sums to exactly 1 again.
+        assert_eq!(d.total(), 1.0);
+    }
+
+    #[test]
+    fn prune_renormalizes_survivors_proportionally() {
+        let mut d = Distribution::new();
+        d.set("00", 0.6);
+        d.set("01", 0.3);
+        d.set("10", 0.1 - 1e-13);
+        d.set("11", 1e-13);
+        d.prune(1e-9);
+        assert_eq!(d.len(), 3);
+        assert!((d.total() - 1.0).abs() < 1e-15, "total = {}", d.total());
+        // Relative weights of the survivors are preserved.
+        assert!((d.get("00") / d.get("01") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prune_everything_leaves_an_empty_distribution() {
+        let mut d = Distribution::new();
+        d.set("0", 1e-15);
+        d.prune(1e-12);
+        assert!(d.is_empty());
+        assert_eq!(d.total(), 0.0);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use crate::counts::{bitstring, Counts};
 use crate::fault::{CcFault, FaultHook, FaultSite, GateFate, FAULT_CAUGHT_PANIC};
 use crate::noise::{GateNoise, NoiseModel};
+use crate::prefix::{PrefixTree, Walk};
 use crate::statevector::StateVector;
 use qcir::{Circuit, OpKind};
 use qobs::trace::{LocalTrace, TraceEvent, Tracer};
@@ -67,6 +68,49 @@ pub struct Executor {
     deadline: Option<Duration>,
     max_failed: Option<u64>,
     fault: Option<Arc<dyn FaultHook>>,
+    engine: Engine,
+}
+
+/// How the executor runs its shots — see [`Executor::engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The classic per-shot loop: every shot re-evolves the statevector.
+    Shots,
+    /// The prefix-sharing branch-tree engine (see [`crate::prefix`]):
+    /// evolve once up to each stochastic branch point, then let each shot
+    /// walk the branch tree on its own RNG stream. Falls back to
+    /// [`Engine::Shots`] whenever semantics require the per-shot loop
+    /// (tracer, fault hook, gate/idle noise, resilience budgets, or a tree
+    /// that fails to build).
+    Prefix,
+    /// Pick [`Engine::Prefix`] whenever it is applicable, else
+    /// [`Engine::Shots`]. Because the two are bit-identical at a fixed
+    /// seed, the choice is an implementation detail; this is the default.
+    #[default]
+    Auto,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Shots => write!(f, "shots"),
+            Engine::Prefix => write!(f, "prefix"),
+            Engine::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+impl Engine {
+    /// Parses the CLI spelling (`shots` / `prefix` / `auto`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "shots" => Some(Engine::Shots),
+            "prefix" => Some(Engine::Prefix),
+            "auto" => Some(Engine::Auto),
+            _ => None,
+        }
+    }
 }
 
 /// What [`Executor::run_resilient`] does when a shot's statevector norm
@@ -247,22 +291,22 @@ fn check_drift(
 /// [`qobs::MetricsRegistry`] **once** per [`Executor::run`] /
 /// [`Executor::run_memory`] call, so the registry lock is never taken per
 /// gate or per shot.
-#[derive(Debug, Default)]
-struct RunTally {
-    gates: BTreeMap<&'static str, u64>,
-    resets: u64,
-    measurements: u64,
-    mid_measurements: u64,
-    cc_fired: u64,
-    cc_skipped: u64,
-    noise_applications: u64,
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RunTally {
+    pub(crate) gates: BTreeMap<&'static str, u64>,
+    pub(crate) resets: u64,
+    pub(crate) measurements: u64,
+    pub(crate) mid_measurements: u64,
+    pub(crate) cc_fired: u64,
+    pub(crate) cc_skipped: u64,
+    pub(crate) noise_applications: u64,
     /// Fault-injection counters, keyed by full counter name
     /// (`fault.injected.<site>`, `fault.caught.panic`).
-    faults: BTreeMap<&'static str, u64>,
+    pub(crate) faults: BTreeMap<&'static str, u64>,
     /// Per-gate-kind apply-duration histograms (ns on the tracer's clock),
     /// populated only when tracing and observing are both enabled; flushed
     /// as `executor.apply.<kind>_ns`.
-    apply_ns: BTreeMap<&'static str, Histogram>,
+    pub(crate) apply_ns: BTreeMap<&'static str, Histogram>,
 }
 
 impl RunTally {
@@ -287,6 +331,28 @@ impl RunTally {
         }
     }
 
+    /// Adds `times` copies of `other`'s counters into `self` — how the
+    /// prefix engine folds a branch-tree leaf's per-shot tally delta in for
+    /// every shot that landed on the leaf. Exact integer arithmetic, so the
+    /// result equals `times` sequential [`RunTally::absorb`] calls.
+    /// Histograms are deliberately not scaled: leaf tallies never carry
+    /// them (apply timing requires a tracer, which forces the per-shot
+    /// path).
+    pub(crate) fn absorb_scaled(&mut self, other: &RunTally, times: u64) {
+        for (name, n) in &other.gates {
+            *self.gates.entry(name).or_insert(0) += n * times;
+        }
+        self.resets += other.resets * times;
+        self.measurements += other.measurements * times;
+        self.mid_measurements += other.mid_measurements * times;
+        self.cc_fired += other.cc_fired * times;
+        self.cc_skipped += other.cc_skipped * times;
+        self.noise_applications += other.noise_applications * times;
+        for (name, n) in &other.faults {
+            *self.faults.entry(name).or_insert(0) += n * times;
+        }
+    }
+
     /// Records one injected fault at `site`.
     fn fault(&mut self, site: FaultSite) {
         *self.faults.entry(site.counter()).or_insert(0) += 1;
@@ -307,7 +373,7 @@ struct TallyCtx<'a> {
 /// each qubit has a later *operational* use; barriers are scheduling
 /// directives, not operations, so a trailing barrier does not turn a final
 /// readout into a mid-circuit one.
-fn mid_measure_flags(circuit: &Circuit) -> Vec<bool> {
+pub(crate) fn mid_measure_flags(circuit: &Circuit) -> Vec<bool> {
     let insts = circuit.instructions();
     let mut flags = vec![false; insts.len()];
     let mut used_later = vec![false; circuit.num_qubits()];
@@ -348,7 +414,63 @@ impl Executor {
             deadline: None,
             max_failed: None,
             fault: None,
+            engine: Engine::Auto,
         }
+    }
+
+    /// Selects the shot engine (default [`Engine::Auto`]).
+    ///
+    /// The engines are bit-identical at a fixed seed — same [`Counts`],
+    /// same [`Executor::run_memory`] rows, same observer counters — so this
+    /// is a performance knob, not a semantics knob. [`Engine::Prefix`] is a
+    /// *request*: runs whose semantics need the per-shot loop (a tracer, a
+    /// fault hook, gate or idle noise channels, `run_resilient` budgets, or
+    /// a branch tree that exceeds its node budget) silently fall back to
+    /// [`Engine::Shots`]; use [`Executor::resolve_engine`] to see what a
+    /// run will actually use.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine [`Executor::run`] / [`Executor::run_memory`] would use on
+    /// `circuit` under the current configuration: never [`Engine::Auto`],
+    /// always the resolved [`Engine::Prefix`] or [`Engine::Shots`].
+    /// (`run_resilient` additionally requires no drift policy, deadline or
+    /// failed-shot budget for the prefix engine.)
+    #[must_use]
+    pub fn resolve_engine(&self, circuit: &Circuit) -> Engine {
+        match self.prefix_tree(circuit) {
+            Some(_) => Engine::Prefix,
+            None => Engine::Shots,
+        }
+    }
+
+    /// Builds the branch tree when the configuration and circuit are
+    /// prefix-eligible; `None` means "use the per-shot loop".
+    ///
+    /// Eligibility, equivalently the fallback matrix:
+    ///
+    /// * the engine must not be pinned to [`Engine::Shots`];
+    /// * no tracer — per-shot `shot` / `measure` / `reset` / `condition`
+    ///   spans are the product, so the per-shot loop *is* the semantics;
+    /// * no fault hook — hooks key decisions on `(shot, site)` and may
+    ///   perturb state/classical bits per shot;
+    /// * no gate or idle noise channels — those draw inside the evolution,
+    ///   which shots no longer perform (`readout_flip` / `reset_error` stay
+    ///   eligible: they are plain `gen_bool` events the tree models);
+    /// * the tree must build: finite branch probabilities and at most
+    ///   [`crate::prefix::MAX_TREE_NODES`] nodes.
+    fn prefix_tree(&self, circuit: &Circuit) -> Option<crate::prefix::PrefixTree> {
+        if self.engine == Engine::Shots
+            || self.tracer.is_enabled()
+            || self.fault.is_some()
+            || !crate::prefix::noise_is_tree_compatible(&self.noise)
+        {
+            return None;
+        }
+        crate::prefix::PrefixTree::build(circuit, &self.noise)
     }
 
     /// Installs a fault-injection hook (see [`crate::fault`] and the
@@ -570,6 +692,15 @@ impl Executor {
     /// `executor.drift_renormalized` counters on top of the usual set (and
     /// `executor.shots` counts *completed* shots only).
     pub fn run_resilient(&self, circuit: &Circuit) -> (Counts, RunReport) {
+        // The prefix engine additionally requires that no resilience budget
+        // is configured: drift guards run per instruction inside the shot,
+        // and deadline / failed-shot budgets decide mid-run which shots
+        // still execute — both are inherently per-shot semantics.
+        if self.drift.is_none() && self.deadline.is_none() && self.max_failed.is_none() {
+            if let Some(tree) = self.prefix_tree(circuit) {
+                return self.run_resilient_prefix(circuit, &tree);
+            }
+        }
         let base = self.base_seed();
         let workers = (self.effective_threads() as u64).min(self.shots.max(1)) as usize;
         let observed = self.observer.is_enabled();
@@ -684,6 +815,140 @@ impl Executor {
         }
         drop(span);
         (counts, report)
+    }
+
+    /// [`Executor::run_resilient`] on the prefix engine: budget-free by
+    /// eligibility, so the run always terminates [`Termination::Completed`]
+    /// and the only resilience left to provide is panic isolation around
+    /// per-shot replays of pruned branches (walks themselves cannot panic:
+    /// every stored probability was validated at tree construction).
+    fn run_resilient_prefix(&self, circuit: &Circuit, tree: &PrefixTree) -> (Counts, RunReport) {
+        let base = self.base_seed();
+        let workers = (self.effective_threads() as u64).min(self.shots.max(1)) as usize;
+        let observed = self.observer.is_enabled();
+        let mid = if observed {
+            Some(mid_measure_flags(circuit))
+        } else {
+            None
+        };
+        let span = if observed {
+            let mut span = self.observer.span("executor.run_resilient");
+            span.field("shots", self.shots);
+            span.field("instructions", circuit.len());
+            span.field("threads", workers as u64);
+            Some(span)
+        } else {
+            None
+        };
+
+        let results: Vec<(ChunkOutcome, Option<RunTally>, u64)> = if workers <= 1 {
+            vec![self.run_chunk_resilient_prefix(
+                tree,
+                circuit,
+                base,
+                0..self.shots,
+                mid.as_deref(),
+            )]
+        } else {
+            let chunk = self.shots.div_ceil(workers as u64);
+            let mid = mid.as_deref();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers as u64)
+                    .map(|w| {
+                        let lo = w * chunk;
+                        let hi = (lo + chunk).min(self.shots);
+                        scope.spawn(move || {
+                            self.run_chunk_resilient_prefix(tree, circuit, base, lo..hi, mid)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("prefix worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut counts = Counts::new();
+        let mut report = RunReport {
+            requested: self.shots,
+            completed: 0,
+            failed: 0,
+            discarded: 0,
+            termination: Termination::Completed,
+        };
+        let mut merged = RunTally::default();
+        let mut replayed = 0u64;
+        for (chunk, tally, bails) in results {
+            counts.merge(chunk.counts);
+            report.completed += chunk.completed;
+            report.failed += chunk.failed;
+            replayed += bails;
+            if let Some(tally) = tally {
+                merged.absorb(tally);
+            }
+        }
+        if observed {
+            self.flush_tally(&merged, report.completed);
+            let obs = &self.observer;
+            obs.gauge_set("executor.qubits", circuit.num_qubits() as f64);
+            obs.counter_add("executor.shots_failed", report.failed);
+            obs.counter_add("executor.shots_discarded", 0);
+            obs.counter_add("executor.drift_renormalized", 0);
+            self.flush_prefix_stats(tree, replayed);
+        }
+        drop(span);
+        (counts, report)
+    }
+
+    /// One worker's contiguous shot range of a prefix-engine resilient run.
+    fn run_chunk_resilient_prefix(
+        &self,
+        tree: &PrefixTree,
+        circuit: &Circuit,
+        base: u64,
+        shots: Range<u64>,
+        mid: Option<&[bool]>,
+    ) -> (ChunkOutcome, Option<RunTally>, u64) {
+        let mut out = ChunkOutcome::default();
+        let mut hits = vec![0u64; tree.num_leaves()];
+        let mut tally = mid.map(|_| RunTally::default());
+        let mut replayed = 0u64;
+        for i in shots {
+            let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
+            match tree.walk(&mut rng) {
+                Walk::Leaf(leaf) => {
+                    hits[leaf as usize] += 1;
+                    out.completed += 1;
+                    out.counts.record(bitstring(tree.leaf_classical(leaf)));
+                }
+                Walk::Replay => {
+                    replayed += 1;
+                    let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
+                    let shot = catch_unwind(AssertUnwindSafe(|| {
+                        let mut ctx = match (&mut tally, mid) {
+                            (Some(tally), Some(mid)) => Some(TallyCtx {
+                                tally,
+                                mid_measure: mid,
+                            }),
+                            _ => None,
+                        };
+                        self.run_shot_with_state_traced(circuit, i, &mut rng, &mut ctx, &mut None)
+                    }));
+                    match shot {
+                        Ok((classical, _)) => {
+                            out.completed += 1;
+                            out.counts.record(bitstring(&classical));
+                        }
+                        Err(_) => out.failed += 1,
+                    }
+                }
+            }
+        }
+        if let Some(t) = &mut tally {
+            tree.accumulate_tally(&hits, t);
+        }
+        (out, tally, replayed)
     }
 
     /// Executes the contiguous shot range `shots` for
@@ -855,7 +1120,62 @@ impl Executor {
             t.begin("executor.run");
         }
 
-        let results: Vec<(A, Option<RunTally>, Vec<TraceEvent>)> = if workers <= 1 {
+        let tree = self.prefix_tree(circuit);
+        let mut replayed = 0u64;
+        let results: Vec<(A, Option<RunTally>, Vec<TraceEvent>)> = if let Some(tree) = &tree {
+            // Prefix engine: same worker partitioning, but each shot walks
+            // the pre-built branch tree instead of re-evolving the state.
+            // The tracer is disabled on this path (eligibility), so chunk
+            // traces are empty.
+            let raw: Vec<(A, Option<RunTally>, u64)> = if workers <= 1 {
+                let mut acc = make(self.shots as usize);
+                let (tally, bails) = self.run_chunk_prefix(
+                    tree,
+                    circuit,
+                    base,
+                    0..self.shots,
+                    mid.as_deref(),
+                    &mut acc,
+                    &record,
+                );
+                vec![(acc, tally, bails)]
+            } else {
+                let chunk = self.shots.div_ceil(workers as u64);
+                let mid = mid.as_deref();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers as u64)
+                        .map(|w| {
+                            let lo = w * chunk;
+                            let hi = (lo + chunk).min(self.shots);
+                            let (make, record) = (&make, &record);
+                            scope.spawn(move || {
+                                let mut acc = make((hi - lo) as usize);
+                                let (tally, bails) = self.run_chunk_prefix(
+                                    tree,
+                                    circuit,
+                                    base,
+                                    lo..hi,
+                                    mid,
+                                    &mut acc,
+                                    record,
+                                );
+                                (acc, tally, bails)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("prefix worker panicked"))
+                        .collect()
+                })
+            };
+            raw.into_iter()
+                .map(|(acc, tally, bails)| {
+                    replayed += bails;
+                    (acc, tally, Vec::new())
+                })
+                .collect()
+        } else if workers <= 1 {
             let mut acc = make(self.shots as usize);
             let (tally, trace) = self.run_chunk_with(
                 circuit,
@@ -905,6 +1225,9 @@ impl Executor {
             self.flush_tally(&merged, self.shots);
             self.observer
                 .gauge_set("executor.qubits", circuit.num_qubits() as f64);
+            if let Some(tree) = &tree {
+                self.flush_prefix_stats(tree, replayed);
+            }
         }
         if let Some(mut t) = top {
             t.instant_with(
@@ -919,6 +1242,75 @@ impl Executor {
         }
         drop(span);
         parts
+    }
+
+    /// Executes the contiguous shot range `shots` on the prefix engine:
+    /// each shot walks `tree` on its own counter-derived RNG stream, in
+    /// shot order, so memory rows and merge order match the per-shot path
+    /// exactly. Returns the chunk tally (when observed) and the number of
+    /// shots that bailed to a per-shot replay.
+    #[allow(clippy::too_many_arguments)]
+    fn run_chunk_prefix<A>(
+        &self,
+        tree: &PrefixTree,
+        circuit: &Circuit,
+        base: u64,
+        shots: Range<u64>,
+        mid: Option<&[bool]>,
+        acc: &mut A,
+        record: &(impl Fn(&mut A, Vec<bool>) + Sync),
+    ) -> (Option<RunTally>, u64) {
+        let mut hits = vec![0u64; tree.num_leaves()];
+        let mut tally = mid.map(|_| RunTally::default());
+        let mut replayed = 0u64;
+        for i in shots {
+            let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
+            match tree.walk(&mut rng) {
+                Walk::Leaf(leaf) => {
+                    hits[leaf as usize] += 1;
+                    record(acc, tree.leaf_classical(leaf).to_vec());
+                }
+                Walk::Replay => {
+                    // A pruned branch: rerun just this shot per-shot, on a
+                    // fresh stream — bit-identical to the per-shot engine
+                    // by definition.
+                    replayed += 1;
+                    let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
+                    let mut ctx = match (&mut tally, mid) {
+                        (Some(tally), Some(mid)) => Some(TallyCtx {
+                            tally,
+                            mid_measure: mid,
+                        }),
+                        _ => None,
+                    };
+                    let (classical, _) =
+                        self.run_shot_with_state_traced(circuit, i, &mut rng, &mut ctx, &mut None);
+                    record(acc, classical);
+                }
+            }
+        }
+        if let Some(t) = &mut tally {
+            tree.accumulate_tally(&hits, t);
+        }
+        (tally, replayed)
+    }
+
+    /// Adds the prefix engine's structural counters to the observer: tree
+    /// shape (`prefix.nodes` / `prefix.leaves` / `prefix.pruned_branches`),
+    /// what gate fusion achieved (`prefix.fused_blocks` /
+    /// `prefix.fused_gates`), and how many shots bailed to a per-shot
+    /// replay (`prefix.shots_replayed`). All are pure functions of
+    /// `(circuit, noise, seed, shots)`, so they are bit-identical across
+    /// thread counts like every other counter.
+    fn flush_prefix_stats(&self, tree: &PrefixTree, replayed: u64) {
+        let obs = &self.observer;
+        obs.counter_add("prefix.nodes", tree.num_nodes() as u64);
+        obs.counter_add("prefix.leaves", tree.num_leaves() as u64);
+        obs.counter_add("prefix.pruned_branches", tree.num_pruned());
+        obs.counter_add("prefix.shots_replayed", replayed);
+        let fusion = tree.fusion_stats();
+        obs.counter_add("prefix.fused_blocks", fusion.blocks as u64);
+        obs.counter_add("prefix.fused_gates", fusion.gates_fused as u64);
     }
 
     /// Executes the contiguous shot range `shots` sequentially, seeding shot
@@ -1478,6 +1870,184 @@ mod tests {
         let short = Executor::new().shots(100).seed(5).run_memory(&circ);
         let long = Executor::new().shots(300).seed(5).run_memory(&circ);
         assert_eq!(short[..], long[..100]);
+    }
+
+    // ---- engines ---------------------------------------------------------
+
+    /// The executor-counter keys the two engines must agree on exactly.
+    const ENGINE_COUNTER_KEYS: [&str; 8] = [
+        "executor.shots",
+        "executor.resets",
+        "executor.measurements",
+        "executor.mid_circuit_measurements",
+        "executor.cc_fired",
+        "executor.cc_skipped",
+        "executor.noise_injections",
+        "executor.gates.x",
+    ];
+
+    /// Counts, memory rows and executor counters of one engine at one
+    /// thread count.
+    type EngineFingerprint = (Counts, Vec<String>, Vec<(String, Option<u64>)>);
+
+    fn engine_fingerprint(
+        circ: &Circuit,
+        engine: Engine,
+        threads: usize,
+        noise: &NoiseModel,
+    ) -> EngineFingerprint {
+        let obs = qobs::Observer::metrics_only();
+        let exec = Executor::new()
+            .shots(257)
+            .seed(0xC0FFEE)
+            .threads(threads)
+            .noise(noise.clone())
+            .observer(obs.clone())
+            .engine(engine);
+        let counts = exec.run(circ);
+        let memory = exec.run_memory(circ);
+        let counters = ENGINE_COUNTER_KEYS
+            .iter()
+            .map(|k| ((*k).to_string(), obs.metrics().counter(k)))
+            .collect();
+        (counts, memory, counters)
+    }
+
+    #[test]
+    fn prefix_engine_is_bit_identical_to_per_shot_engine() {
+        let circ = dynamic_test_circuit();
+        let ideal = NoiseModel::ideal();
+        for threads in [1, 2, 8] {
+            let shots = engine_fingerprint(&circ, Engine::Shots, threads, &ideal);
+            let prefix = engine_fingerprint(&circ, Engine::Prefix, threads, &ideal);
+            assert_eq!(shots, prefix, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn prefix_engine_matches_with_readout_and_reset_noise() {
+        // readout_flip / reset_error are modeled as tree decision nodes,
+        // so they stay prefix-eligible — and must stay bit-identical.
+        let circ = dynamic_test_circuit();
+        let noise = NoiseModel {
+            readout_flip: 0.25,
+            reset_error: 0.2,
+            ..NoiseModel::ideal()
+        };
+        let exec = Executor::new().shots(400).seed(31).noise(noise.clone());
+        assert_eq!(
+            exec.clone().engine(Engine::Prefix).resolve_engine(&circ),
+            Engine::Prefix,
+            "readout/reset noise must not force the per-shot path"
+        );
+        for threads in [1, 8] {
+            let shots = engine_fingerprint(&circ, Engine::Shots, threads, &noise);
+            let prefix = engine_fingerprint(&circ, Engine::Prefix, threads, &noise);
+            assert_eq!(shots, prefix, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn prefix_engine_emits_tree_counters() {
+        let obs = qobs::Observer::metrics_only();
+        Executor::new()
+            .shots(64)
+            .seed(1)
+            .engine(Engine::Prefix)
+            .observer(obs.clone())
+            .run(&dynamic_test_circuit());
+        let m = obs.metrics();
+        assert!(m.counter("prefix.nodes").unwrap_or(0) > 0);
+        assert!(m.counter("prefix.leaves").unwrap_or(0) >= 2);
+        assert_eq!(m.counter("prefix.shots_replayed"), Some(0));
+        // dynamic_test_circuit has no fusable adjacent run of >= 2 gates
+        // sharing support, so fusion counters exist but may be zero.
+        assert!(m.counter("prefix.fused_blocks").is_some());
+    }
+
+    #[test]
+    fn engine_resolution_honours_the_fallback_matrix() {
+        let circ = dynamic_test_circuit();
+        let auto = Executor::new().seed(1);
+        assert_eq!(auto.resolve_engine(&circ), Engine::Prefix);
+        assert_eq!(
+            auto.clone().engine(Engine::Shots).resolve_engine(&circ),
+            Engine::Shots
+        );
+        // Tracer, fault hook, and gate/idle noise each force per-shot.
+        assert_eq!(
+            auto.clone().tracer(Tracer::test()).resolve_engine(&circ),
+            Engine::Shots
+        );
+        assert_eq!(
+            auto.clone()
+                .fault_hook(Arc::new(TestHook::default()))
+                .resolve_engine(&circ),
+            Engine::Shots
+        );
+        assert_eq!(
+            auto.clone()
+                .noise(NoiseModel::depolarizing(0.05, 0.1))
+                .resolve_engine(&circ),
+            Engine::Shots
+        );
+        assert_eq!(
+            auto.clone()
+                .noise(NoiseModel::ideal().with_idle_damping(0.1))
+                .resolve_engine(&circ),
+            Engine::Shots
+        );
+        // Readout noise alone stays prefix-eligible.
+        assert_eq!(
+            auto.clone()
+                .noise(NoiseModel {
+                    readout_flip: 0.1,
+                    ..NoiseModel::ideal()
+                })
+                .resolve_engine(&circ),
+            Engine::Prefix
+        );
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for engine in [Engine::Shots, Engine::Prefix, Engine::Auto] {
+            assert_eq!(Engine::parse(&engine.to_string()), Some(engine));
+        }
+        assert_eq!(Engine::parse("warp"), None);
+    }
+
+    #[test]
+    fn prefix_resilient_run_matches_per_shot_resilient_run() {
+        let circ = dynamic_test_circuit();
+        let exec = |engine: Engine| {
+            Executor::new()
+                .shots(257)
+                .seed(0xFEED)
+                .threads(4)
+                .engine(engine)
+        };
+        let (shots_counts, shots_report) = exec(Engine::Shots).run_resilient(&circ);
+        let (prefix_counts, prefix_report) = exec(Engine::Prefix).run_resilient(&circ);
+        assert_eq!(shots_counts, prefix_counts);
+        assert_eq!(shots_report, prefix_report);
+        assert_eq!(prefix_report.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn prefix_resilient_isolates_poisoned_circuits_via_fallback() {
+        // Tree construction aborts on the non-finite branch probability, so
+        // even a forced prefix engine degrades to the per-shot resilient
+        // loop and isolates every panic.
+        let (counts, report) = Executor::new()
+            .shots(8)
+            .seed(1)
+            .threads(1)
+            .engine(Engine::Prefix)
+            .run_resilient(&poisoned_circuit());
+        assert!(counts.is_empty());
+        assert_eq!(report.failed, 8);
+        assert_eq!(report.termination, Termination::Completed);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! Backends:
 //!
 //! * [`Executor`] — shot-based statevector execution (the AER stand-in),
-//!   with optional trajectory noise;
+//!   with optional trajectory noise. Two engines behind one determinism
+//!   contract: the per-shot loop, and the prefix-sharing branch-tree
+//!   engine ([`prefix`]) that evolves each stochastic branch once and
+//!   samples shots by walking the tree ([`Engine`], default `Auto`);
 //! * [`branch::exact_distribution`] — the exact, shot-noise-free outcome
 //!   distribution of a dynamic circuit via measurement-branch enumeration;
 //! * [`DensityMatrix`] / [`density::exact_distribution_noisy`] — exact mixed
@@ -45,13 +48,14 @@ mod executor;
 pub mod fault;
 pub mod noise;
 pub mod pauli;
+pub mod prefix;
 mod statevector;
 mod unitary;
 
 pub use counts::{bitstring, Counts, Distribution};
 pub use density::DensityMatrix;
 pub use executor::Executor;
-pub use executor::{DriftPolicy, RunReport, Termination};
+pub use executor::{DriftPolicy, Engine, RunReport, Termination};
 pub use fault::{CcFault, FaultHook, FaultSite, GateFate};
 pub use noise::{GateNoise, KrausChannel, NoiseError, NoiseModel};
 pub use pauli::{Pauli, PauliString};

@@ -304,11 +304,30 @@ impl StateVector {
     }
 
     /// Measures `qubit` in the computational basis, collapsing the state.
+    ///
+    /// The branch draw is taken against the *normalized* probability
+    /// `p1 / ⟨ψ|ψ⟩`: on sub-normalized states (leaky noisy trajectories)
+    /// the raw `p1` understates the true Born probability and would bias
+    /// the outcome toward 0 — the same bug class the `sample` fall-through
+    /// fix closed. States with a vanishing or non-finite norm are beyond
+    /// recovery and keep the raw (clamped) probability.
     pub fn measure<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> bool {
-        let p1 = self.prob_one(qubit);
-        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        let outcome = rng.gen_bool(self.measure_prob_one(qubit));
         self.project(qubit, outcome);
         outcome
+    }
+
+    /// The normalized probability `measure` draws against: `prob_one` scaled
+    /// by the squared norm, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn measure_prob_one(&self, qubit: usize) -> f64 {
+        let p1 = self.prob_one(qubit);
+        let n2 = self.norm_sqr();
+        if n2.is_finite() && n2 > f64::EPSILON {
+            (p1 / n2).clamp(0.0, 1.0)
+        } else {
+            p1.clamp(0.0, 1.0)
+        }
     }
 
     /// Actively resets `qubit` to `|0>` (measure, then flip on 1).
@@ -493,6 +512,55 @@ mod tests {
         sv.apply_gate(&Gate::H, &[0]);
         let idx = sv.sample(&mut MaxRng);
         assert!(sv.probabilities()[idx] > 0.0);
+    }
+
+    /// An RNG that returns one pinned `next_u64` value forever, so
+    /// `gen_bool(p)` compares `p` against a chosen draw in `[0, 1)`.
+    struct FixedRng(u64);
+
+    impl rand::RngCore for FixedRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    /// A `next_u64` whose `f64` sample is (approximately) `x`.
+    fn raw_for_draw(x: f64) -> u64 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let mantissa = (x * (1u64 << 53) as f64) as u64;
+        mantissa << 11
+    }
+
+    #[test]
+    fn measure_on_leaky_state_draws_against_normalized_probability() {
+        // Regression companion to the `sample` fall-through fix: a
+        // sub-normalized trajectory with half its weight lost. The true
+        // Born probability of outcome 1 on qubit 0 is 0.25/0.5 = 0.5, but
+        // the raw `prob_one` is 0.25 — drawing against the raw value
+        // biased the branch toward 0.
+        let make_leaky = || StateVector {
+            num_qubits: 2,
+            amps: vec![
+                C64::real(0.25f64.sqrt()),
+                C64::real(0.25f64.sqrt()),
+                C64::zero(),
+                C64::zero(),
+            ],
+        };
+        let leaky = make_leaky();
+        assert!((leaky.norm_sqr() - 0.5).abs() < 1e-12, "must be leaky");
+        assert!((leaky.measure_prob_one(0) - 0.5).abs() < 1e-12);
+
+        // A draw at ~0.4 sits between the biased (0.25) and the true (0.5)
+        // probability: the fixed code must return 1 where the old returned 0.
+        let mut rng = FixedRng(raw_for_draw(0.4));
+        let mut sv = make_leaky();
+        assert!(sv.measure(0, &mut rng), "draw 0.4 < normalized p1 0.5");
+
+        // Unit-norm states are untouched by the normalization (n2 = 1).
+        let mut plus = StateVector::zero_state(1);
+        plus.apply_gate(&Gate::H, &[0]);
+        assert!((plus.measure_prob_one(0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

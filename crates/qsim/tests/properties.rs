@@ -339,4 +339,58 @@ proptest! {
         }
         prop_assert_eq!(exec(threads).run(&circ), from_memory);
     }
+
+    #[test]
+    fn prefix_engine_is_bit_identical_to_per_shot_engine(
+        ops in proptest::collection::vec(arb_dyn_op(), 0..6),
+        seed in 0u64..1000,
+        threads in 1usize..8,
+        flip in prop_oneof![Just(0.0), Just(0.25)],
+        reset_err in prop_oneof![Just(0.0), Just(0.125)],
+    ) {
+        // Walking the branch tree must reproduce the per-shot executor's
+        // memory rows (and hence counts) bit-for-bit at the same seed, with
+        // or without prefix-eligible readout/reset noise.
+        let circ = build_dynamic(ops);
+        let noise = qsim::NoiseModel {
+            readout_flip: flip,
+            reset_error: reset_err,
+            ..qsim::NoiseModel::ideal()
+        };
+        let exec = |engine: qsim::Engine| {
+            qsim::Executor::new()
+                .shots(97)
+                .seed(seed)
+                .threads(threads)
+                .noise(noise.clone())
+                .engine(engine)
+        };
+        let per_shot = exec(qsim::Engine::Shots).run_memory(&circ);
+        let prefix = exec(qsim::Engine::Prefix).run_memory(&circ);
+        prop_assert_eq!(per_shot, prefix);
+    }
+
+    #[test]
+    fn prefix_leaf_weights_sum_to_one(
+        ops in proptest::collection::vec(arb_dyn_op(), 0..6),
+        flip in prop_oneof![Just(0.0), Just(0.3)],
+    ) {
+        // The branch tree partitions probability space: leaf weights must
+        // sum to 1 up to BRANCH_EPS per pruned dust edge.
+        let circ = build_dynamic(ops);
+        let noise = qsim::NoiseModel {
+            readout_flip: flip,
+            ..qsim::NoiseModel::ideal()
+        };
+        let tree = qsim::prefix::PrefixTree::build(&circ, &noise)
+            .expect("suite circuits fit the node budget");
+        let total = tree.leaf_distribution().total();
+        let slack = (tree.num_pruned() as f64 + 1.0) * qsim::prefix::BRANCH_EPS;
+        prop_assert!(
+            (total - 1.0).abs() <= slack,
+            "leaf weights sum to {} (pruned: {})",
+            total,
+            tree.num_pruned()
+        );
+    }
 }

@@ -58,7 +58,7 @@ h q[1];
 ccx q[0], q[1], q[2];'
 gate_counters() {
     cargo run -q --offline -p dqct-cli --bin dqct -- \
-        --answer 2 --metrics=json --shots 256 --seed 11 --threads "$1" \
+        --answer 2 --metrics-out - --shots 256 --seed 11 --threads "$1" \
         <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}'
 }
 c1="$(gate_counters 1)"
@@ -70,13 +70,43 @@ if [ "$c1" != "$c8" ]; then
 fi
 echo "    counters identical: $c1"
 
+# Prefix-engine gates: the branch-tree shot engine must (a) be bit-identical
+# to the per-shot executor on every shared counter at the same seed, and
+# (b) stay thread-count invariant itself — the tree is walked with the same
+# counter-derived per-shot RNG streams the per-shot loop uses, so both
+# properties are exact equalities, not statistical ones.
+echo "==> prefix-engine parity gate: --engine prefix vs --engine shots"
+engine_counters() {
+    cargo run -q --offline -p dqct-cli --bin dqct -- \
+        --answer 2 --metrics-out - --shots 256 --seed 11 --threads "$2" \
+        --engine "$1" \
+        <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}' |
+        sed -E 's/"prefix\.[^"]*":[0-9]+,?//g; s/,}/}/'
+}
+ps1="$(engine_counters prefix 1)"
+ss1="$(engine_counters shots 1)"
+if [ "$ps1" != "$ss1" ]; then
+    echo "prefix-engine parity gate FAILED: engines disagree on shared counters" >&2
+    diff <(echo "$ps1") <(echo "$ss1") >&2 || true
+    exit 1
+fi
+echo "    engines agree: $ps1"
+echo "==> prefix-engine determinism gate: --threads 1 vs --threads 8"
+ps8="$(engine_counters prefix 8)"
+if [ "$ps1" != "$ps8" ]; then
+    echo "prefix-engine determinism gate FAILED: counters differ between thread counts" >&2
+    diff <(echo "$ps1") <(echo "$ps8") >&2 || true
+    exit 1
+fi
+echo "    counters identical across thread counts"
+
 # Mitigation determinism gate: the mitigated + noisy resilient path must
 # stay bit-identical across worker counts too — vote resolution, scratch
 # clbits and per-shot noise all ride on the per-shot RNG streams.
 echo "==> mitigation determinism gate: --threads 1 vs --threads 8"
 mitigated_counters() {
     cargo run -q --offline -p dqct-cli --bin dqct -- \
-        --answer 2 --metrics=json --shots 256 --seed 11 --threads "$1" \
+        --answer 2 --metrics-out - --shots 256 --seed 11 --threads "$1" \
         --noise 1.0 --mitigate=meas-repeat=3 \
         <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}'
 }
@@ -98,7 +128,7 @@ echo "    counters identical: $m1"
 echo "==> chaos determinism gate: --inject at --threads 1 vs --threads 8"
 chaos_counters() {
     cargo run -q --offline -p dqct-cli --bin dqct -- \
-        --answer 2 --metrics=json --shots 256 --seed 11 --threads "$1" \
+        --answer 2 --metrics-out - --shots 256 --seed 11 --threads "$1" \
         --inject 'seed=5,reset-leak=0.2,meas-flip=0.1,cc-flip=0.05,cc-loss=0.05,gate-drop=0.05,gate-dup=0.05,panic=0.02' \
         <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}'
 }
@@ -152,7 +182,7 @@ echo "    traces identical ($(wc -c <"$TRACE_DIR/trace1.json") bytes)"
 echo "==> reuse determinism gate: --reuse 2 at --threads 1 vs --threads 8"
 reuse_counters() {
     cargo run -q --offline -p dqct-cli --bin dqct -- \
-        --answer 2 --reuse 2 --metrics=json --shots 256 --seed 11 --threads "$1" \
+        --answer 2 --reuse 2 --metrics-out - --shots 256 --seed 11 --threads "$1" \
         <<<"$GATE_QASM" | grep -o '"counters":{[^}]*}'
 }
 r1="$(reuse_counters 1)"
@@ -215,6 +245,19 @@ if [ "$FAST" -eq 0 ]; then
         --check BENCH_perf_baseline.json
 else
     echo "==> perf-baseline gate skipped (--fast; the overhead budget needs release codegen)"
+fi
+
+# Shot-scaling gate: the committed BENCH_shot_scaling.json trajectory point
+# must match the current schema and record the prefix engine >= 5x the
+# per-shot executor at 4096 shots, and a fresh quick sweep must re-assert
+# engine bit-identity on this machine. Fresh timing values are machine-
+# dependent and not compared.
+if [ "$FAST" -eq 0 ]; then
+    echo "==> shot-scaling gate"
+    run cargo run -q --release --offline -p bench --bin shot_scaling -- \
+        --check BENCH_shot_scaling.json
+else
+    echo "==> shot-scaling gate skipped (--fast; engine timings need release codegen)"
 fi
 
 echo "==> all checks passed"
