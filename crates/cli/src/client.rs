@@ -1,0 +1,292 @@
+//! `dqct client` — the command-line client for a running `dqctd` service.
+//!
+//! Speaks the length-prefixed protocol from `dqctd::protocol`: one verb
+//! per invocation, responses echoed as JSON lines on stdout. `submit`
+//! honors the server's `retry_after_ms` backoff hints when `--retry N`
+//! allows resubmission after a `queue-full` or `draining` shed.
+
+use dqctd::{
+    field_str, field_u64, read_frame, render_submit, write_frame, JobSpec, MAX_FRAME_BYTES,
+};
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const CLIENT_USAGE: &str = "\
+dqct client - talk to a running dqctd service
+
+USAGE:
+    dqct client [--addr HOST:PORT] ping
+    dqct client [--addr HOST:PORT] metrics
+    dqct client [--addr HOST:PORT] drain
+    dqct client [--addr HOST:PORT] cancel <JOB-ID>
+    dqct client [--addr HOST:PORT] submit --id ID [OPTIONS] [FILE]
+
+SUBMIT OPTIONS:
+    --id ID              job identifier (required; echoed on the response)
+    --shots N            shots to run (server default if omitted)
+    --seed N             base RNG seed (server default if omitted)
+    --answer I,J,...     answer qubit indices
+    --data I,J,...       data qubit indices (unlisted default to data)
+    --ancilla I,J,...    ancilla qubit indices
+    --scheme S           direct | dynamic1 | dynamic2
+    --deadline-ms N      per-job wall-clock budget
+    --retry N            on queue-full/draining, honor the server's
+                         retry_after_ms hint up to N resubmissions
+    FILE                 QASM source ('-' or omitted = stdin)
+
+The server's JSON responses are printed one per line.";
+
+/// Everything `dqct client` needs from its argument list.
+#[derive(Debug)]
+struct ClientOptions {
+    addr: String,
+    verb: Verb,
+    retry: u32,
+}
+
+#[derive(Debug)]
+enum Verb {
+    Ping,
+    Metrics,
+    Drain,
+    Cancel(String),
+    Submit(Box<JobSpec>),
+}
+
+fn parse_index_list(value: &str, flag: &str) -> Result<Vec<usize>, String> {
+    value
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("{flag}: '{t}' is not a qubit index"))
+        })
+        .collect()
+}
+
+fn parse_client_args(args: &[String]) -> Result<Option<ClientOptions>, String> {
+    let mut addr = "127.0.0.1:7817".to_string();
+    let mut retry = 0u32;
+    let mut verb: Option<Verb> = None;
+    let mut spec: Option<JobSpec> = None;
+    let mut qasm_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--addr" => addr = value("--addr")?,
+            "--retry" => {
+                retry = value("--retry")?
+                    .parse()
+                    .map_err(|_| "--retry: not a number".to_string())?;
+            }
+            "ping" if verb.is_none() => verb = Some(Verb::Ping),
+            "metrics" if verb.is_none() => verb = Some(Verb::Metrics),
+            "drain" if verb.is_none() => verb = Some(Verb::Drain),
+            "cancel" if verb.is_none() => {
+                verb = Some(Verb::Cancel(value("cancel")?));
+            }
+            "submit" if verb.is_none() => {
+                verb = Some(Verb::Submit(Box::new(JobSpec {
+                    id: String::new(),
+                    shots: None,
+                    seed: None,
+                    answer: Vec::new(),
+                    data: Vec::new(),
+                    ancilla: Vec::new(),
+                    scheme: None,
+                    deadline_ms: None,
+                    qasm: String::new(),
+                })));
+            }
+            other => {
+                let Some(Verb::Submit(boxed)) = &mut verb else {
+                    return Err(format!(
+                        "unknown argument '{other}' (try dqct client --help)"
+                    ));
+                };
+                let job = spec.get_or_insert_with(|| (**boxed).clone());
+                match other {
+                    "--id" => job.id = value("--id")?,
+                    "--shots" => {
+                        job.shots = Some(
+                            value("--shots")?
+                                .parse()
+                                .map_err(|_| "--shots: not a number".to_string())?,
+                        );
+                    }
+                    "--seed" => {
+                        job.seed = Some(
+                            value("--seed")?
+                                .parse()
+                                .map_err(|_| "--seed: not a number".to_string())?,
+                        );
+                    }
+                    "--answer" => job.answer = parse_index_list(&value("--answer")?, "--answer")?,
+                    "--data" => job.data = parse_index_list(&value("--data")?, "--data")?,
+                    "--ancilla" => {
+                        job.ancilla = parse_index_list(&value("--ancilla")?, "--ancilla")?;
+                    }
+                    "--scheme" => job.scheme = Some(value("--scheme")?),
+                    "--deadline-ms" => {
+                        job.deadline_ms = Some(
+                            value("--deadline-ms")?
+                                .parse()
+                                .map_err(|_| "--deadline-ms: not a number".to_string())?,
+                        );
+                    }
+                    path if !path.starts_with("--") => qasm_path = Some(path.to_string()),
+                    unknown => return Err(format!("unknown submit option '{unknown}'")),
+                }
+            }
+        }
+    }
+    let mut verb = verb.ok_or_else(|| {
+        "missing verb: ping, metrics, drain, cancel or submit (try dqct client --help)".to_string()
+    })?;
+    if let Verb::Submit(boxed) = &mut verb {
+        let mut job = spec.unwrap_or_else(|| (**boxed).clone());
+        if job.id.is_empty() {
+            return Err("submit needs --id".to_string());
+        }
+        job.qasm = match qasm_path.as_deref() {
+            Some("-") | None => {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("cannot read stdin: {e}"))?;
+                buf
+            }
+            Some(path) => {
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+            }
+        };
+        **boxed = job;
+    }
+    Ok(Some(ClientOptions { addr, verb, retry }))
+}
+
+/// One request/response exchange on a fresh connection; `submit` reads
+/// until the job's own answer arrives.
+fn exchange(addr: &str, payload: &[u8], until_id: Option<&str>) -> Result<Vec<String>, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write_frame(&mut stream, payload).map_err(|e| format!("cannot send request: {e}"))?;
+    let mut responses = Vec::new();
+    loop {
+        let frame = read_frame(&mut stream, MAX_FRAME_BYTES)
+            .map_err(|e| format!("transport failure: {e}"))?
+            .ok_or_else(|| "server closed the connection without answering".to_string())?;
+        let text = String::from_utf8(frame).map_err(|_| "response is not UTF-8".to_string())?;
+        let done = match until_id {
+            // Control verbs get exactly one answer.
+            None => true,
+            // A submission is answered by the frame echoing its id
+            // (result, rejected, or job-scoped error).
+            Some(id) => field_str(&text, "id") == Some(id),
+        };
+        responses.push(text);
+        if done {
+            return Ok(responses);
+        }
+    }
+}
+
+/// Runs `dqct client` and returns the lines to print on stdout.
+///
+/// # Errors
+///
+/// Returns a one-line message on argument, connection, or transport
+/// failures. Typed service rejections are *not* errors: they print like
+/// any other response, and the exit code stays 0 so scripted probes can
+/// distinguish "the service said no" from "the service is unreachable".
+pub fn run_client(args: &[String]) -> Result<String, String> {
+    let Some(options) = parse_client_args(args)? else {
+        return Ok(format!("{CLIENT_USAGE}\n"));
+    };
+    let mut lines = Vec::new();
+    match &options.verb {
+        Verb::Ping => lines.extend(exchange(&options.addr, b"ping", None)?),
+        Verb::Metrics => lines.extend(exchange(&options.addr, b"metrics", None)?),
+        Verb::Drain => lines.extend(exchange(&options.addr, b"drain", None)?),
+        Verb::Cancel(id) => {
+            lines.extend(exchange(
+                &options.addr,
+                format!("cancel {id}").as_bytes(),
+                None,
+            )?);
+        }
+        Verb::Submit(job) => {
+            let payload = render_submit(job);
+            let mut attempts = 0;
+            loop {
+                let responses = exchange(&options.addr, &payload, Some(&job.id))?;
+                let last = responses.last().cloned().unwrap_or_default();
+                lines.extend(responses);
+                let shed = field_str(&last, "type") == Some("rejected")
+                    && matches!(field_str(&last, "reason"), Some("queue-full" | "draining"));
+                if !shed || attempts >= options.retry {
+                    break;
+                }
+                attempts += 1;
+                let backoff = field_u64(&last, "retry_after_ms").unwrap_or(25);
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+        }
+    }
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn a_verb_is_required() {
+        let err = parse_client_args(&args(&["--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("missing verb"), "{err}");
+    }
+
+    #[test]
+    fn submit_requires_an_id() {
+        let err = parse_client_args(&args(&["submit", "--shots", "8"])).unwrap_err();
+        assert!(err.contains("--id"), "{err}");
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        let err = parse_client_args(&args(&["ping", "--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn control_verbs_parse_with_an_address() {
+        let options = parse_client_args(&args(&["--addr", "10.0.0.1:7817", "drain"]))
+            .expect("parse")
+            .expect("not help");
+        assert_eq!(options.addr, "10.0.0.1:7817");
+        assert!(matches!(options.verb, Verb::Drain));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse_client_args(&args(&["--help"]))
+            .expect("parse")
+            .is_none());
+    }
+}

@@ -14,6 +14,9 @@
 //!      [--engine shots|prefix|auto] [--shots N] [--seed N]
 //!      [--input FILE | FILE]
 //! ```
+//!
+//! `dqct client ...` (see [`client`]) instead talks to a running `dqctd`
+//! batch service over its length-prefixed TCP protocol.
 
 use dqc::{
     mitigate_observed, plan_with_scheme_observed, transform_with_scheme_observed, verify,
@@ -28,6 +31,8 @@ use qsim::{Engine, Executor, NoiseModel};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
+
+pub mod client;
 
 /// Output format of the `--metrics` flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

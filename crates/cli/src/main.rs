@@ -17,6 +17,20 @@ fn main() -> ExitCode {
         }
     }));
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `dqct client ...` talks to a running dqctd service instead of
+    // transforming locally.
+    if args.first().is_some_and(|a| a == "client") {
+        return match dqct_cli::client::run_client(&args[1..]) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("dqct client: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match dqct_cli::parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {

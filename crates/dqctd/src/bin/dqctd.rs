@@ -1,0 +1,238 @@
+//! The `dqctd` daemon binary: a TCP accept loop (or stdio transport)
+//! around [`dqctd::Server`], with SIGTERM/SIGINT wired to a graceful
+//! drain — stop accepting, finish every accepted job, exit 0.
+
+use dqctd::{Config, Server};
+use qfault::FaultPlan;
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+dqctd - resilient batch simulation service for dynamic quantum circuits
+
+USAGE:
+    dqctd [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT     listen address (default 127.0.0.1:7817; port 0 = ephemeral)
+    --workers N          simulation worker threads (default 2)
+    --queue N            bounded queue capacity (default 64)
+    --max-qubits N       largest accepted circuit (default 16)
+    --max-shots N        largest accepted shot count (default 1048576)
+    --default-shots N    shots when a job does not say (default 1024)
+    --deadline-ms N      default per-job deadline (default 5000)
+    --cache N            transform cache capacity, 0 disables (default 256)
+    --inject SPEC        chaos drill: qfault plan applied at job scope
+                         (e.g. 'seed=9,panic=0.1,delay=0.05,delay-ms=20')
+    --port-file PATH     write the bound port number to PATH after listening
+    --stdio              serve one connection on stdin/stdout, then exit
+    --help               print this help
+
+SIGTERM and SIGINT trigger a graceful drain: admission stops, every
+accepted job is finished and answered, then the process exits 0.";
+
+/// SIGTERM/SIGINT handling with no dependencies: the libc `signal`
+/// function installing a handler that only stores to a static atomic
+/// (async-signal-safe); the accept loop polls the flag.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: the handler is a plain fn that only stores to a static
+        // AtomicBool, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+            signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
+}
+
+struct Options {
+    addr: String,
+    port_file: Option<String>,
+    stdio: bool,
+    config: Config,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7817".to_string(),
+        port_file: None,
+        stdio: false,
+        config: Config::default(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--stdio" => options.stdio = true,
+            "--addr" => options.addr = value("--addr")?,
+            "--port-file" => options.port_file = Some(value("--port-file")?),
+            "--workers" => options.config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue" => {
+                options.config.queue_capacity = parse_num(&value("--queue")?, "--queue")?;
+            }
+            "--max-qubits" => {
+                options.config.max_qubits = parse_num(&value("--max-qubits")?, "--max-qubits")?;
+            }
+            "--max-shots" => {
+                options.config.max_shots = parse_num(&value("--max-shots")?, "--max-shots")?;
+            }
+            "--default-shots" => {
+                options.config.default_shots =
+                    parse_num(&value("--default-shots")?, "--default-shots")?;
+            }
+            "--deadline-ms" => {
+                options.config.default_deadline =
+                    Duration::from_millis(parse_num(&value("--deadline-ms")?, "--deadline-ms")?);
+            }
+            "--cache" => {
+                options.config.cache_capacity = parse_num(&value("--cache")?, "--cache")?;
+            }
+            "--inject" => {
+                let spec = value("--inject")?;
+                let plan = FaultPlan::parse(&spec).map_err(|e| format!("--inject: {e}"))?;
+                options.config.chaos = Some(plan);
+            }
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(options))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: '{text}' is not a valid number"))
+}
+
+fn main() -> ExitCode {
+    // `--inject` chaos panics are caught and isolated per shot by the
+    // resilient executor; keep them off stderr while letting real panics
+    // through.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("qfault: injected panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("dqctd: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    sig::install();
+    match run(options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dqctd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(options: Options) -> Result<(), String> {
+    let server = Server::start(options.config.clone());
+    if options.stdio {
+        return run_stdio(&server);
+    }
+    run_tcp(&server, &options)
+}
+
+/// One protocol session over stdin/stdout — the transport the protocol
+/// robustness tests and quick local experiments use.
+fn run_stdio(server: &Arc<Server>) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let mut reader = stdin.lock();
+    server.serve_connection(&mut reader, Box::new(std::io::stdout()));
+    server.join();
+    Ok(())
+}
+
+fn run_tcp(server: &Arc<Server>, options: &Options) -> Result<(), String> {
+    let listener = TcpListener::bind(&options.addr)
+        .map_err(|e| format!("cannot listen on {}: {e}", options.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve the bound address: {e}"))?;
+    if let Some(path) = &options.port_file {
+        let rendered = format!("{}\n", local.port());
+        std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll the listener: {e}"))?;
+    eprintln!("dqctd: listening on {local}");
+    loop {
+        if sig::TERM.load(Ordering::SeqCst) || server.is_draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let server = Arc::clone(server);
+                std::thread::spawn(move || {
+                    let mut reader = match stream.try_clone() {
+                        Ok(reader) => reader,
+                        Err(_) => return,
+                    };
+                    server.serve_connection(&mut reader, Box::new(stream));
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(format!("accept failed: {e}")),
+        }
+    }
+    eprintln!(
+        "dqctd: draining ({} accepted jobs in flight)",
+        server.pending()
+    );
+    server.join();
+    let _ = std::io::stderr().flush();
+    eprintln!("dqctd: drained cleanly");
+    Ok(())
+}

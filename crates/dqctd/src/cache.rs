@@ -1,0 +1,196 @@
+//! The content-hash transform cache.
+//!
+//! Transforming and equivalence-checking a circuit dominates small jobs,
+//! and a batch service sees the same BV/DJ/Grover templates over and over.
+//! The cache keys on everything that determines the transform — the
+//! circuit's canonical [`qcir::Circuit::content_hash`], the role
+//! partition, and the scheme — and stores the verified pipeline output, so
+//! a repeated template skips straight to simulation. Because the cached
+//! transform was equivalence-checked when it was filled, cache hits return
+//! results exactly as trustworthy as cold runs.
+//!
+//! Bounded FIFO eviction: the cache never exceeds its capacity, and under
+//! template-heavy traffic (the intended workload) the hot entries are
+//! re-filled at worst once per eviction cycle.
+
+use dqc::DynamicScheme;
+use qcir::Circuit;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// A verified transform, ready to re-simulate.
+#[derive(Debug)]
+pub struct CachedTransform {
+    /// The hardened dynamic circuit.
+    pub circuit: Circuit,
+    /// Total variation distance recorded by the equivalence check.
+    pub tvd: f64,
+}
+
+/// The cache key: circuit content + role partition + scheme, folded into
+/// one 64-bit digest with the same FNV construction the circuit hash uses.
+#[must_use]
+pub fn cache_key(
+    circuit: &Circuit,
+    answer: &[usize],
+    data: &[usize],
+    ancilla: &[usize],
+    scheme: DynamicScheme,
+) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = circuit.content_hash();
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    };
+    for (tag, list) in [(1u64, answer), (2, data), (3, ancilla)] {
+        mix(tag);
+        mix(list.len() as u64);
+        for &i in list {
+            mix(i as u64);
+        }
+    }
+    mix(match scheme {
+        DynamicScheme::Direct => 0x10,
+        DynamicScheme::Dynamic1 => 0x11,
+        DynamicScheme::Dynamic2 => 0x12,
+    });
+    h
+}
+
+/// A bounded, thread-safe transform cache with hit/miss accounting left to
+/// the caller (the server owns the metrics registry).
+#[derive(Debug)]
+pub struct TransformCache {
+    capacity: usize,
+    inner: Mutex<CacheState>,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<u64, Arc<CachedTransform>>,
+    order: VecDeque<u64>,
+}
+
+impl TransformCache {
+    /// An empty cache holding at most `capacity` transforms (0 disables
+    /// caching entirely — every lookup misses).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Looks up a transform by key.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<CachedTransform>> {
+        match self.inner.lock() {
+            Ok(state) => state.entries.get(&key).cloned(),
+            Err(_) => None, // a poisoned cache serves misses, never panics
+        }
+    }
+
+    /// Inserts a transform, evicting the oldest entry when full.
+    pub fn insert(&self, key: u64, value: Arc<CachedTransform>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let Ok(mut state) = self.inner.lock() else {
+            return;
+        };
+        if state.entries.insert(key, value).is_none() {
+            state.order.push_back(key);
+            while state.order.len() > self.capacity {
+                if let Some(evicted) = state.order.pop_front() {
+                    state.entries.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// How many transforms are currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().map_or(0, |s| s.entries.len())
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Qubit;
+
+    fn probe(n: usize) -> Circuit {
+        let mut c = Circuit::new(n.max(1), 0);
+        for i in 0..n.max(1) {
+            c.h(Qubit::new(i));
+        }
+        c
+    }
+
+    fn entry() -> Arc<CachedTransform> {
+        Arc::new(CachedTransform {
+            circuit: probe(1),
+            tvd: 0.0,
+        })
+    }
+
+    #[test]
+    fn keys_separate_roles_and_schemes() {
+        let c = probe(3);
+        let base = cache_key(&c, &[2], &[0, 1], &[], DynamicScheme::Dynamic2);
+        assert_eq!(
+            base,
+            cache_key(&c, &[2], &[0, 1], &[], DynamicScheme::Dynamic2)
+        );
+        assert_ne!(
+            base,
+            cache_key(&c, &[1], &[0, 2], &[], DynamicScheme::Dynamic2)
+        );
+        assert_ne!(
+            base,
+            cache_key(&c, &[2], &[0, 1], &[], DynamicScheme::Dynamic1)
+        );
+        assert_ne!(
+            base,
+            cache_key(&probe(4), &[2], &[0, 1], &[], DynamicScheme::Dynamic2)
+        );
+        // Role boundary ambiguity: answer=[1], data=[2] must differ from
+        // answer=[1,2], data=[] (length prefixes in the fold).
+        assert_ne!(
+            cache_key(&c, &[1], &[2], &[], DynamicScheme::Direct),
+            cache_key(&c, &[1, 2], &[], &[], DynamicScheme::Direct)
+        );
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = TransformCache::new(2);
+        cache.insert(1, entry());
+        cache.insert(2, entry());
+        cache.insert(1, entry()); // re-insert must not double-count
+        assert_eq!(cache.len(), 2);
+        cache.insert(3, entry());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none(), "oldest key evicted");
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = TransformCache::new(0);
+        cache.insert(1, entry());
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+    }
+}

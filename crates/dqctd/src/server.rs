@@ -1,0 +1,666 @@
+//! The service core: bounded admission queue, sharded worker pool,
+//! per-job budgets, cancellation, chaos scoping and graceful drain.
+//!
+//! # Admission-control policy
+//!
+//! A submission is examined *before* it is accepted, in order of
+//! increasing cost: drain state, QASM parse, structural validation, size
+//! limits (qubits, shots), role partition, queue capacity. Every rejection
+//! is typed ([`RejectReason`]) and, where retrying can help (`queue-full`,
+//! `draining`), carries a `retry_after_ms` backoff hint derived from the
+//! observed job-latency EMA and the current backlog. Once a job is
+//! accepted it is never dropped: every accepted job gets exactly one
+//! `result` or `error` response, even across drain.
+//!
+//! # Drain semantics
+//!
+//! [`Server::drain`] (wired to SIGTERM and the `drain` verb by the binary)
+//! stops admission — new submissions answer `rejected`/`draining` — while
+//! the workers finish every already-accepted job. Jobs whose deadline
+//! expired while queued return partial results with their usual
+//! `deadline` termination; cancelled jobs answer `cancelled`; nothing is
+//! silently discarded. [`Server::join`] returns once the queue is empty
+//! and every worker has exited.
+
+use crate::cache::{cache_key, CachedTransform, TransformCache};
+use crate::protocol::{
+    parse_request, read_frame, write_frame, FrameError, JobOutcome, JobSpec, RejectReason, Request,
+    Response,
+};
+use dqc::{DqcError, DynamicScheme, Pipeline, QubitRoles};
+use qcir::qasm::from_qasm;
+use qcir::{Circuit, Qubit};
+use qfault::FaultPlan;
+use qobs::Observer;
+use qsim::{CancelToken, Executor, FaultSite, Termination};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Derives the deterministic job-scope key a chaos plan is consulted with:
+/// FNV-1a of the client-chosen job id. Both the server and its chaos drill
+/// can compute the faulted set from ids alone, with no shared state.
+#[must_use]
+pub fn job_scope_key(id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Worker threads simulating jobs (each runs single-threaded shots).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Per-frame payload cap in bytes.
+    pub max_frame_bytes: u32,
+    /// Largest circuit accepted, in qubits (statevector cost is 2^n).
+    pub max_qubits: usize,
+    /// Largest shot count accepted per job.
+    pub max_shots: u64,
+    /// Shots when a job does not say (`shots` header).
+    pub default_shots: u64,
+    /// Seed when a job does not say (`seed` header).
+    pub default_seed: u64,
+    /// Per-job wall-clock budget when a job does not say (`deadline-ms`).
+    /// The budget starts at *admission*, so time spent queued counts — a
+    /// job that waited out its whole deadline returns an immediate
+    /// `deadline` partial rather than occupying a worker.
+    pub default_deadline: Duration,
+    /// Transform-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Chaos drill: a fault plan consulted at **job** scope (see
+    /// [`FaultPlan::job_fault`]). Faulted jobs run under a per-job scoped
+    /// hook; unfaulted jobs run bit-identically to a chaos-free server.
+    pub chaos: Option<FaultPlan>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            max_frame_bytes: crate::protocol::MAX_FRAME_BYTES,
+            max_qubits: 16,
+            max_shots: 1 << 20,
+            default_shots: 1024,
+            default_seed: 7,
+            default_deadline: Duration::from_secs(5),
+            cache_capacity: 256,
+            chaos: None,
+        }
+    }
+}
+
+/// A writer shared between the connection thread (control responses) and
+/// the workers (job responses).
+type Sink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// One accepted job.
+struct Job {
+    conn: u64,
+    id: String,
+    circuit: Circuit,
+    answer: Vec<usize>,
+    data: Vec<usize>,
+    ancilla: Vec<usize>,
+    roles: QubitRoles,
+    scheme: DynamicScheme,
+    shots: u64,
+    seed: u64,
+    deadline: Duration,
+    accepted: Instant,
+    token: CancelToken,
+    sink: Sink,
+}
+
+struct State {
+    config: Config,
+    observer: Observer,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    draining: AtomicBool,
+    cache: TransformCache,
+    pending: AtomicU64,
+    ema_job_us: AtomicU64,
+    next_conn: AtomicU64,
+    tokens: Mutex<HashMap<(u64, String), CancelToken>>,
+}
+
+/// The running service: a worker pool behind a bounded queue, plus the
+/// connection driver ([`Server::serve_connection`]) the transport layer
+/// (TCP accept loop, stdio, or an in-memory test harness) feeds.
+pub struct Server {
+    state: Arc<State>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts the worker pool and returns the ready service.
+    #[must_use]
+    pub fn start(config: Config) -> Arc<Server> {
+        let state = Arc::new(State {
+            cache: TransformCache::new(config.cache_capacity),
+            config,
+            observer: Observer::metrics_only(),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            draining: AtomicBool::new(false),
+            pending: AtomicU64::new(0),
+            ema_job_us: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+            tokens: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..state.config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        Arc::new(Server {
+            state,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Drives one client connection: reads request frames until the peer
+    /// closes (or a frame-level error forces a close), dispatching
+    /// submissions into the queue. Job responses are written by the
+    /// workers through the shared `writer`; this call returns when the
+    /// read side is done, which may be before in-flight jobs respond.
+    pub fn serve_connection<R: Read>(&self, reader: &mut R, writer: Box<dyn Write + Send>) {
+        let conn = self.state.next_conn.fetch_add(1, Ordering::Relaxed);
+        let sink: Sink = Arc::new(Mutex::new(writer));
+        loop {
+            match read_frame(reader, self.state.config.max_frame_bytes) {
+                Ok(Some(payload)) => match parse_request(&payload) {
+                    Ok(request) => {
+                        if !self.dispatch(conn, request, &sink) {
+                            return;
+                        }
+                    }
+                    Err(detail) => {
+                        respond(&self.state, &sink, &Response::Error { id: None, detail });
+                    }
+                },
+                // Clean close: the peer is done submitting.
+                Ok(None) => return,
+                // An oversized announcement gets a typed answer, then the
+                // connection closes (the unread body makes resync
+                // impossible). Truncation and transport errors just close.
+                Err(FrameError::TooLarge { len, max }) => {
+                    respond(
+                        &self.state,
+                        &sink,
+                        &Response::Error {
+                            id: None,
+                            detail: format!("frame of {len} bytes exceeds the {max}-byte limit"),
+                        },
+                    );
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Handles one parsed request; `false` ends the connection.
+    fn dispatch(&self, conn: u64, request: Request, sink: &Sink) -> bool {
+        let state = &self.state;
+        match request {
+            Request::Ping => respond(state, sink, &Response::Pong),
+            Request::Metrics => {
+                let registry = state.observer.metrics().to_json();
+                respond(state, sink, &Response::Metrics(registry));
+            }
+            Request::Drain => {
+                self.drain();
+                respond(state, sink, &Response::Draining);
+            }
+            Request::Cancel(id) => {
+                let token = state
+                    .tokens
+                    .lock()
+                    .ok()
+                    .and_then(|tokens| tokens.get(&(conn, id.clone())).cloned());
+                match token {
+                    Some(token) => token.cancel(), // the job's own response reports "cancelled"
+                    None => respond(
+                        state,
+                        sink,
+                        &Response::Error {
+                            id: Some(id),
+                            detail: "no such active job on this connection".to_string(),
+                        },
+                    ),
+                }
+            }
+            Request::Submit(spec) => {
+                if let Some(rejection) = self.admit(conn, *spec, sink) {
+                    respond(state, sink, &rejection);
+                }
+            }
+        }
+        true
+    }
+
+    /// Admission control: accepts the job into the queue (returning
+    /// `None`) or returns the typed rejection to send.
+    fn admit(&self, conn: u64, spec: JobSpec, sink: &Sink) -> Option<Response> {
+        let state = &self.state;
+        let obs = &state.observer;
+        let reject = |counter: &str, reason: RejectReason| {
+            obs.counter_add(counter, 1);
+            if matches!(
+                reason,
+                RejectReason::QueueFull { .. } | RejectReason::Draining { .. }
+            ) {
+                obs.counter_add("service.retry_hints", 1);
+            }
+            Some(Response::Rejected {
+                id: spec.id.clone(),
+                reason,
+            })
+        };
+        if state.draining.load(Ordering::Relaxed) {
+            return reject(
+                "service.rejected.draining",
+                RejectReason::Draining {
+                    retry_after_ms: self.backoff_hint(),
+                },
+            );
+        }
+        let circuit = match from_qasm(&spec.qasm) {
+            Ok(c) => c,
+            Err(e) => {
+                return reject(
+                    "service.rejected.invalid",
+                    RejectReason::Invalid {
+                        detail: e.to_string(),
+                    },
+                )
+            }
+        };
+        if let Err(e) = circuit.validate() {
+            return reject(
+                "service.rejected.invalid",
+                RejectReason::Invalid {
+                    detail: e.to_string(),
+                },
+            );
+        }
+        if circuit.num_qubits() > state.config.max_qubits {
+            return reject(
+                "service.rejected.too_large",
+                RejectReason::TooLarge {
+                    detail: format!(
+                        "{} qubits exceeds the {}-qubit limit",
+                        circuit.num_qubits(),
+                        state.config.max_qubits
+                    ),
+                },
+            );
+        }
+        let shots = spec.shots.unwrap_or(state.config.default_shots);
+        if shots > state.config.max_shots {
+            return reject(
+                "service.rejected.too_large",
+                RejectReason::TooLarge {
+                    detail: format!(
+                        "{shots} shots exceeds the {}-shot limit",
+                        state.config.max_shots
+                    ),
+                },
+            );
+        }
+        let scheme = match spec.scheme.as_deref() {
+            None => DynamicScheme::Dynamic2,
+            Some("direct") => DynamicScheme::Direct,
+            Some("dynamic1") | Some("dynamic-1") => DynamicScheme::Dynamic1,
+            Some("dynamic2") | Some("dynamic-2") => DynamicScheme::Dynamic2,
+            Some(other) => {
+                return reject(
+                    "service.rejected.invalid",
+                    RejectReason::Invalid {
+                        detail: format!("unknown scheme '{other}'"),
+                    },
+                )
+            }
+        };
+        let roles = match build_roles(&circuit, &spec.answer, &spec.data, &spec.ancilla) {
+            Ok(r) => r,
+            Err(detail) => {
+                return reject("service.rejected.invalid", RejectReason::Invalid { detail })
+            }
+        };
+        let token = CancelToken::new();
+        let job = Job {
+            conn,
+            id: spec.id.clone(),
+            circuit,
+            answer: spec.answer,
+            data: spec.data,
+            ancilla: spec.ancilla,
+            roles,
+            scheme,
+            shots,
+            seed: spec.seed.unwrap_or(state.config.default_seed),
+            deadline: spec
+                .deadline_ms
+                .map_or(state.config.default_deadline, Duration::from_millis),
+            accepted: Instant::now(),
+            token: token.clone(),
+            sink: Arc::clone(sink),
+        };
+        {
+            let Ok(mut queue) = state.queue.lock() else {
+                return reject(
+                    "service.rejected.invalid",
+                    RejectReason::Invalid {
+                        detail: "service queue unavailable".to_string(),
+                    },
+                );
+            };
+            if queue.len() >= state.config.queue_capacity {
+                drop(queue);
+                return reject(
+                    "service.rejected.queue_full",
+                    RejectReason::QueueFull {
+                        retry_after_ms: self.backoff_hint(),
+                    },
+                );
+            }
+            queue.push_back(job);
+            obs.gauge_set("service.queue_depth", queue.len() as f64);
+        }
+        if let Ok(mut tokens) = state.tokens.lock() {
+            tokens.insert((conn, spec.id), token);
+        }
+        state.pending.fetch_add(1, Ordering::SeqCst);
+        obs.counter_add("service.accepted", 1);
+        self.state.available.notify_one();
+        None
+    }
+
+    /// The `retry_after_ms` hint: how long until a queue slot should free
+    /// up, from the job-latency EMA and the configured parallelism.
+    fn backoff_hint(&self) -> u64 {
+        let ema_us = self.state.ema_job_us.load(Ordering::Relaxed);
+        if ema_us == 0 {
+            return 25;
+        }
+        let per_slot_ms = ema_us / 1000 / self.state.config.workers.max(1) as u64;
+        per_slot_ms.clamp(10, 2000)
+    }
+
+    /// Stops admission; already-accepted work keeps running. Idempotent.
+    pub fn drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.available.notify_all();
+    }
+
+    /// `true` once [`Server::drain`] was called.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drains and blocks until every accepted job has been answered and
+    /// every worker has exited.
+    pub fn join(&self) {
+        self.drain();
+        let handles: Vec<JoinHandle<()>> = match self.workers.lock() {
+            Ok(mut workers) => workers.drain(..).collect(),
+            Err(_) => return,
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Accepted jobs not yet answered.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.state.pending.load(Ordering::SeqCst)
+    }
+
+    /// The service metrics registry as JSON.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.state.observer.metrics().to_json()
+    }
+}
+
+/// Builds the role partition with the CLI's defaulting rule (unlisted
+/// qubits are data) and validates it against the circuit.
+fn build_roles(
+    circuit: &Circuit,
+    answer: &[usize],
+    data: &[usize],
+    ancilla: &[usize],
+) -> Result<QubitRoles, String> {
+    if answer.is_empty() {
+        return Err("at least one answer qubit is required (answer header)".to_string());
+    }
+    for &i in answer.iter().chain(data).chain(ancilla) {
+        if i >= circuit.num_qubits() {
+            return Err(format!(
+                "qubit index {i} out of range for a {}-qubit circuit",
+                circuit.num_qubits()
+            ));
+        }
+    }
+    let data: Vec<Qubit> = if data.is_empty() {
+        (0..circuit.num_qubits())
+            .filter(|i| !answer.contains(i) && !ancilla.contains(i))
+            .map(Qubit::new)
+            .collect()
+    } else {
+        data.iter().map(|&i| Qubit::new(i)).collect()
+    };
+    let roles = QubitRoles::new(
+        data,
+        ancilla.iter().map(|&i| Qubit::new(i)).collect(),
+        answer.iter().map(|&i| Qubit::new(i)).collect(),
+    );
+    roles.validate(circuit).map_err(|e| e.to_string())?;
+    Ok(roles)
+}
+
+/// Writes a response frame to a connection, counting (never propagating)
+/// write failures: a mid-job disconnect must not take a worker down, and
+/// the accepted-work accounting stays truthful either way.
+fn respond(state: &State, sink: &Sink, response: &Response) {
+    let payload = response.render();
+    let Ok(mut writer) = sink.lock() else {
+        state.observer.counter_add("service.disconnects", 1);
+        return;
+    };
+    if write_frame(&mut *writer, &payload).is_err() {
+        state.observer.counter_add("service.disconnects", 1);
+    }
+}
+
+/// One worker: pop, run, answer — until drain empties the queue.
+fn worker_loop(state: &Arc<State>) {
+    loop {
+        let job = {
+            let Ok(mut queue) = state.queue.lock() else {
+                return;
+            };
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    state
+                        .observer
+                        .gauge_set("service.queue_depth", queue.len() as f64);
+                    break Some(job);
+                }
+                if state.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                match state.available.wait(queue) {
+                    Ok(q) => queue = q,
+                    Err(_) => return,
+                }
+            }
+        };
+        let Some(job) = job else { return };
+        let queue_wait = job.accepted.elapsed();
+        let started = Instant::now();
+        let response = run_job(state, &job, queue_wait);
+        respond(state, &job.sink, &response);
+        let elapsed = started.elapsed();
+        let obs = &state.observer;
+        obs.metrics().observe_duration("service.job_ns", elapsed);
+        obs.metrics()
+            .observe_duration("service.queue_wait_ns", queue_wait);
+        // EMA with alpha 1/4, in integer microseconds: cheap, lock-free,
+        // plenty for a backoff hint.
+        let sample_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let previous = state.ema_job_us.load(Ordering::Relaxed);
+        let next = if previous == 0 {
+            sample_us
+        } else {
+            previous - previous / 4 + sample_us / 4
+        };
+        state.ema_job_us.store(next, Ordering::Relaxed);
+        if let Ok(mut tokens) = state.tokens.lock() {
+            tokens.remove(&(job.conn, job.id.clone()));
+        }
+        state.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Transforms (through the cache) and simulates one job.
+fn run_job(state: &Arc<State>, job: &Job, queue_wait: Duration) -> Response {
+    let obs = &state.observer;
+    let queue_ms = queue_wait.as_secs_f64() * 1e3;
+    if job.token.is_cancelled() {
+        obs.counter_add("service.cancelled", 1);
+        return Response::Result(Box::new(JobOutcome {
+            id: job.id.clone(),
+            termination: Termination::Cancelled.to_string(),
+            requested: job.shots,
+            completed: 0,
+            failed: 0,
+            discarded: 0,
+            counts: Vec::new(),
+            cache_hit: false,
+            queue_ms,
+            run_ms: 0.0,
+            tvd: 0.0,
+        }));
+    }
+    let started = Instant::now();
+
+    // Transform, through the content-hash cache.
+    let key = cache_key(
+        &job.circuit,
+        &job.answer,
+        &job.data,
+        &job.ancilla,
+        job.scheme,
+    );
+    let (transform, cache_hit) = match state.cache.get(key) {
+        Some(hit) => {
+            obs.counter_add("service.cache.hit", 1);
+            (hit, true)
+        }
+        None => {
+            obs.counter_add("service.cache.miss", 1);
+            let result: Result<_, DqcError> = Pipeline::new()
+                .scheme(job.scheme)
+                .run(&job.circuit, &job.roles);
+            match result {
+                Ok(result) => {
+                    let entry = Arc::new(CachedTransform {
+                        circuit: result.dynamic.circuit().clone(),
+                        tvd: result.report.tvd,
+                    });
+                    state.cache.insert(key, Arc::clone(&entry));
+                    (entry, false)
+                }
+                Err(e) => {
+                    obs.counter_add("service.errors", 1);
+                    return Response::Error {
+                        id: Some(job.id.clone()),
+                        detail: format!("transform failed: {e}"),
+                    };
+                }
+            }
+        }
+    };
+
+    // Chaos scoping: a job-faulted job runs under a scoped per-shot hook;
+    // everything else runs with no hook at all (bit-identical to a
+    // chaos-free server).
+    let mut executor = Executor::new()
+        .shots(job.shots)
+        .seed(job.seed)
+        .threads(1)
+        .deadline(job.deadline.saturating_sub(job.accepted.elapsed()))
+        .cancel_token(job.token.clone());
+    if let Some(plan) = &state.config.chaos {
+        let scope = job_scope_key(&job.id);
+        let fault = plan.job_fault(scope);
+        if fault.is_faulted() {
+            obs.counter_add("service.chaos.faulted_jobs", 1);
+            // The per-shot hook expresses exactly the job-level decision:
+            // the two shot sites are cleared and the drawn faults
+            // re-raised to certainty, so a panic-faulted job fails every
+            // shot and a delay-only job stays bit-identical, just slow.
+            let mut scoped = plan
+                .scoped(scope)
+                .with_rate(FaultSite::ShotPanic, 0.0)
+                .with_rate(FaultSite::ShotDelay, 0.0);
+            if fault.panic {
+                scoped = scoped.with_rate(FaultSite::ShotPanic, 1.0);
+            }
+            if let Some(delay) = fault.delay {
+                scoped = scoped
+                    .with_rate(FaultSite::ShotDelay, 1.0)
+                    .with_delay(delay);
+            }
+            executor = executor.fault_hook(Arc::new(scoped));
+        }
+    }
+
+    let (counts, report) = executor.run_resilient(transform.circuit());
+    match report.termination {
+        Termination::Cancelled => obs.counter_add("service.cancelled", 1),
+        Termination::Deadline => obs.counter_add("service.deadline", 1),
+        _ => {}
+    }
+    obs.counter_add("service.completed", 1);
+    Response::Result(Box::new(JobOutcome {
+        id: job.id.clone(),
+        termination: report.termination.to_string(),
+        requested: report.requested,
+        completed: report.completed,
+        failed: report.failed,
+        discarded: report.discarded,
+        counts: counts
+            .iter()
+            .map(|(bits, n)| (bits.to_string(), n))
+            .collect(),
+        cache_hit,
+        queue_ms,
+        run_ms: started.elapsed().as_secs_f64() * 1e3,
+        tvd: transform.tvd,
+    }))
+}
+
+impl CachedTransform {
+    /// The cached dynamic circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+}

@@ -1,0 +1,252 @@
+//! Wire-format robustness: malformed frames, oversized length prefixes,
+//! truncated payloads, and mid-job disconnects must yield a typed error
+//! response or a clean close — never a panic, and never a wedged worker.
+//! The seeded-corruption sweep extends the workspace's qfault chaos idiom
+//! (deterministic, replayable fault draws) to the protocol layer.
+
+use dqctd::{
+    field_str, read_frame, render_submit, write_frame, Config, JobSpec, Server, MAX_FRAME_BYTES,
+};
+use qalgo::suites::toffoli_free_suite;
+use qcir::qasm::to_qasm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut inner = self.0.lock().map_err(|_| io::Error::other("poisoned"))?;
+        inner.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink whose connection is already gone: every write fails, the way a
+/// client disconnecting mid-job looks to the worker pool.
+struct BrokenPipe;
+
+impl Write for BrokenPipe {
+    fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+        Err(io::Error::from(io::ErrorKind::BrokenPipe))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Err(io::Error::from(io::ErrorKind::BrokenPipe))
+    }
+}
+
+fn frames_of(bytes: &[u8]) -> Vec<String> {
+    let mut reader = bytes;
+    let mut frames = Vec::new();
+    while let Ok(Some(payload)) = read_frame(&mut reader, MAX_FRAME_BYTES) {
+        frames.push(String::from_utf8(payload).expect("responses are UTF-8"));
+    }
+    frames
+}
+
+fn wait_for_frames(buf: &SharedBuf, n: usize) -> Vec<String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let frames = frames_of(&buf.0.lock().expect("sink lock"));
+        if frames.len() >= n {
+            return frames;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {n} responses, have {}",
+            frames.len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn probe_submit(id: &str) -> Vec<u8> {
+    let suite = toffoli_free_suite();
+    let b = &suite[0];
+    render_submit(&JobSpec {
+        id: id.to_string(),
+        shots: Some(8),
+        seed: None,
+        answer: b.roles.answer().iter().map(|q| q.index()).collect(),
+        data: b.roles.data().iter().map(|q| q.index()).collect(),
+        ancilla: b.roles.ancilla().iter().map(|q| q.index()).collect(),
+        scheme: None,
+        deadline_ms: None,
+        qasm: to_qasm(&b.circuit),
+    })
+}
+
+#[test]
+fn oversized_length_prefix_answers_typed_error_then_closes() {
+    let server = Server::start(Config {
+        workers: 1,
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    // A 512 MiB announcement: rejected from the 4-byte prefix alone,
+    // before any allocation, with a typed error naming the limit.
+    let mut request = (512u32 << 20).to_be_bytes().to_vec();
+    request.extend_from_slice(&[0u8; 64]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 1);
+    assert_eq!(frames.len(), 1, "close after the typed answer: {frames:?}");
+    assert_eq!(field_str(&frames[0], "type"), Some("error"));
+    assert!(frames[0].contains("limit"), "{}", frames[0]);
+    server.join();
+}
+
+#[test]
+fn truncated_frames_close_cleanly_without_a_response() {
+    let server = Server::start(Config {
+        workers: 1,
+        ..Config::default()
+    });
+    // A framed "ping" is 8 bytes (4-byte prefix + 4-byte payload); every
+    // cut lands mid-prefix or mid-payload.
+    for cut in [1, 3, 4, 7] {
+        let mut request = Vec::new();
+        write_frame(&mut request, b"ping").expect("frame");
+        request.truncate(cut);
+        let sink = SharedBuf::default();
+        server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+        let frames = frames_of(&sink.0.lock().expect("sink lock"));
+        assert!(
+            frames.is_empty(),
+            "a frame cut at byte {cut} is a transport failure, not a request: {frames:?}"
+        );
+    }
+    server.join();
+}
+
+#[test]
+fn malformed_requests_answer_errors_and_the_connection_survives() {
+    let server = Server::start(Config {
+        workers: 1,
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let mut request = Vec::new();
+    write_frame(&mut request, b"\xff\xfe not UTF-8").expect("frame");
+    write_frame(&mut request, b"launch-missiles now").expect("frame");
+    write_frame(&mut request, b"submit\nshots nope\n\nx").expect("frame");
+    write_frame(&mut request, b"ping").expect("frame");
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 4);
+    assert_eq!(field_str(&frames[0], "type"), Some("error"));
+    assert_eq!(field_str(&frames[1], "type"), Some("error"));
+    assert_eq!(field_str(&frames[2], "type"), Some("error"));
+    assert_eq!(
+        field_str(&frames[3], "type"),
+        Some("pong"),
+        "the connection keeps serving after request-level errors"
+    );
+    server.join();
+}
+
+#[test]
+fn mid_job_disconnect_does_not_wedge_the_worker_pool() {
+    let server = Server::start(Config {
+        workers: 1,
+        ..Config::default()
+    });
+    // First connection submits a job and vanishes: the worker's response
+    // write fails, which must be absorbed and accounted, not propagated.
+    let request = {
+        let mut out = Vec::new();
+        write_frame(&mut out, &probe_submit("ghost")).expect("frame");
+        out
+    };
+    server.serve_connection(&mut request.as_slice(), Box::new(BrokenPipe));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.pending() > 0 {
+        assert!(Instant::now() < deadline, "ghost job never finished");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        server.metrics_json().contains("service.disconnects"),
+        "the failed response write is accounted: {}",
+        server.metrics_json()
+    );
+    // A second connection is served normally by the same (sole) worker.
+    let sink = SharedBuf::default();
+    let request = {
+        let mut out = Vec::new();
+        write_frame(&mut out, &probe_submit("alive")).expect("frame");
+        out
+    };
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 1);
+    assert_eq!(field_str(&frames[0], "type"), Some("result"));
+    assert_eq!(field_str(&frames[0], "termination"), Some("completed"));
+    server.join();
+}
+
+#[test]
+fn seeded_wire_corruption_never_panics_and_always_answers_typed() {
+    let server = Server::start(Config {
+        workers: 2,
+        queue_capacity: 512,
+        ..Config::default()
+    });
+    let pristine = probe_submit("fuzz");
+    let mut rng = StdRng::seed_from_u64(0xF022_0000_0D9C_7D17);
+    for round in 0..200 {
+        let mut payload = pristine.clone();
+        match round % 4 {
+            // Byte flips anywhere in the payload.
+            0 => {
+                for _ in 0..rng.gen_range(1usize..8) {
+                    let at = rng.gen_range(0usize..payload.len());
+                    payload[at] ^= 1 << rng.gen_range(0u32..8) as u8;
+                }
+            }
+            // Truncation at an arbitrary point.
+            1 => payload.truncate(rng.gen_range(0usize..payload.len())),
+            // Random binary garbage of random length.
+            2 => {
+                let len = rng.gen_range(1usize..256);
+                payload = (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect();
+            }
+            // Header lines shuffled into the QASM body.
+            _ => {
+                let at = rng.gen_range(0usize..payload.len());
+                payload.rotate_left(at);
+            }
+        }
+        let mut request = Vec::new();
+        write_frame(&mut request, &payload).expect("frame");
+        // Every fourth round additionally corrupts the length prefix.
+        if round % 4 == 3 && request.len() >= 4 {
+            request[rng.gen_range(0usize..4)] ^= 0xff;
+        }
+        let sink = SharedBuf::default();
+        server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+        // Whatever came back (possibly nothing, for transport-level
+        // corruption) parses as typed frames.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while server.pending() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "round {round}: job never finished"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for frame in frames_of(&sink.0.lock().expect("sink lock")) {
+            let kind = field_str(&frame, "type").expect("typed response");
+            assert!(
+                ["result", "rejected", "error", "pong", "draining", "metrics"].contains(&kind),
+                "round {round}: unexpected response {frame}"
+            );
+        }
+    }
+    server.join();
+}

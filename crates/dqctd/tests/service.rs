@@ -1,0 +1,352 @@
+//! End-to-end service tests over the in-memory transport (the same
+//! `serve_connection` the TCP and stdio transports drive), plus one real
+//! TCP round trip: submission, caching, load shedding, cancellation,
+//! deadlines, drain, and the chaos drill.
+
+use dqctd::{
+    field_counts, field_str, field_u64, job_scope_key, read_frame, render_submit, write_frame,
+    Config, JobSpec, Server, MAX_FRAME_BYTES,
+};
+use qalgo::suites::toffoli_free_suite;
+use qcir::qasm::to_qasm;
+use qfault::FaultPlan;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A response sink shared with the worker pool, snapshot-readable from
+/// the test thread.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut inner = self.0.lock().map_err(|_| io::Error::other("poisoned"))?;
+        inner.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Splits a raw response byte stream back into JSON payload strings.
+fn frames_of(bytes: &[u8]) -> Vec<String> {
+    let mut reader = bytes;
+    let mut frames = Vec::new();
+    while let Ok(Some(payload)) = read_frame(&mut reader, MAX_FRAME_BYTES) {
+        frames.push(String::from_utf8(payload).expect("responses are UTF-8"));
+    }
+    frames
+}
+
+/// Polls the shared sink until `n` complete response frames arrived.
+fn wait_for_frames(buf: &SharedBuf, n: usize) -> Vec<String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let frames = frames_of(&buf.0.lock().expect("sink lock"));
+        if frames.len() >= n {
+            return frames;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {n} responses, have {}: {frames:?}",
+            frames.len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The response frame answering job `id`, if any.
+fn response_for<'a>(frames: &'a [String], id: &str) -> Option<&'a String> {
+    frames.iter().find(|f| field_str(f, "id") == Some(id))
+}
+
+/// The first toffoli-free benchmark as (qasm, answer, data, ancilla).
+fn probe_job() -> (String, Vec<usize>, Vec<usize>, Vec<usize>) {
+    let suite = toffoli_free_suite();
+    let b = &suite[0];
+    (
+        to_qasm(&b.circuit),
+        b.roles.answer().iter().map(|q| q.index()).collect(),
+        b.roles.data().iter().map(|q| q.index()).collect(),
+        b.roles.ancilla().iter().map(|q| q.index()).collect(),
+    )
+}
+
+fn spec(id: &str, shots: u64) -> JobSpec {
+    let (qasm, answer, data, ancilla) = probe_job();
+    JobSpec {
+        id: id.to_string(),
+        shots: Some(shots),
+        seed: None,
+        answer,
+        data,
+        ancilla,
+        scheme: None,
+        deadline_ms: None,
+        qasm,
+    }
+}
+
+fn framed(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for p in payloads {
+        write_frame(&mut out, p).expect("frame");
+    }
+    out
+}
+
+#[test]
+fn submit_runs_and_second_identical_job_hits_the_cache() {
+    let server = Server::start(Config::default());
+    let sink = SharedBuf::default();
+    let request = framed(&[
+        render_submit(&spec("j1", 64)),
+        render_submit(&spec("j2", 64)),
+    ]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 2);
+    let first = response_for(&frames, "j1").expect("j1 answered");
+    let second = response_for(&frames, "j2").expect("j2 answered");
+    for frame in [first, second] {
+        assert_eq!(field_str(frame, "type"), Some("result"), "{frame}");
+        assert_eq!(field_str(frame, "termination"), Some("completed"));
+        assert_eq!(field_u64(frame, "completed"), Some(64));
+    }
+    // Same circuit + roles + scheme + seed: the transform comes from the
+    // cache and the counts are bit-identical.
+    let caches: Vec<_> = [first, second]
+        .iter()
+        .map(|f| field_str(f, "cache"))
+        .collect();
+    assert!(
+        caches.contains(&Some("hit")),
+        "one of the two identical jobs must hit the cache: {caches:?}"
+    );
+    assert_eq!(field_counts(first), field_counts(second));
+    server.join();
+}
+
+#[test]
+fn overload_sheds_typed_rejections_and_answers_every_accepted_job() {
+    // One worker, a one-slot queue, and every job slowed by an injected
+    // 40 ms/shot delay: submissions outrun service capacity immediately.
+    let chaos = FaultPlan::parse("seed=3,delay=1.0,delay-ms=40").expect("spec");
+    let server = Server::start(Config {
+        workers: 1,
+        queue_capacity: 1,
+        chaos: Some(chaos),
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let payloads: Vec<Vec<u8>> = (0..6)
+        .map(|i| render_submit(&spec(&format!("burst-{i}"), 4)))
+        .collect();
+    let request = framed(&payloads);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 6);
+    let rejected: Vec<_> = frames
+        .iter()
+        .filter(|f| field_str(f, "type") == Some("rejected"))
+        .collect();
+    let results: Vec<_> = frames
+        .iter()
+        .filter(|f| field_str(f, "type") == Some("result"))
+        .collect();
+    assert_eq!(rejected.len() + results.len(), 6, "{frames:?}");
+    assert!(!rejected.is_empty(), "a 6-job burst must shed: {frames:?}");
+    assert!(!results.is_empty(), "accepted jobs must finish: {frames:?}");
+    for frame in &rejected {
+        assert_eq!(field_str(frame, "reason"), Some("queue-full"));
+        assert!(
+            field_u64(frame, "retry_after_ms").is_some(),
+            "shed responses carry a backoff hint: {frame}"
+        );
+    }
+    server.join();
+    assert_eq!(server.pending(), 0, "no accepted job left unanswered");
+}
+
+#[test]
+fn cancellation_reaches_queued_and_running_jobs() {
+    let chaos = FaultPlan::parse("seed=3,delay=1.0,delay-ms=30").expect("spec");
+    let server = Server::start(Config {
+        workers: 1,
+        chaos: Some(chaos),
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let mut slow = spec("victim", 1000);
+    slow.deadline_ms = Some(60_000);
+    let request = framed(&[
+        render_submit(&slow),
+        b"cancel victim".to_vec(),
+        b"cancel no-such-job".to_vec(),
+    ]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 2);
+    let victim = response_for(&frames, "victim").expect("victim answered");
+    assert_eq!(field_str(victim, "type"), Some("result"));
+    assert_eq!(field_str(victim, "termination"), Some("cancelled"));
+    let completed = field_u64(victim, "completed").expect("completed field");
+    assert!(
+        completed < 1000,
+        "a cancelled 30 ms/shot job cannot have finished: {victim}"
+    );
+    let unknown = response_for(&frames, "no-such-job").expect("unknown id answered");
+    assert_eq!(field_str(unknown, "type"), Some("error"));
+    server.join();
+}
+
+#[test]
+fn deadlines_bound_slow_jobs_with_partial_results() {
+    let chaos = FaultPlan::parse("seed=3,delay=1.0,delay-ms=20").expect("spec");
+    let server = Server::start(Config {
+        workers: 1,
+        chaos: Some(chaos),
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let mut slow = spec("sluggish", 1000);
+    slow.deadline_ms = Some(150);
+    let request = framed(&[render_submit(&slow)]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 1);
+    let frame = &frames[0];
+    assert_eq!(field_str(frame, "type"), Some("result"), "{frame}");
+    assert_eq!(field_str(frame, "termination"), Some("deadline"));
+    let completed = field_u64(frame, "completed").expect("completed field");
+    assert!(
+        completed < 1000,
+        "a 20 s job under a 150 ms deadline must return a partial: {frame}"
+    );
+    server.join();
+}
+
+#[test]
+fn drain_stops_admission_but_finishes_accepted_work() {
+    let server = Server::start(Config {
+        workers: 1,
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let request = framed(&[
+        render_submit(&spec("before-1", 32)),
+        render_submit(&spec("before-2", 32)),
+        b"drain".to_vec(),
+        render_submit(&spec("after", 32)),
+    ]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    assert!(server.is_draining());
+    server.join();
+    assert_eq!(server.pending(), 0);
+    let frames = wait_for_frames(&sink, 4);
+    for id in ["before-1", "before-2"] {
+        let frame = response_for(&frames, id).expect("accepted job answered");
+        assert_eq!(field_str(frame, "type"), Some("result"), "{frame}");
+        assert_eq!(field_str(frame, "termination"), Some("completed"));
+    }
+    let after = response_for(&frames, "after").expect("post-drain submission answered");
+    assert_eq!(field_str(after, "type"), Some("rejected"));
+    assert_eq!(field_str(after, "reason"), Some("draining"));
+    assert!(frames.iter().any(|f| f.contains("\"type\":\"draining\"")));
+}
+
+#[test]
+fn chaos_drill_faults_exactly_the_predicted_jobs_and_spares_the_rest() {
+    // The faulted set is a pure function of (plan seed, job id): the
+    // drill computes it client-side and checks the server agrees job by
+    // job — panics surface as isolated failed shots, everything else is
+    // bit-identical to a fault-free server.
+    let plan = FaultPlan::parse("seed=9,panic=0.2").expect("spec");
+    let ids: Vec<String> = (0..24).map(|i| format!("drill-{i}")).collect();
+    let run = |chaos: Option<FaultPlan>| {
+        let server = Server::start(Config {
+            chaos,
+            ..Config::default()
+        });
+        let sink = SharedBuf::default();
+        let payloads: Vec<Vec<u8>> = ids.iter().map(|id| render_submit(&spec(id, 32))).collect();
+        let request = framed(&payloads);
+        server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+        let frames = wait_for_frames(&sink, ids.len());
+        server.join();
+        frames
+    };
+    let clean = run(None);
+    let chaotic = run(Some(plan.clone()));
+    let faulted: Vec<bool> = ids
+        .iter()
+        .map(|id| plan.job_fault(job_scope_key(id)).is_faulted())
+        .collect();
+    assert!(
+        faulted.iter().any(|&f| f) && !faulted.iter().all(|&f| f),
+        "a 20% rate over 24 jobs should fault some but not all: {faulted:?}"
+    );
+    for (id, &is_faulted) in ids.iter().zip(&faulted) {
+        let clean_frame = response_for(&clean, id).expect("fault-free answer");
+        let chaos_frame = response_for(&chaotic, id).expect("chaos answer");
+        assert_eq!(field_str(chaos_frame, "type"), Some("result"));
+        if is_faulted {
+            let failed = field_u64(chaos_frame, "failed").expect("failed field");
+            assert!(
+                failed > 0,
+                "faulted {id} must report failed shots: {chaos_frame}"
+            );
+        } else {
+            assert_eq!(field_u64(chaos_frame, "failed"), Some(0));
+            assert_eq!(
+                field_counts(clean_frame),
+                field_counts(chaos_frame),
+                "unfaulted {id} must be bit-identical to the fault-free run"
+            );
+        }
+    }
+}
+
+#[test]
+fn tcp_transport_round_trips_ping_submit_and_metrics() {
+    use std::net::{TcpListener, TcpStream};
+
+    let server = Server::start(Config::default());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let acceptor = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = stream.try_clone().expect("clone stream");
+            server.serve_connection(&mut reader, Box::new(stream));
+        })
+    };
+    let mut client = TcpStream::connect(addr).expect("connect");
+    write_frame(&mut client, b"ping").expect("send ping");
+    write_frame(&mut client, &render_submit(&spec("tcp-1", 16))).expect("send submit");
+    write_frame(&mut client, b"metrics").expect("send metrics");
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        let payload = read_frame(&mut client, MAX_FRAME_BYTES)
+            .expect("read response")
+            .expect("response present");
+        seen.push(String::from_utf8(payload).expect("utf8"));
+    }
+    drop(client);
+    acceptor.join().expect("acceptor thread");
+    assert!(
+        seen.iter().any(|f| f.contains("\"type\":\"pong\"")),
+        "{seen:?}"
+    );
+    assert!(
+        seen.iter().any(|f| field_str(f, "id") == Some("tcp-1")
+            && field_str(f, "termination") == Some("completed")),
+        "{seen:?}"
+    );
+    assert!(
+        seen.iter()
+            .any(|f| f.contains("\"type\":\"metrics\"") && f.contains("service.accepted")),
+        "{seen:?}"
+    );
+    server.join();
+}

@@ -158,6 +158,93 @@ impl Circuit {
         self.instructions.iter()
     }
 
+    /// A canonical 64-bit content hash of the circuit's semantics: the wire
+    /// counts plus the full instruction stream (operation, gate parameters
+    /// bit-exactly, operand wires, condition structure).
+    ///
+    /// The hash deliberately ignores the circuit *name* and the register
+    /// partition — two circuits that act identically on the same flat wires
+    /// hash identically even when their registers are named or grouped
+    /// differently. Because [`crate::qasm::to_qasm`] prints parameters with
+    /// round-trippable precision, the hash is stable across emit → parse
+    /// cycles, which is what makes it usable as a transform-cache key.
+    ///
+    /// FNV-1a over a length-prefixed encoding; collisions are possible in
+    /// principle (it is a 64-bit digest, not a cryptographic commitment),
+    /// so equal hashes mean "same cache slot", not a proof of equality.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn byte(&mut self, b: u8) {
+                self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+            fn word(&mut self, v: u64) {
+                for b in v.to_le_bytes() {
+                    self.byte(b);
+                }
+            }
+            fn text(&mut self, s: &str) {
+                self.word(s.len() as u64);
+                for b in s.bytes() {
+                    self.byte(b);
+                }
+            }
+        }
+        let mut h = Fnv(FNV_OFFSET);
+        h.word(self.num_qubits as u64);
+        h.word(self.num_clbits as u64);
+        h.word(self.instructions.len() as u64);
+        for inst in &self.instructions {
+            h.text(inst.kind().name());
+            if let Some(gate) = inst.as_gate() {
+                let params = gate.params();
+                h.word(params.len() as u64);
+                for p in params {
+                    h.word(p.to_bits());
+                }
+            }
+            h.word(inst.qubits().len() as u64);
+            for q in inst.qubits() {
+                h.word(q.index() as u64);
+            }
+            h.word(inst.clbits().len() as u64);
+            for c in inst.clbits() {
+                h.word(c.index() as u64);
+            }
+            match inst.condition() {
+                None => h.byte(0),
+                Some(Condition::Bit { bit, value }) => {
+                    h.byte(1);
+                    h.word(bit.index() as u64);
+                    h.byte(u8::from(*value));
+                }
+                Some(Condition::Register { bits, value }) => {
+                    h.byte(2);
+                    h.word(bits.len() as u64);
+                    for b in bits {
+                        h.word(b.index() as u64);
+                    }
+                    h.word(*value);
+                }
+                Some(Condition::Voted { groups, value }) => {
+                    h.byte(3);
+                    h.word(groups.len() as u64);
+                    for group in groups {
+                        h.word(group.len() as u64);
+                        for b in group {
+                            h.word(b.index() as u64);
+                        }
+                    }
+                    h.word(*value);
+                }
+            }
+        }
+        h.0
+    }
+
     /// Appends an instruction after validating its wires.
     ///
     /// # Errors
@@ -880,5 +967,93 @@ mod tests {
             circ.validate(),
             Err(CircuitError::ConditionTooWide { at: 0, width: 65 })
         );
+    }
+
+    /// A dynamic circuit exercising every hashed dimension: a parameterised
+    /// rotation (full-precision float), measurement, reset, and a condition.
+    fn hash_probe() -> Circuit {
+        let mut circ = Circuit::new(2, 2);
+        circ.h(q(0))
+            .rz(0.1 + 0.2, q(0)) // deliberately not a round float
+            .cx(q(0), q(1))
+            .measure(q(0), c(0));
+        circ.reset(q(0));
+        circ.x_if(q(1), c(0));
+        circ.measure(q(1), c(1));
+        circ
+    }
+
+    #[test]
+    fn content_hash_survives_emit_parse_cycles() {
+        let circ = hash_probe();
+        let original = circ.content_hash();
+        let reparsed = crate::qasm::from_qasm(&crate::qasm::to_qasm(&circ)).expect("round-trip");
+        assert_eq!(reparsed.content_hash(), original);
+        // A second cycle must be a fixed point too (idempotence, not luck).
+        let twice =
+            crate::qasm::from_qasm(&crate::qasm::to_qasm(&reparsed)).expect("second round-trip");
+        assert_eq!(twice.content_hash(), original);
+    }
+
+    #[test]
+    fn content_hash_ignores_names_but_not_semantics() {
+        let a = hash_probe();
+        let mut named = Circuit::with_name("renamed", 2, 2);
+        for inst in a.iter() {
+            named.push(inst.clone());
+        }
+        assert_eq!(named.content_hash(), a.content_hash());
+
+        // Any semantic edit moves the hash: an extra gate, a different
+        // parameter, a different operand, a different condition value.
+        let mut extra = a.clone();
+        extra.x(q(0));
+        assert_ne!(extra.content_hash(), a.content_hash());
+
+        let mut param = Circuit::new(2, 2);
+        for inst in a.iter() {
+            param.push(inst.clone());
+        }
+        param.rz(0.25, q(0));
+        let mut param2 = Circuit::new(2, 2);
+        for inst in a.iter() {
+            param2.push(inst.clone());
+        }
+        param2.rz(0.75, q(0));
+        assert_ne!(param.content_hash(), param2.content_hash());
+
+        let mut wide = Circuit::new(3, 2);
+        for inst in a.iter() {
+            wide.push(inst.clone());
+        }
+        assert_ne!(wide.content_hash(), a.content_hash());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_condition_shapes() {
+        let base = |cond: Option<Condition>| {
+            let mut circ = Circuit::new(1, 3);
+            let mut inst = Instruction::gate(Gate::X, vec![q(0)]);
+            if let Some(cond) = cond {
+                inst = inst.with_condition(cond);
+            }
+            circ.push(inst);
+            circ.content_hash()
+        };
+        let plain = base(None);
+        let bit = base(Some(Condition::bit(c(0))));
+        let reg = base(Some(Condition::Register {
+            bits: vec![c(0), c(1)],
+            value: 1,
+        }));
+        let voted = base(Some(Condition::voted(vec![vec![c(0), c(1), c(2)]], 1)));
+        let all = [plain, bit, reg, voted];
+        for (i, x) in all.iter().enumerate() {
+            for (j, y) in all.iter().enumerate() {
+                if i != j {
+                    assert_ne!(x, y, "shapes {i} and {j} collided");
+                }
+            }
+        }
     }
 }

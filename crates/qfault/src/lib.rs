@@ -51,6 +51,29 @@ const DEFAULT_DELAY: Duration = Duration::from_millis(1);
 const LANE_FIRE: u64 = 0;
 const LANE_TARGET: u64 = 1;
 
+/// Seed lane for [`FaultPlan::scoped`], chosen outside the site-index range
+/// so a scoped plan's derivations never collide with the base plan's own
+/// site lanes.
+const JOB_SCOPE_LANE: u64 = 0x6A6F_6273; // "jobs"
+
+/// The job-granular chaos decision of [`FaultPlan::job_fault`]: whether a
+/// whole job is panic-faulted and/or latency-faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobFault {
+    /// The job's shots should be made to panic.
+    pub panic: bool,
+    /// Each of the job's shots should stall for this long.
+    pub delay: Option<Duration>,
+}
+
+impl JobFault {
+    /// `true` when the job is faulted in any way.
+    #[must_use]
+    pub fn is_faulted(&self) -> bool {
+        self.panic || self.delay.is_some()
+    }
+}
+
 /// A seeded, declarative fault-injection plan; implements
 /// [`qsim::fault::FaultHook`] so it plugs straight into
 /// [`qsim::Executor::fault_hook`].
@@ -260,6 +283,40 @@ impl FaultPlan {
         debug_assert!(n > 0);
         (self.word(site, shot, idx, LANE_TARGET) % n as u64) as usize
     }
+
+    /// Reinterprets the plan at **job** granularity: does job `job` (of a
+    /// batch service that runs many independent executions under one plan)
+    /// get panic-faulted and/or latency-faulted as a whole?
+    ///
+    /// The decision reuses the `panic` / `delay` rates with the job index
+    /// in the shot position, so a plan with `panic=0.1` faults ~10% of
+    /// *jobs*, purely in `(seed, job)` — a service and its chaos drill can
+    /// both compute the faulted set without coordination. A plan used for
+    /// job scoping should not simultaneously serve as a per-shot hook;
+    /// derive the intra-job hook with [`FaultPlan::scoped`] instead.
+    #[must_use]
+    pub fn job_fault(&self, job: u64) -> JobFault {
+        JobFault {
+            panic: self.fires(FaultSite::ShotPanic, job, 0),
+            delay: self
+                .fires(FaultSite::ShotDelay, job, 0)
+                .then_some(self.delay),
+        }
+    }
+
+    /// A per-job copy of the plan: same rates and delay, seed re-derived
+    /// counter-style from `(seed, job)` on a dedicated lane. Every job then
+    /// sees uncorrelated fault draws even though each execution restarts
+    /// its shot numbering at zero — the service analogue of the executor's
+    /// per-shot stream derivation.
+    #[must_use]
+    pub fn scoped(&self, job: u64) -> FaultPlan {
+        FaultPlan {
+            seed: stream_seed(stream_seed(self.seed, JOB_SCOPE_LANE), job),
+            rates: self.rates,
+            delay: self.delay,
+        }
+    }
 }
 
 impl FaultHook for FaultPlan {
@@ -424,6 +481,46 @@ mod tests {
             }
         }
         assert_eq!(plan.condition_fault(0, 4, 0), None, "no bits, no fault");
+    }
+
+    #[test]
+    fn job_scoping_is_pure_and_tracks_rates() {
+        let plan = FaultPlan::parse("seed=13,panic=0.1,delay=0.1,delay-ms=20").expect("spec");
+        let mut panicked = 0u32;
+        let mut delayed = 0u32;
+        for job in 0..5_000 {
+            let fault = plan.job_fault(job);
+            assert_eq!(fault, plan.job_fault(job), "job decisions must be pure");
+            panicked += u32::from(fault.panic);
+            delayed += u32::from(fault.delay.is_some());
+            if let Some(d) = fault.delay {
+                assert_eq!(d, Duration::from_millis(20));
+            }
+        }
+        let p = f64::from(panicked) / 5_000.0;
+        let d = f64::from(delayed) / 5_000.0;
+        assert!((p - 0.1).abs() < 0.02, "panic job rate {p}");
+        assert!((d - 0.1).abs() < 0.02, "delay job rate {d}");
+    }
+
+    #[test]
+    fn scoped_plans_decorrelate_jobs_but_keep_rates() {
+        let plan = FaultPlan::parse("seed=21,meas-flip=0.5,delay-ms=3").expect("spec");
+        let a = plan.scoped(0);
+        let b = plan.scoped(1);
+        assert_eq!(a.rate(FaultSite::MeasFlip), 0.5);
+        assert_eq!(a.delay(), Duration::from_millis(3));
+        assert_ne!(a.seed(), b.seed());
+        assert_ne!(a.seed(), plan.seed());
+        // Same shot numbering, different draws: the scoped seeds put every
+        // job on its own stream.
+        let agree = (0..2_000)
+            .filter(|&s| a.fires(FaultSite::MeasFlip, s, 0) == b.fires(FaultSite::MeasFlip, s, 0))
+            .count();
+        let frac = agree as f64 / 2_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "scoped agreement {frac}");
+        // And scoping is itself pure.
+        assert_eq!(plan.scoped(7), plan.scoped(7));
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub struct Executor {
     drift_tolerance: f64,
     deadline: Option<Duration>,
     max_failed: Option<u64>,
+    cancel: Option<CancelToken>,
     fault: Option<Arc<dyn FaultHook>>,
     engine: Engine,
 }
@@ -139,6 +140,8 @@ pub enum Termination {
     FailedShotBudget,
     /// A shot tripped [`DriftPolicy::Abort`].
     Aborted,
+    /// The [`Executor::cancel_token`] was cancelled with shots pending.
+    Cancelled,
 }
 
 impl fmt::Display for Termination {
@@ -148,7 +151,52 @@ impl fmt::Display for Termination {
             Termination::Deadline => write!(f, "deadline"),
             Termination::FailedShotBudget => write!(f, "failed-shot-budget"),
             Termination::Aborted => write!(f, "aborted"),
+            Termination::Cancelled => write!(f, "cancelled"),
         }
+    }
+}
+
+/// A cooperative cancellation handle for [`Executor::run_resilient`].
+///
+/// Clones share one flag: hand a clone to the executor via
+/// [`Executor::cancel_token`], keep the other, and call
+/// [`CancelToken::cancel`] from any thread to stop the run between shots
+/// with [`Termination::Cancelled`] and the partial counts gathered so far.
+/// Cancellation is level-triggered and sticky — a token cancelled before
+/// the run starts stops it before the first shot.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let handle = token.clone();
+/// assert!(!token.is_cancelled());
+/// handle.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once any clone has called [`CancelToken::cancel`].
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
     }
 }
 
@@ -209,6 +257,7 @@ const TERMINATION_COMPLETED: u8 = 0;
 const TERMINATION_DEADLINE: u8 = 1;
 const TERMINATION_FAILED_BUDGET: u8 = 2;
 const TERMINATION_ABORTED: u8 = 3;
+const TERMINATION_CANCELLED: u8 = 4;
 
 /// Shared early-termination state for one resilient run: a stop flag the
 /// workers poll between shots, the cross-worker failed-shot counter, and
@@ -240,6 +289,7 @@ impl RunBudget {
             TERMINATION_DEADLINE => Termination::Deadline,
             TERMINATION_FAILED_BUDGET => Termination::FailedShotBudget,
             TERMINATION_ABORTED => Termination::Aborted,
+            TERMINATION_CANCELLED => Termination::Cancelled,
             _ => Termination::Completed,
         }
     }
@@ -413,6 +463,7 @@ impl Executor {
             drift_tolerance: 1e-6,
             deadline: None,
             max_failed: None,
+            cancel: None,
             fault: None,
             engine: Engine::Auto,
         }
@@ -526,6 +577,18 @@ impl Executor {
     #[must_use]
     pub fn max_failed(mut self, max_failed: u64) -> Self {
         self.max_failed = Some(max_failed);
+        self
+    }
+
+    /// Installs a cooperative [`CancelToken`] checked between shots by
+    /// [`Executor::run_resilient`]. Cancelling it (from any thread) stops
+    /// the run with [`Termination::Cancelled`] and the partial counts
+    /// gathered so far. Like the deadline and failed-shot budgets, a token
+    /// is mid-run control flow, so it forces the per-shot loop; and like
+    /// them it is ignored by the budget-free [`Executor::run`].
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -694,9 +757,14 @@ impl Executor {
     pub fn run_resilient(&self, circuit: &Circuit) -> (Counts, RunReport) {
         // The prefix engine additionally requires that no resilience budget
         // is configured: drift guards run per instruction inside the shot,
-        // and deadline / failed-shot budgets decide mid-run which shots
-        // still execute — both are inherently per-shot semantics.
-        if self.drift.is_none() && self.deadline.is_none() && self.max_failed.is_none() {
+        // and deadline / failed-shot budgets (and cancellation tokens)
+        // decide mid-run which shots still execute — all inherently
+        // per-shot semantics.
+        if self.drift.is_none()
+            && self.deadline.is_none()
+            && self.max_failed.is_none()
+            && self.cancel.is_none()
+        {
             if let Some(tree) = self.prefix_tree(circuit) {
                 return self.run_resilient_prefix(circuit, &tree);
             }
@@ -969,6 +1037,12 @@ impl Executor {
         for i in shots {
             if budget.stop.load(Ordering::Relaxed) {
                 break;
+            }
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    budget.terminate(TERMINATION_CANCELLED);
+                    break;
+                }
             }
             if let Some(deadline) = budget.deadline {
                 if budget.start.elapsed() >= deadline {
@@ -2867,6 +2941,66 @@ mod tests {
             "failed-shot-budget"
         );
         assert_eq!(Termination::Aborted.to_string(), "aborted");
+        assert_eq!(Termination::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_the_first_shot() {
+        let token = CancelToken::new();
+        token.cancel();
+        let exec = Executor::new()
+            .shots(256)
+            .seed(3)
+            .threads(2)
+            .cancel_token(token);
+        let (counts, report) = exec.run_resilient(&dynamic_test_circuit());
+        assert_eq!(report.termination, Termination::Cancelled);
+        assert_eq!(report.completed, 0);
+        assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn cancelling_mid_run_returns_partial_counts() {
+        // A fault hook that stalls every shot keeps the run alive long
+        // enough for another thread to cancel it deterministically.
+        #[derive(Debug)]
+        struct Stall;
+        impl crate::fault::FaultHook for Stall {
+            fn shot_delay(&self, _shot: u64) -> Option<Duration> {
+                Some(Duration::from_millis(5))
+            }
+        }
+        let token = CancelToken::new();
+        let handle = token.clone();
+        let exec = Executor::new()
+            .shots(100_000)
+            .seed(5)
+            .threads(1)
+            .fault_hook(Arc::new(Stall))
+            .cancel_token(token);
+        let circuit = dynamic_test_circuit();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            handle.cancel();
+        });
+        let (counts, report) = exec.run_resilient(&circuit);
+        waker.join().expect("cancel thread");
+        assert_eq!(report.termination, Termination::Cancelled);
+        assert!(report.completed < report.requested);
+        assert_eq!(counts.total(), report.completed);
+    }
+
+    #[test]
+    fn uncancelled_token_leaves_results_bit_identical() {
+        let circuit = dynamic_test_circuit();
+        let plain = Executor::new().shots(512).seed(9).run(&circuit);
+        let (with_token, report) = Executor::new()
+            .shots(512)
+            .seed(9)
+            .cancel_token(CancelToken::new())
+            .run_resilient(&circuit);
+        assert_eq!(report.termination, Termination::Completed);
+        assert_eq!(plain, with_token);
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod unitary;
 pub use counts::{bitstring, Counts, Distribution};
 pub use density::DensityMatrix;
 pub use executor::Executor;
-pub use executor::{DriftPolicy, Engine, RunReport, Termination};
+pub use executor::{CancelToken, DriftPolicy, Engine, RunReport, Termination};
 pub use fault::{CcFault, FaultHook, FaultSite, GateFate};
 pub use noise::{GateNoise, KrausChannel, NoiseError, NoiseModel};
 pub use pauli::{Pauli, PauliString};

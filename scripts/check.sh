@@ -38,7 +38,7 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 # artifacts, and a panic mid-sweep loses the whole run. qcir/qalgo (the IR
 # and circuit generators everything builds on) and the CLI driver are held
 # to it too — a panic in the CLI turns a typed one-line error into a crash.
-run cargo clippy -p qsim -p dqc -p qfault -p bench -p qcir -p qalgo -p dqct-cli --lib --bins --offline -- -D warnings -D clippy::unwrap_used
+run cargo clippy -p qsim -p dqc -p qfault -p bench -p qcir -p qalgo -p dqct-cli -p dqctd --lib --bins --offline -- -D warnings -D clippy::unwrap_used
 if [ "$FAST" -eq 0 ]; then
     run cargo build --release --offline
 fi
@@ -258,6 +258,56 @@ if [ "$FAST" -eq 0 ]; then
         --check BENCH_shot_scaling.json
 else
     echo "==> shot-scaling gate skipped (--fast; engine timings need release codegen)"
+fi
+
+# Service gates: (a) the committed BENCH_service_load.json trajectory
+# point must match the current schema and record zero dropped jobs, and a
+# fresh in-process chaos drill must fault exactly the predicted job set
+# while serving everything else bit-identically to a fault-free server;
+# (b) a real dqctd on loopback, with injected 20 ms/shot latency on every
+# job, must shed a 2x overload with typed rejections (nonzero), answer
+# every accepted job (zero dropped), and drain cleanly on SIGTERM with
+# exit code 0.
+if [ "$FAST" -eq 0 ]; then
+    echo "==> service-load gate"
+    run cargo run -q --release --offline -p bench --bin service_load -- \
+        --check BENCH_service_load.json
+    echo "==> live service gate: overload, shed, SIGTERM drain"
+    SERVICE_DIR="$(mktemp -d)"
+    cargo run -q --release --offline -p dqctd --bin dqctd -- \
+        --addr 127.0.0.1:0 --port-file "$SERVICE_DIR/port" \
+        --workers 1 --queue 4 \
+        --inject 'seed=9,delay=1.0,delay-ms=20' \
+        2>"$SERVICE_DIR/log" &
+    SERVICE_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SERVICE_DIR/port" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$SERVICE_DIR/port" ]; then
+        echo "live service gate FAILED: dqctd never wrote its port" >&2
+        cat "$SERVICE_DIR/log" >&2 || true
+        kill "$SERVICE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    SERVICE_PORT="$(cat "$SERVICE_DIR/port")"
+    run cargo run -q --release --offline -p bench --bin service_load -- \
+        --live "127.0.0.1:$SERVICE_PORT" --jobs 32 --expect-shed
+    kill -TERM "$SERVICE_PID"
+    if ! wait "$SERVICE_PID"; then
+        echo "live service gate FAILED: dqctd did not drain cleanly on SIGTERM" >&2
+        cat "$SERVICE_DIR/log" >&2 || true
+        exit 1
+    fi
+    if ! grep -q 'drained cleanly' "$SERVICE_DIR/log"; then
+        echo "live service gate FAILED: no clean-drain marker in the daemon log" >&2
+        cat "$SERVICE_DIR/log" >&2 || true
+        exit 1
+    fi
+    rm -rf "$SERVICE_DIR"
+    echo "    shed under overload, zero dropped, clean SIGTERM drain"
+else
+    echo "==> service gates skipped (--fast; the live drill wants release codegen)"
 fi
 
 echo "==> all checks passed"
