@@ -21,23 +21,30 @@
 //! ```
 //!
 //! `--check PATH` validates the committed document (schema, zero drops,
-//! sane rates) and runs a fresh in-process chaos drill: with a fault plan
-//! panicking/delaying ~10% of jobs at *job* scope, the server must answer
-//! typed per-job failures for exactly the faulted set, serve every other
-//! job bit-identically to a fault-free server, and drain with nothing
-//! dropped.
+//! sane rates) and runs two fresh in-process drills:
+//!
+//! - the *chaos drill*: with a fault plan panicking/delaying ~10% of jobs
+//!   at *job* scope, the server must answer typed per-job failures for
+//!   exactly the faulted set, serve every other job bit-identically to a
+//!   fault-free server, and drain with nothing dropped;
+//! - the *recovery drill*: a hand-crafted crashed journal (admitted jobs
+//!   without completions, one recorded completion, a torn tail) must boot
+//!   into a server that truncates the tear, replays every incomplete job
+//!   bit-identically to a crash-free run, and serves recorded completions
+//!   byte-for-byte to idempotent retries.
 
 use bench::args;
 use bench::report::Table;
 use dqctd::{
     field_counts, field_str, field_u64, job_scope_key, read_frame, render_submit, write_frame,
-    Config, JobSpec, Server, MAX_FRAME_BYTES,
+    Config, FsyncPolicy, JobSpec, Journal, Server, MAX_FRAME_BYTES,
 };
 use qalgo::suites::toffoli_free_suite;
 use qcir::qasm::to_qasm;
 use qfault::FaultPlan;
 use qobs::json::JsonWriter;
 use std::io::{self, Write};
+
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -113,6 +120,14 @@ fn real_main() -> Result<String, String> {
     t.row(vec!["completed".into(), stats.completed.to_string()]);
     t.row(vec!["rejected".into(), stats.rejected.to_string()]);
     t.row(vec!["dropped".into(), stats.dropped.to_string()]);
+    t.row(vec![
+        "recovery replayed".into(),
+        stats.recovery.replayed.to_string(),
+    ]);
+    t.row(vec![
+        "recovery replay ms".into(),
+        format!("{:.2}", stats.recovery.replay_ms),
+    ]);
     println!(
         "dqctd service load — {} jobs in bursts of {} against {} worker(s), queue {}\n",
         stats.submitted, stats.burst, stats.workers, stats.queue
@@ -211,6 +226,21 @@ struct Stats {
     p99_ms: f64,
     cache_hit_rate: f64,
     shed_rate: f64,
+    recovery: RecoveryStats,
+}
+
+/// What the recovery drill measured on a crashed-journal boot.
+struct RecoveryStats {
+    /// Incomplete admissions replayed through the pipeline.
+    replayed: u64,
+    /// Wall-clock from boot until every replayed job was answered.
+    replay_ms: f64,
+    /// Bytes of torn tail the journal truncated on open.
+    truncated_bytes: u64,
+    /// Retries of completed ids served from the completion index.
+    dedup_served: u64,
+    /// Every retry returned the recorded response byte-for-byte.
+    byte_identical: bool,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -283,6 +313,7 @@ fn measure() -> Result<Stats, String> {
         }
     }
     latencies.sort_by(f64::total_cmp);
+    let recovery = recovery_drill()?;
     Ok(Stats {
         workers,
         queue,
@@ -298,6 +329,7 @@ fn measure() -> Result<Stats, String> {
         p99_ms: percentile(&latencies, 99.0),
         cache_hit_rate: hits as f64 / (completed as f64).max(1.0),
         shed_rate: rejected as f64 / (submitted as f64).max(1.0),
+        recovery,
     })
 }
 
@@ -339,10 +371,146 @@ fn render(stats: &Stats) -> String {
     w.float(stats.cache_hit_rate);
     w.key("shed_rate_at_2x");
     w.float(stats.shed_rate);
+    w.key("recovery");
+    w.begin_object();
+    w.key("replayed");
+    w.uint(stats.recovery.replayed);
+    w.key("replay_ms");
+    w.float(stats.recovery.replay_ms);
+    w.key("truncated_bytes");
+    w.uint(stats.recovery.truncated_bytes);
+    w.key("dedup_served");
+    w.uint(stats.recovery.dedup_served);
+    w.key("byte_identical_retries");
+    w.bool(stats.recovery.byte_identical);
+    w.end_object();
     w.end_object();
     let mut doc = w.finish();
     doc.push('\n');
     doc
+}
+
+/// The recovery drill: boots a server on a hand-crafted crashed journal —
+/// admitted jobs with no completion (what a SIGKILL between admit and
+/// respond leaves), one recorded completion, and a torn tail — and
+/// measures the recovery path end to end.
+fn recovery_drill() -> Result<RecoveryStats, String> {
+    let path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dqctd-recovery-drill-{}", std::process::id()));
+        p
+    };
+    let _ = std::fs::remove_file(&path);
+    let incomplete: Vec<String> = (0..4).map(|i| format!("recover-{i}")).collect();
+    let recorded = br#"{"type":"result","id":"already-done","marker":42}"#.to_vec();
+    {
+        let (journal, _) = Journal::open(&path, FsyncPolicy::Always)
+            .map_err(|e| format!("cannot open the drill journal: {e}"))?;
+        for id in &incomplete {
+            journal
+                .append_admitted(&probe(id, 32))
+                .map_err(|e| format!("cannot journal an admission: {e}"))?;
+        }
+        journal
+            .append_admitted(&probe("already-done", 32))
+            .map_err(|e| format!("cannot journal an admission: {e}"))?;
+        journal
+            .append_completed("already-done", &recorded)
+            .map_err(|e| format!("cannot journal a completion: {e}"))?;
+    }
+    // The torn tail: a length prefix announcing 100 bytes, three present.
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot tear the journal: {e}"))?;
+        file.write_all(&[0, 0, 0, 100, b'x', b'y', b'z'])
+            .map_err(|e| format!("cannot tear the journal: {e}"))?;
+    }
+
+    let booted = Instant::now();
+    let server = Server::try_start(Config {
+        journal: Some(path.clone()),
+        ..Config::default()
+    })?;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while server.pending() > 0 {
+        if Instant::now() > deadline {
+            return Err("replayed jobs never finished".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let replay_ms = booted.elapsed().as_secs_f64() * 1e3;
+
+    let metrics = server.metrics_json();
+    let replayed = field_u64(&metrics, "journal.replayed")
+        .ok_or_else(|| format!("no journal.replayed counter in {metrics}"))?;
+    if replayed != incomplete.len() as u64 {
+        return Err(format!(
+            "{replayed} jobs replayed, expected {}",
+            incomplete.len()
+        ));
+    }
+    let truncated_bytes = field_u64(&metrics, "journal.truncated_bytes")
+        .ok_or_else(|| format!("no journal.truncated_bytes counter in {metrics}"))?;
+    if truncated_bytes != 7 {
+        return Err(format!(
+            "truncated {truncated_bytes} bytes, expected the 7-byte tear"
+        ));
+    }
+
+    // Retries: recorded completions come back byte-for-byte; replayed jobs
+    // answer from the completion index, twice, identically.
+    let fetch = |id: &str| -> Result<Vec<String>, String> {
+        let mut request = Vec::new();
+        write_frame(&mut request, &render_submit(&probe(id, 32)))
+            .map_err(|e| format!("cannot frame a retry: {e}"))?;
+        let sink = SharedBuf::default();
+        server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+        wait_for_frames(&sink, 1)
+    };
+    let mut byte_identical = true;
+    let mut dedup_served = 0u64;
+    let served = fetch("already-done")?;
+    byte_identical &= served[0].as_bytes() == recorded.as_slice();
+    dedup_served += 1;
+    // A crash-free reference server for bit-identity of the replays.
+    let reference = Server::start(Config::default());
+    for id in &incomplete {
+        let first = fetch(id)?;
+        let second = fetch(id)?;
+        byte_identical &= first == second;
+        dedup_served += 2;
+        if field_str(&first[0], "type") != Some("result") {
+            return Err(format!(
+                "{id}: replay did not produce a result: {}",
+                first[0]
+            ));
+        }
+        let mut request = Vec::new();
+        write_frame(&mut request, &render_submit(&probe(id, 32)))
+            .map_err(|e| format!("cannot frame the reference run: {e}"))?;
+        let sink = SharedBuf::default();
+        reference.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+        let fresh = wait_for_frames(&sink, 1)?;
+        if field_counts(&first[0]) != field_counts(&fresh[0]) {
+            return Err(format!(
+                "{id}: replayed counts diverged from a crash-free run\n  replayed: {}\n  fresh: {}",
+                first[0], fresh[0]
+            ));
+        }
+    }
+    reference.join();
+    server.join();
+    let _ = std::fs::remove_file(&path);
+    Ok(RecoveryStats {
+        replayed,
+        replay_ms,
+        truncated_bytes,
+        dedup_served,
+        byte_identical,
+    })
 }
 
 /// The `--check PATH` gate: structural validation plus the chaos drill.
@@ -376,9 +544,24 @@ fn check(path: &str) -> Result<String, String> {
     if !(0.0..=1.0).contains(&shed) {
         return Err(format!("'{path}' records a nonsensical shed rate {shed}"));
     }
+    for key in [
+        "\"recovery\":",
+        "\"replayed\":",
+        "\"byte_identical_retries\":true",
+    ] {
+        if !committed.contains(key) {
+            return Err(format!(
+                "'{path}' is missing recovery stats ({key}) — regenerate it"
+            ));
+        }
+    }
     let drill = chaos_drill()?;
+    let recovery = recovery_drill()?;
     Ok(format!(
-        "service-load: OK (committed point structurally sound, fresh chaos drill: {drill})"
+        "service-load: OK (committed point structurally sound, fresh chaos drill: {drill}; \
+         recovery drill: {} replayed in {:.0} ms, {} B torn tail truncated, \
+         {} dedup retries byte-identical)",
+        recovery.replayed, recovery.replay_ms, recovery.truncated_bytes, recovery.dedup_served
     ))
 }
 

@@ -3,7 +3,14 @@
 //! Speaks the length-prefixed protocol from `dqctd::protocol`: one verb
 //! per invocation, responses echoed as JSON lines on stdout. `submit`
 //! honors the server's `retry_after_ms` backoff hints when `--retry N`
-//! allows resubmission after a `queue-full` or `draining` shed.
+//! allows resubmission after a `queue-full` or `draining` shed, and
+//! retries connect/transport failures with jittered exponential backoff.
+//!
+//! Every submission carries an idempotency key: `--id` if given, a
+//! generated one otherwise. The key is stable across this invocation's
+//! retries, so a resubmission after a mid-flight transport failure is
+//! answered from the server's completion index (the recorded response,
+//! byte-identical) instead of running the job twice.
 
 use dqctd::{
     field_str, field_u64, read_frame, render_submit, write_frame, JobSpec, MAX_FRAME_BYTES,
@@ -23,7 +30,8 @@ USAGE:
     dqct client [--addr HOST:PORT] submit --id ID [OPTIONS] [FILE]
 
 SUBMIT OPTIONS:
-    --id ID              job identifier (required; echoed on the response)
+    --id ID              idempotency key, echoed on the response (default:
+                         generated; reuse an id to fetch a recorded result)
     --shots N            shots to run (server default if omitted)
     --seed N             base RNG seed (server default if omitted)
     --answer I,J,...     answer qubit indices
@@ -31,8 +39,10 @@ SUBMIT OPTIONS:
     --ancilla I,J,...    ancilla qubit indices
     --scheme S           direct | dynamic1 | dynamic2
     --deadline-ms N      per-job wall-clock budget
-    --retry N            on queue-full/draining, honor the server's
-                         retry_after_ms hint up to N resubmissions
+    --retry N            up to N resubmissions: on queue-full/draining honor
+                         the server's retry_after_ms hint; on connect or
+                         transport failures back off exponentially with
+                         jitter (the idempotency key makes retries safe)
     FILE                 QASM source ('-' or omitted = stdin)
 
 The server's JSON responses are printed one per line.";
@@ -153,7 +163,7 @@ fn parse_client_args(args: &[String]) -> Result<Option<ClientOptions>, String> {
     if let Verb::Submit(boxed) = &mut verb {
         let mut job = spec.unwrap_or_else(|| (**boxed).clone());
         if job.id.is_empty() {
-            return Err("submit needs --id".to_string());
+            job.id = generated_job_id();
         }
         job.qasm = match qasm_path.as_deref() {
             Some("-") | None => {
@@ -170,6 +180,29 @@ fn parse_client_args(args: &[String]) -> Result<Option<ClientOptions>, String> {
         **boxed = job;
     }
     Ok(Some(ClientOptions { addr, verb, retry }))
+}
+
+/// A generated idempotency key: unique per invocation, stable across the
+/// invocation's retries, so a resubmission after a transport failure is
+/// served from the completion index instead of re-running the job.
+fn generated_job_id() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    format!("dqct-{:x}-{nanos:x}", std::process::id())
+}
+
+/// Exponential backoff with jitter on the upper half: 50 ms doubling per
+/// attempt, capped at 2 s, so simultaneous clients de-synchronize instead
+/// of stampeding a server that is restarting or shedding.
+fn jittered_backoff_ms(attempt: u32) -> u64 {
+    let base = 50u64
+        .saturating_mul(1 << attempt.saturating_sub(1).min(6))
+        .min(2000);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::from(d.subsec_nanos()));
+    base / 2 + nanos % (base / 2 + 1)
 }
 
 /// One request/response exchange on a fresh connection; `submit` reads
@@ -226,17 +259,42 @@ pub fn run_client(args: &[String]) -> Result<String, String> {
             let payload = render_submit(job);
             let mut attempts = 0;
             loop {
-                let responses = exchange(&options.addr, &payload, Some(&job.id))?;
-                let last = responses.last().cloned().unwrap_or_default();
-                lines.extend(responses);
-                let shed = field_str(&last, "type") == Some("rejected")
-                    && matches!(field_str(&last, "reason"), Some("queue-full" | "draining"));
-                if !shed || attempts >= options.retry {
-                    break;
+                match exchange(&options.addr, &payload, Some(&job.id)) {
+                    Ok(responses) => {
+                        let last = responses.last().cloned().unwrap_or_default();
+                        lines.extend(responses);
+                        let rejected = field_str(&last, "type") == Some("rejected");
+                        let shed = rejected
+                            && matches!(
+                                field_str(&last, "reason"),
+                                Some("queue-full" | "draining")
+                            );
+                        // "already in flight" means an earlier attempt landed
+                        // and the job is running: keep retrying and the
+                        // completion index will answer with its result.
+                        let racing = rejected && last.contains("already in flight");
+                        if !(shed || racing) || attempts >= options.retry {
+                            break;
+                        }
+                        attempts += 1;
+                        let backoff = if shed {
+                            field_u64(&last, "retry_after_ms").unwrap_or(25)
+                        } else {
+                            jittered_backoff_ms(attempts)
+                        };
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                    // Connect or transport failure: the server may be
+                    // restarting — back off with jitter and resubmit under
+                    // the same idempotency key.
+                    Err(failure) => {
+                        if attempts >= options.retry {
+                            return Err(failure);
+                        }
+                        attempts += 1;
+                        std::thread::sleep(Duration::from_millis(jittered_backoff_ms(attempts)));
+                    }
                 }
-                attempts += 1;
-                let backoff = field_u64(&last, "retry_after_ms").unwrap_or(25);
-                std::thread::sleep(Duration::from_millis(backoff));
             }
         }
     }
@@ -263,9 +321,33 @@ mod tests {
     }
 
     #[test]
-    fn submit_requires_an_id() {
-        let err = parse_client_args(&args(&["submit", "--shots", "8"])).unwrap_err();
-        assert!(err.contains("--id"), "{err}");
+    fn submit_without_an_id_generates_an_idempotency_key() {
+        let options = parse_client_args(&args(&["submit", "--shots", "8", "/dev/null"]))
+            .expect("parse")
+            .expect("not help");
+        let Verb::Submit(job) = &options.verb else {
+            panic!("expected submit, got {:?}", options.verb);
+        };
+        assert!(
+            job.id.starts_with("dqct-") && job.id.len() > "dqct-".len(),
+            "generated key: {}",
+            job.id
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_clamped_jittered_bounds() {
+        for attempt in 1..=12u32 {
+            let base = 50u64
+                .saturating_mul(1 << attempt.saturating_sub(1).min(6))
+                .min(2000);
+            let ms = jittered_backoff_ms(attempt);
+            assert!(
+                ms >= base / 2 && ms <= base,
+                "attempt {attempt}: {ms} ms outside [{}, {base}]",
+                base / 2
+            );
+        }
     }
 
     #[test]

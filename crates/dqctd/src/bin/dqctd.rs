@@ -2,7 +2,7 @@
 //! around [`dqctd::Server`], with SIGTERM/SIGINT wired to a graceful
 //! drain — stop accepting, finish every accepted job, exit 0.
 
-use dqctd::{Config, Server};
+use dqctd::{Config, FsyncPolicy, Server};
 use qfault::FaultPlan;
 use std::io::Write;
 use std::net::TcpListener;
@@ -26,6 +26,12 @@ OPTIONS:
     --default-shots N    shots when a job does not say (default 1024)
     --deadline-ms N      default per-job deadline (default 5000)
     --cache N            transform cache capacity, 0 disables (default 256)
+    --journal PATH       crash-only write-ahead journal: admitted jobs and
+                         completions survive SIGKILL and replay on restart
+    --fsync POLICY       journal durability: always | batch | off (default batch)
+    --max-inflight-mb N  in-flight statevector memory budget in MiB (default 256)
+    --stall-ms N         worker heartbeat stall threshold before the watchdog
+                         cancels, then replaces, a wedged worker (default 2000)
     --inject SPEC        chaos drill: qfault plan applied at job scope
                          (e.g. 'seed=9,panic=0.1,delay=0.05,delay-ms=20')
     --port-file PATH     write the bound port number to PATH after listening
@@ -119,6 +125,22 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--cache" => {
                 options.config.cache_capacity = parse_num(&value("--cache")?, "--cache")?;
             }
+            "--journal" => {
+                options.config.journal = Some(std::path::PathBuf::from(value("--journal")?));
+            }
+            "--fsync" => {
+                let spec = value("--fsync")?;
+                options.config.fsync = FsyncPolicy::parse(&spec)
+                    .ok_or_else(|| format!("--fsync: '{spec}' is not always, batch, or off"))?;
+            }
+            "--max-inflight-mb" => {
+                let mib: u64 = parse_num(&value("--max-inflight-mb")?, "--max-inflight-mb")?;
+                options.config.max_inflight_bytes = mib.saturating_mul(1 << 20);
+            }
+            "--stall-ms" => {
+                options.config.stall_after =
+                    Duration::from_millis(parse_num(&value("--stall-ms")?, "--stall-ms")?);
+            }
             "--inject" => {
                 let spec = value("--inject")?;
                 let plan = FaultPlan::parse(&spec).map_err(|e| format!("--inject: {e}"))?;
@@ -172,7 +194,7 @@ fn main() -> ExitCode {
 }
 
 fn run(options: Options) -> Result<(), String> {
-    let server = Server::start(options.config.clone());
+    let server = Server::try_start(options.config.clone())?;
     if options.stdio {
         return run_stdio(&server);
     }

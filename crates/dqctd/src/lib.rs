@@ -18,17 +18,22 @@
 //!   rendering, plus the string-scanning client-side field extractors.
 //! - [`cache`] — the content-hash transform cache keyed on
 //!   [`qcir::Circuit::content_hash`] + roles + scheme.
-//! - [`server`] — admission control, the worker pool, chaos scoping,
-//!   drain semantics.
+//! - [`journal`] — the crash-only write-ahead journal: durable admission
+//!   and completion records, torn-tail recovery, the completion index
+//!   behind idempotent retries.
+//! - [`server`] — admission control, the worker pool, watchdog
+//!   supervision, chaos scoping, drain semantics.
 //!
 //! The wire format and operational policies are specified in DESIGN.md
-//! §14.
+//! §14; durability and recovery in §15.
 
 pub mod cache;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{cache_key, CachedTransform, TransformCache};
+pub use journal::{FsyncPolicy, Journal, Recovery};
 pub use protocol::{
     field_counts, field_str, field_u64, parse_request, read_frame, render_submit, write_frame,
     FrameError, JobOutcome, JobSpec, RejectReason, Request, Response, MAX_FRAME_BYTES,

@@ -1,0 +1,254 @@
+//! Property-based durability tests for the crash-only journal: arbitrary
+//! job specs — including circuits gated on majority-voted conditions,
+//! the richest thing the QASM wire format carries — survive the
+//! append → crash → recover cycle exactly, and a tail torn at *every*
+//! byte offset recovers the longest valid record prefix.
+
+use dqctd::{FsyncPolicy, JobSpec, Journal};
+use proptest::prelude::*;
+use qcir::qasm::{from_qasm, to_qasm};
+use qcir::{Circuit, Clbit, Condition, Gate, Instruction, Qubit};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+const NQ: usize = 3;
+const NC: usize = 5;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "dqctd-journal-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Job-id alphabet, deliberately including JSON-hostile characters: the
+/// journal stores the rendered submission, so escaping must round-trip.
+const ID_CHARS: &[u8] =
+    br#"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.:"\{} "#;
+
+fn arb_id() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..ID_CHARS.len(), 1..24).prop_map(|xs| {
+        let id: String = xs.into_iter().map(|i| ID_CHARS[i] as char).collect();
+        // The protocol's header parser trims values, so ids made only of
+        // (or padded with) whitespace are not wire-representable: the
+        // property covers exactly what a client can actually submit.
+        let id = id.trim();
+        if id.is_empty() {
+            "all-spaces".to_string()
+        } else {
+            id.to_string()
+        }
+    })
+}
+
+/// One dynamic-circuit operation; `VotedX` classically controls a gate on
+/// a 3-member majority-vote group.
+#[derive(Debug, Clone)]
+enum Op {
+    H(usize),
+    Cx(usize, usize),
+    Measure(usize, usize),
+    VotedX {
+        qubit: usize,
+        base: usize,
+        value: bool,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..NQ).prop_map(Op::H),
+        (0usize..NQ, 0usize..NQ - 1).prop_map(|(a, b)| {
+            let b = if b >= a { b + 1 } else { b };
+            Op::Cx(a, b)
+        }),
+        (0usize..NQ, 0usize..NC).prop_map(|(q, c)| Op::Measure(q, c)),
+        (0usize..NQ, 0usize..NC, any::<bool>()).prop_map(|(qubit, base, value)| Op::VotedX {
+            qubit,
+            base,
+            value
+        }),
+    ]
+}
+
+fn circuit_of(ops: &[Op]) -> Circuit {
+    let mut c = Circuit::new(NQ, NC);
+    for op in ops {
+        match *op {
+            Op::H(q) => {
+                c.h(Qubit::new(q));
+            }
+            Op::Cx(a, b) => {
+                c.cx(Qubit::new(a), Qubit::new(b));
+            }
+            Op::Measure(q, bit) => {
+                c.measure(Qubit::new(q), Clbit::new(bit));
+            }
+            Op::VotedX { qubit, base, value } => {
+                let group = vec![
+                    Clbit::new(base),
+                    Clbit::new((base + 1) % NC),
+                    Clbit::new((base + 2) % NC),
+                ];
+                c.push(
+                    Instruction::gate(Gate::X, vec![Qubit::new(qubit)])
+                        .with_condition(Condition::voted(vec![group], u64::from(value))),
+                );
+            }
+        }
+    }
+    // Every generated circuit carries at least one genuinely voted
+    // condition, so the property never degenerates to plain-bit specs.
+    c.push(
+        Instruction::gate(Gate::X, vec![Qubit::new(0)]).with_condition(Condition::voted(
+            vec![vec![Clbit::new(0), Clbit::new(1), Clbit::new(2)]],
+            1,
+        )),
+    );
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn specs_survive_the_journal_exactly(
+        ids in proptest::collection::vec(arb_id(), 1..5),
+        ops in proptest::collection::vec(arb_op(), 0..10),
+        shots in 1u64..1_048_576,
+        seed in any::<u64>(),
+        complete_mask in 0usize..16,
+    ) {
+        let circuit = circuit_of(&ops);
+        prop_assert_eq!(circuit.validate(), Ok(()));
+        let qasm = to_qasm(&circuit);
+        // The replay path re-parses the journalled QASM: the voted
+        // circuit must survive its own render/parse cycle first.
+        let reparsed = from_qasm(&qasm).expect("generated QASM parses");
+        prop_assert_eq!(reparsed.instructions(), circuit.instructions());
+
+        let mut seen = HashSet::new();
+        let specs: Vec<JobSpec> = ids
+            .into_iter()
+            .filter(|id| seen.insert(id.clone()))
+            .enumerate()
+            .map(|(i, id)| JobSpec {
+                id,
+                shots: Some(shots),
+                seed: Some(seed),
+                answer: vec![i % NQ],
+                data: Vec::new(),
+                ancilla: vec![(i + 1) % NQ],
+                scheme: Some(["direct", "dynamic1", "dynamic2"][i % 3].to_string()),
+                deadline_ms: Some(1 + 13 * i as u64),
+                qasm: qasm.clone(),
+            })
+            .collect();
+
+        let path = temp_path("roundtrip");
+        {
+            let (journal, recovery) =
+                Journal::open(&path, FsyncPolicy::Off).expect("fresh open");
+            prop_assert_eq!(recovery.records, 0);
+            for spec in &specs {
+                journal.append_admitted(spec).expect("append admission");
+            }
+            for (i, spec) in specs.iter().enumerate() {
+                if complete_mask >> i & 1 == 1 {
+                    let response = format!("{{\"type\":\"result\",\"n\":{i}}}");
+                    journal
+                        .append_completed(&spec.id, response.as_bytes())
+                        .expect("append completion");
+                }
+            }
+        }
+        let (_journal, recovery) = Journal::open(&path, FsyncPolicy::Off).expect("reopen");
+        prop_assert_eq!(recovery.truncated_bytes, 0);
+        let expected: Vec<&JobSpec> = specs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| complete_mask >> i & 1 == 0)
+            .map(|(_, s)| s)
+            .collect();
+        prop_assert_eq!(recovery.incomplete.iter().collect::<Vec<_>>(), expected);
+        for (i, spec) in specs.iter().enumerate() {
+            let recorded = recovery.completed.get(&spec.id);
+            if complete_mask >> i & 1 == 1 {
+                let response = format!("{{\"type\":\"result\",\"n\":{i}}}");
+                prop_assert_eq!(recorded.map(Vec::as_slice), Some(response.as_bytes()));
+            } else {
+                prop_assert_eq!(recorded, None);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn a_tail_torn_at_every_byte_offset_recovers_the_valid_prefix() {
+    let circuit = circuit_of(&[
+        Op::Measure(0, 0),
+        Op::VotedX {
+            qubit: 1,
+            base: 0,
+            value: true,
+        },
+    ]);
+    let spec = |id: &str| JobSpec {
+        id: id.to_string(),
+        shots: Some(64),
+        seed: Some(7),
+        answer: vec![0],
+        data: vec![1],
+        ancilla: vec![2],
+        scheme: Some("dynamic2".into()),
+        deadline_ms: Some(500),
+        qasm: to_qasm(&circuit),
+    };
+    let path = temp_path("sweep");
+    {
+        let (journal, _) = Journal::open(&path, FsyncPolicy::Off).expect("open");
+        journal.append_admitted(&spec("survivor")).expect("first");
+        journal.append_admitted(&spec("casualty")).expect("second");
+    }
+    let full = std::fs::read(&path).expect("read back");
+    let first_len = {
+        let len = u32::from_be_bytes([full[0], full[1], full[2], full[3]]) as usize;
+        4 + len + 4
+    };
+    for cut in 0..full.len() {
+        std::fs::write(&path, &full[..cut]).expect("tear");
+        let (journal, recovery) =
+            Journal::open(&path, FsyncPolicy::Off).expect("reopen after tear");
+        let (survivors, kept) = if cut >= first_len {
+            (vec![spec("survivor")], first_len)
+        } else {
+            (Vec::new(), 0)
+        };
+        assert_eq!(recovery.incomplete, survivors, "cut at byte {cut}");
+        assert_eq!(
+            recovery.truncated_bytes,
+            (cut - kept) as u64,
+            "cut at byte {cut}"
+        );
+        assert_eq!(
+            std::fs::metadata(&path).expect("stat").len(),
+            kept as u64,
+            "cut at byte {cut}: the torn tail must be physically truncated"
+        );
+        // The journal stays writable on the clean boundary after every tear.
+        journal.append_admitted(&spec("appended")).expect("append");
+        drop(journal);
+        let (_j, recovery) = Journal::open(&path, FsyncPolicy::Off).expect("verify append");
+        assert_eq!(
+            recovery.incomplete.last(),
+            Some(&spec("appended")),
+            "cut at byte {cut}"
+        );
+        assert_eq!(recovery.truncated_bytes, 0, "cut at byte {cut}");
+    }
+    let _ = std::fs::remove_file(&path);
+}

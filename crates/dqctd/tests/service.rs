@@ -5,12 +5,13 @@
 
 use dqctd::{
     field_counts, field_str, field_u64, job_scope_key, read_frame, render_submit, write_frame,
-    Config, JobSpec, Server, MAX_FRAME_BYTES,
+    Config, FsyncPolicy, JobSpec, Journal, Server, MAX_FRAME_BYTES,
 };
 use qalgo::suites::toffoli_free_suite;
 use qcir::qasm::to_qasm;
 use qfault::FaultPlan;
 use std::io::{self, Write};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -304,6 +305,252 @@ fn chaos_drill_faults_exactly_the_predicted_jobs_and_spares_the_rest() {
             );
         }
     }
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "dqctd-service-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn restart_serves_completed_jobs_byte_identically_from_the_journal() {
+    let path = temp_journal("dedup");
+    let journalled = |id: &str| {
+        let server = Server::start(Config {
+            journal: Some(path.clone()),
+            fsync: FsyncPolicy::Always,
+            ..Config::default()
+        });
+        let sink = SharedBuf::default();
+        let request = framed(&[render_submit(&spec(id, 64))]);
+        server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+        let frames = wait_for_frames(&sink, 1);
+        server.join();
+        frames[0].clone()
+    };
+    let first = journalled("replay-me");
+    assert_eq!(field_str(&first, "termination"), Some("completed"));
+    // A fresh process, the same journal, the same client job id: the
+    // recorded response is served verbatim — byte-identical, including
+    // the original timings — with no re-run.
+    let retried = journalled("replay-me");
+    assert_eq!(first, retried, "dedup must serve the recorded bytes");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn restart_replays_admitted_but_unanswered_jobs_deterministically() {
+    let path = temp_journal("replay");
+    let mut lost = spec("lost-at-crash", 64);
+    lost.seed = Some(41);
+    // Simulate a crash after admission: the journal holds the admitted
+    // record with no matching completion (exactly what a SIGKILL between
+    // admit and respond leaves behind).
+    {
+        let (journal, recovery) = Journal::open(&path, FsyncPolicy::Always).expect("open");
+        assert_eq!(recovery.records, 0);
+        journal.append_admitted(&lost).expect("journal admission");
+    }
+    // Restarting the service replays the job through the normal pipeline;
+    // once pending drains, the completion index answers a retry.
+    let server = Server::start(Config {
+        journal: Some(path.clone()),
+        ..Config::default()
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.pending() > 0 {
+        assert!(Instant::now() < deadline, "replayed job never finished");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let metrics = server.metrics_json();
+    assert!(
+        metrics.contains("journal.replayed"),
+        "replay must be counted: {metrics}"
+    );
+    let sink = SharedBuf::default();
+    let request = framed(&[render_submit(&lost)]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let replayed = wait_for_frames(&sink, 1)[0].clone();
+    server.join();
+    // The replayed outcome is bit-identical to running the same spec on a
+    // journal-less server: same seed, same counter-based RNG, same counts.
+    let server = Server::start(Config::default());
+    let sink = SharedBuf::default();
+    let request = framed(&[render_submit(&lost)]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let direct = wait_for_frames(&sink, 1)[0].clone();
+    server.join();
+    assert_eq!(field_str(&replayed, "termination"), Some("completed"));
+    assert_eq!(
+        field_counts(&replayed),
+        field_counts(&direct),
+        "replayed: {replayed}\ndirect: {direct}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn duplicate_in_flight_ids_are_rejected_not_raced() {
+    let chaos = FaultPlan::parse("seed=3,delay=1.0,delay-ms=20").expect("spec");
+    let server = Server::start(Config {
+        workers: 1,
+        chaos: Some(chaos),
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let request = framed(&[
+        render_submit(&spec("dup", 200)),
+        render_submit(&spec("dup", 200)),
+    ]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 2);
+    let rejected = frames
+        .iter()
+        .find(|f| field_str(f, "type") == Some("rejected"))
+        .expect("second submission rejected");
+    assert!(
+        rejected.contains("already in flight"),
+        "typed duplicate rejection: {rejected}"
+    );
+    assert!(
+        frames
+            .iter()
+            .any(|f| field_str(f, "type") == Some("result")),
+        "first submission still answered: {frames:?}"
+    );
+    server.join();
+}
+
+#[test]
+fn memory_admission_sheds_jobs_the_statevector_budget_cannot_hold() {
+    let suite = toffoli_free_suite();
+    let qubits = suite[0].circuit.num_qubits();
+    let bytes = 16u64 << qubits;
+    // A budget one byte short of a single statevector: every job is too
+    // large on its own, before any allocation happens.
+    let server = Server::start(Config {
+        max_inflight_bytes: bytes - 1,
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let request = framed(&[render_submit(&spec("heavy", 16))]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 1);
+    assert_eq!(field_str(&frames[0], "type"), Some("rejected"));
+    assert_eq!(field_str(&frames[0], "reason"), Some("too-large"));
+    assert!(
+        frames[0].contains("memory budget"),
+        "typed memory rejection: {}",
+        frames[0]
+    );
+    server.join();
+
+    // A budget that holds exactly one job: the second concurrent
+    // submission sheds as queue-full (retryable) while the first runs.
+    let chaos = FaultPlan::parse("seed=3,delay=1.0,delay-ms=20").expect("spec");
+    let server = Server::start(Config {
+        workers: 1,
+        max_inflight_bytes: bytes,
+        chaos: Some(chaos),
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let request = framed(&[
+        render_submit(&spec("fits", 200)),
+        render_submit(&spec("overflows", 16)),
+    ]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 2);
+    let shed = response_for(&frames, "overflows").expect("second job answered");
+    assert_eq!(field_str(shed, "type"), Some("rejected"));
+    assert_eq!(field_str(shed, "reason"), Some("queue-full"));
+    assert!(
+        field_u64(shed, "retry_after_ms").is_some(),
+        "memory shedding is retryable: {shed}"
+    );
+    server.join();
+    let metrics = server.metrics_json();
+    assert!(
+        metrics.contains("service.rejected.memory"),
+        "memory shed must be counted: {metrics}"
+    );
+}
+
+#[test]
+fn cold_start_backoff_hint_is_seeded_and_clamped() {
+    // No job has ever completed, so the latency EMA is empty: the hint
+    // must come from the cold-start seed (50 ms / 2 workers = 25 ms),
+    // not from a zero EMA.
+    let server = Server::start(Config {
+        workers: 2,
+        queue_capacity: 0,
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let request = framed(&[render_submit(&spec("cold", 16))]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 1);
+    assert_eq!(field_str(&frames[0], "reason"), Some("queue-full"));
+    assert_eq!(
+        field_u64(&frames[0], "retry_after_ms"),
+        Some(25),
+        "cold-start hint: {}",
+        frames[0]
+    );
+    server.join();
+}
+
+#[test]
+fn watchdog_replaces_a_wedged_worker_and_fails_its_job_with_a_typed_reason() {
+    // A 2 s per-shot injected delay freezes the worker's heartbeat far
+    // beyond the 150 ms stall threshold; the watchdog first cancels
+    // (ignored — the worker is asleep inside the shot), then retires the
+    // worker, answers its job with a supervisor error, and respawns. The
+    // unfaulted job then completes on the replacement worker.
+    let plan = FaultPlan::parse("seed=5,delay=0.5,delay-ms=2000").expect("spec");
+    let faulted_of = |want: bool| {
+        (0..64)
+            .map(|i| format!("probe-{i}"))
+            .find(|id| plan.job_fault(job_scope_key(id)).is_faulted() == want)
+            .expect("a 50% rate over 64 ids hits both outcomes")
+    };
+    let stuck = faulted_of(true);
+    let healthy = faulted_of(false);
+    let server = Server::start(Config {
+        workers: 1,
+        chaos: Some(plan.clone()),
+        stall_after: Duration::from_millis(150),
+        watchdog_interval: Duration::from_millis(25),
+        ..Config::default()
+    });
+    let sink = SharedBuf::default();
+    let request = framed(&[
+        render_submit(&spec(&stuck, 8)),
+        render_submit(&spec(&healthy, 8)),
+    ]);
+    server.serve_connection(&mut request.as_slice(), Box::new(sink.clone()));
+    let frames = wait_for_frames(&sink, 2);
+    let failed = response_for(&frames, &stuck).expect("stuck job answered");
+    assert_eq!(field_str(failed, "type"), Some("error"), "{failed}");
+    assert!(
+        failed.contains("supervisor"),
+        "typed supervision reason: {failed}"
+    );
+    let done = response_for(&frames, &healthy).expect("healthy job answered");
+    assert_eq!(field_str(done, "type"), Some("result"), "{done}");
+    assert_eq!(field_str(done, "termination"), Some("completed"));
+    server.join();
+    let metrics = server.metrics_json();
+    assert!(
+        metrics.contains("supervisor.respawns") && metrics.contains("supervisor.stuck_cancelled"),
+        "supervision must be counted: {metrics}"
+    );
 }
 
 #[test]

@@ -68,6 +68,7 @@ pub struct Executor {
     deadline: Option<Duration>,
     max_failed: Option<u64>,
     cancel: Option<CancelToken>,
+    heartbeat: Option<Arc<AtomicU64>>,
     fault: Option<Arc<dyn FaultHook>>,
     engine: Engine,
 }
@@ -81,8 +82,9 @@ pub enum Engine {
     /// evolve once up to each stochastic branch point, then let each shot
     /// walk the branch tree on its own RNG stream. Falls back to
     /// [`Engine::Shots`] whenever semantics require the per-shot loop
-    /// (tracer, fault hook, gate/idle noise, resilience budgets, or a tree
-    /// that fails to build).
+    /// (tracer, fault hook, gate/idle noise, a drift policy or failed-shot
+    /// budget, or a tree that fails to build). Deadlines and cancel tokens
+    /// stay eligible: the tree build and shot walk poll them cooperatively.
     Prefix,
     /// Pick [`Engine::Prefix`] whenever it is applicable, else
     /// [`Engine::Shots`]. Because the two are bit-identical at a fixed
@@ -464,6 +466,7 @@ impl Executor {
             deadline: None,
             max_failed: None,
             cancel: None,
+            heartbeat: None,
             fault: None,
             engine: Engine::Auto,
         }
@@ -475,10 +478,11 @@ impl Executor {
     /// same [`Executor::run_memory`] rows, same observer counters — so this
     /// is a performance knob, not a semantics knob. [`Engine::Prefix`] is a
     /// *request*: runs whose semantics need the per-shot loop (a tracer, a
-    /// fault hook, gate or idle noise channels, `run_resilient` budgets, or
-    /// a branch tree that exceeds its node budget) silently fall back to
-    /// [`Engine::Shots`]; use [`Executor::resolve_engine`] to see what a
-    /// run will actually use.
+    /// fault hook, gate or idle noise channels, a drift policy or
+    /// failed-shot budget under `run_resilient`, or a branch tree that
+    /// exceeds its node budget) silently fall back to [`Engine::Shots`];
+    /// use [`Executor::resolve_engine`] to see what a run will actually
+    /// use.
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
@@ -488,8 +492,9 @@ impl Executor {
     /// The engine [`Executor::run`] / [`Executor::run_memory`] would use on
     /// `circuit` under the current configuration: never [`Engine::Auto`],
     /// always the resolved [`Engine::Prefix`] or [`Engine::Shots`].
-    /// (`run_resilient` additionally requires no drift policy, deadline or
-    /// failed-shot budget for the prefix engine.)
+    /// (`run_resilient` additionally requires no drift policy and no
+    /// failed-shot budget for the prefix engine; a deadline or cancel
+    /// token is polled cooperatively and keeps it eligible.)
     #[must_use]
     pub fn resolve_engine(&self, circuit: &Circuit) -> Engine {
         match self.prefix_tree(circuit) {
@@ -514,6 +519,18 @@ impl Executor {
     /// * the tree must build: finite branch probabilities and at most
     ///   [`crate::prefix::MAX_TREE_NODES`] nodes.
     fn prefix_tree(&self, circuit: &Circuit) -> Option<crate::prefix::PrefixTree> {
+        self.prefix_tree_polled(circuit, || false)
+    }
+
+    /// [`Executor::prefix_tree`] with a cooperative interruption poll
+    /// threaded into the tree build (see [`PrefixTree::build_polled`]):
+    /// `run_resilient` uses it so a cancelled or deadline-expired job stops
+    /// paying for tree construction at branch-node granularity.
+    fn prefix_tree_polled(
+        &self,
+        circuit: &Circuit,
+        poll: impl FnMut() -> bool,
+    ) -> Option<crate::prefix::PrefixTree> {
         if self.engine == Engine::Shots
             || self.tracer.is_enabled()
             || self.fault.is_some()
@@ -521,7 +538,49 @@ impl Executor {
         {
             return None;
         }
-        crate::prefix::PrefixTree::build(circuit, &self.noise)
+        crate::prefix::PrefixTree::build_polled(circuit, &self.noise, poll)
+    }
+
+    /// A [`RunBudget`] for one resilient run, clock started now.
+    fn fresh_budget(&self) -> RunBudget {
+        RunBudget {
+            start: Instant::now(),
+            deadline: self.deadline,
+            max_failed: self.max_failed,
+            stop: AtomicBool::new(false),
+            failed: AtomicU64::new(0),
+            termination: AtomicU8::new(TERMINATION_COMPLETED),
+        }
+    }
+
+    /// Ticks the liveness heartbeat, when one is installed.
+    #[inline]
+    fn beat(&self) {
+        if let Some(beat) = &self.heartbeat {
+            beat.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One cooperative budget poll: `true` when the run must stop, with the
+    /// termination reason (cancellation wins over the deadline, matching
+    /// the per-shot loop's check order) recorded first-wins in `budget`.
+    fn poll_budget(&self, budget: &RunBudget) -> bool {
+        if budget.stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                budget.terminate(TERMINATION_CANCELLED);
+                return true;
+            }
+        }
+        if let Some(deadline) = budget.deadline {
+            if budget.start.elapsed() >= deadline {
+                budget.terminate(TERMINATION_DEADLINE);
+                return true;
+            }
+        }
+        false
     }
 
     /// Installs a fault-injection hook (see [`crate::fault`] and the
@@ -583,12 +642,28 @@ impl Executor {
     /// Installs a cooperative [`CancelToken`] checked between shots by
     /// [`Executor::run_resilient`]. Cancelling it (from any thread) stops
     /// the run with [`Termination::Cancelled`] and the partial counts
-    /// gathered so far. Like the deadline and failed-shot budgets, a token
-    /// is mid-run control flow, so it forces the per-shot loop; and like
-    /// them it is ignored by the budget-free [`Executor::run`].
+    /// gathered so far. Tokens (and deadlines) are polled cooperatively by
+    /// *both* engines — on the prefix path during tree construction (per
+    /// stochastic branch node) and during the shot walk — so installing one
+    /// does not force the per-shot loop. Like the other budgets it is
+    /// ignored by the budget-free [`Executor::run`].
     #[must_use]
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Installs a liveness heartbeat: [`Executor::run_resilient`] bumps the
+    /// counter at least once per attempted shot (and once per branch node
+    /// during prefix-tree construction). A supervisor that samples the
+    /// counter can distinguish "slow but alive" from "wedged": a stalled
+    /// value across a watchdog interval longer than the worst single-shot
+    /// latency means the run is stuck, and its [`CancelToken`] will not be
+    /// honoured. Heartbeat stores never consume the shot RNG streams, so
+    /// results are bit-identical with or without one installed.
+    #[must_use]
+    pub fn heartbeat(mut self, beat: Arc<AtomicU64>) -> Self {
+        self.heartbeat = Some(beat);
         self
     }
 
@@ -755,20 +830,46 @@ impl Executor {
     /// `executor.drift_renormalized` counters on top of the usual set (and
     /// `executor.shots` counts *completed* shots only).
     pub fn run_resilient(&self, circuit: &Circuit) -> (Counts, RunReport) {
-        // The prefix engine additionally requires that no resilience budget
-        // is configured: drift guards run per instruction inside the shot,
-        // and deadline / failed-shot budgets (and cancellation tokens)
-        // decide mid-run which shots still execute — all inherently
-        // per-shot semantics.
-        if self.drift.is_none()
-            && self.deadline.is_none()
-            && self.max_failed.is_none()
-            && self.cancel.is_none()
-        {
-            if let Some(tree) = self.prefix_tree(circuit) {
-                return self.run_resilient_prefix(circuit, &tree);
+        // The prefix engine additionally requires that no drift guard or
+        // failed-shot budget is configured: drift guards run per instruction
+        // inside the shot and `max_failed` counts per-shot panics — both
+        // inherently per-shot semantics. Deadlines and cancellation tokens,
+        // by contrast, are polled cooperatively during tree construction
+        // and the shot walk, so they stay prefix-eligible; an uninterrupted
+        // run remains bit-identical to the per-shot engine.
+        let mut carried = None;
+        if self.drift.is_none() && self.max_failed.is_none() {
+            let budget = self.fresh_budget();
+            let tree = {
+                let budget = &budget;
+                self.prefix_tree_polled(circuit, || {
+                    self.beat();
+                    self.poll_budget(budget)
+                })
+            };
+            if let Some(tree) = tree {
+                return self.run_resilient_prefix(circuit, &tree, &budget);
             }
+            // A `None` tree is either ineligibility (fall through to the
+            // per-shot loop, keeping the budget so the deadline clock is
+            // not restarted) or an interrupted build: the interrupt already
+            // recorded its termination reason, so return the empty partial
+            // result.
+            if budget.stop.load(Ordering::Relaxed) {
+                return (
+                    Counts::new(),
+                    RunReport {
+                        requested: self.shots,
+                        completed: 0,
+                        failed: 0,
+                        discarded: 0,
+                        termination: budget.termination(),
+                    },
+                );
+            }
+            carried = Some(budget);
         }
+        let budget = carried.unwrap_or_else(|| self.fresh_budget());
         let base = self.base_seed();
         let workers = (self.effective_threads() as u64).min(self.shots.max(1)) as usize;
         let observed = self.observer.is_enabled();
@@ -790,15 +891,6 @@ impl Executor {
             policy,
             tolerance: self.drift_tolerance,
         });
-
-        let budget = RunBudget {
-            start: Instant::now(),
-            deadline: self.deadline,
-            max_failed: self.max_failed,
-            stop: AtomicBool::new(false),
-            failed: AtomicU64::new(0),
-            termination: AtomicU8::new(TERMINATION_COMPLETED),
-        };
 
         let mut top = self.tracer.top_local();
         if let Some(t) = top.as_mut() {
@@ -885,12 +977,20 @@ impl Executor {
         (counts, report)
     }
 
-    /// [`Executor::run_resilient`] on the prefix engine: budget-free by
-    /// eligibility, so the run always terminates [`Termination::Completed`]
-    /// and the only resilience left to provide is panic isolation around
-    /// per-shot replays of pruned branches (walks themselves cannot panic:
-    /// every stored probability was validated at tree construction).
-    fn run_resilient_prefix(&self, circuit: &Circuit, tree: &PrefixTree) -> (Counts, RunReport) {
+    /// [`Executor::run_resilient`] on the prefix engine: no drift guard or
+    /// failed-shot budget by eligibility, so the resilience left to provide
+    /// is panic isolation around per-shot replays of pruned branches (walks
+    /// themselves cannot panic: every stored probability was validated at
+    /// tree construction) plus cooperative deadline/cancellation polls —
+    /// the cancel token per shot, the deadline clock and cross-worker stop
+    /// flag every 64 shots (an `Instant::elapsed` call costs more than a
+    /// whole tree walk, so it is amortized over a sample chunk).
+    fn run_resilient_prefix(
+        &self,
+        circuit: &Circuit,
+        tree: &PrefixTree,
+        budget: &RunBudget,
+    ) -> (Counts, RunReport) {
         let base = self.base_seed();
         let workers = (self.effective_threads() as u64).min(self.shots.max(1)) as usize;
         let observed = self.observer.is_enabled();
@@ -916,6 +1016,7 @@ impl Executor {
                 base,
                 0..self.shots,
                 mid.as_deref(),
+                budget,
             )]
         } else {
             let chunk = self.shots.div_ceil(workers as u64);
@@ -926,7 +1027,14 @@ impl Executor {
                         let lo = w * chunk;
                         let hi = (lo + chunk).min(self.shots);
                         scope.spawn(move || {
-                            self.run_chunk_resilient_prefix(tree, circuit, base, lo..hi, mid)
+                            self.run_chunk_resilient_prefix(
+                                tree,
+                                circuit,
+                                base,
+                                lo..hi,
+                                mid,
+                                budget,
+                            )
                         })
                     })
                     .collect();
@@ -943,7 +1051,7 @@ impl Executor {
             completed: 0,
             failed: 0,
             discarded: 0,
-            termination: Termination::Completed,
+            termination: budget.termination(),
         };
         let mut merged = RunTally::default();
         let mut replayed = 0u64;
@@ -977,12 +1085,28 @@ impl Executor {
         base: u64,
         shots: Range<u64>,
         mid: Option<&[bool]>,
+        budget: &RunBudget,
     ) -> (ChunkOutcome, Option<RunTally>, u64) {
         let mut out = ChunkOutcome::default();
         let mut hits = vec![0u64; tree.num_leaves()];
         let mut tally = mid.map(|_| RunTally::default());
         let mut replayed = 0u64;
+        let mut since_poll = 0u32;
         for i in shots {
+            self.beat();
+            // The cancel token is one relaxed load — check it every shot.
+            // The deadline clock and the cross-worker stop flag are
+            // amortized over 64-shot sample chunks.
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    budget.terminate(TERMINATION_CANCELLED);
+                    break;
+                }
+            }
+            if since_poll == 0 && self.poll_budget(budget) {
+                break;
+            }
+            since_poll = (since_poll + 1) & 63;
             let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
             match tree.walk(&mut rng) {
                 Walk::Leaf(leaf) => {
@@ -1035,20 +1159,9 @@ impl Executor {
         let mut tally = mid.map(|_| RunTally::default());
         let mut events = Vec::new();
         for i in shots {
-            if budget.stop.load(Ordering::Relaxed) {
+            self.beat();
+            if self.poll_budget(budget) {
                 break;
-            }
-            if let Some(token) = &self.cancel {
-                if token.is_cancelled() {
-                    budget.terminate(TERMINATION_CANCELLED);
-                    break;
-                }
-            }
-            if let Some(deadline) = budget.deadline {
-                if budget.start.elapsed() >= deadline {
-                    budget.terminate(TERMINATION_DEADLINE);
-                    break;
-                }
             }
             let mut rng = StdRng::seed_from_u64(stream_seed(base, i));
             let mut renorms = 0u64;
@@ -2122,6 +2235,113 @@ mod tests {
         assert!(counts.is_empty());
         assert_eq!(report.failed, 8);
         assert_eq!(report.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn prefix_engine_with_live_budgets_matches_per_shot_engine() {
+        // A cancel token that never fires and a generous deadline must not
+        // change results or force the per-shot loop: the prefix path polls
+        // them cooperatively and an uninterrupted run stays bit-identical.
+        let circ = dynamic_test_circuit();
+        let exec = |engine: Engine| {
+            Executor::new()
+                .shots(257)
+                .seed(0xFEED)
+                .threads(4)
+                .engine(engine)
+                .deadline(Duration::from_secs(3600))
+                .cancel_token(CancelToken::new())
+        };
+        assert_eq!(
+            exec(Engine::Prefix).resolve_engine(&circ),
+            Engine::Prefix,
+            "a deadline/cancel budget must not force the per-shot engine"
+        );
+        let (shots_counts, shots_report) = exec(Engine::Shots).run_resilient(&circ);
+        let (prefix_counts, prefix_report) = exec(Engine::Prefix).run_resilient(&circ);
+        assert_eq!(shots_counts, prefix_counts);
+        assert_eq!(shots_report, prefix_report);
+        assert_eq!(prefix_report.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn prefix_engine_honours_a_pre_cancelled_token() {
+        // Regression: the prefix path used to ignore cancellation entirely
+        // (tokens forced the per-shot loop); now the tree build polls the
+        // token at branch-node granularity and stops before the first shot.
+        let token = CancelToken::new();
+        token.cancel();
+        let (counts, report) = Executor::new()
+            .shots(1 << 20)
+            .seed(11)
+            .threads(1)
+            .engine(Engine::Prefix)
+            .cancel_token(token)
+            .run_resilient(&dynamic_test_circuit());
+        assert!(counts.is_empty());
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.termination, Termination::Cancelled);
+    }
+
+    #[test]
+    fn prefix_engine_honours_an_expired_deadline() {
+        let (counts, report) = Executor::new()
+            .shots(1 << 20)
+            .seed(11)
+            .threads(2)
+            .engine(Engine::Prefix)
+            .deadline(Duration::ZERO)
+            .run_resilient(&dynamic_test_circuit());
+        assert!(counts.is_empty());
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.termination, Termination::Deadline);
+    }
+
+    #[test]
+    fn prefix_engine_cancels_mid_walk() {
+        // Cancel from another thread while the walk is running: the run
+        // stops early with partial counts. The per-shot token check makes
+        // this deterministic-free-of-livelock, not deterministic in *when*
+        // it stops, so only the invariants are asserted.
+        let token = CancelToken::new();
+        let handle = token.clone();
+        let exec = Executor::new()
+            .shots(1 << 22)
+            .seed(5)
+            .threads(2)
+            .engine(Engine::Prefix)
+            .cancel_token(token);
+        let circ = dynamic_test_circuit();
+        let (counts, report) = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                handle.cancel();
+            });
+            exec.run_resilient(&circ)
+        });
+        assert_eq!(report.termination, Termination::Cancelled);
+        assert!(report.completed < report.requested);
+        assert_eq!(counts.total(), report.completed);
+    }
+
+    #[test]
+    fn heartbeat_ticks_on_both_engines() {
+        for engine in [Engine::Shots, Engine::Prefix] {
+            let beat = Arc::new(AtomicU64::new(0));
+            let (_, report) = Executor::new()
+                .shots(64)
+                .seed(3)
+                .threads(1)
+                .engine(engine)
+                .heartbeat(Arc::clone(&beat))
+                .run_resilient(&dynamic_test_circuit());
+            assert_eq!(report.completed, 64);
+            assert!(
+                beat.load(Ordering::Relaxed) >= 64,
+                "{engine}: heartbeat must tick at least once per shot, got {}",
+                beat.load(Ordering::Relaxed)
+            );
+        }
     }
 
     #[test]

@@ -41,9 +41,12 @@
 //!
 //! * **whole-run fallback** — the caller (see [`crate::Executor`]) keeps
 //!   the per-shot path whenever a tracer, a [`crate::FaultHook`], gate/idle
-//!   noise, or a `run_resilient` budget (drift policy, deadline,
-//!   `max_failed`) is installed, and whenever tree construction aborts
-//!   (a non-finite branch probability, or the node budget is exceeded);
+//!   noise, a drift policy or a `max_failed` budget is installed, and
+//!   whenever tree construction aborts (a non-finite branch probability,
+//!   the node budget exceeded, or an interruption poll fired). Deadlines
+//!   and [`crate::CancelToken`]s do *not* force the fallback: the tree
+//!   build and the shot walk poll them cooperatively and an uninterrupted
+//!   run stays bit-identical to the per-shot engine;
 //! * **per-shot replay** — a walk that reaches a pruned branch (edge
 //!   probability below [`BRANCH_EPS`]) re-runs *that shot* from scratch on
 //!   a fresh per-shot RNG, which is bit-identical by definition.
@@ -130,7 +133,22 @@ impl PrefixTree {
     /// aborts (non-finite branch probability, node budget exceeded) and the
     /// caller must keep the per-shot path.
     pub fn build(circuit: &Circuit, noise: &NoiseModel) -> Option<PrefixTree> {
+        Self::build_polled(circuit, noise, || false)
+    }
+
+    /// [`PrefixTree::build`] with a cooperative interruption poll, consulted
+    /// once per stochastic branch node. When `poll` returns `true` the
+    /// build aborts and returns `None`; the caller falls back to the
+    /// per-shot loop, whose own budget checks then terminate the run
+    /// immediately. This is how a cancelled or already-deadline-expired job
+    /// avoids paying for a tree it will never walk.
+    pub fn build_polled(
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        poll: impl FnMut() -> bool,
+    ) -> Option<PrefixTree> {
         let program = fuse(circuit);
+        let mut poll = poll;
         let mut builder = Builder {
             circuit,
             ops: program.ops(),
@@ -139,6 +157,7 @@ impl PrefixTree {
             nodes: Vec::new(),
             leaves: Vec::new(),
             pruned: 0,
+            poll: &mut poll,
         };
         let state = StateVector::zero_state(circuit.num_qubits());
         let classical = vec![false; circuit.num_clbits()];
@@ -233,6 +252,10 @@ struct Builder<'a> {
     nodes: Vec<DrawNode>,
     leaves: Vec<Leaf>,
     pruned: u64,
+    /// Cooperative interruption check, consulted once per stochastic
+    /// branch node; `true` aborts the build (see
+    /// [`PrefixTree::build_polled`]).
+    poll: &'a mut dyn FnMut() -> bool,
 }
 
 impl Builder<'_> {
@@ -300,6 +323,9 @@ impl Builder<'_> {
         weight: f64,
         mut tally: RunTally,
     ) -> Result<NodeRef, Abort> {
+        if (self.poll)() {
+            return Err(Abort);
+        }
         let inst = &self.circuit.instructions()[idx];
         let q = inst.qubits()[0].index();
         let cbit = inst.clbits()[0].index();
@@ -351,6 +377,9 @@ impl Builder<'_> {
         weight: f64,
         mut tally: RunTally,
     ) -> Result<NodeRef, Abort> {
+        if (self.poll)() {
+            return Err(Abort);
+        }
         let inst = &self.circuit.instructions()[idx];
         let q = inst.qubits()[0].index();
         let p = state.measure_prob_one(q);

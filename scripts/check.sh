@@ -310,4 +310,107 @@ else
     echo "==> service gates skipped (--fast; the live drill wants release codegen)"
 fi
 
+# Crash-recovery gate: a real dqctd with a write-ahead journal is
+# SIGKILLed mid-burst (an injected 50 ms/shot delay guarantees every
+# admitted job is still incomplete), restarted on the same journal, and
+# must replay every admitted job; retries under the original idempotency
+# keys must return completed results, twice, byte-identically — and the
+# replayed counts must match an uninterrupted run of the same jobs.
+if [ "$FAST" -eq 0 ]; then
+    echo "==> crash-recovery gate: SIGKILL mid-burst, journal replay"
+    CRASH_DIR="$(mktemp -d)"
+    printf '%s\n' "$GATE_QASM" >"$CRASH_DIR/gate.qasm"
+    crash_client() {
+        cargo run -q --release --offline -p dqct-cli --bin dqct -- \
+            client --addr "127.0.0.1:$CRASH_PORT" "$@"
+    }
+    crash_submit() {
+        crash_client submit --id "$1" --retry 20 \
+            --answer 2 --shots 300 --seed 11 --deadline-ms 120000 \
+            "$CRASH_DIR/gate.qasm" | tail -n 1
+    }
+    boot_crash_dqctd() {
+        rm -f "$CRASH_DIR/port"
+        cargo run -q --release --offline -p dqctd --bin dqctd -- \
+            --addr 127.0.0.1:0 --port-file "$CRASH_DIR/port" \
+            --journal "$CRASH_DIR/journal" --fsync always --workers 1 \
+            "$@" >/dev/null 2>>"$CRASH_DIR/log" &
+        CRASH_PID=$!
+        for _ in $(seq 1 100); do
+            [ -s "$CRASH_DIR/port" ] && break
+            sleep 0.1
+        done
+        if [ ! -s "$CRASH_DIR/port" ]; then
+            echo "crash-recovery gate FAILED: dqctd never wrote its port" >&2
+            cat "$CRASH_DIR/log" >&2 || true
+            kill "$CRASH_PID" 2>/dev/null || true
+            exit 1
+        fi
+        CRASH_PORT="$(cat "$CRASH_DIR/port")"
+    }
+    boot_crash_dqctd --inject 'seed=3,delay=1.0,delay-ms=50'
+    for i in 1 2 3; do
+        crash_client submit --id "crash-$i" \
+            --answer 2 --shots 300 --seed 11 --deadline-ms 120000 \
+            "$CRASH_DIR/gate.qasm" >/dev/null 2>&1 &
+    done
+    admitted=0
+    for _ in $(seq 1 100); do
+        if crash_client metrics 2>/dev/null | grep -q '"service.accepted":3'; then
+            admitted=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$admitted" -ne 1 ]; then
+        echo "crash-recovery gate FAILED: the burst was never fully admitted" >&2
+        cat "$CRASH_DIR/log" >&2 || true
+        kill -9 "$CRASH_PID" 2>/dev/null || true
+        exit 1
+    fi
+    kill -9 "$CRASH_PID"
+    wait "$CRASH_PID" 2>/dev/null || true
+    boot_crash_dqctd
+    REPLAYED_COUNTS=""
+    for i in 1 2 3; do
+        r1="$(crash_submit "crash-$i")"
+        if ! grep -q '"termination":"completed"' <<<"$r1"; then
+            echo "crash-recovery gate FAILED: crash-$i did not replay to completion: $r1" >&2
+            cat "$CRASH_DIR/log" >&2 || true
+            kill "$CRASH_PID" 2>/dev/null || true
+            exit 1
+        fi
+        r2="$(crash_submit "crash-$i")"
+        if [ "$r1" != "$r2" ]; then
+            echo "crash-recovery gate FAILED: crash-$i retries are not byte-identical" >&2
+            diff <(echo "$r1") <(echo "$r2") >&2 || true
+            kill "$CRASH_PID" 2>/dev/null || true
+            exit 1
+        fi
+        REPLAYED_COUNTS="$REPLAYED_COUNTS$(grep -o '"counts":{[^}]*}' <<<"$r1")
+"
+    done
+    kill -TERM "$CRASH_PID"
+    wait "$CRASH_PID" || true
+    rm -f "$CRASH_DIR/journal"
+    boot_crash_dqctd
+    REFERENCE_COUNTS=""
+    for i in 1 2 3; do
+        ref="$(crash_submit "crash-$i")"
+        REFERENCE_COUNTS="$REFERENCE_COUNTS$(grep -o '"counts":{[^}]*}' <<<"$ref")
+"
+    done
+    kill -TERM "$CRASH_PID"
+    wait "$CRASH_PID" || true
+    if [ "$REPLAYED_COUNTS" != "$REFERENCE_COUNTS" ]; then
+        echo "crash-recovery gate FAILED: replayed counts diverge from an uninterrupted run" >&2
+        diff <(echo "$REPLAYED_COUNTS") <(echo "$REFERENCE_COUNTS") >&2 || true
+        exit 1
+    fi
+    rm -rf "$CRASH_DIR"
+    echo "    3 jobs replayed after SIGKILL, retries byte-identical, counts match an uninterrupted run"
+else
+    echo "==> crash-recovery gate skipped (--fast; the drill wants release codegen)"
+fi
+
 echo "==> all checks passed"
